@@ -1,0 +1,58 @@
+"""Figure 5: mean memory consumption per pattern type (lower is better).
+
+Memory is reported as peak live partial matches plus buffered events
+(the paper's JVM peak is dominated by exactly these structures; see
+DESIGN.md "Substitutions").  Paper shape: JQPG-adapted plans use less
+memory than the native baselines; DP-B is the most frugal tree method.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+
+from _common import ALL_ALGS, CATEGORIES, SIZES, mean_by
+
+
+def test_fig05_memory_by_type(benchmark, env):
+    results = env.sweep("by_type", CATEGORIES, SIZES, ALL_ALGS)
+    means = mean_by(results, "peak_memory_units", "algorithm", "category")
+    rows = []
+    for algorithm in ALL_ALGS:
+        row = [algorithm]
+        for category in CATEGORIES:
+            row.append(f"{means[(algorithm, category)]:,.0f}")
+        rows.append(row)
+    env.write(
+        "fig05_memory_by_type.txt",
+        format_table(
+            ("algorithm",) + CATEGORIES,
+            rows,
+            title=(
+                "Figure 5 — mean peak memory (partial matches + buffered "
+                "events) by pattern type"
+            ),
+        ),
+    )
+
+    # Shape: the optimal-plan methods hold no more live PMs than the
+    # native baselines (per-category slack for estimation noise, strict
+    # on the overall mean).
+    peak = mean_by(results, "peak_partial_matches", "algorithm", "category")
+    for category in CATEGORIES:
+        assert (
+            peak[("DP-LD", category)]
+            <= max(
+                peak[("TRIVIAL", category)], peak[("EFREQ", category)]
+            ) * 1.3
+        )
+        assert peak[("DP-B", category)] <= peak[("ZSTREAM", category)] * 1.3
+    overall = mean_by(results, "peak_partial_matches", "algorithm")
+    assert overall[("DP-LD",)] <= overall[("TRIVIAL",)] * 1.05
+    assert overall[("DP-B",)] <= overall[("ZSTREAM",)] * 1.05
+
+    pattern = env.patterns("conjunction", sizes=(4,))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "DP-B", "conjunction"),
+        rounds=1,
+        iterations=1,
+    )

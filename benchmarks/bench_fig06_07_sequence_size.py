@@ -1,0 +1,64 @@
+"""Figures 6/7: throughput and memory vs *sequence* pattern size.
+
+Paper shape: all methods degrade with pattern size, but the relative
+gain of the JQPG-adapted methods over the CEP-native baselines grows
+with size (the plan space explodes and good plans matter more).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series
+
+from _common import ALL_ALGS, SIZES, mean_by
+
+CATEGORY = "sequence"
+
+
+def _series(results, metric):
+    means = mean_by(results, metric, "algorithm", "pattern_size")
+    return {
+        algorithm: {
+            size: means.get((algorithm, size)) for size in SIZES
+        }
+        for algorithm in ALL_ALGS
+    }
+
+
+def test_fig06_throughput_by_size(benchmark, env):
+    results = env.sweep("by_type", (CATEGORY,), SIZES, ALL_ALGS)
+    env.write(
+        "fig06_sequence_throughput_by_size.txt",
+        format_series(
+            "Figure 6 — sequence patterns: throughput (events/s) by size",
+            _series(results, "throughput"),
+            SIZES,
+        ),
+    )
+    pm = mean_by(results, "pm_created", "algorithm", "pattern_size")
+    largest = max(SIZES)
+    assert pm[("DP-LD", largest)] <= pm[("TRIVIAL", largest)] * 1.1
+
+    pattern = env.patterns(CATEGORY, sizes=(largest,))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "GREEDY", CATEGORY), rounds=1, iterations=1
+    )
+
+
+def test_fig07_memory_by_size(benchmark, env):
+    results = env.sweep("by_type", (CATEGORY,), SIZES, ALL_ALGS)
+    env.write(
+        "fig07_sequence_memory_by_size.txt",
+        format_series(
+            "Figure 7 — sequence patterns: peak memory units by size",
+            _series(results, "peak_memory_units"),
+            SIZES,
+        ),
+    )
+    memory = mean_by(results, "peak_memory_units", "algorithm", "pattern_size")
+    largest = max(SIZES)
+    assert memory[("DP-LD", largest)] <= memory[("TRIVIAL", largest)] * 1.1
+
+    pattern = env.patterns(CATEGORY, sizes=(largest,))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "DP-B", CATEGORY), rounds=1, iterations=1
+    )

@@ -1,0 +1,71 @@
+"""Figures 8/9: throughput and memory vs *negation* pattern size.
+
+Negation patterns are sequences with one forbidden inner event.  The
+positive part has one fewer participant, so absolute PM counts are lower
+than for pure sequences; the paper still finds the JQPG-adapted plans
+ahead, with the tree-based family strongest (the negation check prunes
+instances before they propagate upward).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series
+
+from _common import ALL_ALGS, SIZES, TREE_ALGS, mean_by
+
+CATEGORY = "negation"
+
+
+def _series(results, metric):
+    means = mean_by(results, metric, "algorithm", "pattern_size")
+    return {
+        algorithm: {size: means.get((algorithm, size)) for size in SIZES}
+        for algorithm in ALL_ALGS
+    }
+
+
+def test_fig08_throughput_by_size(benchmark, env):
+    results = env.sweep("by_type", (CATEGORY,), SIZES, ALL_ALGS)
+    env.write(
+        "fig08_negation_throughput_by_size.txt",
+        format_series(
+            "Figure 8 — negation patterns: throughput (events/s) by size",
+            _series(results, "throughput"),
+            SIZES,
+        ),
+    )
+    # Matches must agree across algorithms — negation handling is
+    # plan-independent (Section 5.3).
+    matches = mean_by(results, "matches", "algorithm", "pattern_size")
+    for size in SIZES:
+        values = {matches[(a, size)] for a in ALL_ALGS}
+        assert len(values) == 1
+
+    pattern = env.patterns(CATEGORY, sizes=(max(SIZES),))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "DP-LD", CATEGORY), rounds=1, iterations=1
+    )
+
+
+def test_fig09_memory_by_size(benchmark, env):
+    results = env.sweep("by_type", (CATEGORY,), SIZES, ALL_ALGS)
+    env.write(
+        "fig09_negation_memory_by_size.txt",
+        format_series(
+            "Figure 9 — negation patterns: peak memory units by size",
+            _series(results, "peak_memory_units"),
+            SIZES,
+        ),
+    )
+    memory = mean_by(results, "peak_memory_units", "algorithm")
+    # The optimal plans never use substantially more memory than the
+    # native baselines.
+    assert memory[("DP-LD",)] <= memory[("TRIVIAL",)] * 1.15
+    assert min(memory[(a,)] for a in TREE_ALGS) <= memory[("TRIVIAL",)] * 1.15
+
+    pattern = env.patterns(CATEGORY, sizes=(max(SIZES),))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "ZSTREAM-ORD", CATEGORY),
+        rounds=1,
+        iterations=1,
+    )

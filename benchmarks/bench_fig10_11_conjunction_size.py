@@ -1,0 +1,65 @@
+"""Figures 10/11: throughput and memory vs *conjunction* pattern size.
+
+Conjunctions are where plan choice matters most (the paper's largest
+gain: 2.7x for DP-LD over EFREQ): with no temporal ordering to prune
+prefixes, a bad order multiplies every live event count.  TRIVIAL, which
+ignores both rates and selectivities, collapses first as size grows.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series
+
+from _common import ALL_ALGS, SIZES, mean_by
+
+CATEGORY = "conjunction"
+
+
+def _series(results, metric):
+    means = mean_by(results, metric, "algorithm", "pattern_size")
+    return {
+        algorithm: {size: means.get((algorithm, size)) for size in SIZES}
+        for algorithm in ALL_ALGS
+    }
+
+
+def test_fig10_throughput_by_size(benchmark, env):
+    results = env.sweep("by_type", (CATEGORY,), SIZES, ALL_ALGS)
+    env.write(
+        "fig10_conjunction_throughput_by_size.txt",
+        format_series(
+            "Figure 10 — conjunction patterns: throughput (events/s) by size",
+            _series(results, "throughput"),
+            SIZES,
+        ),
+    )
+    # The signature conjunction result: cost-based orders crush TRIVIAL.
+    pm = mean_by(results, "pm_created", "algorithm")
+    assert pm[("DP-LD",)] <= pm[("TRIVIAL",)] * 0.8
+    assert pm[("GREEDY",)] <= pm[("TRIVIAL",)] * 0.8
+
+    pattern = env.patterns(CATEGORY, sizes=(max(SIZES),))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "DP-LD", CATEGORY), rounds=1, iterations=1
+    )
+
+
+def test_fig11_memory_by_size(benchmark, env):
+    results = env.sweep("by_type", (CATEGORY,), SIZES, ALL_ALGS)
+    env.write(
+        "fig11_conjunction_memory_by_size.txt",
+        format_series(
+            "Figure 11 — conjunction patterns: peak memory units by size",
+            _series(results, "peak_memory_units"),
+            SIZES,
+        ),
+    )
+    memory = mean_by(results, "peak_memory_units", "algorithm", "pattern_size")
+    largest = max(SIZES)
+    # The memory gap grows with size (Figure 11's divergence).
+    assert memory[("DP-LD", largest)] <= memory[("TRIVIAL", largest)] * 0.8
+
+    pattern = env.patterns(CATEGORY, sizes=(largest,))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "DP-B", CATEGORY), rounds=1, iterations=1
+    )

@@ -1,0 +1,71 @@
+"""Figure 18: throughput vs detection latency for α ∈ {0, 0.5, 1}.
+
+The hybrid cost model ``Cost_trpt + α·Cost_lat`` (Section 6.1) trades
+throughput for latency.  Paper shape: raising α lowers latency (often at
+some throughput cost), and the tree-based methods (DP-B, ZSTREAM-ORD)
+achieve the best overall trade-off.
+
+Latency here is the wall-clock detection latency: the time between the
+engine starting to process the match-completing event and the match
+being reported (see ``repro.engines.Match.wall_latency``).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+
+from _common import mean_by
+
+ALGORITHMS = ("GREEDY", "II-GREEDY", "DP-LD", "ZSTREAM-ORD", "DP-B")
+ALPHAS = (0.0, 0.5, 1.0)
+
+
+def test_fig18_latency_tradeoff(benchmark, env):
+    patterns = env.patterns("sequence", sizes=(3, 4, 5))
+    results = []
+    for pattern in patterns:
+        for algorithm in ALGORITHMS:
+            for alpha in ALPHAS:
+                result = env.run(
+                    pattern, algorithm, "sequence", alpha=alpha
+                )
+                results.append(result)
+
+    throughput = mean_by(results, "throughput", "algorithm", "alpha")
+    latency = mean_by(
+        results, "mean_wall_latency_ms", "algorithm", "alpha"
+    )
+    rows = []
+    for algorithm in ALGORITHMS:
+        for alpha in ALPHAS:
+            rows.append(
+                (
+                    algorithm,
+                    alpha,
+                    f"{throughput[(algorithm, alpha)]:,.0f}",
+                    round(latency[(algorithm, alpha)], 4),
+                )
+            )
+    env.write(
+        "fig18_latency_tradeoff.txt",
+        format_table(
+            ("algorithm", "alpha", "throughput (ev/s)",
+             "mean detection latency (ms)"),
+            rows,
+            title="Figure 18 — throughput vs latency across alpha",
+        ),
+    )
+
+    # Shape: for each algorithm, the latency-aware plans (alpha = 1) are
+    # no slower to *detect* than the pure-throughput plans, on average.
+    for algorithm in ALGORITHMS:
+        assert (
+            latency[(algorithm, 1.0)] <= latency[(algorithm, 0.0)] * 1.5
+        )
+
+    pattern = env.patterns("sequence", sizes=(4,))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "DP-B", "sequence", alpha=0.5),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,84 @@
+"""Figure 19: throughput under the event selection strategies (§6.2).
+
+Runs the sequence pattern set under skip-till-any-match, skip-till-next-
+match, and strict contiguity (the paper's three panels; its log-scale
+bar chart) for every algorithm.
+
+Paper shape:
+* skip-till-any: JQPG methods clearly ahead (the Figure 4 result);
+* skip-till-next: JQPG still ahead but by less (the min-rate cost model
+  of Section 6.2 leaves less room to optimize);
+* contiguity: TRIVIAL wins — the stream dictates the only useful order
+  and any reordering only adds buffering overhead.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.patterns import add_contiguity_predicates
+
+from _common import ALL_ALGS, mean_by
+
+STRATEGIES = ("any", "next", "strict")
+
+
+def test_fig19_selection_strategies(benchmark, env):
+    patterns = env.patterns("sequence", sizes=(3, 4))
+    results = []
+    for pattern in patterns:
+        for strategy in STRATEGIES:
+            run_pattern = pattern
+            if strategy == "strict":
+                run_pattern = add_contiguity_predicates(pattern)
+                run_pattern = run_pattern.with_conditions(
+                    run_pattern.conditions
+                )
+            for algorithm in ALL_ALGS:
+                result = env.run(
+                    run_pattern, algorithm, "sequence", selection=strategy
+                )
+                result.selection = strategy
+                results.append(result)
+
+    throughput = mean_by(results, "throughput", "algorithm", "selection")
+    rows = []
+    for algorithm in ALL_ALGS:
+        rows.append(
+            [algorithm]
+            + [
+                f"{throughput[(algorithm, s)]:,.0f}"
+                for s in STRATEGIES
+            ]
+        )
+    env.write(
+        "fig19_selection_strategies.txt",
+        format_table(
+            ("algorithm", "skip-till-any", "skip-till-next", "contiguity"),
+            rows,
+            title=(
+                "Figure 19 — throughput (events/s) per selection strategy"
+            ),
+        ),
+    )
+
+    matches = mean_by(results, "matches", "algorithm", "selection")
+    # Restrictive strategies can only reduce the number of matches.
+    for algorithm in ALL_ALGS:
+        assert (
+            matches[(algorithm, "next")]
+            <= matches[(algorithm, "any")]
+        )
+        assert (
+            matches[(algorithm, "strict")]
+            <= matches[(algorithm, "next")] * 1.001
+        )
+    # Under skip-till-any, the match sets agree across algorithms.
+    any_counts = {matches[(a, "any")] for a in ALL_ALGS}
+    assert len(any_counts) == 1
+
+    pattern = env.patterns("sequence", sizes=(4,))[0]
+    benchmark.pedantic(
+        lambda: env.run(pattern, "GREEDY", "sequence", selection="next"),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,12 @@
+"""Pytest fixtures for the figure benchmarks (see ``_common.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BenchEnv, build_env
+
+
+@pytest.fixture(scope="session")
+def env() -> BenchEnv:
+    return build_env()

@@ -1,0 +1,87 @@
+"""Using the CEP optimizer stack as a join-order optimizer (Theorem 1).
+
+The reduction works in both directions: here a four-relation join query
+is planned by the *CEP* algorithms (via ``JoinQuery.planning_statistics``,
+the W = 1 view of Theorem 1), each plan is executed by the join substrate,
+and the measured intermediate-result sizes are compared against the
+cost-model predictions — the equivalence the paper proves, demonstrated
+on live data.
+
+Run:  python examples/join_ordering.py
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.cost import ThroughputCostModel
+from repro.join import JoinPredicate, JoinQuery, Relation, execute_plan
+from repro.patterns import decompose, parse_pattern
+from repro.optimizers import make_optimizer
+
+
+def build_query(seed: int = 3) -> JoinQuery:
+    rng = random.Random(seed)
+    relations = [
+        Relation.random_integers("orders", 60, ("customer", "product"),
+                                 domain=25, rng=rng),
+        Relation.random_integers("customers", 25, ("customer", "region"),
+                                 domain=25, rng=rng),
+        Relation.random_integers("products", 15, ("product", "category"),
+                                 domain=25, rng=rng),
+        Relation.random_integers("regions", 8, ("region",), domain=25,
+                                 rng=rng),
+    ]
+    predicates = [
+        JoinPredicate("orders", "customers", 1 / 25,
+                      fn=lambda o, c: o["customer"] == c["customer"]),
+        JoinPredicate("orders", "products", 1 / 25,
+                      fn=lambda o, p: o["product"] == p["product"]),
+        JoinPredicate("customers", "regions", 1 / 25,
+                      fn=lambda c, r: c["region"] == r["region"]),
+    ]
+    return JoinQuery(relations, predicates)
+
+
+def main() -> None:
+    query = build_query()
+    stats = query.planning_statistics()
+    model = ThroughputCostModel()
+
+    # Dummy decomposed pattern over the relation names lets the CEP
+    # optimizers run unchanged (Theorem 1: W=1, r = |R|).
+    spec = ", ".join(f"{n.upper()} {n}" for n in query.relation_names)
+    decomposed = decompose(
+        parse_pattern(f"PATTERN AND({spec}) WITHIN 1")
+    )
+
+    rows = []
+    for name in ("TRIVIAL", "EFREQ", "GREEDY", "DP-LD", "DP-B", "KBZ"):
+        optimizer = make_optimizer(name)
+        plan = optimizer.generate(decomposed, stats, model)
+        predicted = optimizer.plan_cost(plan, stats, model)
+        executed = execute_plan(query, plan)
+        rows.append(
+            (
+                name,
+                str(plan),
+                round(predicted, 1),
+                executed.total_intermediate,
+                executed.cardinality,
+            )
+        )
+    print(
+        format_table(
+            ("algorithm", "plan", "predicted cost",
+             "measured intermediates", "result rows"),
+            rows,
+            title="Join ordering through the CPG<->JQPG reduction",
+        )
+    )
+    print(
+        "\nEvery plan returns the same result rows; the cost model's "
+        "ranking tracks the measured intermediate-result sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

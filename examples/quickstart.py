@@ -1,0 +1,55 @@
+"""Quickstart: the paper's four-cameras example (Section 1).
+
+Four traffic cameras A, B, C, D photograph passing vehicles; camera D is
+faulty and transmits only one frame in ten.  We detect
+``SEQ(A a, B b, C c, D d)`` with equal vehicle IDs and compare the
+trivial evaluation order (A -> B -> C -> D, Figure 1(a)) against the
+cost-based reordered plan that waits for the rare camera D first
+(Figure 1(b)).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench import format_table, run_algorithm
+from repro.stats import estimate_pattern_catalog
+from repro.workloads import TrafficConfig, four_cameras_pattern, generate_traffic_stream
+
+
+def main() -> None:
+    stream = generate_traffic_stream(TrafficConfig(vehicles=400, seed=7))
+    pattern = four_cameras_pattern(window=90.0)
+    print(f"stream: {stream}")
+    print(f"events per camera: {stream.count_by_type()}")
+    print(f"pattern: {pattern}\n")
+
+    catalog = estimate_pattern_catalog(pattern, stream, samples=500)
+
+    rows = []
+    for algorithm in ("TRIVIAL", "EFREQ", "GREEDY", "DP-LD", "DP-B"):
+        result = run_algorithm(pattern, stream, catalog, algorithm)
+        rows.append(
+            (
+                algorithm,
+                str(result.plans[0]),
+                result.matches,
+                result.pm_created,
+                result.peak_partial_matches,
+                f"{result.throughput:,.0f}",
+            )
+        )
+
+    print(
+        format_table(
+            ("algorithm", "plan", "matches", "PMs created", "peak PMs", "events/s"),
+            rows,
+            title="Four cameras: plan quality by algorithm",
+        )
+    )
+    print(
+        "\nAll algorithms report identical matches; the reordered plans "
+        "wait for the rare camera D and create far fewer partial matches."
+    )
+
+
+if __name__ == "__main__":
+    main()

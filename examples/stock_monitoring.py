@@ -1,0 +1,88 @@
+"""Stock-price pattern monitoring (the paper's evaluation workload).
+
+Reproduces the Section 7.2 scenario in miniature: a synthetic NASDAQ
+tick stream, the paper's example pattern ("examine the shift in Intel's
+stock when Google's price change exceeds Microsoft's"), plus a nested
+disjunction showing multi-plan detection — comparing all order-based
+and tree-based algorithms of Section 7.1.
+
+Run:  python examples/stock_monitoring.py
+"""
+
+from repro import parse_pattern
+from repro.bench import format_table, run_algorithm
+from repro.optimizers import ORDER_ALGORITHMS, TREE_ALGORITHMS
+from repro.stats import estimate_pattern_catalog
+from repro.workloads import StockMarketConfig, generate_stock_stream
+
+
+def compare(pattern, stream, algorithms, title):
+    catalog = estimate_pattern_catalog(pattern, stream, samples=600)
+    rows = []
+    for algorithm in algorithms:
+        result = run_algorithm(pattern, stream, catalog, algorithm)
+        rows.append(
+            (
+                algorithm,
+                result.matches,
+                round(result.plan_cost, 1),
+                result.peak_partial_matches,
+                result.peak_memory_units,
+                f"{result.throughput:,.0f}",
+            )
+        )
+    print(
+        format_table(
+            ("algorithm", "matches", "plan cost", "peak PMs",
+             "peak memory", "events/s"),
+            rows,
+            title=title,
+        )
+    )
+    print()
+
+
+def main() -> None:
+    stream = generate_stock_stream(
+        StockMarketConfig(symbols=8, duration=240.0, rate_low=0.3,
+                          rate_high=2.5, seed=11)
+    )
+    print(f"stream: {stream}\n")
+
+    conjunction = parse_pattern(
+        "PATTERN AND(MSFT m, GOOG g, INTC i) "
+        "WHERE m.difference < g.difference WITHIN 8",
+        name="paper_conjunction",
+    )
+    compare(
+        conjunction,
+        stream,
+        ORDER_ALGORITHMS,
+        "AND(MSFT, GOOG, INTC) — order-based algorithms",
+    )
+    compare(
+        conjunction,
+        stream,
+        TREE_ALGORITHMS,
+        "AND(MSFT, GOOG, INTC) — tree-based algorithms",
+    )
+
+    sequence = parse_pattern(
+        "PATTERN SEQ(MSFT m, GOOG g, INTC i, AAPL p) "
+        "WHERE m.difference < g.difference AND i.difference < p.difference "
+        "WITHIN 8",
+        name="sequence_4",
+    )
+    compare(sequence, stream, ("TRIVIAL", "EFREQ", "GREEDY", "DP-LD"),
+            "SEQ of four symbols — order-based algorithms")
+
+    nested = parse_pattern(
+        "PATTERN OR(SEQ(MSFT m, GOOG g), SEQ(INTC i, AAPL p)) WITHIN 8",
+        name="nested_disjunction",
+    )
+    compare(nested, stream, ("GREEDY", "DP-LD"),
+            "Disjunction of two sequences (one plan per disjunct)")
+
+
+if __name__ == "__main__":
+    main()

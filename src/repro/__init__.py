@@ -1,0 +1,114 @@
+"""repro — Join Query Optimization Techniques for Complex Event Processing.
+
+A from-scratch reproduction of Kolchinsky & Schuster, VLDB 2018
+(arXiv:1801.09413): the CPG <-> JQPG equivalence, join-optimizer-based
+CEP plan generation, and the full evaluation stack (lazy NFA and
+tree-based engines, cost models, workloads, benchmarks).
+
+Quickstart::
+
+    from repro import (
+        parse_pattern, estimate_pattern_catalog, plan_pattern, build_engines,
+    )
+    from repro.workloads import generate_stock_stream
+
+    stream = generate_stock_stream()
+    pattern = parse_pattern(
+        "PATTERN SEQ(MSFT m, GOOG g, INTC i) "
+        "WHERE m.difference < g.difference WITHIN 10"
+    )
+    catalog = estimate_pattern_catalog(pattern, stream)
+    planned = plan_pattern(pattern, catalog, algorithm="DP-LD")
+    engine = build_engines(planned)
+    matches = engine.run(stream)
+"""
+
+from .cost import (
+    CostModel,
+    HybridCostModel,
+    LatencyCostModel,
+    NextMatchCostModel,
+    ThroughputCostModel,
+)
+from .engines import (
+    DisjunctionEngine,
+    Match,
+    NFAEngine,
+    OutputProfiler,
+    TreeEngine,
+    build_engine,
+    build_engines,
+)
+from .errors import (
+    EngineError,
+    OptimizerError,
+    PatternError,
+    PatternParseError,
+    PlanError,
+    ReductionError,
+    ReproError,
+    StatisticsError,
+)
+from .events import Event, EventType, Stream
+from .optimizers import (
+    PlannedPattern,
+    available_algorithms,
+    make_optimizer,
+    plan_pattern,
+)
+from .patterns import (
+    Pattern,
+    decompose,
+    nested_to_dnf,
+    parse_pattern,
+    sequence_to_conjunction,
+)
+from .plans import OrderPlan, TreePlan
+from .stats import (
+    PatternStatistics,
+    StatisticsCatalog,
+    estimate_pattern_catalog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "HybridCostModel",
+    "LatencyCostModel",
+    "NextMatchCostModel",
+    "ThroughputCostModel",
+    "DisjunctionEngine",
+    "Match",
+    "NFAEngine",
+    "OutputProfiler",
+    "TreeEngine",
+    "build_engine",
+    "build_engines",
+    "EngineError",
+    "OptimizerError",
+    "PatternError",
+    "PatternParseError",
+    "PlanError",
+    "ReductionError",
+    "ReproError",
+    "StatisticsError",
+    "Event",
+    "EventType",
+    "Stream",
+    "PlannedPattern",
+    "available_algorithms",
+    "make_optimizer",
+    "plan_pattern",
+    "Pattern",
+    "decompose",
+    "nested_to_dnf",
+    "parse_pattern",
+    "sequence_to_conjunction",
+    "OrderPlan",
+    "TreePlan",
+    "PatternStatistics",
+    "StatisticsCatalog",
+    "estimate_pattern_catalog",
+    "__version__",
+]

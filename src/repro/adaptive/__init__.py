@@ -1,0 +1,6 @@
+"""Adaptive CEP: drift detection and plan re-optimization (Section 6.3)."""
+
+from .controller import AdaptiveController
+from .monitor import DriftDetector
+
+__all__ = ["AdaptiveController", "DriftDetector"]

@@ -1,0 +1,107 @@
+"""Adaptive plan management (Section 6.3).
+
+:class:`AdaptiveController` wraps a pattern and an optimizer: it feeds
+events to the active engine while tracking arrival rates over a sliding
+horizon; every ``check_interval`` events it rebuilds the statistics
+catalog from the online estimates and, when the :class:`DriftDetector`
+reports a significant deviation from the stats the active plan was built
+with, re-runs the optimizer and hot-swaps the engine.
+
+Plan switching is *restart-based*: the new engine starts empty, so
+partial matches in flight at the switch are lost (at most one window's
+worth).  The paper defers migration strategies to the companion
+adaptivity paper [27]; the restart policy is the simple baseline it
+builds on, and it is what the adaptivity example demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engines.factory import build_engines
+from ..engines.matches import Match
+from ..events import Event, Stream
+from ..optimizers.planner import PlannedPattern, plan_pattern
+from ..patterns.pattern import Pattern
+from ..stats.catalog import StatisticsCatalog
+from ..stats.online import SlidingRateEstimator
+from .monitor import DriftDetector
+
+
+class AdaptiveController:
+    """Runs a pattern with on-the-fly plan re-optimization."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        initial_catalog: StatisticsCatalog,
+        algorithm: str = "GREEDY",
+        selection: str = "any",
+        horizon: Optional[float] = None,
+        check_interval: int = 500,
+        detector: Optional[DriftDetector] = None,
+        max_kleene_size: Optional[int] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.algorithm = algorithm
+        self.selection = selection
+        self.check_interval = check_interval
+        self.detector = detector or DriftDetector()
+        self.max_kleene_size = max_kleene_size
+        self._catalog = initial_catalog
+        self._rates = SlidingRateEstimator(horizon or pattern.window * 10)
+        self._events_since_check = 0
+        self.reoptimizations = 0
+        self.plan_history: list[list[PlannedPattern]] = []
+        self._replan()
+
+    # -- planning -----------------------------------------------------------
+    def _replan(self) -> None:
+        planned = plan_pattern(
+            self.pattern,
+            self._catalog,
+            algorithm=self.algorithm,
+            selection=self.selection,
+        )
+        self.planned = planned
+        self.engine = build_engines(
+            planned, max_kleene_size=self.max_kleene_size
+        )
+        self.plan_history.append(planned)
+
+    @property
+    def current_plans(self) -> list:
+        return [item.plan for item in self.planned]
+
+    # -- event loop -----------------------------------------------------------
+    def process(self, event: Event) -> list[Match]:
+        self._rates.observe(event)
+        self._events_since_check += 1
+        matches = self.engine.process(event)
+        if self._events_since_check >= self.check_interval:
+            self._events_since_check = 0
+            self._maybe_reoptimize()
+        return matches
+
+    def run(self, stream: Stream) -> list[Match]:
+        matches: list[Match] = []
+        for event in stream:
+            matches.extend(self.process(event))
+        matches.extend(self.engine.finalize())
+        return matches
+
+    # -- adaptation ----------------------------------------------------------------
+    def _maybe_reoptimize(self) -> None:
+        observed = self._rates.rates()
+        relevant = {
+            name: rate
+            for name, rate in observed.items()
+            if self._catalog.has_rate(name) and rate > 0
+        }
+        if not relevant:
+            return
+        baseline = {name: self._catalog.rate(name) for name in relevant}
+        if self.detector.drifted(baseline, relevant):
+            self._catalog = self._catalog.updated(rates=relevant)
+            self.reoptimizations += 1
+            self._replan()

@@ -1,0 +1,50 @@
+"""Statistics drift detection (Section 6.3).
+
+The evaluation plan is only as good as the statistics it was built with.
+:class:`DriftDetector` compares the *current* online estimates against
+the values the active plan assumed and reports drift when any rate or
+selectivity deviates by more than a relative threshold — the trigger
+condition the adaptive controller acts on.  (The full adaptivity design
+is the companion paper [27]; this module provides the mechanism that
+Section 6.3 describes.)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import StatisticsError
+
+
+class DriftDetector:
+    """Relative-deviation test between two statistics snapshots."""
+
+    def __init__(self, threshold: float = 0.5, min_value: float = 1e-9) -> None:
+        if threshold <= 0:
+            raise StatisticsError("threshold must be positive")
+        self.threshold = threshold
+        self.min_value = min_value
+
+    def drifted(
+        self,
+        baseline: Mapping,
+        current: Mapping,
+    ) -> bool:
+        """True when any shared key deviates by more than the threshold."""
+        return bool(self.drifted_keys(baseline, current))
+
+    def drifted_keys(
+        self,
+        baseline: Mapping,
+        current: Mapping,
+    ) -> list:
+        """Keys whose relative deviation exceeds the threshold."""
+        drifted = []
+        for key, old_value in baseline.items():
+            if key not in current:
+                continue
+            new_value = current[key]
+            denominator = max(abs(old_value), self.min_value)
+            if abs(new_value - old_value) / denominator > self.threshold:
+                drifted.append(key)
+        return drifted

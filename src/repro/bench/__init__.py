@@ -1,0 +1,13 @@
+"""Benchmark harness: experiment runner and reporting."""
+
+from .harness import RunResult, aggregate_mean, compare_algorithms, run_algorithm
+from .reporting import format_series, format_table
+
+__all__ = [
+    "RunResult",
+    "aggregate_mean",
+    "compare_algorithms",
+    "run_algorithm",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,156 @@
+"""Experiment runner: (pattern, algorithm, stream) -> measured metrics.
+
+This is the machinery behind every figure reproduction in
+``benchmarks/``: it plans a pattern with a named algorithm, runs the
+matching engine over a stream, and returns the paper's metrics —
+throughput (events/second of wall time), the partial-match/memory peaks,
+detection latency, plus the plan's model cost and the plan-generation
+time (Figure 17(b)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cost.base import CostModel
+from ..engines.factory import build_engines
+from ..events import Stream
+from ..optimizers.planner import plan_pattern, total_cost
+from ..patterns.pattern import Pattern
+from ..stats.catalog import StatisticsCatalog
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (pattern, algorithm) execution."""
+
+    algorithm: str
+    pattern_name: str
+    pattern_size: int
+    category: str = ""
+    selection: str = "any"
+    alpha: float = 0.0
+    events: int = 0
+    matches: int = 0
+    wall_seconds: float = 0.0
+    plan_seconds: float = 0.0
+    plan_cost: float = 0.0
+    peak_partial_matches: int = 0
+    peak_memory_units: int = 0
+    pm_created: int = 0
+    mean_latency: float = 0.0
+    max_latency: float = 0.0
+    mean_wall_latency_ms: float = 0.0
+    plans: list = field(default_factory=list, repr=False)
+
+    @property
+    def throughput(self) -> float:
+        """Primitive events processed per second of wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+
+def run_algorithm(
+    pattern: Pattern,
+    stream: Stream,
+    catalog: StatisticsCatalog,
+    algorithm: str,
+    selection: str = "any",
+    alpha: float = 0.0,
+    cost_model: Optional[CostModel] = None,
+    max_kleene_size: Optional[int] = 4,
+    category: str = "",
+    execute: bool = True,
+    **optimizer_kwargs,
+) -> RunResult:
+    """Plan ``pattern`` with ``algorithm`` and (optionally) run it.
+
+    ``execute=False`` skips stream execution — used by the plan-quality
+    sweeps of Figure 17, where only plan cost and generation time matter.
+    """
+    plan_started = time.perf_counter()
+    planned = plan_pattern(
+        pattern,
+        catalog,
+        algorithm=algorithm,
+        selection=selection,
+        alpha=alpha,
+        cost_model=cost_model,
+        **optimizer_kwargs,
+    )
+    plan_seconds = time.perf_counter() - plan_started
+
+    result = RunResult(
+        algorithm=algorithm,
+        pattern_name=pattern.name,
+        pattern_size=len(pattern.positive_variables()),
+        category=category,
+        selection=selection,
+        alpha=alpha,
+        plan_seconds=plan_seconds,
+        plan_cost=total_cost(planned),
+        plans=[item.plan for item in planned],
+    )
+    if not execute:
+        return result
+
+    engine = build_engines(planned, max_kleene_size=max_kleene_size)
+    run_started = time.perf_counter()
+    matches = engine.run(stream)
+    result.wall_seconds = time.perf_counter() - run_started
+    metrics = engine.metrics
+    result.events = len(stream)
+    result.matches = len(matches)
+    result.peak_partial_matches = metrics.peak_partial_matches
+    result.peak_memory_units = metrics.peak_memory_units
+    result.pm_created = metrics.partial_matches_created
+    result.mean_latency = metrics.mean_latency
+    result.max_latency = metrics.max_latency
+    result.mean_wall_latency_ms = metrics.mean_wall_latency * 1000.0
+    return result
+
+
+def compare_algorithms(
+    patterns: Sequence[Pattern],
+    stream: Stream,
+    catalog: StatisticsCatalog,
+    algorithms: Sequence[str],
+    category: str = "",
+    **kwargs,
+) -> list[RunResult]:
+    """Run every algorithm on every pattern; flat result list."""
+    results: list[RunResult] = []
+    for pattern in patterns:
+        for algorithm in algorithms:
+            results.append(
+                run_algorithm(
+                    pattern,
+                    stream,
+                    catalog,
+                    algorithm,
+                    category=category,
+                    **kwargs,
+                )
+            )
+    return results
+
+
+def aggregate_mean(
+    results: Sequence[RunResult], metric: str, by: Sequence[str]
+) -> dict[tuple, float]:
+    """Group results by attributes and average one metric.
+
+    ``metric`` is any :class:`RunResult` attribute/property name;
+    ``by`` lists grouping attributes (e.g. ``("algorithm",)`` or
+    ``("algorithm", "pattern_size")``).
+    """
+    groups: dict[tuple, list[float]] = {}
+    for result in results:
+        key = tuple(getattr(result, attr) for attr in by)
+        groups.setdefault(key, []).append(float(getattr(result, metric)))
+    return {
+        key: sum(values) / len(values) for key, values in groups.items()
+    }

@@ -1,0 +1,64 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark modules print the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Mapping],
+    x_values: Sequence,
+    x_label: str = "size",
+) -> str:
+    """One row per series (algorithm), one column per x value."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name in series:
+        row = [name]
+        for x in x_values:
+            value = series[name].get(x)
+            row.append("-" if value is None else _fmt(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,34 @@
+"""Cost models: throughput, latency, hybrid, selection-strategy, join-side."""
+
+from .base import CostModel
+from .hybrid import HybridCostModel
+from .join_costs import bushy_cost, intermediate_sizes, left_deep_cost
+from .latency import (
+    LatencyCostModel,
+    disjunction_latency,
+    latency_model_for,
+)
+from .selection import NextMatchCostModel, subset_next_matches
+from .throughput import (
+    ThroughputCostModel,
+    extend_partial_matches,
+    prefix_partial_matches,
+    subset_partial_matches,
+)
+
+__all__ = [
+    "CostModel",
+    "HybridCostModel",
+    "bushy_cost",
+    "intermediate_sizes",
+    "left_deep_cost",
+    "LatencyCostModel",
+    "disjunction_latency",
+    "latency_model_for",
+    "NextMatchCostModel",
+    "subset_next_matches",
+    "ThroughputCostModel",
+    "extend_partial_matches",
+    "prefix_partial_matches",
+    "subset_partial_matches",
+]

@@ -1,0 +1,83 @@
+"""ASI (adjacent sequence interchange) machinery (Appendix A).
+
+A cost function ``C`` over sequences has the **ASI property** when there
+is a rank function such that swapping two adjacent subsequences improves
+the cost iff it orders them by rank.  For acyclic query graphs this is
+what enables the polynomial IK/KBZ ordering algorithm (Section 4.3).
+
+For the throughput cost, once a root is chosen for the (acyclic) query
+tree, each variable ``i`` carries a single weight
+
+    w_i = W · r_i · sel(parent(i), i)
+
+and the cost of a sequence ``s`` is the chain cost
+``C(s) = Σ_k Π_{i≤k} w_i`` with multiplier ``T(s) = Π_i w_i``.  The rank
+is ``rank(s) = (T(s) − 1) / C(s)`` (Theorem 5).  These helpers are shared
+by the KBZ optimizer and the property tests that verify Theorems 5/6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OptimizerError
+
+
+def chain_cost(weights: Sequence[float]) -> float:
+    """``C(s) = Σ_k Π_{i≤k} w_i`` (0 for the empty sequence)."""
+    total = 0.0
+    product = 1.0
+    for weight in weights:
+        product *= weight
+        total += product
+    return total
+
+
+def chain_multiplier(weights: Sequence[float]) -> float:
+    """``T(s) = Π_i w_i`` (1 for the empty sequence)."""
+    product = 1.0
+    for weight in weights:
+        product *= weight
+    return product
+
+
+def rank(weights: Sequence[float]) -> float:
+    """``rank(s) = (T(s) − 1) / C(s)`` — the ASI rank of Theorem 5."""
+    if not weights:
+        raise OptimizerError("rank of an empty sequence is undefined")
+    cost = chain_cost(weights)
+    if cost <= 0:
+        raise OptimizerError("chain cost must be positive for ranking")
+    return (chain_multiplier(weights) - 1.0) / cost
+
+
+def concat_cost(cost_a: float, mult_a: float, cost_b: float) -> float:
+    """``C(s1 s2) = C(s1) + T(s1)·C(s2)`` — the chain-cost composition law."""
+    return cost_a + mult_a * cost_b
+
+
+def verify_asi_exchange(
+    prefix: Sequence[float],
+    seq_u: Sequence[float],
+    seq_v: Sequence[float],
+    suffix: Sequence[float],
+) -> bool:
+    """Check the ASI equivalence for one concrete exchange.
+
+    Returns True iff ``C(a·u·v·b) ≤ C(a·v·u·b)  ⇔  rank(u) ≤ rank(v)``
+    holds for the given weight sequences — the exact statement of
+    Definition 1, used by the hypothesis tests of Appendix A.
+    """
+    order_uv = list(prefix) + list(seq_u) + list(seq_v) + list(suffix)
+    order_vu = list(prefix) + list(seq_v) + list(seq_u) + list(suffix)
+    cost_uv = chain_cost(order_uv)
+    cost_vu = chain_cost(order_vu)
+    rank_u = rank(seq_u)
+    rank_v = rank(seq_v)
+    tolerance = 1e-9 * max(1.0, abs(cost_uv), abs(cost_vu))
+    if abs(cost_uv - cost_vu) <= tolerance or abs(rank_u - rank_v) <= 1e-12:
+        # Equal ranks must give equal costs and vice versa.
+        return (abs(cost_uv - cost_vu) <= tolerance) == (
+            abs(rank_u - rank_v) <= 1e-9 * max(1.0, abs(rank_u))
+        )
+    return (cost_uv < cost_vu) == (rank_u < rank_v)

@@ -1,0 +1,88 @@
+"""Cost model interface.
+
+All plan-generation algorithms in :mod:`repro.optimizers` are written
+against this interface, which is what makes them cost-model agnostic —
+the property the paper exploits to swap in latency-aware (Section 6.1)
+and selection-strategy-aware (Section 6.2) models without touching the
+algorithms.
+
+Both plan families decompose into *incremental* contributions:
+
+* an order plan is built by appending one variable at a time;
+  :meth:`CostModel.order_step_cost` prices appending ``variable`` to the
+  set ``prefix`` (the left-deep DP of Selinger relies on the price
+  depending only on the *set*, not its internal order);
+* a tree plan is built by combining two disjoint variable sets;
+  :meth:`CostModel.combine_cost` prices the new internal node and
+  :meth:`CostModel.leaf_cost` prices a leaf.
+
+`order_cost` / `tree_cost` are derived sums; subclasses may override them
+for efficiency but must keep them consistent with the step functions.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from ..plans.tree_plan import TreePlan
+from ..stats.catalog import PatternStatistics
+
+VariableSet = FrozenSet[str]
+
+
+class CostModel:
+    """Abstract plan cost model."""
+
+    name = "abstract"
+
+    # -- order plans -------------------------------------------------------
+    def order_step_cost(
+        self,
+        prefix: VariableSet,
+        variable: str,
+        stats: PatternStatistics,
+    ) -> float:
+        """Cost contribution of appending ``variable`` after ``prefix``."""
+        raise NotImplementedError
+
+    def order_cost(
+        self, order: Sequence[str], stats: PatternStatistics
+    ) -> float:
+        """Total cost of an order plan (sum of step costs)."""
+        total = 0.0
+        prefix: frozenset = frozenset()
+        for variable in order:
+            total += self.order_step_cost(prefix, variable, stats)
+            prefix = prefix | {variable}
+        return total
+
+    # -- tree plans ----------------------------------------------------------
+    def leaf_cost(self, variable: str, stats: PatternStatistics) -> float:
+        """Cost contribution of the leaf collecting ``variable``."""
+        raise NotImplementedError
+
+    def combine_cost(
+        self,
+        left: VariableSet,
+        right: VariableSet,
+        stats: PatternStatistics,
+    ) -> float:
+        """Cost contribution of an internal node joining ``left``/``right``."""
+        raise NotImplementedError
+
+    def tree_cost(self, plan: TreePlan, stats: PatternStatistics) -> float:
+        """Total cost of a tree plan (sum over nodes)."""
+        total = 0.0
+        for node in plan.root.nodes_postorder():
+            if node.is_leaf:
+                total += self.leaf_cost(node.variable, stats)
+            else:
+                total += self.combine_cost(
+                    frozenset(node.left.leaf_variables),
+                    frozenset(node.right.leaf_variables),
+                    stats,
+                )
+        return total
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,102 @@
+"""Join-side cost functions ``Cost_LDJ`` and ``Cost_BJ`` (Section 3.2).
+
+These operate in *relational* terms — cardinalities and predicate
+selectivities — and are deliberately implemented independently from the
+CEP cost models of :mod:`repro.cost.throughput`.  The equality of the two
+formulations under the Theorem 1/2 reduction (``|R_i| = W·r_i``,
+``f_ij = sel_ij``) is verified by the property tests, which is the
+empirical counterpart of the paper's equivalence proofs.
+
+Filter selectivities (``f_ii``, the cost of the initial selection ``C1``)
+multiply into effective cardinalities, mirroring the rate-folding
+convention on the CEP side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..errors import PlanError
+from ..plans.tree_plan import TreePlan
+
+Selectivity = Callable[[str, str], float]
+
+
+def _effective_cardinality(
+    name: str,
+    cardinality: Mapping[str, float],
+    filters: Optional[Mapping[str, float]],
+) -> float:
+    base = cardinality[name]
+    if filters:
+        base *= filters.get(name, 1.0)
+    return base
+
+
+def intermediate_sizes(
+    order: Sequence[str],
+    cardinality: Mapping[str, float],
+    selectivity: Selectivity,
+    filters: Optional[Mapping[str, float]] = None,
+) -> list[float]:
+    """|P_k| for every prefix of a left-deep join order.
+
+    ``P_1 = σ(R_1)`` and ``P_k = P_{k-1} ⋈ R_k``; each size is the product
+    of effective cardinalities and all pairwise selectivities inside the
+    prefix (Section 3.2).
+    """
+    sizes: list[float] = []
+    current = 1.0
+    joined: list[str] = []
+    for name in order:
+        current *= _effective_cardinality(name, cardinality, filters)
+        for other in joined:
+            current *= selectivity(other, name)
+        joined.append(name)
+        sizes.append(current)
+    return sizes
+
+
+def left_deep_cost(
+    order: Sequence[str],
+    cardinality: Mapping[str, float],
+    selectivity: Selectivity,
+    filters: Optional[Mapping[str, float]] = None,
+) -> float:
+    """``Cost_LDJ(L) = C1 + Σ_k C(P_{k-1}, R_k)`` — intermediate result sizes.
+
+    With filters folded into cardinalities this equals the sum of all
+    ``|P_k|``, the form used in the Theorem 1 derivation.
+    """
+    if not order:
+        raise PlanError("empty join order")
+    return float(
+        sum(intermediate_sizes(order, cardinality, selectivity, filters))
+    )
+
+
+def bushy_cost(
+    plan: TreePlan,
+    cardinality: Mapping[str, float],
+    selectivity: Selectivity,
+    filters: Optional[Mapping[str, float]] = None,
+) -> float:
+    """``Cost_BJ(T) = Σ_N C(N)`` over all nodes of a bushy join tree.
+
+    ``C(leaf R_i) = |R_i|`` and ``C(L ⋈ R) = |L|·|R|·f_LR`` — equivalently
+    the output size of every node, leaves included (Section 4.2).
+    """
+    total = 0.0
+    sizes: dict[int, float] = {}
+    for node in plan.root.nodes_postorder():
+        if node.is_leaf:
+            size = _effective_cardinality(node.variable, cardinality, filters)
+        else:
+            cross = 1.0
+            for left_var in node.left.leaf_variables:
+                for right_var in node.right.leaf_variables:
+                    cross *= selectivity(left_var, right_var)
+            size = sizes[id(node.left)] * sizes[id(node.right)] * cross
+        sizes[id(node)] = size
+        total += size
+    return total

@@ -1,0 +1,38 @@
+"""Evaluation engines: lazy NFA and instance-based tree runtime."""
+
+from .base import (
+    SELECTION_ANY,
+    SELECTION_NEXT,
+    SELECTION_PARTITION,
+    SELECTION_STRICT,
+    BaseEngine,
+)
+from .buffers import VariableBuffer
+from .factory import DisjunctionEngine, build_engine, build_engines
+from .matches import Match, PartialMatch
+from .metrics import EngineMetrics
+from .negation import NegationChecker
+from .nfa import NFAEngine
+from .profiler import OutputProfiler
+from .reference import reference_match_keys
+from .tree import TreeEngine
+
+__all__ = [
+    "SELECTION_ANY",
+    "SELECTION_NEXT",
+    "SELECTION_PARTITION",
+    "SELECTION_STRICT",
+    "BaseEngine",
+    "VariableBuffer",
+    "DisjunctionEngine",
+    "build_engine",
+    "build_engines",
+    "Match",
+    "PartialMatch",
+    "EngineMetrics",
+    "NegationChecker",
+    "NFAEngine",
+    "OutputProfiler",
+    "reference_match_keys",
+    "TreeEngine",
+]

@@ -1,0 +1,301 @@
+"""Shared engine machinery.
+
+:class:`BaseEngine` implements everything that is identical between the
+order-based (lazy NFA) and tree-based (ZStream-style) runtimes:
+
+* per-variable windowed buffers with unary-filter admission;
+* predicate checking with instrumentation;
+* negation handling — incremental bounded checks plus the *pending* set
+  for ranges extending into the future (Section 5.3);
+* event selection strategies (Section 6.2): ``any`` (skip-till-any-match,
+  the default), ``next`` (skip-till-next-match, with event consumption),
+  ``strict`` / ``partition`` (contiguity — consumption semantics of
+  ``next`` plus adjacency predicates, which the caller injects into the
+  pattern with
+  :func:`repro.patterns.add_contiguity_predicates`);
+* metrics collection.
+
+Both engines form every event combination exactly once through the
+*trigger* discipline documented in :mod:`repro.engines.matches`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from ..errors import EngineError
+from ..events import Event, Stream
+from ..patterns.predicates import Predicate
+from ..patterns.transformations import DecomposedPattern
+from .buffers import VariableBuffer
+from .matches import Match, PartialMatch
+from .metrics import EngineMetrics
+from .negation import NegationChecker, PreparedSpec
+
+SELECTION_ANY = "any"
+SELECTION_NEXT = "next"
+SELECTION_STRICT = "strict"
+SELECTION_PARTITION = "partition"
+_SELECTIONS = (
+    SELECTION_ANY,
+    SELECTION_NEXT,
+    SELECTION_STRICT,
+    SELECTION_PARTITION,
+)
+
+
+class _PendingMatch:
+    """A complete match waiting for a trailing negation range to close."""
+
+    __slots__ = ("pm", "deadline", "specs")
+
+    def __init__(
+        self, pm: PartialMatch, deadline: float, specs: list[PreparedSpec]
+    ) -> None:
+        self.pm = pm
+        self.deadline = deadline
+        self.specs = specs
+
+
+class BaseEngine:
+    """Common state and behaviour of both evaluation engines."""
+
+    def __init__(
+        self,
+        decomposed: DecomposedPattern,
+        selection: str = SELECTION_ANY,
+        max_kleene_size: Optional[int] = None,
+        pattern_name: Optional[str] = None,
+    ) -> None:
+        if selection not in _SELECTIONS:
+            raise EngineError(
+                f"unknown selection strategy {selection!r}; "
+                f"choose one of {_SELECTIONS}"
+            )
+        self.decomposed = decomposed
+        self.window = decomposed.window
+        self.selection = selection
+        self.max_kleene_size = max_kleene_size
+        self.pattern_name = pattern_name or (
+            decomposed.source.name if decomposed.source else None
+        )
+        self.metrics = EngineMetrics()
+
+        self._conditions = decomposed.conditions
+        self._kleene = decomposed.kleene
+        self._types = dict(decomposed.positives)
+        # Predicates indexed by variable for incremental checking.
+        self._preds_by_var: dict[str, list[Predicate]] = {
+            v: list(self._conditions.involving(v)) for v, _ in
+            decomposed.positives
+        }
+        self._buffers: dict[str, VariableBuffer] = {}
+        for variable, type_name in decomposed.positives:
+            unary = tuple(self._conditions.filters_for(variable))
+            unary_filter = None
+            if unary:
+                def unary_filter(event, _preds=unary, _var=variable):
+                    return all(p.evaluate({_var: event}) for p in _preds)
+            self._buffers[variable] = VariableBuffer(
+                variable, type_name, unary_filter
+            )
+        self._negation = NegationChecker(
+            decomposed.negations,
+            decomposed.negation_conditions,
+            self.window,
+        )
+        self._pending: list[_PendingMatch] = []
+        self._consumed: set[int] = set()
+        self._now = float("-inf")
+        self._event_wall_started = 0.0
+
+    # -- public API --------------------------------------------------------
+    def process(self, event: Event) -> list[Match]:
+        """Feed one event; return the matches it completed."""
+        raise NotImplementedError
+
+    def run(self, stream: Stream) -> list[Match]:
+        """Process an entire stream and flush pending matches."""
+        matches: list[Match] = []
+        for event in stream:
+            matches.extend(self.process(event))
+        matches.extend(self.finalize())
+        return matches
+
+    def finalize(self) -> list[Match]:
+        """End-of-stream: release pending matches (no more events can
+        violate their trailing negation ranges)."""
+        matches = [
+            self._make_match(entry.pm, entry.deadline)
+            for entry in self._pending
+        ]
+        self._pending.clear()
+        return matches
+
+    # -- shared plumbing ----------------------------------------------------
+    def _advance_time(self, event: Event) -> list[Match]:
+        """Prune windows and release due pending matches."""
+        self.metrics.events_processed += 1
+        self._event_wall_started = time.perf_counter()
+        self._now = event.timestamp
+        cutoff = self._now - self.window
+        for buffer in self._buffers.values():
+            buffer.prune(cutoff)
+        self._negation.prune(cutoff)
+        released: list[Match] = []
+        if self._pending:
+            still: list[_PendingMatch] = []
+            for entry in self._pending:
+                if entry.deadline < self._now:
+                    released.append(self._make_match(entry.pm, entry.deadline))
+                else:
+                    still.append(entry)
+            self._pending = still
+        return released
+
+    def _offer_negations(self, event: Event) -> None:
+        """Buffer forbidden-event candidates and kill violated pendings."""
+        if not self._negation.active:
+            return
+        if not self._negation.offer(event):
+            return
+        survivors: list[_PendingMatch] = []
+        for entry in self._pending:
+            dead = any(
+                self._negation.violated(spec, entry.pm, candidate=event)
+                for spec in entry.specs
+            )
+            if not dead:
+                survivors.append(entry)
+        self._pending = survivors
+
+    def _admit(self, event: Event) -> list[str]:
+        """Offer ``event`` to every variable buffer; return admitted vars."""
+        return [
+            variable
+            for variable, buffer in self._buffers.items()
+            if buffer.offer(event)
+        ]
+
+    def _check_extension(
+        self, pm: PartialMatch, variable: str, event: Event
+    ) -> bool:
+        """Window + reuse + predicate check for binding ``event``."""
+        if event.seq in self._consumed:
+            return False
+        if pm.contains_seq(event.seq):
+            return False
+        if not pm.span_with(event, self.window):
+            return False
+        bindings = dict(pm.bindings)
+        if variable in self._kleene and variable in bindings:
+            # Absorbing into an existing tuple: check the new element only.
+            probe = dict(bindings)
+            probe[variable] = event
+            bound = set(probe)
+            for predicate in self._preds_by_var[variable]:
+                if set(predicate.variables) <= bound:
+                    self.metrics.predicate_evaluations += 1
+                    if not predicate.evaluate(probe):
+                        return False
+            return True
+        bindings[variable] = event
+        bound = set(bindings)
+        for predicate in self._preds_by_var[variable]:
+            if set(predicate.variables) <= bound:
+                self.metrics.predicate_evaluations += 1
+                if not predicate.evaluate(bindings):
+                    return False
+        return True
+
+    def _bounded_negation_ok(self, pm: PartialMatch, new_variable: str) -> bool:
+        """Run the bounded negation specs that just became checkable.
+
+        A spec is evaluated when ``new_variable`` completed its dependency
+        set — the "earliest point possible" rule of Section 5.3; specs not
+        involving the new variable were already checked earlier.
+        """
+        if not self._negation.active:
+            return True
+        bound = frozenset(pm.bindings)
+        for prepared in self._negation.specs_checkable_with(bound):
+            if new_variable not in prepared.required:
+                continue
+            if self._negation.violated(prepared, pm):
+                return False
+        return True
+
+    def _complete(self, pm: PartialMatch) -> Optional[Match]:
+        """Handle a partial match that bound every positive variable.
+
+        Returns the match when it can be emitted immediately; stores it in
+        the pending set (and returns None) when a trailing negation range
+        is still open.
+        """
+        trailing = self._negation.trailing_specs()
+        if trailing:
+            open_specs: list[PreparedSpec] = []
+            deadline = float("-inf")
+            for prepared in trailing:
+                if self._negation.violated(prepared, pm):
+                    return None
+                spec_deadline = self._negation.deadline(prepared, pm)
+                if spec_deadline >= self._now:
+                    open_specs.append(prepared)
+                    deadline = max(deadline, spec_deadline)
+            if open_specs:
+                self._pending.append(_PendingMatch(pm, deadline, open_specs))
+                return None
+        return self._make_match(pm, self._now)
+
+    def _make_match(self, pm: PartialMatch, detection_ts: float) -> Match:
+        # Wall-clock detection latency: work performed since the engine
+        # began processing the current event (Section 6.1).
+        wall = time.perf_counter() - self._event_wall_started
+        match = Match(
+            pm,
+            detection_ts,
+            pattern_name=self.pattern_name,
+            wall_latency=wall,
+        )
+        self.metrics.note_match(match.latency, wall)
+        if self.selection != SELECTION_ANY:
+            self._consume(pm)
+        return match
+
+    # -- skip-till-next-match consumption ----------------------------------------
+    @property
+    def _consuming(self) -> bool:
+        return self.selection != SELECTION_ANY
+
+    def _consume(self, pm: PartialMatch) -> None:
+        """Mark the match's events consumed and purge structures using them."""
+        seqs = pm.event_seqs()
+        self._consumed.update(seqs)
+        for buffer in self._buffers.values():
+            for seq in seqs:
+                buffer.remove_seq(seq)
+        self._purge_consumed(seqs)
+        if self._pending:
+            self._pending = [
+                entry
+                for entry in self._pending
+                if not (entry.pm.event_seqs() & seqs)
+            ]
+
+    def _purge_consumed(self, seqs: frozenset) -> None:
+        """Engine-specific: drop partial matches using consumed events."""
+        raise NotImplementedError
+
+    # -- accounting ----------------------------------------------------------------
+    def _buffered_total(self) -> int:
+        total = sum(len(b) for b in self._buffers.values())
+        return total + self._negation.buffered_events()
+
+    @staticmethod
+    def _kleene_room(pm: PartialMatch, variable: str, limit: Optional[int]) -> bool:
+        if limit is None:
+            return True
+        value = pm.bindings.get(variable)
+        return not isinstance(value, tuple) or len(value) < limit

@@ -1,0 +1,75 @@
+"""Windowed per-variable event buffers.
+
+Out-of-order evaluation (the whole point of plan reordering) requires
+events to be buffered until the plan step that consumes them (Section
+2.2).  A :class:`VariableBuffer` keeps the events admissible for one
+pattern variable — right type, unary filters passed — in arrival order,
+pruned to the time window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, Optional
+
+from ..events import Event
+
+
+class VariableBuffer:
+    """Arrival-ordered, window-pruned events for one pattern variable."""
+
+    __slots__ = ("variable", "event_type", "_filter", "_events")
+
+    def __init__(
+        self,
+        variable: str,
+        event_type: str,
+        unary_filter: Optional[Callable[[Event], bool]] = None,
+    ) -> None:
+        self.variable = variable
+        self.event_type = event_type
+        self._filter = unary_filter
+        self._events: Deque[Event] = deque()
+
+    def offer(self, event: Event) -> bool:
+        """Admit ``event`` when it matches the type and passes filters."""
+        if event.type != self.event_type:
+            return False
+        if self._filter is not None and not self._filter(event):
+            return False
+        self._events.append(event)
+        return True
+
+    def prune(self, cutoff_ts: float) -> None:
+        """Drop events with ``timestamp < cutoff_ts`` (window expiry)."""
+        events = self._events
+        while events and events[0].timestamp < cutoff_ts:
+            events.popleft()
+
+    def events_before(self, trigger_seq: int) -> Iterator[Event]:
+        """Buffered events with arrival number strictly below the trigger.
+
+        This is the only buffer read the engines perform; together with
+        the trigger discipline (see :mod:`repro.engines.matches`) it
+        guarantees each combination is formed exactly once.
+        """
+        for event in self._events:
+            if event.seq >= trigger_seq:
+                break
+            yield event
+
+    def remove_seq(self, seq: int) -> None:
+        """Remove a consumed event (skip-till-next-match)."""
+        self._events = deque(e for e in self._events if e.seq != seq)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"VariableBuffer({self.variable}:{self.event_type}, "
+            f"{len(self._events)} events)"
+        )

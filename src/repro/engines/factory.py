@@ -1,0 +1,100 @@
+"""Engine construction from planner output.
+
+:func:`build_engine` turns one :class:`~repro.optimizers.PlannedPattern`
+into the matching runtime (NFA for order plans, tree engine for tree
+plans).  :func:`build_engines` additionally handles disjunctions — a
+nested pattern planned by :func:`repro.optimizers.plan_pattern` yields
+one sub-engine per DNF disjunct, wrapped in a
+:class:`DisjunctionEngine` that runs them side by side and reports the
+union of their matches (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..errors import EngineError
+from ..events import Event, Stream
+from ..optimizers.planner import PlannedPattern
+from ..plans.order_plan import OrderPlan
+from ..plans.tree_plan import TreePlan
+from .base import BaseEngine
+from .matches import Match
+from .metrics import EngineMetrics
+from .nfa import NFAEngine
+from .tree import TreeEngine
+
+Engine = Union[BaseEngine, "DisjunctionEngine"]
+
+
+def build_engine(
+    planned: PlannedPattern,
+    max_kleene_size: Optional[int] = None,
+) -> BaseEngine:
+    """Instantiate the runtime engine for one planned simple pattern."""
+    common = dict(
+        selection=planned.selection,
+        max_kleene_size=max_kleene_size,
+        pattern_name=planned.pattern.name,
+    )
+    if isinstance(planned.plan, OrderPlan):
+        return NFAEngine(planned.decomposed, planned.plan, **common)
+    if isinstance(planned.plan, TreePlan):
+        return TreeEngine(planned.decomposed, planned.plan, **common)
+    raise EngineError(f"unsupported plan type {type(planned.plan).__name__}")
+
+
+def build_engines(
+    planned: Sequence[PlannedPattern],
+    max_kleene_size: Optional[int] = None,
+) -> Engine:
+    """Engine for planner output: single engine or a disjunction wrapper."""
+    if not planned:
+        raise EngineError("no planned patterns supplied")
+    engines = [build_engine(item, max_kleene_size) for item in planned]
+    if len(engines) == 1:
+        return engines[0]
+    return DisjunctionEngine(engines)
+
+
+class DisjunctionEngine:
+    """Runs one engine per disjunct; matches are the union of outputs.
+
+    Mirrors Section 5.4: every conjunctive subpattern of the DNF is
+    detected independently.  (Shared-subexpression optimizations across
+    disjuncts are out of the paper's scope.)
+    """
+
+    def __init__(self, engines: Sequence[BaseEngine]) -> None:
+        if not engines:
+            raise EngineError("disjunction needs at least one engine")
+        self.engines = list(engines)
+
+    def process(self, event: Event) -> list[Match]:
+        matches: list[Match] = []
+        for engine in self.engines:
+            matches.extend(engine.process(event))
+        return matches
+
+    def run(self, stream: Stream) -> list[Match]:
+        matches: list[Match] = []
+        for event in stream:
+            matches.extend(self.process(event))
+        matches.extend(self.finalize())
+        return matches
+
+    def finalize(self) -> list[Match]:
+        matches: list[Match] = []
+        for engine in self.engines:
+            matches.extend(engine.finalize())
+        return matches
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        merged = self.engines[0].metrics
+        for engine in self.engines[1:]:
+            merged = merged.merge(engine.metrics)
+        return merged
+
+    def __repr__(self) -> str:
+        return f"DisjunctionEngine({len(self.engines)} sub-engines)"

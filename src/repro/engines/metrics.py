@@ -1,0 +1,111 @@
+"""Engine instrumentation.
+
+The paper's performance metrics (Section 7.2):
+
+* **throughput** — primitive events processed per second of wall time
+  (computed by the runner from ``events_processed`` and elapsed time);
+* **memory** — we report the partial-match and buffered-event peaks, the
+  quantities the cost model predicts and the dominant memory terms (see
+  DESIGN.md, "Substitutions");
+* **latency** — per-match detection latency in stream-time units
+  (Section 6.1), summarized here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineMetrics:
+    """Counters and peaks collected while an engine runs."""
+
+    events_processed: int = 0
+    matches_emitted: int = 0
+    partial_matches_created: int = 0
+    peak_partial_matches: int = 0
+    peak_buffered_events: int = 0
+    predicate_evaluations: int = 0
+    latencies: list = field(default_factory=list)
+    wall_latencies: list = field(default_factory=list)
+
+    # -- updates ------------------------------------------------------------
+    def note_state(self, live_partial_matches: int, buffered_events: int) -> None:
+        """Record the current live totals (called once per event)."""
+        if live_partial_matches > self.peak_partial_matches:
+            self.peak_partial_matches = live_partial_matches
+        if buffered_events > self.peak_buffered_events:
+            self.peak_buffered_events = buffered_events
+
+    def note_match(self, latency: float, wall_latency: float = 0.0) -> None:
+        self.matches_emitted += 1
+        self.latencies.append(latency)
+        self.wall_latencies.append(wall_latency)
+
+    # -- summaries ------------------------------------------------------------
+    @property
+    def peak_memory_units(self) -> int:
+        """Peak partial matches + buffered events: the memory proxy."""
+        return self.peak_partial_matches + self.peak_buffered_events
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies, default=0.0)
+
+    @property
+    def mean_wall_latency(self) -> float:
+        """Mean wall-clock detection latency in seconds (Section 6.1)."""
+        if not self.wall_latencies:
+            return 0.0
+        return sum(self.wall_latencies) / len(self.wall_latencies)
+
+    @property
+    def max_wall_latency(self) -> float:
+        return max(self.wall_latencies, default=0.0)
+
+    def merge(self, other: "EngineMetrics") -> "EngineMetrics":
+        """Combine metrics of sub-engines (disjunction patterns).
+
+        Counters add; peaks add as well because the sub-engines run over
+        the same stream simultaneously, so their live structures coexist.
+        """
+        merged = EngineMetrics(
+            events_processed=max(self.events_processed, other.events_processed),
+            matches_emitted=self.matches_emitted + other.matches_emitted,
+            partial_matches_created=(
+                self.partial_matches_created + other.partial_matches_created
+            ),
+            peak_partial_matches=(
+                self.peak_partial_matches + other.peak_partial_matches
+            ),
+            peak_buffered_events=(
+                self.peak_buffered_events + other.peak_buffered_events
+            ),
+            predicate_evaluations=(
+                self.predicate_evaluations + other.predicate_evaluations
+            ),
+        )
+        merged.latencies = self.latencies + other.latencies
+        merged.wall_latencies = self.wall_latencies + other.wall_latencies
+        return merged
+
+    def summary(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            "events": self.events_processed,
+            "matches": self.matches_emitted,
+            "pm_created": self.partial_matches_created,
+            "peak_pm": self.peak_partial_matches,
+            "peak_buffered": self.peak_buffered_events,
+            "peak_memory": self.peak_memory_units,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "mean_wall_latency": self.mean_wall_latency,
+            "predicate_evals": self.predicate_evaluations,
+        }

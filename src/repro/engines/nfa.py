@@ -1,0 +1,279 @@
+"""Order-based evaluation: the lazy chain NFA (Section 2.2, [28, 29]).
+
+Given an :class:`~repro.plans.OrderPlan` ``O = (v_1, ..., v_n)``, the
+engine maintains one list of partial matches per chain state: state ``s``
+holds the instances that bound exactly ``v_1..v_s``.  Events arriving
+out of plan order are buffered per variable; an instance that advances to
+state ``s`` immediately scans the buffer of ``v_{s+1}`` for events that
+arrived earlier — this is the *lazy* out-of-order evaluation that lets
+any of the n! orders detect the exact same matches.
+
+Kleene variables hold tuples of events; the engine grows subsets
+incrementally (singleton creation + one-event absorptions), generating
+each non-empty subset exactly once (Section 5.2).  Negation follows the
+earliest-check strategy of the base engine (Section 5.3).
+
+Under skip-till-any-match the instance *forks* on every extension; under
+the restrictive strategies (Section 6.2) it *advances* — each instance
+binds at most one event per position, and events of reported matches are
+consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..events import Event
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from .base import SELECTION_ANY, BaseEngine
+from .matches import Match, PartialMatch
+
+
+class NFAEngine(BaseEngine):
+    """Lazy chain NFA following an explicit evaluation order."""
+
+    def __init__(
+        self,
+        decomposed: DecomposedPattern,
+        plan: OrderPlan,
+        selection: str = SELECTION_ANY,
+        max_kleene_size: Optional[int] = None,
+        pattern_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            decomposed,
+            selection=selection,
+            max_kleene_size=max_kleene_size,
+            pattern_name=pattern_name,
+        )
+        plan.validate_for(decomposed)
+        self.plan = plan
+        self._order = plan.variables
+        self._n = len(self._order)
+        self._position = {v: i for i, v in enumerate(self._order)}
+        # _states[s] holds instances with the first s variables bound, for
+        # s in 1..n-1.  State n is normally transient (instances are
+        # emitted immediately), but when the *last* plan position is a
+        # Kleene variable the accepting state keeps its instances so that
+        # later events can still grow the tuple (each growth emits a
+        # further match) — the self-loop of the Kleene NFA state.
+        self._states: dict[int, list[PartialMatch]] = {
+            s: [] for s in range(1, self._n + 1)
+        }
+        self._absorbing_accept = (
+            self._order[-1] in self._kleene
+        )
+
+    # -- event loop -----------------------------------------------------------
+    def process(self, event: Event) -> list[Match]:
+        matches = self._advance_time(event)
+        self._expire_instances()
+        self._offer_negations(event)
+        admitted = self._admit(event)
+        if not admitted:
+            self._note_state()
+            return matches
+
+        created: list[tuple[PartialMatch, int]] = []
+        for variable in admitted:
+            position = self._position[variable]
+            created.extend(self._arrival_extensions(variable, position, event))
+
+        matches.extend(self._cascade(created))
+        self._note_state()
+        return matches
+
+    # -- arrival-driven extensions -------------------------------------------------
+    def _arrival_extensions(
+        self, variable: str, position: int, event: Event
+    ) -> list[tuple[PartialMatch, int]]:
+        """Pair the arriving event with all existing eligible instances."""
+        created: list[tuple[PartialMatch, int]] = []
+        is_kleene = variable in self._kleene
+
+        if position == 0:
+            if self._check_first(variable, event):
+                pm = (
+                    PartialMatch.kleene_singleton(variable, event)
+                    if is_kleene
+                    else PartialMatch.singleton(variable, event)
+                )
+                created.append((pm, 1))
+                if self._consuming:
+                    # The run owns its first event outright.
+                    self._buffers[variable].remove_seq(event.seq)
+        else:
+            state = self._states[position]
+            if self._consuming:
+                # Restrictive strategies: the event binds to at most one
+                # instance, and that instance advances (no fork).
+                for index, pm in enumerate(state):
+                    if self._check_extension(pm, variable, event):
+                        created.append(
+                            (self._bind(pm, variable, event), position + 1)
+                        )
+                        del state[index]
+                        self._buffers[variable].remove_seq(event.seq)
+                        break
+            else:
+                for pm in state:
+                    if self._check_extension(pm, variable, event):
+                        created.append(
+                            (self._bind(pm, variable, event), position + 1)
+                        )
+
+        # Kleene absorption: instances whose *last* bound variable is this
+        # Kleene variable may take one more event (fork, skip-till-any
+        # only).  This includes the accepting state when the Kleene
+        # variable sits last in the plan.
+        if is_kleene and not self._consuming:
+            state_index = position + 1
+            for pm in list(self._states[state_index]):
+                if not self._kleene_room(pm, variable, self.max_kleene_size):
+                    continue
+                if self._check_extension(pm, variable, event):
+                    created.append(
+                        (pm.kleene_extended(variable, event), state_index)
+                    )
+        return created
+
+    def _bind(
+        self, pm: PartialMatch, variable: str, event: Event
+    ) -> PartialMatch:
+        if variable in self._kleene:
+            bindings = dict(pm.bindings)
+            bindings[variable] = (event,)
+            return PartialMatch(
+                bindings,
+                event.seq,
+                min(pm.min_ts, event.timestamp),
+                max(pm.max_ts, event.timestamp),
+            )
+        return pm.extended(variable, event)
+
+    def _check_first(self, variable: str, event: Event) -> bool:
+        """Admission of the plan's first variable (unary filters only —
+        already applied by the buffer — plus consumption)."""
+        return event.seq not in self._consumed
+
+    # -- cascade: buffer scans for newly created instances ----------------------------
+    def _cascade(
+        self, seed: list[tuple[PartialMatch, int]]
+    ) -> list[Match]:
+        matches: list[Match] = []
+        queue = list(seed)
+        while queue:
+            pm, state = queue.pop()
+            self.metrics.partial_matches_created += 1
+            bound_var = self._order[state - 1]
+            if not self._bounded_negation_ok(pm, bound_var):
+                continue
+            if state == self._n:
+                match = self._complete(pm)
+                if match is not None:
+                    matches.append(match)
+                if self._absorbing_accept and not self._consuming:
+                    # Keep the instance absorbable and grow it with any
+                    # already-buffered Kleene events.
+                    self._states[state].append(pm)
+                    queue.extend(
+                        self._buffer_absorptions(pm, bound_var, state)
+                    )
+                continue
+            self._states[state].append(pm)
+
+            # Absorb already-buffered Kleene events (arrived before the
+            # trigger, later than the current newest tuple element).
+            if bound_var in self._kleene and not self._consuming:
+                queue.extend(self._buffer_absorptions(pm, bound_var, state))
+
+            queue.extend(self._buffer_extensions(pm, state))
+        return matches
+
+    def _buffer_extensions(
+        self, pm: PartialMatch, state: int
+    ) -> list[tuple[PartialMatch, int]]:
+        """Scan the next variable's buffer for earlier-arrived events."""
+        variable = self._order[state]
+        buffer = self._buffers[variable]
+        created: list[tuple[PartialMatch, int]] = []
+        for event in buffer.events_before(pm.trigger_seq):
+            if self._check_extension(pm, variable, event):
+                extended = self._bind_from_buffer(pm, variable, event)
+                created.append((extended, state + 1))
+                if self._consuming:
+                    # Advance with the earliest eligible event only; the
+                    # instance takes ownership of that event.
+                    self._drop_instance(pm, state)
+                    buffer.remove_seq(event.seq)
+                    break
+        return created
+
+    def _buffer_absorptions(
+        self, pm: PartialMatch, variable: str, state: int
+    ) -> list[tuple[PartialMatch, int]]:
+        created: list[tuple[PartialMatch, int]] = []
+        tuple_events = pm.bindings[variable]
+        newest = tuple_events[-1].seq
+        if not self._kleene_room(pm, variable, self.max_kleene_size):
+            return created
+        for event in self._buffers[variable].events_before(pm.trigger_seq):
+            if event.seq <= newest:
+                continue
+            if self._check_extension(pm, variable, event):
+                absorbed = pm.kleene_extended(
+                    variable, event, trigger_seq=pm.trigger_seq
+                )
+                created.append((absorbed, state))
+        return created
+
+    def _bind_from_buffer(
+        self, pm: PartialMatch, variable: str, event: Event
+    ) -> PartialMatch:
+        """Bind a buffered (earlier) event — the trigger stays the newest
+        constituent, i.e. the current instance's trigger."""
+        if variable in self._kleene:
+            bindings = dict(pm.bindings)
+            bindings[variable] = (event,)
+            return PartialMatch(
+                bindings,
+                pm.trigger_seq,
+                min(pm.min_ts, event.timestamp),
+                max(pm.max_ts, event.timestamp),
+            )
+        return pm.extended(variable, event, trigger_seq=pm.trigger_seq)
+
+    def _drop_instance(self, pm: PartialMatch, state: int) -> None:
+        try:
+            self._states[state].remove(pm)
+        except ValueError:
+            pass
+
+    # -- housekeeping ---------------------------------------------------------------
+    def _expire_instances(self) -> None:
+        cutoff = self._now - self.window
+        for state, instances in self._states.items():
+            if instances:
+                self._states[state] = [
+                    pm for pm in instances if pm.min_ts >= cutoff
+                ]
+
+    def _purge_consumed(self, seqs: frozenset) -> None:
+        for state, instances in self._states.items():
+            self._states[state] = [
+                pm
+                for pm in instances
+                if not (pm.event_seqs() & seqs)
+            ]
+
+    def _note_state(self) -> None:
+        live = sum(len(v) for v in self._states.values()) + len(self._pending)
+        self.metrics.note_state(live, self._buffered_total())
+
+    # -- introspection ----------------------------------------------------------------
+    def live_partial_matches(self) -> int:
+        return sum(len(v) for v in self._states.values())
+
+    def __repr__(self) -> str:
+        return f"NFAEngine(plan={self.plan!r}, selection={self.selection!r})"

@@ -1,0 +1,65 @@
+"""Output profiler (Section 6.1).
+
+For conjunctive patterns the temporally-last event type — the ``T_n`` the
+latency cost model needs — is not known statically.  The paper's remedy
+is a profiler that inspects reported matches and records the most
+frequent arrival orders; once enough output has been observed, the
+latency cost function is instantiated with the most probable last
+variable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from .matches import Match
+
+
+class OutputProfiler:
+    """Records arrival-order statistics of reported matches."""
+
+    def __init__(self) -> None:
+        self._last_counts: Counter = Counter()
+        self._order_counts: Counter = Counter()
+        self.observed = 0
+
+    def observe(self, match: Match) -> None:
+        """Record one reported match."""
+        arrival: list[tuple[int, str]] = []
+        for variable, value in match.bindings.items():
+            if isinstance(value, tuple):
+                seq = max(e.seq for e in value)
+            else:
+                seq = value.seq
+            arrival.append((seq, variable))
+        arrival.sort()
+        order = tuple(variable for _, variable in arrival)
+        self._order_counts[order] += 1
+        self._last_counts[order[-1]] += 1
+        self.observed += 1
+
+    def observe_all(self, matches) -> None:
+        for match in matches:
+            self.observe(match)
+
+    def most_frequent_last(self) -> Optional[str]:
+        """The variable that most often arrives last (None if no output)."""
+        if not self._last_counts:
+            return None
+        return self._last_counts.most_common(1)[0][0]
+
+    def most_frequent_order(self) -> Optional[tuple[str, ...]]:
+        """The most frequent full arrival order (None if no output)."""
+        if not self._order_counts:
+            return None
+        return self._order_counts.most_common(1)[0][0]
+
+    def last_distribution(self) -> dict[str, float]:
+        """Empirical probability of each variable arriving last."""
+        if not self.observed:
+            return {}
+        return {
+            variable: count / self.observed
+            for variable, count in self._last_counts.items()
+        }

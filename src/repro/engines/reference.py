@@ -1,0 +1,158 @@
+"""Brute-force reference matcher — the correctness oracle.
+
+Enumerates *all* event combinations of a stream and keeps those that
+satisfy a simple pattern under skip-till-any-match semantics.  It shares
+no code with the engines, so agreement between the three implementations
+(NFA, tree, reference) is strong evidence of correctness; the integration
+tests rely on it.
+
+Exponential by construction — use only on small streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..events import Event, Stream
+from ..patterns.transformations import DecomposedPattern, NegationSpec
+
+
+def reference_match_keys(
+    decomposed: DecomposedPattern,
+    stream: Stream,
+    max_kleene_size: Optional[int] = None,
+) -> set[frozenset]:
+    """Match identities (as :meth:`repro.engines.Match.key` produces them)."""
+    events = list(stream)
+    candidates: dict[str, list] = {}
+    for variable, type_name in decomposed.positives:
+        pool = [
+            e
+            for e in events
+            if e.type == type_name and _unary_ok(decomposed, variable, e)
+        ]
+        if variable in decomposed.kleene:
+            candidates[variable] = _nonempty_subsets(pool, max_kleene_size)
+        else:
+            candidates[variable] = pool
+
+    keys: set[frozenset] = set()
+    variables = decomposed.positive_variables
+    for combo in itertools.product(*(candidates[v] for v in variables)):
+        bindings = dict(zip(variables, combo))
+        if not _distinct(bindings):
+            continue
+        if not _within_window(bindings, decomposed.window):
+            continue
+        if not decomposed.conditions.evaluate(bindings):
+            continue
+        if any(
+            _negation_violated(decomposed, spec, bindings, events)
+            for spec in decomposed.negations
+        ):
+            continue
+        keys.add(_key(bindings))
+    return keys
+
+
+def _unary_ok(
+    decomposed: DecomposedPattern, variable: str, event: Event
+) -> bool:
+    return all(
+        p.evaluate({variable: event})
+        for p in decomposed.conditions.filters_for(variable)
+    )
+
+
+def _nonempty_subsets(pool: list, cap: Optional[int]) -> list[tuple]:
+    limit = cap or len(pool)
+    subsets: list[tuple] = []
+    for size in range(1, min(limit, len(pool)) + 1):
+        subsets.extend(itertools.combinations(pool, size))
+    return subsets
+
+
+def _distinct(bindings: dict) -> bool:
+    seqs: set[int] = set()
+    for value in bindings.values():
+        for event in value if isinstance(value, tuple) else (value,):
+            if event.seq in seqs:
+                return False
+            seqs.add(event.seq)
+    return True
+
+
+def _all_events(bindings: dict):
+    for value in bindings.values():
+        yield from value if isinstance(value, tuple) else (value,)
+
+
+def _within_window(bindings: dict, window: float) -> bool:
+    timestamps = [e.timestamp for e in _all_events(bindings)]
+    return max(timestamps) - min(timestamps) <= window
+
+
+def _negation_violated(
+    decomposed: DecomposedPattern,
+    spec: NegationSpec,
+    bindings: dict,
+    events: list,
+) -> bool:
+    timestamps = [e.timestamp for e in _all_events(bindings)]
+    min_ts, max_ts = min(timestamps), max(timestamps)
+    if spec.preceding:
+        lo = max(_ts_max(bindings[v]) for v in spec.preceding)
+        lo_inclusive = False
+    else:
+        lo = max_ts - decomposed.window
+        lo_inclusive = True
+    if spec.following:
+        hi = min(_ts_min(bindings[v]) for v in spec.following)
+        hi_inclusive = False
+    else:
+        hi = min_ts + decomposed.window
+        hi_inclusive = True
+    predicates = [
+        p
+        for p in decomposed.negation_conditions
+        if spec.variable in p.variables
+    ]
+    for event in events:
+        if event.type != spec.event_type:
+            continue
+        ts = event.timestamp
+        if ts < lo or (ts == lo and not lo_inclusive):
+            continue
+        if ts > hi or (ts == hi and not hi_inclusive):
+            continue
+        probe = dict(bindings)
+        probe[spec.variable] = event
+        if all(
+            set(p.variables) <= set(probe) and p.evaluate(probe)
+            for p in predicates
+        ):
+            return True
+    return False
+
+
+def _ts_max(value) -> float:
+    if isinstance(value, tuple):
+        return max(e.timestamp for e in value)
+    return value.timestamp
+
+
+def _ts_min(value) -> float:
+    if isinstance(value, tuple):
+        return min(e.timestamp for e in value)
+    return value.timestamp
+
+
+def _key(bindings: dict) -> frozenset:
+    parts = []
+    for variable, value in bindings.items():
+        if isinstance(value, tuple):
+            parts.append((variable, tuple(sorted(e.seq for e in value))))
+        else:
+            parts.append((variable, value.seq))
+    return frozenset(parts)

@@ -1,0 +1,283 @@
+"""Tree-based evaluation: the instance-based ZStream runtime (Section 2.3).
+
+Every node of the :class:`~repro.plans.TreePlan` keeps a store of
+*instances* (partial matches over the node's leaf variables).  A new
+event creates an instance at its leaf; whenever an instance is created at
+node ``N``, it is combined with the previously created instances buffered
+at ``sibling(N)`` — cross-predicates and window permitting — producing
+instances at ``parent(N)``, recursively up to the root, where full
+matches are reported.
+
+This is the paper's modification of ZStream from batch iteration to
+arbitrary sliding windows: one instance per partial match, eager
+propagation on arrival.  The trigger discipline (combine only with
+strictly earlier instances) forms each combination exactly once; both
+engines therefore report identical match sets — an invariant the
+integration tests assert.
+
+Leaf stores *are* the event buffers here, which matches the tree cost
+model: a leaf contributes ``PM(l) = W·r_i`` (Section 4.2), so leaf
+instances are counted as partial matches rather than as buffered events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import EngineError
+from ..events import Event
+from ..patterns.predicates import Predicate
+from ..patterns.transformations import DecomposedPattern
+from ..plans.tree_plan import TreeNode, TreePlan
+from .base import SELECTION_ANY, BaseEngine
+from .matches import Match, PartialMatch
+from .negation import PreparedSpec
+
+
+class _RuntimeNode:
+    """Mutable runtime state attached to one plan node."""
+
+    __slots__ = (
+        "plan_node",
+        "variables",
+        "parent",
+        "sibling",
+        "store",
+        "cross_predicates",
+        "negation_specs",
+        "is_leaf",
+        "variable",
+    )
+
+    def __init__(self, plan_node: TreeNode) -> None:
+        self.plan_node = plan_node
+        self.variables = frozenset(plan_node.leaf_variables)
+        self.parent: Optional["_RuntimeNode"] = None
+        self.sibling: Optional["_RuntimeNode"] = None
+        self.store: list[PartialMatch] = []
+        self.cross_predicates: list[Predicate] = []
+        self.negation_specs: list[PreparedSpec] = []
+        self.is_leaf = plan_node.is_leaf
+        self.variable = plan_node.variable
+
+
+class TreeEngine(BaseEngine):
+    """Instance-based tree evaluation following a tree plan."""
+
+    def __init__(
+        self,
+        decomposed: DecomposedPattern,
+        plan: TreePlan,
+        selection: str = SELECTION_ANY,
+        max_kleene_size: Optional[int] = None,
+        pattern_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            decomposed,
+            selection=selection,
+            max_kleene_size=max_kleene_size,
+            pattern_name=pattern_name,
+        )
+        plan.validate_for(decomposed)
+        self.plan = plan
+        self._nodes: list[_RuntimeNode] = []
+        self._leaf_for: dict[str, _RuntimeNode] = {}
+        self._root = self._build(plan.root, None)
+        self._attach_negation_specs()
+
+    # -- construction ------------------------------------------------------
+    def _build(
+        self, plan_node: TreeNode, parent: Optional[_RuntimeNode]
+    ) -> _RuntimeNode:
+        runtime = _RuntimeNode(plan_node)
+        runtime.parent = parent
+        self._nodes.append(runtime)
+        if plan_node.is_leaf:
+            self._leaf_for[plan_node.variable] = runtime
+        else:
+            left = self._build(plan_node.left, runtime)
+            right = self._build(plan_node.right, runtime)
+            left.sibling = right
+            right.sibling = left
+            left_set = left.variables
+            right_set = right.variables
+            runtime.cross_predicates = [
+                p
+                for p in self._conditions
+                if len(p.variables) == 2
+                and (
+                    (p.variables[0] in left_set and p.variables[1] in right_set)
+                    or (p.variables[0] in right_set and p.variables[1] in left_set)
+                )
+            ]
+        return runtime
+
+    def _attach_negation_specs(self) -> None:
+        """Place each bounded spec at the lowest node covering its deps —
+        the NSEQ placement of Section 5.3."""
+        if not self._negation.active:
+            return
+        for prepared in self._negation.prepared:
+            if prepared.trailing:
+                continue  # handled by the pending mechanism at the root
+            target: Optional[_RuntimeNode] = None
+            for node in self._nodes:
+                if prepared.required <= node.variables:
+                    if target is None or len(node.variables) < len(
+                        target.variables
+                    ):
+                        target = node
+            if target is None:
+                raise EngineError(
+                    f"negation spec {prepared.spec} references variables "
+                    "outside the plan"
+                )
+            target.negation_specs.append(prepared)
+
+    # -- event loop ------------------------------------------------------------
+    def process(self, event: Event) -> list[Match]:
+        matches = self._advance_time(event)
+        self._expire_instances()
+        self._offer_negations(event)
+        admitted = self._admissible_variables(event)
+        if not admitted:
+            self._note_state()
+            return matches
+
+        queue: list[tuple[PartialMatch, _RuntimeNode]] = []
+        for variable in admitted:
+            node = self._leaf_for[variable]
+            if event.seq in self._consumed:
+                continue
+            if variable in self._kleene:
+                queue.append(
+                    (PartialMatch.kleene_singleton(variable, event), node)
+                )
+                if not self._consuming:
+                    queue.extend(self._absorptions(node, variable, event))
+            else:
+                queue.append((PartialMatch.singleton(variable, event), node))
+
+        matches.extend(self._cascade(queue))
+        self._note_state()
+        return matches
+
+    def _admissible_variables(self, event: Event) -> list[str]:
+        """Type + unary-filter admission (leaf stores are the buffers)."""
+        admitted: list[str] = []
+        for variable, type_name in self.decomposed.positives:
+            if event.type != type_name:
+                continue
+            filters = self._conditions.filters_for(variable)
+            if filters:
+                self.metrics.predicate_evaluations += len(filters)
+                if not all(p.evaluate({variable: event}) for p in filters):
+                    continue
+            admitted.append(variable)
+        return admitted
+
+    def _absorptions(
+        self, node: _RuntimeNode, variable: str, event: Event
+    ) -> list[tuple[PartialMatch, _RuntimeNode]]:
+        """Grow Kleene tuples at a leaf with the arriving event."""
+        created: list[tuple[PartialMatch, _RuntimeNode]] = []
+        for pm in node.store:
+            if not self._kleene_room(pm, variable, self.max_kleene_size):
+                continue
+            if self._check_extension(pm, variable, event):
+                created.append((pm.kleene_extended(variable, event), node))
+        return created
+
+    # -- cascade ------------------------------------------------------------------
+    def _cascade(
+        self, seed: list[tuple[PartialMatch, _RuntimeNode]]
+    ) -> list[Match]:
+        matches: list[Match] = []
+        queue = list(seed)
+        while queue:
+            pm, node = queue.pop()
+            self.metrics.partial_matches_created += 1
+            if node.negation_specs and not self._node_negation_ok(pm, node):
+                continue
+            if node is self._root:
+                match = self._complete(pm)
+                if match is not None:
+                    matches.append(match)
+                continue
+            node.store.append(pm)
+            queue.extend(self._pairings(pm, node))
+        return matches
+
+    def _pairings(
+        self, pm: PartialMatch, node: _RuntimeNode
+    ) -> list[tuple[PartialMatch, _RuntimeNode]]:
+        """Combine a new instance with earlier sibling instances."""
+        sibling = node.sibling
+        parent = node.parent
+        if sibling is None or parent is None:
+            return []
+        created: list[tuple[PartialMatch, _RuntimeNode]] = []
+        for other in sibling.store:
+            if other.trigger_seq >= pm.trigger_seq:
+                continue
+            merged = self._try_merge(pm, other, parent)
+            if merged is not None:
+                created.append((merged, parent))
+                if self._consuming:
+                    break  # restrictive strategies: first pairing only
+        return created
+
+    def _try_merge(
+        self,
+        pm: PartialMatch,
+        other: PartialMatch,
+        parent: _RuntimeNode,
+    ) -> Optional[PartialMatch]:
+        if pm.event_seqs() & other.event_seqs():
+            return None
+        if (
+            max(pm.max_ts, other.max_ts) - min(pm.min_ts, other.min_ts)
+            > self.window
+        ):
+            return None
+        if self._consumed and (
+            pm.event_seqs() & self._consumed
+            or other.event_seqs() & self._consumed
+        ):
+            return None
+        merged = pm.merged(other, max(pm.trigger_seq, other.trigger_seq))
+        for predicate in parent.cross_predicates:
+            self.metrics.predicate_evaluations += 1
+            if not predicate.evaluate(merged.bindings):
+                return None
+        return merged
+
+    def _node_negation_ok(self, pm: PartialMatch, node: _RuntimeNode) -> bool:
+        return not any(
+            self._negation.violated(prepared, pm)
+            for prepared in node.negation_specs
+        )
+
+    # -- housekeeping ---------------------------------------------------------------
+    def _expire_instances(self) -> None:
+        cutoff = self._now - self.window
+        for node in self._nodes:
+            if node.store:
+                node.store = [pm for pm in node.store if pm.min_ts >= cutoff]
+
+    def _purge_consumed(self, seqs: frozenset) -> None:
+        for node in self._nodes:
+            node.store = [
+                pm for pm in node.store if not (pm.event_seqs() & seqs)
+            ]
+
+    def _note_state(self) -> None:
+        live = sum(len(node.store) for node in self._nodes) + len(self._pending)
+        self.metrics.note_state(live, self._negation.buffered_events())
+
+    # -- introspection ----------------------------------------------------------------
+    def live_partial_matches(self) -> int:
+        return sum(len(node.store) for node in self._nodes)
+
+    def __repr__(self) -> str:
+        return f"TreeEngine(plan={self.plan!r}, selection={self.selection!r})"

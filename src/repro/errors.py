@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries while still being able
+to distinguish configuration mistakes (:class:`PatternError`,
+:class:`PlanError`) from runtime statistics problems
+(:class:`StatisticsError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PatternError(ReproError):
+    """An invalid pattern definition (bad operator nesting, empty pattern,
+    unknown event type referenced by a predicate, ...)."""
+
+
+class PatternParseError(PatternError):
+    """The SASE-like textual pattern specification could not be parsed."""
+
+
+class PlanError(ReproError):
+    """An evaluation plan is malformed or inconsistent with its pattern."""
+
+
+class StatisticsError(ReproError):
+    """Missing or invalid stream statistics (rates, selectivities)."""
+
+
+class OptimizerError(ReproError):
+    """A plan-generation algorithm was invoked with unsupported input."""
+
+
+class EngineError(ReproError):
+    """Runtime failure of an evaluation engine."""
+
+
+class ReductionError(ReproError):
+    """A CPG<->JQPG reduction cannot be applied to the given input."""

@@ -1,0 +1,19 @@
+"""Event model and stream substrate.
+
+Public names: :class:`Event`, :class:`EventType`, :class:`Stream`,
+:func:`read_stream_csv`, :func:`write_stream_csv`.
+"""
+
+from .event import Event, EventType
+from .io import read_stream_csv, write_stream_csv
+from .stream import Stream, StreamOrderError, sliding_window_counts
+
+__all__ = [
+    "Event",
+    "EventType",
+    "Stream",
+    "StreamOrderError",
+    "sliding_window_counts",
+    "read_stream_csv",
+    "write_stream_csv",
+]

@@ -1,0 +1,142 @@
+"""Primitive event model.
+
+A CEP system consumes a stream of *primitive events*.  Each event carries
+
+* an event **type** (the paper assumes every event has a well-defined type,
+  Section 2.1),
+* an occurrence **timestamp** (seconds, float),
+* an arrival **sequence number** assigned by the stream (used by the
+  contiguity selection strategies of Section 6.2 and to guarantee that a
+  combination of events is formed exactly once at runtime),
+* a flat mapping of named **attributes** (numbers or strings).
+
+Events are immutable: engines share them freely between partial matches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional
+
+
+class EventType:
+    """A named event type together with its attribute schema.
+
+    Parameters
+    ----------
+    name:
+        Unique type name, e.g. ``"MSFT"`` or ``"CameraA"``.
+    attributes:
+        Names of the payload attributes every event of this type carries
+        (``timestamp`` is implicit and always present).
+    """
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name: str, attributes: tuple[str, ...] = ()) -> None:
+        if not name:
+            raise ValueError("event type name must be non-empty")
+        self.name = name
+        self.attributes = tuple(attributes)
+
+    def __repr__(self) -> str:
+        return f"EventType({self.name!r}, attributes={self.attributes!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventType):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class Event:
+    """A single immutable primitive event.
+
+    Attribute values are accessed with item syntax (``event["price"]``);
+    ``timestamp``, ``type`` and ``seq`` are plain attributes.  ``seq`` is
+    ``-1`` until the event is admitted to a :class:`~repro.events.Stream`,
+    which assigns consecutive arrival numbers.
+    """
+
+    __slots__ = ("type", "timestamp", "seq", "partition", "_attributes")
+
+    def __init__(
+        self,
+        type: str,
+        timestamp: float,
+        attributes: Optional[Mapping[str, Any]] = None,
+        seq: int = -1,
+        partition: Optional[str] = None,
+    ) -> None:
+        self.type = type
+        self.timestamp = float(timestamp)
+        self.seq = int(seq)
+        self.partition = partition
+        self._attributes: dict[str, Any] = dict(attributes or {})
+
+    # -- attribute access ------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        if name == "timestamp" or name == "ts":
+            return self.timestamp
+        if name == "seq":
+            return self.seq
+        return self._attributes[name]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default`` when absent."""
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def __contains__(self, name: str) -> bool:
+        return name in ("timestamp", "ts", "seq") or name in self._attributes
+
+    @property
+    def attributes(self) -> Mapping[str, Any]:
+        """Read-only view of the payload attributes."""
+        return dict(self._attributes)
+
+    def attribute_names(self) -> Iterator[str]:
+        """Yield the names of the payload attributes."""
+        return iter(self._attributes)
+
+    # -- stream bookkeeping ----------------------------------------------
+    def with_seq(self, seq: int) -> "Event":
+        """Return a copy of this event with arrival number ``seq``."""
+        return Event(
+            self.type,
+            self.timestamp,
+            self._attributes,
+            seq=seq,
+            partition=self.partition,
+        )
+
+    def with_partition(self, partition: str) -> "Event":
+        """Return a copy assigned to stream partition ``partition``."""
+        return Event(
+            self.type,
+            self.timestamp,
+            self._attributes,
+            seq=self.seq,
+            partition=partition,
+        )
+
+    # -- identity ----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.type == other.type
+            and self.timestamp == other.timestamp
+            and self.seq == other.seq
+            and self._attributes == other._attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.timestamp, self.seq))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attributes.items()))
+        return f"Event({self.type}@{self.timestamp:g}#{self.seq} {attrs})"

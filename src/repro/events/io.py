@@ -1,0 +1,78 @@
+"""CSV persistence for event streams.
+
+The format is deliberately simple and self-describing: a header row of
+``type,timestamp,<attr1>,<attr2>,...`` followed by one row per event.
+Attributes absent for an event are stored as empty cells and round-trip to
+missing attributes.  Numeric-looking cells are parsed back to ``float``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .event import Event
+from .stream import Stream
+
+_RESERVED = ("type", "timestamp", "partition")
+
+
+def write_stream_csv(stream: Stream, path: Union[str, Path]) -> None:
+    """Write ``stream`` to ``path`` in the library CSV format."""
+    attr_names: list[str] = []
+    seen: set[str] = set()
+    for event in stream:
+        for name in event.attribute_names():
+            if name not in seen:
+                seen.add(name)
+                attr_names.append(name)
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(_RESERVED) + attr_names)
+        for event in stream:
+            row = [event.type, repr(event.timestamp), event.partition or ""]
+            row.extend(_format_cell(event.get(name)) for name in attr_names)
+            writer.writerow(row)
+
+
+def read_stream_csv(path: Union[str, Path]) -> Stream:
+    """Read a stream previously written by :func:`write_stream_csv`."""
+    events: list[Event] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return Stream()
+        attr_names = header[len(_RESERVED):]
+        for row in reader:
+            type_name, ts_text, partition = row[0], row[1], row[2]
+            attributes = {}
+            for name, cell in zip(attr_names, row[len(_RESERVED):]):
+                if cell != "":
+                    attributes[name] = _parse_cell(cell)
+            events.append(
+                Event(
+                    type_name,
+                    float(ts_text),
+                    attributes,
+                    partition=partition or None,
+                )
+            )
+    return Stream(events)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _parse_cell(cell: str) -> object:
+    try:
+        return float(cell)
+    except ValueError:
+        return cell

@@ -1,0 +1,143 @@
+"""Event streams.
+
+A :class:`Stream` is an in-memory, timestamp-ordered sequence of
+:class:`~repro.events.Event` objects with consecutive arrival sequence
+numbers.  The paper's dataset (NASDAQ ticks) is timestamp-ordered; all
+engines in :mod:`repro.engines` rely on this invariant for window pruning
+and bounded-negation checks, so :class:`Stream` enforces it at
+construction time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..errors import ReproError
+from .event import Event
+
+
+class StreamOrderError(ReproError):
+    """Raised when events are admitted out of timestamp order."""
+
+
+class Stream:
+    """A finite, timestamp-ordered stream of events.
+
+    Parameters
+    ----------
+    events:
+        Events in non-decreasing timestamp order.  Sequence numbers are
+        (re)assigned consecutively from 0 in arrival order.
+    sort:
+        When true, sort the input by ``(timestamp, type)`` first instead of
+        rejecting out-of-order input.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event] = (), sort: bool = False) -> None:
+        items = list(events)
+        if sort:
+            items.sort(key=lambda e: (e.timestamp, e.type))
+        last_ts = float("-inf")
+        renumbered: list[Event] = []
+        for seq, event in enumerate(items):
+            if event.timestamp < last_ts:
+                raise StreamOrderError(
+                    f"event {event!r} arrives before timestamp {last_ts}; "
+                    "pass sort=True to sort the input"
+                )
+            last_ts = event.timestamp
+            renumbered.append(event.with_seq(seq))
+        self._events = renumbered
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:
+        span = (
+            f"{self._events[0].timestamp:g}..{self._events[-1].timestamp:g}"
+            if self._events
+            else "empty"
+        )
+        return f"Stream({len(self._events)} events, ts {span})"
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Timestamp span covered by the stream (0 when < 2 events)."""
+        if len(self._events) < 2:
+            return 0.0
+        return self._events[-1].timestamp - self._events[0].timestamp
+
+    def type_names(self) -> list[str]:
+        """Sorted list of distinct event type names present in the stream."""
+        return sorted({e.type for e in self._events})
+
+    def count_by_type(self) -> dict[str, int]:
+        """Number of events per type name."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return counts
+
+    # -- derivation ----------------------------------------------------------
+    def filter(self, predicate: Callable[[Event], bool]) -> "Stream":
+        """New stream keeping only events satisfying ``predicate``."""
+        return Stream(e for e in self._events if predicate(e))
+
+    def restrict_types(self, type_names: Iterable[str]) -> "Stream":
+        """New stream keeping only the listed event types."""
+        keep = set(type_names)
+        return Stream(e for e in self._events if e.type in keep)
+
+    def slice_time(self, start: float, end: float) -> "Stream":
+        """New stream of events with ``start <= timestamp < end``."""
+        return Stream(e for e in self._events if start <= e.timestamp < end)
+
+    def take(self, n: int) -> "Stream":
+        """New stream with the first ``n`` events."""
+        return Stream(self._events[:n])
+
+    def with_partitions(self, key: Callable[[Event], str]) -> "Stream":
+        """New stream with each event assigned ``partition = key(event)``.
+
+        Used by the partition-contiguity selection strategy (Section 6.2).
+        """
+        return Stream(e.with_partition(key(e)) for e in self._events)
+
+    @staticmethod
+    def merge(streams: Sequence["Stream"]) -> "Stream":
+        """Merge timestamp-ordered streams into one ordered stream."""
+        merged = heapq.merge(*streams, key=lambda e: e.timestamp)
+        return Stream(merged)
+
+
+def sliding_window_counts(
+    stream: Stream, window: float, type_name: Optional[str] = None
+) -> list[int]:
+    """Number of (optionally type-filtered) events alive in each window.
+
+    For every event arrival, count how many events of ``type_name`` (or all
+    types when ``None``) have a timestamp within ``window`` of it.  Useful
+    for sanity-checking generator rates against the W*r model of Section 4.1.
+    """
+    events = [e for e in stream if type_name is None or e.type == type_name]
+    counts: list[int] = []
+    lo = 0
+    for hi, event in enumerate(events):
+        while events[lo].timestamp < event.timestamp - window:
+            lo += 1
+        counts.append(hi - lo + 1)
+    return counts

@@ -1,0 +1,17 @@
+"""Join substrate: relations, join queries, execution, CPG<->JQPG reductions."""
+
+from .executor import JoinResult, execute_plan
+from .query import JoinPredicate, JoinQuery, RelationFilter
+from .reduction import join_query_to_stream, pattern_to_join_query
+from .relation import Relation
+
+__all__ = [
+    "JoinResult",
+    "execute_plan",
+    "JoinPredicate",
+    "JoinQuery",
+    "RelationFilter",
+    "join_query_to_stream",
+    "pattern_to_join_query",
+    "Relation",
+]

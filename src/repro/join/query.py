@@ -1,0 +1,159 @@
+"""Join queries and their query graphs (Section 3.2).
+
+A :class:`JoinQuery` bundles relations, executable pairwise predicates
+with their (estimated or declared) selectivities, and per-relation filter
+predicates.  Its :meth:`planning_statistics` view exposes the query to the
+CEP optimizer stack: by Theorem 1, a join query over cardinalities
+``|R_i|`` behaves exactly like a conjunctive pattern with window ``W = 1``
+and rates ``r_i = |R_i|`` — so every algorithm in
+:mod:`repro.optimizers` doubles as a join-order optimizer unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..errors import ReductionError
+from ..stats.catalog import PatternStatistics
+from .relation import Relation
+
+RowPredicate = Callable[[dict, dict], bool]
+FilterPredicate = Callable[[dict], bool]
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """A pairwise condition between two relations."""
+
+    left: str
+    right: str
+    selectivity: float
+    fn: Optional[RowPredicate] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ReductionError(
+                f"selectivity must lie in [0, 1], got {self.selectivity}"
+            )
+        if self.left == self.right:
+            raise ReductionError("join predicate must relate two relations")
+
+    def evaluate(self, left_row: dict, right_row: dict) -> bool:
+        if self.fn is None:
+            return True
+        return self.fn(left_row, right_row)
+
+
+@dataclass(frozen=True)
+class RelationFilter:
+    """A unary condition on one relation (the ``c_ii`` of the paper)."""
+
+    relation: str
+    selectivity: float
+    fn: Optional[FilterPredicate] = None
+
+    def evaluate(self, row: dict) -> bool:
+        if self.fn is None:
+            return True
+        return self.fn(row)
+
+
+class JoinQuery:
+    """Relations + predicates: one instance of the JQPG problem."""
+
+    def __init__(
+        self,
+        relations: Iterable[Relation],
+        predicates: Iterable[JoinPredicate] = (),
+        filters: Iterable[RelationFilter] = (),
+    ) -> None:
+        self.relations: dict[str, Relation] = {}
+        for relation in relations:
+            if relation.name in self.relations:
+                raise ReductionError(f"duplicate relation {relation.name!r}")
+            self.relations[relation.name] = relation
+        if not self.relations:
+            raise ReductionError("a join query needs at least one relation")
+        self.predicates = tuple(predicates)
+        self.filters = tuple(filters)
+        known = set(self.relations)
+        for predicate in self.predicates:
+            if predicate.left not in known or predicate.right not in known:
+                raise ReductionError(
+                    f"predicate {predicate} references unknown relations"
+                )
+        for item in self.filters:
+            if item.relation not in known:
+                raise ReductionError(
+                    f"filter references unknown relation {item.relation!r}"
+                )
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self.relations)
+
+    def cardinalities(self) -> dict[str, float]:
+        return {
+            name: float(len(relation))
+            for name, relation in self.relations.items()
+        }
+
+    def filter_selectivity(self, name: str) -> float:
+        value = 1.0
+        for item in self.filters:
+            if item.relation == name:
+                value *= item.selectivity
+        return value
+
+    def pair_selectivity(self, name_a: str, name_b: str) -> float:
+        """Product of declared selectivities between two relations."""
+        value = 1.0
+        for predicate in self.predicates:
+            if {predicate.left, predicate.right} == {name_a, name_b}:
+                value *= predicate.selectivity
+        return value
+
+    def predicates_between(
+        self, group_a: Iterable[str], group_b: Iterable[str]
+    ) -> list[JoinPredicate]:
+        set_a, set_b = set(group_a), set(group_b)
+        return [
+            p
+            for p in self.predicates
+            if (p.left in set_a and p.right in set_b)
+            or (p.left in set_b and p.right in set_a)
+        ]
+
+    def query_graph_edges(self) -> set[frozenset]:
+        """Relation pairs connected by at least one predicate."""
+        return {frozenset((p.left, p.right)) for p in self.predicates}
+
+    # -- the bridge to the CEP optimizers ------------------------------------------
+    def planning_statistics(self) -> PatternStatistics:
+        """Theorem-1 view: W = 1, rate = effective cardinality.
+
+        Filter selectivities fold into the rates, mirroring the effective-
+        cardinality convention of :mod:`repro.cost.join_costs`.
+        """
+        rates = {
+            name: max(len(relation) * self.filter_selectivity(name), 1e-12)
+            for name, relation in self.relations.items()
+        }
+        selectivities: dict[frozenset, float] = {}
+        for predicate in self.predicates:
+            key = frozenset((predicate.left, predicate.right))
+            selectivities[key] = (
+                selectivities.get(key, 1.0) * predicate.selectivity
+            )
+        return PatternStatistics(
+            self.relation_names, 1.0, rates, selectivities
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinQuery({list(self.relations)}, "
+            f"{len(self.predicates)} predicates)"
+        )

@@ -1,0 +1,157 @@
+"""The CPG <-> JQPG reductions of Theorems 1 and 2.
+
+* :func:`pattern_to_join_query` — the CPG ⊆ JQPG direction: a pure
+  conjunctive pattern plus its statistics becomes a join query whose
+  relation cardinalities are ``|R_i| = W·r_i`` and whose predicate
+  selectivities equal the pattern's.  Optionally materializes synthetic
+  relations of exactly those cardinalities so the query is executable.
+
+* :func:`join_query_to_stream` — the JQPG ⊆ CPG direction: every tuple
+  ``k`` of relation ``R_i`` becomes an event of type ``T_i`` with
+  timestamp ``k``; the window is ``W = max |R_i|`` and the rates are
+  ``r_i = |R_i| / W``.  Running a CEP engine on the resulting stream with
+  the resulting conjunctive pattern computes exactly the join — the
+  integration tests verify the match set equals the executed join result.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import ReductionError
+from ..events import Event, Stream
+from ..patterns.operators import And, Primitive
+from ..patterns.pattern import Pattern
+from ..patterns.predicates import FunctionPredicate
+from ..patterns.transformations import DecomposedPattern
+from ..stats.catalog import PatternStatistics, StatisticsCatalog
+from .query import JoinPredicate, JoinQuery, RelationFilter
+from .relation import Relation
+
+
+def pattern_to_join_query(
+    decomposed: DecomposedPattern,
+    stats: PatternStatistics,
+    materialize: bool = False,
+    rng: Optional[random.Random] = None,
+) -> JoinQuery:
+    """Theorem 1 reduction: conjunctive pattern -> join query.
+
+    Each positive variable ``v`` becomes a relation named ``v`` with
+    (effective) cardinality ``W · r_v``; every pairwise predicate becomes
+    a join predicate with the same selectivity.  With ``materialize`` the
+    relations are filled with synthetic integer rows (cardinality rounded
+    to the nearest integer, minimum 1); otherwise they are empty shells
+    carrying only the planning statistics — sufficient for plan
+    generation, which is the reduction's purpose.
+    """
+    if decomposed.negations or decomposed.kleene:
+        raise ReductionError(
+            "Theorem 1 applies to pure patterns; rewrite KL/NOT first "
+            "(Sections 5.2-5.3)"
+        )
+    rng = rng or random.Random(0)
+    relations = []
+    for variable in decomposed.positive_variables:
+        cardinality = max(int(round(stats.expected_count(variable))), 1)
+        if materialize:
+            relations.append(
+                Relation.random_integers(
+                    variable, cardinality, ("value",), rng=rng
+                )
+            )
+        else:
+            relations.append(
+                Relation(variable, [{"value": 0}] * cardinality)
+            )
+    predicates = []
+    names = decomposed.positive_variables
+    for i, var_a in enumerate(names):
+        for var_b in names[i + 1:]:
+            selectivity = stats.selectivity(var_a, var_b)
+            if selectivity < 1.0:
+                predicates.append(
+                    JoinPredicate(var_a, var_b, selectivity)
+                )
+    return JoinQuery(relations, predicates)
+
+
+def join_query_to_stream(
+    query: JoinQuery,
+) -> tuple[Pattern, Stream, StatisticsCatalog]:
+    """Theorem 1 reduction (converse): join query -> pattern + stream.
+
+    Returns the conjunctive pattern, the synthetic event stream (tuple k
+    of ``R_i`` -> event of type ``R_i`` at timestamp ``k``), and the
+    statistics catalog (``W = max |R_i|`` is the pattern window;
+    ``r_i = |R_i| / W``).
+    """
+    names = query.relation_names
+    window = float(max(len(query.relations[name]) for name in names))
+    if window == 0:
+        raise ReductionError("cannot reduce a join over empty relations")
+
+    events = []
+    for name in names:
+        for index, row in enumerate(query.relations[name], start=1):
+            events.append(Event(name, float(index), row))
+    stream = Stream(events, sort=True)
+
+    primitives = [Primitive(name, name) for name in names]
+    predicates = []
+    for join_predicate in query.predicates:
+        predicates.append(_predicate_to_cep(join_predicate))
+    for relation_filter in query.filters:
+        if relation_filter.fn is not None:
+            predicates.append(
+                FunctionPredicate(
+                    (relation_filter.relation,),
+                    _wrap_filter(relation_filter.fn),
+                    name=f"filter_{relation_filter.relation}",
+                )
+            )
+    pattern = Pattern(
+        And(primitives) if len(primitives) > 1 else primitives[0],
+        predicates,
+        window,
+        name="join_reduction",
+    )
+
+    rates = {
+        name: len(query.relations[name]) / window for name in names
+    }
+    selectivities: dict[frozenset, float] = {}
+    for join_predicate in query.predicates:
+        key = frozenset((join_predicate.left, join_predicate.right))
+        selectivities[key] = (
+            selectivities.get(key, 1.0) * join_predicate.selectivity
+        )
+    for relation_filter in query.filters:
+        key = frozenset((relation_filter.relation,))
+        selectivities[key] = (
+            selectivities.get(key, 1.0) * relation_filter.selectivity
+        )
+    return pattern, stream, StatisticsCatalog(rates, selectivities)
+
+
+def _predicate_to_cep(join_predicate: JoinPredicate) -> FunctionPredicate:
+    fn = join_predicate.fn
+
+    def cep_fn(left_event, right_event, _fn=fn):
+        if _fn is None:
+            return True
+        return _fn(dict(left_event.attributes), dict(right_event.attributes))
+
+    return FunctionPredicate(
+        (join_predicate.left, join_predicate.right),
+        cep_fn,
+        name=join_predicate.name or "join_pred",
+    )
+
+
+def _wrap_filter(fn):
+    def cep_fn(event, _fn=fn):
+        return _fn(dict(event.attributes))
+
+    return cep_fn

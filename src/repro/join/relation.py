@@ -1,0 +1,76 @@
+"""In-memory relations — the JQPG substrate.
+
+A :class:`Relation` is a named bag of rows (flat ``dict`` records).  This
+is deliberately a miniature execution substrate, not a database: it
+exists so the paper's join-side cost functions and the CPG<->JQPG
+reductions (Section 4) can be validated against *actual* join execution,
+intermediate-result counts included.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator, Mapping, Optional
+
+from ..errors import ReductionError
+
+Row = Mapping[str, object]
+
+
+class Relation:
+    """A named, immutable list of rows."""
+
+    __slots__ = ("name", "_rows")
+
+    def __init__(self, name: str, rows: Iterable[Row]) -> None:
+        if not name:
+            raise ReductionError("relation needs a name")
+        self.name = name
+        self._rows = tuple(dict(row) for row in rows)
+
+    # -- access -------------------------------------------------------------
+    @property
+    def rows(self) -> tuple[dict, ...]:
+        return self._rows
+
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._rows)
+
+    def columns(self) -> list[str]:
+        """Union of column names across rows (sorted)."""
+        names: set[str] = set()
+        for row in self._rows:
+            names.update(row)
+        return sorted(names)
+
+    # -- derivation ------------------------------------------------------------
+    def filtered(self, predicate: Callable[[dict], bool]) -> "Relation":
+        """New relation keeping only rows satisfying ``predicate``."""
+        return Relation(self.name, (r for r in self._rows if predicate(r)))
+
+    @classmethod
+    def random_integers(
+        cls,
+        name: str,
+        cardinality: int,
+        columns: Iterable[str],
+        domain: int = 10,
+        rng: Optional[random.Random] = None,
+    ) -> "Relation":
+        """Uniform random integer relation (used by tests and benches)."""
+        rng = rng or random.Random(0)
+        column_names = tuple(columns)
+        rows = [
+            {column: rng.randrange(domain) for column in column_names}
+            for _ in range(cardinality)
+        ]
+        return cls(name, rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self._rows)} rows)"

@@ -1,0 +1,106 @@
+"""Simulated annealing over order plans (extension).
+
+The paper's related-work section cites randomized join-ordering
+algorithms (Ioannidis & Kang [26], Steinbrunn et al. [46]) alongside the
+iterative-improvement family it evaluates.  This module provides the
+classic annealing variant as an additional JQPG-adapted baseline and as
+an ablation point for the II benchmarks: same move set (swap / 3-cycle),
+but worsening moves are accepted with probability ``exp(-Δ/T)`` under a
+geometric cooling schedule.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..cost.base import CostModel
+from ..errors import OptimizerError
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..stats.catalog import PatternStatistics
+from .base import ORDER, PlanGenerator
+from .greedy import GreedyOrder
+
+
+class SimulatedAnnealingOrder(PlanGenerator):
+    """SA: randomized descent with temperature-controlled uphill moves."""
+
+    name = "SA"
+    kind = ORDER
+
+    def __init__(
+        self,
+        seed: Optional[int] = 0,
+        initial_temperature: float = 2.0,
+        cooling: float = 0.95,
+        steps_per_temperature: int = 20,
+        minimum_temperature: float = 1e-3,
+        greedy_start: bool = True,
+    ) -> None:
+        if not 0.0 < cooling < 1.0:
+            raise OptimizerError("cooling factor must lie in (0, 1)")
+        if initial_temperature <= 0:
+            raise OptimizerError("initial temperature must be positive")
+        self.seed = seed
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.steps_per_temperature = steps_per_temperature
+        self.minimum_temperature = minimum_temperature
+        self.greedy_start = greedy_start
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        rng = random.Random(self.seed)
+        if self.greedy_start:
+            current = list(
+                GreedyOrder().generate(decomposed, stats, cost_model).variables
+            )
+        else:
+            current = list(variables)
+            rng.shuffle(current)
+        current_cost = cost_model.order_cost(current, stats)
+        best = tuple(current)
+        best_cost = current_cost
+
+        temperature = self.initial_temperature
+        while temperature > self.minimum_temperature:
+            for _ in range(self.steps_per_temperature):
+                candidate = self._random_neighbor(current, rng)
+                cost = cost_model.order_cost(candidate, stats)
+                delta = cost - current_cost
+                # Scale-free acceptance: relative degradation vs. temperature.
+                relative = delta / max(current_cost, 1e-300)
+                if delta <= 0 or rng.random() < math.exp(
+                    -relative / temperature
+                ):
+                    current = list(candidate)
+                    current_cost = cost
+                    if cost < best_cost:
+                        best, best_cost = tuple(candidate), cost
+            temperature *= self.cooling
+        return OrderPlan(best)
+
+    @staticmethod
+    def _random_neighbor(
+        order: list[str], rng: random.Random
+    ) -> tuple[str, ...]:
+        neighbor = list(order)
+        n = len(neighbor)
+        if n >= 3 and rng.random() < 0.5:
+            i, j, k = rng.sample(range(n), 3)
+            neighbor[i], neighbor[j], neighbor[k] = (
+                neighbor[k],
+                neighbor[i],
+                neighbor[j],
+            )
+        elif n >= 2:
+            i, j = rng.sample(range(n), 2)
+            neighbor[i], neighbor[j] = neighbor[j], neighbor[i]
+        return tuple(neighbor)

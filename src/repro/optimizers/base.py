@@ -1,0 +1,89 @@
+"""Plan-generator interface.
+
+Every algorithm of Section 7.1 — CEP-native or JQPG-adapted — implements
+:class:`PlanGenerator`: given the planning view of a pattern
+(:class:`~repro.patterns.DecomposedPattern`), pattern statistics, and a
+cost model, return an evaluation plan over the pattern's positive
+variables.  ``kind`` says whether the result is an
+:class:`~repro.plans.OrderPlan` or a :class:`~repro.plans.TreePlan`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..cost.base import CostModel
+from ..cost.throughput import ThroughputCostModel
+from ..errors import OptimizerError
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..plans.tree_plan import TreePlan
+from ..stats.catalog import PatternStatistics
+
+Plan = Union[OrderPlan, TreePlan]
+
+ORDER = "order"
+TREE = "tree"
+
+
+class PlanGenerator:
+    """Abstract plan-generation algorithm."""
+
+    name = "abstract"
+    kind = ORDER
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> Plan:
+        """Produce an evaluation plan for the pattern."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+    def _check_input(
+        self, decomposed: DecomposedPattern, stats: PatternStatistics
+    ) -> tuple[str, ...]:
+        variables = decomposed.positive_variables
+        if not variables:
+            raise OptimizerError("pattern has no positive variables to plan")
+        missing = [v for v in variables if v not in stats.variables]
+        if missing:
+            raise OptimizerError(f"statistics missing variables {missing}")
+        return variables
+
+    def plan_cost(
+        self,
+        plan: Plan,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> float:
+        """Cost of a produced plan under ``cost_model``."""
+        if isinstance(plan, OrderPlan):
+            return cost_model.order_cost(plan.variables, stats)
+        return cost_model.tree_cost(plan, stats)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def default_cost_model() -> CostModel:
+    """The paper's default objective: intermediate partial matches."""
+    return ThroughputCostModel()
+
+
+def connectivity_edges(
+    variables: tuple[str, ...], stats: PatternStatistics
+) -> set[frozenset]:
+    """Query-graph edges: variable pairs with a (selectivity < 1) predicate.
+
+    Used by the ``allow_cartesian=False`` DP variants (Section 4.3) and by
+    the KBZ algorithm, which requires an acyclic query graph.
+    """
+    edges: set[frozenset] = set()
+    for i, var_a in enumerate(variables):
+        for var_b in variables[i + 1:]:
+            if stats.selectivity(var_a, var_b) < 1.0:
+                edges.add(frozenset((var_a, var_b)))
+    return edges

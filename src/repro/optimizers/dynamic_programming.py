@@ -1,0 +1,243 @@
+"""Dynamic-programming plan generation (Selinger [45], adapted to CEP).
+
+* :class:`DPLeftDeep` (DP-LD) — exact optimum over order plans.  States
+  are variable subsets; because the step cost of every supported cost
+  model depends only on the *set* already placed (not its internal
+  order), Bellman's principle applies:
+  ``cost(S) = min_{v ∈ S} cost(S − v) + step(S − v, v)``.
+  O(2^n · n) step-cost evaluations.
+
+* :class:`DPBushy` (DP-B) — exact optimum over bushy tree plans.
+  ``cost(S) = min over partitions S = L ∪ R of
+  cost(L) + cost(R) + combine(L, R)``; O(3^n) combine evaluations.
+
+Both accept ``allow_cartesian=False`` to restrict the search to plans
+without cross products (the classical relational restriction discussed in
+Section 4.3); steps/combinations are then required to be connected in the
+query graph whenever a connected alternative exists.  The paper's CEP
+setting keeps cross products **enabled** by default — disabling them can
+miss cheaper plans [38].
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ..cost.base import CostModel
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..plans.tree_plan import TreeNode, TreePlan, leaf
+from ..stats.catalog import PatternStatistics
+from .base import ORDER, TREE, PlanGenerator, connectivity_edges
+
+
+class DPLeftDeep(PlanGenerator):
+    """DP-LD: provably optimal order plan for the given cost model."""
+
+    name = "DP-LD"
+    kind = ORDER
+
+    def __init__(self, allow_cartesian: bool = True) -> None:
+        self.allow_cartesian = allow_cartesian
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        edges = (
+            None
+            if self.allow_cartesian
+            else connectivity_edges(variables, stats)
+        )
+        # best[S] = (cost, last_variable) for the cheapest order of set S.
+        best: dict[frozenset, tuple[float, Optional[str]]] = {
+            frozenset(): (0.0, None)
+        }
+        # Connected-subset table for the cross-product-free restriction:
+        # a prefix is admissible iff it is connected in the query graph.
+        connected: set[frozenset] = {
+            frozenset((v,)) for v in variables
+        }
+        for size in range(1, len(variables) + 1):
+            for subset_vars in combinations(variables, size):
+                subset = frozenset(subset_vars)
+                candidates = self._last_candidates(subset, edges, connected)
+                if edges is not None and size > 1:
+                    if any(
+                        subset - {v} in connected
+                        and self._adjacent(v, subset - {v}, edges)
+                        for v in subset
+                    ):
+                        connected.add(subset)
+                best_cost = float("inf")
+                best_last: Optional[str] = None
+                for last in candidates:
+                    previous = subset - {last}
+                    prev_cost, _ = best[previous]
+                    cost = prev_cost + cost_model.order_step_cost(
+                        previous, last, stats
+                    )
+                    if cost < best_cost or (
+                        cost == best_cost
+                        and (best_last is None or last < best_last)
+                    ):
+                        best_cost, best_last = cost, last
+                best[subset] = (best_cost, best_last)
+
+        order: list[str] = []
+        subset = frozenset(variables)
+        while subset:
+            _, last = best[subset]
+            assert last is not None
+            order.append(last)
+            subset = subset - {last}
+        order.reverse()
+        return OrderPlan(order)
+
+    @staticmethod
+    def _adjacent(variable: str, group: frozenset, edges: set) -> bool:
+        return any(frozenset((variable, u)) in edges for u in group)
+
+    def _last_candidates(
+        self,
+        subset: frozenset,
+        edges: Optional[set],
+        connected: set,
+    ) -> list[str]:
+        members = sorted(subset)
+        if edges is None or len(subset) == 1:
+            return members
+        strict = [
+            v
+            for v in members
+            if subset - {v} in connected
+            and self._adjacent(v, subset - {v}, edges)
+        ]
+        # When no cross-product-free construction exists (disconnected
+        # query graph), a cross product is unavoidable; fall back to all
+        # members to stay complete.
+        return strict or members
+
+
+class DPBushy(PlanGenerator):
+    """DP-B: provably optimal bushy tree plan for the given cost model."""
+
+    name = "DP-B"
+    kind = TREE
+
+    def __init__(self, allow_cartesian: bool = True) -> None:
+        self.allow_cartesian = allow_cartesian
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> TreePlan:
+        variables = self._check_input(decomposed, stats)
+        edges = (
+            None
+            if self.allow_cartesian
+            else connectivity_edges(variables, stats)
+        )
+        connected = self._connected_subsets(variables, edges)
+        best: dict[frozenset, tuple[float, TreeNode]] = {}
+        for variable in variables:
+            node = leaf(variable)
+            best[frozenset((variable,))] = (
+                cost_model.leaf_cost(variable, stats),
+                node,
+            )
+
+        for size in range(2, len(variables) + 1):
+            for subset_vars in combinations(variables, size):
+                subset = frozenset(subset_vars)
+                best_cost = float("inf")
+                best_node: Optional[TreeNode] = None
+                splits = list(self._splits(subset_vars, edges, connected))
+                for left_set, right_set in splits:
+                    left_cost, left_node = best[left_set]
+                    right_cost, right_node = best[right_set]
+                    cost = (
+                        left_cost
+                        + right_cost
+                        + cost_model.combine_cost(left_set, right_set, stats)
+                    )
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_node = TreeNode(left=left_node, right=right_node)
+                assert best_node is not None
+                best[subset] = (best_cost, best_node)
+
+        _, root = best[frozenset(variables)]
+        return TreePlan(root)
+
+    @staticmethod
+    def _connected_subsets(
+        variables: tuple[str, ...], edges: Optional[set]
+    ) -> Optional[set]:
+        """All connected variable subsets (None when cartesians allowed)."""
+        if edges is None:
+            return None
+        connected: set[frozenset] = {frozenset((v,)) for v in variables}
+        for size in range(2, len(variables) + 1):
+            for subset_vars in combinations(variables, size):
+                subset = frozenset(subset_vars)
+                if any(
+                    subset - {v} in connected
+                    and any(
+                        frozenset((v, u)) in edges for u in subset if u != v
+                    )
+                    for v in subset
+                ):
+                    connected.add(subset)
+        return connected
+
+    def _splits(
+        self,
+        subset_vars: tuple[str, ...],
+        edges: Optional[set],
+        connected: Optional[set],
+    ):
+        """Unordered partitions of the subset into two non-empty halves.
+
+        The first variable is pinned to the left half so each partition is
+        produced exactly once.  With cross products disabled, both halves
+        must be connected subgraphs and at least one predicate must span
+        them; when no such partition exists (disconnected query graph) all
+        partitions are considered so the DP stays complete.
+        """
+        anchor, rest = subset_vars[0], subset_vars[1:]
+        partitions: list[tuple[frozenset, frozenset]] = []
+        admissible: list[tuple[frozenset, frozenset]] = []
+        for mask in range(len(rest) + 1):
+            for right_vars in combinations(rest, mask):
+                if not right_vars:
+                    continue
+                right_set = frozenset(right_vars)
+                left_set = frozenset(subset_vars) - right_set
+                pair = (left_set, right_set)
+                partitions.append(pair)
+                if (
+                    edges is not None
+                    and connected is not None
+                    and left_set in connected
+                    and right_set in connected
+                    and self._cross_connected(left_set, right_set, edges)
+                ):
+                    admissible.append(pair)
+        if edges is None:
+            return partitions
+        return admissible or partitions
+
+    @staticmethod
+    def _cross_connected(
+        left_set: frozenset, right_set: frozenset, edges: set
+    ) -> bool:
+        return any(
+            frozenset((a, b)) in edges for a in left_set for b in right_set
+        )

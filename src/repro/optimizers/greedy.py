@@ -1,0 +1,49 @@
+"""Greedy cost-based ordering (Swami [47], adapted to CEP).
+
+GREEDY builds the order one variable at a time, always appending the
+variable that minimizes the cost model's incremental step cost — for the
+throughput model, the number of partial matches the next prefix would
+hold.  O(n^2) step-cost evaluations; no backtracking.
+
+This is the heuristic the paper found to offer "the best overall
+trade-off between optimization time and quality" (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from ..cost.base import CostModel
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..stats.catalog import PatternStatistics
+from .base import ORDER, PlanGenerator
+
+
+class GreedyOrder(PlanGenerator):
+    """GREEDY: repeatedly append the cheapest next variable."""
+
+    name = "GREEDY"
+    kind = ORDER
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        position = {v: i for i, v in enumerate(variables)}
+        remaining = list(variables)
+        prefix: frozenset = frozenset()
+        chosen: list[str] = []
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda v: (
+                    cost_model.order_step_cost(prefix, v, stats),
+                    position[v],
+                ),
+            )
+            remaining.remove(best)
+            chosen.append(best)
+            prefix = prefix | {best}
+        return OrderPlan(chosen)

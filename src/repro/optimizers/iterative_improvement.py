@@ -1,0 +1,167 @@
+"""Iterative improvement local search (Swami [47], adapted to CEP).
+
+II starts from an initial order and repeatedly applies the best improving
+move from its neighborhood until no move improves the cost — a local
+minimum.  Following the paper, the neighborhood consists of
+
+* **swap** — exchange the positions of two variables, and
+* **cycle** — cyclically shift the positions of three variables (both
+  rotation directions are generated).
+
+Two starting-point policies are provided (Section 7.1):
+:class:`IterativeImprovementRandom` (II-RANDOM) starts from a uniformly
+random order; :class:`IterativeImprovementGreedy` (II-GREEDY) starts from
+the GREEDY solution.  ``restarts`` > 1 re-runs the search from fresh
+random orders and keeps the best local minimum (only meaningful for
+II-RANDOM; II-GREEDY's start is deterministic, so extra restarts fall
+back to random starts).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional, Sequence
+
+from ..cost.base import CostModel
+from ..errors import OptimizerError
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..stats.catalog import PatternStatistics
+from .base import ORDER, PlanGenerator
+from .greedy import GreedyOrder
+
+
+def _swap_neighbors(order: Sequence[str]) -> Iterator[tuple[str, ...]]:
+    """All orders reachable by swapping two positions."""
+    n = len(order)
+    for i in range(n):
+        for j in range(i + 1, n):
+            neighbor = list(order)
+            neighbor[i], neighbor[j] = neighbor[j], neighbor[i]
+            yield tuple(neighbor)
+
+
+def _cycle_neighbors(order: Sequence[str]) -> Iterator[tuple[str, ...]]:
+    """All orders reachable by cyclically shifting three positions."""
+    n = len(order)
+    for i, j, k in itertools.combinations(range(n), 3):
+        forward = list(order)
+        forward[i], forward[j], forward[k] = order[k], order[i], order[j]
+        yield tuple(forward)
+        backward = list(order)
+        backward[i], backward[j], backward[k] = order[j], order[k], order[i]
+        yield tuple(backward)
+
+
+class _IterativeImprovement(PlanGenerator):
+    """Shared II implementation; subclasses choose the starting order."""
+
+    kind = ORDER
+
+    def __init__(
+        self,
+        restarts: int = 1,
+        moves: tuple[str, ...] = ("swap", "cycle"),
+        seed: Optional[int] = 0,
+        max_steps: int = 10_000,
+    ) -> None:
+        if restarts < 1:
+            raise OptimizerError("restarts must be >= 1")
+        unknown = set(moves) - {"swap", "cycle"}
+        if unknown:
+            raise OptimizerError(f"unknown moves {sorted(unknown)}")
+        if not moves:
+            raise OptimizerError("need at least one move type")
+        self.restarts = restarts
+        self.moves = tuple(moves)
+        self.seed = seed
+        self.max_steps = max_steps
+
+    # -- hooks ---------------------------------------------------------------
+    def _initial_order(
+        self,
+        attempt: int,
+        variables: tuple[str, ...],
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+        rng: random.Random,
+    ) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    # -- search -----------------------------------------------------------------
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        rng = random.Random(self.seed)
+        best_order: Optional[tuple[str, ...]] = None
+        best_cost = float("inf")
+        for attempt in range(self.restarts):
+            start = self._initial_order(
+                attempt, variables, decomposed, stats, cost_model, rng
+            )
+            order, cost = self._descend(start, stats, cost_model)
+            if cost < best_cost:
+                best_order, best_cost = order, cost
+        assert best_order is not None
+        return OrderPlan(best_order)
+
+    def _descend(
+        self,
+        start: tuple[str, ...],
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> tuple[tuple[str, ...], float]:
+        current = tuple(start)
+        current_cost = cost_model.order_cost(current, stats)
+        for _ in range(self.max_steps):
+            improved = False
+            for neighbor in self._neighbors(current):
+                cost = cost_model.order_cost(neighbor, stats)
+                if cost < current_cost:
+                    current, current_cost = neighbor, cost
+                    improved = True
+                    break  # first-improvement descent
+            if not improved:
+                break
+        return current, current_cost
+
+    def _neighbors(
+        self, order: tuple[str, ...]
+    ) -> Iterator[tuple[str, ...]]:
+        if "swap" in self.moves:
+            yield from _swap_neighbors(order)
+        if "cycle" in self.moves and len(order) >= 3:
+            yield from _cycle_neighbors(order)
+
+
+class IterativeImprovementRandom(_IterativeImprovement):
+    """II-RANDOM: local search from random starting orders."""
+
+    name = "II-RANDOM"
+
+    def _initial_order(self, attempt, variables, decomposed, stats,
+                       cost_model, rng):
+        order = list(variables)
+        rng.shuffle(order)
+        return tuple(order)
+
+
+class IterativeImprovementGreedy(_IterativeImprovement):
+    """II-GREEDY: local search seeded with the GREEDY solution."""
+
+    name = "II-GREEDY"
+
+    def _initial_order(self, attempt, variables, decomposed, stats,
+                       cost_model, rng):
+        if attempt == 0:
+            plan = GreedyOrder().generate(decomposed, stats, cost_model)
+            return plan.variables
+        order = list(variables)
+        rng.shuffle(order)
+        return tuple(order)

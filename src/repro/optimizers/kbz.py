@@ -1,0 +1,183 @@
+"""IK/KBZ polynomial ordering for acyclic query graphs (Section 4.3).
+
+Ibaraki & Kameda [24] and Krishnamurthy, Boral & Zaniolo [31] showed that
+when the query graph is a *tree* and the cost function has the ASI
+property (which ``Cost_ord`` does — Theorem 5), the optimal
+cross-product-free left-deep order can be found in polynomial time by
+sequencing variables by their ASI **rank** subject to the precedence
+constraints of the rooted query tree.
+
+The paper discusses this class of algorithms as applicable-but-heuristic
+for CEP: since it never takes cross products, it may miss cheaper plans
+(Section 4.3).  We implement it as the classic "normalize and merge by
+rank" procedure, trying every root and keeping the best result under the
+supplied cost model.  For non-tree query graphs it falls back to GREEDY
+(configurable).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cost.asi import concat_cost
+from ..cost.base import CostModel
+from ..errors import OptimizerError
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..stats.catalog import PatternStatistics
+from .base import ORDER, PlanGenerator, connectivity_edges
+from .greedy import GreedyOrder
+
+
+class _Module:
+    """A compound sequence of variables with chain cost/multiplier."""
+
+    __slots__ = ("variables", "cost", "multiplier")
+
+    def __init__(self, variables: list[str], cost: float, multiplier: float):
+        self.variables = variables
+        self.cost = cost
+        self.multiplier = multiplier
+
+    @property
+    def rank(self) -> float:
+        return (self.multiplier - 1.0) / self.cost
+
+    def merged_with(self, other: "_Module") -> "_Module":
+        return _Module(
+            self.variables + other.variables,
+            concat_cost(self.cost, self.multiplier, other.cost),
+            self.multiplier * other.multiplier,
+        )
+
+
+class KBZOrder(PlanGenerator):
+    """KBZ: rank-based optimal ordering for tree-shaped query graphs."""
+
+    name = "KBZ"
+    kind = ORDER
+
+    def __init__(self, fallback: bool = True) -> None:
+        self.fallback = fallback
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        adjacency = self._tree_adjacency(variables, stats)
+        if adjacency is None:
+            if not self.fallback:
+                raise OptimizerError(
+                    "KBZ requires a connected acyclic query graph"
+                )
+            return GreedyOrder().generate(decomposed, stats, cost_model)
+
+        best_order: Optional[tuple[str, ...]] = None
+        best_cost = float("inf")
+        for root in variables:
+            order = self._solve_rooted(root, adjacency, stats)
+            cost = cost_model.order_cost(order, stats)
+            if cost < best_cost:
+                best_order, best_cost = order, cost
+        assert best_order is not None
+        return OrderPlan(best_order)
+
+    # -- query graph -------------------------------------------------------
+    def _tree_adjacency(
+        self, variables: tuple[str, ...], stats: PatternStatistics
+    ) -> Optional[dict[str, list[str]]]:
+        """Adjacency lists when the query graph is a tree, else None."""
+        edges = connectivity_edges(variables, stats)
+        if len(edges) != len(variables) - 1:
+            return None
+        adjacency: dict[str, list[str]] = {v: [] for v in variables}
+        for edge in edges:
+            var_a, var_b = sorted(edge)
+            adjacency[var_a].append(var_b)
+            adjacency[var_b].append(var_a)
+        # Connectivity check (acyclicity follows from the edge count).
+        seen = {variables[0]}
+        frontier = [variables[0]]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        if len(seen) != len(variables):
+            return None
+        return adjacency
+
+    # -- the IK/KBZ procedure ----------------------------------------------------
+    def _solve_rooted(
+        self,
+        root: str,
+        adjacency: dict[str, list[str]],
+        stats: PatternStatistics,
+    ) -> tuple[str, ...]:
+        parent: dict[str, Optional[str]] = {root: None}
+        topo: list[str] = [root]
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    topo.append(neighbor)
+                    frontier.append(neighbor)
+
+        def weight(variable: str) -> float:
+            value = stats.window * stats.rate(variable)
+            source = parent[variable]
+            if source is not None:
+                value *= stats.selectivity(source, variable)
+            return value
+
+        def solve(node: str) -> list[_Module]:
+            children = [n for n in adjacency[node] if parent[n] == node]
+            merged: list[_Module] = []
+            for child in children:
+                merged = _merge_by_rank(merged, solve(child))
+            w = weight(node)
+            sequence = [_Module([node], w, w)] + merged
+            return _normalize(sequence)
+
+        modules = solve(root)
+        order: list[str] = []
+        for module in modules:
+            order.extend(module.variables)
+        return tuple(order)
+
+
+def _merge_by_rank(left: list[_Module], right: list[_Module]) -> list[_Module]:
+    """Merge two rank-sorted module lists, keeping rank order."""
+    result: list[_Module] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i].rank <= right[j].rank:
+            result.append(left[i])
+            i += 1
+        else:
+            result.append(right[j])
+            j += 1
+    result.extend(left[i:])
+    result.extend(right[j:])
+    return result
+
+
+def _normalize(sequence: list[_Module]) -> list[_Module]:
+    """Collapse precedence violations: the head module must not out-rank
+    its successor; merge until the list is non-decreasing in rank."""
+    result = list(sequence)
+    index = 0
+    while index + 1 < len(result):
+        if result[index].rank > result[index + 1].rank:
+            merged = result[index].merged_with(result[index + 1])
+            result[index:index + 2] = [merged]
+            index = max(index - 1, 0)
+        else:
+            index += 1
+    return result

@@ -1,0 +1,54 @@
+"""CEP-native order-based plan generators (Section 7.1).
+
+* :class:`TrivialOrder` — the pattern-declared order; what SASE and
+  Cayuga implicitly use (no reordering at all).
+* :class:`EventFrequencyOrder` — ascending arrival-rate order; the
+  strategy of PB-CED and the original Lazy NFA.  It looks only at rates
+  and ignores predicate selectivities — the weakness the JQPG-adapted
+  methods exploit.
+"""
+
+from __future__ import annotations
+
+from ..cost.base import CostModel
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..stats.catalog import PatternStatistics
+from .base import ORDER, PlanGenerator
+
+
+class TrivialOrder(PlanGenerator):
+    """TRIVIAL: keep the syntactic order of the pattern."""
+
+    name = "TRIVIAL"
+    kind = ORDER
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        return OrderPlan(variables)
+
+
+class EventFrequencyOrder(PlanGenerator):
+    """EFREQ: ascending order of arrival frequency.
+
+    Ties break by syntactic position so the output is deterministic.
+    """
+
+    name = "EFREQ"
+    kind = ORDER
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> OrderPlan:
+        variables = self._check_input(decomposed, stats)
+        position = {v: i for i, v in enumerate(variables)}
+        ordered = sorted(variables, key=lambda v: (stats.rate(v), position[v]))
+        return OrderPlan(ordered)

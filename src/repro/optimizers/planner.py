@@ -1,0 +1,145 @@
+"""End-to-end planning pipeline: pattern -> evaluation plan(s).
+
+This is the top of the optimization stack and the main user entry point:
+
+1. nested patterns are expanded to a disjunction of simple conjunctive
+   patterns (Section 5.4) — one plan is generated per disjunct;
+2. each simple pattern is decomposed into its planning view (SEQ becomes
+   AND + ordering predicates, Theorem 3; negations are extracted with
+   their temporal bounds, Section 5.3);
+3. planning statistics are resolved (filters folded into rates, Kleene
+   power-set rates substituted, Theorem 4);
+4. the cost model is assembled from the requested selection strategy
+   (Section 6.2) and latency weight α (Section 6.1);
+5. the chosen algorithm produces the plan.
+
+The resulting :class:`PlannedPattern` objects carry everything an engine
+needs to run (see :func:`repro.engines.build_engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..cost.base import CostModel
+from ..cost.hybrid import HybridCostModel
+from ..cost.selection import NextMatchCostModel
+from ..cost.throughput import ThroughputCostModel
+from ..errors import OptimizerError
+from ..patterns.pattern import Pattern
+from ..patterns.transformations import DecomposedPattern, decompose, nested_to_dnf
+from ..plans.order_plan import OrderPlan
+from ..plans.tree_plan import TreePlan
+from ..stats.catalog import PatternStatistics, StatisticsCatalog
+from .base import PlanGenerator
+from .registry import make_optimizer
+
+Plan = Union[OrderPlan, TreePlan]
+
+#: Selection strategies (Section 6.2).  ``"any"`` = skip-till-any-match,
+#: ``"next"`` = skip-till-next-match, plus the two contiguity modes.
+SELECTION_STRATEGIES = ("any", "next", "strict", "partition")
+
+
+@dataclass
+class PlannedPattern:
+    """One simple pattern together with its generated evaluation plan."""
+
+    pattern: Pattern
+    decomposed: DecomposedPattern
+    plan: Plan
+    cost: float
+    stats: PatternStatistics
+    algorithm: str
+    cost_model: CostModel
+    selection: str = "any"
+
+    @property
+    def is_tree(self) -> bool:
+        return isinstance(self.plan, TreePlan)
+
+
+def resolve_cost_model(
+    decomposed: DecomposedPattern,
+    selection: str = "any",
+    alpha: float = 0.0,
+    last_variable: Optional[str] = None,
+) -> CostModel:
+    """Assemble the cost model for a selection strategy and latency weight.
+
+    skip-till-any-match uses the partial-match model of Section 4; the
+    restrictive strategies use the min-rate model of Section 6.2; α > 0
+    wraps either in the hybrid throughput+latency objective of Section 6.1.
+    """
+    if selection not in SELECTION_STRATEGIES:
+        raise OptimizerError(
+            f"unknown selection strategy {selection!r}; "
+            f"choose one of {SELECTION_STRATEGIES}"
+        )
+    base: CostModel
+    if selection == "any":
+        base = ThroughputCostModel()
+    else:
+        base = NextMatchCostModel()
+    if alpha <= 0:
+        return base
+    variable = last_variable or decomposed.temporal_last_variable()
+    if variable is None:
+        raise OptimizerError(
+            "latency-aware planning of a non-sequence pattern needs "
+            "last_variable (e.g. from OutputProfiler.most_frequent_last())"
+        )
+    return HybridCostModel(alpha, variable, throughput=base)
+
+
+def plan_pattern(
+    pattern: Pattern,
+    catalog: StatisticsCatalog,
+    algorithm: str = "GREEDY",
+    cost_model: Optional[CostModel] = None,
+    selection: str = "any",
+    alpha: float = 0.0,
+    last_variable: Optional[str] = None,
+    optimizer: Optional[PlanGenerator] = None,
+    **optimizer_kwargs,
+) -> list[PlannedPattern]:
+    """Generate evaluation plan(s) for ``pattern``.
+
+    Returns one :class:`PlannedPattern` per DNF disjunct (a single entry
+    for simple patterns).  ``cost_model`` overrides the automatic
+    selection/α resolution; ``optimizer`` overrides name-based lookup.
+    """
+    generator = optimizer or make_optimizer(algorithm, **optimizer_kwargs)
+    planned: list[PlannedPattern] = []
+    for sub_pattern in nested_to_dnf(pattern):
+        decomposed = decompose(sub_pattern)
+        stats = PatternStatistics.for_planning(decomposed, catalog)
+        model = cost_model or resolve_cost_model(
+            decomposed, selection=selection, alpha=alpha,
+            last_variable=last_variable,
+        )
+        plan = generator.generate(decomposed, stats, model)
+        cost = generator.plan_cost(plan, stats, model)
+        planned.append(
+            PlannedPattern(
+                pattern=sub_pattern,
+                decomposed=decomposed,
+                plan=plan,
+                cost=cost,
+                stats=stats,
+                algorithm=generator.name,
+                cost_model=model,
+                selection=selection,
+            )
+        )
+    return planned
+
+
+def total_cost(planned: list[PlannedPattern]) -> float:
+    """Combined plan cost of a disjunction: the sum over disjuncts.
+
+    (Each disjunct is detected independently; their partial matches
+    coexist, so costs add.)
+    """
+    return sum(item.cost for item in planned)

@@ -1,0 +1,89 @@
+"""Name-based optimizer registry.
+
+The benchmark harness and examples refer to algorithms by the paper's
+names (``"DP-LD"``, ``"ZSTREAM-ORD"``, ...); :func:`make_optimizer`
+instantiates them, forwarding keyword arguments to the constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import OptimizerError
+from .annealing import SimulatedAnnealingOrder
+from .base import ORDER, TREE, PlanGenerator
+from .dynamic_programming import DPBushy, DPLeftDeep
+from .greedy import GreedyOrder
+from .iterative_improvement import (
+    IterativeImprovementGreedy,
+    IterativeImprovementRandom,
+)
+from .kbz import KBZOrder
+from .native import EventFrequencyOrder, TrivialOrder
+from .zstream import ZStreamOrderedTree, ZStreamTree
+
+_FACTORIES: dict[str, Callable[..., PlanGenerator]] = {
+    "TRIVIAL": TrivialOrder,
+    "EFREQ": EventFrequencyOrder,
+    "GREEDY": GreedyOrder,
+    "II-RANDOM": IterativeImprovementRandom,
+    "II-GREEDY": IterativeImprovementGreedy,
+    "DP-LD": DPLeftDeep,
+    "KBZ": KBZOrder,
+    "SA": SimulatedAnnealingOrder,
+    "ZSTREAM": ZStreamTree,
+    "ZSTREAM-ORD": ZStreamOrderedTree,
+    "DP-B": DPBushy,
+}
+
+#: Order-based algorithms of Section 7.1 (plus extensions KBZ and SA).
+ORDER_ALGORITHMS = (
+    "TRIVIAL",
+    "EFREQ",
+    "GREEDY",
+    "II-RANDOM",
+    "II-GREEDY",
+    "DP-LD",
+)
+
+#: Tree-based algorithms of Section 7.1.
+TREE_ALGORITHMS = ("ZSTREAM", "ZSTREAM-ORD", "DP-B")
+
+#: Algorithms adapted from join query plan generation.
+JQPG_ALGORITHMS = (
+    "GREEDY",
+    "II-RANDOM",
+    "II-GREEDY",
+    "DP-LD",
+    "ZSTREAM-ORD",
+    "DP-B",
+    "KBZ",
+    "SA",
+)
+
+#: CEP-native baselines.
+CPG_NATIVE_ALGORITHMS = ("TRIVIAL", "EFREQ", "ZSTREAM")
+
+EXTENSION_ALGORITHMS = ("KBZ", "SA")
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """All registered algorithm names."""
+    return tuple(_FACTORIES)
+
+
+def make_optimizer(name: str, **kwargs) -> PlanGenerator:
+    """Instantiate a plan generator by its paper name."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise OptimizerError(
+            f"unknown algorithm {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    return factory(**kwargs)
+
+
+def algorithm_kind(name: str) -> str:
+    """``"order"`` or ``"tree"`` for a registered algorithm name."""
+    generator = make_optimizer(name)
+    return generator.kind

@@ -1,0 +1,96 @@
+"""ZStream tree generation (Mei & Madden [35]) and its greedy-ordered fix.
+
+* :class:`ZStreamTree` (ZSTREAM) — the CEP-native algorithm: dynamic
+  programming over all tree topologies for a **fixed left-to-right leaf
+  order** (the pattern's syntactic order).  This is the matrix-chain-style
+  interval DP of the original paper: O(n^3) subproblems over contiguous
+  leaf ranges, searching C_{n-1} topologies.  Because it never reorders
+  leaves, it misses plans such as Figure 3(c) — the motivating flaw the
+  paper's Section 2.3 demonstrates.
+
+* :class:`ZStreamOrderedTree` (ZSTREAM-ORD) — the JQPG-assisted hybrid of
+  Section 7.1: first run GREEDY to produce a good leaf order, then run the
+  same interval DP over that order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cost.base import CostModel
+from ..patterns.transformations import DecomposedPattern
+from ..plans.order_plan import OrderPlan
+from ..plans.tree_plan import TreeNode, TreePlan, leaf
+from ..stats.catalog import PatternStatistics
+from .base import TREE, PlanGenerator
+from .greedy import GreedyOrder
+
+
+def best_tree_for_leaf_order(
+    leaf_order: Sequence[str],
+    stats: PatternStatistics,
+    cost_model: CostModel,
+) -> TreePlan:
+    """Optimal tree over a fixed leaf order (interval DP, O(n^3))."""
+    names = tuple(leaf_order)
+    n = len(names)
+    # table[(i, j)] = (cost, node) for the best tree over names[i:j].
+    table: dict[tuple[int, int], tuple[float, TreeNode]] = {}
+    for i, name in enumerate(names):
+        table[(i, i + 1)] = (cost_model.leaf_cost(name, stats), leaf(name))
+    for length in range(2, n + 1):
+        for i in range(0, n - length + 1):
+            j = i + length
+            best_cost = float("inf")
+            best_node: Optional[TreeNode] = None
+            for split in range(i + 1, j):
+                left_cost, left_node = table[(i, split)]
+                right_cost, right_node = table[(split, j)]
+                cost = (
+                    left_cost
+                    + right_cost
+                    + cost_model.combine_cost(
+                        frozenset(names[i:split]),
+                        frozenset(names[split:j]),
+                        stats,
+                    )
+                )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_node = TreeNode(left=left_node, right=right_node)
+            assert best_node is not None
+            table[(i, j)] = (best_cost, best_node)
+    return TreePlan(table[(0, n)][1])
+
+
+class ZStreamTree(PlanGenerator):
+    """ZSTREAM: interval DP over the pattern's syntactic leaf order."""
+
+    name = "ZSTREAM"
+    kind = TREE
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> TreePlan:
+        variables = self._check_input(decomposed, stats)
+        return best_tree_for_leaf_order(variables, stats, cost_model)
+
+
+class ZStreamOrderedTree(PlanGenerator):
+    """ZSTREAM-ORD: GREEDY leaf ordering + ZStream interval DP."""
+
+    name = "ZSTREAM-ORD"
+    kind = TREE
+
+    def generate(
+        self,
+        decomposed: DecomposedPattern,
+        stats: PatternStatistics,
+        cost_model: CostModel,
+    ) -> TreePlan:
+        self._check_input(decomposed, stats)
+        order: OrderPlan = GreedyOrder().generate(decomposed, stats, cost_model)
+        return best_tree_for_leaf_order(order.variables, stats, cost_model)

@@ -1,0 +1,67 @@
+"""Pattern formatting — the inverse of :mod:`repro.patterns.parser`.
+
+Renders a :class:`~repro.patterns.Pattern` back into the SASE-like
+textual syntax, such that ``parse_pattern(format_pattern(p))`` is
+structurally identical to ``p``.  Useful for logging, configuration
+files, and golden tests.
+
+Only declaratively-expressible predicates round-trip: attribute
+comparisons (including the timestamp orderings of Theorem 3).
+``FunctionPredicate`` and ``Adjacent`` carry Python callables / engine
+semantics and raise unless ``skip_opaque=True`` drops them.
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternError
+from .operators import And, Kleene, Not, Or, PatternNode, Primitive, Seq
+from .pattern import Pattern
+from .predicates import Attr, Comparison, Const
+
+
+def format_pattern(pattern: Pattern, skip_opaque: bool = False) -> str:
+    """Render ``pattern`` in the SASE-like syntax of Section 2.1."""
+    clauses = [f"PATTERN {_format_node(pattern.root)}"]
+    conditions = []
+    for predicate in pattern.conditions:
+        rendered = _format_predicate(predicate)
+        if rendered is None:
+            if skip_opaque:
+                continue
+            raise PatternError(
+                f"predicate {predicate!r} has no textual form; pass "
+                "skip_opaque=True to drop it"
+            )
+        conditions.append(rendered)
+    if conditions:
+        clauses.append("WHERE " + " AND ".join(conditions))
+    clauses.append(f"WITHIN {pattern.window:g}")
+    return " ".join(clauses)
+
+
+def _format_node(node: PatternNode) -> str:
+    if isinstance(node, Primitive):
+        return f"{node.event_type} {node.variable}"
+    if isinstance(node, (Not, Kleene)):
+        return f"{node.name}({_format_node(node.child)})"
+    if isinstance(node, (Seq, And, Or)):
+        inner = ", ".join(_format_node(child) for child in node.children)
+        return f"{node.name}({inner})"
+    raise PatternError(f"cannot format node {type(node).__name__}")
+
+
+def _format_predicate(predicate) -> str:
+    if not isinstance(predicate, Comparison):
+        return None
+    return (
+        f"{_format_operand(predicate.left)} {predicate.op} "
+        f"{_format_operand(predicate.right)}"
+    )
+
+
+def _format_operand(operand) -> str:
+    if isinstance(operand, Attr):
+        return f"{operand.variable}.{operand.attribute}"
+    if isinstance(operand, Const):
+        return f"{operand.value:g}"
+    raise PatternError(f"cannot format operand {operand!r}")

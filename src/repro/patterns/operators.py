@@ -1,0 +1,180 @@
+"""Pattern operator tree (the ``PATTERN`` clause).
+
+The grammar follows Section 2.1 of the paper:
+
+* **n-ary operators**: ``SEQ``, ``AND``, ``OR`` — combine two or more
+  sub-patterns;
+* **unary operators**: ``NOT`` (absence), ``KL`` (Kleene closure, one or
+  more occurrences) — apply to a single primitive event.
+
+A *primitive* is an event type bound to a pattern variable
+(``Primitive("A", "a")`` is the clause ``A a``).  A pattern whose root is a
+single n-ary operator over primitives (possibly decorated with at most one
+unary operator each) is *simple*; anything with several n-ary operators is
+*nested* (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import PatternError
+
+
+class PatternNode:
+    """Abstract node of the operator tree."""
+
+    __slots__ = ()
+
+    def primitives(self) -> Iterator["Primitive"]:
+        """Yield every primitive in the subtree, left to right."""
+        raise NotImplementedError
+
+    def variables(self) -> list[str]:
+        """Variable names of all primitives, in syntactic order."""
+        return [p.variable for p in self.primitives()]
+
+    def copy(self) -> "PatternNode":
+        raise NotImplementedError
+
+
+class Primitive(PatternNode):
+    """An event type bound to a variable: ``TypeName variable``."""
+
+    __slots__ = ("event_type", "variable")
+
+    def __init__(self, event_type: str, variable: str) -> None:
+        if not event_type or not variable:
+            raise PatternError("primitive needs both an event type and a variable")
+        self.event_type = event_type
+        self.variable = variable
+
+    def primitives(self) -> Iterator["Primitive"]:
+        yield self
+
+    def copy(self) -> "Primitive":
+        return Primitive(self.event_type, self.variable)
+
+    def __repr__(self) -> str:
+        return f"{self.event_type} {self.variable}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Primitive)
+            and self.event_type == other.event_type
+            and self.variable == other.variable
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.event_type, self.variable))
+
+
+class _NaryOperator(PatternNode):
+    """Shared implementation of SEQ / AND / OR."""
+
+    __slots__ = ("children",)
+
+    name = "?"
+
+    def __init__(self, children: Sequence[PatternNode]) -> None:
+        if len(children) < 2:
+            raise PatternError(f"{self.name} needs at least two operands")
+        self.children = tuple(children)
+        seen: set[str] = set()
+        for primitive in self.primitives():
+            if primitive.variable in seen:
+                raise PatternError(
+                    f"duplicate pattern variable {primitive.variable!r}"
+                )
+            seen.add(primitive.variable)
+
+    def primitives(self) -> Iterator[Primitive]:
+        for child in self.children:
+            yield from child.primitives()
+
+    def copy(self) -> "_NaryOperator":
+        return type(self)([child.copy() for child in self.children])
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.children))})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.children))
+
+
+class Seq(_NaryOperator):
+    """Temporal sequence: operands must occur in timestamp order."""
+
+    __slots__ = ()
+    name = "SEQ"
+
+
+class And(_NaryOperator):
+    """Conjunction: all operands occur within the window, any order."""
+
+    __slots__ = ()
+    name = "AND"
+
+
+class Or(_NaryOperator):
+    """Disjunction: any single operand occurring is a match."""
+
+    __slots__ = ()
+    name = "OR"
+
+
+class _UnaryOperator(PatternNode):
+    """Shared implementation of NOT / KL (apply to a single primitive)."""
+
+    __slots__ = ("child",)
+
+    name = "?"
+
+    def __init__(self, child: PatternNode) -> None:
+        if not isinstance(child, Primitive):
+            raise PatternError(
+                f"{self.name} applies to a single primitive event "
+                f"(got {type(child).__name__})"
+            )
+        self.child = child
+
+    def primitives(self) -> Iterator[Primitive]:
+        yield from self.child.primitives()
+
+    def copy(self) -> "_UnaryOperator":
+        return type(self)(self.child.copy())
+
+    def __repr__(self) -> str:
+        return f"{self.name}({self.child!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.child))
+
+
+class Not(_UnaryOperator):
+    """Negation: the event must be *absent* (Section 5.3)."""
+
+    __slots__ = ()
+    name = "NOT"
+
+
+class Kleene(_UnaryOperator):
+    """Kleene closure: one or more occurrences (Section 5.2)."""
+
+    __slots__ = ()
+    name = "KL"
+
+
+def count_nary_operators(node: PatternNode) -> int:
+    """Number of n-ary operators in the subtree (nested-ness test)."""
+    if isinstance(node, _NaryOperator):
+        return 1 + sum(count_nary_operators(c) for c in node.children)
+    if isinstance(node, _UnaryOperator):
+        return count_nary_operators(node.child)
+    return 0

@@ -1,0 +1,205 @@
+"""Parser for the SASE-like textual pattern syntax of Section 2.1.
+
+Example::
+
+    PATTERN SEQ(A a, B b, NOT(C c), KL(D d))
+    WHERE a.vehicleID = b.vehicleID = d.vehicleID AND b.speed > 90
+    WITHIN 20
+
+Grammar (case-insensitive keywords)::
+
+    spec      := 'PATTERN' node ['WHERE' conditions] 'WITHIN' NUMBER
+    node      := OPNAME '(' node (',' node)* ')' | IDENT IDENT
+    OPNAME    := 'SEQ' | 'AND' | 'OR' | 'NOT' | 'KL'
+    conditions:= ['('] atom ('AND' atom)* [')'] | 'true'
+    atom      := operand (CMP operand)+          -- chains expand pairwise
+    operand   := IDENT '.' IDENT | NUMBER
+    CMP       := '<' | '<=' | '>' | '>=' | '=' | '==' | '!='
+
+Chained comparisons such as ``a.x = b.x = c.x`` expand into the pairwise
+atoms ``a.x = b.x`` and ``b.x = c.x`` (the paper's four-cameras example
+uses this form).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import PatternParseError
+from .operators import And, Kleene, Not, Or, PatternNode, Primitive, Seq
+from .pattern import Pattern
+from .predicates import Attr, Comparison, Const, Operand, Predicate
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<NUMBER>-?\d+(?:\.\d+)?)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<DOT>\.)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<CMP><=|>=|==|!=|<|>|=)
+  | (?P<WS>\s+)
+""",
+    re.VERBOSE,
+)
+
+_OPERATORS = {"SEQ": Seq, "AND": And, "OR": Or, "NOT": Not, "KL": Kleene}
+_KEYWORDS = {"PATTERN", "WHERE", "WITHIN"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.pos}"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PatternParseError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PatternParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (
+            text is not None and token.text.upper() != text.upper()
+        ):
+            expected = text or kind
+            raise PatternParseError(
+                f"expected {expected} at offset {token.pos}, got {token.text!r}"
+            )
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "NAME"
+            and token.text.upper() == word
+        )
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self, name: Optional[str]) -> Pattern:
+        self._expect("NAME", "PATTERN")
+        root = self._parse_node()
+        predicates: list[Predicate] = []
+        if self._at_keyword("WHERE"):
+            self._next()
+            predicates = self._parse_conditions()
+        self._expect("NAME", "WITHIN")
+        window = float(self._expect("NUMBER").text)
+        trailing = self._peek()
+        if trailing is not None:
+            raise PatternParseError(
+                f"trailing input at offset {trailing.pos}: {trailing.text!r}"
+            )
+        return Pattern(root, predicates, window, name=name)
+
+    def _parse_node(self) -> PatternNode:
+        first = self._expect("NAME")
+        upper = first.text.upper()
+        if upper in _OPERATORS:
+            self._expect("LPAREN")
+            children = [self._parse_node()]
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                self._next()
+                children.append(self._parse_node())
+            self._expect("RPAREN")
+            operator_cls = _OPERATORS[upper]
+            if operator_cls in (Not, Kleene):
+                if len(children) != 1:
+                    raise PatternParseError(
+                        f"{upper} takes exactly one operand at offset {first.pos}"
+                    )
+                return operator_cls(children[0])
+            return operator_cls(children)
+        if upper in _KEYWORDS:
+            raise PatternParseError(
+                f"unexpected keyword {first.text!r} at offset {first.pos}"
+            )
+        variable = self._expect("NAME")
+        return Primitive(first.text, variable.text)
+
+    def _parse_conditions(self) -> list[Predicate]:
+        wrapped = False
+        token = self._peek()
+        if token is not None and token.kind == "LPAREN":
+            self._next()
+            wrapped = True
+        predicates: list[Predicate] = []
+        predicates.extend(self._parse_atom())
+        while self._at_keyword("AND"):
+            self._next()
+            predicates.extend(self._parse_atom())
+        if wrapped:
+            self._expect("RPAREN")
+        return predicates
+
+    def _parse_atom(self) -> list[Predicate]:
+        if self._at_keyword("TRUE"):
+            self._next()
+            return []
+        operands = [self._parse_operand()]
+        ops: list[str] = []
+        while self._peek() is not None and self._peek().kind == "CMP":
+            ops.append(self._next().text)
+            operands.append(self._parse_operand())
+        if not ops:
+            raise PatternParseError("expected a comparison in WHERE clause")
+        return [
+            Comparison(operands[i], ops[i], operands[i + 1])
+            for i in range(len(ops))
+        ]
+
+    def _parse_operand(self) -> Operand:
+        token = self._next()
+        if token.kind == "NUMBER":
+            return Const(float(token.text))
+        if token.kind == "NAME":
+            self._expect("DOT")
+            attribute = self._expect("NAME")
+            return Attr(token.text, attribute.text)
+        raise PatternParseError(
+            f"expected operand at offset {token.pos}, got {token.text!r}"
+        )
+
+
+def parse_pattern(text: str, name: Optional[str] = None) -> Pattern:
+    """Parse a SASE-like pattern specification into a :class:`Pattern`."""
+    return _Parser(text).parse(name)

@@ -1,0 +1,190 @@
+"""The :class:`Pattern` — operator tree + WHERE conditions + time window.
+
+Mirrors the SASE-style specification of Section 2.1::
+
+    PATTERN op(T1 e1, ..., Tn en)
+    WHERE   (c11 AND c12 AND ... AND cnn)
+    WITHIN  W
+
+and provides the taxonomy the paper relies on:
+
+* *simple* — a single n-ary operator, at most one unary operator per
+  primitive; otherwise *nested*;
+* *pure* — simple and free of unary operators;
+* *conjunctive* / *sequence* / *disjunctive* — simple with root AND / SEQ
+  / OR respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..errors import PatternError
+from .operators import (
+    And,
+    Kleene,
+    Not,
+    Or,
+    PatternNode,
+    Primitive,
+    Seq,
+    count_nary_operators,
+)
+from .predicates import ConditionSet, Predicate
+
+
+class Pattern:
+    """A complete CEP pattern specification.
+
+    Parameters
+    ----------
+    root:
+        Operator tree (the ``PATTERN`` clause).
+    conditions:
+        CNF conjunction of atomic predicates (the ``WHERE`` clause).  May
+        be an iterable of :class:`Predicate` or a :class:`ConditionSet`.
+    window:
+        The ``WITHIN`` time window; the maximal allowed timestamp
+        difference between any two events of a match.  Must be positive.
+    name:
+        Optional identifier used in reports.
+    """
+
+    __slots__ = ("root", "conditions", "window", "name")
+
+    def __init__(
+        self,
+        root: PatternNode,
+        conditions: Union[ConditionSet, Iterable[Predicate]] = (),
+        window: float = 1.0,
+        name: Optional[str] = None,
+    ) -> None:
+        if window <= 0:
+            raise PatternError(f"time window must be positive (got {window})")
+        if isinstance(root, (Not, Kleene)):
+            raise PatternError("pattern root cannot be a unary operator")
+        self.root = root
+        self.conditions = (
+            conditions
+            if isinstance(conditions, ConditionSet)
+            else ConditionSet(conditions)
+        )
+        self.window = float(window)
+        self.name = name or repr(root)
+        self._validate()
+
+    def _validate(self) -> None:
+        known = set(self.variable_names())
+        unknown = self.conditions.variables() - known
+        if unknown:
+            raise PatternError(
+                f"WHERE clause references unknown variables: {sorted(unknown)}"
+            )
+
+    # -- structure ---------------------------------------------------------
+    def primitives(self) -> list[Primitive]:
+        """All primitives left to right (including negated / Kleene ones)."""
+        return list(self.root.primitives())
+
+    def variable_names(self) -> list[str]:
+        """All variable names in syntactic order."""
+        return self.root.variables()
+
+    def variable_types(self) -> dict[str, str]:
+        """Mapping from variable name to its event type name."""
+        return {p.variable: p.event_type for p in self.primitives()}
+
+    def __len__(self) -> int:
+        """Pattern size = number of participating primitive events."""
+        return len(self.primitives())
+
+    def __repr__(self) -> str:
+        return (
+            f"Pattern({self.root!r} WHERE {self.conditions!r} "
+            f"WITHIN {self.window:g})"
+        )
+
+    # -- unary-operator views -------------------------------------------------
+    def negated_variables(self) -> list[str]:
+        """Variables under a NOT operator (only meaningful for simple patterns)."""
+        return [
+            node.child.variable
+            for node in self._top_level_nodes()
+            if isinstance(node, Not)
+        ]
+
+    def kleene_variables(self) -> list[str]:
+        """Variables under a KL operator."""
+        return [
+            node.child.variable
+            for node in self._top_level_nodes()
+            if isinstance(node, Kleene)
+        ]
+
+    def positive_variables(self) -> list[str]:
+        """Variables *not* under a NOT operator, in syntactic order."""
+        negated = set(self.negated_variables())
+        return [v for v in self.variable_names() if v not in negated]
+
+    def _top_level_nodes(self) -> list[PatternNode]:
+        if isinstance(self.root, Primitive):
+            return [self.root]
+        nodes: list[PatternNode] = []
+        stack: list[PatternNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (Seq, And, Or)):
+                stack.extend(node.children)
+            else:
+                nodes.append(node)
+        return nodes
+
+    # -- taxonomy (Section 2.1) -------------------------------------------
+    @property
+    def is_nested(self) -> bool:
+        """True when the pattern contains more than one n-ary operator."""
+        return count_nary_operators(self.root) > 1
+
+    @property
+    def is_simple(self) -> bool:
+        """Single n-ary operator, at most one unary operator per primitive."""
+        return not self.is_nested
+
+    @property
+    def is_pure(self) -> bool:
+        """Simple and without any unary (NOT / KL) operators."""
+        if self.is_nested:
+            return False
+        return not self.negated_variables() and not self.kleene_variables()
+
+    @property
+    def is_conjunctive(self) -> bool:
+        return self.is_simple and isinstance(self.root, And)
+
+    @property
+    def is_sequence(self) -> bool:
+        return self.is_simple and isinstance(self.root, Seq)
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return self.is_simple and isinstance(self.root, Or)
+
+    # -- convenience -----------------------------------------------------------
+    def with_conditions(self, conditions: ConditionSet) -> "Pattern":
+        """Copy of this pattern with a replacement WHERE clause."""
+        return Pattern(self.root.copy(), conditions, self.window, self.name)
+
+    def with_window(self, window: float) -> "Pattern":
+        """Copy of this pattern with a different time window."""
+        return Pattern(self.root.copy(), self.conditions, window, self.name)
+
+    def sequence_order(self) -> Optional[list[str]]:
+        """For sequence patterns: positive variables in temporal order.
+
+        Returns ``None`` for non-SEQ roots.  This is the order the TRIVIAL
+        plan follows and the order defining the "last" event for the
+        latency cost model (Section 6.1).
+        """
+        if not isinstance(self.root, Seq):
+            return None
+        return self.positive_variables()

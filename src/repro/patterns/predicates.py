@@ -1,0 +1,379 @@
+"""Predicate algebra for CEP patterns.
+
+A pattern's ``WHERE`` clause is a CNF formula of *atomic predicates*
+(Section 2.1 of the paper).  Following the paper we assume each atomic
+predicate references at most two distinct pattern variables: a **filter**
+(unary, ``c_ii``) or a **pairwise condition** (``c_ij``).
+
+Predicates are evaluated against *bindings*: a mapping from pattern
+variable name to the :class:`~repro.events.Event` bound to it.  A variable
+under a Kleene closure binds a *tuple* of events; atomic predicates then
+hold iff they hold for every element (universal semantics, the standard
+SASE interpretation of predicates on ``KL`` variables).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from ..errors import PatternError
+
+Bindings = Mapping[str, Any]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Operand:
+    """Base class of comparison operands."""
+
+    __slots__ = ()
+
+    def variables(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def resolve(self, bindings: Bindings) -> Any:
+        raise NotImplementedError
+
+
+class Attr(Operand):
+    """A reference ``variable.attribute`` (``a.price``, ``b.timestamp``)."""
+
+    __slots__ = ("variable", "attribute")
+
+    def __init__(self, variable: str, attribute: str) -> None:
+        self.variable = variable
+        self.attribute = attribute
+
+    def variables(self) -> tuple[str, ...]:
+        return (self.variable,)
+
+    def resolve(self, bindings: Bindings) -> Any:
+        return bindings[self.variable][self.attribute]
+
+    def __repr__(self) -> str:
+        return f"{self.variable}.{self.attribute}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attr)
+            and self.variable == other.variable
+            and self.attribute == other.attribute
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.variable, self.attribute))
+
+
+class Const(Operand):
+    """A literal constant operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def variables(self) -> tuple[str, ...]:
+        return ()
+
+    def resolve(self, bindings: Bindings) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+class Predicate:
+    """Abstract atomic predicate over at most two pattern variables."""
+
+    __slots__ = ()
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Distinct pattern variable names the predicate references."""
+        raise NotImplementedError
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        """True iff the predicate holds under ``bindings``.
+
+        Kleene-bound variables (tuples of events) use universal semantics.
+        """
+        raise NotImplementedError
+
+    # -- shared Kleene expansion helper ----------------------------------
+    def _expand(self, bindings: Bindings) -> Iterable[Bindings]:
+        """Yield scalar bindings, expanding tuple-valued (Kleene) variables."""
+        tuple_vars = [
+            v for v in self.variables if isinstance(bindings.get(v), tuple)
+        ]
+        if not tuple_vars:
+            yield bindings
+            return
+        # At most two variables per predicate, so plain nested expansion
+        # is cheap and clear.
+        scalar = dict(bindings)
+        if len(tuple_vars) == 1:
+            var = tuple_vars[0]
+            for event in bindings[var]:
+                scalar[var] = event
+                yield scalar
+        else:
+            v1, v2 = tuple_vars
+            for e1 in bindings[v1]:
+                for e2 in bindings[v2]:
+                    scalar[v1] = e1
+                    scalar[v2] = e2
+                    yield scalar
+
+
+class Comparison(Predicate):
+    """An atomic comparison ``left OP right``.
+
+    ``left``/``right`` are :class:`Attr` or :class:`Const`; ``op`` is one of
+    ``< <= > >= = != ==``.
+    """
+
+    __slots__ = ("left", "op", "right", "_fn", "_variables")
+
+    def __init__(self, left: Operand, op: str, right: Operand) -> None:
+        if op not in _OPS:
+            raise PatternError(f"unknown comparison operator {op!r}")
+        self.left = left
+        self.op = op
+        self.right = right
+        self._fn = _OPS[op]
+        names: list[str] = []
+        for operand in (left, right):
+            for name in operand.variables():
+                if name not in names:
+                    names.append(name)
+        if len(names) > 2:
+            raise PatternError("atomic predicates reference at most 2 variables")
+        self._variables = tuple(names)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self._variables
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        for scalar in self._expand(bindings):
+            try:
+                if not self._fn(
+                    self.left.resolve(scalar), self.right.resolve(scalar)
+                ):
+                    return False
+            except (KeyError, TypeError):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.left == other.left
+            and self.op == other.op
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.op, self.right))
+
+
+class FunctionPredicate(Predicate):
+    """An arbitrary boolean function over one or two bound events.
+
+    Used for predicates that are not simple attribute comparisons.  An
+    optional ``name`` gives it a stable identity for selectivity catalogs.
+    """
+
+    __slots__ = ("_variables", "fn", "name")
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        fn: Callable[..., bool],
+        name: Optional[str] = None,
+    ) -> None:
+        if not 1 <= len(variables) <= 2:
+            raise PatternError("predicates reference 1 or 2 variables")
+        self._variables = tuple(variables)
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "predicate")
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self._variables
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        for scalar in self._expand(bindings):
+            args = [scalar[v] for v in self._variables]
+            if not self.fn(*args):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self._variables)})"
+
+
+class TimestampOrder(Comparison):
+    """``before.timestamp < after.timestamp`` — the PO predicates of Thm 3."""
+
+    __slots__ = ()
+
+    def __init__(self, before: str, after: str) -> None:
+        super().__init__(Attr(before, "timestamp"), "<", Attr(after, "timestamp"))
+
+
+class Adjacent(Predicate):
+    """Serial-number adjacency used to express contiguity (Section 6.2).
+
+    ``strict`` mode requires ``after.seq == before.seq + 1`` (strict
+    contiguity).  ``partition`` mode requires both events to share a stream
+    partition and be adjacent in the per-partition serial order carried by
+    the ``pseq`` attribute (see
+    :func:`repro.patterns.transformations.with_partition_serials`).
+    """
+
+    __slots__ = ("before", "after", "mode")
+
+    def __init__(self, before: str, after: str, mode: str = "strict") -> None:
+        if mode not in ("strict", "partition"):
+            raise PatternError(f"unknown contiguity mode {mode!r}")
+        self.before = before
+        self.after = after
+        self.mode = mode
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return (self.before, self.after)
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        for scalar in self._expand(bindings):
+            first, second = scalar[self.before], scalar[self.after]
+            if self.mode == "strict":
+                if second.seq != first.seq + 1:
+                    return False
+            else:
+                if first.partition != second.partition:
+                    return False
+                if second.get("pseq") != first.get("pseq", -2) + 1:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Adjacent({self.before} -> {self.after}, {self.mode})"
+
+
+class ConditionSet:
+    """An immutable CNF conjunction of atomic predicates.
+
+    Provides the per-variable / per-pair views the cost models and engines
+    need: ``filters_for(v)`` returns the unary predicates on ``v`` (the
+    paper's ``c_vv``), ``between(v, u)`` the pairwise predicates relating
+    ``v`` and ``u`` (``c_vu``).
+    """
+
+    __slots__ = ("_predicates",)
+
+    def __init__(self, predicates: Iterable[Predicate] = ()) -> None:
+        self._predicates = tuple(predicates)
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        return self._predicates
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __iter__(self):
+        return iter(self._predicates)
+
+    def __repr__(self) -> str:
+        return "ConditionSet(" + " AND ".join(map(repr, self._predicates)) + ")"
+
+    # -- structural views ----------------------------------------------------
+    def variables(self) -> set[str]:
+        """All variable names referenced by any predicate."""
+        names: set[str] = set()
+        for predicate in self._predicates:
+            names.update(predicate.variables)
+        return names
+
+    def filters_for(self, variable: str) -> list[Predicate]:
+        """Unary predicates on ``variable``."""
+        return [
+            p
+            for p in self._predicates
+            if p.variables == (variable,)
+        ]
+
+    def between(self, var_a: str, var_b: str) -> list[Predicate]:
+        """Pairwise predicates relating ``var_a`` and ``var_b``."""
+        pair = {var_a, var_b}
+        return [
+            p
+            for p in self._predicates
+            if len(p.variables) == 2 and set(p.variables) == pair
+        ]
+
+    def involving(self, variable: str) -> list[Predicate]:
+        """All predicates that mention ``variable``."""
+        return [p for p in self._predicates if variable in p.variables]
+
+    def restricted_to(self, variables: Iterable[str]) -> "ConditionSet":
+        """Predicates whose variables all lie in ``variables``."""
+        keep = set(variables)
+        return ConditionSet(
+            p for p in self._predicates if set(p.variables) <= keep
+        )
+
+    def conjoin(self, *extra: Union[Predicate, "ConditionSet"]) -> "ConditionSet":
+        """New condition set with ``extra`` predicates appended."""
+        items = list(self._predicates)
+        for entry in extra:
+            if isinstance(entry, ConditionSet):
+                items.extend(entry.predicates)
+            else:
+                items.append(entry)
+        return ConditionSet(items)
+
+    # -- evaluation ------------------------------------------------------------
+    def evaluate(self, bindings: Bindings) -> bool:
+        """True iff every predicate with all variables bound holds."""
+        bound = set(bindings)
+        for predicate in self._predicates:
+            if set(predicate.variables) <= bound:
+                if not predicate.evaluate(bindings):
+                    return False
+        return True
+
+    def evaluate_new_binding(self, bindings: Bindings, new_variable: str) -> bool:
+        """Incremental check used by engines.
+
+        Evaluates only the predicates that involve ``new_variable`` and
+        whose other variable (if any) is already bound — exactly the checks
+        performed on an NFA edge traversal (Section 2.2).
+        """
+        bound = set(bindings)
+        for predicate in self._predicates:
+            names = predicate.variables
+            if new_variable in names and set(names) <= bound:
+                if not predicate.evaluate(bindings):
+                    return False
+        return True

@@ -1,0 +1,437 @@
+"""Pattern transformations (Section 5 of the paper).
+
+These rewrites let a JQPG algorithm — which only understands conjunctive
+(join-like) inputs — plan *any* supported pattern:
+
+* :func:`sequence_to_conjunction` — Theorem 3: a SEQ pattern equals an AND
+  pattern with timestamp-ordering predicates added.
+* :func:`nested_to_dnf` — Section 5.4: a nested pattern becomes a
+  disjunction of simple conjunctive patterns, each planned independently.
+* :func:`decompose` — the *planning view* of a simple pattern: positive
+  variables, Kleene variables, negation specifications with their temporal
+  bounds (Section 5.3), and the full condition set including the ordering
+  predicates implied by SEQ operators.
+* :func:`kleene_planning_rate` — Theorem 4: the power-set arrival rate
+  ``(2^(r·W) − 1) / W`` substituted for a Kleene-closed type during plan
+  generation (log-domain guarded; see DESIGN.md).
+* :func:`add_contiguity_predicates` / :func:`with_partition_serials` —
+  Section 6.2: model strict / partition contiguity as explicit predicates
+  over (per-partition) serial numbers.
+
+The rewrites are used **for plan generation only**; engines execute the
+original pattern semantics (the paper, Section 5: "no actual conversion
+takes place during execution").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import PatternError
+from ..events import Event, Stream
+from .operators import And, Kleene, Not, Or, PatternNode, Primitive, Seq
+from .pattern import Pattern
+from .predicates import Adjacent, ConditionSet, Predicate, TimestampOrder
+
+
+@dataclass(frozen=True)
+class NegationSpec:
+    """Placement information for one negated event (Section 5.3).
+
+    ``preceding`` / ``following`` list the positive variables that
+    temporally bound the forbidden event.  Both empty means the event is
+    forbidden anywhere in the window overlapping the match (negation under
+    AND).  The engine checks for the forbidden event at the earliest point
+    when all variables in ``preceding + following`` are bound.
+    """
+
+    variable: str
+    event_type: str
+    preceding: tuple[str, ...] = ()
+    following: tuple[str, ...] = ()
+
+    @property
+    def bounded(self) -> bool:
+        """True when at least one side has a temporal bound."""
+        return bool(self.preceding or self.following)
+
+
+@dataclass(frozen=True)
+class DecomposedPattern:
+    """The planning view of a simple pattern.
+
+    Attributes
+    ----------
+    positives:
+        ``(variable, event_type)`` pairs of non-negated primitives, in
+        syntactic order (this is the TRIVIAL plan order).
+    kleene:
+        Variables under a KL operator.
+    negations:
+        One :class:`NegationSpec` per NOT operator.
+    conditions:
+        All predicates among *positive* variables, including the
+        timestamp-ordering predicates a SEQ root implies (Theorem 3).
+    negation_conditions:
+        Predicates that mention a negated variable; evaluated by the
+        negation check, never by the positive plan.
+    window:
+        The pattern's time window.
+    """
+
+    positives: tuple[tuple[str, str], ...]
+    kleene: frozenset[str]
+    negations: tuple[NegationSpec, ...]
+    conditions: ConditionSet
+    negation_conditions: ConditionSet
+    window: float
+    source: Pattern = field(repr=False, compare=False, default=None)
+
+    @property
+    def positive_variables(self) -> tuple[str, ...]:
+        return tuple(v for v, _ in self.positives)
+
+    @property
+    def variable_types(self) -> dict[str, str]:
+        types = {v: t for v, t in self.positives}
+        for spec in self.negations:
+            types[spec.variable] = spec.event_type
+        return types
+
+    def temporal_last_variable(self) -> Optional[str]:
+        """The sequence-last positive variable, or ``None`` for AND roots.
+
+        Defines ``T_n`` in the latency cost model (Section 6.1).
+        """
+        if self.source is not None and isinstance(self.source.root, Seq):
+            return self.positives[-1][0]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3: SEQ -> AND
+# ---------------------------------------------------------------------------
+
+def sequence_to_conjunction(pattern: Pattern) -> Pattern:
+    """Rewrite a simple SEQ pattern into the equivalent AND pattern.
+
+    Adds ``e_i.ts < e_{i+1}.ts`` predicates between consecutive *positive*
+    primitives (Theorem 3), preserving NOT / KL wrappers.  Raises
+    :class:`PatternError` for non-SEQ or nested inputs.
+    """
+    if not isinstance(pattern.root, Seq) or pattern.is_nested:
+        raise PatternError("sequence_to_conjunction expects a simple SEQ pattern")
+    children = [child.copy() for child in pattern.root.children]
+    ordering: list[Predicate] = []
+    previous: Optional[str] = None
+    for child in children:
+        if isinstance(child, Not):
+            continue
+        variable = next(child.primitives()).variable
+        if previous is not None:
+            ordering.append(TimestampOrder(previous, variable))
+        previous = variable
+    return Pattern(
+        And(children),
+        pattern.conditions.conjoin(*ordering),
+        pattern.window,
+        name=pattern.name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 5.4: nested patterns -> DNF
+# ---------------------------------------------------------------------------
+
+def nested_to_dnf(pattern: Pattern) -> list[Pattern]:
+    """Expand a (possibly nested) pattern into simple disjuncts.
+
+    Returns a list of *simple* patterns whose union of matches equals the
+    original pattern's matches.  OR operators are distributed over AND and
+    SEQ; SEQ nesting is flattened into AND plus the implied
+    timestamp-ordering predicates.  A simple input is returned as a
+    singleton list (unchanged).
+    """
+    if not pattern.is_nested and not isinstance(pattern.root, Or):
+        return [pattern]
+    disjuncts = _or_alternatives(pattern.root)
+    result: list[Pattern] = []
+    for index, alternative in enumerate(disjuncts):
+        if _is_simple_conjunct(alternative):
+            # A plain SEQ/AND over primitives: keep the root as-is so the
+            # disjunct stays an ordinary simple pattern (decompose() will
+            # derive its ordering predicates).
+            root: PatternNode = alternative
+            ordering: list[Predicate] = []
+            children = (
+                [alternative]
+                if isinstance(alternative, Primitive)
+                else list(alternative.children)
+            )
+        else:
+            children, ordering, _ = _flatten_conjunct(alternative)
+            if len(children) == 1 and isinstance(children[0], Primitive):
+                root = children[0]
+            elif len(children) == 1:
+                raise PatternError(
+                    "a disjunct consisting of a single unary operator is "
+                    "not a valid standalone pattern"
+                )
+            else:
+                root = And(children)
+        variables = set(
+            p.variable for child in children for p in child.primitives()
+        )
+        conditions = pattern.conditions.restricted_to(variables).conjoin(*ordering)
+        result.append(
+            Pattern(
+                root,
+                conditions,
+                pattern.window,
+                name=f"{pattern.name}#dnf{index}",
+            )
+        )
+    return result
+
+
+def _is_simple_conjunct(node: PatternNode) -> bool:
+    """True for a Primitive or a SEQ/AND whose children are all leaf-like."""
+    if isinstance(node, Primitive):
+        return True
+    if isinstance(node, (Seq, And)):
+        return all(
+            isinstance(child, (Primitive, Not, Kleene))
+            for child in node.children
+        )
+    return False
+
+
+def _or_alternatives(node: PatternNode) -> list[PatternNode]:
+    """All OR-free alternatives of ``node`` (DNF expansion)."""
+    if isinstance(node, (Primitive, Not, Kleene)):
+        return [node.copy()]
+    if isinstance(node, Or):
+        alternatives: list[PatternNode] = []
+        for child in node.children:
+            alternatives.extend(_or_alternatives(child))
+        return alternatives
+    if isinstance(node, (And, Seq)):
+        child_options = [_or_alternatives(child) for child in node.children]
+        combos: list[PatternNode] = []
+        for chosen in itertools.product(*child_options):
+            combos.append(type(node)([c.copy() for c in chosen]))
+        return combos
+    raise PatternError(f"unsupported node type {type(node).__name__}")
+
+
+def _flatten_conjunct(
+    node: PatternNode,
+) -> tuple[list[PatternNode], list[Predicate], list[str]]:
+    """Flatten an OR-free AND/SEQ tree into primitives + ordering predicates.
+
+    Returns ``(children, ordering_predicates, positive_variables)`` where
+    ``children`` are Primitive / Not / Kleene nodes.  A SEQ node emits
+    all-pairs timestamp orderings between the positive variables of
+    consecutive (non-empty) child groups, which by transitivity encodes the
+    full sequence semantics.
+    """
+    if isinstance(node, (Primitive, Not, Kleene)):
+        positives = [] if isinstance(node, Not) else [
+            p.variable for p in node.primitives()
+        ]
+        return [node.copy()], [], positives
+
+    children: list[PatternNode] = []
+    ordering: list[Predicate] = []
+    groups: list[list[str]] = []
+    for child in node.children:
+        sub_children, sub_ordering, sub_positives = _flatten_conjunct(child)
+        children.extend(sub_children)
+        ordering.extend(sub_ordering)
+        groups.append(sub_positives)
+
+    positives = [v for group in groups for v in group]
+    if isinstance(node, Seq):
+        previous: Optional[list[str]] = None
+        for group in groups:
+            if not group:
+                continue
+            if previous is not None:
+                for before in previous:
+                    for after in group:
+                        ordering.append(TimestampOrder(before, after))
+            previous = group
+    return children, ordering, positives
+
+
+# ---------------------------------------------------------------------------
+# Planning view of a simple pattern
+# ---------------------------------------------------------------------------
+
+def decompose(pattern: Pattern) -> DecomposedPattern:
+    """Build the :class:`DecomposedPattern` planning view.
+
+    Only simple (non-nested, non-OR-rooted) patterns are supported; expand
+    nested patterns with :func:`nested_to_dnf` first.
+    """
+    if pattern.is_nested or isinstance(pattern.root, Or):
+        raise PatternError(
+            "decompose expects a simple pattern; use nested_to_dnf first"
+        )
+
+    root = pattern.root
+    nodes: list[PatternNode]
+    if isinstance(root, Primitive):
+        nodes = [root]
+    else:
+        nodes = list(root.children)
+
+    is_seq = isinstance(root, Seq)
+    positives: list[tuple[str, str]] = []
+    kleene: set[str] = set()
+    negations: list[NegationSpec] = []
+    ordering: list[Predicate] = []
+    previous_positive: Optional[str] = None
+    # Pending negations waiting for their *following* bound.
+    pending: list[dict] = []
+
+    for node in nodes:
+        primitive = next(node.primitives())
+        if isinstance(node, Not):
+            preceding = (
+                (previous_positive,) if is_seq and previous_positive else ()
+            )
+            pending.append(
+                {
+                    "variable": primitive.variable,
+                    "event_type": primitive.event_type,
+                    "preceding": preceding,
+                }
+            )
+            continue
+        if isinstance(node, Kleene):
+            kleene.add(primitive.variable)
+        positives.append((primitive.variable, primitive.event_type))
+        if is_seq:
+            if previous_positive is not None:
+                ordering.append(
+                    TimestampOrder(previous_positive, primitive.variable)
+                )
+            for entry in pending:
+                negations.append(
+                    NegationSpec(
+                        entry["variable"],
+                        entry["event_type"],
+                        preceding=entry["preceding"],
+                        following=(primitive.variable,),
+                    )
+                )
+            pending.clear()
+            previous_positive = primitive.variable
+
+    # Trailing negations (SEQ) or all negations (AND).
+    for entry in pending:
+        negations.append(
+            NegationSpec(
+                entry["variable"],
+                entry["event_type"],
+                preceding=entry["preceding"],
+                following=(),
+            )
+        )
+
+    if not positives:
+        raise PatternError("a pattern needs at least one positive event")
+
+    negated_names = {spec.variable for spec in negations}
+    positive_names = {v for v, _ in positives}
+    positive_predicates: list[Predicate] = []
+    negation_predicates: list[Predicate] = []
+    for predicate in pattern.conditions:
+        if set(predicate.variables) & negated_names:
+            negation_predicates.append(predicate)
+        elif set(predicate.variables) <= positive_names:
+            positive_predicates.append(predicate)
+        else:
+            raise PatternError(
+                f"predicate {predicate!r} references unknown variables"
+            )
+
+    return DecomposedPattern(
+        positives=tuple(positives),
+        kleene=frozenset(kleene),
+        negations=tuple(negations),
+        conditions=ConditionSet(positive_predicates).conjoin(*ordering),
+        negation_conditions=ConditionSet(negation_predicates),
+        window=pattern.window,
+        source=pattern,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4: Kleene closure planning rate
+# ---------------------------------------------------------------------------
+
+def kleene_planning_rate(rate: float, window: float, cap: float = 1e30) -> float:
+    """Arrival rate of the power-set type ``T'`` replacing ``KL(T)``.
+
+    A window holds ``r·W`` events of T in expectation, hence ``2^(r·W) − 1``
+    non-empty subsets; the equivalent arrival rate is ``(2^(r·W) − 1) / W``
+    (Section 5.2).  The doubling overflows quickly, so the result is capped
+    at ``cap`` — far beyond any competing rate (which keeps the argmin of
+    every cost model intact) yet small enough that products over 20+ plan
+    steps stay within float range.
+    """
+    if rate < 0 or window <= 0:
+        raise PatternError("rate must be >= 0 and window > 0")
+    exponent = rate * window
+    if exponent >= math.log2(cap) - 1:
+        return cap
+    return (2.0 ** exponent - 1.0) / window
+
+
+# ---------------------------------------------------------------------------
+# Section 6.2: contiguity support
+# ---------------------------------------------------------------------------
+
+def add_contiguity_predicates(pattern: Pattern, mode: str = "strict") -> Pattern:
+    """Add Adjacent predicates between consecutive SEQ events.
+
+    ``mode`` is ``"strict"`` (global serial numbers) or ``"partition"``
+    (per-partition serials; run the stream through
+    :func:`with_partition_serials` first).
+    """
+    if not isinstance(pattern.root, Seq) or pattern.is_nested:
+        raise PatternError("contiguity applies to simple SEQ patterns")
+    variables = pattern.positive_variables()
+    extra = [
+        Adjacent(variables[i], variables[i + 1], mode=mode)
+        for i in range(len(variables) - 1)
+    ]
+    return pattern.with_conditions(pattern.conditions.conjoin(*extra))
+
+
+def with_partition_serials(
+    stream: Stream, key: Callable[[Event], str]
+) -> Stream:
+    """Assign partitions and per-partition serial numbers (``pseq``).
+
+    Returns a new stream in which every event carries ``partition = key(e)``
+    and an integer attribute ``pseq`` counting its position within that
+    partition — the "inner, per-partition order" of Section 6.2.
+    """
+    counters: dict[str, int] = {}
+    events = []
+    for event in stream:
+        partition = key(event)
+        serial = counters.get(partition, 0)
+        counters[partition] = serial + 1
+        attributes = dict(event.attributes)
+        attributes["pseq"] = serial
+        events.append(
+            Event(event.type, event.timestamp, attributes, partition=partition)
+        )
+    return Stream(events)

@@ -1,0 +1,34 @@
+"""Evaluation plan structures and enumeration."""
+
+from .enumeration import (
+    catalan,
+    count_bushy_trees,
+    count_orders,
+    count_trees_fixed_order,
+    count_unordered_bushy_trees,
+    enumerate_bushy_trees,
+    enumerate_orders,
+    enumerate_trees_fixed_order,
+)
+from .order_plan import OrderPlan, all_orders
+from .serialization import plan_from_dict, plan_to_dict
+from .tree_plan import TreeNode, TreePlan, join, leaf
+
+__all__ = [
+    "OrderPlan",
+    "all_orders",
+    "plan_from_dict",
+    "plan_to_dict",
+    "TreeNode",
+    "TreePlan",
+    "join",
+    "leaf",
+    "catalan",
+    "count_bushy_trees",
+    "count_orders",
+    "count_trees_fixed_order",
+    "count_unordered_bushy_trees",
+    "enumerate_bushy_trees",
+    "enumerate_orders",
+    "enumerate_trees_fixed_order",
+]

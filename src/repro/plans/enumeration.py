@@ -1,0 +1,113 @@
+"""Plan-space enumeration utilities.
+
+The search spaces the paper quantifies (Section 1): ``n!`` orders for
+order-based plans, the Catalan number ``C_{n-1}`` of tree shapes for a
+*fixed* leaf order (ZStream's space, Section 2.3), and
+``C_{n-1} * n!`` (equivalently ``(2n-2)!/(n-1)!``) arbitrary bushy trees.
+These enumerators back the exhaustive baselines and the tests that verify
+the dynamic-programming optimizers against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, Sequence
+
+from .order_plan import OrderPlan
+from .tree_plan import TreeNode, TreePlan, leaf
+
+
+def catalan(n: int) -> int:
+    """The n-th Catalan number ``(2n)! / (n! (n+1)!)``."""
+    if n < 0:
+        raise ValueError("catalan is defined for n >= 0")
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def count_orders(n: int) -> int:
+    """Size of the order-plan space: n!."""
+    return math.factorial(n)
+
+
+def count_trees_fixed_order(n: int) -> int:
+    """Binary trees over n ordered leaves: C_{n-1} (ZStream's space)."""
+    return catalan(n - 1)
+
+
+def count_bushy_trees(n: int) -> int:
+    """All bushy trees with labelled leaves: C_{n-1} * n!."""
+    return catalan(n - 1) * math.factorial(n)
+
+
+def count_unordered_bushy_trees(n: int) -> int:
+    """Bushy trees up to left/right child orientation: (2n-3)!!.
+
+    This is the space :func:`enumerate_bushy_trees` generates — our cost
+    functions are symmetric in the two children, so one orientation per
+    shape suffices for optimization and brute-force verification.
+    """
+    if n < 1:
+        raise ValueError("need at least one leaf")
+    result = 1
+    for factor in range(2 * n - 3, 1, -2):
+        result *= factor
+    return result
+
+
+def enumerate_orders(variables: Iterable[str]) -> Iterator[OrderPlan]:
+    """All n! order plans."""
+    for permutation in itertools.permutations(tuple(variables)):
+        yield OrderPlan(permutation)
+
+
+def enumerate_trees_fixed_order(
+    variables: Sequence[str],
+) -> Iterator[TreePlan]:
+    """All tree plans whose left-to-right leaf order is ``variables``.
+
+    This is exactly the space ZStream searches (Section 2.3): contiguous
+    splits only, C_{n-1} trees.
+    """
+    names = tuple(variables)
+
+    def build(lo: int, hi: int) -> Iterator[TreeNode]:
+        if hi - lo == 1:
+            yield leaf(names[lo])
+            return
+        for split in range(lo + 1, hi):
+            for left_tree in build(lo, split):
+                for right_tree in build(split, hi):
+                    yield TreeNode(left=left_tree, right=right_tree)
+
+    for root in build(0, len(names)):
+        yield TreePlan(root)
+
+
+def enumerate_bushy_trees(variables: Iterable[str]) -> Iterator[TreePlan]:
+    """All bushy tree plans over ``variables`` (unordered leaf sets).
+
+    Generates each distinct tree exactly once by always keeping the
+    smallest remaining variable in the left branch of a split.
+    """
+    names = sorted(set(variables))
+
+    def build(group: tuple[str, ...]) -> Iterator[TreeNode]:
+        if len(group) == 1:
+            yield leaf(group[0])
+            return
+        anchor, rest = group[0], group[1:]
+        # Choose the subset of `rest` joining `anchor` on the left.
+        for mask in range(len(rest) + 1):
+            for right_set in itertools.combinations(rest, mask):
+                left_set = (anchor,) + tuple(
+                    v for v in rest if v not in right_set
+                )
+                if not right_set:
+                    continue
+                for left_tree in build(left_set):
+                    for right_tree in build(tuple(right_set)):
+                        yield TreeNode(left=left_tree, right=right_tree)
+
+    for root in build(tuple(names)):
+        yield TreePlan(root)

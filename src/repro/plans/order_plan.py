@@ -1,0 +1,90 @@
+"""Order-based evaluation plans (Section 3.1).
+
+An :class:`OrderPlan` is a permutation of the *positive* variables of a
+pattern.  An order-based engine (the lazy NFA of Section 2.2) processes
+events variable-by-variable in this order; the plan corresponds one-to-one
+to a left-deep join tree (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import PlanError
+from ..patterns.transformations import DecomposedPattern
+
+
+class OrderPlan:
+    """An evaluation order over pattern variables.
+
+    Immutable and hashable; compares by the variable sequence.
+    """
+
+    __slots__ = ("variables",)
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        names = tuple(variables)
+        if len(set(names)) != len(names):
+            raise PlanError(f"order plan has duplicate variables: {names}")
+        if not names:
+            raise PlanError("order plan must contain at least one variable")
+        self.variables = names
+
+    @classmethod
+    def trivial(cls, decomposed: DecomposedPattern) -> "OrderPlan":
+        """The syntactic (pattern-declared) order — the TRIVIAL plan."""
+        return cls(decomposed.positive_variables)
+
+    # -- structure -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.variables)
+
+    def __getitem__(self, index: int) -> str:
+        return self.variables[index]
+
+    def position(self, variable: str) -> int:
+        """Zero-based position of ``variable`` in the order."""
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise PlanError(f"variable {variable!r} not in plan {self.variables}")
+
+    def successors(self, variable: str) -> tuple[str, ...]:
+        """Variables strictly after ``variable`` (``Succ_O`` of Section 6.1)."""
+        return self.variables[self.position(variable) + 1:]
+
+    def prefix(self, length: int) -> tuple[str, ...]:
+        return self.variables[:length]
+
+    # -- validation ------------------------------------------------------------
+    def validate_for(self, decomposed: DecomposedPattern) -> None:
+        """Raise :class:`PlanError` unless this plan covers exactly the
+        pattern's positive variables."""
+        expected = set(decomposed.positive_variables)
+        actual = set(self.variables)
+        if expected != actual:
+            raise PlanError(
+                f"plan variables {sorted(actual)} do not match pattern "
+                f"positives {sorted(expected)}"
+            )
+
+    # -- identity ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OrderPlan) and self.variables == other.variables
+
+    def __hash__(self) -> int:
+        return hash(self.variables)
+
+    def __repr__(self) -> str:
+        return "OrderPlan(" + " -> ".join(self.variables) + ")"
+
+
+def all_orders(variables: Iterable[str]) -> Iterator[OrderPlan]:
+    """Yield all n! order plans over ``variables`` (small n only)."""
+    import itertools
+
+    for permutation in itertools.permutations(tuple(variables)):
+        yield OrderPlan(permutation)

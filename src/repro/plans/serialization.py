@@ -1,0 +1,61 @@
+"""Plan (de)serialization.
+
+Evaluation plans are the natural unit to persist: an operator may want
+to pin a reviewed plan in configuration, ship plans from an offline
+optimizer to the online engine, or diff plans across statistic
+snapshots (the adaptive controller's plan history).  Plans serialize to
+plain JSON-compatible dictionaries:
+
+* order plan — ``{"kind": "order", "variables": [...]}``
+* tree plan  — ``{"kind": "tree", "root": {...}}`` with nodes either
+  ``{"leaf": "a"}`` or ``{"left": {...}, "right": {...}}``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import PlanError
+from .order_plan import OrderPlan
+from .tree_plan import TreeNode, TreePlan
+
+Plan = Union[OrderPlan, TreePlan]
+
+
+def plan_to_dict(plan: Plan) -> dict:
+    """Serialize an order or tree plan to a JSON-compatible dict."""
+    if isinstance(plan, OrderPlan):
+        return {"kind": "order", "variables": list(plan.variables)}
+    if isinstance(plan, TreePlan):
+        return {"kind": "tree", "root": _node_to_dict(plan.root)}
+    raise PlanError(f"cannot serialize {type(plan).__name__}")
+
+
+def plan_from_dict(data: dict) -> Plan:
+    """Inverse of :func:`plan_to_dict`."""
+    kind = data.get("kind")
+    if kind == "order":
+        return OrderPlan(tuple(data["variables"]))
+    if kind == "tree":
+        return TreePlan(_node_from_dict(data["root"]))
+    raise PlanError(f"unknown plan kind {kind!r}")
+
+
+def _node_to_dict(node: TreeNode) -> dict:
+    if node.is_leaf:
+        return {"leaf": node.variable}
+    return {
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: dict) -> TreeNode:
+    if "leaf" in data:
+        return TreeNode(variable=data["leaf"])
+    try:
+        left = _node_from_dict(data["left"])
+        right = _node_from_dict(data["right"])
+    except KeyError as error:
+        raise PlanError(f"malformed tree node {data!r}") from error
+    return TreeNode(left=left, right=right)

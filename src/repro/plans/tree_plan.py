@@ -1,0 +1,223 @@
+"""Tree-based evaluation plans (Sections 2.3 and 3.1).
+
+A :class:`TreePlan` is a full binary tree whose leaves are pattern
+variables.  Left-deep trees correspond to order plans; general (bushy)
+trees are the full JQPG plan space (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from ..errors import PlanError
+from ..patterns.transformations import DecomposedPattern
+from .order_plan import OrderPlan
+
+
+class TreeNode:
+    """A node of a tree plan: a leaf (one variable) or an inner join node."""
+
+    __slots__ = ("variable", "left", "right", "_leaf_vars")
+
+    def __init__(
+        self,
+        variable: Optional[str] = None,
+        left: Optional["TreeNode"] = None,
+        right: Optional["TreeNode"] = None,
+    ) -> None:
+        if variable is not None:
+            if left is not None or right is not None:
+                raise PlanError("a leaf node cannot have children")
+        else:
+            if left is None or right is None:
+                raise PlanError("an internal node needs two children")
+        self.variable = variable
+        self.left = left
+        self.right = right
+        if variable is not None:
+            self._leaf_vars = (variable,)
+        else:
+            self._leaf_vars = left._leaf_vars + right._leaf_vars
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.variable is not None
+
+    @property
+    def leaf_variables(self) -> tuple[str, ...]:
+        """Variables of the leaves under this node, left to right."""
+        return self._leaf_vars
+
+    def nodes_postorder(self) -> Iterator["TreeNode"]:
+        """Yield all nodes, children before parents."""
+        if not self.is_leaf:
+            yield from self.left.nodes_postorder()
+            yield from self.right.nodes_postorder()
+        yield self
+
+    def internal_nodes(self) -> Iterator["TreeNode"]:
+        for node in self.nodes_postorder():
+            if not node.is_leaf:
+                yield node
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        for node in self.nodes_postorder():
+            if node.is_leaf:
+                yield node
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    # -- identity ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeNode):
+            return NotImplemented
+        if self.is_leaf != other.is_leaf:
+            return False
+        if self.is_leaf:
+            return self.variable == other.variable
+        return self.left == other.left and self.right == other.right
+
+    def __hash__(self) -> int:
+        if self.is_leaf:
+            return hash(("leaf", self.variable))
+        return hash((hash(self.left), hash(self.right)))
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return self.variable  # type: ignore[return-value]
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+def leaf(variable: str) -> TreeNode:
+    """Construct a leaf node."""
+    return TreeNode(variable=variable)
+
+
+def join(left: Union[TreeNode, str], right: Union[TreeNode, str]) -> TreeNode:
+    """Construct an internal node (strings are promoted to leaves)."""
+    if isinstance(left, str):
+        left = leaf(left)
+    if isinstance(right, str):
+        right = leaf(right)
+    return TreeNode(left=left, right=right)
+
+
+class TreePlan:
+    """A complete tree-based evaluation plan."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: TreeNode) -> None:
+        names = root.leaf_variables
+        if len(set(names)) != len(names):
+            raise PlanError(f"tree plan repeats variables: {names}")
+        self.root = root
+
+    @classmethod
+    def left_deep(cls, order: Union[OrderPlan, Sequence[str]]) -> "TreePlan":
+        """The unique left-deep tree for an order (Section 3.2)."""
+        names = list(order)
+        if not names:
+            raise PlanError("cannot build a tree over zero variables")
+        node = leaf(names[0])
+        for name in names[1:]:
+            node = TreeNode(left=node, right=leaf(name))
+        return cls(node)
+
+    # -- structure ----------------------------------------------------------
+    @property
+    def leaf_order(self) -> tuple[str, ...]:
+        """Leaf variables, left to right."""
+        return self.root.leaf_variables
+
+    def __len__(self) -> int:
+        return len(self.root.leaf_variables)
+
+    @property
+    def is_left_deep(self) -> bool:
+        node = self.root
+        while not node.is_leaf:
+            if not node.right.is_leaf:
+                return False
+            node = node.left
+        return True
+
+    def to_order(self) -> OrderPlan:
+        """The order plan of a left-deep tree (raises otherwise)."""
+        if not self.is_left_deep:
+            raise PlanError("only left-deep trees define an order")
+        names: list[str] = []
+        node = self.root
+        while not node.is_leaf:
+            names.append(node.right.variable)  # type: ignore[arg-type]
+            node = node.left
+        names.append(node.variable)  # type: ignore[arg-type]
+        return OrderPlan(tuple(reversed(names)))
+
+    def find_leaf(self, variable: str) -> TreeNode:
+        for node in self.root.leaves():
+            if node.variable == variable:
+                return node
+        raise PlanError(f"variable {variable!r} not in tree plan")
+
+    def parent_of(self, target: TreeNode) -> Optional[TreeNode]:
+        """Parent of ``target`` (``None`` for the root)."""
+        for node in self.root.internal_nodes():
+            if node.left is target or node.right is target:
+                return node
+        return None
+
+    def ancestors_of_leaf(self, variable: str) -> list[TreeNode]:
+        """Internal nodes on the path from the leaf to the root, inclusive
+        of the root.  ``Anc_T`` of Section 6.1 excludes the root; callers
+        slice accordingly."""
+        path: list[TreeNode] = []
+
+        def descend(node: TreeNode) -> bool:
+            if node.is_leaf:
+                return node.variable == variable
+            if descend(node.left) or descend(node.right):
+                path.append(node)
+                return True
+            return False
+
+        if not descend(self.root):
+            raise PlanError(f"variable {variable!r} not in tree plan")
+        return path
+
+    def sibling_of(self, node: TreeNode) -> Optional[TreeNode]:
+        """The other child of ``node``'s parent (``None`` for the root)."""
+        parent = self.parent_of(node)
+        if parent is None:
+            return None
+        return parent.right if parent.left is node else parent.left
+
+    # -- validation -----------------------------------------------------------
+    def validate_for(self, decomposed: DecomposedPattern) -> None:
+        expected = set(decomposed.positive_variables)
+        actual = set(self.leaf_order)
+        if expected != actual:
+            raise PlanError(
+                f"tree leaves {sorted(actual)} do not match pattern "
+                f"positives {sorted(expected)}"
+            )
+
+    # -- transformation ---------------------------------------------------------
+    def map_structure(self, fn: Callable[[TreeNode], None]) -> None:
+        """Apply ``fn`` to every node (postorder)."""
+        for node in self.root.nodes_postorder():
+            fn(node)
+
+    # -- identity ----------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TreePlan) and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash(self.root)
+
+    def __repr__(self) -> str:
+        return f"TreePlan({self.root!r})"

@@ -1,0 +1,19 @@
+"""Stream statistics: catalogs, offline estimators, online trackers."""
+
+from .catalog import PatternStatistics, StatisticsCatalog
+from .estimators import (
+    estimate_pattern_catalog,
+    estimate_rates,
+    estimate_selectivity,
+)
+from .online import EwmaSelectivityEstimator, SlidingRateEstimator
+
+__all__ = [
+    "PatternStatistics",
+    "StatisticsCatalog",
+    "estimate_pattern_catalog",
+    "estimate_rates",
+    "estimate_selectivity",
+    "EwmaSelectivityEstimator",
+    "SlidingRateEstimator",
+]

@@ -1,0 +1,223 @@
+"""Statistics catalogs.
+
+Cost models (Section 4) consume two kinds of numbers:
+
+* the **arrival rate** ``r_i`` of every event type (events per second), and
+* the **selectivity** ``sel_ij`` of every pairwise predicate between two
+  pattern variables (plus unary filter selectivities ``sel_ii``).
+
+:class:`StatisticsCatalog` is the raw store (rates per *type name*,
+selectivities per *variable pair*).  :class:`PatternStatistics` is the
+pattern-resolved view the optimizers and cost models use: variables instead
+of types, defaults filled in, unary filters folded into effective rates
+(see DESIGN.md, "Selectivity convention"), and Kleene-closure variables
+replaced by their power-set planning rate (Theorem 4) when requested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from ..errors import StatisticsError
+from ..patterns.transformations import DecomposedPattern, kleene_planning_rate
+
+PairKey = frozenset
+
+
+def _pair(var_a: str, var_b: str) -> frozenset:
+    return frozenset((var_a, var_b))
+
+
+class StatisticsCatalog:
+    """Raw stream statistics.
+
+    Parameters
+    ----------
+    rates:
+        Arrival rate per event type name (events/second), > 0.
+    selectivities:
+        Mapping from a variable pair (any 2-iterable of variable names) or
+        a single variable name (unary filter) to selectivity in [0, 1].
+    """
+
+    __slots__ = ("_rates", "_selectivities")
+
+    def __init__(
+        self,
+        rates: Mapping[str, float],
+        selectivities: Optional[
+            Mapping[Union[str, Iterable[str]], float]
+        ] = None,
+    ) -> None:
+        self._rates: dict[str, float] = {}
+        for type_name, rate in rates.items():
+            if rate <= 0:
+                raise StatisticsError(
+                    f"arrival rate of {type_name!r} must be positive, got {rate}"
+                )
+            self._rates[type_name] = float(rate)
+        self._selectivities: dict[frozenset, float] = {}
+        for key, value in (selectivities or {}).items():
+            if not 0.0 <= value <= 1.0:
+                raise StatisticsError(
+                    f"selectivity for {key!r} must lie in [0, 1], got {value}"
+                )
+            if isinstance(key, str):
+                normalized = frozenset((key,))
+            else:
+                normalized = frozenset(key)
+            if not 1 <= len(normalized) <= 2:
+                raise StatisticsError(
+                    f"selectivity keys are variables or pairs, got {key!r}"
+                )
+            self._selectivities[normalized] = float(value)
+
+    # -- access -------------------------------------------------------------
+    def rate(self, type_name: str) -> float:
+        """Arrival rate of ``type_name`` (raises when unknown)."""
+        try:
+            return self._rates[type_name]
+        except KeyError:
+            raise StatisticsError(f"no arrival rate for type {type_name!r}")
+
+    def has_rate(self, type_name: str) -> bool:
+        return type_name in self._rates
+
+    def selectivity(self, var_a: str, var_b: Optional[str] = None) -> float:
+        """Pairwise selectivity (or unary filter when ``var_b`` omitted).
+
+        Defaults to 1.0 — "no condition defined" (Section 3.2).
+        """
+        if var_b is None or var_a == var_b:
+            return self._selectivities.get(frozenset((var_a,)), 1.0)
+        return self._selectivities.get(_pair(var_a, var_b), 1.0)
+
+    @property
+    def rates(self) -> Mapping[str, float]:
+        return dict(self._rates)
+
+    @property
+    def selectivities(self) -> Mapping[frozenset, float]:
+        return dict(self._selectivities)
+
+    def updated(
+        self,
+        rates: Optional[Mapping[str, float]] = None,
+        selectivities: Optional[Mapping[Union[str, Iterable[str]], float]] = None,
+    ) -> "StatisticsCatalog":
+        """Copy of the catalog with some entries replaced."""
+        new_rates = dict(self._rates)
+        new_rates.update(rates or {})
+        new_sel: dict = dict(self._selectivities)
+        for key, value in (selectivities or {}).items():
+            normalized = (
+                frozenset((key,)) if isinstance(key, str) else frozenset(key)
+            )
+            new_sel[normalized] = value
+        return StatisticsCatalog(new_rates, new_sel)
+
+    def __repr__(self) -> str:
+        return (
+            f"StatisticsCatalog({len(self._rates)} rates, "
+            f"{len(self._selectivities)} selectivities)"
+        )
+
+
+class PatternStatistics:
+    """Pattern-resolved statistics: the cost-model input.
+
+    ``rate(v)`` is the *effective* arrival rate of variable ``v`` — the raw
+    type rate multiplied by the unary filter selectivity ``sel_vv`` (the
+    folding convention of DESIGN.md), and replaced by the Theorem-4
+    power-set rate for Kleene variables when built ``for_planning``.
+    ``selectivity(u, v)`` is the pairwise predicate selectivity (1.0 when
+    no predicate relates the pair).
+    """
+
+    __slots__ = ("variables", "window", "_rates", "_selectivities")
+
+    def __init__(
+        self,
+        variables: Iterable[str],
+        window: float,
+        rates: Mapping[str, float],
+        selectivities: Mapping[frozenset, float],
+    ) -> None:
+        self.variables = tuple(variables)
+        if window <= 0:
+            raise StatisticsError("window must be positive")
+        self.window = float(window)
+        self._rates = dict(rates)
+        for variable in self.variables:
+            if variable not in self._rates:
+                raise StatisticsError(f"missing rate for variable {variable!r}")
+        self._selectivities = dict(selectivities)
+
+    @classmethod
+    def for_planning(
+        cls,
+        decomposed: DecomposedPattern,
+        catalog: StatisticsCatalog,
+        apply_kleene_rewrite: bool = True,
+    ) -> "PatternStatistics":
+        """Build planning statistics for a decomposed pattern.
+
+        Folds unary filters into rates and (by default) substitutes the
+        Kleene power-set rate of Theorem 4.
+        """
+        rates: dict[str, float] = {}
+        selectivities: dict[frozenset, float] = {}
+        for variable, type_name in decomposed.positives:
+            rate = catalog.rate(type_name) * catalog.selectivity(variable)
+            if variable in decomposed.kleene and apply_kleene_rewrite:
+                rate = kleene_planning_rate(rate, decomposed.window)
+            rates[variable] = max(rate, 1e-12)
+        names = decomposed.positive_variables
+        for i, var_a in enumerate(names):
+            for var_b in names[i + 1:]:
+                value = catalog.selectivity(var_a, var_b)
+                if value != 1.0:
+                    selectivities[_pair(var_a, var_b)] = value
+        return cls(names, decomposed.window, rates, selectivities)
+
+    # -- access ----------------------------------------------------------------
+    def rate(self, variable: str) -> float:
+        try:
+            return self._rates[variable]
+        except KeyError:
+            raise StatisticsError(f"no rate for variable {variable!r}")
+
+    def selectivity(self, var_a: str, var_b: str) -> float:
+        if var_a == var_b:
+            return 1.0
+        return self._selectivities.get(_pair(var_a, var_b), 1.0)
+
+    def expected_count(self, variable: str) -> float:
+        """Expected number of live events of ``variable`` in a window: W·r."""
+        return self.window * self.rate(variable)
+
+    def cross_selectivity(
+        self, group_a: Iterable[str], group_b: Iterable[str]
+    ) -> float:
+        """Product of selectivities between two variable groups (SEL_LR)."""
+        product = 1.0
+        group_b = tuple(group_b)
+        for var_a in group_a:
+            for var_b in group_b:
+                product *= self.selectivity(var_a, var_b)
+        return product
+
+    def internal_selectivity(self, group: Iterable[str]) -> float:
+        """Product of selectivities of all pairs inside one group."""
+        names = tuple(group)
+        product = 1.0
+        for i, var_a in enumerate(names):
+            for var_b in names[i + 1:]:
+                product *= self.selectivity(var_a, var_b)
+        return product
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternStatistics(vars={list(self.variables)}, "
+            f"W={self.window:g})"
+        )

@@ -1,0 +1,131 @@
+"""Offline statistics estimation from recorded streams.
+
+The paper precomputes arrival rates and predicate selectivities during a
+preprocessing stage (Section 7.2).  These estimators reproduce that stage:
+
+* :func:`estimate_rates` — events per second per type over the stream span;
+* :func:`estimate_selectivity` — Monte-Carlo estimate of the fraction of
+  variable bindings satisfying one predicate;
+* :func:`estimate_pattern_catalog` — the full preprocessing pass for a
+  pattern: rates for every referenced type plus selectivities for every
+  unary and pairwise predicate, returned as a
+  :class:`~repro.stats.StatisticsCatalog`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..errors import StatisticsError
+from ..events import Stream
+from ..patterns.pattern import Pattern
+from ..patterns.predicates import Predicate
+
+_DEFAULT_SAMPLES = 2000
+
+
+def estimate_rates(stream: Stream, min_duration: float = 1e-9) -> dict[str, float]:
+    """Arrival rate (events/second) of every type present in ``stream``."""
+    if len(stream) < 2:
+        raise StatisticsError("need at least two events to estimate rates")
+    duration = max(stream.duration, min_duration)
+    return {
+        type_name: count / duration
+        for type_name, count in stream.count_by_type().items()
+    }
+
+
+def estimate_selectivity(
+    predicate: Predicate,
+    variable_types: dict[str, str],
+    stream: Stream,
+    samples: int = _DEFAULT_SAMPLES,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Monte-Carlo selectivity of one predicate over ``stream``.
+
+    Draws random bindings — one uniformly random event of the right type
+    per predicate variable — and returns the fraction satisfying the
+    predicate.  Distinct events are drawn for the two variables of a
+    pairwise predicate even when they share a type.
+
+    The estimate is clamped to ``[1/(2·samples), 1]``: a raw estimate of
+    exactly zero would make every plan step after that predicate cost 0
+    and leave the optimizers tie-breaking blindly among genuinely
+    different plans.
+    """
+    rng = rng or random.Random(0)
+    pools: dict[str, Sequence] = {}
+    for variable in predicate.variables:
+        type_name = variable_types.get(variable)
+        if type_name is None:
+            raise StatisticsError(f"no type known for variable {variable!r}")
+        pool = [e for e in stream if e.type == type_name]
+        if not pool:
+            raise StatisticsError(
+                f"stream has no events of type {type_name!r} "
+                f"(needed for variable {variable!r})"
+            )
+        pools[variable] = pool
+
+    passed = 0
+    for _ in range(samples):
+        bindings = {}
+        for variable in predicate.variables:
+            bindings[variable] = rng.choice(pools[variable])
+        if len(predicate.variables) == 2:
+            first, second = predicate.variables
+            while (
+                bindings[first] is bindings[second]
+                and len(pools[second]) > 1
+            ):
+                bindings[second] = rng.choice(pools[second])
+        if predicate.evaluate(bindings):
+            passed += 1
+    return max(passed / samples, 1.0 / (2.0 * samples))
+
+
+def estimate_pattern_catalog(
+    pattern: Pattern,
+    stream: Stream,
+    samples: int = _DEFAULT_SAMPLES,
+    rng: Optional[random.Random] = None,
+):
+    """The preprocessing pass of Section 7.2 for one pattern.
+
+    Returns a :class:`~repro.stats.StatisticsCatalog` holding the rate of
+    every event type the pattern references and the estimated selectivity
+    of every *planning-relevant* predicate: the WHERE clause **plus** the
+    timestamp-ordering predicates a SEQ operator implies (Section 5.1 —
+    "constraints on the values of this column [are] introduced into the
+    query representation").  Unary predicates are keyed by variable,
+    pairwise ones by the variable pair; multiple predicates on the same
+    pair multiply.
+    """
+    from ..patterns.transformations import decompose, nested_to_dnf
+    from .catalog import StatisticsCatalog
+
+    rng = rng or random.Random(0)
+    variable_types = pattern.variable_types()
+    rates = estimate_rates(stream)
+    needed = set(variable_types.values())
+    missing = needed - set(rates)
+    if missing:
+        raise StatisticsError(f"stream lacks events of types {sorted(missing)}")
+
+    selectivities: dict[frozenset, float] = {}
+    for sub_pattern in nested_to_dnf(pattern):
+        decomposed = decompose(sub_pattern)
+        sub_types = dict(variable_types)
+        sub_types.update(decomposed.variable_types)
+        for predicate in decomposed.conditions:
+            key = frozenset(predicate.variables)
+            value = estimate_selectivity(
+                predicate, sub_types, stream, samples=samples, rng=rng
+            )
+            selectivities[key] = selectivities.get(key, 1.0) * value
+
+    return StatisticsCatalog(
+        {name: rates[name] for name in needed}, selectivities
+    )

@@ -1,0 +1,96 @@
+"""Online (streaming) statistics trackers for adaptive CEP (Section 6.3).
+
+The paper notes that rates and selectivities "are rarely obtained in
+advance and can change rapidly over time"; the adaptive controller in
+:mod:`repro.adaptive` watches these trackers and re-optimizes the plan
+when the current estimates drift too far from the ones the active plan
+was built with.
+
+* :class:`SlidingRateEstimator` — arrival rate per type over a sliding
+  time window of the stream.
+* :class:`EwmaSelectivityEstimator` — exponentially weighted moving
+  average of predicate pass/fail observations reported by the engines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import StatisticsError
+from ..events import Event
+
+
+class SlidingRateEstimator:
+    """Per-type arrival rates over the trailing ``horizon`` seconds."""
+
+    def __init__(self, horizon: float) -> None:
+        if horizon <= 0:
+            raise StatisticsError("horizon must be positive")
+        self.horizon = float(horizon)
+        self._arrivals: dict[str, Deque[float]] = {}
+        self._now = float("-inf")
+
+    def observe(self, event: Event) -> None:
+        """Record one event arrival (events must be timestamp-ordered)."""
+        self._now = max(self._now, event.timestamp)
+        queue = self._arrivals.setdefault(event.type, deque())
+        queue.append(event.timestamp)
+        self._evict()
+
+    def _evict(self) -> None:
+        cutoff = self._now - self.horizon
+        for queue in self._arrivals.values():
+            while queue and queue[0] < cutoff:
+                queue.popleft()
+
+    def rate(self, type_name: str) -> float:
+        """Current estimated rate of ``type_name`` (0.0 when unseen)."""
+        queue = self._arrivals.get(type_name)
+        if not queue:
+            return 0.0
+        span = min(self.horizon, max(self._now - queue[0], 1e-9))
+        return len(queue) / span
+
+    def rates(self) -> dict[str, float]:
+        """Snapshot of all current rates."""
+        return {name: self.rate(name) for name in self._arrivals}
+
+
+class EwmaSelectivityEstimator:
+    """EWMA selectivity of one predicate from pass/fail observations.
+
+    ``alpha`` is the usual smoothing factor: higher values adapt faster but
+    are noisier.  Until the first observation, :meth:`value` returns the
+    optimistic prior 1.0 (matching the catalog default for "no condition").
+    """
+
+    def __init__(self, alpha: float = 0.05, prior: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise StatisticsError("alpha must lie in (0, 1]")
+        if not 0.0 <= prior <= 1.0:
+            raise StatisticsError("prior must lie in [0, 1]")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+        self._prior = prior
+        self.observations = 0
+
+    def observe(self, passed: bool) -> None:
+        """Record one predicate evaluation outcome."""
+        sample = 1.0 if passed else 0.0
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value += self.alpha * (sample - self._value)
+        self.observations += 1
+
+    @property
+    def value(self) -> float:
+        """Current selectivity estimate."""
+        return self._prior if self._value is None else self._value
+
+    def __repr__(self) -> str:
+        return (
+            f"EwmaSelectivityEstimator(value={self.value:.4f}, "
+            f"n={self.observations})"
+        )

@@ -1,0 +1,37 @@
+"""Workload generators: synthetic stock market, traffic cameras, pattern sets."""
+
+from .patterns import (
+    CATEGORIES,
+    PatternWorkloadConfig,
+    generate_pattern_set,
+    generate_single_pattern,
+)
+from .stocks import (
+    KNOWN_TICKERS,
+    StockMarketConfig,
+    generate_stock_stream,
+    stock_symbols,
+    symbol_rates,
+)
+from .traffic import (
+    CAMERAS,
+    TrafficConfig,
+    four_cameras_pattern,
+    generate_traffic_stream,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "PatternWorkloadConfig",
+    "generate_pattern_set",
+    "generate_single_pattern",
+    "KNOWN_TICKERS",
+    "StockMarketConfig",
+    "generate_stock_stream",
+    "stock_symbols",
+    "symbol_rates",
+    "CAMERAS",
+    "TrafficConfig",
+    "four_cameras_pattern",
+    "generate_traffic_stream",
+]

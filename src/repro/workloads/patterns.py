@@ -1,0 +1,192 @@
+"""Random pattern-set generator matching the paper's workload (Section 7.2).
+
+The evaluation uses five pattern categories over the stock stream —
+pure sequences, sequences with one negated event, conjunctions,
+sequences with one Kleene-closed event, and disjunctions of three
+sequences — with sizes (participating events) from 3 to 7 and roughly
+``size/2`` pairwise predicates comparing the ``difference`` attributes
+of two involved types (e.g. ``m.difference < g.difference``).
+
+:func:`generate_pattern_set` reproduces that distribution over any list
+of event type names, deterministically under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from ..patterns.operators import And, Kleene, Not, Or, PatternNode, Primitive, Seq
+from ..patterns.pattern import Pattern
+from ..patterns.predicates import Attr, Comparison, Predicate
+
+CATEGORIES = (
+    "sequence",
+    "negation",
+    "conjunction",
+    "kleene",
+    "disjunction",
+)
+
+
+@dataclass
+class PatternWorkloadConfig:
+    """Shape of the generated pattern set."""
+
+    sizes: Sequence[int] = (3, 4, 5, 6, 7)
+    patterns_per_size: int = 3
+    window: float = 10.0
+    attribute: str = "difference"
+    seed: int = 0
+    disjuncts: int = 3  # for the 'disjunction' category
+    predicate_ops: Sequence[str] = field(default=("<", ">"))
+
+    def __post_init__(self) -> None:
+        if min(self.sizes) < 2:
+            raise ReproError("pattern sizes must be >= 2")
+        if self.patterns_per_size < 1:
+            raise ReproError("patterns_per_size must be >= 1")
+
+
+def generate_pattern_set(
+    category: str,
+    type_names: Sequence[str],
+    config: Optional[PatternWorkloadConfig] = None,
+) -> list[Pattern]:
+    """All patterns of one category: ``patterns_per_size`` per size."""
+    if category not in CATEGORIES:
+        raise ReproError(
+            f"unknown category {category!r}; choose one of {CATEGORIES}"
+        )
+    config = config or PatternWorkloadConfig()
+    patterns: list[Pattern] = []
+    for size in config.sizes:
+        if size > len(type_names):
+            raise ReproError(
+                f"pattern size {size} exceeds available types "
+                f"({len(type_names)})"
+            )
+        for index in range(config.patterns_per_size):
+            # One rng per (seed, category, size, index): the generated
+            # pattern is independent of which other sizes are requested,
+            # so `sizes=(4,)` reproduces the size-4 pattern of a full
+            # sweep exactly.
+            rng = random.Random(
+                (config.seed, category, size, index).__repr__()
+            )
+            patterns.append(
+                _generate_one(category, size, index, type_names, config, rng)
+            )
+    return patterns
+
+
+def generate_single_pattern(
+    category: str,
+    size: int,
+    type_names: Sequence[str],
+    config: Optional[PatternWorkloadConfig] = None,
+    seed: int = 0,
+) -> Pattern:
+    """One random pattern of the given category and size."""
+    config = config or PatternWorkloadConfig()
+    rng = random.Random((seed, category, size, 0).__repr__())
+    return _generate_one(category, size, 0, type_names, config, rng)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+def _generate_one(
+    category: str,
+    size: int,
+    index: int,
+    type_names: Sequence[str],
+    config: PatternWorkloadConfig,
+    rng: random.Random,
+) -> Pattern:
+    name = f"{category}_{size}_{index}"
+    if category == "disjunction":
+        return _disjunction(name, size, type_names, config, rng)
+
+    chosen = rng.sample(list(type_names), size)
+    variables = [f"e{i}" for i in range(size)]
+    predicates = _difference_predicates(variables, config, rng)
+
+    children: list[PatternNode] = [
+        Primitive(type_name, variable)
+        for type_name, variable in zip(chosen, variables)
+    ]
+    if category == "negation":
+        # Negate an inner position so the forbidden range is bounded on
+        # both sides (the common case; trailing negation is covered by
+        # dedicated tests).
+        position = rng.randrange(1, size - 1) if size > 2 else 1
+        negated = children[position]
+        children[position] = Not(negated)
+        predicates = [
+            p
+            for p in predicates
+            if variables[position] not in p.variables
+        ]
+        return Pattern(Seq(children), predicates, config.window, name=name)
+    if category == "kleene":
+        position = rng.randrange(size)
+        children[position] = Kleene(children[position])
+        return Pattern(Seq(children), predicates, config.window, name=name)
+    if category == "conjunction":
+        return Pattern(And(children), predicates, config.window, name=name)
+    return Pattern(Seq(children), predicates, config.window, name=name)
+
+
+def _difference_predicates(
+    variables: Sequence[str],
+    config: PatternWorkloadConfig,
+    rng: random.Random,
+) -> list[Predicate]:
+    """~size/2 pairwise comparisons on the ``difference`` attribute."""
+    count = max(len(variables) // 2, 1)
+    pairs: set[tuple[str, str]] = set()
+    predicates: list[Predicate] = []
+    attempts = 0
+    while len(predicates) < count and attempts < 50:
+        attempts += 1
+        first, second = rng.sample(list(variables), 2)
+        key = (min(first, second), max(first, second))
+        if key in pairs:
+            continue
+        pairs.add(key)
+        op = rng.choice(list(config.predicate_ops))
+        predicates.append(
+            Comparison(
+                Attr(first, config.attribute), op, Attr(second, config.attribute)
+            )
+        )
+    return predicates
+
+
+def _disjunction(
+    name: str,
+    size: int,
+    type_names: Sequence[str],
+    config: PatternWorkloadConfig,
+    rng: random.Random,
+) -> Pattern:
+    """A disjunction of ``config.disjuncts`` sequences of ``size`` events."""
+    disjuncts: list[PatternNode] = []
+    predicates: list[Predicate] = []
+    for d in range(config.disjuncts):
+        chosen = rng.sample(list(type_names), size)
+        variables = [f"d{d}e{i}" for i in range(size)]
+        disjuncts.append(
+            Seq(
+                [
+                    Primitive(type_name, variable)
+                    for type_name, variable in zip(chosen, variables)
+                ]
+            )
+        )
+        predicates.extend(_difference_predicates(variables, config, rng))
+    return Pattern(Or(disjuncts), predicates, config.window, name=name)

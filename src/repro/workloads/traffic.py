@@ -1,0 +1,73 @@
+"""Traffic-camera stream — the paper's introductory example.
+
+Four cameras A, B, C, D along a road photograph passing vehicles; the
+pattern ``SEQ(A a, B b, C c, D d) WHERE a.vehicleID = ... = d.vehicleID``
+recognizes a vehicle crossing all four in order.  Camera D is faulty and
+transmits only one frame in ten (Section 1) — making D the rarest type
+and the reordered "wait for D first" plan dramatically cheaper, which is
+exactly what the quickstart example demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..events import Event, Stream
+from ..patterns.operators import Primitive, Seq
+from ..patterns.pattern import Pattern
+from ..patterns.predicates import Attr, Comparison
+
+CAMERAS = ("CameraA", "CameraB", "CameraC", "CameraD")
+
+
+@dataclass
+class TrafficConfig:
+    """Synthetic road configuration."""
+
+    vehicles: int = 200
+    arrival_rate: float = 0.5  # vehicles entering per second
+    leg_seconds: float = 4.0   # mean travel time between cameras
+    camera_d_keep: float = 0.1  # camera D transmits 1 frame in 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vehicles < 1:
+            raise ReproError("need at least one vehicle")
+        if not 0.0 < self.camera_d_keep <= 1.0:
+            raise ReproError("camera_d_keep must lie in (0, 1]")
+
+
+def generate_traffic_stream(config: TrafficConfig = TrafficConfig()) -> Stream:
+    """Readings of all four cameras, timestamp-ordered."""
+    rng = random.Random(config.seed)
+    events: list[Event] = []
+    t = 0.0
+    for vehicle in range(config.vehicles):
+        t += rng.expovariate(config.arrival_rate)
+        passing = t
+        for camera in CAMERAS:
+            if camera == "CameraD" and rng.random() > config.camera_d_keep:
+                break
+            events.append(Event(camera, passing, {"vehicleID": vehicle}))
+            passing += rng.expovariate(1.0 / config.leg_seconds)
+    return Stream(events, sort=True)
+
+
+def four_cameras_pattern(window: float = 60.0) -> Pattern:
+    """``SEQ(A a, B b, C c, D d)`` with equal vehicle IDs (Section 1)."""
+    primitives = [
+        Primitive("CameraA", "a"),
+        Primitive("CameraB", "b"),
+        Primitive("CameraC", "c"),
+        Primitive("CameraD", "d"),
+    ]
+    chain = []
+    for before, after in zip("abc", "bcd"):
+        chain.append(
+            Comparison(
+                Attr(before, "vehicleID"), "=", Attr(after, "vehicleID")
+            )
+        )
+    return Pattern(Seq(primitives), chain, window, name="four_cameras")

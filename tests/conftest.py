@@ -1,0 +1,75 @@
+"""Shared test fixtures and stream builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.events import Event, Stream
+from repro.patterns import decompose, parse_pattern
+from repro.stats import PatternStatistics, StatisticsCatalog
+
+
+def make_stream(
+    seed: int,
+    count: int = 40,
+    types: str = "ABC",
+    step_low: float = 0.1,
+    step_high: float = 0.6,
+    domain: int = 3,
+) -> Stream:
+    """Deterministic random stream with integer attribute ``x``."""
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(count):
+        t += rng.uniform(step_low, step_high)
+        events.append(Event(rng.choice(types), t, {"x": rng.randrange(domain)}))
+    return Stream(events)
+
+
+def make_catalog(
+    types: str = "ABCD",
+    seed: int = 0,
+    rate_low: float = 0.5,
+    rate_high: float = 10.0,
+    selectivity_pairs: int = 2,
+    variables: str = "abcd",
+) -> StatisticsCatalog:
+    """Random-but-seeded catalog over single-letter types/variables."""
+    rng = random.Random(seed)
+    rates = {t: rng.uniform(rate_low, rate_high) for t in types}
+    names = list(variables[: len(types)])
+    selectivities = {}
+    pairs = [
+        (a, b) for i, a in enumerate(names) for b in names[i + 1:]
+    ]
+    rng.shuffle(pairs)
+    for a, b in pairs[:selectivity_pairs]:
+        selectivities[frozenset((a, b))] = rng.uniform(0.05, 0.9)
+    return StatisticsCatalog(rates, selectivities)
+
+
+def stats_for(pattern_text: str, catalog: StatisticsCatalog) -> PatternStatistics:
+    decomposed = decompose(parse_pattern(pattern_text))
+    return PatternStatistics.for_planning(decomposed, catalog)
+
+
+@pytest.fixture
+def abc_stream() -> Stream:
+    return make_stream(7, count=60)
+
+
+@pytest.fixture
+def seq_abc():
+    return parse_pattern(
+        "PATTERN SEQ(A a, B b, C c) WHERE a.x = c.x WITHIN 5"
+    )
+
+
+@pytest.fixture
+def abc_catalog() -> StatisticsCatalog:
+    return StatisticsCatalog(
+        {"A": 2.0, "B": 4.0, "C": 1.0, "D": 0.5},
+        {frozenset(("a", "c")): 0.2, frozenset(("a", "b")): 0.6},
+    )

@@ -1,0 +1,137 @@
+"""Unit tests for the ASI helpers, the reference oracle, and the public API."""
+
+import pytest
+
+from repro.cost.asi import (
+    chain_cost,
+    chain_multiplier,
+    concat_cost,
+    rank,
+    verify_asi_exchange,
+)
+from repro.errors import OptimizerError
+
+
+class TestChainCost:
+    def test_empty_sequence(self):
+        assert chain_cost([]) == 0.0
+        assert chain_multiplier([]) == 1.0
+
+    def test_hand_computed(self):
+        # C([2, 3]) = 2 + 2*3 = 8; T = 6.
+        assert chain_cost([2.0, 3.0]) == pytest.approx(8.0)
+        assert chain_multiplier([2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_concat_law(self):
+        s1, s2 = [2.0, 5.0], [0.1, 3.0]
+        assert chain_cost(s1 + s2) == pytest.approx(
+            concat_cost(chain_cost(s1), chain_multiplier(s1), chain_cost(s2))
+        )
+
+    def test_rank_sign(self):
+        # Weights > 1 accumulate (rank > 0); weights < 1 shrink (rank < 0).
+        assert rank([2.0]) > 0
+        assert rank([0.5]) < 0
+        assert rank([1.0]) == pytest.approx(0.0)
+
+    def test_rank_of_empty_rejected(self):
+        with pytest.raises(OptimizerError):
+            rank([])
+
+    def test_exchange_hand_case(self):
+        # Two singleton modules with different ranks: the smaller-rank
+        # module goes first.
+        assert verify_asi_exchange([], [0.5], [4.0], [])
+        assert verify_asi_exchange([2.0], [3.0], [0.1], [5.0])
+
+
+class TestReferenceOracle:
+    def test_window_boundary_inclusive(self):
+        from repro.engines import reference_match_keys
+        from repro.events import Event, Stream
+        from repro.patterns import decompose, parse_pattern
+
+        d = decompose(parse_pattern("PATTERN AND(A a, B b) WITHIN 5"))
+        at_boundary = Stream([Event("A", 0.0), Event("B", 5.0)])
+        beyond = Stream([Event("A", 0.0), Event("B", 5.5)])
+        assert len(reference_match_keys(d, at_boundary)) == 1
+        assert len(reference_match_keys(d, beyond)) == 0
+
+    def test_distinctness_enforced(self):
+        from repro.engines import reference_match_keys
+        from repro.events import Event, Stream
+        from repro.patterns import decompose, parse_pattern
+
+        d = decompose(parse_pattern("PATTERN AND(A x, A y) WITHIN 5"))
+        single = Stream([Event("A", 1.0)])
+        assert reference_match_keys(d, single) == set()
+
+    def test_kleene_cap_respected(self):
+        from repro.engines import reference_match_keys
+        from repro.events import Event, Stream
+        from repro.patterns import decompose, parse_pattern
+
+        d = decompose(parse_pattern("PATTERN SEQ(A a, KL(B b)) WITHIN 9"))
+        stream = Stream(
+            [Event("A", 0.0)] + [Event("B", 1.0 + i) for i in range(4)]
+        )
+        capped = reference_match_keys(d, stream, max_kleene_size=2)
+        # 4 singletons + C(4,2) = 6 pairs.
+        assert len(capped) == 10
+
+
+class TestPublicApi:
+    def test_top_level_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_resolves(self):
+        import importlib
+
+        for module_name in (
+            "repro.events",
+            "repro.patterns",
+            "repro.stats",
+            "repro.cost",
+            "repro.plans",
+            "repro.optimizers",
+            "repro.engines",
+            "repro.join",
+            "repro.adaptive",
+            "repro.workloads",
+            "repro.bench",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet_from_docstring(self):
+        # The module docstring's quickstart must actually run.
+        from repro import (
+            build_engines,
+            estimate_pattern_catalog,
+            parse_pattern,
+            plan_pattern,
+        )
+        from repro.workloads import StockMarketConfig, generate_stock_stream
+
+        stream = generate_stock_stream(
+            StockMarketConfig(symbols=3, duration=60.0, seed=1)
+        )
+        pattern = parse_pattern(
+            "PATTERN SEQ(MSFT m, GOOG g, INTC i) "
+            "WHERE m.difference < g.difference WITHIN 10"
+        )
+        catalog = estimate_pattern_catalog(pattern, stream, samples=200)
+        planned = plan_pattern(pattern, catalog, algorithm="DP-LD")
+        engine = build_engines(planned)
+        matches = engine.run(stream)
+        assert isinstance(matches, list)
+        assert engine.metrics.events_processed == len(stream)

@@ -1,0 +1,238 @@
+"""Tests for the cost models of Sections 4.1/4.2, 6.1 and 6.2."""
+
+import pytest
+
+from repro.cost import (
+    HybridCostModel,
+    LatencyCostModel,
+    NextMatchCostModel,
+    ThroughputCostModel,
+    disjunction_latency,
+    latency_model_for,
+    prefix_partial_matches,
+    subset_next_matches,
+    subset_partial_matches,
+)
+from repro.errors import StatisticsError
+from repro.patterns import decompose, parse_pattern
+from repro.plans import TreePlan, join
+from repro.stats import PatternStatistics, StatisticsCatalog
+
+
+def simple_stats(
+    rates=None, selectivities=None, window=2.0
+) -> PatternStatistics:
+    rates = rates or {"a": 3.0, "b": 1.0, "c": 2.0}
+    sel = {}
+    for key, value in (selectivities or {}).items():
+        sel[frozenset(key)] = value
+    return PatternStatistics(tuple(rates), window, rates, sel)
+
+
+class TestSubsetPartialMatches:
+    def test_hand_computed(self):
+        stats = simple_stats(selectivities={("a", "b"): 0.5})
+        # PM({a}) = W*r_a = 6;  PM({a,b}) = 6 * (2*1) * 0.5 = 6.
+        assert subset_partial_matches(["a"], stats) == pytest.approx(6.0)
+        assert subset_partial_matches(["a", "b"], stats) == pytest.approx(6.0)
+
+    def test_order_independent(self):
+        stats = simple_stats(selectivities={("a", "c"): 0.1})
+        fwd = subset_partial_matches(["a", "b", "c"], stats)
+        rev = subset_partial_matches(["c", "b", "a"], stats)
+        assert fwd == pytest.approx(rev)
+
+
+class TestThroughputOrderCost:
+    def test_formula_section_4_1(self):
+        stats = simple_stats(
+            selectivities={("a", "b"): 0.5, ("b", "c"): 0.25}
+        )
+        # W=2: PM1 = 6; PM2 = 6*2*0.5 = 6; PM3 = 6*2*4*0.25*... compute:
+        # PM3 = W^3 * ra*rb*rc * sel_ab * sel_bc = 8*6*0.125 = 6.
+        model = ThroughputCostModel()
+        cost = model.order_cost(("a", "b", "c"), stats)
+        pms = prefix_partial_matches(("a", "b", "c"), stats)
+        assert pms == pytest.approx([6.0, 6.0, 6.0])
+        assert cost == pytest.approx(18.0)
+
+    def test_step_cost_sums_to_order_cost(self):
+        stats = simple_stats(selectivities={("a", "c"): 0.3})
+        model = ThroughputCostModel()
+        order = ("c", "a", "b")
+        total = 0.0
+        prefix = frozenset()
+        for variable in order:
+            total += model.order_step_cost(prefix, variable, stats)
+            prefix = prefix | {variable}
+        assert total == pytest.approx(model.order_cost(order, stats))
+
+    def test_selective_pair_beats_rate_ordering(self):
+        # With a near-rare b but a *very* restrictive a-c predicate, the
+        # plan exploiting the predicate first wins — the effect EFREQ
+        # cannot see (Section 7.1).
+        stats = simple_stats(
+            rates={"a": 10.0, "b": 5.0, "c": 10.0},
+            selectivities={("a", "c"): 0.01},
+        )
+        model = ThroughputCostModel()
+        rare_first = model.order_cost(("b", "a", "c"), stats)
+        selective_first = model.order_cost(("a", "c", "b"), stats)
+        assert selective_first < rare_first
+
+    def test_rare_event_first_wins_without_selectivities(self):
+        # Without restrictive predicates the ascending-rate order is
+        # optimal — the regime where EFREQ shines.
+        stats = simple_stats(rates={"a": 10.0, "b": 0.1, "c": 10.0})
+        model = ThroughputCostModel()
+        assert model.order_cost(("b", "a", "c"), stats) < model.order_cost(
+            ("a", "c", "b"), stats
+        )
+
+
+class TestThroughputTreeCost:
+    def test_left_deep_tree_matches_node_sums(self):
+        stats = simple_stats(selectivities={("a", "b"): 0.5})
+        model = ThroughputCostModel()
+        plan = TreePlan.left_deep(("a", "b", "c"))
+        # leaves: 6 + 2 + 4 = 12; internal: PM(ab) = 4*3*1*0.5 = 6,
+        # PM(abc) = 8*3*1*2*0.5 = 24.
+        assert model.tree_cost(plan, stats) == pytest.approx(42.0)
+
+    def test_bushy_vs_left_deep(self):
+        stats = simple_stats(
+            rates={"a": 5.0, "b": 5.0, "c": 0.2, "d": 0.2},
+            selectivities={("a", "b"): 0.01, ("c", "d"): 0.01},
+        )
+        model = ThroughputCostModel()
+        bushy = TreePlan(join(join("a", "b"), join("c", "d")))
+        left = TreePlan.left_deep(("a", "b", "c", "d"))
+        assert model.tree_cost(bushy, stats) < model.tree_cost(left, stats)
+
+
+class TestNextMatchCost:
+    def test_min_rate_bound(self):
+        stats = simple_stats(rates={"a": 10.0, "b": 0.5, "c": 2.0})
+        assert subset_next_matches(["a", "b"], stats) == pytest.approx(
+            2.0 * 0.5
+        )
+
+    def test_order_cost_incremental_matches_generic(self):
+        stats = simple_stats(
+            rates={"a": 4.0, "b": 1.0, "c": 2.0},
+            selectivities={("a", "b"): 0.5},
+        )
+        model = NextMatchCostModel()
+        order = ("a", "b", "c")
+        generic = 0.0
+        prefix = frozenset()
+        for variable in order:
+            generic += model.order_step_cost(prefix, variable, stats)
+            prefix = prefix | {variable}
+        assert model.order_cost(order, stats) == pytest.approx(generic)
+
+    def test_next_cost_below_any_cost(self):
+        stats = simple_stats(rates={"a": 5.0, "b": 5.0, "c": 5.0})
+        any_model = ThroughputCostModel()
+        next_model = NextMatchCostModel()
+        order = ("a", "b", "c")
+        # m[k] <= PM[k] always (min <= product of the others), and the
+        # printed formula multiplies by W; compare per-window quantities.
+        assert next_model.order_cost(order, stats) / stats.window <= (
+            any_model.order_cost(order, stats)
+        )
+
+
+class TestLatencyCost:
+    def test_order_cost_counts_successors(self):
+        stats = simple_stats(rates={"a": 3.0, "b": 1.0, "c": 2.0})
+        model = LatencyCostModel("b")
+        # b last -> no successors -> zero latency cost.
+        assert model.order_cost(("a", "c", "b"), stats) == 0.0
+        # b first -> successors a, c -> W*(3+2) = 10.
+        assert model.order_cost(("b", "a", "c"), stats) == pytest.approx(10.0)
+
+    def test_tree_cost_counts_sibling_pms(self):
+        stats = simple_stats(rates={"a": 3.0, "b": 1.0, "c": 2.0})
+        model = LatencyCostModel("c")
+        plan = TreePlan(join(join("a", "b"), "c"))
+        # path: leaf c -> root. sibling of c's path node = (a ⋈ b).
+        expected = subset_partial_matches(["a", "b"], stats)
+        assert model.tree_cost(plan, stats) == pytest.approx(expected)
+
+    def test_tree_cost_deeper_leaf(self):
+        stats = simple_stats(rates={"a": 3.0, "b": 1.0, "c": 2.0})
+        model = LatencyCostModel("a")
+        plan = TreePlan(join(join("a", "b"), "c"))
+        # siblings along a's path: leaf b, then leaf c.
+        expected = 2.0 * 1.0 + 2.0 * 2.0
+        assert model.tree_cost(plan, stats) == pytest.approx(expected)
+
+    def test_latency_model_for_sequence(self):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        assert latency_model_for(d).last_variable == "b"
+
+    def test_latency_model_for_conjunction_needs_hint(self):
+        d = decompose(parse_pattern("PATTERN AND(A a, B b) WITHIN 5"))
+        with pytest.raises(StatisticsError):
+            latency_model_for(d)
+        assert latency_model_for(d, "a").last_variable == "a"
+
+    def test_disjunction_latency_is_max(self):
+        assert disjunction_latency([1.0, 5.0, 3.0]) == 5.0
+        with pytest.raises(StatisticsError):
+            disjunction_latency([])
+
+
+class TestHybridCost:
+    def test_alpha_zero_equals_throughput(self):
+        stats = simple_stats(selectivities={("a", "b"): 0.5})
+        hybrid = HybridCostModel(0.0, "c")
+        throughput = ThroughputCostModel()
+        order = ("b", "c", "a")
+        assert hybrid.order_cost(order, stats) == pytest.approx(
+            throughput.order_cost(order, stats)
+        )
+
+    def test_weighted_sum(self):
+        stats = simple_stats()
+        alpha = 0.5
+        hybrid = HybridCostModel(alpha, "b")
+        throughput = ThroughputCostModel()
+        latency = LatencyCostModel("b")
+        order = ("b", "a", "c")
+        assert hybrid.order_cost(order, stats) == pytest.approx(
+            throughput.order_cost(order, stats)
+            + alpha * latency.order_cost(order, stats)
+        )
+
+    def test_tree_weighted_sum(self):
+        stats = simple_stats(selectivities={("a", "c"): 0.2})
+        plan = TreePlan(join(join("a", "c"), "b"))
+        hybrid = HybridCostModel(2.0, "a")
+        assert hybrid.tree_cost(plan, stats) == pytest.approx(
+            ThroughputCostModel().tree_cost(plan, stats)
+            + 2.0 * LatencyCostModel("a").tree_cost(plan, stats)
+        )
+
+    def test_higher_alpha_prefers_last_var_late(self):
+        stats = simple_stats(
+            rates={"a": 10.0, "b": 1.0, "c": 5.0},
+            selectivities={("a", "c"): 0.05},
+        )
+        from repro.optimizers import DPLeftDeep
+        from repro.patterns import decompose, parse_pattern
+
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b, C c) WITHIN 2"))
+        latencies = []
+        for alpha in (0.0, 10.0):
+            model = HybridCostModel(alpha, "c")
+            plan = DPLeftDeep().generate(d, stats, model)
+            latencies.append(
+                LatencyCostModel("c").order_cost(plan.variables, stats)
+            )
+        assert latencies[1] <= latencies[0]
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(StatisticsError):
+            HybridCostModel(-1.0, "a")

@@ -1,0 +1,136 @@
+"""Unit tests for engine building blocks: buffers, matches, metrics."""
+
+import pytest
+
+from repro.engines import EngineMetrics, Match, PartialMatch, VariableBuffer
+from repro.events import Event
+
+
+def ev(type_name="A", ts=0.0, seq=0, **attrs):
+    return Event(type_name, ts, attrs, seq=seq)
+
+
+class TestVariableBuffer:
+    def test_type_admission(self):
+        buffer = VariableBuffer("a", "A")
+        assert buffer.offer(ev("A", seq=0))
+        assert not buffer.offer(ev("B", seq=1))
+        assert len(buffer) == 1
+
+    def test_unary_filter(self):
+        buffer = VariableBuffer("a", "A", lambda e: e["x"] > 0)
+        assert buffer.offer(ev("A", x=1))
+        assert not buffer.offer(ev("A", x=-1))
+
+    def test_prune_by_timestamp(self):
+        buffer = VariableBuffer("a", "A")
+        for i in range(5):
+            buffer.offer(ev("A", ts=float(i), seq=i))
+        buffer.prune(3.0)
+        assert [e.seq for e in buffer] == [3, 4]
+
+    def test_events_before_trigger(self):
+        buffer = VariableBuffer("a", "A")
+        for i in range(5):
+            buffer.offer(ev("A", ts=float(i), seq=i))
+        assert [e.seq for e in buffer.events_before(3)] == [0, 1, 2]
+
+    def test_remove_seq(self):
+        buffer = VariableBuffer("a", "A")
+        for i in range(3):
+            buffer.offer(ev("A", ts=float(i), seq=i))
+        buffer.remove_seq(1)
+        assert [e.seq for e in buffer] == [0, 2]
+
+
+class TestPartialMatch:
+    def test_singleton(self):
+        pm = PartialMatch.singleton("a", ev(ts=2.0, seq=5))
+        assert pm.trigger_seq == 5
+        assert pm.min_ts == pm.max_ts == 2.0
+        assert pm.event_seqs() == frozenset({5})
+
+    def test_extended_updates_span(self):
+        pm = PartialMatch.singleton("a", ev(ts=2.0, seq=0))
+        pm2 = pm.extended("b", ev("B", ts=5.0, seq=3))
+        assert pm2.min_ts == 2.0 and pm2.max_ts == 5.0
+        assert pm2.trigger_seq == 3
+        assert pm.event_seqs() == frozenset({0})  # original untouched
+
+    def test_kleene_tuple(self):
+        pm = PartialMatch.kleene_singleton("b", ev("B", ts=1.0, seq=0))
+        pm2 = pm.kleene_extended("b", ev("B", ts=2.0, seq=4))
+        assert pm2.bindings["b"][1].seq == 4
+        assert pm2.event_seqs() == frozenset({0, 4})
+        assert pm2.contains_seq(4)
+
+    def test_merged(self):
+        left = PartialMatch.singleton("a", ev(ts=1.0, seq=0))
+        right = PartialMatch.singleton("b", ev("B", ts=4.0, seq=2))
+        merged = left.merged(right, trigger_seq=2)
+        assert set(merged.bindings) == {"a", "b"}
+        assert merged.min_ts == 1.0 and merged.max_ts == 4.0
+
+    def test_window_checks(self):
+        pm = PartialMatch.singleton("a", ev(ts=1.0, seq=0))
+        assert pm.span_with(ev("B", ts=5.0, seq=1), window=4.0)
+        assert not pm.span_with(ev("B", ts=5.1, seq=1), window=4.0)
+
+
+class TestMatch:
+    def test_latency_from_last_event(self):
+        pm = PartialMatch.singleton("a", ev(ts=1.0, seq=0)).extended(
+            "b", ev("B", ts=3.0, seq=1)
+        )
+        match = Match(pm, detection_ts=4.5)
+        assert match.latency == pytest.approx(1.5)
+        assert match["a"].seq == 0
+
+    def test_key_is_engine_independent(self):
+        events = {"a": ev(seq=0), "b": ev("B", ts=1.0, seq=1)}
+        pm1 = PartialMatch.singleton("a", events["a"]).extended(
+            "b", events["b"]
+        )
+        pm2 = PartialMatch.singleton("b", events["b"]).extended(
+            "a", events["a"], trigger_seq=1
+        )
+        assert Match(pm1, 2.0).key() == Match(pm2, 9.0).key()
+
+    def test_kleene_key_sorted(self):
+        pm = PartialMatch.kleene_singleton("b", ev("B", seq=2))
+        pm = pm.kleene_extended("b", ev("B", ts=1.0, seq=5))
+        assert ("b", (2, 5)) in Match(pm, 1.0).key()
+
+
+class TestEngineMetrics:
+    def test_peaks(self):
+        metrics = EngineMetrics()
+        metrics.note_state(5, 10)
+        metrics.note_state(3, 20)
+        assert metrics.peak_partial_matches == 5
+        assert metrics.peak_buffered_events == 20
+        assert metrics.peak_memory_units == 25
+
+    def test_latency_summary(self):
+        metrics = EngineMetrics()
+        for value in (1.0, 2.0, 3.0):
+            metrics.note_match(value)
+        assert metrics.matches_emitted == 3
+        assert metrics.mean_latency == pytest.approx(2.0)
+        assert metrics.max_latency == 3.0
+
+    def test_merge_adds_counters_and_peaks(self):
+        first = EngineMetrics(events_processed=10)
+        first.note_state(4, 6)
+        first.note_match(1.0)
+        second = EngineMetrics(events_processed=10)
+        second.note_state(2, 1)
+        merged = first.merge(second)
+        assert merged.matches_emitted == 1
+        assert merged.peak_partial_matches == 6
+        assert merged.peak_memory_units == 13
+        assert merged.events_processed == 10
+
+    def test_summary_keys(self):
+        summary = EngineMetrics().summary()
+        assert {"events", "matches", "peak_pm", "peak_memory"} <= set(summary)

@@ -1,0 +1,167 @@
+"""Unit tests for the event model and streams."""
+
+import pytest
+
+from repro.events import (
+    Event,
+    EventType,
+    Stream,
+    StreamOrderError,
+    read_stream_csv,
+    sliding_window_counts,
+    write_stream_csv,
+)
+
+
+class TestEventType:
+    def test_name_and_attributes(self):
+        et = EventType("MSFT", ("price", "difference"))
+        assert et.name == "MSFT"
+        assert et.attributes == ("price", "difference")
+
+    def test_equality_by_name(self):
+        assert EventType("A") == EventType("A", ("x",))
+        assert EventType("A") != EventType("B")
+        assert hash(EventType("A")) == hash(EventType("A", ("y",)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            EventType("")
+
+
+class TestEvent:
+    def test_attribute_access(self):
+        e = Event("A", 1.5, {"x": 3, "name": "hello"})
+        assert e["x"] == 3
+        assert e["name"] == "hello"
+        assert e["timestamp"] == 1.5
+        assert e["ts"] == 1.5
+        assert e.get("missing") is None
+        assert e.get("missing", 9) == 9
+
+    def test_contains(self):
+        e = Event("A", 1.0, {"x": 1})
+        assert "x" in e
+        assert "timestamp" in e
+        assert "seq" in e
+        assert "y" not in e
+
+    def test_seq_assignment_is_copy(self):
+        e = Event("A", 1.0, {"x": 1})
+        e2 = e.with_seq(5)
+        assert e.seq == -1
+        assert e2.seq == 5
+        assert e2["x"] == 1
+
+    def test_partition_assignment(self):
+        e = Event("A", 1.0).with_partition("p1")
+        assert e.partition == "p1"
+
+    def test_attributes_view_is_copy(self):
+        e = Event("A", 1.0, {"x": 1})
+        view = e.attributes
+        view["x"] = 99
+        assert e["x"] == 1
+
+    def test_equality_and_hash(self):
+        a = Event("A", 1.0, {"x": 1}, seq=0)
+        b = Event("A", 1.0, {"x": 1}, seq=0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Event("A", 1.0, {"x": 2}, seq=0)
+
+
+class TestStream:
+    def test_sequences_assigned(self):
+        s = Stream([Event("A", 1.0), Event("B", 2.0)])
+        assert [e.seq for e in s] == [0, 1]
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(StreamOrderError):
+            Stream([Event("A", 2.0), Event("B", 1.0)])
+
+    def test_sort_option(self):
+        s = Stream([Event("A", 2.0), Event("B", 1.0)], sort=True)
+        assert [e.type for e in s] == ["B", "A"]
+        assert [e.seq for e in s] == [0, 1]
+
+    def test_equal_timestamps_allowed(self):
+        s = Stream([Event("A", 1.0), Event("B", 1.0)])
+        assert len(s) == 2
+
+    def test_duration(self):
+        assert Stream().duration == 0.0
+        assert Stream([Event("A", 1.0)]).duration == 0.0
+        s = Stream([Event("A", 1.0), Event("B", 4.0)])
+        assert s.duration == pytest.approx(3.0)
+
+    def test_type_names_and_counts(self):
+        s = Stream([Event("B", 1.0), Event("A", 2.0), Event("B", 3.0)])
+        assert s.type_names() == ["A", "B"]
+        assert s.count_by_type() == {"A": 1, "B": 2}
+
+    def test_filter_and_restrict(self):
+        s = Stream([Event("A", 1.0, {"x": 1}), Event("B", 2.0, {"x": 5})])
+        assert len(s.filter(lambda e: e["x"] > 2)) == 1
+        assert s.restrict_types(["A"]).type_names() == ["A"]
+
+    def test_slice_time_half_open(self):
+        s = Stream([Event("A", 1.0), Event("A", 2.0), Event("A", 3.0)])
+        sliced = s.slice_time(1.0, 3.0)
+        assert [e.timestamp for e in sliced] == [1.0, 2.0]
+
+    def test_take(self):
+        s = Stream([Event("A", float(i)) for i in range(5)])
+        assert len(s.take(3)) == 3
+
+    def test_merge_preserves_order(self):
+        s1 = Stream([Event("A", 1.0), Event("A", 3.0)])
+        s2 = Stream([Event("B", 2.0)])
+        merged = Stream.merge([s1, s2])
+        assert [e.type for e in merged] == ["A", "B", "A"]
+        assert [e.seq for e in merged] == [0, 1, 2]
+
+    def test_with_partitions(self):
+        s = Stream([Event("A", 1.0, {"x": 1}), Event("A", 2.0, {"x": 2})])
+        partitioned = s.with_partitions(lambda e: f"p{e['x']}")
+        assert [e.partition for e in partitioned] == ["p1", "p2"]
+
+
+class TestSlidingWindowCounts:
+    def test_counts_within_window(self):
+        s = Stream([Event("A", 0.0), Event("A", 1.0), Event("A", 5.0)])
+        counts = sliding_window_counts(s, window=2.0)
+        assert counts == [1, 2, 1]
+
+    def test_type_filter(self):
+        s = Stream([Event("A", 0.0), Event("B", 0.5), Event("A", 1.0)])
+        assert sliding_window_counts(s, 2.0, type_name="A") == [1, 2]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        s = Stream(
+            [
+                Event("A", 1.0, {"x": 1.5, "tag": "hello"}),
+                Event("B", 2.0, {"y": -3.0}),
+            ]
+        )
+        path = tmp_path / "stream.csv"
+        write_stream_csv(s, path)
+        back = read_stream_csv(path)
+        assert len(back) == 2
+        assert back[0]["x"] == 1.5
+        assert back[0]["tag"] == "hello"
+        assert back[1]["y"] == -3.0
+        assert "x" not in back[1]
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_stream_csv(Stream(), path)
+        assert len(read_stream_csv(path)) == 0
+
+    def test_partition_round_trip(self, tmp_path):
+        s = Stream([Event("A", 1.0, partition="p7")])
+        path = tmp_path / "part.csv"
+        write_stream_csv(s, path)
+        assert read_stream_csv(path)[0].partition == "p7"

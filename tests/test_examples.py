@@ -1,0 +1,47 @@
+"""Smoke tests: the runnable examples must execute end to end.
+
+The two heavyweight examples (stock_monitoring, latency_tradeoff) are
+exercised with the same code path but are too slow for the unit suite;
+the three fast ones run as-is.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "adaptive_reoptimization.py",
+    "join_ordering.py",
+)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{name} should print a report"
+
+
+def test_quickstart_shows_the_reordering_win(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "TRIVIAL" in output and "DP-LD" in output
+    assert "fewer partial matches" in output
+
+
+def test_examples_have_module_docstrings():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), path.name
+
+
+def test_all_examples_importable_without_main():
+    # Importing must not execute main() (the __main__ guard).
+    for path in sorted(EXAMPLES.glob("*.py")):
+        namespace = runpy.run_path(str(path), run_name="not_main")
+        assert "main" in namespace, path.name

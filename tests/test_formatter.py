@@ -1,0 +1,78 @@
+"""Round-trip tests for the pattern formatter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError
+from repro.patterns import (
+    FunctionPredicate,
+    Pattern,
+    Primitive,
+    Seq,
+    format_pattern,
+    parse_pattern,
+)
+from repro.workloads import (
+    CATEGORIES,
+    PatternWorkloadConfig,
+    generate_pattern_set,
+    stock_symbols,
+)
+
+EXAMPLES = [
+    "PATTERN SEQ(A a, B b) WITHIN 5",
+    "PATTERN AND(A a, B b, C c) WHERE a.x < b.x AND c.y = 3 WITHIN 10",
+    "PATTERN SEQ(A a, NOT(B b), C c) WHERE b.x = a.x WITHIN 7",
+    "PATTERN SEQ(A a, KL(B b), C c) WITHIN 4",
+    "PATTERN OR(SEQ(A a, B b), AND(C c, D d)) WITHIN 12",
+]
+
+
+@pytest.mark.parametrize("text", EXAMPLES)
+def test_round_trip_examples(text):
+    pattern = parse_pattern(text)
+    rendered = format_pattern(pattern)
+    back = parse_pattern(rendered)
+    assert back.root == pattern.root
+    assert back.window == pattern.window
+    assert len(back.conditions) == len(pattern.conditions)
+
+
+def test_generated_workload_round_trips():
+    config = PatternWorkloadConfig(sizes=(3, 5), patterns_per_size=2)
+    for category in CATEGORIES:
+        for pattern in generate_pattern_set(
+            category, stock_symbols(10), config
+        ):
+            back = parse_pattern(format_pattern(pattern))
+            assert back.root == pattern.root
+            assert len(back.conditions) == len(pattern.conditions)
+
+
+def test_opaque_predicate_rejected_unless_skipped():
+    pattern = Pattern(
+        Seq([Primitive("A", "a"), Primitive("B", "b")]),
+        [FunctionPredicate(("a", "b"), lambda x, y: True)],
+        5.0,
+    )
+    with pytest.raises(PatternError):
+        format_pattern(pattern)
+    rendered = format_pattern(pattern, skip_opaque=True)
+    assert "WHERE" not in rendered
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_random_patterns_round_trip(seed):
+    rng = random.Random(seed)
+    category = rng.choice(CATEGORIES)
+    size = rng.randint(3, 6)
+    config = PatternWorkloadConfig(sizes=(size,), patterns_per_size=1,
+                                   seed=seed)
+    (pattern,) = generate_pattern_set(category, stock_symbols(8), config)
+    back = parse_pattern(format_pattern(pattern))
+    assert back.root == pattern.root
+    assert back.window == pattern.window

@@ -1,0 +1,186 @@
+"""Unit tests for the join substrate executor and query model."""
+
+import random
+
+import pytest
+
+from repro.cost import ThroughputCostModel, bushy_cost, left_deep_cost
+from repro.errors import ReductionError
+from repro.join import (
+    JoinPredicate,
+    JoinQuery,
+    Relation,
+    RelationFilter,
+    execute_plan,
+)
+from repro.plans import OrderPlan, TreePlan, enumerate_orders, join
+
+
+def small_query(seed=0, with_filter=False):
+    rng = random.Random(seed)
+    relations = [
+        Relation.random_integers("R1", 8, ("v",), domain=4, rng=rng),
+        Relation.random_integers("R2", 6, ("v",), domain=4, rng=rng),
+        Relation.random_integers("R3", 5, ("v",), domain=4, rng=rng),
+    ]
+    predicates = [
+        JoinPredicate("R1", "R2", 0.25, fn=lambda a, b: a["v"] == b["v"]),
+        JoinPredicate("R2", "R3", 0.5, fn=lambda a, b: a["v"] <= b["v"]),
+    ]
+    filters = []
+    if with_filter:
+        filters.append(
+            RelationFilter("R1", 0.5, fn=lambda r: r["v"] >= 2)
+        )
+    return JoinQuery(relations, predicates, filters)
+
+
+class TestRelation:
+    def test_rows_are_copied(self):
+        source = [{"v": 1}]
+        relation = Relation("R", source)
+        source[0]["v"] = 99
+        assert relation.rows[0]["v"] == 1
+
+    def test_columns_union(self):
+        relation = Relation("R", [{"a": 1}, {"b": 2}])
+        assert relation.columns() == ["a", "b"]
+
+    def test_filtered(self):
+        relation = Relation("R", [{"v": i} for i in range(5)])
+        assert len(relation.filtered(lambda r: r["v"] > 2)) == 2
+
+    def test_random_integers_deterministic(self):
+        a = Relation.random_integers("R", 5, ("v",), rng=random.Random(1))
+        b = Relation.random_integers("R", 5, ("v",), rng=random.Random(1))
+        assert a.rows == b.rows
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReductionError):
+            Relation("", [])
+
+
+class TestJoinQueryModel:
+    def test_duplicate_relation_rejected(self):
+        r = Relation("R", [{"v": 1}])
+        with pytest.raises(ReductionError):
+            JoinQuery([r, Relation("R", [])])
+
+    def test_predicate_unknown_relation_rejected(self):
+        r = Relation("R", [{"v": 1}])
+        with pytest.raises(ReductionError):
+            JoinQuery([r], [JoinPredicate("R", "Z", 0.5)])
+
+    def test_self_predicate_rejected(self):
+        with pytest.raises(ReductionError):
+            JoinPredicate("R", "R", 0.5)
+
+    def test_selectivities_multiply(self):
+        query = JoinQuery(
+            [Relation("A", [{}]), Relation("B", [{}])],
+            [JoinPredicate("A", "B", 0.5), JoinPredicate("A", "B", 0.2)],
+        )
+        assert query.pair_selectivity("A", "B") == pytest.approx(0.1)
+
+    def test_query_graph_edges(self):
+        query = small_query()
+        assert query.query_graph_edges() == {
+            frozenset(("R1", "R2")),
+            frozenset(("R2", "R3")),
+        }
+
+    def test_planning_statistics_window_one(self):
+        query = small_query(with_filter=True)
+        stats = query.planning_statistics()
+        assert stats.window == 1.0
+        assert stats.rate("R1") == pytest.approx(8 * 0.5)
+        assert stats.selectivity("R1", "R2") == 0.25
+
+
+class TestExecutor:
+    def test_left_deep_equals_bushy_results(self):
+        query = small_query(seed=2)
+        left = execute_plan(query, OrderPlan(("R1", "R2", "R3")))
+        bushy = execute_plan(
+            query, TreePlan(join(join("R2", "R3"), "R1"))
+        )
+        assert left.result_keys() == bushy.result_keys()
+
+    def test_filters_applied_at_scan(self):
+        query = small_query(seed=3, with_filter=True)
+        result = execute_plan(query, OrderPlan(("R1", "R2", "R3")))
+        for row in result.rows:
+            assert row["R1"]["v"] >= 2
+
+    def test_node_sizes_recorded_per_node(self):
+        query = small_query(seed=1)
+        result = execute_plan(query, OrderPlan(("R1", "R2", "R3")))
+        labels = [label for label, _ in result.node_sizes]
+        assert "R1" in labels and "(R1,R2)" in labels
+        assert result.total_intermediate == sum(
+            size for _, size in result.node_sizes
+        )
+
+    def test_cross_product_when_no_predicate(self):
+        query = JoinQuery(
+            [
+                Relation("A", [{"v": 1}, {"v": 2}]),
+                Relation("B", [{"w": 3}] * 3),
+            ]
+        )
+        result = execute_plan(query, OrderPlan(("A", "B")))
+        assert result.cardinality == 6
+
+    def test_empty_relation_yields_empty_join(self):
+        query = JoinQuery(
+            [Relation("A", []), Relation("B", [{"v": 1}])],
+            [JoinPredicate("A", "B", 0.5)],
+        )
+        result = execute_plan(query, OrderPlan(("A", "B")))
+        assert result.cardinality == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cost_model_ranks_executed_intermediates(self, seed):
+        """Cheapest-by-model order is never the most expensive in
+        reality — the Figure 16 relationship at join level."""
+        query = small_query(seed=seed)
+        stats = query.planning_statistics()
+        model = ThroughputCostModel()
+        measured = {}
+        predicted = {}
+        for order in enumerate_orders(query.relation_names):
+            key = order.variables
+            predicted[key] = model.order_cost(key, stats)
+            measured[key] = execute_plan(query, order).total_intermediate
+        best_predicted = min(predicted, key=predicted.get)
+        worst_measured = max(measured, key=measured.get)
+        assert best_predicted != worst_measured or len(
+            set(measured.values())
+        ) == 1
+
+    def test_left_deep_cost_matches_expected_sizes_statistically(self):
+        # With exact selectivities, predicted intermediate sizes track
+        # the executed ones within a reasonable factor.
+        rng = random.Random(7)
+        relations = [
+            Relation.random_integers("A", 30, ("v",), domain=10, rng=rng),
+            Relation.random_integers("B", 30, ("v",), domain=10, rng=rng),
+        ]
+        query = JoinQuery(
+            relations,
+            [JoinPredicate("A", "B", 0.1, fn=lambda a, b: a["v"] == b["v"])],
+        )
+        predicted = left_deep_cost(
+            ("A", "B"), query.cardinalities(), query.pair_selectivity
+        )
+        measured = execute_plan(
+            query, OrderPlan(("A", "B"))
+        ).total_intermediate
+        assert measured == pytest.approx(predicted, rel=0.5)
+
+    def test_bushy_cost_counts_leaves(self):
+        cardinality = {"A": 3.0, "B": 4.0}
+        cost = bushy_cost(
+            TreePlan(join("A", "B")), cardinality, lambda a, b: 1.0
+        )
+        assert cost == pytest.approx(3 + 4 + 12)

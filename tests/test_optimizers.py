@@ -1,0 +1,335 @@
+"""Tests for all plan-generation algorithms (Section 7.1)."""
+
+import pytest
+
+from repro.cost import ThroughputCostModel
+from repro.errors import OptimizerError
+from repro.optimizers import (
+    DPBushy,
+    DPLeftDeep,
+    EventFrequencyOrder,
+    GreedyOrder,
+    IterativeImprovementGreedy,
+    IterativeImprovementRandom,
+    KBZOrder,
+    SimulatedAnnealingOrder,
+    TrivialOrder,
+    ZStreamOrderedTree,
+    ZStreamTree,
+    available_algorithms,
+    make_optimizer,
+)
+from repro.patterns import decompose, parse_pattern
+from repro.plans import enumerate_bushy_trees, enumerate_orders
+from repro.stats import PatternStatistics, StatisticsCatalog
+
+MODEL = ThroughputCostModel()
+
+
+def problem(rates, selectivities, window=2.0, operator="AND"):
+    """Build (decomposed, stats) for a pure pattern over given stats."""
+    names = sorted(rates)
+    spec = ", ".join(f"{n.upper()} {n}" for n in names)
+    pattern = parse_pattern(f"PATTERN {operator}({spec}) WITHIN {window}")
+    d = decompose(pattern)
+    sel = {frozenset(k): v for k, v in selectivities.items()}
+    stats = PatternStatistics(
+        d.positive_variables,
+        window,
+        {n: rates[n] for n in names},
+        sel,
+    )
+    return d, stats
+
+
+FOUR = problem(
+    {"a": 5.0, "b": 1.0, "c": 9.0, "d": 0.5},
+    {("a", "c"): 0.01, ("b", "d"): 0.3},
+)
+
+
+class TestNativeGenerators:
+    def test_trivial_keeps_pattern_order(self):
+        d, stats = FOUR
+        plan = TrivialOrder().generate(d, stats, MODEL)
+        assert plan.variables == ("a", "b", "c", "d")
+
+    def test_efreq_sorts_by_rate(self):
+        d, stats = FOUR
+        plan = EventFrequencyOrder().generate(d, stats, MODEL)
+        rates = [stats.rate(v) for v in plan.variables]
+        assert rates == sorted(rates)
+
+    def test_efreq_ignores_selectivities(self):
+        # EFREQ's blind spot (the paper's motivating weakness): it cannot
+        # exploit the extremely selective a-c pair when rates alone point
+        # elsewhere.
+        d, stats = problem(
+            {"a": 5.0, "b": 4.0, "c": 9.0, "d": 3.0},
+            {("a", "c"): 0.001, ("b", "d"): 0.3},
+        )
+        efreq = EventFrequencyOrder().generate(d, stats, MODEL)
+        best = DPLeftDeep().generate(d, stats, MODEL)
+        assert MODEL.order_cost(best.variables, stats) < MODEL.order_cost(
+            efreq.variables, stats
+        )
+
+
+class TestGreedy:
+    def test_first_pick_is_min_step(self):
+        d, stats = FOUR
+        plan = GreedyOrder().generate(d, stats, MODEL)
+        first = plan.variables[0]
+        costs = {
+            v: MODEL.order_step_cost(frozenset(), v, stats)
+            for v in d.positive_variables
+        }
+        assert costs[first] == min(costs.values())
+
+    def test_usually_beats_efreq_and_never_beats_dp(self):
+        # GREEDY has no optimality guarantee, but on random instances it
+        # should win against the rate-only heuristic most of the time and
+        # can never beat the exact DP optimum.
+        from .conftest import make_catalog
+
+        wins = ties = losses = 0
+        for seed in range(12):
+            catalog = make_catalog(seed=seed, selectivity_pairs=3)
+            pattern = parse_pattern(
+                "PATTERN AND(A a, B b, C c, D d) WITHIN 3"
+            )
+            d = decompose(pattern)
+            stats = PatternStatistics.for_planning(d, catalog)
+            greedy = MODEL.order_cost(
+                GreedyOrder().generate(d, stats, MODEL).variables, stats
+            )
+            efreq = MODEL.order_cost(
+                EventFrequencyOrder().generate(d, stats, MODEL).variables,
+                stats,
+            )
+            optimum = MODEL.order_cost(
+                DPLeftDeep().generate(d, stats, MODEL).variables, stats
+            )
+            assert greedy >= optimum * (1 - 1e-9)
+            if greedy < efreq - 1e-9:
+                wins += 1
+            elif greedy > efreq + 1e-9:
+                losses += 1
+            else:
+                ties += 1
+        assert wins + ties > losses
+
+
+class TestDynamicProgramming:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dp_ld_matches_brute_force(self, seed):
+        from .conftest import make_catalog
+
+        catalog = make_catalog(seed=seed, selectivity_pairs=3)
+        pattern = parse_pattern("PATTERN AND(A a, B b, C c, D d) WITHIN 2")
+        d = decompose(pattern)
+        stats = PatternStatistics.for_planning(d, catalog)
+        plan = DPLeftDeep().generate(d, stats, MODEL)
+        best = min(
+            MODEL.order_cost(o.variables, stats)
+            for o in enumerate_orders(d.positive_variables)
+        )
+        assert MODEL.order_cost(plan.variables, stats) == pytest.approx(best)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dp_b_matches_brute_force(self, seed):
+        from .conftest import make_catalog
+
+        catalog = make_catalog(seed=seed, selectivity_pairs=3)
+        pattern = parse_pattern("PATTERN AND(A a, B b, C c, D d) WITHIN 2")
+        d = decompose(pattern)
+        stats = PatternStatistics.for_planning(d, catalog)
+        plan = DPBushy().generate(d, stats, MODEL)
+        best = min(
+            MODEL.tree_cost(t, stats)
+            for t in enumerate_bushy_trees(d.positive_variables)
+        )
+        assert MODEL.tree_cost(plan, stats) == pytest.approx(best)
+
+    def test_dp_b_no_worse_than_dp_ld(self):
+        d, stats = FOUR
+        order = DPLeftDeep().generate(d, stats, MODEL)
+        tree = DPBushy().generate(d, stats, MODEL)
+        from repro.plans import TreePlan
+
+        assert MODEL.tree_cost(tree, stats) <= MODEL.tree_cost(
+            TreePlan.left_deep(order), stats
+        ) * (1 + 1e-9)
+
+    def test_no_cartesian_restriction(self):
+        # With cross products disabled and a chain query graph, every
+        # prefix of the DP-LD order must stay connected.
+        d, stats = problem(
+            {"a": 2.0, "b": 3.0, "c": 4.0, "d": 5.0},
+            {("a", "b"): 0.5, ("b", "c"): 0.5, ("c", "d"): 0.5},
+        )
+        plan = DPLeftDeep(allow_cartesian=False).generate(d, stats, MODEL)
+        edges = {frozenset(p) for p in [("a", "b"), ("b", "c"), ("c", "d")]}
+        placed = [plan.variables[0]]
+        for variable in plan.variables[1:]:
+            assert any(
+                frozenset((variable, other)) in edges for other in placed
+            )
+            placed.append(variable)
+
+
+class TestIterativeImprovement:
+    def test_reaches_local_minimum(self):
+        d, stats = FOUR
+        plan = IterativeImprovementRandom(seed=1).generate(d, stats, MODEL)
+        cost = MODEL.order_cost(plan.variables, stats)
+        # No single swap improves a local minimum.
+        order = list(plan.variables)
+        for i in range(len(order)):
+            for j in range(i + 1, len(order)):
+                neighbor = list(order)
+                neighbor[i], neighbor[j] = neighbor[j], neighbor[i]
+                assert MODEL.order_cost(neighbor, stats) >= cost - 1e-9
+
+    def test_greedy_start_no_worse_than_greedy(self):
+        d, stats = FOUR
+        greedy_cost = MODEL.order_cost(
+            GreedyOrder().generate(d, stats, MODEL).variables, stats
+        )
+        ii_cost = MODEL.order_cost(
+            IterativeImprovementGreedy().generate(d, stats, MODEL).variables,
+            stats,
+        )
+        assert ii_cost <= greedy_cost * (1 + 1e-9)
+
+    def test_restarts_never_hurt(self):
+        d, stats = FOUR
+        one = IterativeImprovementRandom(seed=5, restarts=1).generate(
+            d, stats, MODEL
+        )
+        many = IterativeImprovementRandom(seed=5, restarts=5).generate(
+            d, stats, MODEL
+        )
+        assert MODEL.order_cost(many.variables, stats) <= MODEL.order_cost(
+            one.variables, stats
+        ) * (1 + 1e-9)
+
+    def test_bad_configuration(self):
+        with pytest.raises(OptimizerError):
+            IterativeImprovementRandom(restarts=0)
+        with pytest.raises(OptimizerError):
+            IterativeImprovementRandom(moves=("teleport",))
+
+
+class TestZStream:
+    def test_fixed_leaf_order_preserved(self):
+        d, stats = FOUR
+        plan = ZStreamTree().generate(d, stats, MODEL)
+        assert plan.leaf_order == d.positive_variables
+
+    def test_optimal_among_fixed_order_trees(self):
+        from repro.plans import enumerate_trees_fixed_order
+
+        d, stats = FOUR
+        plan = ZStreamTree().generate(d, stats, MODEL)
+        best = min(
+            MODEL.tree_cost(t, stats)
+            for t in enumerate_trees_fixed_order(d.positive_variables)
+        )
+        assert MODEL.tree_cost(plan, stats) == pytest.approx(best)
+
+    def test_zstream_ord_beats_or_ties_zstream(self):
+        # Figure 3 scenario: restrictive predicate between the outer
+        # events; plain ZStream cannot put them together.
+        d, stats = problem(
+            {"a": 3.0, "b": 3.0, "c": 3.0},
+            {("a", "c"): 0.01},
+            operator="AND",
+        )
+        zs = MODEL.tree_cost(ZStreamTree().generate(d, stats, MODEL), stats)
+        zso = MODEL.tree_cost(
+            ZStreamOrderedTree().generate(d, stats, MODEL), stats
+        )
+        assert zso < zs
+
+    def test_dp_b_no_worse_than_zstream_variants(self):
+        d, stats = FOUR
+        dpb = MODEL.tree_cost(DPBushy().generate(d, stats, MODEL), stats)
+        for generator in (ZStreamTree(), ZStreamOrderedTree()):
+            other = MODEL.tree_cost(generator.generate(d, stats, MODEL), stats)
+            assert dpb <= other * (1 + 1e-9)
+
+
+class TestKBZ:
+    def test_chain_graph_matches_dp_without_cartesian(self):
+        d, stats = problem(
+            {"a": 8.0, "b": 2.0, "c": 4.0, "d": 1.0},
+            {("a", "b"): 0.1, ("b", "c"): 0.5, ("c", "d"): 0.9},
+        )
+        kbz = KBZOrder(fallback=False).generate(d, stats, MODEL)
+        dp = DPLeftDeep(allow_cartesian=False).generate(d, stats, MODEL)
+        assert MODEL.order_cost(kbz.variables, stats) == pytest.approx(
+            MODEL.order_cost(dp.variables, stats)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_star_graph_optimal(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        rates = {v: rng.uniform(0.5, 8.0) for v in "abcd"}
+        selectivities = {
+            ("a", other): rng.uniform(0.05, 0.9) for other in "bcd"
+        }
+        d, stats = problem(rates, selectivities)
+        kbz = KBZOrder(fallback=False).generate(d, stats, MODEL)
+        dp = DPLeftDeep(allow_cartesian=False).generate(d, stats, MODEL)
+        assert MODEL.order_cost(kbz.variables, stats) == pytest.approx(
+            MODEL.order_cost(dp.variables, stats)
+        )
+
+    def test_cyclic_graph_falls_back(self):
+        d, stats = problem(
+            {"a": 1.0, "b": 2.0, "c": 3.0},
+            {("a", "b"): 0.5, ("b", "c"): 0.5, ("a", "c"): 0.5},
+        )
+        with pytest.raises(OptimizerError):
+            KBZOrder(fallback=False).generate(d, stats, MODEL)
+        plan = KBZOrder().generate(d, stats, MODEL)  # falls back to GREEDY
+        assert set(plan.variables) == {"a", "b", "c"}
+
+
+class TestSimulatedAnnealing:
+    def test_finds_good_plan_on_small_instance(self):
+        d, stats = FOUR
+        plan = SimulatedAnnealingOrder(seed=3).generate(d, stats, MODEL)
+        best = min(
+            MODEL.order_cost(o.variables, stats)
+            for o in enumerate_orders(d.positive_variables)
+        )
+        assert MODEL.order_cost(plan.variables, stats) <= best * 1.5
+
+    def test_deterministic_under_seed(self):
+        d, stats = FOUR
+        a = SimulatedAnnealingOrder(seed=9).generate(d, stats, MODEL)
+        b = SimulatedAnnealingOrder(seed=9).generate(d, stats, MODEL)
+        assert a == b
+
+    def test_bad_configuration(self):
+        with pytest.raises(OptimizerError):
+            SimulatedAnnealingOrder(cooling=1.5)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in available_algorithms():
+            generator = make_optimizer(name)
+            assert generator.kind in ("order", "tree")
+
+    def test_unknown_name(self):
+        with pytest.raises(OptimizerError):
+            make_optimizer("MAGIC")
+
+    def test_kwargs_forwarded(self):
+        generator = make_optimizer("II-RANDOM", restarts=4)
+        assert generator.restarts == 4

@@ -1,0 +1,157 @@
+"""Unit tests for operators, Pattern taxonomy, and the parser."""
+
+import pytest
+
+from repro.errors import PatternError, PatternParseError
+from repro.patterns import (
+    And,
+    Comparison,
+    Kleene,
+    Not,
+    Or,
+    Pattern,
+    Primitive,
+    Seq,
+    parse_pattern,
+)
+from repro.patterns.operators import count_nary_operators
+
+
+class TestOperators:
+    def test_primitive(self):
+        p = Primitive("A", "a")
+        assert list(p.primitives()) == [p]
+        assert p.variables() == ["a"]
+
+    def test_nary_needs_two_children(self):
+        with pytest.raises(PatternError):
+            Seq([Primitive("A", "a")])
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(PatternError):
+            And([Primitive("A", "a"), Primitive("B", "a")])
+
+    def test_unary_requires_primitive(self):
+        with pytest.raises(PatternError):
+            Not(Seq([Primitive("A", "a"), Primitive("B", "b")]))
+
+    def test_copy_is_deep(self):
+        node = Seq([Primitive("A", "a"), Not(Primitive("B", "b"))])
+        clone = node.copy()
+        assert clone == node
+        assert clone is not node
+
+    def test_count_nary(self):
+        nested = And(
+            [Primitive("A", "a"), Or([Primitive("B", "b"), Primitive("C", "c")])]
+        )
+        assert count_nary_operators(nested) == 2
+        simple = Seq([Primitive("A", "a"), Kleene(Primitive("B", "b"))])
+        assert count_nary_operators(simple) == 1
+
+
+class TestPatternTaxonomy:
+    def test_pure_sequence(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5")
+        assert p.is_simple and p.is_pure and p.is_sequence
+        assert not p.is_conjunctive and not p.is_nested
+
+    def test_pure_conjunction(self):
+        p = parse_pattern("PATTERN AND(A a, B b) WITHIN 5")
+        assert p.is_conjunctive and p.is_pure
+
+    def test_negation_not_pure(self):
+        p = parse_pattern("PATTERN SEQ(A a, NOT(B b), C c) WITHIN 5")
+        assert p.is_simple and not p.is_pure
+        assert p.negated_variables() == ["b"]
+        assert p.positive_variables() == ["a", "c"]
+
+    def test_kleene_not_pure(self):
+        p = parse_pattern("PATTERN SEQ(A a, KL(B b)) WITHIN 5")
+        assert p.is_simple and not p.is_pure
+        assert p.kleene_variables() == ["b"]
+
+    def test_nested(self):
+        p = parse_pattern("PATTERN AND(A a, OR(B b, C c)) WITHIN 5")
+        assert p.is_nested and not p.is_simple
+
+    def test_sequence_order(self):
+        p = parse_pattern("PATTERN SEQ(A a, NOT(B b), C c) WITHIN 5")
+        assert p.sequence_order() == ["a", "c"]
+        q = parse_pattern("PATTERN AND(A a, B b) WITHIN 5")
+        assert q.sequence_order() is None
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(PatternError):
+            Pattern(Seq([Primitive("A", "a"), Primitive("B", "b")]), (), 0.0)
+
+    def test_unknown_condition_variable_rejected(self):
+        from repro.patterns import Attr
+
+        with pytest.raises(PatternError):
+            Pattern(
+                Seq([Primitive("A", "a"), Primitive("B", "b")]),
+                [Comparison(Attr("z", "x"), "<", Attr("a", "x"))],
+                5.0,
+            )
+
+    def test_size(self):
+        p = parse_pattern("PATTERN SEQ(A a, NOT(B b), C c) WITHIN 5")
+        assert len(p) == 3  # negated event still participates
+
+    def test_variable_types(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5")
+        assert p.variable_types() == {"a": "A", "b": "B"}
+
+
+class TestParser:
+    def test_four_cameras_example(self):
+        p = parse_pattern(
+            "PATTERN SEQ(A a, B b, C c, D d) "
+            "WHERE a.vehicleID = b.vehicleID = c.vehicleID = d.vehicleID "
+            "WITHIN 20"
+        )
+        assert p.is_sequence and len(p) == 4
+        assert len(p.conditions) == 3  # chained equality expands pairwise
+        assert p.window == 20.0
+
+    def test_nested_pattern_from_paper(self):
+        p = parse_pattern("PATTERN AND(A a, NOT(B b), OR(C c, D d)) WITHIN 10")
+        assert p.is_nested
+        assert sorted(p.variable_names()) == ["a", "b", "c", "d"]
+
+    def test_where_with_parentheses(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WHERE (a.x < b.x) WITHIN 5")
+        assert len(p.conditions) == 1
+
+    def test_where_true(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WHERE true WITHIN 5")
+        assert len(p.conditions) == 0
+
+    def test_constant_operand(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WHERE a.x > 3.5 WITHIN 5")
+        assert len(p.conditions.filters_for("a")) == 1
+
+    def test_case_insensitive_keywords(self):
+        p = parse_pattern("pattern seq(A a, B b) where a.x < b.x within 5")
+        assert p.is_sequence
+
+    def test_missing_within_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("PATTERN SEQ(A a, B b)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5 extra")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("PATTERN SEQ(A a; B b) WITHIN 5")
+
+    def test_not_with_two_operands_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("PATTERN SEQ(A a, NOT(B b, C c)) WITHIN 5")
+
+    def test_name_passthrough(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5", name="mine")
+        assert p.name == "mine"

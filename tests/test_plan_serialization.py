@@ -1,0 +1,68 @@
+"""Tests for plan (de)serialization round trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.plans import (
+    OrderPlan,
+    TreePlan,
+    enumerate_bushy_trees,
+    join,
+    plan_from_dict,
+    plan_to_dict,
+)
+
+
+class TestOrderPlanRoundTrip:
+    def test_round_trip(self):
+        plan = OrderPlan(("c", "a", "b"))
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_json_compatible(self):
+        plan = OrderPlan(("a", "b"))
+        text = json.dumps(plan_to_dict(plan))
+        assert plan_from_dict(json.loads(text)) == plan
+
+
+class TestTreePlanRoundTrip:
+    def test_round_trip_bushy(self):
+        plan = TreePlan(join(join("a", "b"), join("c", "d")))
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_all_small_trees_round_trip(self):
+        for plan in enumerate_bushy_trees("abcd"):
+            assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_json_compatible(self):
+        plan = TreePlan(join("a", join("b", "c")))
+        text = json.dumps(plan_to_dict(plan))
+        assert plan_from_dict(json.loads(text)) == plan
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"kind": "spaghetti"})
+
+    def test_malformed_node(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"kind": "tree", "root": {"left": {"leaf": "a"}}})
+
+    def test_unserializable_object(self):
+        with pytest.raises(PlanError):
+            plan_to_dict(object())  # type: ignore[arg-type]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    variables=st.lists(
+        st.sampled_from("abcdefgh"), min_size=1, max_size=8, unique=True
+    )
+)
+def test_property_order_round_trip(variables):
+    plan = OrderPlan(tuple(variables))
+    assert plan_from_dict(plan_to_dict(plan)) == plan

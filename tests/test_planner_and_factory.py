@@ -1,0 +1,166 @@
+"""Integration tests: planner pipeline, engine factory, disjunctions."""
+
+import pytest
+
+from repro.cost import HybridCostModel, NextMatchCostModel, ThroughputCostModel
+from repro.engines import (
+    DisjunctionEngine,
+    NFAEngine,
+    TreeEngine,
+    build_engine,
+    build_engines,
+    reference_match_keys,
+)
+from repro.errors import OptimizerError
+from repro.optimizers import plan_pattern, resolve_cost_model, total_cost
+from repro.patterns import decompose, nested_to_dnf, parse_pattern
+
+from .conftest import make_stream
+
+
+@pytest.fixture
+def catalog(abc_catalog):
+    return abc_catalog
+
+
+class TestResolveCostModel:
+    def test_default_is_throughput(self, catalog):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        assert isinstance(resolve_cost_model(d), ThroughputCostModel)
+
+    def test_next_uses_min_rate_model(self, catalog):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        assert isinstance(
+            resolve_cost_model(d, selection="next"), NextMatchCostModel
+        )
+
+    def test_alpha_wraps_hybrid(self):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        model = resolve_cost_model(d, alpha=0.5)
+        assert isinstance(model, HybridCostModel)
+        assert model.latency.last_variable == "b"
+
+    def test_alpha_on_conjunction_requires_hint(self):
+        d = decompose(parse_pattern("PATTERN AND(A a, B b) WITHIN 5"))
+        with pytest.raises(OptimizerError):
+            resolve_cost_model(d, alpha=0.5)
+        model = resolve_cost_model(d, alpha=0.5, last_variable="a")
+        assert model.latency.last_variable == "a"
+
+    def test_unknown_selection(self):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        with pytest.raises(OptimizerError):
+            resolve_cost_model(d, selection="never")
+
+
+class TestPlanPattern:
+    def test_simple_pattern_single_plan(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN SEQ(A a, B b, C c) WHERE a.x = c.x WITHIN 5"
+        )
+        planned = plan_pattern(pattern, catalog, algorithm="DP-LD")
+        assert len(planned) == 1
+        assert planned[0].algorithm == "DP-LD"
+        assert planned[0].cost > 0
+        assert set(planned[0].plan.variables) == {"a", "b", "c"}
+
+    def test_tree_algorithm_yields_tree_plan(self, catalog):
+        pattern = parse_pattern("PATTERN SEQ(A a, B b, C c) WITHIN 5")
+        planned = plan_pattern(pattern, catalog, algorithm="DP-B")
+        assert planned[0].is_tree
+
+    def test_nested_pattern_one_plan_per_disjunct(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 5"
+        )
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        assert len(planned) == 2
+        assert total_cost(planned) == pytest.approx(
+            sum(p.cost for p in planned)
+        )
+
+    def test_optimizer_kwargs_forwarded(self, catalog):
+        pattern = parse_pattern("PATTERN SEQ(A a, B b, C c) WITHIN 5")
+        planned = plan_pattern(
+            pattern, catalog, algorithm="II-RANDOM", seed=3, restarts=2
+        )
+        assert planned[0].algorithm == "II-RANDOM"
+
+
+class TestEngineFactory:
+    def test_order_plan_builds_nfa(self, catalog):
+        pattern = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5")
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        assert isinstance(build_engine(planned[0]), NFAEngine)
+
+    def test_tree_plan_builds_tree_engine(self, catalog):
+        pattern = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5")
+        planned = plan_pattern(pattern, catalog, algorithm="ZSTREAM")
+        assert isinstance(build_engine(planned[0]), TreeEngine)
+
+    def test_disjunction_wrapped(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 5"
+        )
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        engine = build_engines(planned)
+        assert isinstance(engine, DisjunctionEngine)
+
+    def test_empty_rejected(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            build_engines([])
+
+
+class TestDisjunctionExecution:
+    def test_union_of_disjunct_matches(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(B b2, C c2)) WITHIN 4"
+        )
+        stream = make_stream(3, count=60)
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        engine = build_engines(planned)
+        matches = engine.run(stream)
+        expected = set()
+        for sub in nested_to_dnf(pattern):
+            expected |= reference_match_keys(decompose(sub), stream)
+        assert {m.key() for m in matches} == expected
+
+    def test_disjunction_metrics_merge(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(B b2, C c2)) WITHIN 4"
+        )
+        stream = make_stream(3, count=40)
+        engine = build_engines(plan_pattern(pattern, catalog))
+        engine.run(stream)
+        metrics = engine.metrics
+        assert metrics.events_processed == 40
+        assert metrics.peak_partial_matches >= 0
+
+    def test_pattern_name_attached_to_matches(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 4",
+            name="disjunction_demo",
+        )
+        stream = make_stream(5, count=60, types="ABCD")
+        engine = build_engines(plan_pattern(pattern, catalog))
+        matches = engine.run(stream)
+        assert matches, "workload should produce at least one match"
+        assert all("disjunction_demo#dnf" in m.pattern_name for m in matches)
+
+
+class TestEndToEndAgainstReference:
+    @pytest.mark.parametrize(
+        "algorithm", ["TRIVIAL", "EFREQ", "GREEDY", "DP-LD", "ZSTREAM", "DP-B"]
+    )
+    def test_all_algorithms_same_matches(self, algorithm, catalog):
+        pattern = parse_pattern(
+            "PATTERN SEQ(A a, B b, C c) WHERE a.x = c.x WITHIN 4"
+        )
+        stream = make_stream(17, count=70)
+        d = decompose(pattern)
+        expected = reference_match_keys(d, stream)
+        planned = plan_pattern(pattern, catalog, algorithm=algorithm)
+        engine = build_engines(planned)
+        assert {m.key() for m in engine.run(stream)} == expected

@@ -1,0 +1,134 @@
+"""Tests for plan structures and plan-space enumeration."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.patterns import decompose, parse_pattern
+from repro.plans import (
+    OrderPlan,
+    TreePlan,
+    catalan,
+    count_orders,
+    count_trees_fixed_order,
+    count_unordered_bushy_trees,
+    enumerate_bushy_trees,
+    enumerate_orders,
+    enumerate_trees_fixed_order,
+    join,
+    leaf,
+)
+
+
+class TestOrderPlan:
+    def test_basic(self):
+        plan = OrderPlan(("b", "a", "c"))
+        assert len(plan) == 3
+        assert plan.position("a") == 1
+        assert plan.successors("a") == ("c",)
+        assert plan.prefix(2) == ("b", "a")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PlanError):
+            OrderPlan(("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            OrderPlan(())
+
+    def test_trivial_follows_pattern(self):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, NOT(B b), C c) WITHIN 5"))
+        assert OrderPlan.trivial(d).variables == ("a", "c")
+
+    def test_validate_for(self):
+        d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        OrderPlan(("b", "a")).validate_for(d)
+        with pytest.raises(PlanError):
+            OrderPlan(("a", "z")).validate_for(d)
+
+    def test_equality_hash(self):
+        assert OrderPlan(("a", "b")) == OrderPlan(("a", "b"))
+        assert hash(OrderPlan(("a", "b"))) == hash(OrderPlan(("a", "b")))
+        assert OrderPlan(("a", "b")) != OrderPlan(("b", "a"))
+
+
+class TestTreePlan:
+    def test_leaf_order(self):
+        plan = TreePlan(join(join("a", "b"), "c"))
+        assert plan.leaf_order == ("a", "b", "c")
+        assert len(plan) == 3
+
+    def test_left_deep_round_trip(self):
+        order = OrderPlan(("c", "a", "b"))
+        plan = TreePlan.left_deep(order)
+        assert plan.is_left_deep
+        assert plan.to_order() == order
+
+    def test_bushy_not_left_deep(self):
+        plan = TreePlan(join(join("a", "b"), join("c", "d")))
+        assert not plan.is_left_deep
+        with pytest.raises(PlanError):
+            plan.to_order()
+
+    def test_duplicate_leaves_rejected(self):
+        with pytest.raises(PlanError):
+            TreePlan(join("a", "a"))
+
+    def test_ancestors_and_siblings(self):
+        inner = join("a", "b")
+        root = join(inner, "c")
+        plan = TreePlan(root)
+        path = plan.ancestors_of_leaf("a")
+        assert path == [inner, root]
+        leaf_c = plan.find_leaf("c")
+        assert plan.sibling_of(leaf_c) is inner
+        assert plan.parent_of(plan.root) is None
+
+    def test_internal_node_structure(self):
+        with pytest.raises(PlanError):
+            # leaf with children
+            from repro.plans import TreeNode
+
+            TreeNode(variable="a", left=leaf("b"), right=leaf("c"))
+
+    def test_equality(self):
+        assert TreePlan(join("a", "b")) == TreePlan(join("a", "b"))
+        assert TreePlan(join("a", "b")) != TreePlan(join("b", "a"))
+
+
+class TestEnumeration:
+    def test_catalan(self):
+        assert [catalan(n) for n in range(6)] == [1, 1, 2, 5, 14, 42]
+
+    def test_count_orders(self):
+        assert count_orders(4) == 24
+        assert len(list(enumerate_orders("abcd"))) == 24
+
+    def test_fixed_order_trees_are_catalan(self):
+        for n in (2, 3, 4, 5):
+            variables = [f"v{i}" for i in range(n)]
+            trees = list(enumerate_trees_fixed_order(variables))
+            assert len(trees) == count_trees_fixed_order(n) == catalan(n - 1)
+            for tree in trees:
+                assert tree.leaf_order == tuple(variables)
+            assert len(set(trees)) == len(trees)
+
+    def test_bushy_trees_are_double_factorial(self):
+        for n, expected in ((2, 1), (3, 3), (4, 15), (5, 105)):
+            variables = [f"v{i}" for i in range(n)]
+            trees = list(enumerate_bushy_trees(variables))
+            assert len(trees) == expected
+            assert count_unordered_bushy_trees(n) == expected
+            assert len(set(trees)) == len(trees)
+
+    def test_bushy_includes_all_fixed_order_shapes(self):
+        # Every fixed-order tree shape appears among the bushy trees once
+        # leaf orientation is normalized away: compare partition structure.
+        def partitions(plan):
+            return frozenset(
+                frozenset(node.leaf_variables)
+                for node in plan.root.internal_nodes()
+            )
+
+        bushy = {partitions(t) for t in enumerate_bushy_trees("abc")}
+        fixed = {partitions(t) for t in enumerate_trees_fixed_order("abc")}
+        assert fixed <= bushy

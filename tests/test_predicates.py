@@ -1,0 +1,168 @@
+"""Unit tests for the predicate algebra."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.events import Event
+from repro.patterns import (
+    Adjacent,
+    Attr,
+    Comparison,
+    ConditionSet,
+    Const,
+    FunctionPredicate,
+    TimestampOrder,
+)
+
+
+def ev(type_name="A", ts=0.0, seq=-1, **attrs):
+    return Event(type_name, ts, attrs, seq=seq)
+
+
+class TestComparison:
+    def test_attribute_vs_attribute(self):
+        p = Comparison(Attr("a", "x"), "<", Attr("b", "x"))
+        assert p.variables == ("a", "b")
+        assert p.evaluate({"a": ev(x=1), "b": ev(x=2)})
+        assert not p.evaluate({"a": ev(x=3), "b": ev(x=2)})
+
+    def test_attribute_vs_constant(self):
+        p = Comparison(Attr("a", "x"), ">=", Const(5))
+        assert p.variables == ("a",)
+        assert p.evaluate({"a": ev(x=5)})
+        assert not p.evaluate({"a": ev(x=4)})
+
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,expected",
+        [
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 2, 1, True),
+            (">=", 1, 2, False),
+            ("=", 3, 3, True),
+            ("==", 3, 4, False),
+            ("!=", 3, 4, True),
+        ],
+    )
+    def test_operators(self, op, lhs, rhs, expected):
+        p = Comparison(Attr("a", "x"), op, Attr("b", "x"))
+        assert p.evaluate({"a": ev(x=lhs), "b": ev(x=rhs)}) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PatternError):
+            Comparison(Attr("a", "x"), "<>", Attr("b", "x"))
+
+    def test_missing_attribute_is_false(self):
+        p = Comparison(Attr("a", "nope"), "=", Const(1))
+        assert not p.evaluate({"a": ev(x=1)})
+
+    def test_timestamp_attribute(self):
+        p = Comparison(Attr("a", "timestamp"), "<", Attr("b", "timestamp"))
+        assert p.evaluate({"a": ev(ts=1.0), "b": ev(ts=2.0)})
+
+    def test_kleene_universal_semantics(self):
+        p = Comparison(Attr("a", "x"), "<", Attr("b", "x"))
+        bindings = {"a": ev(x=1), "b": (ev(x=2), ev(x=3))}
+        assert p.evaluate(bindings)
+        bindings_bad = {"a": ev(x=1), "b": (ev(x=2), ev(x=0))}
+        assert not p.evaluate(bindings_bad)
+
+    def test_two_kleene_variables(self):
+        p = Comparison(Attr("a", "x"), "<", Attr("b", "x"))
+        bindings = {"a": (ev(x=1), ev(x=2)), "b": (ev(x=3), ev(x=4))}
+        assert p.evaluate(bindings)
+        bindings["b"] = (ev(x=3), ev(x=2))
+        assert not p.evaluate(bindings)
+
+    def test_equality_and_hash(self):
+        p1 = Comparison(Attr("a", "x"), "<", Attr("b", "x"))
+        p2 = Comparison(Attr("a", "x"), "<", Attr("b", "x"))
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+
+class TestFunctionPredicate:
+    def test_unary(self):
+        p = FunctionPredicate(("a",), lambda e: e["x"] > 0, name="positive")
+        assert p.evaluate({"a": ev(x=1)})
+        assert not p.evaluate({"a": ev(x=-1)})
+        assert "positive" in repr(p)
+
+    def test_binary(self):
+        p = FunctionPredicate(("a", "b"), lambda x, y: x["v"] == y["v"])
+        assert p.evaluate({"a": ev(v=1), "b": ev(v=1)})
+
+    def test_arity_bounds(self):
+        with pytest.raises(PatternError):
+            FunctionPredicate((), lambda: True)
+        with pytest.raises(PatternError):
+            FunctionPredicate(("a", "b", "c"), lambda *a: True)
+
+
+class TestTimestampOrder:
+    def test_strict_order(self):
+        p = TimestampOrder("a", "b")
+        assert p.evaluate({"a": ev(ts=1.0), "b": ev(ts=2.0)})
+        assert not p.evaluate({"a": ev(ts=2.0), "b": ev(ts=2.0)})
+
+
+class TestAdjacent:
+    def test_strict_mode(self):
+        p = Adjacent("a", "b")
+        assert p.evaluate({"a": ev(seq=3), "b": ev(seq=4)})
+        assert not p.evaluate({"a": ev(seq=3), "b": ev(seq=5)})
+
+    def test_partition_mode(self):
+        p = Adjacent("a", "b", mode="partition")
+        e1 = Event("A", 1.0, {"pseq": 0}, partition="p")
+        e2 = Event("A", 2.0, {"pseq": 1}, partition="p")
+        e3 = Event("A", 3.0, {"pseq": 1}, partition="q")
+        assert p.evaluate({"a": e1, "b": e2})
+        assert not p.evaluate({"a": e1, "b": e3})
+
+    def test_unknown_mode(self):
+        with pytest.raises(PatternError):
+            Adjacent("a", "b", mode="loose")
+
+
+class TestConditionSet:
+    def make(self):
+        return ConditionSet(
+            [
+                Comparison(Attr("a", "x"), "<", Attr("b", "x")),
+                Comparison(Attr("a", "x"), ">", Const(0)),
+                Comparison(Attr("b", "x"), "=", Attr("c", "x")),
+            ]
+        )
+
+    def test_views(self):
+        cs = self.make()
+        assert cs.variables() == {"a", "b", "c"}
+        assert len(cs.filters_for("a")) == 1
+        assert len(cs.filters_for("b")) == 0
+        assert len(cs.between("a", "b")) == 1
+        assert len(cs.between("a", "c")) == 0
+        assert len(cs.involving("b")) == 2
+
+    def test_restricted_to(self):
+        cs = self.make().restricted_to({"a", "b"})
+        assert len(cs) == 2
+
+    def test_conjoin(self):
+        cs = self.make()
+        bigger = cs.conjoin(Comparison(Attr("c", "x"), "<", Const(5)))
+        assert len(bigger) == 4
+        assert len(cs) == 3  # immutable
+
+    def test_evaluate_partial_bindings(self):
+        cs = self.make()
+        # Only predicates with all variables bound are checked.
+        assert cs.evaluate({"a": ev(x=1)})
+        assert not cs.evaluate({"a": ev(x=-1)})
+
+    def test_evaluate_new_binding(self):
+        cs = self.make()
+        bindings = {"a": ev(x=1), "b": ev(x=2)}
+        assert cs.evaluate_new_binding(bindings, "b")
+        bad = {"a": ev(x=5), "b": ev(x=2)}
+        assert not cs.evaluate_new_binding(bad, "b")

@@ -1,0 +1,179 @@
+"""Tests for statistics catalogs, estimators, and online trackers."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.events import Event, Stream
+from repro.patterns import decompose, parse_pattern
+from repro.stats import (
+    EwmaSelectivityEstimator,
+    PatternStatistics,
+    SlidingRateEstimator,
+    StatisticsCatalog,
+    estimate_pattern_catalog,
+    estimate_rates,
+    estimate_selectivity,
+)
+
+from .conftest import make_stream
+
+
+class TestStatisticsCatalog:
+    def test_rates_and_defaults(self):
+        cat = StatisticsCatalog({"A": 2.0}, {frozenset(("a", "b")): 0.5})
+        assert cat.rate("A") == 2.0
+        assert cat.selectivity("a", "b") == 0.5
+        assert cat.selectivity("a", "z") == 1.0  # no condition -> 1
+        assert cat.selectivity("a") == 1.0  # no filter -> 1
+
+    def test_unary_filter_by_string_key(self):
+        cat = StatisticsCatalog({"A": 1.0}, {"a": 0.25})
+        assert cat.selectivity("a") == 0.25
+        assert cat.selectivity("a", "a") == 0.25
+
+    def test_invalid_rate(self):
+        with pytest.raises(StatisticsError):
+            StatisticsCatalog({"A": 0.0})
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(StatisticsError):
+            StatisticsCatalog({"A": 1.0}, {frozenset(("a", "b")): 1.5})
+
+    def test_unknown_rate_raises(self):
+        with pytest.raises(StatisticsError):
+            StatisticsCatalog({"A": 1.0}).rate("B")
+
+    def test_updated_copies(self):
+        cat = StatisticsCatalog({"A": 1.0})
+        newer = cat.updated(rates={"A": 3.0}, selectivities={("a", "b"): 0.1})
+        assert cat.rate("A") == 1.0
+        assert newer.rate("A") == 3.0
+        assert newer.selectivity("a", "b") == 0.1
+
+
+class TestPatternStatistics:
+    def test_for_planning_folds_filters(self):
+        pattern = parse_pattern(
+            "PATTERN AND(A a, B b) WHERE a.x > 0 WITHIN 10"
+        )
+        d = decompose(pattern)
+        cat = StatisticsCatalog({"A": 2.0, "B": 1.0}, {"a": 0.5})
+        stats = PatternStatistics.for_planning(d, cat)
+        assert stats.rate("a") == pytest.approx(1.0)  # 2.0 * 0.5
+        assert stats.rate("b") == pytest.approx(1.0)
+
+    def test_kleene_rewrite_applied(self):
+        pattern = parse_pattern("PATTERN SEQ(A a, KL(B b)) WITHIN 20")
+        d = decompose(pattern)
+        cat = StatisticsCatalog({"A": 1.0, "B": 0.1})
+        stats = PatternStatistics.for_planning(d, cat)
+        assert stats.rate("b") == pytest.approx(0.15)  # (2^2-1)/20
+        plain = PatternStatistics.for_planning(d, cat, apply_kleene_rewrite=False)
+        assert plain.rate("b") == pytest.approx(0.1)
+
+    def test_expected_count(self):
+        pattern = parse_pattern("PATTERN AND(A a, B b) WITHIN 10")
+        stats = PatternStatistics.for_planning(
+            decompose(pattern), StatisticsCatalog({"A": 2.0, "B": 1.0})
+        )
+        assert stats.expected_count("a") == pytest.approx(20.0)
+
+    def test_cross_and_internal_selectivity(self):
+        pattern = parse_pattern(
+            "PATTERN AND(A a, B b, C c) WHERE a.x = b.x AND b.x = c.x WITHIN 1"
+        )
+        d = decompose(pattern)
+        cat = StatisticsCatalog(
+            {"A": 1, "B": 1, "C": 1},
+            {frozenset(("a", "b")): 0.5, frozenset(("b", "c")): 0.25},
+        )
+        stats = PatternStatistics.for_planning(d, cat)
+        assert stats.cross_selectivity(["a"], ["b", "c"]) == pytest.approx(0.5)
+        assert stats.internal_selectivity(["a", "b", "c"]) == pytest.approx(
+            0.125
+        )
+
+    def test_missing_variable_rate(self):
+        with pytest.raises(StatisticsError):
+            PatternStatistics(("a",), 1.0, {}, {})
+
+
+class TestEstimators:
+    def test_estimate_rates(self):
+        events = [Event("A", float(i)) for i in range(11)]
+        events += [Event("B", float(i) + 0.5) for i in range(5)]
+        stream = Stream(events, sort=True)
+        rates = estimate_rates(stream)
+        assert rates["A"] == pytest.approx(11 / stream.duration)
+        assert rates["B"] == pytest.approx(5 / stream.duration)
+
+    def test_estimate_rates_needs_two_events(self):
+        with pytest.raises(StatisticsError):
+            estimate_rates(Stream([Event("A", 1.0)]))
+
+    def test_estimate_selectivity_equal_attribute(self):
+        # x uniform over 3 values -> equality selectivity ~ 1/3.
+        stream = make_stream(2, count=300, types="AB", domain=3)
+        pattern = parse_pattern(
+            "PATTERN SEQ(A a, B b) WHERE a.x = b.x WITHIN 5"
+        )
+        predicate = pattern.conditions.predicates[0]
+        value = estimate_selectivity(
+            predicate, {"a": "A", "b": "B"}, stream, samples=3000
+        )
+        assert value == pytest.approx(1 / 3, abs=0.06)
+
+    def test_estimate_pattern_catalog(self):
+        stream = make_stream(3, count=200, types="ABC")
+        pattern = parse_pattern(
+            "PATTERN SEQ(A a, B b, C c) WHERE a.x < b.x WITHIN 5"
+        )
+        catalog = estimate_pattern_catalog(pattern, stream, samples=500)
+        assert catalog.has_rate("A") and catalog.has_rate("C")
+        assert 0.0 <= catalog.selectivity("a", "b") <= 1.0
+        assert catalog.selectivity("a", "c") == 1.0
+
+    def test_missing_type_raises(self):
+        stream = make_stream(3, count=50, types="AB")
+        pattern = parse_pattern("PATTERN SEQ(A a, Z z) WITHIN 5")
+        with pytest.raises(StatisticsError):
+            estimate_pattern_catalog(pattern, stream)
+
+
+class TestSlidingRateEstimator:
+    def test_rate_over_horizon(self):
+        est = SlidingRateEstimator(horizon=10.0)
+        for i in range(10):
+            est.observe(Event("A", float(i)))
+        assert est.rate("A") == pytest.approx(10 / 9, rel=0.01)
+
+    def test_eviction(self):
+        est = SlidingRateEstimator(horizon=5.0)
+        est.observe(Event("A", 0.0))
+        for i in range(10, 15):
+            est.observe(Event("A", float(i)))
+        # The t=0 arrival fell out of the horizon: 5 events over 4 seconds.
+        assert est.rate("A") == pytest.approx(5 / 4.0)
+
+    def test_unseen_type(self):
+        assert SlidingRateEstimator(5.0).rate("Z") == 0.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(StatisticsError):
+            SlidingRateEstimator(0.0)
+
+
+class TestEwmaSelectivity:
+    def test_prior_before_observations(self):
+        est = EwmaSelectivityEstimator(prior=0.7)
+        assert est.value == 0.7
+
+    def test_converges(self):
+        est = EwmaSelectivityEstimator(alpha=0.2)
+        for i in range(200):
+            est.observe(i % 4 == 0)  # 25% pass rate
+        assert est.value == pytest.approx(0.25, abs=0.15)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(StatisticsError):
+            EwmaSelectivityEstimator(alpha=0.0)

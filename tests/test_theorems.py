@@ -1,0 +1,244 @@
+"""Property tests for the paper's theorems.
+
+* Theorem 1: ``Cost_ord`` (CEP) equals ``Cost_LDJ`` (join) under the
+  reduction ``|R_i| = W·r_i``, ``f_ij = sel_ij`` — for *every* order.
+* Theorem 2: ``Cost_tree`` equals ``Cost_BJ`` for every bushy tree.
+* Theorem 3: a SEQ pattern and its AND+timestamp-predicates rewrite
+  produce identical match sets on real streams.
+* Theorems 5/6 (Appendix A): the order-based cost functions have the
+  ASI property for their rank functions.
+* The JQPG ⊆ CPG direction: executing the reduced conjunctive pattern
+  over the reduced stream computes exactly the original join.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import (
+    ThroughputCostModel,
+    bushy_cost,
+    left_deep_cost,
+)
+from repro.cost.asi import chain_cost, rank, verify_asi_exchange
+from repro.engines import NFAEngine, reference_match_keys
+from repro.join import (
+    JoinPredicate,
+    JoinQuery,
+    Relation,
+    execute_plan,
+    join_query_to_stream,
+    pattern_to_join_query,
+)
+from repro.patterns import decompose, parse_pattern, sequence_to_conjunction
+from repro.plans import OrderPlan, enumerate_bushy_trees, enumerate_orders
+from repro.stats import PatternStatistics
+
+MODEL = ThroughputCostModel()
+
+
+@st.composite
+def statistics_strategy(draw, n_vars=4, window_max=10.0):
+    names = tuple("abcdef"[:n_vars])
+    rates = {
+        name: draw(
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False)
+        )
+        for name in names
+    }
+    window = draw(st.floats(min_value=0.5, max_value=window_max))
+    selectivities = {}
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            if draw(st.booleans()):
+                selectivities[frozenset((first, second))] = draw(
+                    st.floats(min_value=0.01, max_value=1.0)
+                )
+    return PatternStatistics(names, window, rates, selectivities)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stats=statistics_strategy())
+def test_theorem1_cost_equality_all_orders(stats):
+    cardinality = {
+        v: stats.window * stats.rate(v) for v in stats.variables
+    }
+    for order in enumerate_orders(stats.variables):
+        cep_cost = MODEL.order_cost(order.variables, stats)
+        join_cost = left_deep_cost(
+            order.variables, cardinality, stats.selectivity
+        )
+        assert cep_cost == pytest.approx(join_cost, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stats=statistics_strategy())
+def test_theorem2_cost_equality_all_trees(stats):
+    cardinality = {
+        v: stats.window * stats.rate(v) for v in stats.variables
+    }
+    for tree in enumerate_bushy_trees(stats.variables):
+        cep_cost = MODEL.tree_cost(tree, stats)
+        join_cost = bushy_cost(tree, cardinality, stats.selectivity)
+        assert cep_cost == pytest.approx(join_cost, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), count=st.integers(10, 40))
+def test_theorem3_seq_equals_and_with_order_predicates(seed, count):
+    from .conftest import make_stream
+
+    stream = make_stream(seed, count=count)
+    seq_pattern = parse_pattern(
+        "PATTERN SEQ(A a, B b, C c) WHERE a.x = c.x WITHIN 4"
+    )
+    and_pattern = sequence_to_conjunction(seq_pattern)
+    d_seq = decompose(seq_pattern)
+    d_and = decompose(and_pattern)
+    assert reference_match_keys(d_seq, stream) == reference_match_keys(
+        d_and, stream
+    )
+    # Also on a live engine.
+    seq_matches = {
+        m.key()
+        for m in NFAEngine(d_seq, OrderPlan(d_seq.positive_variables)).run(
+            stream
+        )
+    }
+    and_matches = {
+        m.key()
+        for m in NFAEngine(d_and, OrderPlan(d_and.positive_variables)).run(
+            stream
+        )
+    }
+    assert seq_matches == and_matches
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.05, max_value=30.0), min_size=2, max_size=8
+    ),
+    split=st.data(),
+)
+def test_theorem5_asi_property_of_chain_cost(weights, split):
+    """Random adjacent-subsequence exchanges obey the rank criterion."""
+    if len(weights) < 2:
+        return
+    boundaries = sorted(
+        split.draw(
+            st.lists(
+                st.integers(0, len(weights)), min_size=3, max_size=3
+            )
+        )
+    )
+    lo, mid, hi = boundaries
+    prefix, seq_u, seq_v = (
+        weights[:lo],
+        weights[lo:mid],
+        weights[mid:hi],
+    )
+    suffix = weights[hi:]
+    if not seq_u or not seq_v:
+        return
+    assert verify_asi_exchange(prefix, seq_u, seq_v, suffix)
+
+
+def test_rank_composition_law():
+    # C(s1 s2) = C(s1) + T(s1) C(s2) backs the rank definition.
+    s1, s2 = [2.0, 3.0], [0.5, 4.0]
+    assert chain_cost(s1 + s2) == pytest.approx(
+        chain_cost(s1) + 2.0 * 3.0 * chain_cost(s2)
+    )
+    assert rank([1.0]) == pytest.approx(0.0)  # weight 1 -> rank 0
+
+
+class TestJoinReductions:
+    def make_query(self, seed=0):
+        rng = random.Random(seed)
+        relations = [
+            Relation.random_integers(
+                name, rng.randint(4, 10), ("v",), domain=4, rng=rng
+            )
+            for name in ("R1", "R2", "R3")
+        ]
+        predicates = [
+            JoinPredicate(
+                "R1", "R2", 0.25, fn=lambda a, b: a["v"] == b["v"]
+            ),
+            JoinPredicate(
+                "R2", "R3", 0.5, fn=lambda a, b: a["v"] <= b["v"]
+            ),
+        ]
+        return JoinQuery(relations, predicates)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_join_result_plan_independent(self, seed):
+        query = self.make_query(seed)
+        results = [
+            execute_plan(query, order).result_keys()
+            for order in enumerate_orders(query.relation_names)
+        ]
+        assert all(r == results[0] for r in results)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cep_engine_computes_the_join(self, seed):
+        query = self.make_query(seed)
+        expected = execute_plan(
+            query, OrderPlan(query.relation_names)
+        ).cardinality
+        pattern, stream, catalog = join_query_to_stream(query)
+        d = decompose(pattern)
+        stats = PatternStatistics.for_planning(d, catalog)
+        # Any plan computes the join; use the GREEDY one for variety.
+        from repro.optimizers import GreedyOrder
+
+        plan = GreedyOrder().generate(d, stats, MODEL)
+        matches = NFAEngine(d, plan).run(stream)
+        assert len(matches) == expected
+
+    def test_pattern_to_join_query_cardinalities(self):
+        pattern = parse_pattern(
+            "PATTERN AND(A a, B b) WHERE a.x = b.x WITHIN 10"
+        )
+        d = decompose(pattern)
+        stats = PatternStatistics(
+            ("a", "b"), 10.0, {"a": 2.0, "b": 0.5},
+            {frozenset(("a", "b")): 0.25},
+        )
+        query = pattern_to_join_query(d, stats)
+        assert query.cardinalities() == {"a": 20.0, "b": 5.0}
+        assert query.pair_selectivity("a", "b") == 0.25
+
+    def test_pattern_to_join_query_rejects_impure(self):
+        from repro.errors import ReductionError
+
+        pattern = parse_pattern("PATTERN SEQ(A a, KL(B b)) WITHIN 5")
+        d = decompose(pattern)
+        stats = PatternStatistics(("a", "b"), 5.0, {"a": 1.0, "b": 1.0}, {})
+        with pytest.raises(ReductionError):
+            pattern_to_join_query(d, stats)
+
+    def test_round_trip_preserves_planning_costs(self):
+        # pattern -> join query -> planning stats should match the
+        # original stats (Theorem 1 both ways).
+        pattern = parse_pattern(
+            "PATTERN AND(A a, B b, C c) WHERE a.x = b.x WITHIN 4"
+        )
+        d = decompose(pattern)
+        stats = PatternStatistics(
+            ("a", "b", "c"),
+            4.0,
+            {"a": 2.0, "b": 3.0, "c": 1.5},
+            {frozenset(("a", "b")): 0.2},
+        )
+        query = pattern_to_join_query(d, stats)
+        join_stats = query.planning_statistics()
+        for order in enumerate_orders(("a", "b", "c")):
+            assert MODEL.order_cost(order.variables, stats) == pytest.approx(
+                MODEL.order_cost(order.variables, join_stats)
+            )

@@ -1,0 +1,212 @@
+"""Tests for the Section-5 pattern transformations."""
+
+import math
+
+import pytest
+
+from repro.errors import PatternError
+from repro.events import Event, Stream
+from repro.patterns import (
+    TimestampOrder,
+    add_contiguity_predicates,
+    decompose,
+    kleene_planning_rate,
+    nested_to_dnf,
+    parse_pattern,
+    sequence_to_conjunction,
+    with_partition_serials,
+)
+
+
+class TestSequenceToConjunction:
+    def test_theorem3_rewrite(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b, C c) WHERE a.x = c.x WITHIN 5")
+        c = sequence_to_conjunction(p)
+        assert c.is_conjunctive
+        orders = [
+            pred for pred in c.conditions if isinstance(pred, TimestampOrder)
+        ]
+        assert len(orders) == 2  # a<b, b<c
+        assert len(c.conditions) == 3  # original predicate kept
+        assert c.window == p.window
+
+    def test_skips_negated_positions(self):
+        p = parse_pattern("PATTERN SEQ(A a, NOT(B b), C c) WITHIN 5")
+        c = sequence_to_conjunction(p)
+        orders = [
+            pred for pred in c.conditions if isinstance(pred, TimestampOrder)
+        ]
+        # ordering is between the positives a and c only
+        assert len(orders) == 1
+        assert set(orders[0].variables) == {"a", "c"}
+
+    def test_rejects_non_sequence(self):
+        with pytest.raises(PatternError):
+            sequence_to_conjunction(
+                parse_pattern("PATTERN AND(A a, B b) WITHIN 5")
+            )
+
+
+class TestNestedToDnf:
+    def test_simple_pattern_unchanged(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5")
+        assert nested_to_dnf(p) == [p]
+
+    def test_and_over_or(self):
+        p = parse_pattern("PATTERN AND(A a, OR(B b, C c)) WITHIN 5")
+        parts = nested_to_dnf(p)
+        assert len(parts) == 2
+        names = [sorted(x.variable_names()) for x in parts]
+        assert ["a", "b"] in names and ["a", "c"] in names
+        assert all(part.is_simple for part in parts)
+
+    def test_or_of_sequences_keeps_seq_roots(self):
+        p = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 5"
+        )
+        parts = nested_to_dnf(p)
+        assert len(parts) == 2
+        assert all(part.is_sequence for part in parts)
+
+    def test_conditions_distributed(self):
+        p = parse_pattern(
+            "PATTERN AND(A a, OR(B b, C c)) WHERE a.x < b.x AND a.x < c.x "
+            "WITHIN 5"
+        )
+        parts = nested_to_dnf(p)
+        for part in parts:
+            for predicate in part.conditions:
+                assert set(predicate.variables) <= set(part.variable_names())
+
+    def test_seq_of_and_flattens_with_ordering(self):
+        p = parse_pattern("PATTERN SEQ(A a, AND(B b, C c), D d) WITHIN 5")
+        parts = nested_to_dnf(p)
+        assert len(parts) == 1
+        part = parts[0]
+        assert part.is_conjunctive
+        orders = [
+            pred
+            for pred in part.conditions
+            if isinstance(pred, TimestampOrder)
+        ]
+        # a<b, a<c, b<d, c<d
+        assert len(orders) == 4
+
+    def test_nested_or_expansion_count(self):
+        p = parse_pattern(
+            "PATTERN AND(OR(A a, B b), OR(C c, D d)) WITHIN 5"
+        )
+        assert len(nested_to_dnf(p)) == 4
+
+
+class TestDecompose:
+    def test_sequence_ordering_predicates(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b, C c) WITHIN 5")
+        d = decompose(p)
+        assert d.positive_variables == ("a", "b", "c")
+        orders = [
+            pred for pred in d.conditions if isinstance(pred, TimestampOrder)
+        ]
+        assert len(orders) == 2
+
+    def test_negation_bounds_internal(self):
+        p = parse_pattern("PATTERN SEQ(A a, NOT(B b), C c) WITHIN 5")
+        d = decompose(p)
+        (spec,) = d.negations
+        assert spec.preceding == ("a",)
+        assert spec.following == ("c",)
+        assert spec.bounded
+
+    def test_negation_bounds_leading_and_trailing(self):
+        p = parse_pattern("PATTERN SEQ(NOT(B b), A a, NOT(C c)) WITHIN 5")
+        d = decompose(p)
+        lead = next(s for s in d.negations if s.variable == "b")
+        trail = next(s for s in d.negations if s.variable == "c")
+        assert lead.preceding == () and lead.following == ("a",)
+        assert trail.preceding == ("a",) and trail.following == ()
+
+    def test_and_negation_unbounded(self):
+        p = parse_pattern("PATTERN AND(A a, NOT(B b), C c) WITHIN 5")
+        d = decompose(p)
+        (spec,) = d.negations
+        assert not spec.bounded
+
+    def test_negation_predicates_separated(self):
+        p = parse_pattern(
+            "PATTERN SEQ(A a, NOT(B b), C c) WHERE a.x = b.x AND a.x = c.x "
+            "WITHIN 5"
+        )
+        d = decompose(p)
+        between = d.conditions.between("a", "c")
+        value_preds = [
+            pred for pred in between if not isinstance(pred, TimestampOrder)
+        ]
+        order_preds = [
+            pred for pred in between if isinstance(pred, TimestampOrder)
+        ]
+        assert len(value_preds) == 1  # a.x = c.x stays with the positives
+        assert len(order_preds) == 1  # a before c (b is negated)
+        assert len(d.negation_conditions) == 1  # a.x = b.x moves out
+
+    def test_temporal_last_variable(self):
+        seq = decompose(parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5"))
+        assert seq.temporal_last_variable() == "b"
+        conj = decompose(parse_pattern("PATTERN AND(A a, B b) WITHIN 5"))
+        assert conj.temporal_last_variable() is None
+
+    def test_nested_rejected(self):
+        with pytest.raises(PatternError):
+            decompose(parse_pattern("PATTERN AND(A a, OR(B b, C c)) WITHIN 5"))
+
+
+class TestKleenePlanningRate:
+    def test_paper_example(self):
+        # Section 5.2: r=5, W=10 -> 2^50 subsets; formula (2^50 - 1) / 10.
+        value = kleene_planning_rate(5.0, 10.0)
+        assert value == pytest.approx((2.0**50 - 1.0) / 10.0)
+
+    def test_small_example(self):
+        # 0.1 ev/s over 20 s -> 2 events -> 3 non-empty subsets / 20 s.
+        assert kleene_planning_rate(0.1, 20.0) == pytest.approx(0.15)
+
+    def test_cap_applies(self):
+        assert kleene_planning_rate(1000.0, 1000.0) == 1e30
+
+    def test_zero_rate(self):
+        assert kleene_planning_rate(0.0, 10.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PatternError):
+            kleene_planning_rate(-1.0, 10.0)
+        with pytest.raises(PatternError):
+            kleene_planning_rate(1.0, 0.0)
+
+    def test_monotone_in_rate(self):
+        values = [kleene_planning_rate(r, 5.0) for r in (0.1, 0.5, 1.0, 2.0)]
+        assert values == sorted(values)
+        assert math.isfinite(values[-1])
+
+
+class TestContiguity:
+    def test_adjacency_predicates_added(self):
+        p = parse_pattern("PATTERN SEQ(A a, B b, C c) WITHIN 5")
+        strict = add_contiguity_predicates(p)
+        assert len(strict.conditions) == 2
+
+    def test_rejects_conjunction(self):
+        with pytest.raises(PatternError):
+            add_contiguity_predicates(
+                parse_pattern("PATTERN AND(A a, B b) WITHIN 5")
+            )
+
+    def test_partition_serials(self):
+        stream = Stream(
+            [
+                Event("A", 1.0, {"k": 1}),
+                Event("A", 2.0, {"k": 2}),
+                Event("A", 3.0, {"k": 1}),
+            ]
+        )
+        tagged = with_partition_serials(stream, key=lambda e: str(e["k"]))
+        assert [e.partition for e in tagged] == ["1", "2", "1"]
+        assert [e["pseq"] for e in tagged] == [0, 0, 1]

@@ -1,0 +1,273 @@
+"""Tests for the workload generators, harness, join costs, and adaptivity."""
+
+import pytest
+
+from repro.adaptive import AdaptiveController, DriftDetector
+from repro.bench import (
+    aggregate_mean,
+    compare_algorithms,
+    format_series,
+    format_table,
+    run_algorithm,
+)
+from repro.cost import intermediate_sizes, left_deep_cost
+from repro.errors import ReproError
+from repro.events import Event, Stream
+from repro.stats import StatisticsCatalog, estimate_pattern_catalog, estimate_rates
+from repro.workloads import (
+    CATEGORIES,
+    PatternWorkloadConfig,
+    StockMarketConfig,
+    TrafficConfig,
+    four_cameras_pattern,
+    generate_pattern_set,
+    generate_stock_stream,
+    generate_traffic_stream,
+    stock_symbols,
+    symbol_rates,
+)
+
+
+class TestStockWorkload:
+    def test_deterministic_under_seed(self):
+        config = StockMarketConfig(symbols=4, duration=30.0, seed=5)
+        first = generate_stock_stream(config)
+        second = generate_stock_stream(config)
+        assert len(first) == len(second)
+        assert [e.timestamp for e in first] == [e.timestamp for e in second]
+
+    def test_rates_match_configuration(self):
+        config = StockMarketConfig(
+            symbols=3, duration=400.0, rate_low=1.0, rate_high=2.0, seed=2
+        )
+        stream = generate_stock_stream(config)
+        target = symbol_rates(config)
+        measured = estimate_rates(stream)
+        for name, rate in target.items():
+            assert measured[name] == pytest.approx(rate, rel=0.35)
+
+    def test_difference_attribute_consistent(self):
+        stream = generate_stock_stream(
+            StockMarketConfig(symbols=2, duration=50.0, seed=3)
+        )
+        last_price: dict = {}
+        for event in stream:
+            if event.type in last_price:
+                expected = round(event["price"] - last_price[event.type], 4)
+                assert event["difference"] == pytest.approx(
+                    expected, abs=1e-6
+                )
+            last_price[event.type] = event["price"]
+
+    def test_symbol_names(self):
+        assert stock_symbols(3) == ["MSFT", "GOOG", "INTC"]
+        assert len(stock_symbols(15)) == 15
+
+    def test_invalid_config(self):
+        with pytest.raises(ReproError):
+            StockMarketConfig(symbols=0)
+        with pytest.raises(ReproError):
+            StockMarketConfig(rate_low=0.0)
+
+
+class TestTrafficWorkload:
+    def test_camera_d_is_rare(self):
+        stream = generate_traffic_stream(
+            TrafficConfig(vehicles=300, seed=1)
+        )
+        counts = stream.count_by_type()
+        assert counts["CameraD"] < counts["CameraA"] * 0.35
+
+    def test_pattern_matches_exist(self):
+        stream = generate_traffic_stream(TrafficConfig(vehicles=100, seed=2))
+        pattern = four_cameras_pattern(window=120.0)
+        catalog = estimate_pattern_catalog(pattern, stream, samples=200)
+        result = run_algorithm(pattern, stream, catalog, "GREEDY")
+        assert result.matches > 0
+
+    def test_reordered_plan_creates_fewer_pms(self):
+        # The intro claim: waiting for the rare camera D first creates
+        # fewer partial matches than the trivial A->B->C->D order.
+        stream = generate_traffic_stream(TrafficConfig(vehicles=200, seed=3))
+        pattern = four_cameras_pattern(window=90.0)
+        catalog = estimate_pattern_catalog(pattern, stream, samples=200)
+        trivial = run_algorithm(pattern, stream, catalog, "TRIVIAL")
+        greedy = run_algorithm(pattern, stream, catalog, "GREEDY")
+        assert greedy.matches == trivial.matches
+        assert greedy.peak_partial_matches <= trivial.peak_partial_matches
+
+
+class TestPatternWorkload:
+    def test_all_categories_generate(self):
+        types = stock_symbols(10)
+        config = PatternWorkloadConfig(sizes=(3, 4), patterns_per_size=2)
+        for category in CATEGORIES:
+            patterns = generate_pattern_set(category, types, config)
+            assert len(patterns) == 4
+            for pattern in patterns:
+                assert pattern.window == config.window
+
+    def test_category_shapes(self):
+        types = stock_symbols(10)
+        config = PatternWorkloadConfig(sizes=(4,), patterns_per_size=3)
+        for pattern in generate_pattern_set("negation", types, config):
+            assert len(pattern.negated_variables()) == 1
+        for pattern in generate_pattern_set("kleene", types, config):
+            assert len(pattern.kleene_variables()) == 1
+        for pattern in generate_pattern_set("conjunction", types, config):
+            assert pattern.is_conjunctive
+        for pattern in generate_pattern_set("disjunction", types, config):
+            assert pattern.is_nested
+
+    def test_predicate_count_roughly_half_size(self):
+        types = stock_symbols(12)
+        config = PatternWorkloadConfig(sizes=(6,), patterns_per_size=5)
+        for pattern in generate_pattern_set("sequence", types, config):
+            assert len(pattern.conditions) == 3
+
+    def test_deterministic(self):
+        types = stock_symbols(8)
+        config = PatternWorkloadConfig(sizes=(3,), patterns_per_size=2, seed=7)
+        first = generate_pattern_set("sequence", types, config)
+        second = generate_pattern_set("sequence", types, config)
+        assert [repr(p.root) for p in first] == [repr(p.root) for p in second]
+
+    def test_unknown_category(self):
+        with pytest.raises(ReproError):
+            generate_pattern_set("mystery", stock_symbols(5))
+
+    def test_size_exceeding_types(self):
+        with pytest.raises(ReproError):
+            generate_pattern_set(
+                "sequence",
+                stock_symbols(3),
+                PatternWorkloadConfig(sizes=(5,)),
+            )
+
+
+class TestJoinCosts:
+    def test_intermediate_sizes_by_hand(self):
+        cardinality = {"R1": 10.0, "R2": 4.0, "R3": 2.0}
+
+        def selectivity(a, b):
+            return 0.5 if {a, b} == {"R1", "R2"} else 1.0
+
+        sizes = intermediate_sizes(("R1", "R2", "R3"), cardinality, selectivity)
+        assert sizes == [10.0, 20.0, 40.0]
+        assert left_deep_cost(
+            ("R1", "R2", "R3"), cardinality, selectivity
+        ) == pytest.approx(70.0)
+
+    def test_filters_fold_into_cardinality(self):
+        cardinality = {"R1": 10.0, "R2": 4.0}
+        sizes = intermediate_sizes(
+            ("R1", "R2"), cardinality, lambda a, b: 1.0, filters={"R1": 0.5}
+        )
+        assert sizes == [5.0, 20.0]
+
+
+class TestHarness:
+    def make_inputs(self):
+        stream = generate_stock_stream(
+            StockMarketConfig(symbols=6, duration=40.0, seed=4)
+        )
+        config = PatternWorkloadConfig(
+            sizes=(3,), patterns_per_size=1, window=5.0
+        )
+        patterns = generate_pattern_set(
+            "sequence", stream.type_names(), config
+        )
+        catalog = estimate_pattern_catalog(patterns[0], stream, samples=200)
+        return patterns, stream, catalog
+
+    def test_run_algorithm_populates_result(self):
+        patterns, stream, catalog = self.make_inputs()
+        result = run_algorithm(patterns[0], stream, catalog, "GREEDY")
+        assert result.events == len(stream)
+        assert result.throughput > 0
+        assert result.plan_cost > 0
+        assert result.plan_seconds >= 0
+        assert result.pattern_size == 3
+
+    def test_execute_false_skips_run(self):
+        patterns, stream, catalog = self.make_inputs()
+        result = run_algorithm(
+            patterns[0], stream, catalog, "DP-LD", execute=False
+        )
+        assert result.events == 0 and result.wall_seconds == 0
+        assert result.plan_cost > 0
+
+    def test_compare_and_aggregate(self):
+        patterns, stream, catalog = self.make_inputs()
+        results = compare_algorithms(
+            patterns, stream, catalog, ["TRIVIAL", "GREEDY"], category="seq"
+        )
+        assert len(results) == 2
+        means = aggregate_mean(results, "throughput", by=("algorithm",))
+        assert set(means) == {("TRIVIAL",), ("GREEDY",)}
+
+    def test_formatting(self):
+        table = format_table(
+            ("alg", "x"), [("GREEDY", 1.23456), ("DP", 2.0)], title="demo"
+        )
+        assert "GREEDY" in table and "demo" in table
+        series = format_series(
+            "s", {"GREEDY": {3: 1.0}}, x_values=(3, 4)
+        )
+        assert "-" in series  # missing cell placeholder
+
+
+class TestAdaptivity:
+    def test_drift_detector(self):
+        detector = DriftDetector(threshold=0.5)
+        assert not detector.drifted({"A": 1.0}, {"A": 1.4})
+        assert detector.drifted({"A": 1.0}, {"A": 1.6})
+        assert detector.drifted_keys({"A": 1.0, "B": 1.0}, {"A": 9.0}) == ["A"]
+
+    def test_controller_reoptimizes_on_rate_shift(self):
+        # Phase 1: A rare; phase 2: A becomes very frequent -> the plan
+        # must be regenerated at least once.
+        events = []
+        t = 0.0
+        for i in range(300):
+            t += 0.1
+            events.append(Event("A" if i % 10 == 0 else "B", t))
+        for i in range(600):
+            t += 0.05
+            events.append(Event("A" if i % 10 != 0 else "B", t))
+        stream = Stream(events)
+        from repro.patterns import parse_pattern
+
+        pattern = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 2")
+        catalog = StatisticsCatalog({"A": 1.0, "B": 9.0})
+        controller = AdaptiveController(
+            pattern,
+            catalog,
+            algorithm="GREEDY",
+            check_interval=100,
+            detector=DriftDetector(threshold=0.8),
+        )
+        initial_plan = controller.current_plans[0]
+        matches = controller.run(stream)
+        assert controller.reoptimizations >= 1
+        assert controller.current_plans[0] != initial_plan
+        assert matches, "controller should still detect matches"
+
+    def test_controller_stable_without_drift(self):
+        stream = generate_stock_stream(
+            StockMarketConfig(symbols=3, duration=60.0, seed=6)
+        )
+        from repro.patterns import parse_pattern
+
+        pattern = parse_pattern(
+            "PATTERN SEQ(MSFT a, GOOG b) WITHIN 5"
+        )
+        catalog = estimate_pattern_catalog(pattern, stream, samples=100)
+        controller = AdaptiveController(
+            pattern,
+            catalog,
+            check_interval=50,
+            detector=DriftDetector(threshold=5.0),
+        )
+        controller.run(stream)
+        assert controller.reoptimizations == 0
