@@ -21,6 +21,32 @@ Quickstart::
     planned = plan_pattern(pattern, catalog, algorithm="DP-LD")
     engine = build_engines(planned)
     matches = engine.run(stream)
+
+Multi-query workloads
+---------------------
+
+A deployment rarely runs one pattern: :mod:`repro.multiquery` plans a
+whole *workload* of patterns jointly and executes them in one pass over
+the stream.  Per-query plans (any registry algorithm) are merged into a
+global plan DAG — equivalent sub-patterns, detected by canonical
+fingerprints up to variable renaming, are evaluated once per event and
+fanned out to every consuming query — while per-query match sets stay
+exactly what independent engines would report::
+
+    from repro import Workload, run_workload
+
+    workload = Workload.of(
+        "PATTERN SEQ(MSFT m, GOOG g) WHERE m.difference < g.difference WITHIN 10",
+        "PATTERN SEQ(MSFT a, GOOG b, INTC i) "
+        "WHERE a.difference < b.difference WITHIN 10",
+    )
+    result = run_workload(workload, stream, algorithm="GREEDY")
+    result.matches["..."]       # per-query Match lists
+    result.report.cost_savings  # fraction of plan cost shared away
+
+Overlapping workload generators live in
+:func:`repro.workloads.generate_overlapping_workload`; the sharing
+sweep is reproduced by ``benchmarks/bench_fig20_multiquery_sharing.py``.
 """
 
 from .cost import (
@@ -50,6 +76,16 @@ from .errors import (
     StatisticsError,
 )
 from .events import Event, EventType, Stream
+from .multiquery import (
+    MultiQueryEngine,
+    SharedPlan,
+    SharedPlanOptimizer,
+    SharingReport,
+    Workload,
+    WorkloadResult,
+    plan_workload,
+    run_workload,
+)
 from .optimizers import (
     PlannedPattern,
     available_algorithms,
@@ -70,7 +106,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostModel",
@@ -96,6 +132,14 @@ __all__ = [
     "Event",
     "EventType",
     "Stream",
+    "MultiQueryEngine",
+    "SharedPlan",
+    "SharedPlanOptimizer",
+    "SharingReport",
+    "Workload",
+    "WorkloadResult",
+    "plan_workload",
+    "run_workload",
     "PlannedPattern",
     "available_algorithms",
     "make_optimizer",

@@ -233,6 +233,11 @@ class BaseEngine:
         the pending set (and returns None) when a trailing negation range
         is still open.
         """
+        for prepared in self._negation.leading_specs():
+            # Leading NOT: the range [max_ts − W, following) is final
+            # only now that the match is complete.
+            if self._negation.violated(prepared, pm):
+                return None
         trailing = self._negation.trailing_specs()
         if trailing:
             open_specs: list[PreparedSpec] = []

@@ -7,11 +7,21 @@ nested pattern planned by :func:`repro.optimizers.plan_pattern` yields
 one sub-engine per DNF disjunct, wrapped in a
 :class:`DisjunctionEngine` that runs them side by side and reports the
 union of their matches (Section 5.4).
+
+Workloads plug in here too: passing a
+:class:`~repro.multiquery.sharing.SharedPlan` (the output of
+:func:`repro.multiquery.plan_workload`) to :func:`build_engines` yields
+the :class:`~repro.multiquery.MultiQueryEngine` executing all queries
+jointly.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # one-way at runtime: multiquery builds on engines
+    from ..multiquery.executor import MultiQueryEngine
+    from ..multiquery.sharing import SharedPlan
 
 from ..errors import EngineError
 from ..events import Event, Stream
@@ -45,10 +55,18 @@ def build_engine(
 
 
 def build_engines(
-    planned: Sequence[PlannedPattern],
+    planned: Union[Sequence[PlannedPattern], "SharedPlan"],
     max_kleene_size: Optional[int] = None,
-) -> Engine:
-    """Engine for planner output: single engine or a disjunction wrapper."""
+) -> Union[Engine, "MultiQueryEngine"]:
+    """Engine for planner output: single engine, disjunction wrapper, or
+    — for a :class:`~repro.multiquery.sharing.SharedPlan` — the shared
+    multi-query engine."""
+    from ..multiquery.sharing import SharedPlan as _SharedPlan
+
+    if isinstance(planned, _SharedPlan):
+        from ..multiquery.executor import MultiQueryEngine as _MultiQueryEngine
+
+        return _MultiQueryEngine(planned, max_kleene_size=max_kleene_size)
     if not planned:
         raise EngineError("no planned patterns supplied")
     engines = [build_engine(item, max_kleene_size) for item in planned]

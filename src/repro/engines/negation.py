@@ -126,11 +126,33 @@ class NegationChecker:
 
     # -- checks -------------------------------------------------------------------
     def specs_checkable_with(self, bound: frozenset) -> list[PreparedSpec]:
-        """Bounded specs whose dependencies lie within ``bound``."""
+        """Bounded specs exact on a partial match binding ``bound``.
+
+        Specs without a ``preceding`` bound are excluded even when their
+        dependencies are covered: their admissible range starts at
+        ``max_ts − W`` of the *complete* match, so checking them against
+        a partial match would use a too-early left bound and reject
+        matches the reference semantics admit (leading NOT under SEQ).
+        They are checked by :func:`leading_specs` at completion instead.
+        """
         return [
             p
             for p in self.prepared
-            if not p.trailing and p.required <= bound
+            if not p.trailing and p.spec.preceding and p.required <= bound
+        ]
+
+    def leading_specs(self) -> list[PreparedSpec]:
+        """Bounded specs with no ``preceding`` bound (leading NOT).
+
+        Their forbidden range ``[max_ts − W, min following)`` is only
+        final once the whole match is bound; the engines evaluate them
+        in ``_complete``.  The range's future edge is a binding
+        timestamp, so — unlike trailing specs — no pending is needed.
+        """
+        return [
+            p
+            for p in self.prepared
+            if not p.trailing and not p.spec.preceding
         ]
 
     def trailing_specs(self) -> list[PreparedSpec]:

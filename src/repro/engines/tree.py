@@ -120,6 +120,9 @@ class TreeEngine(BaseEngine):
         for prepared in self._negation.prepared:
             if prepared.trailing:
                 continue  # handled by the pending mechanism at the root
+            if not prepared.spec.preceding:
+                continue  # leading NOT: exact only on the full match,
+                # checked in _complete (the range starts at max_ts − W)
             target: Optional[_RuntimeNode] = None
             for node in self._nodes:
                 if prepared.required <= node.variables:

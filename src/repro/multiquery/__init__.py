@@ -1,0 +1,175 @@
+"""Multi-query shared-plan subsystem: many patterns, one stream pass.
+
+The paper's tree-based plans (Section 4) make common sub-joins
+structurally explicit; this subsystem exploits that across a *workload*
+of patterns.  Per-query plans from any registered optimizer are merged
+into a global plan DAG (:mod:`repro.multiquery.sharing`) keyed by
+canonical sub-pattern fingerprints (:mod:`repro.multiquery.workload`),
+and executed by one :class:`MultiQueryEngine`
+(:mod:`repro.multiquery.executor`) that evaluates every shared node once
+per event and fans results out to all consuming queries.
+
+Typical use::
+
+    from repro import Workload, run_workload
+
+    workload = Workload.of(
+        "PATTERN SEQ(MSFT m, GOOG g) WHERE m.difference < g.difference WITHIN 10",
+        "PATTERN SEQ(MSFT m, GOOG g, INTC i) "
+        "WHERE m.difference < g.difference WITHIN 10",
+    )
+    result = run_workload(workload, stream, algorithm="GREEDY")
+    result.matches          # {query name: [Match, ...]}
+    result.report.summary() # sharing statistics
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from ..cost.base import CostModel
+from ..optimizers.planner import plan_pattern
+from ..patterns.pattern import Pattern
+from ..stats.catalog import StatisticsCatalog
+from ..stats.estimators import estimate_pattern_catalog
+from .executor import MultiQueryEngine, WorkloadResult
+from .sharing import (
+    QueryRoot,
+    SharedJoin,
+    SharedLeaf,
+    SharedNode,
+    SharedPlan,
+    SharedPlanOptimizer,
+    SharingReport,
+    ShareFilter,
+)
+from .workload import (
+    Workload,
+    canonical_subpattern,
+    pattern_fingerprint,
+    predicate_signature,
+    subpattern_fingerprint,
+)
+
+Catalogs = Union[StatisticsCatalog, Mapping[str, StatisticsCatalog]]
+
+
+def plan_workload(
+    workload: Union[Workload, Iterable[Union[Pattern, str]]],
+    catalogs: Catalogs,
+    algorithm: str = "GREEDY",
+    cost_model: Optional[CostModel] = None,
+    sharing: bool = True,
+    share_filter: Optional[ShareFilter] = None,
+    **optimizer_kwargs,
+) -> SharedPlan:
+    """Jointly plan a workload: per-query plans merged into one DAG.
+
+    ``catalogs`` is one :class:`~repro.stats.StatisticsCatalog` for the
+    whole stream or a mapping from query name to catalog.  Any algorithm
+    of :func:`repro.optimizers.available_algorithms` works; order-based
+    plans are promoted to their left-deep trees before merging.
+    """
+    selection = optimizer_kwargs.pop("selection", "any")
+    if selection != "any":
+        from ..errors import PlanError
+
+        raise PlanError(
+            "multi-query workloads support only selection='any' "
+            "(skip-till-any-match): the restrictive strategies consume "
+            f"events per query, which breaks sharing (got {selection!r})"
+        )
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    planned = []
+    for name, pattern in workload.items():
+        catalog = (
+            catalogs if isinstance(catalogs, StatisticsCatalog)
+            else catalogs[name]
+        )
+        planned.append(
+            (
+                name,
+                plan_pattern(
+                    pattern,
+                    catalog,
+                    algorithm=algorithm,
+                    selection="any",
+                    **optimizer_kwargs,
+                ),
+            )
+        )
+    optimizer = SharedPlanOptimizer(
+        cost_model=cost_model, sharing=sharing, share_filter=share_filter
+    )
+    return optimizer.optimize(planned)
+
+
+def run_workload(
+    workload: Union[Workload, Iterable[Union[Pattern, str]]],
+    stream,
+    algorithm: str = "GREEDY",
+    catalogs: Optional[Catalogs] = None,
+    sharing: bool = True,
+    cost_model: Optional[CostModel] = None,
+    share_filter: Optional[ShareFilter] = None,
+    max_kleene_size: Optional[int] = None,
+    **optimizer_kwargs,
+) -> WorkloadResult:
+    """Plan and execute a whole workload against one stream.
+
+    Statistics default to :func:`repro.stats.estimate_pattern_catalog`
+    per query.  Returns a :class:`WorkloadResult` with per-query match
+    lists, aggregate :class:`~repro.engines.EngineMetrics`, and the
+    :class:`SharingReport` of the merged plan.
+    """
+    if not isinstance(workload, Workload):
+        workload = Workload(workload)
+    if catalogs is None:
+        catalogs = {
+            name: estimate_pattern_catalog(pattern, stream)
+            for name, pattern in workload.items()
+        }
+    plan = plan_workload(
+        workload,
+        catalogs,
+        algorithm=algorithm,
+        cost_model=cost_model,
+        sharing=sharing,
+        share_filter=share_filter,
+        **optimizer_kwargs,
+    )
+    engine = MultiQueryEngine(plan, max_kleene_size=max_kleene_size)
+    started = time.perf_counter()
+    matches = engine.run(stream)
+    wall = time.perf_counter() - started
+    return WorkloadResult(
+        matches=matches,
+        metrics=engine.metrics,
+        plan=plan,
+        engine=engine,
+        wall_seconds=wall,
+        events=len(stream),
+    )
+
+
+__all__ = [
+    "Workload",
+    "canonical_subpattern",
+    "subpattern_fingerprint",
+    "pattern_fingerprint",
+    "predicate_signature",
+    "SharedNode",
+    "SharedLeaf",
+    "SharedJoin",
+    "SharedPlan",
+    "SharedPlanOptimizer",
+    "SharingReport",
+    "ShareFilter",
+    "QueryRoot",
+    "MultiQueryEngine",
+    "WorkloadResult",
+    "plan_workload",
+    "run_workload",
+]

@@ -1,0 +1,427 @@
+"""Multi-query execution: one pass over the stream, many queries answered.
+
+:class:`MultiQueryEngine` runs a :class:`~repro.multiquery.sharing.SharedPlan`
+with the same instance-based discipline as
+:class:`~repro.engines.tree.TreeEngine` — one partial-match instance per
+valid combination, created while processing its latest constituent event,
+eagerly propagated upward — generalized from a tree to a DAG:
+
+* every shared node admits / combines **once per event**, regardless of
+  how many queries consume its output;
+* an instance created at a node fans out along *all* parent edges, each
+  edge carrying a variable renaming into the parent's namespace (the
+  same node can even feed both sides of one join — self-joins and
+  merged symmetric subtrees);
+* query roots convert instances into per-query :class:`Match` objects,
+  applying that query's negation specs (bounded checks plus the pending
+  mechanism for trailing ranges) at the root.  Deferring bounded checks
+  from the paper's lowest-covering-node placement to the root is exact:
+  the stream is timestamp-ordered, so no forbidden candidate inside a
+  closed range can arrive or be window-pruned between the two points.
+
+The trigger discipline (combine only with strictly earlier instances)
+carries over verbatim, so per-query match sets are **identical** to
+running each pattern in its own engine — the invariant the multi-query
+equivalence tests assert.
+
+Only skip-till-any-match workloads are supported: the restrictive
+selection strategies consume events per query, which is incompatible
+with cross-query shared state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..engines.base import _PendingMatch
+from ..engines.matches import Match, PartialMatch
+from ..engines.metrics import EngineMetrics
+from ..engines.negation import NegationChecker, PreparedSpec
+from ..events import Event, Stream
+from .sharing import QueryRoot, SharedJoin, SharedLeaf, SharedPlan
+
+
+class _QueryState:
+    """Per-query runtime: renaming, negation checking, pending matches."""
+
+    __slots__ = (
+        "query",
+        "rename",
+        "identity",
+        "window",
+        "checker",
+        "pending",
+        "matches_emitted",
+    )
+
+    def __init__(self, root: QueryRoot) -> None:
+        self.query = root.query
+        self.rename = dict(root.rename)
+        self.identity = all(k == v for k, v in self.rename.items())
+        self.window = root.decomposed.window
+        self.checker = NegationChecker(
+            root.decomposed.negations,
+            root.decomposed.negation_conditions,
+            root.decomposed.window,
+        )
+        self.pending: List[_PendingMatch] = []
+        self.matches_emitted = 0
+
+    # -- per-event plumbing (mirrors BaseEngine) ---------------------------
+    def advance(self, now: float, engine: "MultiQueryEngine") -> List[Match]:
+        """Prune negation buffers; release pendings whose range closed."""
+        self.checker.prune(now - self.window)
+        if not self.pending:
+            return []
+        released: List[Match] = []
+        still: List[_PendingMatch] = []
+        for entry in self.pending:
+            if entry.deadline < now:
+                released.append(engine._emit(self, entry.pm, entry.deadline))
+            else:
+                still.append(entry)
+        self.pending = still
+        return released
+
+    def offer(self, event: Event) -> None:
+        """Buffer a forbidden-event candidate; kill violated pendings."""
+        if not self.checker.active:
+            return
+        if not self.checker.offer(event):
+            return
+        self.pending = [
+            entry
+            for entry in self.pending
+            if not any(
+                self.checker.violated(spec, entry.pm, candidate=event)
+                for spec in entry.specs
+            )
+        ]
+
+    def complete(
+        self, pm: PartialMatch, now: float, engine: "MultiQueryEngine"
+    ) -> Optional[Match]:
+        """Turn a root instance into a match (or pend / drop it)."""
+        if self.identity:
+            qpm = pm
+        else:
+            qpm = PartialMatch(
+                {self.rename[k]: v for k, v in pm.bindings.items()},
+                pm.trigger_seq,
+                pm.min_ts,
+                pm.max_ts,
+            )
+        checker = self.checker
+        if checker.active:
+            bound = frozenset(qpm.bindings)
+            for prepared in checker.specs_checkable_with(bound):
+                if checker.violated(prepared, qpm):
+                    return None
+            for prepared in checker.leading_specs():
+                if checker.violated(prepared, qpm):
+                    return None
+            trailing = checker.trailing_specs()
+            if trailing:
+                open_specs: List[PreparedSpec] = []
+                deadline = float("-inf")
+                for prepared in trailing:
+                    if checker.violated(prepared, qpm):
+                        return None
+                    spec_deadline = checker.deadline(prepared, qpm)
+                    if spec_deadline >= now:
+                        open_specs.append(prepared)
+                        deadline = max(deadline, spec_deadline)
+                if open_specs:
+                    self.pending.append(_PendingMatch(qpm, deadline, open_specs))
+                    return None
+        return engine._emit(self, qpm, now)
+
+    def finalize(self, engine: "MultiQueryEngine") -> List[Match]:
+        """End of stream: trailing ranges can no longer be violated."""
+        released = [
+            engine._emit(self, entry.pm, entry.deadline)
+            for entry in self.pending
+        ]
+        self.pending = []
+        return released
+
+
+class _RuntimeNode:
+    """Mutable store attached to one shared plan node."""
+
+    __slots__ = ("spec", "store", "parents", "states")
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self.store: List[PartialMatch] = []
+        # (parent runtime node, my_map, other_map, sibling runtime node)
+        self.parents: List[Tuple["_RuntimeNode", dict, dict, "_RuntimeNode"]] = []
+        self.states: List[_QueryState] = []
+
+
+class MultiQueryEngine:
+    """Executes a workload's shared plan over a single stream.
+
+    ``run`` returns a mapping from query name to that query's matches;
+    ``process`` returns the flat per-event match list (each
+    :class:`Match` carries its query in ``pattern_name``).  ``metrics``
+    aggregates the work of the whole workload — with sharing enabled,
+    ``partial_matches_created`` and ``predicate_evaluations`` count each
+    shared evaluation once, which is exactly the multi-query win.
+    """
+
+    def __init__(
+        self,
+        plan: SharedPlan,
+        max_kleene_size: Optional[int] = None,
+    ) -> None:
+        self.plan = plan
+        self.max_kleene_size = max_kleene_size
+        self.metrics = EngineMetrics()
+        self._now = float("-inf")
+        self._event_wall_started = 0.0
+
+        runtime: Dict[int, _RuntimeNode] = {}
+        for node in plan.nodes:
+            runtime[node.index] = _RuntimeNode(node)
+        for node in plan.nodes:
+            if isinstance(node, SharedJoin):
+                parent = runtime[node.index]
+                left = runtime[node.left.index]
+                right = runtime[node.right.index]
+                left.parents.append(
+                    (parent, node.left_map, node.right_map, right)
+                )
+                right.parents.append(
+                    (parent, node.right_map, node.left_map, left)
+                )
+        self._nodes = [runtime[node.index] for node in plan.nodes]
+        self._leaves = [
+            runtime[node.index]
+            for node in plan.nodes
+            if isinstance(node, SharedLeaf)
+        ]
+        self._states: List[_QueryState] = []
+        for root in plan.roots:
+            state = _QueryState(root)
+            runtime[root.node.index].states.append(state)
+            self._states.append(state)
+
+    # -- public API ---------------------------------------------------------
+    def process(self, event: Event) -> List[Match]:
+        """Feed one event; return the matches it completed, all queries."""
+        self.metrics.events_processed += 1
+        self._event_wall_started = time.perf_counter()
+        self._now = event.timestamp
+
+        matches: List[Match] = []
+        for node in self._nodes:
+            if node.store:
+                cutoff = event.timestamp - node.spec.window
+                node.store = [
+                    pm for pm in node.store if pm.min_ts >= cutoff
+                ]
+        for state in self._states:
+            matches.extend(state.advance(self._now, self))
+        for state in self._states:
+            state.offer(event)
+
+        queue: List[Tuple[PartialMatch, _RuntimeNode]] = []
+        for leaf in self._leaves:
+            spec = leaf.spec
+            if event.type != spec.event_type:
+                continue
+            if spec.filters:
+                self.metrics.predicate_evaluations += len(spec.filters)
+                if not all(
+                    p.evaluate({spec.variable: event}) for p in spec.filters
+                ):
+                    continue
+            if spec.kleene:
+                queue.append(
+                    (PartialMatch.kleene_singleton(spec.variable, event), leaf)
+                )
+                queue.extend(self._absorptions(leaf, event))
+            else:
+                queue.append(
+                    (PartialMatch.singleton(spec.variable, event), leaf)
+                )
+
+        matches.extend(self._cascade(queue))
+        self._note_state()
+        return matches
+
+    def run(self, stream: Stream) -> Dict[str, List[Match]]:
+        """Process a whole stream; per-query match lists, keyed by name."""
+        grouped: Dict[str, List[Match]] = {
+            name: [] for name in self.plan.query_names
+        }
+        for event in stream:
+            for match in self.process(event):
+                grouped[match.pattern_name].append(match)
+        for match in self.finalize():
+            grouped[match.pattern_name].append(match)
+        return grouped
+
+    def finalize(self) -> List[Match]:
+        """Flush pending (trailing-negation) matches of every query."""
+        matches: List[Match] = []
+        for state in self._states:
+            matches.extend(state.finalize(self))
+        return matches
+
+    # -- cascade ------------------------------------------------------------
+    def _cascade(
+        self, seed: List[Tuple[PartialMatch, _RuntimeNode]]
+    ) -> List[Match]:
+        matches: List[Match] = []
+        queue = list(seed)
+        while queue:
+            pm, node = queue.pop()
+            self.metrics.partial_matches_created += 1
+            for state in node.states:
+                match = state.complete(pm, self._now, self)
+                if match is not None:
+                    matches.append(match)
+            if node.parents:
+                node.store.append(pm)
+                for parent, my_map, other_map, sibling in node.parents:
+                    queue.extend(
+                        self._pairings(pm, my_map, other_map, sibling, parent)
+                    )
+        return matches
+
+    def _pairings(
+        self,
+        pm: PartialMatch,
+        my_map: dict,
+        other_map: dict,
+        sibling: _RuntimeNode,
+        parent: _RuntimeNode,
+    ) -> List[Tuple[PartialMatch, _RuntimeNode]]:
+        """Combine a new instance with earlier instances of the sibling."""
+        created: List[Tuple[PartialMatch, _RuntimeNode]] = []
+        for other in sibling.store:
+            if other.trigger_seq >= pm.trigger_seq:
+                continue
+            merged = self._try_merge(pm, my_map, other, other_map, parent)
+            if merged is not None:
+                created.append((merged, parent))
+        return created
+
+    def _try_merge(
+        self,
+        pm: PartialMatch,
+        my_map: dict,
+        other: PartialMatch,
+        other_map: dict,
+        parent: _RuntimeNode,
+    ) -> Optional[PartialMatch]:
+        if pm.event_seqs() & other.event_seqs():
+            return None
+        min_ts = min(pm.min_ts, other.min_ts)
+        max_ts = max(pm.max_ts, other.max_ts)
+        if max_ts - min_ts > parent.spec.window:
+            return None
+        bindings = {my_map[k]: v for k, v in pm.bindings.items()}
+        for k, v in other.bindings.items():
+            bindings[other_map[k]] = v
+        merged = PartialMatch(
+            bindings,
+            max(pm.trigger_seq, other.trigger_seq),
+            min_ts,
+            max_ts,
+        )
+        for predicate in parent.spec.cross_predicates:
+            self.metrics.predicate_evaluations += 1
+            if not predicate.evaluate(merged.bindings):
+                return None
+        return merged
+
+    def _absorptions(
+        self, leaf: _RuntimeNode, event: Event
+    ) -> List[Tuple[PartialMatch, _RuntimeNode]]:
+        """Grow Kleene tuples buffered at a shared leaf."""
+        spec = leaf.spec
+        limit = self.max_kleene_size
+        created: List[Tuple[PartialMatch, _RuntimeNode]] = []
+        for pm in leaf.store:
+            value = pm.bindings[spec.variable]
+            if limit is not None and len(value) >= limit:
+                continue
+            if pm.contains_seq(event.seq):
+                continue
+            if not pm.span_with(event, spec.window):
+                continue
+            created.append((pm.kleene_extended(spec.variable, event), leaf))
+        return created
+
+    # -- accounting ----------------------------------------------------------
+    def _emit(
+        self, state: _QueryState, qpm: PartialMatch, detection_ts: float
+    ) -> Match:
+        wall = time.perf_counter() - self._event_wall_started
+        match = Match(
+            qpm,
+            detection_ts,
+            pattern_name=state.query,
+            wall_latency=wall,
+        )
+        state.matches_emitted += 1
+        self.metrics.note_match(match.latency, wall)
+        return match
+
+    def _note_state(self) -> None:
+        live = sum(len(node.store) for node in self._nodes) + sum(
+            len(state.pending) for state in self._states
+        )
+        buffered = sum(
+            state.checker.buffered_events() for state in self._states
+        )
+        self.metrics.note_state(live, buffered)
+
+    def live_partial_matches(self) -> int:
+        return sum(len(node.store) for node in self._nodes)
+
+    def per_query_matches(self) -> Dict[str, int]:
+        """Matches emitted so far, by query name."""
+        counts: Dict[str, int] = {}
+        for state in self._states:
+            counts[state.query] = (
+                counts.get(state.query, 0) + state.matches_emitted
+            )
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiQueryEngine({len(self.plan.query_names)} queries, "
+            f"{len(self._nodes)} DAG nodes)"
+        )
+
+
+@dataclass
+class WorkloadResult:
+    """Everything :func:`run_workload` produces for one execution."""
+
+    matches: Dict[str, List[Match]]
+    metrics: EngineMetrics
+    plan: SharedPlan
+    engine: MultiQueryEngine
+    wall_seconds: float = 0.0
+    events: int = 0
+
+    @property
+    def report(self):
+        return self.plan.report
+
+    @property
+    def throughput(self) -> float:
+        """Primitive events per second of wall time, workload-wide."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def total_matches(self) -> int:
+        return sum(len(m) for m in self.matches.values())

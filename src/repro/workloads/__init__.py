@@ -1,5 +1,11 @@
 """Workload generators: synthetic stock market, traffic cameras, pattern sets."""
 
+from .multiquery import (
+    MultiQueryWorkloadConfig,
+    generate_overlapping_workload,
+    overlapping_stock_workload,
+    overlapping_traffic_workload,
+)
 from .patterns import (
     CATEGORIES,
     PatternWorkloadConfig,
@@ -21,6 +27,10 @@ from .traffic import (
 )
 
 __all__ = [
+    "MultiQueryWorkloadConfig",
+    "generate_overlapping_workload",
+    "overlapping_stock_workload",
+    "overlapping_traffic_workload",
     "CATEGORIES",
     "PatternWorkloadConfig",
     "generate_pattern_set",

@@ -1,0 +1,154 @@
+"""Overlapping multi-query workload generator.
+
+Produces sets of sequence patterns that deliberately overlap — every
+query starts from the same shared *core* sub-pattern (same event types,
+same predicates, same window) and continues with a per-query suffix —
+the workload shape where multi-query plan sharing
+(:mod:`repro.multiquery`) pays off, mirroring the overlapping join sets
+of Dossinger & Michel (arXiv:2104.07742) on top of this repo's stock
+and traffic streams.
+
+Queries use per-query variable names (``q3_e0``...) on purpose: the
+sharing optimizer must detect the common core *up to renaming*, not by
+string identity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from ..multiquery.workload import Workload
+from ..patterns.operators import Primitive, Seq
+from ..patterns.pattern import Pattern
+from ..patterns.predicates import Attr, Comparison, Predicate
+from .stocks import stock_symbols
+from .traffic import CAMERAS
+
+
+@dataclass
+class MultiQueryWorkloadConfig:
+    """Shape of an overlapping workload.
+
+    Every query is a SEQ of ``core_size + suffix_size`` events: the
+    first ``core_size`` positions (types and predicates) are identical
+    across all queries, the remaining positions are drawn per query.
+    ``overlap=0`` (i.e. ``core_size=0``) is not offered — use distinct
+    single patterns for that; the point here is controlled overlap.
+    """
+
+    queries: int = 5
+    core_size: int = 2
+    suffix_size: int = 2
+    window: float = 10.0
+    attribute: str = "difference"
+    seed: int = 0
+    predicate_ops: Sequence[str] = ("<", ">")
+
+    def __post_init__(self) -> None:
+        if self.queries < 1:
+            raise ReproError("need at least one query")
+        if self.core_size < 1:
+            raise ReproError("core_size must be >= 1")
+        if self.suffix_size < 0:
+            raise ReproError("suffix_size must be >= 0")
+        if self.window <= 0:
+            raise ReproError("window must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.core_size + self.suffix_size
+
+
+def generate_overlapping_workload(
+    type_names: Sequence[str],
+    config: Optional[MultiQueryWorkloadConfig] = None,
+) -> Workload:
+    """An overlapping workload over the given event type names.
+
+    Deterministic under the seed.  All queries share the core positions
+    (types, one core predicate when ``core_size >= 2``, window); each
+    query appends its own suffix types plus one predicate linking the
+    suffix back to the core, so queries overlap without being equal.
+    """
+    config = config or MultiQueryWorkloadConfig()
+    if config.size > len(type_names):
+        raise ReproError(
+            f"query size {config.size} exceeds available types "
+            f"({len(type_names)})"
+        )
+    rng = random.Random((config.seed, "multiquery").__repr__())
+    core_types = rng.sample(list(type_names), config.core_size)
+    remaining = [t for t in type_names if t not in core_types]
+    core_op = rng.choice(list(config.predicate_ops))
+
+    patterns = []
+    for q in range(config.queries):
+        variables = [f"q{q}_e{i}" for i in range(config.size)]
+        suffix_pool = remaining if remaining else list(type_names)
+        suffix_types = rng.sample(
+            suffix_pool, min(config.suffix_size, len(suffix_pool))
+        )
+        types = list(core_types) + suffix_types
+        predicates: list[Predicate] = []
+        if config.core_size >= 2:
+            # The shared core predicate: identical structure in every
+            # query (the attribute comparison of Section 7.2 patterns).
+            predicates.append(
+                Comparison(
+                    Attr(variables[0], config.attribute),
+                    core_op,
+                    Attr(variables[1], config.attribute),
+                )
+            )
+        if config.suffix_size >= 1:
+            # A per-query predicate tying the suffix to the core, so
+            # queries differ beyond their event types.
+            anchor = variables[rng.randrange(config.core_size)]
+            suffix_var = variables[config.core_size + rng.randrange(
+                len(suffix_types)
+            )]
+            predicates.append(
+                Comparison(
+                    Attr(anchor, config.attribute),
+                    rng.choice(list(config.predicate_ops)),
+                    Attr(suffix_var, config.attribute),
+                )
+            )
+        patterns.append(
+            Pattern(
+                Seq(
+                    [
+                        Primitive(type_name, variable)
+                        for type_name, variable in zip(types, variables)
+                    ]
+                ),
+                predicates,
+                config.window,
+                name=f"mq_{q}",
+            )
+        )
+    return Workload(patterns)
+
+
+def overlapping_stock_workload(
+    config: Optional[MultiQueryWorkloadConfig] = None,
+    symbols: int = 10,
+) -> Workload:
+    """Overlapping queries over the synthetic stock symbols."""
+    return generate_overlapping_workload(stock_symbols(symbols), config)
+
+
+def overlapping_traffic_workload(
+    config: Optional[MultiQueryWorkloadConfig] = None,
+) -> Workload:
+    """Overlapping queries over the four traffic cameras.
+
+    Camera workloads are small (4 types); sizes are capped accordingly.
+    """
+    config = config or MultiQueryWorkloadConfig(
+        core_size=2, suffix_size=1, attribute="vehicle"
+    )
+    return generate_overlapping_workload(list(CAMERAS), config)

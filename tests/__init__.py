@@ -1,0 +1,3 @@
+"""Test package marker: makes ``from .conftest import ...`` resolve as
+``tests.conftest`` instead of colliding with ``benchmarks/conftest.py``
+on the rootdir import path."""

@@ -42,6 +42,9 @@ PATTERNS = [
     "PATTERN SEQ(A a, NOT(B b), C c) WHERE b.x = a.x WITHIN 4",
     "PATTERN SEQ(A a, C c, NOT(B b)) WITHIN 3",
     "PATTERN AND(A a, NOT(B b), C c) WITHIN 3",
+    # Leading NOT: the forbidden range starts at max_ts − W of the
+    # *complete* match, so the check must defer to completion.
+    "PATTERN SEQ(NOT(B b), A a, C c) WITHIN 4",
 ]
 
 

@@ -17,6 +17,7 @@ FAST_EXAMPLES = (
     "quickstart.py",
     "adaptive_reoptimization.py",
     "join_ordering.py",
+    "multi_query_sharing.py",
 )
 
 

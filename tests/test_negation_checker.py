@@ -140,3 +140,51 @@ class TestNegationChecker:
         lo, lo_inc, hi, _ = prepared.admissible_range(pm, 10.0)
         assert lo == pytest.approx(3.0)
         assert not lo_inc
+
+
+class TestLeadingNegation:
+    """Leading NOT regression: the forbidden range ``[max_ts − W,
+    following)`` is final only on the complete match, so engines must
+    defer the check to completion (they used to evaluate it at the
+    lowest covering node with a partial max_ts and over-reject)."""
+
+    PATTERN = "PATTERN SEQ(NOT(C c), A a, B b) WITHIN 10"
+
+    def stream(self):
+        from repro.events import Stream
+
+        # C@0.5 precedes A@1.0; the match completes at B@11.0, so the
+        # admissible range is [1.0, 1.0) — empty — and C cannot veto.
+        return Stream([Event("C", 0.5), Event("A", 1.0), Event("B", 11.0)])
+
+    def test_leading_specs_split_from_checkable(self):
+        from repro.patterns import decompose, parse_pattern
+
+        d = decompose(parse_pattern(self.PATTERN))
+        checker = NegationChecker(
+            d.negations, d.negation_conditions, d.window
+        )
+        assert checker.specs_checkable_with(frozenset({"a", "b"})) == []
+        assert len(checker.leading_specs()) == 1
+
+    def test_engines_agree_with_reference(self):
+        from repro.engines import (
+            NFAEngine,
+            TreeEngine,
+            reference_match_keys,
+        )
+        from repro.patterns import decompose, parse_pattern
+        from repro.plans import enumerate_bushy_trees, enumerate_orders
+
+        stream = self.stream()
+        d = decompose(parse_pattern(self.PATTERN))
+        expected = reference_match_keys(d, stream)
+        assert len(expected) == 1
+        for order in enumerate_orders(d.positive_variables):
+            assert {
+                m.key() for m in NFAEngine(d, order).run(stream)
+            } == expected
+        for tree in enumerate_bushy_trees(d.positive_variables):
+            assert {
+                m.key() for m in TreeEngine(d, tree).run(stream)
+            } == expected
