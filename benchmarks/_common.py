@@ -132,6 +132,15 @@ class BenchEnv:
         (RESULTS_DIR / name).write_text(text + "\n")
         print("\n" + text)
 
+    @staticmethod
+    def write_json(name: str, payload) -> None:
+        """Machine-readable artifact (CI uploads these to track the
+        perf trajectory across PRs)."""
+        import json
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / name).write_text(json.dumps(payload, indent=2) + "\n")
+
 
 def build_env() -> BenchEnv:
     stream = generate_stock_stream(

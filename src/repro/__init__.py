@@ -106,7 +106,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CostModel",

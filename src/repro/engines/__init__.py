@@ -15,6 +15,7 @@ from .negation import NegationChecker
 from .nfa import NFAEngine
 from .profiler import OutputProfiler
 from .reference import reference_match_keys
+from .stores import PartialMatchStore, equality_key_pairs, make_key_fn
 from .tree import TreeEngine
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "NegationChecker",
     "NFAEngine",
     "OutputProfiler",
+    "PartialMatchStore",
+    "equality_key_pairs",
+    "make_key_fn",
     "reference_match_keys",
     "TreeEngine",
 ]

@@ -67,6 +67,7 @@ class BaseEngine:
         selection: str = SELECTION_ANY,
         max_kleene_size: Optional[int] = None,
         pattern_name: Optional[str] = None,
+        indexed: bool = True,
     ) -> None:
         if selection not in _SELECTIONS:
             raise EngineError(
@@ -77,6 +78,11 @@ class BaseEngine:
         self.window = decomposed.window
         self.selection = selection
         self.max_kleene_size = max_kleene_size
+        # When True (default), stores hash-partition on equality
+        # cross-predicates (see repro.engines.stores); False keeps the
+        # seed's linear scans — the baseline of the equivalence tests
+        # and the fig21 benchmark.
+        self.indexed = indexed
         self.pattern_name = pattern_name or (
             decomposed.source.name if decomposed.source else None
         )
@@ -98,7 +104,7 @@ class BaseEngine:
                 def unary_filter(event, _preds=unary, _var=variable):
                     return all(p.evaluate({_var: event}) for p in _preds)
             self._buffers[variable] = VariableBuffer(
-                variable, type_name, unary_filter
+                variable, type_name, unary_filter, metrics=self.metrics
             )
         self._negation = NegationChecker(
             decomposed.negations,
@@ -179,22 +185,33 @@ class BaseEngine:
         ]
 
     def _check_extension(
-        self, pm: PartialMatch, variable: str, event: Event
+        self,
+        pm: PartialMatch,
+        variable: str,
+        event: Event,
+        predicates: Optional[list] = None,
     ) -> bool:
-        """Window + reuse + predicate check for binding ``event``."""
+        """Window + reuse + predicate check for binding ``event``.
+
+        ``predicates`` overrides the per-variable predicate list — used
+        by indexed probes to skip equalities the hash bucket already
+        guarantees (see :mod:`repro.engines.stores`).
+        """
         if event.seq in self._consumed:
             return False
         if pm.contains_seq(event.seq):
             return False
         if not pm.span_with(event, self.window):
             return False
+        if predicates is None:
+            predicates = self._preds_by_var[variable]
         bindings = dict(pm.bindings)
         if variable in self._kleene and variable in bindings:
             # Absorbing into an existing tuple: check the new element only.
             probe = dict(bindings)
             probe[variable] = event
             bound = set(probe)
-            for predicate in self._preds_by_var[variable]:
+            for predicate in predicates:
                 if set(predicate.variables) <= bound:
                     self.metrics.predicate_evaluations += 1
                     if not predicate.evaluate(probe):
@@ -202,7 +219,7 @@ class BaseEngine:
             return True
         bindings[variable] = event
         bound = set(bindings)
-        for predicate in self._preds_by_var[variable]:
+        for predicate in predicates:
             if set(predicate.variables) <= bound:
                 self.metrics.predicate_evaluations += 1
                 if not predicate.evaluate(bindings):

@@ -5,6 +5,20 @@ events to be buffered until the plan step that consumes them (Section
 2.2).  A :class:`VariableBuffer` keeps the events admissible for one
 pattern variable — right type, unary filters passed — in arrival order,
 pruned to the time window.
+
+Arrival order doubles as both sequence order and (the stream being
+timestamp-ordered) time order, so the buffer gets the indexed-store
+treatment of :mod:`repro.engines.stores` cheaply:
+
+* an optional **hash index** partitions events by an equality-key
+  function (installed by the NFA engine when the plan has ``Attr ==
+  Attr`` predicates between this variable and earlier plan positions),
+  so :meth:`probe` touches one bucket instead of the whole buffer;
+* **consumed events are tombstoned** in a seq-set and skipped on
+  iteration instead of rebuilding the deque per removal; tombstones are
+  drained when pruning reaches them;
+* bucket window expiry is a lazy prefix drop (buckets are time-ordered),
+  and the trigger bound inside a bucket is a binary search.
 """
 
 from __future__ import annotations
@@ -13,23 +27,79 @@ from collections import deque
 from typing import Callable, Deque, Iterator, Optional
 
 from ..events import Event
+from .metrics import EngineMetrics
+
+
+def _seq_boundary(events: list, trigger_seq: int) -> int:
+    """First index whose event has ``seq >= trigger_seq`` (bisect)."""
+    lo, hi = 0, len(events)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if events[mid].seq < trigger_seq:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
 
 
 class VariableBuffer:
     """Arrival-ordered, window-pruned events for one pattern variable."""
 
-    __slots__ = ("variable", "event_type", "_filter", "_events")
+    __slots__ = (
+        "variable",
+        "event_type",
+        "_filter",
+        "_events",
+        "_live",
+        "_size",
+        "_key_of",
+        "_buckets",
+        "_overflow",
+        "_indexed_total",
+        "_cutoff",
+        "metrics",
+    )
 
     def __init__(
         self,
         variable: str,
         event_type: str,
         unary_filter: Optional[Callable[[Event], bool]] = None,
+        metrics: Optional[EngineMetrics] = None,
     ) -> None:
         self.variable = variable
         self.event_type = event_type
         self._filter = unary_filter
         self._events: Deque[Event] = deque()
+        # seq -> buffered copies; a consumed seq is dropped wholesale, so
+        # membership means "not tombstoned" (duplicate seqs only occur
+        # off-stream, e.g. the negation checker's unassigned events).
+        self._live: dict = {}
+        self._size = 0
+        self._key_of: Optional[Callable[[Event], tuple]] = None
+        self._buckets: dict = {}
+        self._overflow: list = []  # events with unhashable keys
+        self._indexed_total = 0  # bucket + overflow entries, incl. stale
+        self._cutoff = float("-inf")
+        self.metrics = metrics
+
+    def set_index(self, key_of: Callable[[Event], tuple]) -> None:
+        """Install a hash access path (before any event is offered)."""
+        if self._events:
+            raise ValueError("index must be installed on an empty buffer")
+        self._key_of = key_of
+
+    @property
+    def indexed(self) -> bool:
+        return self._key_of is not None
+
+    @property
+    def index_exact(self) -> bool:
+        """True when every candidate :meth:`probe` yields is bucket-
+        guaranteed to satisfy the equality the index encodes (no
+        unhashable-key overflow entries); callers must otherwise apply
+        the full predicate list to the candidates."""
+        return not self._overflow
 
     def offer(self, event: Event) -> bool:
         """Admit ``event`` when it matches the type and passes filters."""
@@ -38,38 +108,147 @@ class VariableBuffer:
         if self._filter is not None and not self._filter(event):
             return False
         self._events.append(event)
+        self._live[event.seq] = self._live.get(event.seq, 0) + 1
+        self._size += 1
+        if self._key_of is not None:
+            self._index_event(event)
         return True
 
+    def _index_event(self, event: Event) -> None:
+        try:
+            key = self._key_of(event)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [event]
+            else:
+                bucket.append(event)
+            self._indexed_total += 1
+        except KeyError:
+            # Missing attribute: the equality predicate can never hold
+            # for this event, so it is unreachable via the index (and
+            # via the predicates on any scan).
+            pass
+        except TypeError:
+            self._overflow.append(event)
+            self._indexed_total += 1
+
     def prune(self, cutoff_ts: float) -> None:
-        """Drop events with ``timestamp < cutoff_ts`` (window expiry)."""
+        """Drop expired events and drain tombstones that reached the head."""
+        self._cutoff = cutoff_ts
         events = self._events
-        while events and events[0].timestamp < cutoff_ts:
-            events.popleft()
+        live = self._live
+        while events and (
+            events[0].timestamp < cutoff_ts or events[0].seq not in live
+        ):
+            seq = events.popleft().seq
+            copies = live.get(seq)
+            if copies is not None:
+                if copies == 1:
+                    del live[seq]
+                else:
+                    live[seq] = copies - 1
+                self._size -= 1
+        # Buckets drop their expired prefixes lazily, on probe; rebuild
+        # the whole index once stale entries dominate so buckets of
+        # never-reprobed keys (high-cardinality streams) cannot leak.
+        stale = self._indexed_total - self._size
+        if self._key_of is not None and stale > 64 and stale > self._size:
+            self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        self._buckets = {}
+        self._overflow = []
+        self._indexed_total = 0
+        live = self._live
+        for event in self._events:
+            if event.seq in live:
+                self._index_event(event)
 
     def events_before(self, trigger_seq: int) -> Iterator[Event]:
         """Buffered events with arrival number strictly below the trigger.
 
-        This is the only buffer read the engines perform; together with
-        the trigger discipline (see :mod:`repro.engines.matches`) it
-        guarantees each combination is formed exactly once.
+        Together with the trigger discipline (see
+        :mod:`repro.engines.matches`) this guarantees each combination
+        is formed exactly once.
         """
+        live = self._live
         for event in self._events:
             if event.seq >= trigger_seq:
                 break
-            yield event
+            if event.seq in live:
+                yield event
+
+    def probe(self, key: tuple, trigger_seq: int) -> Iterator[Event]:
+        """Indexed ``events_before``: one bucket instead of the buffer.
+
+        The bucket is a superset filter — the caller still evaluates the
+        full predicate set on every candidate — so hash corner cases
+        cost a scan, never a match.
+        """
+        metrics = self.metrics
+        try:
+            bucket = self._buckets.get(key)
+        except TypeError:  # unhashable probe key: degrade to a scan
+            if metrics is not None:
+                metrics.index_probes += 1
+                metrics.index_misses += 1
+            yield from self.events_before(trigger_seq)
+            return
+        if metrics is not None:
+            metrics.index_probes += 1
+            if bucket:
+                metrics.index_hits += 1
+            else:
+                metrics.index_misses += 1
+        live = self._live
+        candidates = ()
+        if bucket is not None:
+            bucket_prefix = 0
+            cutoff = self._cutoff
+            while (
+                bucket_prefix < len(bucket)
+                and bucket[bucket_prefix].timestamp < cutoff
+            ):
+                bucket_prefix += 1
+            if bucket_prefix:
+                del bucket[:bucket_prefix]
+                self._indexed_total -= bucket_prefix
+            candidates = bucket[: _seq_boundary(bucket, trigger_seq)]
+        if self._overflow:
+            # Rare path: merge with the unhashable-key overflow in seq
+            # order so "earliest eligible" semantics (restrictive
+            # strategies) stay exact.
+            overflow = [
+                e for e in self._overflow if e.timestamp >= self._cutoff
+            ]
+            self._indexed_total -= len(self._overflow) - len(overflow)
+            self._overflow = overflow
+            candidates = sorted(
+                list(candidates)
+                + overflow[: _seq_boundary(overflow, trigger_seq)],
+                key=lambda e: e.seq,
+            )
+        for event in candidates:
+            if event.seq in live:
+                yield event
 
     def remove_seq(self, seq: int) -> None:
-        """Remove a consumed event (skip-till-next-match)."""
-        self._events = deque(e for e in self._events if e.seq != seq)
+        """Tombstone a consumed event (skip-till-next-match).
+
+        The event is skipped by all iteration immediately and physically
+        dropped when pruning reaches it — no per-removal rebuild.
+        """
+        self._size -= self._live.pop(seq, 0)
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._size
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        live = self._live
+        return (e for e in self._events if e.seq in live)
 
     def __repr__(self) -> str:
         return (
             f"VariableBuffer({self.variable}:{self.event_type}, "
-            f"{len(self._events)} events)"
+            f"{len(self._live)} events)"
         )

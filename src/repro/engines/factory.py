@@ -40,12 +40,18 @@ Engine = Union[BaseEngine, "DisjunctionEngine"]
 def build_engine(
     planned: PlannedPattern,
     max_kleene_size: Optional[int] = None,
+    indexed: bool = True,
 ) -> BaseEngine:
-    """Instantiate the runtime engine for one planned simple pattern."""
+    """Instantiate the runtime engine for one planned simple pattern.
+
+    ``indexed=False`` keeps the linear (seed) stores — the baseline the
+    store-equivalence tests and the fig21 benchmark compare against.
+    """
     common = dict(
         selection=planned.selection,
         max_kleene_size=max_kleene_size,
         pattern_name=planned.pattern.name,
+        indexed=indexed,
     )
     if isinstance(planned.plan, OrderPlan):
         return NFAEngine(planned.decomposed, planned.plan, **common)
@@ -57,6 +63,7 @@ def build_engine(
 def build_engines(
     planned: Union[Sequence[PlannedPattern], "SharedPlan"],
     max_kleene_size: Optional[int] = None,
+    indexed: bool = True,
 ) -> Union[Engine, "MultiQueryEngine"]:
     """Engine for planner output: single engine, disjunction wrapper, or
     — for a :class:`~repro.multiquery.sharing.SharedPlan` — the shared
@@ -66,10 +73,12 @@ def build_engines(
     if isinstance(planned, _SharedPlan):
         from ..multiquery.executor import MultiQueryEngine as _MultiQueryEngine
 
-        return _MultiQueryEngine(planned, max_kleene_size=max_kleene_size)
+        return _MultiQueryEngine(
+            planned, max_kleene_size=max_kleene_size, indexed=indexed
+        )
     if not planned:
         raise EngineError("no planned patterns supplied")
-    engines = [build_engine(item, max_kleene_size) for item in planned]
+    engines = [build_engine(item, max_kleene_size, indexed) for item in planned]
     if len(engines) == 1:
         return engines[0]
     return DisjunctionEngine(engines)

@@ -26,6 +26,14 @@ class EngineMetrics:
     peak_partial_matches: int = 0
     peak_buffered_events: int = 0
     predicate_evaluations: int = 0
+    # Indexed-store counters (see :mod:`repro.engines.stores`): every
+    # hash probe is a sibling scan the seed engines would have done in
+    # full; a miss means the probing instance paired with nothing at all.
+    index_probes: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    # Partial matches dropped by watermark-gated window expiry.
+    pm_expired: int = 0
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
 
@@ -90,6 +98,10 @@ class EngineMetrics:
             predicate_evaluations=(
                 self.predicate_evaluations + other.predicate_evaluations
             ),
+            index_probes=self.index_probes + other.index_probes,
+            index_hits=self.index_hits + other.index_hits,
+            index_misses=self.index_misses + other.index_misses,
+            pm_expired=self.pm_expired + other.pm_expired,
         )
         merged.latencies = self.latencies + other.latencies
         merged.wall_latencies = self.wall_latencies + other.wall_latencies
@@ -108,4 +120,8 @@ class EngineMetrics:
             "max_latency": self.max_latency,
             "mean_wall_latency": self.mean_wall_latency,
             "predicate_evals": self.predicate_evaluations,
+            "index_probes": self.index_probes,
+            "index_hits": self.index_hits,
+            "index_misses": self.index_misses,
+            "pm_expired": self.pm_expired,
         }

@@ -17,6 +17,13 @@ Under skip-till-any-match the instance *forks* on every extension; under
 the restrictive strategies (Section 6.2) it *advances* — each instance
 binds at most one event per position, and events of reported matches are
 consumed.
+
+Each chain transition is a two-sided join between a state's instance
+store (a :class:`~repro.engines.stores.PartialMatchStore`) and the next
+variable's buffer: when the transition carries ``Attr == Attr``
+predicates, both sides are hash-partitioned at build time, so arrival
+probes and ``events_before`` scans touch one bucket instead of the
+whole store, and window expiry of the states is watermark-gated.
 """
 
 from __future__ import annotations
@@ -28,6 +35,13 @@ from ..patterns.transformations import DecomposedPattern
 from ..plans.order_plan import OrderPlan
 from .base import SELECTION_ANY, BaseEngine
 from .matches import Match, PartialMatch
+from .stores import (
+    PartialMatchStore,
+    equality_key_pairs,
+    make_event_key_fn,
+    make_key_fn,
+    probe_key,
+)
 
 
 class NFAEngine(BaseEngine):
@@ -40,12 +54,14 @@ class NFAEngine(BaseEngine):
         selection: str = SELECTION_ANY,
         max_kleene_size: Optional[int] = None,
         pattern_name: Optional[str] = None,
+        indexed: bool = True,
     ) -> None:
         super().__init__(
             decomposed,
             selection=selection,
             max_kleene_size=max_kleene_size,
             pattern_name=pattern_name,
+            indexed=indexed,
         )
         plan.validate_for(decomposed)
         self.plan = plan
@@ -58,12 +74,45 @@ class NFAEngine(BaseEngine):
         # Kleene variable the accepting state keeps its instances so that
         # later events can still grow the tuple (each growth emits a
         # further match) — the self-loop of the Kleene NFA state.
-        self._states: dict[int, list[PartialMatch]] = {
-            s: [] for s in range(1, self._n + 1)
+        self._states: dict[int, PartialMatchStore] = {
+            s: PartialMatchStore(self.metrics) for s in range(1, self._n + 1)
         }
         self._absorbing_accept = (
             self._order[-1] in self._kleene
         )
+        # Equality access paths (see repro.engines.stores): the chain
+        # transition into position p is a two-sided join between state p
+        # (instances binding order[0..p-1]) and the buffer of order[p].
+        # Each side gets a hash index keyed on its half of the Attr ==
+        # Attr predicates; the other side's bindings supply the probe key.
+        self._state_probe: dict[int, tuple] = {}  # s -> (index_id, ev_key)
+        self._buffer_probe: dict[str, object] = {}  # var -> pm-side key fn
+        # Per variable: predicates minus the equalities its transition's
+        # hash bucket already guarantees (used on indexed candidates).
+        self._residual_preds: dict[str, list] = {}
+        if indexed:
+            for position in range(1, self._n):
+                variable = self._order[position]
+                prior_spec, event_spec, extracted = equality_key_pairs(
+                    self._conditions,
+                    self._order[:position],
+                    (variable,),
+                    self._kleene,
+                )
+                if not prior_spec:
+                    continue
+                pm_key = make_key_fn(prior_spec)
+                ev_key = make_event_key_fn(event_spec)
+                index_id = self._states[position].add_index(pm_key)
+                self._state_probe[position] = (index_id, ev_key)
+                self._buffers[variable].set_index(ev_key)
+                self._buffer_probe[variable] = pm_key
+                skip = set(map(id, extracted))
+                self._residual_preds[variable] = [
+                    p
+                    for p in self._preds_by_var[variable]
+                    if id(p) not in skip
+                ]
 
     # -- event loop -----------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
@@ -105,20 +154,21 @@ class NFAEngine(BaseEngine):
                     self._buffers[variable].remove_seq(event.seq)
         else:
             state = self._states[position]
+            candidates, preds = self._state_candidates(state, position, event)
             if self._consuming:
                 # Restrictive strategies: the event binds to at most one
                 # instance, and that instance advances (no fork).
-                for index, pm in enumerate(state):
-                    if self._check_extension(pm, variable, event):
+                for pm in candidates:
+                    if self._check_extension(pm, variable, event, preds):
                         created.append(
                             (self._bind(pm, variable, event), position + 1)
                         )
-                        del state[index]
+                        state.discard(pm)
                         self._buffers[variable].remove_seq(event.seq)
                         break
             else:
-                for pm in state:
-                    if self._check_extension(pm, variable, event):
+                for pm in candidates:
+                    if self._check_extension(pm, variable, event, preds):
                         created.append(
                             (self._bind(pm, variable, event), position + 1)
                         )
@@ -137,6 +187,28 @@ class NFAEngine(BaseEngine):
                         (pm.kleene_extended(variable, event), state_index)
                     )
         return created
+
+    def _state_candidates(
+        self, state: PartialMatchStore, position: int, event: Event
+    ):
+        """Instances eligible to take the arriving event, with the
+        predicate list to check them against — one hash bucket (checked
+        against the residual predicates only) when the transition has
+        equality predicates, the whole state (full predicates) otherwise.
+        Every stored trigger predates the arriving event, so
+        ``event.seq`` is an inclusive-of-everything bound."""
+        probe = self._state_probe.get(position)
+        if probe is not None:
+            index_id, ev_key = probe
+            key = probe_key(ev_key, event)
+            if key is not None:
+                preds = (
+                    self._residual_preds[self._order[position]]
+                    if state.index_exact(index_id)
+                    else None  # overflow present: full predicates
+                )
+                return state.probe(index_id, key, event.seq), preds
+        return iter(state), None
 
     def _bind(
         self, pm: PartialMatch, variable: str, event: Event
@@ -176,12 +248,12 @@ class NFAEngine(BaseEngine):
                 if self._absorbing_accept and not self._consuming:
                     # Keep the instance absorbable and grow it with any
                     # already-buffered Kleene events.
-                    self._states[state].append(pm)
+                    self._states[state].insert(pm)
                     queue.extend(
                         self._buffer_absorptions(pm, bound_var, state)
                     )
                 continue
-            self._states[state].append(pm)
+            self._states[state].insert(pm)
 
             # Absorb already-buffered Kleene events (arrived before the
             # trigger, later than the current newest tuple element).
@@ -194,12 +266,25 @@ class NFAEngine(BaseEngine):
     def _buffer_extensions(
         self, pm: PartialMatch, state: int
     ) -> list[tuple[PartialMatch, int]]:
-        """Scan the next variable's buffer for earlier-arrived events."""
+        """Scan the next variable's buffer for earlier-arrived events —
+        one hash bucket when the transition has equality predicates."""
         variable = self._order[state]
         buffer = self._buffers[variable]
+        candidates = None
+        preds = None
+        pm_key_of = self._buffer_probe.get(variable)
+        if pm_key_of is not None:
+            key = probe_key(pm_key_of, pm.bindings)
+            if key is not None:
+                candidates = buffer.probe(key, pm.trigger_seq)
+                if buffer.index_exact:
+                    # Bucket-guaranteed: skip the extracted equalities.
+                    preds = self._residual_preds[variable]
+        if candidates is None:
+            candidates = buffer.events_before(pm.trigger_seq)
         created: list[tuple[PartialMatch, int]] = []
-        for event in buffer.events_before(pm.trigger_seq):
-            if self._check_extension(pm, variable, event):
+        for event in candidates:
+            if self._check_extension(pm, variable, event, preds):
                 extended = self._bind_from_buffer(pm, variable, event)
                 created.append((extended, state + 1))
                 if self._consuming:
@@ -245,27 +330,18 @@ class NFAEngine(BaseEngine):
         return pm.extended(variable, event, trigger_seq=pm.trigger_seq)
 
     def _drop_instance(self, pm: PartialMatch, state: int) -> None:
-        try:
-            self._states[state].remove(pm)
-        except ValueError:
-            pass
+        self._states[state].discard(pm)
 
     # -- housekeeping ---------------------------------------------------------------
     def _expire_instances(self) -> None:
+        """Watermark-gated: O(1) per state until something can expire."""
         cutoff = self._now - self.window
-        for state, instances in self._states.items():
-            if instances:
-                self._states[state] = [
-                    pm for pm in instances if pm.min_ts >= cutoff
-                ]
+        for store in self._states.values():
+            store.expire(cutoff)
 
     def _purge_consumed(self, seqs: frozenset) -> None:
-        for state, instances in self._states.items():
-            self._states[state] = [
-                pm
-                for pm in instances
-                if not (pm.event_seqs() & seqs)
-            ]
+        for store in self._states.values():
+            store.purge_seqs(seqs)
 
     def _note_state(self) -> None:
         live = sum(len(v) for v in self._states.values()) + len(self._pending)

@@ -1,0 +1,429 @@
+"""Indexed partial-match stores: the shared storage layer of all runtimes.
+
+Every join the engines perform — :meth:`TreeEngine._pairings`, the NFA's
+``events_before`` buffer scans and state probes, and the multi-query
+DAG's shared-node pairings — used to be a nested-loop scan over a plain
+``list[PartialMatch]``, re-filtered and fully rebuilt on every event.
+The paper's cost models (Section 4) count partial matches; on the
+hardware it is the *per-pair* work that caps throughput.  This module
+makes the per-pair work proportional to the candidates that can actually
+merge, following the indexed per-relation delta stores of Idris et al.
+("Conjunctive Queries with Theta Joins Under Updates") and Dossinger &
+Michel ("Optimizing Multiple Multi-Way Stream Joins"):
+
+**Hash partitioning on equality cross-predicates.**  At plan-build time
+:func:`equality_key_pairs` extracts the ``Attr == Attr`` comparisons
+spanning a join's two sides and :func:`make_key_fn` compiles each side
+into a key function.  A store then keeps, besides its insertion-ordered
+primary run, one hash index per registered prober: probing touches one
+bucket instead of the whole store.  Indexing is a pure *access path*:
+the extracted equality predicates stay in the residual predicate list,
+so any index corner case (``NaN`` identity in dict lookups, unhashable
+attribute values, missing attributes) degrades to a slower scan or an
+extra cheap re-check — never to a different match set.
+
+**Watermark-gated, binary-search window expiry.**  The store maintains
+a parallel run sorted by ``min_ts`` (a partial match expires exactly
+when its earliest constituent leaves the window).  Per-event expiry is
+an O(1) watermark comparison until something can actually expire, then
+a ``bisect`` locates the dead prefix, which is dropped wholesale —
+instead of rebuilding every node's list on every event.
+
+**Ordered ``trigger_seq`` iteration.**  Partial matches are inserted
+while processing their trigger event, so the primary run and every
+bucket are automatically sorted by ``trigger_seq``.  The strictly-
+earlier-trigger discipline (see :mod:`repro.engines.matches`) therefore
+becomes a ``bisect`` range bound rather than a per-element ``if``.
+
+Removal (window expiry from the sorted run, consumed-event purges,
+restrictive-strategy instance drops) is tombstone-based: dead entries
+are skipped on iteration via a live-id set and physically reclaimed by
+occasional compaction, so no removal rebuilds the store.
+
+Leaf stores remain the cost-model buffers: a tree leaf contributes
+``PM(l) = W * r_i`` (Section 4.2), and that accounting is unchanged —
+the store only changes *how* those instances are probed and expired,
+never which instances are live.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from ..patterns.predicates import Attr, Comparison, Predicate
+from .matches import PartialMatch
+from .metrics import EngineMetrics
+
+#: ``(variable, attribute)`` pairs making up one side of a composite key.
+KeySpec = Tuple[Tuple[str, str], ...]
+
+#: Compiled key function: bindings -> hashable composite key.  May raise
+#: ``KeyError`` (missing attribute) or ``TypeError`` (unhashable value);
+#: callers fall back to a scan, which the residual predicates make exact.
+KeyFn = Callable[[dict], tuple]
+
+_EQUALITY_OPS = ("=", "==")
+
+#: Compaction triggers once this many tombstones accumulate *and* they
+#: outnumber the live entries — O(n) reclaim, amortized O(1) per removal.
+_COMPACT_MIN_DEAD = 64
+
+
+def equality_key_pairs(
+    predicates: Iterable[Predicate],
+    left_vars: Iterable[str],
+    right_vars: Iterable[str],
+    kleene: Iterable[str] = (),
+) -> Tuple[KeySpec, KeySpec, Tuple[Predicate, ...]]:
+    """Split a join's cross-predicates into aligned equi-key specs.
+
+    Returns ``(left_spec, right_spec, extracted)``: position-aligned
+    ``(variable, attribute)`` tuples such that two partial matches can
+    merge only if their composite keys compare equal, plus the predicate
+    objects the specs encode (callers may skip re-evaluating them on
+    bucket candidates — exact provided the probe key passed
+    :func:`key_is_reflexive`).  Only plain ``Attr == Attr`` comparisons
+    spanning the two sides qualify; predicates touching a Kleene
+    variable are excluded (a Kleene binding is a tuple of events with
+    universal predicate semantics — it has no single key value).  Empty
+    specs mean the join has no usable equality and probes fall back to a
+    linear scan.
+    """
+    left_set = set(left_vars)
+    right_set = set(right_vars)
+    kleene_set = set(kleene)
+    left_spec: List[Tuple[str, str]] = []
+    right_spec: List[Tuple[str, str]] = []
+    extracted: List[Predicate] = []
+    for predicate in predicates:
+        if not isinstance(predicate, Comparison):
+            continue
+        if predicate.op not in _EQUALITY_OPS:
+            continue
+        lhs, rhs = predicate.left, predicate.right
+        if not (isinstance(lhs, Attr) and isinstance(rhs, Attr)):
+            continue
+        if lhs.variable in kleene_set or rhs.variable in kleene_set:
+            continue
+        if lhs.variable in left_set and rhs.variable in right_set:
+            left_spec.append((lhs.variable, lhs.attribute))
+            right_spec.append((rhs.variable, rhs.attribute))
+        elif lhs.variable in right_set and rhs.variable in left_set:
+            left_spec.append((rhs.variable, rhs.attribute))
+            right_spec.append((lhs.variable, lhs.attribute))
+        else:
+            continue
+        extracted.append(predicate)
+    return tuple(left_spec), tuple(right_spec), tuple(extracted)
+
+
+def key_is_reflexive(key: tuple) -> bool:
+    """True when every key element equals itself.
+
+    Guards the bucket-implies-equality shortcut: container lookups use
+    an identity-then-``==`` comparison, so a non-reflexive element (NaN)
+    could hit a bucket whose stored key is the same object even though
+    the equality predicate is False.  Non-reflexive probe keys must fall
+    back to a scan with the full predicate set.
+    """
+    for value in key:
+        if value != value:
+            return False
+    return True
+
+
+def probe_key(key_of, subject) -> Optional[tuple]:
+    """Compute a probe key, or None when the caller must fall back to a
+    linear scan with the full predicate set.
+
+    The single guard used by every runtime's probe path: a missing
+    attribute (KeyError) or unhashable value (TypeError) cannot be
+    looked up, and a non-reflexive key (NaN, see
+    :func:`key_is_reflexive`) would make bucket hits untrustworthy.
+    """
+    try:
+        key = key_of(subject)
+        hash(key)
+    except (KeyError, TypeError):
+        return None
+    return key if key_is_reflexive(key) else None
+
+
+def make_key_fn(spec: KeySpec) -> Optional[KeyFn]:
+    """Compile a key spec into ``bindings -> tuple`` (None when empty)."""
+    if not spec:
+        return None
+
+    def key_of(bindings: dict, _spec: KeySpec = spec) -> tuple:
+        return tuple(bindings[v][attr] for v, attr in _spec)
+
+    return key_of
+
+
+def make_event_key_fn(spec: KeySpec) -> Optional[Callable[[object], tuple]]:
+    """Key function over a single event (the attribute side of a spec)."""
+    if not spec:
+        return None
+    attrs = tuple(attr for _, attr in spec)
+
+    def key_of(event, _attrs: tuple = attrs) -> tuple:
+        return tuple(event[a] for a in _attrs)
+
+    return key_of
+
+
+class _Index:
+    """One hash access path over a store: key -> trigger-ordered bucket."""
+
+    __slots__ = ("key_of", "buckets", "overflow", "overflow_trigs")
+
+    def __init__(self, key_of: KeyFn) -> None:
+        self.key_of = key_of
+        # key -> (pms, triggers), both insertion- (= trigger-) ordered.
+        self.buckets: dict = {}
+        # Entries whose key could not be hashed; scanned on every probe.
+        self.overflow: List[PartialMatch] = []
+        self.overflow_trigs: List[int] = []
+
+    def add(self, pm: PartialMatch) -> None:
+        try:
+            key = self.key_of(pm.bindings)
+        except KeyError:
+            # Missing attribute: the equality predicate evaluates False
+            # against every probe, so the entry is unreachable through
+            # this index and needs no bucket.
+            return
+        try:
+            bucket = self.buckets.get(key)
+        except TypeError:
+            # Unhashable value: equality could still hold, so keep the
+            # entry probe-visible in the overflow.
+            self.overflow.append(pm)
+            self.overflow_trigs.append(pm.trigger_seq)
+            return
+        if bucket is None:
+            self.buckets[key] = ([pm], [pm.trigger_seq])
+        else:
+            bucket[0].append(pm)
+            bucket[1].append(pm.trigger_seq)
+
+
+class PartialMatchStore:
+    """Trigger-ordered partial matches with hash probes and fast expiry.
+
+    One store backs one runtime node (a tree-plan node, an NFA chain
+    state, or a shared DAG node).  Insertion order is trigger order —
+    engines insert a partial match while processing its trigger event —
+    which makes every run binary-searchable by ``trigger_seq``.  The
+    expiry run is kept sorted by ``min_ts`` so window expiry is a
+    watermark check plus a bisected prefix drop.
+    """
+
+    __slots__ = (
+        "_pms",
+        "_trigs",
+        "_ids",
+        "_dead",
+        "_indexes",
+        "_exp_ts",
+        "_exp_pms",
+        "metrics",
+    )
+
+    def __init__(self, metrics: Optional[EngineMetrics] = None) -> None:
+        self._pms: List[PartialMatch] = []  # primary run, trigger order
+        self._trigs: List[int] = []
+        self._ids: set = set()  # id() of live entries
+        self._dead = 0  # tombstones awaiting compaction
+        self._indexes: List[_Index] = []
+        self._exp_ts: List[float] = []  # min_ts, sorted
+        self._exp_pms: List[PartialMatch] = []
+        self.metrics = metrics
+
+    # -- setup --------------------------------------------------------------
+    def add_index(self, key_of: KeyFn) -> int:
+        """Register a hash access path; returns its probe handle."""
+        if self._pms:
+            raise ValueError("indexes must be registered before inserts")
+        self._indexes.append(_Index(key_of))
+        return len(self._indexes) - 1
+
+    @property
+    def indexed(self) -> bool:
+        return bool(self._indexes)
+
+    def index_exact(self, index_id: int) -> bool:
+        """True when every candidate :meth:`probe` yields for this index
+        is bucket-guaranteed to satisfy the extracted equalities.
+
+        False while unhashable-key overflow entries exist — callers must
+        then evaluate the full predicate list on the candidates instead
+        of skipping the extracted equalities.
+        """
+        return not self._indexes[index_id].overflow
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, pm: PartialMatch) -> None:
+        self._pms.append(pm)
+        self._trigs.append(pm.trigger_seq)
+        self._ids.add(id(pm))
+        for index in self._indexes:
+            index.add(pm)
+        position = bisect_left(self._exp_ts, pm.min_ts)
+        self._exp_ts.insert(position, pm.min_ts)
+        self._exp_pms.insert(position, pm)
+
+    def expire(self, cutoff: float) -> int:
+        """Drop entries with ``min_ts < cutoff``; returns how many died.
+
+        O(1) when the watermark (smallest live ``min_ts``) is inside the
+        window; otherwise one bisect plus O(expired) tombstoning.
+        """
+        exp_ts = self._exp_ts
+        if not exp_ts or exp_ts[0] >= cutoff:
+            return 0
+        boundary = bisect_left(exp_ts, cutoff)
+        ids = self._ids
+        expired = 0
+        for pm in self._exp_pms[:boundary]:
+            key = id(pm)
+            if key in ids:
+                ids.remove(key)
+                expired += 1
+        del exp_ts[:boundary]
+        del self._exp_pms[:boundary]
+        self._dead += expired
+        if self.metrics is not None:
+            self.metrics.pm_expired += expired
+        self._maybe_compact()
+        return expired
+
+    def discard(self, pm: PartialMatch) -> None:
+        """Remove one entry by identity (restrictive-strategy advance)."""
+        key = id(pm)
+        if key in self._ids:
+            self._ids.remove(key)
+            self._dead += 1
+            self._maybe_compact()
+
+    def purge_seqs(self, seqs: frozenset) -> int:
+        """Tombstone every entry using one of the consumed events."""
+        dead = [pm for pm in self if pm.event_seqs() & seqs]
+        for pm in dead:
+            self._ids.remove(id(pm))
+        self._dead += len(dead)
+        self._maybe_compact()
+        return len(dead)
+
+    # -- access -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[PartialMatch]:
+        """Live entries in insertion (trigger) order."""
+        ids = self._ids
+        for pm in self._pms:
+            if id(pm) in ids:
+                yield pm
+
+    def iter_before(self, trigger_seq: int) -> Iterator[PartialMatch]:
+        """Live entries with ``trigger_seq`` strictly below the bound."""
+        boundary = bisect_left(self._trigs, trigger_seq)
+        ids = self._ids
+        for pm in self._pms[:boundary]:
+            if id(pm) in ids:
+                yield pm
+
+    def probe(
+        self, index_id: int, key: tuple, trigger_seq: int
+    ) -> Iterator[PartialMatch]:
+        """Bucket candidates with ``trigger_seq`` strictly below the bound.
+
+        The bucket holds exactly the entries whose equality key matches
+        (plus, rarely, unhashable overflow entries); residual predicates
+        are evaluated by the caller, so a spurious bucket hit can never
+        produce a spurious match.
+        """
+        index = self._indexes[index_id]
+        metrics = self.metrics
+        try:
+            bucket = index.buckets.get(key)
+        except TypeError:  # unhashable probe key
+            if metrics is not None:
+                metrics.index_probes += 1
+                metrics.index_misses += 1
+            yield from self.iter_before(trigger_seq)
+            return
+        ids = self._ids
+        if metrics is not None:
+            metrics.index_probes += 1
+            if bucket is None:
+                metrics.index_misses += 1
+            else:
+                metrics.index_hits += 1
+        if bucket is not None:
+            pms, trigs = bucket
+            boundary = bisect_left(trigs, trigger_seq)
+            if index.overflow:
+                # Rare path: merge the bucket with the unhashable-key
+                # overflow in trigger order so "first candidate"
+                # semantics (restrictive strategies) stay exact.
+                over = index.overflow[
+                    : bisect_left(index.overflow_trigs, trigger_seq)
+                ]
+                merged = sorted(
+                    pms[:boundary] + over, key=lambda p: p.trigger_seq
+                )
+                for pm in merged:
+                    if id(pm) in ids:
+                        yield pm
+                return
+            for pm in pms[:boundary]:
+                if id(pm) in ids:
+                    yield pm
+        elif index.overflow:
+            boundary = bisect_left(index.overflow_trigs, trigger_seq)
+            for pm in index.overflow[:boundary]:
+                if id(pm) in ids:
+                    yield pm
+
+    # -- housekeeping --------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        if self._dead < _COMPACT_MIN_DEAD or self._dead <= len(self._ids):
+            return
+        ids = self._ids
+        self._pms = [pm for pm in self._pms if id(pm) in ids]
+        self._trigs = [pm.trigger_seq for pm in self._pms]
+        keep = [
+            (ts, pm)
+            for ts, pm in zip(self._exp_ts, self._exp_pms)
+            if id(pm) in ids
+        ]
+        self._exp_ts = [ts for ts, _ in keep]
+        self._exp_pms = [pm for _, pm in keep]
+        for index in self._indexes:
+            for key in list(index.buckets):
+                pms, _ = index.buckets[key]
+                alive = [pm for pm in pms if id(pm) in ids]
+                if alive:
+                    index.buckets[key] = (
+                        alive,
+                        [pm.trigger_seq for pm in alive],
+                    )
+                else:
+                    del index.buckets[key]
+            if index.overflow:
+                index.overflow = [
+                    pm for pm in index.overflow if id(pm) in ids
+                ]
+                index.overflow_trigs = [
+                    pm.trigger_seq for pm in index.overflow
+                ]
+        self._dead = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialMatchStore({len(self._ids)} live, "
+            f"{len(self._indexes)} indexes, {self._dead} tombstones)"
+        )

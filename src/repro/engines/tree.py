@@ -18,6 +18,13 @@ integration tests assert.
 Leaf stores *are* the event buffers here, which matches the tree cost
 model: a leaf contributes ``PM(l) = W·r_i`` (Section 4.2), so leaf
 instances are counted as partial matches rather than as buffered events.
+
+Every node's store is a :class:`~repro.engines.stores.PartialMatchStore`:
+``Attr == Attr`` cross-predicates of a join hash-partition both child
+stores at build time (``_pairings`` probes one bucket instead of
+scanning the sibling), window expiry is watermark-gated with a bisected
+prefix drop, and the strictly-earlier trigger bound is a binary search.
+None of this changes which instances exist — only how they are reached.
 """
 
 from __future__ import annotations
@@ -32,6 +39,12 @@ from ..plans.tree_plan import TreeNode, TreePlan
 from .base import SELECTION_ANY, BaseEngine
 from .matches import Match, PartialMatch
 from .negation import PreparedSpec
+from .stores import (
+    PartialMatchStore,
+    equality_key_pairs,
+    make_key_fn,
+    probe_key,
+)
 
 
 class _RuntimeNode:
@@ -44,9 +57,12 @@ class _RuntimeNode:
         "sibling",
         "store",
         "cross_predicates",
+        "residual_predicates",
         "negation_specs",
         "is_leaf",
         "variable",
+        "probe_index",
+        "probe_key_of",
     )
 
     def __init__(self, plan_node: TreeNode) -> None:
@@ -54,11 +70,20 @@ class _RuntimeNode:
         self.variables = frozenset(plan_node.leaf_variables)
         self.parent: Optional["_RuntimeNode"] = None
         self.sibling: Optional["_RuntimeNode"] = None
-        self.store: list[PartialMatch] = []
+        self.store: PartialMatchStore = None  # set by TreeEngine._build
         self.cross_predicates: list[Predicate] = []
+        # cross_predicates minus the equalities the hash index already
+        # guarantees; evaluated on bucket candidates (scans use the full
+        # list).
+        self.residual_predicates: list[Predicate] = []
         self.negation_specs: list[PreparedSpec] = []
         self.is_leaf = plan_node.is_leaf
         self.variable = plan_node.variable
+        # Hash access path into sibling.store (see repro.engines.stores):
+        # probe_key_of maps this node's bindings to the probe key;
+        # probe_index is the handle registered on the sibling's store.
+        self.probe_index: Optional[int] = None
+        self.probe_key_of = None
 
 
 class TreeEngine(BaseEngine):
@@ -71,12 +96,14 @@ class TreeEngine(BaseEngine):
         selection: str = SELECTION_ANY,
         max_kleene_size: Optional[int] = None,
         pattern_name: Optional[str] = None,
+        indexed: bool = True,
     ) -> None:
         super().__init__(
             decomposed,
             selection=selection,
             max_kleene_size=max_kleene_size,
             pattern_name=pattern_name,
+            indexed=indexed,
         )
         plan.validate_for(decomposed)
         self.plan = plan
@@ -91,6 +118,7 @@ class TreeEngine(BaseEngine):
     ) -> _RuntimeNode:
         runtime = _RuntimeNode(plan_node)
         runtime.parent = parent
+        runtime.store = PartialMatchStore(self.metrics)
         self._nodes.append(runtime)
         if plan_node.is_leaf:
             self._leaf_for[plan_node.variable] = runtime
@@ -110,7 +138,39 @@ class TreeEngine(BaseEngine):
                     or (p.variables[0] in right_set and p.variables[1] in left_set)
                 )
             ]
+            if self.indexed:
+                self._index_children(runtime, left, right)
         return runtime
+
+    def _index_children(
+        self, runtime: _RuntimeNode, left: _RuntimeNode, right: _RuntimeNode
+    ) -> None:
+        """Hash-partition both child stores on the join's equality keys.
+
+        Each child probes its sibling, so the index on the left store is
+        keyed by the left-side attributes and probed with keys computed
+        from right-side bindings — and vice versa.  The extracted
+        predicates remain in ``cross_predicates``: the bucket is only an
+        access path, residual evaluation stays exact.
+        """
+        left_spec, right_spec, extracted = equality_key_pairs(
+            runtime.cross_predicates,
+            left.variables,
+            right.variables,
+            self._kleene,
+        )
+        if not left_spec:
+            return
+        skip = set(map(id, extracted))
+        runtime.residual_predicates = [
+            p for p in runtime.cross_predicates if id(p) not in skip
+        ]
+        left_key = make_key_fn(left_spec)
+        right_key = make_key_fn(right_spec)
+        left.probe_index = right.store.add_index(right_key)
+        left.probe_key_of = left_key
+        right.probe_index = left.store.add_index(left_key)
+        right.probe_key_of = right_key
 
     def _attach_negation_specs(self) -> None:
         """Place each bounded spec at the lowest node covering its deps —
@@ -207,23 +267,39 @@ class TreeEngine(BaseEngine):
                 if match is not None:
                     matches.append(match)
                 continue
-            node.store.append(pm)
+            node.store.insert(pm)
             queue.extend(self._pairings(pm, node))
         return matches
 
     def _pairings(
         self, pm: PartialMatch, node: _RuntimeNode
     ) -> list[tuple[PartialMatch, _RuntimeNode]]:
-        """Combine a new instance with earlier sibling instances."""
+        """Combine a new instance with earlier sibling instances.
+
+        With an equality index the sibling store yields one hash bucket
+        (already bounded to strictly earlier triggers); otherwise the
+        trigger bound is still a bisect, never a per-element check.
+        """
         sibling = node.sibling
         parent = node.parent
         if sibling is None or parent is None:
             return []
+        candidates = None
+        predicates = parent.cross_predicates
+        if node.probe_key_of is not None:
+            key = probe_key(node.probe_key_of, pm.bindings)
+            if key is not None:
+                candidates = sibling.store.probe(
+                    node.probe_index, key, pm.trigger_seq
+                )
+                if sibling.store.index_exact(node.probe_index):
+                    # Bucket-guaranteed: skip the extracted equalities.
+                    predicates = parent.residual_predicates
+        if candidates is None:
+            candidates = sibling.store.iter_before(pm.trigger_seq)
         created: list[tuple[PartialMatch, _RuntimeNode]] = []
-        for other in sibling.store:
-            if other.trigger_seq >= pm.trigger_seq:
-                continue
-            merged = self._try_merge(pm, other, parent)
+        for other in candidates:
+            merged = self._try_merge(pm, other, parent, predicates)
             if merged is not None:
                 created.append((merged, parent))
                 if self._consuming:
@@ -235,6 +311,7 @@ class TreeEngine(BaseEngine):
         pm: PartialMatch,
         other: PartialMatch,
         parent: _RuntimeNode,
+        predicates: Optional[list] = None,
     ) -> Optional[PartialMatch]:
         if pm.event_seqs() & other.event_seqs():
             return None
@@ -249,7 +326,9 @@ class TreeEngine(BaseEngine):
         ):
             return None
         merged = pm.merged(other, max(pm.trigger_seq, other.trigger_seq))
-        for predicate in parent.cross_predicates:
+        if predicates is None:
+            predicates = parent.cross_predicates
+        for predicate in predicates:
             self.metrics.predicate_evaluations += 1
             if not predicate.evaluate(merged.bindings):
                 return None
@@ -263,16 +342,14 @@ class TreeEngine(BaseEngine):
 
     # -- housekeeping ---------------------------------------------------------------
     def _expire_instances(self) -> None:
+        """Watermark-gated: O(1) per node until something can expire."""
         cutoff = self._now - self.window
         for node in self._nodes:
-            if node.store:
-                node.store = [pm for pm in node.store if pm.min_ts >= cutoff]
+            node.store.expire(cutoff)
 
     def _purge_consumed(self, seqs: frozenset) -> None:
         for node in self._nodes:
-            node.store = [
-                pm for pm in node.store if not (pm.event_seqs() & seqs)
-            ]
+            node.store.purge_seqs(seqs)
 
     def _note_state(self) -> None:
         live = sum(len(node.store) for node in self._nodes) + len(self._pending)

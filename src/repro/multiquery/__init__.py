@@ -115,6 +115,7 @@ def run_workload(
     cost_model: Optional[CostModel] = None,
     share_filter: Optional[ShareFilter] = None,
     max_kleene_size: Optional[int] = None,
+    indexed: bool = True,
     **optimizer_kwargs,
 ) -> WorkloadResult:
     """Plan and execute a whole workload against one stream.
@@ -140,7 +141,9 @@ def run_workload(
         share_filter=share_filter,
         **optimizer_kwargs,
     )
-    engine = MultiQueryEngine(plan, max_kleene_size=max_kleene_size)
+    engine = MultiQueryEngine(
+        plan, max_kleene_size=max_kleene_size, indexed=indexed
+    )
     started = time.perf_counter()
     matches = engine.run(stream)
     wall = time.perf_counter() - started

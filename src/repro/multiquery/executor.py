@@ -27,6 +27,13 @@ equivalence tests assert.
 Only skip-till-any-match workloads are supported: the restrictive
 selection strategies consume events per query, which is incompatible
 with cross-query shared state.
+
+Shared nodes store their instances in the same
+:class:`~repro.engines.stores.PartialMatchStore` as the single-query
+engines: every DAG edge whose join carries ``Attr == Attr`` predicates
+registers a hash index on the sibling's store (translated through the
+edge renaming), and per-node window expiry is watermark-gated instead
+of allocating a fresh list per shared node per event.
 """
 
 from __future__ import annotations
@@ -39,6 +46,12 @@ from ..engines.base import _PendingMatch
 from ..engines.matches import Match, PartialMatch
 from ..engines.metrics import EngineMetrics
 from ..engines.negation import NegationChecker, PreparedSpec
+from ..engines.stores import (
+    PartialMatchStore,
+    equality_key_pairs,
+    make_key_fn,
+    probe_key,
+)
 from ..events import Event, Stream
 from .sharing import QueryRoot, SharedJoin, SharedLeaf, SharedPlan
 
@@ -148,17 +161,50 @@ class _QueryState:
         return released
 
 
+class _Edge:
+    """One parent hookup of a DAG node: renames plus the probe path.
+
+    ``probe_index``/``probe_key_of`` are set when the parent join has
+    ``Attr == Attr`` cross-predicates: the sibling's store then carries a
+    hash index keyed on its side of those predicates, and this node's
+    bindings supply the probe key (see :mod:`repro.engines.stores`).
+    """
+
+    __slots__ = (
+        "parent",
+        "my_map",
+        "other_map",
+        "sibling",
+        "probe_index",
+        "probe_key_of",
+        "residual_predicates",
+    )
+
+    def __init__(self, parent, my_map, other_map, sibling) -> None:
+        self.parent = parent
+        self.my_map = my_map
+        self.other_map = other_map
+        self.sibling = sibling
+        self.probe_index: Optional[int] = None
+        self.probe_key_of = None
+        # cross_predicates minus the equalities the hash bucket already
+        # guarantees; evaluated on bucket candidates only.
+        self.residual_predicates: Tuple = ()
+
+
 class _RuntimeNode:
     """Mutable store attached to one shared plan node."""
 
-    __slots__ = ("spec", "store", "parents", "states")
+    __slots__ = ("spec", "store", "parents", "states", "kleene")
 
-    def __init__(self, spec) -> None:
+    def __init__(self, spec, metrics: EngineMetrics) -> None:
         self.spec = spec
-        self.store: List[PartialMatch] = []
-        # (parent runtime node, my_map, other_map, sibling runtime node)
-        self.parents: List[Tuple["_RuntimeNode", dict, dict, "_RuntimeNode"]] = []
+        self.store = PartialMatchStore(metrics)
+        self.parents: List[_Edge] = []
         self.states: List[_QueryState] = []
+        # Variables (in this node's representative namespace) bound to
+        # Kleene tuples — excluded from equality keys.
+        self.kleene: frozenset = frozenset()
 
 
 class MultiQueryEngine:
@@ -176,27 +222,42 @@ class MultiQueryEngine:
         self,
         plan: SharedPlan,
         max_kleene_size: Optional[int] = None,
+        indexed: bool = True,
     ) -> None:
         self.plan = plan
         self.max_kleene_size = max_kleene_size
+        self.indexed = indexed
         self.metrics = EngineMetrics()
         self._now = float("-inf")
         self._event_wall_started = 0.0
 
         runtime: Dict[int, _RuntimeNode] = {}
-        for node in plan.nodes:
-            runtime[node.index] = _RuntimeNode(node)
+        for node in plan.nodes:  # topological: children precede parents
+            rt = _RuntimeNode(node, self.metrics)
+            runtime[node.index] = rt
+            if isinstance(node, SharedLeaf):
+                if node.kleene:
+                    rt.kleene = frozenset((node.variable,))
+            elif isinstance(node, SharedJoin):
+                rt.kleene = frozenset(
+                    node.left_map[v]
+                    for v in runtime[node.left.index].kleene
+                ) | frozenset(
+                    node.right_map[v]
+                    for v in runtime[node.right.index].kleene
+                )
+        self._runtime = runtime
         for node in plan.nodes:
             if isinstance(node, SharedJoin):
                 parent = runtime[node.index]
                 left = runtime[node.left.index]
                 right = runtime[node.right.index]
-                left.parents.append(
-                    (parent, node.left_map, node.right_map, right)
-                )
-                right.parents.append(
-                    (parent, node.right_map, node.left_map, left)
-                )
+                left_edge = _Edge(parent, node.left_map, node.right_map, right)
+                right_edge = _Edge(parent, node.right_map, node.left_map, left)
+                left.parents.append(left_edge)
+                right.parents.append(right_edge)
+                if indexed:
+                    self._index_join(node, left, right, left_edge, right_edge)
         self._nodes = [runtime[node.index] for node in plan.nodes]
         self._leaves = [
             runtime[node.index]
@@ -209,6 +270,49 @@ class MultiQueryEngine:
             runtime[root.node.index].states.append(state)
             self._states.append(state)
 
+    def _index_join(
+        self,
+        node: SharedJoin,
+        left: _RuntimeNode,
+        right: _RuntimeNode,
+        left_edge: _Edge,
+        right_edge: _Edge,
+    ) -> None:
+        """Hash-partition both child stores on the join's equality keys.
+
+        The cross-predicates live in the join's namespace; the key specs
+        are translated back through the edge renamings so each child
+        store is keyed directly over its own representative bindings.
+        A self-join (both edges onto the same store) simply registers
+        two indexes there.
+        """
+        left_spec, right_spec, extracted = equality_key_pairs(
+            node.cross_predicates,
+            set(node.left_map.values()),
+            set(node.right_map.values()),
+            self._runtime[node.index].kleene,
+        )
+        if not left_spec:
+            return
+        skip = set(map(id, extracted))
+        residual = tuple(
+            p for p in node.cross_predicates if id(p) not in skip
+        )
+        left_edge.residual_predicates = residual
+        right_edge.residual_predicates = residual
+        inv_left = {pv: cv for cv, pv in node.left_map.items()}
+        inv_right = {pv: cv for cv, pv in node.right_map.items()}
+        left_key = make_key_fn(
+            tuple((inv_left[v], attr) for v, attr in left_spec)
+        )
+        right_key = make_key_fn(
+            tuple((inv_right[v], attr) for v, attr in right_spec)
+        )
+        left_edge.probe_index = right.store.add_index(right_key)
+        left_edge.probe_key_of = left_key
+        right_edge.probe_index = left.store.add_index(left_key)
+        right_edge.probe_key_of = right_key
+
     # -- public API ---------------------------------------------------------
     def process(self, event: Event) -> List[Match]:
         """Feed one event; return the matches it completed, all queries."""
@@ -218,11 +322,9 @@ class MultiQueryEngine:
 
         matches: List[Match] = []
         for node in self._nodes:
-            if node.store:
-                cutoff = event.timestamp - node.spec.window
-                node.store = [
-                    pm for pm in node.store if pm.min_ts >= cutoff
-                ]
+            # Watermark-gated: an O(1) no-op until an instance at this
+            # node can actually expire (no per-node list per event).
+            node.store.expire(event.timestamp - node.spec.window)
         for state in self._states:
             matches.extend(state.advance(self._now, self))
         for state in self._states:
@@ -286,27 +388,40 @@ class MultiQueryEngine:
                 if match is not None:
                     matches.append(match)
             if node.parents:
-                node.store.append(pm)
-                for parent, my_map, other_map, sibling in node.parents:
-                    queue.extend(
-                        self._pairings(pm, my_map, other_map, sibling, parent)
-                    )
+                node.store.insert(pm)
+                for edge in node.parents:
+                    queue.extend(self._pairings(pm, edge))
         return matches
 
     def _pairings(
-        self,
-        pm: PartialMatch,
-        my_map: dict,
-        other_map: dict,
-        sibling: _RuntimeNode,
-        parent: _RuntimeNode,
+        self, pm: PartialMatch, edge: _Edge
     ) -> List[Tuple[PartialMatch, _RuntimeNode]]:
-        """Combine a new instance with earlier instances of the sibling."""
+        """Combine a new instance with earlier instances of the sibling.
+
+        With an equality index the sibling store yields one hash bucket
+        (already bounded to strictly earlier triggers); otherwise the
+        trigger bound is still a bisect, never a per-element check.
+        """
+        sibling = edge.sibling
+        candidates = None
+        predicates = edge.parent.spec.cross_predicates
+        if edge.probe_key_of is not None:
+            key = probe_key(edge.probe_key_of, pm.bindings)
+            if key is not None:
+                candidates = sibling.store.probe(
+                    edge.probe_index, key, pm.trigger_seq
+                )
+                if sibling.store.index_exact(edge.probe_index):
+                    # Bucket-guaranteed: skip the extracted equalities.
+                    predicates = edge.residual_predicates
+        if candidates is None:
+            candidates = sibling.store.iter_before(pm.trigger_seq)
         created: List[Tuple[PartialMatch, _RuntimeNode]] = []
-        for other in sibling.store:
-            if other.trigger_seq >= pm.trigger_seq:
-                continue
-            merged = self._try_merge(pm, my_map, other, other_map, parent)
+        parent = edge.parent
+        for other in candidates:
+            merged = self._try_merge(
+                pm, edge.my_map, other, edge.other_map, parent, predicates
+            )
             if merged is not None:
                 created.append((merged, parent))
         return created
@@ -318,6 +433,7 @@ class MultiQueryEngine:
         other: PartialMatch,
         other_map: dict,
         parent: _RuntimeNode,
+        predicates=None,
     ) -> Optional[PartialMatch]:
         if pm.event_seqs() & other.event_seqs():
             return None
@@ -334,7 +450,9 @@ class MultiQueryEngine:
             min_ts,
             max_ts,
         )
-        for predicate in parent.spec.cross_predicates:
+        if predicates is None:
+            predicates = parent.spec.cross_predicates
+        for predicate in predicates:
             self.metrics.predicate_evaluations += 1
             if not predicate.evaluate(merged.bindings):
                 return None

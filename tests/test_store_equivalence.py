@@ -1,0 +1,134 @@
+"""Indexed stores change access paths, never match sets.
+
+Randomized-stream property tests (seeded, deterministic) asserting that
+every runtime with the new indexed stores — TreeEngine, NFAEngine, and
+MultiQueryEngine — reports a match sequence identical to the seed
+linear-store evaluation (``indexed=False``), across equality-heavy,
+pure-theta, Kleene, and negation patterns, under both skip-till-any and
+the consuming skip-till-next strategy.  Identity is asserted on the
+*ordered* list of match keys, which is stronger than set equality: the
+bucketed probes must reproduce the linear scan's emission order exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engines import NFAEngine, TreeEngine, reference_match_keys
+from repro.events import Event, Stream
+from repro.multiquery import Workload, plan_workload
+from repro.multiquery.executor import MultiQueryEngine
+from repro.patterns import decompose, parse_pattern
+from repro.plans import enumerate_bushy_trees, enumerate_orders
+from repro.stats import estimate_pattern_catalog
+
+#: (name, pattern text) — one per store-sensitive pattern family.
+PATTERNS = [
+    ("equality", "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x AND b.x = c.x WITHIN 4"),
+    ("theta", "PATTERN AND(A a, B b, C c) WHERE a.x < b.x WITHIN 3"),
+    ("mixed", "PATTERN SEQ(A a, B b, C c, D d) WHERE a.x = d.x AND b.x < c.x WITHIN 3"),
+    ("kleene", "PATTERN SEQ(A a, KL(B b), C c) WHERE a.x = c.x WITHIN 4"),
+    ("negation", "PATTERN SEQ(A a, NOT(B b), C c) WHERE a.x = c.x AND b.x = a.x WITHIN 4"),
+]
+
+SEEDS = (3, 17, 51)
+
+
+def rand_stream(seed: int, count: int = 60, types: str = "ABCD") -> Stream:
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(count):
+        t += rng.uniform(0.05, 0.5)
+        events.append(Event(rng.choice(types), t, {"x": rng.randrange(3)}))
+    return Stream(events)
+
+
+def keys_of(matches) -> list:
+    return [m.key() for m in matches]
+
+
+@pytest.mark.parametrize("name,text", PATTERNS, ids=[n for n, _ in PATTERNS])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tree_and_nfa_indexed_match_linear(name, text, seed):
+    stream = rand_stream(seed)
+    d = decompose(parse_pattern(text))
+    kwargs = {"max_kleene_size": 3} if name == "kleene" else {}
+    reference = reference_match_keys(stream=stream, decomposed=d, **kwargs)
+    for tree in list(enumerate_bushy_trees(d.positive_variables))[:4]:
+        linear = TreeEngine(d, tree, indexed=False, **kwargs).run(stream)
+        indexed = TreeEngine(d, tree, indexed=True, **kwargs).run(stream)
+        assert keys_of(indexed) == keys_of(linear)
+        assert set(keys_of(indexed)) == reference
+    for order in list(enumerate_orders(d.positive_variables))[:4]:
+        linear = NFAEngine(d, order, indexed=False, **kwargs).run(stream)
+        indexed = NFAEngine(d, order, indexed=True, **kwargs).run(stream)
+        assert keys_of(indexed) == keys_of(linear)
+        assert set(keys_of(indexed)) == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("selection", ["next", "strict"])
+def test_consuming_strategies_indexed_match_linear(seed, selection):
+    """Restrictive strategies exercise tombstone purges + first-pairing
+    semantics through the bucketed probes."""
+    stream = rand_stream(seed, count=80, types="ABC")
+    d = decompose(
+        parse_pattern("PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 5")
+    )
+    for tree in list(enumerate_bushy_trees(d.positive_variables))[:3]:
+        linear = TreeEngine(d, tree, selection=selection, indexed=False)
+        indexed = TreeEngine(d, tree, selection=selection, indexed=True)
+        assert keys_of(indexed.run(stream)) == keys_of(linear.run(stream))
+    for order in list(enumerate_orders(d.positive_variables))[:3]:
+        linear = NFAEngine(d, order, selection=selection, indexed=False)
+        indexed = NFAEngine(d, order, selection=selection, indexed=True)
+        assert keys_of(indexed.run(stream)) == keys_of(linear.run(stream))
+
+
+def test_unhashable_key_values_indexed_match_linear():
+    """Regression: unhashable attribute values route through the
+    overflow, which is *not* bucket-guaranteed — the full predicate set
+    (not the residuals) must apply to those candidates."""
+    events = [
+        Event("A", 0.1, {"k": [1, 2]}),
+        Event("A", 0.2, {"k": [9, 9]}),
+        Event("B", 0.3, {"k": [1, 2]}),
+        Event("B", 0.4, {"k": 5}),
+        Event("A", 0.5, {"k": 5}),
+        Event("B", 0.6, {"k": [9, 9]}),
+    ]
+    stream = Stream(events)
+    d = decompose(parse_pattern("PATTERN SEQ(A a, B b) WHERE a.k = b.k WITHIN 2"))
+    for tree in enumerate_bushy_trees(d.positive_variables):
+        linear = TreeEngine(d, tree, indexed=False).run(stream)
+        indexed = TreeEngine(d, tree, indexed=True).run(stream)
+        assert keys_of(indexed) == keys_of(linear)
+    for order in enumerate_orders(d.positive_variables):
+        linear = NFAEngine(d, order, indexed=False).run(stream)
+        indexed = NFAEngine(d, order, indexed=True).run(stream)
+        assert keys_of(indexed) == keys_of(linear)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multiquery_indexed_matches_linear(seed):
+    stream = rand_stream(seed, count=70)
+    workload = Workload(
+        [
+            "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 4",
+            "PATTERN SEQ(A a, B b, D d) WHERE a.x = b.x AND b.x = d.x WITHIN 4",
+            "PATTERN AND(A a, D d) WHERE a.x < d.x WITHIN 3",
+        ]
+    )
+    catalogs = {
+        name: estimate_pattern_catalog(pattern, stream)
+        for name, pattern in workload.items()
+    }
+    plan = plan_workload(workload, catalogs, algorithm="GREEDY")
+    assert plan.report.shared_nodes > 0  # the sharing path is exercised
+    linear = MultiQueryEngine(plan, indexed=False).run(stream)
+    indexed = MultiQueryEngine(plan, indexed=True).run(stream)
+    assert set(linear) == set(indexed)
+    for query in linear:
+        assert keys_of(indexed[query]) == keys_of(linear[query])

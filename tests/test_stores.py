@@ -1,0 +1,249 @@
+"""Unit tests for the indexed partial-match stores (repro.engines.stores).
+
+The equivalence guarantees live in test_store_equivalence.py; here we
+pin down the mechanics: key extraction, bucket probing with trigger
+bounds, watermark-gated expiry, tombstone removal, compaction, and the
+degradation paths for unhashable / missing key attributes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.buffers import VariableBuffer
+from repro.engines.matches import PartialMatch
+from repro.engines.metrics import EngineMetrics
+from repro.engines.stores import (
+    PartialMatchStore,
+    equality_key_pairs,
+    make_event_key_fn,
+    make_key_fn,
+)
+from repro.events import Event
+from repro.patterns.predicates import Attr, Comparison, Const, TimestampOrder
+
+
+def ev(type_: str, ts: float, seq: int, **attrs) -> Event:
+    return Event(type_, ts, attrs, seq=seq)
+
+
+def pm_of(variable: str, event: Event) -> PartialMatch:
+    return PartialMatch.singleton(variable, event)
+
+
+class TestEqualityKeyPairs:
+    def test_extracts_spanning_equality(self):
+        preds = [
+            Comparison(Attr("a", "x"), "=", Attr("b", "x")),
+            Comparison(Attr("a", "y"), "<", Attr("b", "y")),
+        ]
+        left, right, extracted = equality_key_pairs(preds, ["a"], ["b"])
+        assert left == (("a", "x"),)
+        assert right == (("b", "x"),)
+
+    def test_orientation_is_normalized(self):
+        preds = [Comparison(Attr("b", "x"), "==", Attr("a", "x"))]
+        left, right, extracted = equality_key_pairs(preds, ["a"], ["b"])
+        assert left == (("a", "x"),)
+        assert right == (("b", "x"),)
+
+    def test_composite_keys_align(self):
+        preds = [
+            Comparison(Attr("a", "x"), "=", Attr("c", "x")),
+            Comparison(Attr("c", "y"), "=", Attr("b", "y")),
+        ]
+        left, right, extracted = equality_key_pairs(preds, ["a", "b"], ["c"])
+        assert len(extracted) == 2
+        assert left == (("a", "x"), ("b", "y"))
+        assert right == (("c", "x"), ("c", "y"))
+
+    def test_excludes_kleene_const_theta_and_same_side(self):
+        preds = [
+            Comparison(Attr("a", "x"), "=", Attr("k", "x")),  # kleene
+            Comparison(Attr("a", "x"), "=", Const(3)),  # unary
+            TimestampOrder("a", "b"),  # theta (op <)
+            Comparison(Attr("a", "x"), "=", Attr("a2", "x")),  # same side
+        ]
+        left, right, extracted = equality_key_pairs(
+            preds, ["a", "a2"], ["k", "b"], kleene=["k"]
+        )
+        assert left == () and right == ()
+
+    def test_key_fns_resolve_bindings_and_events(self):
+        key_of = make_key_fn((("a", "x"), ("b", "y")))
+        a, b = ev("A", 1.0, 1, x=7), ev("B", 2.0, 2, y="s")
+        assert key_of({"a": a, "b": b}) == (7, "s")
+        ev_key = make_event_key_fn((("c", "x"),))
+        assert ev_key(ev("C", 3.0, 3, x=9)) == (9,)
+        assert make_key_fn(()) is None and make_event_key_fn(()) is None
+
+
+class TestPartialMatchStore:
+    def make(self, metrics=None):
+        store = PartialMatchStore(metrics)
+        index = store.add_index(make_key_fn((("a", "x"),)))
+        return store, index
+
+    def test_probe_hits_one_bucket_with_trigger_bound(self):
+        store, index = self.make()
+        pms = [pm_of("a", ev("A", float(i), i, x=i % 2)) for i in range(6)]
+        for pm in pms:
+            store.insert(pm)
+        # key x=0 -> seqs 0,2,4; trigger bound 4 keeps 0 and 2 only.
+        got = list(store.probe(index, (0,), 4))
+        assert [p.trigger_seq for p in got] == [0, 2]
+        assert list(store.probe(index, (5,), 99)) == []
+
+    def test_iter_before_uses_bisect_bound(self):
+        store, _ = self.make()
+        for i in range(5):
+            store.insert(pm_of("a", ev("A", float(i), i, x=0)))
+        assert [p.trigger_seq for p in store.iter_before(3)] == [0, 1, 2]
+
+    def test_expiry_is_watermark_gated_and_counted(self):
+        metrics = EngineMetrics()
+        store, index = self.make(metrics)
+        for i in range(4):
+            store.insert(pm_of("a", ev("A", float(i), i, x=0)))
+        assert store.expire(0.0) == 0  # watermark: nothing can expire
+        assert metrics.pm_expired == 0
+        assert store.expire(2.5) == 3  # min_ts 0,1,2 die
+        assert metrics.pm_expired == 3
+        assert len(store) == 1
+        assert [p.trigger_seq for p in store.probe(index, (0,), 99)] == [3]
+
+    def test_purge_seqs_tombstones_without_rebuild(self):
+        store, index = self.make()
+        pms = [pm_of("a", ev("A", float(i), i, x=0)) for i in range(4)]
+        for pm in pms:
+            store.insert(pm)
+        assert store.purge_seqs(frozenset({1, 3})) == 2
+        assert [p.trigger_seq for p in store] == [0, 2]
+        assert [p.trigger_seq for p in store.probe(index, (0,), 99)] == [0, 2]
+        assert len(store) == 2
+
+    def test_discard_then_compaction_keeps_answers_right(self):
+        store, index = self.make()
+        pms = [pm_of("a", ev("A", float(i), i, x=0)) for i in range(200)]
+        for pm in pms:
+            store.insert(pm)
+        for pm in pms[:150]:  # force compaction (dead > live, dead > 64)
+            store.discard(pm)
+        assert len(store) == 50
+        assert [p.trigger_seq for p in store.probe(index, (0,), 175)] == list(
+            range(150, 175)
+        )
+
+    def test_unhashable_store_key_lands_in_overflow(self):
+        store, index = self.make()
+        weird = pm_of("a", ev("A", 0.0, 0, x=[1, 2]))  # unhashable
+        plain = pm_of("a", ev("A", 1.0, 1, x=5))
+        store.insert(weird)
+        store.insert(plain)
+        # The overflow entry is visible to every probe of that index.
+        assert list(store.probe(index, (5,), 99)) == [weird, plain]
+        assert list(store.probe(index, (6,), 99)) == [weird]
+
+    def test_missing_attr_entry_is_unreachable_via_index(self):
+        store, index = self.make()
+        store.insert(pm_of("a", ev("A", 0.0, 0)))  # no attribute x at all
+        assert list(store.probe(index, (0,), 99)) == []
+        assert len(store) == 1  # still live for scans and accounting
+
+    def test_unhashable_probe_key_degrades_to_scan(self):
+        metrics = EngineMetrics()
+        store, index = self.make(metrics)
+        store.insert(pm_of("a", ev("A", 0.0, 0, x=5)))
+        assert list(store.probe(index, ([1],), 99)) == list(store)
+        assert metrics.index_misses == 1
+
+    def test_probe_metrics(self):
+        metrics = EngineMetrics()
+        store, index = self.make(metrics)
+        store.insert(pm_of("a", ev("A", 0.0, 0, x=5)))
+        list(store.probe(index, (5,), 99))
+        list(store.probe(index, (6,), 99))
+        assert metrics.index_probes == 2
+        assert metrics.index_hits == 1
+        assert metrics.index_misses == 1
+
+    def test_indexes_must_precede_inserts(self):
+        store = PartialMatchStore()
+        store.insert(pm_of("a", ev("A", 0.0, 0, x=1)))
+        with pytest.raises(ValueError):
+            store.add_index(make_key_fn((("a", "x"),)))
+
+
+class TestVariableBuffer:
+    def test_remove_seq_is_a_tombstone(self):
+        buffer = VariableBuffer("a", "A")
+        for i in range(4):
+            buffer.offer(ev("A", float(i), i))
+        buffer.remove_seq(2)
+        assert len(buffer) == 3
+        assert [e.seq for e in buffer] == [0, 1, 3]
+        assert [e.seq for e in buffer.events_before(3)] == [0, 1]
+
+    def test_prune_drains_tombstones_and_expired(self):
+        buffer = VariableBuffer("a", "A")
+        for i in range(4):
+            buffer.offer(ev("A", float(i), i))
+        buffer.remove_seq(0)
+        buffer.prune(1.5)  # drops seq 0 (dead) and seq 1 (expired)
+        assert len(buffer) == 2
+        assert [e.seq for e in buffer] == [2, 3]
+
+    def test_indexed_probe_bucket_and_trigger_bound(self):
+        metrics = EngineMetrics()
+        buffer = VariableBuffer("a", "A", metrics=metrics)
+        buffer.set_index(lambda e: (e["x"],))
+        for i in range(6):
+            buffer.offer(ev("A", float(i), i, x=i % 2))
+        assert [e.seq for e in buffer.probe((0,), 4)] == [0, 2]
+        assert [e.seq for e in buffer.probe((1,), 99)] == [1, 3, 5]
+        assert list(buffer.probe((7,), 99)) == []
+        assert metrics.index_probes == 3
+        assert metrics.index_hits == 2
+
+    def test_probe_respects_prune_and_tombstones(self):
+        buffer = VariableBuffer("a", "A")
+        buffer.set_index(lambda e: (e["x"],))
+        for i in range(6):
+            buffer.offer(ev("A", float(i), i, x=0))
+        buffer.remove_seq(3)
+        buffer.prune(2.0)
+        assert [e.seq for e in buffer.probe((0,), 99)] == [2, 4, 5]
+
+    def test_index_exact_flags_overflow(self):
+        store = PartialMatchStore()
+        index = store.add_index(make_key_fn((("a", "x"),)))
+        store.insert(pm_of("a", ev("A", 0.0, 0, x=5)))
+        assert store.index_exact(index)
+        store.insert(pm_of("a", ev("A", 1.0, 1, x=[1])))  # unhashable
+        assert not store.index_exact(index)
+        buffer = VariableBuffer("a", "A")
+        buffer.set_index(lambda e: (e["x"],))
+        buffer.offer(ev("A", 0.0, 0, x=5))
+        assert buffer.index_exact
+        buffer.offer(ev("A", 1.0, 1, x=[1]))
+        assert not buffer.index_exact
+
+    def test_buffer_index_does_not_leak_unique_keys(self):
+        # Regression: buckets of never-reprobed keys must be reclaimed
+        # by pruning, not retained for the stream's lifetime.
+        buffer = VariableBuffer("a", "A")
+        buffer.set_index(lambda e: (e["x"],))
+        for i in range(5000):
+            buffer.offer(ev("A", float(i), i, x=i))
+            buffer.prune(float(i) - 10.0)
+        assert len(buffer) == 11
+        assert len(buffer._buckets) < 200
+
+    def test_duplicate_unassigned_seqs_count_per_copy(self):
+        # The negation checker buffers events never admitted to a
+        # stream; they all carry seq=-1 and must be counted per copy.
+        buffer = VariableBuffer("n", "B")
+        buffer.offer(ev("B", 1.0, -1))
+        buffer.offer(ev("B", 8.0, -1))
+        buffer.prune(5.0)
+        assert len(buffer) == 1
