@@ -71,7 +71,7 @@ def _independent(workload, stream, catalogs):
 
 def test_fig20_multiquery_sharing(benchmark, env):
     stream = env.stream.take(STREAM_EVENTS)
-    rows = []
+    rows, records = [], []
     final_workload = None
     for count in QUERY_COUNTS:
         workload = _workload(env, count)
@@ -108,6 +108,20 @@ def test_fig20_multiquery_sharing(benchmark, env):
                 f"{count * events / result.wall_seconds:,.0f}",
             ]
         )
+        records.append(
+            {
+                "queries": count,
+                "events": events,
+                "dag_nodes": result.report.dag_nodes,
+                "shared_nodes": result.report.shared_nodes,
+                "cost_savings": result.report.cost_savings,
+                "pm_created_independent": ind_pm,
+                "pm_created_shared": shared_pm,
+                "pm_reduction": 1 - shared_pm / ind_pm,
+                "independent_wall_s": ind_wall,
+                "shared_wall_s": result.wall_seconds,
+            }
+        )
 
     env.write(
         "fig20_multiquery_sharing.txt",
@@ -129,6 +143,7 @@ def test_fig20_multiquery_sharing(benchmark, env):
             ),
         ),
     )
+    env.write_json("BENCH_fig20.json", {"smoke": SMOKE, "runs": records})
 
     catalogs = {n: env.catalog(p) for n, p in final_workload.items()}
     benchmark.pedantic(

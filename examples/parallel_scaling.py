@@ -1,0 +1,122 @@
+"""Parallel partitioned execution: one stream, a pool of workers.
+
+An equi-join pattern whose predicates cover every variable with one
+key class (`a.k = b.k = c.k`) is sharded by **key**: each event routes
+to `hash(k) % workers`, every match forms wholly inside one worker, and
+the merged output is byte-identical to the single-engine run.  A
+pure-theta pattern has no routing key, so it is sharded by
+**overlapping window slices** instead — each slice owns the matches
+that start inside it and drops the boundary copies the overlap
+produces.
+
+The demo runs both partitioners over the same synthetic stream with
+the in-process serial backend (so the example is fast and
+deterministic everywhere) and one process-pool run to show the
+multi-core path; it prints per-run metrics including the new
+``events_routed`` / ``boundary_duplicates_dropped`` /
+``worker_count`` counters.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import random
+
+from repro import (
+    ParallelConfig,
+    ParallelExecutor,
+    build_engines,
+    canonical_order,
+    estimate_pattern_catalog,
+    parse_pattern,
+    plan_pattern,
+)
+from repro.bench import format_table
+from repro.events import Event, Stream
+from repro.parallel import match_records
+
+KEYED = "PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 1.5"
+THETA = "PATTERN SEQ(A a, B b, C c) WHERE a.v < b.v AND b.v < c.v WITHIN 0.8"
+
+
+def make_stream(count: int = 1500, keys: int = 12, seed: int = 7) -> Stream:
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(count):
+        t += rng.uniform(0.01, 0.05)
+        events.append(
+            Event(
+                rng.choice("ABC"),
+                t,
+                {"k": rng.randrange(keys), "v": rng.random()},
+            )
+        )
+    return Stream(events)
+
+
+def main() -> None:
+    stream = make_stream()
+    print(f"stream: {stream}\n")
+
+    rows = []
+    for label, text, partitioner in (
+        ("keyed", KEYED, "key"),
+        ("theta", THETA, "window"),
+    ):
+        pattern = parse_pattern(text)
+        catalog = estimate_pattern_catalog(pattern, stream)
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+
+        serial_matches = build_engines(planned).run(stream)
+        serial_records = match_records(canonical_order(serial_matches))
+
+        for workers, backend in ((1, "serial"), (4, "serial"), (2, "processes")):
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(
+                    workers=workers, partitioner=partitioner, backend=backend
+                ),
+            )
+            matches = executor.run(stream)
+            identical = match_records(matches) == serial_records
+            metrics = executor.metrics
+            rows.append(
+                [
+                    label,
+                    executor.partitioner_name,
+                    backend,
+                    workers,
+                    len(matches),
+                    "yes" if identical else "NO",
+                    metrics.events_routed,
+                    metrics.boundary_duplicates_dropped,
+                    f"{executor.throughput:,.0f}",
+                ]
+            )
+
+    print(
+        format_table(
+            (
+                "pattern",
+                "partitioner",
+                "backend",
+                "workers",
+                "matches",
+                "identical to serial",
+                "events routed",
+                "boundary drops",
+                "ev/s",
+            ),
+            rows,
+            title="Parallel partitioned execution (merged output is canonical)",
+        )
+    )
+    print(
+        "\nEvery row's match list is byte-identical to the single-engine"
+        "\nrun: partitioning changes how the stream is executed, never"
+        "\nwhat it detects.  See benchmarks/bench_fig22_parallel_scaling.py"
+        "\nfor the worker-count throughput sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,23 @@ exactly what independent engines would report::
 Overlapping workload generators live in
 :func:`repro.workloads.generate_overlapping_workload`; the sharing
 sweep is reproduced by ``benchmarks/bench_fig20_multiquery_sharing.py``.
+
+Parallel partitioned execution
+------------------------------
+
+:mod:`repro.parallel` shards one logical stream across a worker pool —
+by equi-join key, by overlapping window slices, or (for workloads) by
+query — and merges match streams into a canonical deterministic order
+identical in content to single-threaded execution::
+
+    from repro import ParallelConfig, build_engines
+
+    executor = build_engines(planned, parallel=ParallelConfig(workers=4))
+    matches = executor.run(stream)
+    executor.metrics.worker_count    # aggregated per-worker metrics
+
+``run_workload(..., parallel=...)`` does the same for multi-query
+plans; the scaling sweep is ``benchmarks/bench_fig22_parallel_scaling.py``.
 """
 
 from .cost import (
@@ -63,11 +80,13 @@ from .engines import (
     OutputProfiler,
     TreeEngine,
     build_engine,
+    build_engine_from_parts,
     build_engines,
 )
 from .errors import (
     EngineError,
     OptimizerError,
+    ParallelError,
     PatternError,
     PatternParseError,
     PlanError,
@@ -75,7 +94,7 @@ from .errors import (
     ReproError,
     StatisticsError,
 )
-from .events import Event, EventType, Stream
+from .events import ChunkedStream, Event, EventType, Stream
 from .multiquery import (
     MultiQueryEngine,
     SharedPlan,
@@ -92,6 +111,7 @@ from .optimizers import (
     make_optimizer,
     plan_pattern,
 )
+from .parallel import ParallelConfig, ParallelExecutor, canonical_order
 from .patterns import (
     Pattern,
     decompose,
@@ -106,7 +126,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CostModel",
@@ -120,9 +140,11 @@ __all__ = [
     "OutputProfiler",
     "TreeEngine",
     "build_engine",
+    "build_engine_from_parts",
     "build_engines",
     "EngineError",
     "OptimizerError",
+    "ParallelError",
     "PatternError",
     "PatternParseError",
     "PlanError",
@@ -132,6 +154,10 @@ __all__ = [
     "Event",
     "EventType",
     "Stream",
+    "ChunkedStream",
+    "ParallelConfig",
+    "ParallelExecutor",
+    "canonical_order",
     "MultiQueryEngine",
     "SharedPlan",
     "SharedPlanOptimizer",

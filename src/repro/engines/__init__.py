@@ -8,7 +8,12 @@ from .base import (
     BaseEngine,
 )
 from .buffers import VariableBuffer
-from .factory import DisjunctionEngine, build_engine, build_engines
+from .factory import (
+    DisjunctionEngine,
+    build_engine,
+    build_engine_from_parts,
+    build_engines,
+)
 from .matches import Match, PartialMatch
 from .metrics import EngineMetrics
 from .negation import NegationChecker
@@ -27,6 +32,7 @@ __all__ = [
     "VariableBuffer",
     "DisjunctionEngine",
     "build_engine",
+    "build_engine_from_parts",
     "build_engines",
     "Match",
     "PartialMatch",

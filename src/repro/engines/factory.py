@@ -13,6 +13,14 @@ Workloads plug in here too: passing a
 :func:`repro.multiquery.plan_workload`) to :func:`build_engines` yields
 the :class:`~repro.multiquery.MultiQueryEngine` executing all queries
 jointly.
+
+Two parallel-runtime hooks live here as well (:mod:`repro.parallel`):
+``build_engines(..., parallel=...)`` wraps the planned patterns in a
+:class:`~repro.parallel.ParallelExecutor` instead of a single-process
+engine, and :func:`build_engine_from_parts` is the worker-side inverse
+of :func:`repro.plans.planned_to_dict` — it rebuilds a runtime engine
+from a decomposed pattern plus a serialized plan dict, which is exactly
+what a worker spec ships.
 """
 
 from __future__ import annotations
@@ -22,11 +30,14 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 if TYPE_CHECKING:  # one-way at runtime: multiquery builds on engines
     from ..multiquery.executor import MultiQueryEngine
     from ..multiquery.sharing import SharedPlan
+    from ..parallel.executor import ParallelConfig, ParallelExecutor
 
 from ..errors import EngineError
 from ..events import Event, Stream
 from ..optimizers.planner import PlannedPattern
+from ..patterns.transformations import DecomposedPattern
 from ..plans.order_plan import OrderPlan
+from ..plans.serialization import plan_from_dict
 from ..plans.tree_plan import TreePlan
 from .base import BaseEngine
 from .matches import Match
@@ -60,16 +71,69 @@ def build_engine(
     raise EngineError(f"unsupported plan type {type(planned.plan).__name__}")
 
 
+def build_engine_from_parts(
+    decomposed: DecomposedPattern,
+    plan_data: dict,
+    selection: str = "any",
+    pattern_name: Optional[str] = None,
+    max_kleene_size: Optional[int] = None,
+    indexed: bool = True,
+) -> BaseEngine:
+    """Rebuild a runtime engine from shipped parts (worker side).
+
+    ``plan_data`` is the ``"plan"`` entry of
+    :func:`repro.plans.planned_to_dict` (or any
+    :func:`repro.plans.plan_to_dict` output); the decomposed pattern
+    travels alongside it.  Dispatches on the reconstructed plan type
+    exactly like :func:`build_engine`.
+    """
+    plan = plan_from_dict(plan_data)
+    common = dict(
+        selection=selection,
+        max_kleene_size=max_kleene_size,
+        pattern_name=pattern_name,
+        indexed=indexed,
+    )
+    if isinstance(plan, OrderPlan):
+        return NFAEngine(decomposed, plan, **common)
+    if isinstance(plan, TreePlan):
+        return TreeEngine(decomposed, plan, **common)
+    raise EngineError(f"unsupported plan type {type(plan).__name__}")
+
+
 def build_engines(
     planned: Union[Sequence[PlannedPattern], "SharedPlan"],
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
-) -> Union[Engine, "MultiQueryEngine"]:
+    parallel: Optional[Union["ParallelConfig", int]] = None,
+) -> Union[Engine, "MultiQueryEngine", "ParallelExecutor"]:
     """Engine for planner output: single engine, disjunction wrapper, or
     — for a :class:`~repro.multiquery.sharing.SharedPlan` — the shared
-    multi-query engine."""
+    multi-query engine.
+
+    ``parallel`` (a :class:`~repro.parallel.ParallelConfig`, or an int
+    taken as the worker count) returns a
+    :class:`~repro.parallel.ParallelExecutor` over the same plans
+    instead: ``run(stream)`` then shards the stream across workers and
+    merges match lists canonically (see :mod:`repro.parallel`).
+    """
     from ..multiquery.sharing import SharedPlan as _SharedPlan
 
+    if parallel is not None:
+        from ..parallel.executor import ParallelConfig as _Config
+        from ..parallel.executor import ParallelExecutor as _Executor
+
+        config = (
+            parallel
+            if isinstance(parallel, _Config)
+            else _Config(workers=int(parallel))
+        )
+        return _Executor(
+            planned,
+            config,
+            max_kleene_size=max_kleene_size,
+            indexed=indexed,
+        )
     if isinstance(planned, _SharedPlan):
         from ..multiquery.executor import MultiQueryEngine as _MultiQueryEngine
 

@@ -9,6 +9,44 @@ The paper's performance metrics (Section 7.2):
   DESIGN.md, "Substitutions");
 * **latency** — per-match detection latency in stream-time units
   (Section 6.1), summarized here.
+
+Field reference
+---------------
+
+======================== =====================================================
+field                    meaning
+======================== =====================================================
+events_processed         primitive events fed to ``process`` by this engine
+matches_emitted          complete matches reported (all queries)
+partial_matches_created  partial-match instances materialized (the paper's
+                         central cost quantity, Section 4)
+peak_partial_matches     max live partial matches + pending matches seen at
+                         any ``note_state`` call (once per event)
+peak_buffered_events     max buffered primitive events (variable buffers
+                         plus negation candidate buffers)
+predicate_evaluations    individual predicate evaluations performed
+index_probes             hash probes against indexed stores
+                         (:mod:`repro.engines.stores`); each probe replaces
+                         a full sibling scan of the seed engines
+index_hits               probes that found a non-empty bucket
+index_misses             probes whose key paired with nothing at all
+pm_expired               partial matches dropped by watermark-gated window
+                         expiry
+events_routed            parallel runtime only (:mod:`repro.parallel`):
+                         event *copies* dispatched to workers.  Events of
+                         types no pattern references are dropped at the
+                         driver under every partitioner; overlapping
+                         window slices and query replication make the
+                         count exceed the relevant-event total
+boundary_duplicates_dropped
+                         parallel runtime only: matches produced by a
+                         window slice that did not own them (the overlap
+                         region) and were filtered before the merge
+worker_count             parallel runtime only: workers the merged metrics
+                         aggregate over (0 for a single-engine run)
+latencies                per-match stream-time detection latencies
+wall_latencies           per-match wall-clock detection latencies (seconds)
+======================== =====================================================
 """
 
 from __future__ import annotations
@@ -18,7 +56,10 @@ from dataclasses import dataclass, field
 
 @dataclass
 class EngineMetrics:
-    """Counters and peaks collected while an engine runs."""
+    """Counters and peaks collected while an engine runs.
+
+    See the module docstring for the full field table.
+    """
 
     events_processed: int = 0
     matches_emitted: int = 0
@@ -26,14 +67,13 @@ class EngineMetrics:
     peak_partial_matches: int = 0
     peak_buffered_events: int = 0
     predicate_evaluations: int = 0
-    # Indexed-store counters (see :mod:`repro.engines.stores`): every
-    # hash probe is a sibling scan the seed engines would have done in
-    # full; a miss means the probing instance paired with nothing at all.
     index_probes: int = 0
     index_hits: int = 0
     index_misses: int = 0
-    # Partial matches dropped by watermark-gated window expiry.
     pm_expired: int = 0
+    events_routed: int = 0
+    boundary_duplicates_dropped: int = 0
+    worker_count: int = 0
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
 
@@ -77,14 +117,27 @@ class EngineMetrics:
     def max_wall_latency(self) -> float:
         return max(self.wall_latencies, default=0.0)
 
-    def merge(self, other: "EngineMetrics") -> "EngineMetrics":
-        """Combine metrics of sub-engines (disjunction patterns).
+    def merge(
+        self, other: "EngineMetrics", disjoint_streams: bool = False
+    ) -> "EngineMetrics":
+        """Combine the metrics of two engines into one report.
 
-        Counters add; peaks add as well because the sub-engines run over
-        the same stream simultaneously, so their live structures coexist.
+        Counters add.  Peaks add as well because the merged engines run
+        concurrently, so their live structures coexist (for sub-engines
+        of a disjunction over one stream, and for parallel workers over
+        stream shards alike).
+
+        ``disjoint_streams`` selects the ``events_processed`` rule:
+        sub-engines of a disjunction see the *same* stream, so the event
+        count is the max; parallel workers each process their own shard,
+        so shard counts add (see :mod:`repro.parallel`).
         """
         merged = EngineMetrics(
-            events_processed=max(self.events_processed, other.events_processed),
+            events_processed=(
+                self.events_processed + other.events_processed
+                if disjoint_streams
+                else max(self.events_processed, other.events_processed)
+            ),
             matches_emitted=self.matches_emitted + other.matches_emitted,
             partial_matches_created=(
                 self.partial_matches_created + other.partial_matches_created
@@ -102,6 +155,12 @@ class EngineMetrics:
             index_hits=self.index_hits + other.index_hits,
             index_misses=self.index_misses + other.index_misses,
             pm_expired=self.pm_expired + other.pm_expired,
+            events_routed=self.events_routed + other.events_routed,
+            boundary_duplicates_dropped=(
+                self.boundary_duplicates_dropped
+                + other.boundary_duplicates_dropped
+            ),
+            worker_count=self.worker_count + other.worker_count,
         )
         merged.latencies = self.latencies + other.latencies
         merged.wall_latencies = self.wall_latencies + other.wall_latencies
@@ -124,4 +183,7 @@ class EngineMetrics:
             "index_hits": self.index_hits,
             "index_misses": self.index_misses,
             "pm_expired": self.pm_expired,
+            "events_routed": self.events_routed,
+            "boundary_duplicates_dropped": self.boundary_duplicates_dropped,
+            "worker_count": self.worker_count,
         }

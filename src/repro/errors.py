@@ -41,3 +41,9 @@ class EngineError(ReproError):
 
 class ReductionError(ReproError):
     """A CPG<->JQPG reduction cannot be applied to the given input."""
+
+
+class ParallelError(ReproError):
+    """The parallel runtime cannot partition or execute the given plan
+    (inapplicable partitioner, unsupported selection strategy, worker
+    failure, unusable routing key, ...)."""

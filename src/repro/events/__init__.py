@@ -1,18 +1,26 @@
 """Event model and stream substrate.
 
 Public names: :class:`Event`, :class:`EventType`, :class:`Stream`,
+:class:`ChunkedStream` (via :meth:`Stream.from_iterable`),
 :func:`read_stream_csv`, :func:`write_stream_csv`.
 """
 
 from .event import Event, EventType
-from .io import read_stream_csv, write_stream_csv
-from .stream import Stream, StreamOrderError, sliding_window_counts
+from .io import StreamFormatError, read_stream_csv, write_stream_csv
+from .stream import (
+    ChunkedStream,
+    Stream,
+    StreamOrderError,
+    sliding_window_counts,
+)
 
 __all__ = [
     "Event",
     "EventType",
     "Stream",
+    "ChunkedStream",
     "StreamOrderError",
+    "StreamFormatError",
     "sliding_window_counts",
     "read_stream_csv",
     "write_stream_csv",

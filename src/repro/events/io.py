@@ -4,6 +4,9 @@ The format is deliberately simple and self-describing: a header row of
 ``type,timestamp,<attr1>,<attr2>,...`` followed by one row per event.
 Attributes absent for an event are stored as empty cells and round-trip to
 missing attributes.  Numeric-looking cells are parsed back to ``float``.
+Malformed input (rows shorter than the reserved columns, empty type
+cells, unparsable timestamps) raises :class:`StreamFormatError` with the
+offending row number rather than an arbitrary low-level exception.
 """
 
 from __future__ import annotations
@@ -12,10 +15,15 @@ import csv
 from pathlib import Path
 from typing import Union
 
+from ..errors import ReproError
 from .event import Event
 from .stream import Stream
 
 _RESERVED = ("type", "timestamp", "partition")
+
+
+class StreamFormatError(ReproError):
+    """A stream CSV file violates the library format."""
 
 
 def write_stream_csv(stream: Stream, path: Union[str, Path]) -> None:
@@ -45,9 +53,29 @@ def read_stream_csv(path: Union[str, Path]) -> Stream:
         header = next(reader, None)
         if header is None:
             return Stream()
+        if [c.strip() for c in header[: len(_RESERVED)]] != list(_RESERVED):
+            raise StreamFormatError(
+                f"header must start with {','.join(_RESERVED)!r} "
+                f"(got {header!r})"
+            )
         attr_names = header[len(_RESERVED):]
-        for row in reader:
+        for line, row in enumerate(reader, start=2):
+            if not row:
+                continue  # blank line
+            if len(row) < len(_RESERVED):
+                raise StreamFormatError(
+                    f"row {line} has {len(row)} cells; at least "
+                    f"{len(_RESERVED)} required: {row!r}"
+                )
             type_name, ts_text, partition = row[0], row[1], row[2]
+            if not type_name:
+                raise StreamFormatError(f"row {line} has an empty type cell")
+            try:
+                timestamp = float(ts_text)
+            except ValueError:
+                raise StreamFormatError(
+                    f"row {line} has unparsable timestamp {ts_text!r}"
+                ) from None
             attributes = {}
             for name, cell in zip(attr_names, row[len(_RESERVED):]):
                 if cell != "":
@@ -55,7 +83,7 @@ def read_stream_csv(path: Union[str, Path]) -> Stream:
             events.append(
                 Event(
                     type_name,
-                    float(ts_text),
+                    timestamp,
                     attributes,
                     partition=partition or None,
                 )

@@ -123,6 +123,92 @@ class Stream:
         merged = heapq.merge(*streams, key=lambda e: e.timestamp)
         return Stream(merged)
 
+    @staticmethod
+    def from_iterable(
+        events: Iterable[Event], chunk_size: int = 1024
+    ) -> "ChunkedStream":
+        """Single-pass stream over a generator, without materialization.
+
+        Events are pulled ``chunk_size`` at a time; each chunk is
+        validated against the timestamp-order invariant (including the
+        boundary with the previous chunk) and sequence-stamped before
+        any of it is yielded, so consumers observe exactly the events a
+        materialized :class:`Stream` of the same input would hold — but
+        only one chunk is ever resident.  This is what the parallel
+        feeder (:mod:`repro.parallel`) and large benchmarks iterate so
+        they never hold the whole event list.
+        """
+        return ChunkedStream(events, chunk_size=chunk_size)
+
+
+class ChunkedStream:
+    """A one-shot, chunk-validated event source (see
+    :meth:`Stream.from_iterable`).
+
+    Supports iteration only — length, duration and random access require
+    materialization (wrap the source in :class:`Stream` for those).  A
+    second iteration raises :class:`~repro.errors.ReproError`: the
+    source generator is consumed.  ``events_seen`` counts the events
+    validated and stamped so far — it advances a whole chunk at a time,
+    ahead of the yield position by up to ``chunk_size - 1``, and is
+    exact after exhaustion.
+    """
+
+    __slots__ = ("_source", "chunk_size", "events_seen", "_consumed")
+
+    def __init__(self, events: Iterable[Event], chunk_size: int = 1024) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._source = iter(events)
+        self.chunk_size = chunk_size
+        self.events_seen = 0
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[Event]:
+        if self._consumed:
+            raise ReproError(
+                "ChunkedStream is single-pass and already consumed; "
+                "materialize with Stream(...) to iterate repeatedly"
+            )
+        self._consumed = True
+        return self._generate()
+
+    def _generate(self) -> Iterator[Event]:
+        last_ts = float("-inf")
+        seq = 0
+        while True:
+            chunk: list[Event] = []
+            for event in self._source:
+                chunk.append(event)
+                if len(chunk) >= self.chunk_size:
+                    break
+            if not chunk:
+                return
+            # Validate the whole chunk (and its boundary with the
+            # previous one) before yielding any of it.
+            stamped: list[Event] = []
+            for event in chunk:
+                if event.timestamp < last_ts:
+                    raise StreamOrderError(
+                        f"event {event!r} arrives before timestamp "
+                        f"{last_ts}; chunked ingestion cannot sort — "
+                        "order the source or materialize with "
+                        "Stream(..., sort=True)"
+                    )
+                last_ts = event.timestamp
+                stamped.append(event.with_seq(seq))
+                seq += 1
+            self.events_seen = seq
+            for event in stamped:
+                yield event
+
+    def __repr__(self) -> str:
+        state = "consumed" if self._consumed else "fresh"
+        return (
+            f"ChunkedStream({state}, chunk_size={self.chunk_size}, "
+            f"events_seen={self.events_seen})"
+        )
+
 
 def sliding_window_counts(
     stream: Stream, window: float, type_name: Optional[str] = None

@@ -116,6 +116,7 @@ def run_workload(
     share_filter: Optional[ShareFilter] = None,
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
+    parallel=None,
     **optimizer_kwargs,
 ) -> WorkloadResult:
     """Plan and execute a whole workload against one stream.
@@ -124,6 +125,16 @@ def run_workload(
     per query.  Returns a :class:`WorkloadResult` with per-query match
     lists, aggregate :class:`~repro.engines.EngineMetrics`, and the
     :class:`SharingReport` of the merged plan.
+
+    ``parallel`` (a :class:`~repro.parallel.ParallelConfig`, or an int
+    worker count) executes the shared plan on the parallel runtime
+    instead of a single :class:`MultiQueryEngine`: the stream is
+    sharded per the configured partitioner — the default ``"auto"``
+    routes by equi-join key when every query admits it and falls back
+    to overlapping window slices; ``partitioner="query"`` splits the
+    DAG's root set round-robin instead — and the per-query match lists
+    come back in canonical order, identical in content to the
+    single-engine run.
     """
     if not isinstance(workload, Workload):
         workload = Workload(workload)
@@ -141,19 +152,42 @@ def run_workload(
         share_filter=share_filter,
         **optimizer_kwargs,
     )
+    if parallel is not None:
+        from ..engines.factory import build_engines
+
+        executor = build_engines(
+            plan,
+            max_kleene_size=max_kleene_size,
+            indexed=indexed,
+            parallel=parallel,
+        )
+        matches = executor.run(stream)
+        return WorkloadResult(
+            matches=matches,
+            metrics=executor.metrics,
+            plan=plan,
+            engine=executor,
+            wall_seconds=executor.wall_seconds,
+            events=executor.events_in,
+        )
     engine = MultiQueryEngine(
         plan, max_kleene_size=max_kleene_size, indexed=indexed
     )
     started = time.perf_counter()
     matches = engine.run(stream)
     wall = time.perf_counter() - started
+    events = (
+        len(stream)
+        if hasattr(stream, "__len__")
+        else engine.metrics.events_processed
+    )
     return WorkloadResult(
         matches=matches,
         metrics=engine.metrics,
         plan=plan,
         engine=engine,
         wall_seconds=wall,
-        events=len(stream),
+        events=events,
     )
 
 

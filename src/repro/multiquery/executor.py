@@ -56,6 +56,23 @@ from ..events import Event, Stream
 from .sharing import QueryRoot, SharedJoin, SharedLeaf, SharedPlan
 
 
+def group_by_query(
+    query_names: Tuple[str, ...], matches: List[Match]
+) -> Dict[str, List[Match]]:
+    """Fan a flat match list out into per-query lists.
+
+    Every query gets an entry (empty list when it matched nothing), in
+    ``query_names`` order — the shape :meth:`MultiQueryEngine.run`
+    returns.  The parallel runtime reuses this to regroup the merged
+    match stream of its workers (:mod:`repro.parallel`), so both
+    execution paths report workload results identically.
+    """
+    grouped: Dict[str, List[Match]] = {name: [] for name in query_names}
+    for match in matches:
+        grouped[match.pattern_name].append(match)
+    return grouped
+
+
 class _QueryState:
     """Per-query runtime: renaming, negation checking, pending matches."""
 
@@ -357,15 +374,11 @@ class MultiQueryEngine:
 
     def run(self, stream: Stream) -> Dict[str, List[Match]]:
         """Process a whole stream; per-query match lists, keyed by name."""
-        grouped: Dict[str, List[Match]] = {
-            name: [] for name in self.plan.query_names
-        }
+        matches: List[Match] = []
         for event in stream:
-            for match in self.process(event):
-                grouped[match.pattern_name].append(match)
-        for match in self.finalize():
-            grouped[match.pattern_name].append(match)
-        return grouped
+            matches.extend(self.process(event))
+        matches.extend(self.finalize())
+        return group_by_query(self.plan.query_names, matches)
 
     def finalize(self) -> List[Match]:
         """Flush pending (trailing-negation) matches of every query."""

@@ -1,0 +1,298 @@
+"""Worker-side execution: engine specs, the task runner, process main.
+
+A worker — whether an OS process, a thread, or the caller's own frame
+(serial backend) — receives a :class:`WorkerTask` describing the engine
+it hosts and a sequence of ``(engine_key, event)`` entries, and returns
+a :class:`WorkerResult`.  All three backends run this exact code path;
+the process backend additionally crosses a pickle boundary, which is
+why specs ship plans as :func:`repro.plans.planned_to_dict` dicts
+(rebuilt by :func:`repro.engines.build_engine_from_parts`) rather than
+as live engine objects: engines hold closures (compiled key functions,
+unary-filter lambdas) that do not pickle, while decomposed patterns,
+plan dicts and shared-plan DAGs do.
+
+``engine_key`` semantics by task mode:
+
+* ``"single"`` — one engine per worker; the key is always 0 (key- and
+  query-partitioned runs).
+* ``"window"`` — the key is a window-slice id; the worker instantiates
+  one engine per slice on demand and, after processing, keeps only the
+  matches whose earliest constituent the slice owns, counting the
+  overlap copies it drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engines.factory import DisjunctionEngine, build_engine_from_parts
+from ..engines.matches import Match
+from ..engines.metrics import EngineMetrics
+from ..errors import ParallelError
+from ..events import Event
+from ..optimizers.planner import PlannedPattern
+from ..plans.serialization import PLAN_SCHEMA_VERSION, planned_to_dict
+from .ordering import match_min_ts
+from .partitioners import slice_delivery_bounds, slice_owner_bounds
+
+
+@dataclass
+class EngineSpec:
+    """Ship format for a single-pattern runtime (possibly a disjunction).
+
+    One entry in ``parts`` per DNF disjunct: the decomposed pattern
+    (pickled as data) plus the :func:`repro.plans.planned_to_dict`
+    serialization carrying plan shape and selection strategy.
+    """
+
+    parts: List[dict]
+    max_kleene_size: Optional[int] = None
+    indexed: bool = True
+
+    @classmethod
+    def from_planned(
+        cls,
+        planned: Sequence[PlannedPattern],
+        max_kleene_size: Optional[int] = None,
+        indexed: bool = True,
+    ) -> "EngineSpec":
+        return cls(
+            parts=[
+                {"decomposed": item.decomposed, "planned": planned_to_dict(item)}
+                for item in planned
+            ],
+            max_kleene_size=max_kleene_size,
+            indexed=indexed,
+        )
+
+    def build(self):
+        for part in self.parts:
+            schema = part["planned"].get("schema")
+            if schema != PLAN_SCHEMA_VERSION:
+                raise ParallelError(
+                    f"worker spec carries plan schema {schema!r}; this "
+                    f"runtime reads schema {PLAN_SCHEMA_VERSION}"
+                )
+        engines = [
+            build_engine_from_parts(
+                part["decomposed"],
+                part["planned"]["plan"],
+                selection=part["planned"]["selection"],
+                pattern_name=part["planned"]["pattern_name"],
+                max_kleene_size=self.max_kleene_size,
+                indexed=self.indexed,
+            )
+            for part in self.parts
+        ]
+        if len(engines) == 1:
+            return engines[0]
+        return DisjunctionEngine(engines)
+
+
+@dataclass
+class SharedSpec:
+    """Ship format for a multi-query runtime: the shared plan itself.
+
+    The DAG (nodes, roots, renamings, predicates) is plain data and
+    pickles; all mutable state lives in the engine the worker builds.
+    """
+
+    plan: object  # SharedPlan; untyped to keep the import graph one-way
+    max_kleene_size: Optional[int] = None
+    indexed: bool = True
+
+    def build(self):
+        from ..multiquery.executor import MultiQueryEngine
+
+        return MultiQueryEngine(
+            self.plan,
+            max_kleene_size=self.max_kleene_size,
+            indexed=self.indexed,
+        )
+
+
+@dataclass
+class WorkerTask:
+    """Everything one worker needs: an engine template plus slice math."""
+
+    spec: object  # EngineSpec | SharedSpec
+    mode: str = "single"  # "single" | "window"
+    t0: float = 0.0
+    span: float = 0.0
+    window: float = 0.0
+
+    def owner_bounds(self, slice_id: int) -> Tuple[float, float]:
+        return slice_owner_bounds(self.t0, self.span, slice_id)
+
+
+@dataclass
+class WorkerResult:
+    """What a worker hands back to the merger."""
+
+    matches: List[Match] = field(default_factory=list)
+    metrics: EngineMetrics = field(default_factory=EngineMetrics)
+
+
+class TaskRunner:
+    """Drives one worker's engines over its entry stream.
+
+    Used directly by the serial backend, inside a thread by the threads
+    backend, and inside :func:`process_worker_main` by the process
+    backend — the partition semantics live here exactly once.
+
+    Window-mode slice engines are **evicted as stream time passes**:
+    entries arrive in global timestamp order, so once an event's
+    timestamp exceeds a slice's inclusive delivery bound
+    (:func:`~repro.parallel.partitioners.slice_delivery_bounds`), no
+    further entry can reach that slice — it is finalized, its owned
+    matches collected, its metrics folded in, and its stores freed.
+    Memory per worker is therefore O(active slices), not O(all slices
+    ever) — the property that lets a small ``span`` run over an
+    unbounded :class:`~repro.events.ChunkedStream`.
+    """
+
+    def __init__(self, task: WorkerTask) -> None:
+        self.task = task
+        self._engines: Dict[int, object] = {}
+        # Slice id -> inclusive delivery hi, cached at engine creation:
+        # the eviction check runs per fed event and the bound is a
+        # constant of the slice.  The watermark (minimum cached hi)
+        # makes that check O(1) until something can actually retire —
+        # the same gating trick the stores use for window expiry.
+        self._delivery_hi: Dict[int, float] = {}
+        self._evict_watermark = float("inf")
+        self._matches: List[Match] = []
+        self._dropped = 0
+        self._retired = EngineMetrics()
+        # Window mode: running peak over the *active* slice set — slices
+        # retired at different stream times never coexist, so summing
+        # their peaks (what merge() does for concurrent engines) would
+        # overstate worker memory by the total slice count.
+        self._peak_pm = 0
+        self._peak_buffered = 0
+
+    def feed(self, entries: Sequence[Tuple[int, Event]]) -> None:
+        engines = self._engines
+        window_mode = self.task.mode == "window"
+        for key, event in entries:
+            engine = engines.get(key)
+            if engine is None:
+                engine = self.task.spec.build()
+                engines[key] = engine
+                if window_mode:
+                    hi = slice_delivery_bounds(
+                        self.task.t0, self.task.span, self.task.window, key
+                    )[1]
+                    self._delivery_hi[key] = hi
+                    if hi < self._evict_watermark:
+                        self._evict_watermark = hi
+            self._collect(key, engine.process(event))
+            if window_mode:
+                self._evict_passed(event.timestamp)
+
+    def finish(self) -> WorkerResult:
+        for key in sorted(self._engines):
+            self._retire(key)
+        metrics = self._retired
+        if self.task.mode == "window":
+            # Counters added across all slices above; peaks are the
+            # running active-set maximum instead (time-disjoint slices
+            # never coexist).
+            metrics.peak_partial_matches = self._peak_pm
+            metrics.peak_buffered_events = self._peak_buffered
+        # Make match accounting reflect what the worker actually
+        # reports: boundary copies a slice produced but does not own are
+        # excluded from emission counts and latency summaries (their
+        # partial-match / predicate work remains counted — that is the
+        # real cost of the overlap).
+        metrics.matches_emitted = len(self._matches)
+        metrics.latencies = [m.latency for m in self._matches]
+        metrics.wall_latencies = [m.wall_latency for m in self._matches]
+        metrics.boundary_duplicates_dropped = self._dropped
+        return WorkerResult(matches=self._matches, metrics=metrics)
+
+    def _evict_passed(self, timestamp: float) -> None:
+        """Retire slices whose delivery range the feed has passed.
+
+        O(1) while the feed is below the watermark; a scan only when at
+        least one slice can actually retire.
+        """
+        if timestamp <= self._evict_watermark:
+            return
+        for key, hi in list(self._delivery_hi.items()):
+            if timestamp > hi:
+                self._retire(key)
+        self._evict_watermark = min(
+            self._delivery_hi.values(), default=float("inf")
+        )
+
+    def _retire(self, key: int) -> None:
+        # Peaks only grow while engines process events and the active
+        # set only shrinks here, so sampling the active-set total at
+        # every retirement captures its maximum over the whole run.
+        self._peak_pm = max(
+            self._peak_pm,
+            sum(
+                e.metrics.peak_partial_matches
+                for e in self._engines.values()
+            ),
+        )
+        self._peak_buffered = max(
+            self._peak_buffered,
+            sum(
+                e.metrics.peak_buffered_events
+                for e in self._engines.values()
+            ),
+        )
+        engine = self._engines.pop(key)
+        self._delivery_hi.pop(key, None)
+        self._collect(key, engine.finalize())
+        self._retired = self._retired.merge(
+            engine.metrics, disjoint_streams=True
+        )
+
+    def _collect(self, key: int, out: List[Match]) -> None:
+        if not out:
+            return
+        if self.task.mode == "window":
+            lo, hi = self.task.owner_bounds(key)
+            kept = [m for m in out if lo <= match_min_ts(m) < hi]
+            self._dropped += len(out) - len(kept)
+            self._matches.extend(kept)
+        else:
+            self._matches.extend(out)
+
+
+def execute_task(task: WorkerTask, entries) -> WorkerResult:
+    """Run a whole task over an entry iterable (tests, simple callers)."""
+    runner = TaskRunner(task)
+    runner.feed(entries)
+    return runner.finish()
+
+
+#: Message tags of the worker protocol (shared by threads/processes).
+MSG_BATCH = "batch"
+MSG_DONE = "done"
+
+
+def process_worker_main(task: WorkerTask, inq, outq, worker_id: int) -> None:
+    """Entry point of a pool process: drain batches, return the result.
+
+    Top-level (picklable by reference) so both ``fork`` and ``spawn``
+    start methods work.  Failures travel back as formatted tracebacks —
+    the driver re-raises them as
+    :class:`~repro.errors.ParallelError`.
+    """
+    try:
+        runner = TaskRunner(task)
+        while True:
+            message = inq.get()
+            if message[0] == MSG_DONE:
+                break
+            runner.feed(message[1])
+        outq.put((worker_id, "ok", runner.finish()))
+    except BaseException:  # noqa: BLE001 — must cross the process boundary
+        import traceback
+
+        outq.put((worker_id, "error", traceback.format_exc()))

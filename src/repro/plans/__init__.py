@@ -11,14 +11,21 @@ from .enumeration import (
     enumerate_trees_fixed_order,
 )
 from .order_plan import OrderPlan, all_orders
-from .serialization import plan_from_dict, plan_to_dict
+from .serialization import (
+    PLAN_SCHEMA_VERSION,
+    plan_from_dict,
+    plan_to_dict,
+    planned_to_dict,
+)
 from .tree_plan import TreeNode, TreePlan, join, leaf
 
 __all__ = [
     "OrderPlan",
     "all_orders",
+    "PLAN_SCHEMA_VERSION",
     "plan_from_dict",
     "plan_to_dict",
+    "planned_to_dict",
     "TreeNode",
     "TreePlan",
     "join",

@@ -13,13 +13,20 @@ plain JSON-compatible dictionaries:
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # planner builds on plans; keep the import one-way
+    from ..optimizers.planner import PlannedPattern
 
 from ..errors import PlanError
 from .order_plan import OrderPlan
 from .tree_plan import TreeNode, TreePlan
 
 Plan = Union[OrderPlan, TreePlan]
+
+#: Bump when the serialized shapes below change incompatibly; consumers
+#: (pinned-plan configuration, the parallel worker specs) check it.
+PLAN_SCHEMA_VERSION = 1
 
 
 def plan_to_dict(plan: Plan) -> dict:
@@ -39,6 +46,28 @@ def plan_from_dict(data: dict) -> Plan:
     if kind == "tree":
         return TreePlan(_node_from_dict(data["root"]))
     raise PlanError(f"unknown plan kind {kind!r}")
+
+
+def planned_to_dict(planned: "PlannedPattern") -> dict:
+    """Serialize the *executable* slice of a planned pattern.
+
+    The dict carries everything a remote runtime needs to rebuild the
+    engine for an already-decomposed pattern — the plan shape plus the
+    selection strategy — along with provenance (algorithm, cost) for
+    plan diffing.  Statistics and the cost model are deliberately left
+    out: they are planning-time inputs, not execution state.  This is
+    the ship format of the parallel worker specs
+    (:mod:`repro.parallel.worker`) and pairs with
+    :func:`repro.engines.build_engine_from_parts` on the receiving side.
+    """
+    return {
+        "schema": PLAN_SCHEMA_VERSION,
+        "pattern_name": planned.pattern.name,
+        "plan": plan_to_dict(planned.plan),
+        "selection": planned.selection,
+        "algorithm": planned.algorithm,
+        "cost": planned.cost,
+    }
 
 
 def _node_to_dict(node: TreeNode) -> dict:

@@ -1,0 +1,144 @@
+"""Adaptive plan management (:mod:`repro.adaptive`).
+
+Direct coverage of the re-optimization trigger machinery: the
+:class:`DriftDetector` threshold semantics, the controller's
+``check_interval`` cadence, the drift-gated replan decision, and the
+restart-based engine swap (plan history, match continuity).
+"""
+
+import random
+
+import pytest
+
+from repro import Stream, StatisticsCatalog, parse_pattern
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.monitor import DriftDetector
+from repro.errors import StatisticsError
+from repro.events import Event
+
+
+def burst_stream(flip_at=200, count=400, seed=5):
+    """A-heavy first half, B-heavy second half: guaranteed rate drift."""
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for i in range(count):
+        t += rng.uniform(0.05, 0.15)
+        heavy, light = ("A", "B") if i < flip_at else ("B", "A")
+        name = heavy if rng.random() < 0.9 else light
+        events.append(Event(name, t, {"x": rng.random()}))
+    return Stream(events)
+
+
+PATTERN = "PATTERN SEQ(A a, B b) WITHIN 4"
+
+
+class TestDriftDetector:
+    def test_threshold_is_relative(self):
+        detector = DriftDetector(threshold=0.5)
+        assert not detector.drifted({"A": 2.0}, {"A": 2.9})  # +45%
+        assert detector.drifted({"A": 2.0}, {"A": 3.1})  # +55%
+        assert detector.drifted({"A": 2.0}, {"A": 0.9})  # -55%
+
+    def test_boundary_is_exclusive(self):
+        detector = DriftDetector(threshold=0.5)
+        assert not detector.drifted({"A": 2.0}, {"A": 3.0})  # exactly 50%
+
+    def test_reports_only_shared_keys(self):
+        detector = DriftDetector(threshold=0.1)
+        assert detector.drifted_keys(
+            {"A": 1.0, "B": 1.0}, {"A": 5.0, "C": 99.0}
+        ) == ["A"]
+
+    def test_near_zero_baseline_uses_min_value_floor(self):
+        detector = DriftDetector(threshold=0.5, min_value=1.0)
+        # deviation 0.4 against the floor of 1.0 -> 40% < 50%
+        assert not detector.drifted({"A": 0.0}, {"A": 0.4})
+        assert detector.drifted({"A": 0.0}, {"A": 0.6})
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(StatisticsError):
+            DriftDetector(threshold=0.0)
+
+
+class TestControllerTriggers:
+    def initial_catalog(self):
+        # Deliberately wrong for the stream's second half.
+        return StatisticsCatalog({"A": 9.0, "B": 1.0}, {})
+
+    def test_reoptimizes_on_drift(self):
+        stream = burst_stream()
+        controller = AdaptiveController(
+            parse_pattern(PATTERN),
+            self.initial_catalog(),
+            check_interval=50,
+            detector=DriftDetector(threshold=0.5),
+        )
+        controller.run(stream)
+        assert controller.reoptimizations >= 1
+        assert len(controller.plan_history) == controller.reoptimizations + 1
+
+    def test_no_reoptimization_below_threshold(self):
+        stream = burst_stream()
+        controller = AdaptiveController(
+            parse_pattern(PATTERN),
+            self.initial_catalog(),
+            check_interval=50,
+            # Effectively unreachable threshold: never re-plan.
+            detector=DriftDetector(threshold=1e9),
+        )
+        controller.run(stream)
+        assert controller.reoptimizations == 0
+        assert len(controller.plan_history) == 1
+
+    def test_check_interval_caps_reoptimization_rate(self):
+        stream = burst_stream()
+        controller = AdaptiveController(
+            parse_pattern(PATTERN),
+            self.initial_catalog(),
+            check_interval=100,
+            detector=DriftDetector(threshold=0.01),  # hair trigger
+        )
+        controller.run(stream)
+        # One drift check per interval bounds the number of replans.
+        assert controller.reoptimizations <= len(stream) // 100
+
+    def test_no_check_before_interval_elapses(self):
+        stream = burst_stream(count=60)
+        controller = AdaptiveController(
+            parse_pattern(PATTERN),
+            self.initial_catalog(),
+            check_interval=10_000,
+            detector=DriftDetector(threshold=0.01),
+        )
+        controller.run(stream)
+        assert controller.reoptimizations == 0
+
+    def test_catalog_updated_with_observed_rates(self):
+        stream = burst_stream()
+        controller = AdaptiveController(
+            parse_pattern(PATTERN),
+            self.initial_catalog(),
+            check_interval=50,
+            detector=DriftDetector(threshold=0.5),
+        )
+        controller.run(stream)
+        assert controller.reoptimizations >= 1
+        updated = controller._catalog
+        # After adapting to the B-heavy tail, B's rate estimate must
+        # exceed the (badly wrong) initial 1.0.
+        assert updated.rate("B") > 1.0
+
+    def test_matches_still_reported_across_swaps(self):
+        stream = burst_stream()
+        controller = AdaptiveController(
+            parse_pattern(PATTERN),
+            self.initial_catalog(),
+            check_interval=50,
+            detector=DriftDetector(threshold=0.5),
+        )
+        matches = controller.run(stream)
+        assert controller.reoptimizations >= 1
+        assert matches, "the SEQ(A,B) pattern must match this stream"
+        # Restart-based swap: every reported match is a valid binding.
+        for match in matches:
+            assert match["a"].timestamp < match["b"].timestamp

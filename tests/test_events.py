@@ -165,3 +165,75 @@ class TestCsvRoundTrip:
         path = tmp_path / "part.csv"
         write_stream_csv(s, path)
         assert read_stream_csv(path)[0].partition == "p7"
+
+
+class TestChunkedStream:
+    def events(self, n=10, step=0.5):
+        return [Event("A", i * step, {"i": i}) for i in range(n)]
+
+    def test_yields_seq_stamped_events_lazily(self):
+        pulled = []
+
+        def source():
+            for event in self.events(10):
+                pulled.append(event.timestamp)
+                yield event
+
+        chunked = Stream.from_iterable(source(), chunk_size=4)
+        iterator = iter(chunked)
+        first = next(iterator)
+        assert first.seq == 0
+        # only the first chunk was pulled from the generator
+        assert len(pulled) == 4
+        rest = list(iterator)
+        assert [e.seq for e in rest] == list(range(1, 10))
+        assert chunked.events_seen == 10
+
+    def test_matches_materialized_stream(self):
+        events = self.events(23)
+        chunked = list(Stream.from_iterable(iter(events), chunk_size=5))
+        materialized = list(Stream(events))
+        assert [(e.type, e.timestamp, e.seq) for e in chunked] == [
+            (e.type, e.timestamp, e.seq) for e in materialized
+        ]
+
+    def test_order_enforced_across_chunk_boundary(self):
+        events = [Event("A", 1.0), Event("A", 2.0), Event("A", 1.5)]
+        chunked = Stream.from_iterable(iter(events), chunk_size=2)
+        with pytest.raises(StreamOrderError):
+            list(chunked)
+
+    def test_chunk_validated_before_any_of_it_is_yielded(self):
+        events = [Event("A", 1.0), Event("A", 0.5)]
+        iterator = iter(Stream.from_iterable(iter(events), chunk_size=2))
+        # the bad event is inside the first chunk: nothing comes out
+        with pytest.raises(StreamOrderError):
+            next(iterator)
+
+    def test_single_pass_only(self):
+        chunked = Stream.from_iterable(iter(self.events(3)))
+        assert len(list(chunked)) == 3
+        with pytest.raises(Exception, match="single-pass"):
+            iter(chunked)
+
+    def test_engine_runs_over_chunked_stream(self):
+        from repro import build_engines, estimate_pattern_catalog
+        from repro import parse_pattern, plan_pattern
+
+        events = [
+            Event(("A", "B")[i % 2], i * 0.3, {"x": i % 2}) for i in range(40)
+        ]
+        stream = Stream(events)
+        pattern = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 2")
+        planned = plan_pattern(
+            pattern, estimate_pattern_catalog(pattern, stream)
+        )
+        serial = build_engines(planned).run(stream)
+        chunked_run = build_engines(planned).run(
+            Stream.from_iterable(iter(events), chunk_size=7)
+        )
+        assert [m.key() for m in chunked_run] == [m.key() for m in serial]
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            Stream.from_iterable(iter(()), chunk_size=0)

@@ -1,0 +1,109 @@
+"""CSV stream persistence (:mod:`repro.events.io`).
+
+Round-trip fidelity for the corners the basic tests skip (mixed
+schemas, numeric-string ambiguity, float precision) and — the part that
+matters operationally — the malformed-input diagnostics: every format
+violation must surface as :class:`StreamFormatError` naming the
+offending row, never as a bare ``IndexError``/``ValueError`` from the
+csv plumbing.
+"""
+
+import pytest
+
+from repro.events import (
+    Event,
+    Stream,
+    StreamFormatError,
+    read_stream_csv,
+    write_stream_csv,
+)
+
+
+class TestRoundTripFidelity:
+    def test_mixed_schemas_round_trip_to_missing_attributes(self, tmp_path):
+        stream = Stream(
+            [
+                Event("A", 1.0, {"x": 1.0, "y": 2.0}),
+                Event("B", 2.0, {"z": 3.0}),
+                Event("A", 3.0, {"y": 4.0}),
+            ]
+        )
+        path = tmp_path / "mixed.csv"
+        write_stream_csv(stream, path)
+        back = read_stream_csv(path)
+        assert [sorted(e.attribute_names()) for e in back] == [
+            ["x", "y"],
+            ["z"],
+            ["y"],
+        ]
+
+    def test_float_precision_survives(self, tmp_path):
+        value = 0.1 + 0.2  # 0.30000000000000004
+        stream = Stream([Event("A", 1.0 / 3.0, {"v": value})])
+        path = tmp_path / "precision.csv"
+        write_stream_csv(stream, path)
+        back = read_stream_csv(path)
+        assert back[0].timestamp == 1.0 / 3.0
+        assert back[0]["v"] == value
+
+    def test_numeric_looking_strings_parse_as_float(self, tmp_path):
+        # Documented format behavior: cells are parsed numerically when
+        # possible, so a string "7" comes back as 7.0.
+        stream = Stream([Event("A", 1.0, {"code": "7", "name": "x7"})])
+        path = tmp_path / "strings.csv"
+        write_stream_csv(stream, path)
+        back = read_stream_csv(path)
+        assert back[0]["code"] == 7.0
+        assert back[0]["name"] == "x7"
+
+    def test_seq_numbers_reassigned_on_read(self, tmp_path):
+        stream = Stream([Event("A", 1.0), Event("B", 2.0)])
+        path = tmp_path / "seq.csv"
+        write_stream_csv(stream, path)
+        back = read_stream_csv(path)
+        assert [e.seq for e in back] == [0, 1]
+
+
+class TestMalformedInput:
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.csv"
+        path.write_text(text)
+        return path
+
+    def test_short_row_reports_row_number(self, tmp_path):
+        path = self.write(tmp_path, "type,timestamp,partition,x\nA,1.0,,5\nB\n")
+        with pytest.raises(StreamFormatError, match="row 3"):
+            read_stream_csv(path)
+
+    def test_unparsable_timestamp_reports_row_number(self, tmp_path):
+        path = self.write(
+            tmp_path, "type,timestamp,partition\nA,1.0,\nB,not-a-number,\n"
+        )
+        with pytest.raises(StreamFormatError, match="row 3.*not-a-number"):
+            read_stream_csv(path)
+
+    def test_empty_type_cell_rejected(self, tmp_path):
+        path = self.write(tmp_path, "type,timestamp,partition\n,1.0,\n")
+        with pytest.raises(StreamFormatError, match="empty type"):
+            read_stream_csv(path)
+
+    def test_foreign_header_rejected(self, tmp_path):
+        path = self.write(tmp_path, "kind,when,who\nA,1.0,\n")
+        with pytest.raises(StreamFormatError, match="header"):
+            read_stream_csv(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = self.write(
+            tmp_path, "type,timestamp,partition,x\nA,1.0,,5\n\nB,2.0,,\n"
+        )
+        back = read_stream_csv(path)
+        assert [e.type for e in back] == ["A", "B"]
+
+    def test_out_of_order_rows_surface_stream_error(self, tmp_path):
+        from repro.events import StreamOrderError
+
+        path = self.write(
+            tmp_path, "type,timestamp,partition\nA,2.0,\nB,1.0,\n"
+        )
+        with pytest.raises(StreamOrderError):
+            read_stream_csv(path)

@@ -18,6 +18,7 @@ FAST_EXAMPLES = (
     "adaptive_reoptimization.py",
     "join_ordering.py",
     "multi_query_sharing.py",
+    "parallel_scaling.py",
 )
 
 
