@@ -64,8 +64,32 @@ identical in content to single-threaded execution::
 
 ``run_workload(..., parallel=...)`` does the same for multi-query
 plans; the scaling sweep is ``benchmarks/bench_fig22_parallel_scaling.py``.
+
+Adaptive runtime
+----------------
+
+:mod:`repro.adaptive` keeps a long-running query on the best plan as the
+stream's statistics drift: arrival rates come from a sliding-window
+estimator, predicate selectivities from the engines' own evaluation
+outcomes, and a plan switch migrates in-flight state instead of
+dropping it::
+
+    from repro import AdaptiveController, DriftDetector
+
+    controller = AdaptiveController(
+        pattern, catalog, migration="recompute",
+        detector=DriftDetector(threshold=0.5, selectivity_threshold=0.3),
+    )
+    matches = controller.run(stream)     # lossless across plan switches
+    controller.metrics.migrations        # swap + handover counters
+
+The migration policies (``restart`` / ``recompute`` /
+``parallel-drain``) and their guarantees are documented in
+:mod:`repro.adaptive.controller`; the drifting-stream benchmark is
+``benchmarks/bench_fig23_adaptivity.py``.
 """
 
+from .adaptive import MIGRATION_POLICIES, AdaptiveController, DriftDetector
 from .cost import (
     CostModel,
     HybridCostModel,
@@ -75,6 +99,7 @@ from .cost import (
 )
 from .engines import (
     DisjunctionEngine,
+    EngineSnapshot,
     Match,
     NFAEngine,
     OutputProfiler,
@@ -122,13 +147,19 @@ from .patterns import (
 from .plans import OrderPlan, TreePlan
 from .stats import (
     PatternStatistics,
+    SelectivityTracker,
     StatisticsCatalog,
     estimate_pattern_catalog,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "AdaptiveController",
+    "DriftDetector",
+    "MIGRATION_POLICIES",
+    "EngineSnapshot",
+    "SelectivityTracker",
     "CostModel",
     "HybridCostModel",
     "LatencyCostModel",

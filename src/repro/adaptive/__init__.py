@@ -1,6 +1,7 @@
-"""Adaptive CEP: drift detection and plan re-optimization (Section 6.3)."""
+"""Adaptive CEP: online statistics, drift detection, live plan migration
+(Section 6.3)."""
 
-from .controller import AdaptiveController
+from .controller import MIGRATION_POLICIES, AdaptiveController
 from .monitor import DriftDetector
 
-__all__ = ["AdaptiveController", "DriftDetector"]
+__all__ = ["AdaptiveController", "DriftDetector", "MIGRATION_POLICIES"]

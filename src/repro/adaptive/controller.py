@@ -2,16 +2,49 @@
 
 :class:`AdaptiveController` wraps a pattern and an optimizer: it feeds
 events to the active engine while tracking arrival rates over a sliding
-horizon; every ``check_interval`` events it rebuilds the statistics
-catalog from the online estimates and, when the :class:`DriftDetector`
-reports a significant deviation from the stats the active plan was built
-with, re-runs the optimizer and hot-swaps the engine.
+horizon *and* per-predicate selectivities from the engine's own
+evaluation outcomes; every ``check_interval`` events it compares both
+against the statistics the active plan was built with and, when the
+:class:`DriftDetector` reports a significant deviation, refreshes the
+catalog (rates and selectivities together), re-runs the optimizer and
+hot-swaps the engine.
 
-Plan switching is *restart-based*: the new engine starts empty, so
-partial matches in flight at the switch are lost (at most one window's
-worth).  The paper defers migration strategies to the companion
-adaptivity paper [27]; the restart policy is the simple baseline it
-builds on, and it is what the adaptivity example demonstrates.
+Plan switching is governed by the ``migration`` policy:
+
+``"restart"``
+    The historical baseline: the new engine starts empty.  In-flight
+    partial matches are lost (up to one window's worth of completions);
+    deferred matches waiting on trailing-negation deadlines are drained
+    from the outgoing engine at the swap so *completed* work is never
+    dropped — but a drained match skips any violation that a later
+    forbidden event would have caused.
+``"recompute"``
+    Recompute-from-buffer migration: the outgoing engine exports its
+    plan-independent state (:meth:`repro.engines.BaseEngine.export_state`
+    — the live window events) and the new engine rebuilds every
+    intermediate store by replaying that buffer before the next live
+    event.  Matches re-derived during the replay are suppressed as
+    already reported; the switched run's match list is exactly the
+    no-switch list.
+``"parallel-drain"``
+    Old and new engines run side by side for one window after the swap.
+    The new engine starts empty except for its negation candidate
+    buffers (seeded from the snapshot — a negation range reaches up to
+    one window into the past); output is the canonical-key-deduplicated
+    union of both engines, and the old engine retires once every match
+    it could still own has left the window.  Exact like ``recompute``,
+    trading the replay burst for one window of doubled processing.
+
+``recompute`` and ``parallel-drain`` require ``selection="any"`` — the
+restrictive strategies consume events globally, and a replayed or
+overlapped run cannot reproduce consumption decisions made against
+events that have left the window.
+
+Both stateful policies follow the state-handover designs of Dossinger &
+Michel ("Optimizing Multiple Multi-Way Stream Joins", adaptive
+re-optimization with migration) and Idris et al. ("Conjunctive Queries
+with Theta Joins Under Updates", incremental state maintenance across
+structural changes).
 """
 
 from __future__ import annotations
@@ -20,12 +53,20 @@ from typing import Optional
 
 from ..engines.factory import build_engines
 from ..engines.matches import Match
+from ..engines.metrics import EngineMetrics
+from ..engines.snapshot import snapshot_pm_count
+from ..errors import EngineError
 from ..events import Event, Stream
-from ..optimizers.planner import PlannedPattern, plan_pattern
+from ..optimizers.planner import PlannedPattern, plan_pattern, replan
+from ..optimizers.registry import make_optimizer
+from ..parallel.ordering import content_key, match_min_seq
 from ..patterns.pattern import Pattern
 from ..stats.catalog import StatisticsCatalog
-from ..stats.online import SlidingRateEstimator
+from ..stats.online import SelectivityTracker, SlidingRateEstimator
 from .monitor import DriftDetector
+
+#: Plan-switch state handover policies (module docstring).
+MIGRATION_POLICIES = ("restart", "recompute", "parallel-drain")
 
 
 class AdaptiveController:
@@ -41,22 +82,69 @@ class AdaptiveController:
         check_interval: int = 500,
         detector: Optional[DriftDetector] = None,
         max_kleene_size: Optional[int] = None,
+        migration: Optional[str] = None,
+        indexed: bool = True,
+        track_selectivities: bool = True,
+        selectivity_alpha: float = 0.05,
+        min_selectivity_observations: int = 50,
     ) -> None:
+        if migration is None:
+            # Lossless migration where it is sound; the restrictive
+            # selection strategies keep their historical restart swaps.
+            migration = "recompute" if selection == "any" else "restart"
+        if migration not in MIGRATION_POLICIES:
+            raise EngineError(
+                f"unknown migration policy {migration!r}; "
+                f"choose one of {MIGRATION_POLICIES}"
+            )
+        if migration != "restart" and selection != "any":
+            raise EngineError(
+                f"migration policy {migration!r} requires selection='any' "
+                "(restrictive strategies consume events globally; only "
+                "'restart' switching is available for them)"
+            )
         self.pattern = pattern
         self.algorithm = algorithm
         self.selection = selection
         self.check_interval = check_interval
         self.detector = detector or DriftDetector()
         self.max_kleene_size = max_kleene_size
+        self.migration = migration
+        self.indexed = indexed
         self._catalog = initial_catalog
         self._rates = SlidingRateEstimator(horizon or pattern.window * 10)
+        self._tracker = (
+            SelectivityTracker(
+                alpha=selectivity_alpha,
+                min_observations=min_selectivity_observations,
+            )
+            if track_selectivities
+            else None
+        )
         self._events_since_check = 0
         self.reoptimizations = 0
         self.plan_history: list[list[PlannedPattern]] = []
-        self._replan()
+        # Metrics of retired engine generations, merged sequentially,
+        # plus the controller-owned migration counters.
+        self._retired = EngineMetrics()
+        self._migration_metrics = EngineMetrics()
+        # parallel-drain state: the outgoing engine, the stream time at
+        # which it retires, the canonical keys emitted so far, and the
+        # last pre-swap sequence number (the ownership test — a match
+        # binding a pre-swap event exists only in the outgoing engine).
+        self._old_engine = None
+        self._drain_deadline = float("-inf")
+        self._drain_seen: Optional[set] = None
+        self._drain_boundary_seq = -1
+        # matches_saved_by_migration accounting: matches emitted while
+        # (boundary_seq, until_ts) is armed that bind a pre-swap event.
+        self._saved_boundary: Optional[tuple] = None
+        self._last_seq = -1
+        self._now = float("-inf")
+        self._replan_initial()
 
     # -- planning -----------------------------------------------------------
-    def _replan(self) -> None:
+    def _replan_initial(self) -> None:
         planned = plan_pattern(
             self.pattern,
             self._catalog,
@@ -64,44 +152,258 @@ class AdaptiveController:
             selection=self.selection,
         )
         self.planned = planned
-        self.engine = build_engines(
-            planned, max_kleene_size=self.max_kleene_size
-        )
+        self.engine = self._build(planned)
         self.plan_history.append(planned)
+
+    def _build(self, planned: list[PlannedPattern], seed=None):
+        engine = build_engines(
+            planned,
+            max_kleene_size=self.max_kleene_size,
+            indexed=self.indexed,
+            seed=seed,
+        )
+        # Attached after seeding: replayed outcomes were observed by the
+        # donor engine already, re-reporting them would skew the EWMAs.
+        if self._tracker is not None:
+            engine.set_selectivity_tracker(self._tracker)
+        return engine
 
     @property
     def current_plans(self) -> list:
         return [item.plan for item in self.planned]
 
+    @property
+    def draining(self) -> bool:
+        """True while a parallel-drain handover is in progress."""
+        return self._old_engine is not None
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        """Aggregated metrics: retired generations + live engine(s) +
+        the controller's migration counters.
+
+        Generations are merged sequentially (peaks take the max, event
+        counts add — each generation processed its own stream segment).
+        During a parallel-drain the outgoing engine is included too, so
+        the one-window double processing shows up honestly.
+        """
+        merged = self._retired.merge(
+            self.engine.metrics, disjoint_streams=True, concurrent=False
+        )
+        if self._old_engine is not None:
+            merged = merged.merge(
+                self._old_engine.metrics,
+                disjoint_streams=True,
+                concurrent=False,
+            )
+        return merged.merge(
+            self._migration_metrics, disjoint_streams=True, concurrent=False
+        )
+
     # -- event loop -----------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
         self._rates.observe(event)
         self._events_since_check += 1
-        matches = self.engine.process(event)
-        if self._events_since_check >= self.check_interval:
+        if event.seq > self._last_seq:
+            self._last_seq = event.seq
+        self._now = event.timestamp
+        matches: list[Match] = []
+        if self._old_engine is not None and (
+            event.timestamp > self._drain_deadline
+        ):
+            # Retiring the outgoing engine releases its pendings first:
+            # a deferred match with a pre-swap constituent exists only
+            # there (and is necessarily due — its deadline is at most
+            # swap + W < now), so it is emitted now.  Pendings binding
+            # only post-swap events live on in the new engine, which
+            # releases them at their own deadlines — emitting them here
+            # too would duplicate them, so they are dropped.
+            released = self._drain_filter(self._old_engine.finalize())
+            matches.extend(
+                m
+                for m in released
+                if match_min_seq(m) <= self._drain_boundary_seq
+            )
+            self._finish_drain()
+        if self._old_engine is not None:
+            matches.extend(self._drain_filter(self._old_engine.process(event)))
+            matches.extend(self._drain_filter(self.engine.process(event)))
+        else:
+            matches.extend(self.engine.process(event))
+        self._note_saved(matches)
+        if self._saved_boundary is not None and (
+            event.timestamp > self._saved_boundary[1]
+        ):
+            self._saved_boundary = None
+        if (
+            self._old_engine is None
+            and self._events_since_check >= self.check_interval
+        ):
             self._events_since_check = 0
-            self._maybe_reoptimize()
+            matches.extend(self._maybe_reoptimize())
         return matches
 
     def run(self, stream: Stream) -> list[Match]:
         matches: list[Match] = []
         for event in stream:
             matches.extend(self.process(event))
-        matches.extend(self.engine.finalize())
+        matches.extend(self.finalize())
+        return matches
+
+    def finalize(self) -> list[Match]:
+        """End-of-stream: release pending matches of every live engine
+        (deduplicated when a drain is still in progress)."""
+        matches: list[Match] = []
+        if self._old_engine is not None:
+            matches.extend(
+                self._drain_filter(self._old_engine.finalize())
+            )
+            matches.extend(self._drain_filter(self.engine.finalize()))
+            self._finish_drain()
+        else:
+            matches.extend(self.engine.finalize())
+        self._note_saved(matches)
         return matches
 
     # -- adaptation ----------------------------------------------------------------
-    def _maybe_reoptimize(self) -> None:
-        observed = self._rates.rates()
-        relevant = {
+    def _maybe_reoptimize(self) -> list[Match]:
+        observed_rates = {
             name: rate
-            for name, rate in observed.items()
+            for name, rate in self._rates.rates().items()
             if self._catalog.has_rate(name) and rate > 0
         }
-        if not relevant:
+        baseline: dict = {
+            name: self._catalog.rate(name) for name in observed_rates
+        }
+        current: dict = dict(observed_rates)
+        observed_sels = (
+            self._tracker.snapshot() if self._tracker is not None else {}
+        )
+        for key, value in observed_sels.items():
+            baseline[key] = self._catalog_selectivity(key)
+            current[key] = value
+        if not baseline:
+            return []
+        if not self.detector.drifted(baseline, current):
+            return []
+        self._catalog = self._catalog.updated(
+            rates=observed_rates, selectivities=observed_sels
+        )
+        self.reoptimizations += 1
+        return self._switch_plan()
+
+    def force_reoptimize(
+        self,
+        catalog: Optional[StatisticsCatalog] = None,
+        algorithm: Optional[str] = None,
+    ) -> list[Match]:
+        """Replan and hot-swap immediately, bypassing drift detection.
+
+        ``catalog`` replaces the controller's statistics first;
+        ``algorithm`` overrides the plan generator for this switch only.
+        A forced switch during a parallel-drain abandons the half-built
+        replacement engine and switches from the *outgoing* engine
+        instead — it alone holds the complete window history (the
+        replacement started empty at the previous swap), so exactness
+        is preserved.  Returns the matches the swap itself released.
+        """
+        matches: list[Match] = []
+        if self._old_engine is not None:
+            self._retire(self.engine)  # half-built replacement's cost
+            self.engine = self._old_engine
+            self._old_engine = None
+            self._drain_seen = None
+            self._drain_deadline = float("-inf")
+            self._drain_boundary_seq = -1
+        if catalog is not None:
+            self._catalog = catalog
+        self.reoptimizations += 1
+        matches.extend(self._switch_plan(algorithm=algorithm))
+        return matches
+
+    def _switch_plan(self, algorithm: Optional[str] = None) -> list[Match]:
+        old_engine = self.engine
+        planned = replan(
+            self.planned,
+            self._catalog,
+            optimizer=make_optimizer(algorithm) if algorithm else None,
+        )
+        released: list[Match] = []
+        pm_migrated = 0
+        if self.migration == "restart":
+            # Drain the outgoing engine: deferred matches are complete
+            # work and would otherwise be dropped with the engine.
+            released.extend(old_engine.finalize())
+            self._migration_metrics.matches_saved_by_migration += len(
+                released
+            )
+            self.engine = self._build(planned)
+            self._retire(old_engine)
+        elif self.migration == "recompute":
+            snapshot = old_engine.export_state()
+            pm_migrated = snapshot_pm_count(snapshot)
+            self.engine = self._build(planned, seed=snapshot)
+            self._retire(old_engine)
+        else:  # parallel-drain
+            snapshot = old_engine.export_state()
+            pm_migrated = snapshot_pm_count(snapshot)
+            self.engine = self._build(planned)
+            self.engine.seed_negation_state(snapshot)
+            self._old_engine = old_engine
+            self._drain_deadline = self._now + self.pattern.window
+            self._drain_seen = set()
+            self._drain_boundary_seq = self._last_seq
+        self._migration_metrics.migrations += 1
+        self._migration_metrics.pm_migrated += pm_migrated
+        if self.migration != "restart":
+            self._saved_boundary = (
+                self._last_seq,
+                self._now + self.pattern.window,
+            )
+        self.planned = planned
+        self.plan_history.append(planned)
+        return released
+
+    # -- drain plumbing -----------------------------------------------------
+    def _drain_filter(self, matches: list[Match]) -> list[Match]:
+        """Keep matches not yet emitted by the other engine (canonical
+        binding key + deterministic detection timestamp)."""
+        fresh: list[Match] = []
+        seen = self._drain_seen
+        for match in matches:
+            key = (match.pattern_name, content_key(match), match.detection_ts)
+            if key in seen:
+                continue
+            seen.add(key)
+            fresh.append(match)
+        return fresh
+
+    def _finish_drain(self) -> None:
+        # The outgoing engine's remaining state is owned by the new
+        # engine from here on; retiring it only folds its metrics in.
+        self._retire(self._old_engine)
+        self._old_engine = None
+        self._drain_seen = None
+        self._drain_deadline = float("-inf")
+        self._drain_boundary_seq = -1
+
+    def _retire(self, engine) -> None:
+        self._retired = self._retired.merge(
+            engine.metrics, disjoint_streams=True, concurrent=False
+        )
+
+    def _note_saved(self, matches: list[Match]) -> None:
+        if self._saved_boundary is None or not matches:
             return
-        baseline = {name: self._catalog.rate(name) for name in relevant}
-        if self.detector.drifted(baseline, relevant):
-            self._catalog = self._catalog.updated(rates=relevant)
-            self.reoptimizations += 1
-            self._replan()
+        boundary_seq = self._saved_boundary[0]
+        saved = sum(
+            1 for match in matches if match_min_seq(match) <= boundary_seq
+        )
+        if saved:
+            self._migration_metrics.matches_saved_by_migration += saved
+
+    def _catalog_selectivity(self, key: frozenset) -> float:
+        variables = tuple(key)
+        if len(variables) == 1:
+            return self._catalog.selectivity(variables[0])
+        return self._catalog.selectivity(variables[0], variables[1])

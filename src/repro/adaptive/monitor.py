@@ -7,22 +7,51 @@ selectivity deviates by more than a relative threshold — the trigger
 condition the adaptive controller acts on.  (The full adaptivity design
 is the companion paper [27]; this module provides the mechanism that
 Section 6.3 describes.)
+
+Rates and selectivities drift on different scales: an arrival rate can
+legitimately wobble by half without changing the optimal plan, while a
+selectivity collapsing from 0.5 to 0.1 reorders every join.  The
+detector therefore carries two thresholds and picks one per key by the
+catalog's key convention — plain strings are type rates,
+``frozenset`` keys (variable pairs / singletons) are selectivities — so
+one mixed baseline/current mapping can be tested in a single call.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from ..errors import StatisticsError
 
 
 class DriftDetector:
-    """Relative-deviation test between two statistics snapshots."""
+    """Relative-deviation test between two statistics snapshots.
 
-    def __init__(self, threshold: float = 0.5, min_value: float = 1e-9) -> None:
+    Parameters
+    ----------
+    threshold:
+        Relative deviation above which a *rate* key counts as drifted.
+    selectivity_threshold:
+        Same, for selectivity keys (``frozenset`` keys).  Defaults to
+        ``threshold`` when omitted.
+    min_value:
+        Denominator floor protecting near-zero baselines.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        min_value: float = 1e-9,
+        selectivity_threshold: Optional[float] = None,
+    ) -> None:
         if threshold <= 0:
             raise StatisticsError("threshold must be positive")
+        if selectivity_threshold is None:
+            selectivity_threshold = threshold
+        elif selectivity_threshold <= 0:
+            raise StatisticsError("selectivity_threshold must be positive")
         self.threshold = threshold
+        self.selectivity_threshold = selectivity_threshold
         self.min_value = min_value
 
     def drifted(
@@ -30,7 +59,7 @@ class DriftDetector:
         baseline: Mapping,
         current: Mapping,
     ) -> bool:
-        """True when any shared key deviates by more than the threshold."""
+        """True when any shared key deviates by more than its threshold."""
         return bool(self.drifted_keys(baseline, current))
 
     def drifted_keys(
@@ -38,13 +67,23 @@ class DriftDetector:
         baseline: Mapping,
         current: Mapping,
     ) -> list:
-        """Keys whose relative deviation exceeds the threshold."""
+        """Keys whose relative deviation exceeds their threshold.
+
+        The mappings may mix rate keys (type-name strings) and
+        selectivity keys (``frozenset`` of one or two variables); each
+        key is tested against the matching threshold.
+        """
         drifted = []
         for key, old_value in baseline.items():
             if key not in current:
                 continue
+            threshold = (
+                self.selectivity_threshold
+                if isinstance(key, frozenset)
+                else self.threshold
+            )
             new_value = current[key]
             denominator = max(abs(old_value), self.min_value)
-            if abs(new_value - old_value) / denominator > self.threshold:
+            if abs(new_value - old_value) / denominator > threshold:
                 drifted.append(key)
         return drifted

@@ -20,6 +20,7 @@ from .negation import NegationChecker
 from .nfa import NFAEngine
 from .profiler import OutputProfiler
 from .reference import reference_match_keys
+from .snapshot import EngineSnapshot, describe_partial_match, snapshot_pm_count
 from .stores import PartialMatchStore, equality_key_pairs, make_key_fn
 from .tree import TreeEngine
 
@@ -37,6 +38,9 @@ __all__ = [
     "Match",
     "PartialMatch",
     "EngineMetrics",
+    "EngineSnapshot",
+    "describe_partial_match",
+    "snapshot_pm_count",
     "NegationChecker",
     "NFAEngine",
     "OutputProfiler",

@@ -13,7 +13,13 @@ order-based (lazy NFA) and tree-based (ZStream-style) runtimes:
   ``next`` plus adjacency predicates, which the caller injects into the
   pattern with
   :func:`repro.patterns.add_contiguity_predicates`);
-* metrics collection.
+* metrics collection;
+* live plan migration — every engine maintains the plan-independent
+  window buffer behind :meth:`BaseEngine.export_state` /
+  :meth:`BaseEngine.seed_from` (see :mod:`repro.engines.snapshot`);
+* online selectivity feedback — with a tracker attached
+  (:meth:`BaseEngine.set_selectivity_tracker`), explicit predicate
+  outcomes are reported to :mod:`repro.stats.online` estimators.
 
 Both engines form every event combination exactly once through the
 *trigger* discipline documented in :mod:`repro.engines.matches`.
@@ -22,16 +28,18 @@ Both engines form every event combination exactly once through the
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from collections import deque
+from typing import Deque, Iterable, Iterator, Optional
 
 from ..errors import EngineError
 from ..events import Event, Stream
-from ..patterns.predicates import Predicate
+from ..patterns.predicates import Adjacent, Predicate, TimestampOrder
 from ..patterns.transformations import DecomposedPattern
 from .buffers import VariableBuffer
 from .matches import Match, PartialMatch
 from .metrics import EngineMetrics
 from .negation import NegationChecker, PreparedSpec
+from .snapshot import EngineSnapshot, describe_partial_match
 
 SELECTION_ANY = "any"
 SELECTION_NEXT = "next"
@@ -101,8 +109,15 @@ class BaseEngine:
             unary = tuple(self._conditions.filters_for(variable))
             unary_filter = None
             if unary:
-                def unary_filter(event, _preds=unary, _var=variable):
-                    return all(p.evaluate({_var: event}) for p in _preds)
+                def unary_filter(event, _preds=unary, _var=variable,
+                                 _engine=self):
+                    for p in _preds:
+                        passed = p.evaluate({_var: event})
+                        if _engine._sel_tracker is not None:
+                            _engine._observe_predicate(p, passed)
+                        if not passed:
+                            return False
+                    return True
             self._buffers[variable] = VariableBuffer(
                 variable, type_name, unary_filter, metrics=self.metrics
             )
@@ -115,6 +130,27 @@ class BaseEngine:
         self._consumed: set[int] = set()
         self._now = float("-inf")
         self._event_wall_started = 0.0
+        # Live plan migration (see repro.engines.snapshot): the window
+        # buffer — every pattern-relevant event still inside the window —
+        # is the replayable, plan-independent core of the engine's state.
+        self._relevant_types = frozenset(
+            type_name for _, type_name in decomposed.positives
+        ) | frozenset(spec.event_type for spec in decomposed.negations)
+        self._window_events: Deque[Event] = deque()
+        # Online selectivity feedback (repro.stats.online): when a
+        # tracker is attached, predicate outcomes are reported per
+        # variable pair.  None keeps the hot path observation-free.
+        # Observation keys are resolved per predicate object up front —
+        # implied predicates (SEQ orderings, contiguity) and >2-variable
+        # conditions map to nothing and are never observed.
+        self._sel_tracker = None
+        self._sel_key_by_pred: dict[int, frozenset] = {}
+        for predicate in self._conditions:
+            if isinstance(predicate, (TimestampOrder, Adjacent)):
+                continue
+            variables = predicate.variables
+            if 1 <= len(variables) <= 2:
+                self._sel_key_by_pred[id(predicate)] = frozenset(variables)
 
     # -- public API --------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
@@ -139,6 +175,112 @@ class BaseEngine:
         self._pending.clear()
         return matches
 
+    # -- live plan migration ------------------------------------------------
+    def iter_partial_matches(self) -> Iterator[PartialMatch]:
+        """All live partial-match instances (engine-specific stores)."""
+        raise NotImplementedError
+
+    def export_state(self) -> EngineSnapshot:
+        """Plan-independent snapshot: window events + in-flight matches.
+
+        Any engine built for an equivalent pattern — regardless of plan
+        shape — can rebuild its intermediate stores from the snapshot
+        via :meth:`seed_from` (see :mod:`repro.engines.snapshot` for why
+        the window buffer is sufficient).
+        """
+        return EngineSnapshot(
+            events=tuple(self._window_events),
+            now=self._now,
+            window=self.window,
+            consumed=frozenset(self._consumed),
+            partial_matches=tuple(
+                describe_partial_match(pm)
+                for pm in self.iter_partial_matches()
+            ),
+            pending=tuple(
+                (describe_partial_match(entry.pm), entry.deadline)
+                for entry in self._pending
+            ),
+        )
+
+    def seed_from(self, snapshot: EngineSnapshot) -> None:
+        """Rebuild intermediate state by replaying the snapshot's window
+        buffer (recompute-from-buffer migration).
+
+        Must be called on a freshly built engine.  Matches re-derived
+        during the replay were already reported by the donor engine and
+        are suppressed (their metrics entries are rolled back); pending
+        matches are recreated with their original deadlines and released
+        by the normal mechanism.  Replay work (partial matches created,
+        predicate evaluations, index probes) stays in the metrics — it
+        is the real cost of the migration.
+        """
+        self._require_fresh("seed_from")
+        if snapshot.window != self.window:
+            raise EngineError(
+                f"snapshot window {snapshot.window:g} does not match "
+                f"engine window {self.window:g}"
+            )
+        self._consumed = set(snapshot.consumed)
+        metrics = self.metrics
+        emitted_before = len(metrics.latencies)
+        for event in snapshot.events:
+            self.process(event)
+        replayed = len(metrics.latencies) - emitted_before
+        metrics.matches_emitted -= replayed
+        del metrics.latencies[emitted_before:]
+        del metrics.wall_latencies[emitted_before:]
+        metrics.events_processed = 0
+
+    def seed_negation_state(self, snapshot: EngineSnapshot) -> None:
+        """Pre-load the negation candidate buffers from a snapshot.
+
+        The parallel-drain migration runs the new engine from empty
+        alongside the old one for one window; positive state rebuilds
+        itself from arriving events, but forbidden-event candidates that
+        arrived *before* the swap would be invisible to the new engine —
+        and a negation range can reach up to one window into the past
+        (``[max_ts - W, ...)``), so missing them would emit matches the
+        old engine correctly rejects.  Seeding only the negation buffers
+        closes that hole without any replay.
+        """
+        self._require_fresh("seed_negation_state")
+        if not self._negation.active:
+            return
+        for event in snapshot.events:
+            self._negation.offer(event)
+
+    def _require_fresh(self, operation: str) -> None:
+        if self.metrics.events_processed or self._now != float("-inf"):
+            raise EngineError(
+                f"{operation} requires a freshly built engine "
+                f"(this one already processed "
+                f"{self.metrics.events_processed} events)"
+            )
+
+    # -- online selectivity feedback ----------------------------------------
+    def set_selectivity_tracker(self, tracker) -> None:
+        """Attach a :class:`~repro.stats.online.SelectivityTracker`.
+
+        Engines then report each explicit predicate evaluation outcome
+        under the catalog's key convention (``frozenset({a, b})`` for a
+        cross-predicate, ``frozenset({a})`` for a unary filter).
+        Implied predicates — SEQ timestamp orderings and contiguity
+        adjacency — are excluded: the statistics catalog never carries
+        selectivities for them.  With ``indexed=True``, equalities
+        extracted into hash keys are observed only on scan fallbacks
+        (bucket-guaranteed candidates skip them), so feedback is most
+        informative for theta/residual predicates and unary filters.
+        """
+        self._sel_tracker = tracker
+
+    def _observe_predicate(self, predicate: Predicate, passed: bool) -> None:
+        key = self._sel_key_by_pred.get(id(predicate))
+        if key is None:
+            return
+        self._sel_tracker.observe(key, passed)
+        self.metrics.selectivity_observations += 1
+
     # -- shared plumbing ----------------------------------------------------
     def _advance_time(self, event: Event) -> list[Match]:
         """Prune windows and release due pending matches."""
@@ -146,6 +288,11 @@ class BaseEngine:
         self._event_wall_started = time.perf_counter()
         self._now = event.timestamp
         cutoff = self._now - self.window
+        if event.type in self._relevant_types:
+            self._window_events.append(event)
+        window_events = self._window_events
+        while window_events and window_events[0].timestamp < cutoff:
+            window_events.popleft()
         for buffer in self._buffers.values():
             buffer.prune(cutoff)
         self._negation.prune(cutoff)
@@ -214,7 +361,10 @@ class BaseEngine:
             for predicate in predicates:
                 if set(predicate.variables) <= bound:
                     self.metrics.predicate_evaluations += 1
-                    if not predicate.evaluate(probe):
+                    passed = predicate.evaluate(probe)
+                    if self._sel_tracker is not None:
+                        self._observe_predicate(predicate, passed)
+                    if not passed:
                         return False
             return True
         bindings[variable] = event
@@ -222,7 +372,10 @@ class BaseEngine:
         for predicate in predicates:
             if set(predicate.variables) <= bound:
                 self.metrics.predicate_evaluations += 1
-                if not predicate.evaluate(bindings):
+                passed = predicate.evaluate(bindings)
+                if self._sel_tracker is not None:
+                    self._observe_predicate(predicate, passed)
+                if not passed:
                     return False
         return True
 

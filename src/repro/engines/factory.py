@@ -43,6 +43,7 @@ from .base import BaseEngine
 from .matches import Match
 from .metrics import EngineMetrics
 from .nfa import NFAEngine
+from .snapshot import EngineSnapshot
 from .tree import TreeEngine
 
 Engine = Union[BaseEngine, "DisjunctionEngine"]
@@ -52,11 +53,18 @@ def build_engine(
     planned: PlannedPattern,
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
+    seed: Optional[EngineSnapshot] = None,
 ) -> BaseEngine:
     """Instantiate the runtime engine for one planned simple pattern.
 
     ``indexed=False`` keeps the linear (seed) stores — the baseline the
     store-equivalence tests and the fig21 benchmark compare against.
+
+    ``seed`` — an :class:`~repro.engines.snapshot.EngineSnapshot`
+    exported from a running engine of an *equivalent* pattern — rebuilds
+    the new engine's intermediate stores by replaying the snapshot's
+    window buffer before any live event arrives (recompute-from-buffer
+    migration, see :meth:`BaseEngine.seed_from`).
     """
     common = dict(
         selection=planned.selection,
@@ -65,10 +73,16 @@ def build_engine(
         indexed=indexed,
     )
     if isinstance(planned.plan, OrderPlan):
-        return NFAEngine(planned.decomposed, planned.plan, **common)
-    if isinstance(planned.plan, TreePlan):
-        return TreeEngine(planned.decomposed, planned.plan, **common)
-    raise EngineError(f"unsupported plan type {type(planned.plan).__name__}")
+        engine = NFAEngine(planned.decomposed, planned.plan, **common)
+    elif isinstance(planned.plan, TreePlan):
+        engine = TreeEngine(planned.decomposed, planned.plan, **common)
+    else:
+        raise EngineError(
+            f"unsupported plan type {type(planned.plan).__name__}"
+        )
+    if seed is not None:
+        engine.seed_from(seed)
+    return engine
 
 
 def build_engine_from_parts(
@@ -106,6 +120,7 @@ def build_engines(
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
     parallel: Optional[Union["ParallelConfig", int]] = None,
+    seed: Optional[object] = None,
 ) -> Union[Engine, "MultiQueryEngine", "ParallelExecutor"]:
     """Engine for planner output: single engine, disjunction wrapper, or
     — for a :class:`~repro.multiquery.sharing.SharedPlan` — the shared
@@ -116,10 +131,20 @@ def build_engines(
     :class:`~repro.parallel.ParallelExecutor` over the same plans
     instead: ``run(stream)`` then shards the stream across workers and
     merges match lists canonically (see :mod:`repro.parallel`).
+
+    ``seed`` rebuilds engine state from a snapshot before any live event
+    arrives (live plan migration, :mod:`repro.adaptive`): for a single
+    planned pattern pass the engine's
+    :class:`~repro.engines.snapshot.EngineSnapshot`; for a disjunction
+    pass what :meth:`DisjunctionEngine.export_state` returned (one
+    snapshot per disjunct).  Seeding parallel executors and shared
+    multi-query plans is not supported.
     """
     from ..multiquery.sharing import SharedPlan as _SharedPlan
 
     if parallel is not None:
+        if seed is not None:
+            raise EngineError("parallel executors cannot be seeded")
         from ..parallel.executor import ParallelConfig as _Config
         from ..parallel.executor import ParallelExecutor as _Executor
 
@@ -135,6 +160,8 @@ def build_engines(
             indexed=indexed,
         )
     if isinstance(planned, _SharedPlan):
+        if seed is not None:
+            raise EngineError("shared multi-query plans cannot be seeded")
         from ..multiquery.executor import MultiQueryEngine as _MultiQueryEngine
 
         return _MultiQueryEngine(
@@ -142,10 +169,15 @@ def build_engines(
         )
     if not planned:
         raise EngineError("no planned patterns supplied")
+    if len(planned) == 1:
+        if seed is not None and not isinstance(seed, EngineSnapshot):
+            (seed,) = seed  # a one-element export_state list is fine
+        return build_engine(planned[0], max_kleene_size, indexed, seed=seed)
     engines = [build_engine(item, max_kleene_size, indexed) for item in planned]
-    if len(engines) == 1:
-        return engines[0]
-    return DisjunctionEngine(engines)
+    wrapper = DisjunctionEngine(engines)
+    if seed is not None:
+        wrapper.seed_from(seed)
+    return wrapper
 
 
 class DisjunctionEngine:
@@ -179,6 +211,40 @@ class DisjunctionEngine:
         for engine in self.engines:
             matches.extend(engine.finalize())
         return matches
+
+    # -- live plan migration -------------------------------------------------
+    def export_state(self) -> list[EngineSnapshot]:
+        """One plan-independent snapshot per disjunct sub-engine."""
+        return [engine.export_state() for engine in self.engines]
+
+    def seed_from(self, snapshots: Sequence[EngineSnapshot]) -> None:
+        """Seed each sub-engine from its positional snapshot (the shape
+        :meth:`export_state` returns — disjunct order is deterministic
+        for one pattern, so positions line up across replans)."""
+        snapshots = list(snapshots)
+        if len(snapshots) != len(self.engines):
+            raise EngineError(
+                f"{len(snapshots)} snapshots for {len(self.engines)} "
+                "disjunct engines"
+            )
+        for engine, snapshot in zip(self.engines, snapshots):
+            engine.seed_from(snapshot)
+
+    def seed_negation_state(
+        self, snapshots: Sequence[EngineSnapshot]
+    ) -> None:
+        snapshots = list(snapshots)
+        if len(snapshots) != len(self.engines):
+            raise EngineError(
+                f"{len(snapshots)} snapshots for {len(self.engines)} "
+                "disjunct engines"
+            )
+        for engine, snapshot in zip(self.engines, snapshots):
+            engine.seed_negation_state(snapshot)
+
+    def set_selectivity_tracker(self, tracker) -> None:
+        for engine in self.engines:
+            engine.set_selectivity_tracker(tracker)
 
     @property
     def metrics(self) -> EngineMetrics:

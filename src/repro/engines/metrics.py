@@ -44,6 +44,25 @@ boundary_duplicates_dropped
                          region) and were filtered before the merge
 worker_count             parallel runtime only: workers the merged metrics
                          aggregate over (0 for a single-engine run)
+selectivity_observations predicate outcomes reported to an attached
+                         :class:`~repro.stats.online.SelectivityTracker`
+                         (0 when no tracker is attached; implied
+                         SEQ-ordering and contiguity predicates are
+                         never observed)
+migrations               adaptive runtime only (:mod:`repro.adaptive`):
+                         plan switches performed by the controller,
+                         under any migration policy
+pm_migrated              adaptive runtime only: in-flight partial
+                         matches (live + pending) preserved across plan
+                         switches by a stateful migration policy
+                         (``recompute`` replay or ``parallel-drain``
+                         overlap); 0 under ``restart``
+matches_saved_by_migration
+                         adaptive runtime only: matches that a
+                         restart-based swap would have lost — deferred
+                         matches drained from the outgoing engine at
+                         swap, plus post-swap matches binding at least
+                         one pre-swap event
 latencies                per-match stream-time detection latencies
 wall_latencies           per-match wall-clock detection latencies (seconds)
 ======================== =====================================================
@@ -74,6 +93,10 @@ class EngineMetrics:
     events_routed: int = 0
     boundary_duplicates_dropped: int = 0
     worker_count: int = 0
+    selectivity_observations: int = 0
+    migrations: int = 0
+    pm_migrated: int = 0
+    matches_saved_by_migration: int = 0
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
 
@@ -118,19 +141,26 @@ class EngineMetrics:
         return max(self.wall_latencies, default=0.0)
 
     def merge(
-        self, other: "EngineMetrics", disjoint_streams: bool = False
+        self,
+        other: "EngineMetrics",
+        disjoint_streams: bool = False,
+        concurrent: bool = True,
     ) -> "EngineMetrics":
         """Combine the metrics of two engines into one report.
 
-        Counters add.  Peaks add as well because the merged engines run
-        concurrently, so their live structures coexist (for sub-engines
-        of a disjunction over one stream, and for parallel workers over
-        stream shards alike).
+        Counters add.  With ``concurrent=True`` (the default) peaks add
+        as well because the merged engines run side by side, so their
+        live structures coexist (for sub-engines of a disjunction over
+        one stream, and for parallel workers over stream shards alike).
+        ``concurrent=False`` takes the max of the peaks instead — the
+        rule for *sequential* engine generations, e.g. the adaptive
+        controller's retired engines, whose stores never coexist.
 
         ``disjoint_streams`` selects the ``events_processed`` rule:
         sub-engines of a disjunction see the *same* stream, so the event
-        count is the max; parallel workers each process their own shard,
-        so shard counts add (see :mod:`repro.parallel`).
+        count is the max; parallel workers each process their own shard
+        — and adaptive engine generations their own stream segment — so
+        those counts add (see :mod:`repro.parallel`).
         """
         merged = EngineMetrics(
             events_processed=(
@@ -144,9 +174,13 @@ class EngineMetrics:
             ),
             peak_partial_matches=(
                 self.peak_partial_matches + other.peak_partial_matches
+                if concurrent
+                else max(self.peak_partial_matches, other.peak_partial_matches)
             ),
             peak_buffered_events=(
                 self.peak_buffered_events + other.peak_buffered_events
+                if concurrent
+                else max(self.peak_buffered_events, other.peak_buffered_events)
             ),
             predicate_evaluations=(
                 self.predicate_evaluations + other.predicate_evaluations
@@ -161,6 +195,15 @@ class EngineMetrics:
                 + other.boundary_duplicates_dropped
             ),
             worker_count=self.worker_count + other.worker_count,
+            selectivity_observations=(
+                self.selectivity_observations + other.selectivity_observations
+            ),
+            migrations=self.migrations + other.migrations,
+            pm_migrated=self.pm_migrated + other.pm_migrated,
+            matches_saved_by_migration=(
+                self.matches_saved_by_migration
+                + other.matches_saved_by_migration
+            ),
         )
         merged.latencies = self.latencies + other.latencies
         merged.wall_latencies = self.wall_latencies + other.wall_latencies
@@ -186,4 +229,8 @@ class EngineMetrics:
             "events_routed": self.events_routed,
             "boundary_duplicates_dropped": self.boundary_duplicates_dropped,
             "worker_count": self.worker_count,
+            "selectivity_observations": self.selectivity_observations,
+            "migrations": self.migrations,
+            "pm_migrated": self.pm_migrated,
+            "matches_saved_by_migration": self.matches_saved_by_migration,
         }

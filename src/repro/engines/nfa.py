@@ -351,5 +351,10 @@ class NFAEngine(BaseEngine):
     def live_partial_matches(self) -> int:
         return sum(len(v) for v in self._states.values())
 
+    def iter_partial_matches(self):
+        """Live instances across every chain state."""
+        for store in self._states.values():
+            yield from store
+
     def __repr__(self) -> str:
         return f"NFAEngine(plan={self.plan!r}, selection={self.selection!r})"

@@ -1,0 +1,112 @@
+"""Plan-independent engine state snapshots (live plan migration).
+
+A long-running engine holds three kinds of state that matter across a
+plan switch:
+
+* the **live window events** — every pattern-relevant primitive event
+  whose timestamp is still inside the sliding window (variable-buffer
+  contents, tree leaf instances, and negation candidate buffers are all
+  subsets of this set);
+* the **partial matches** in flight (including the accepting-state
+  pending matches deferred on trailing-negation deadlines);
+* the **consumed-event set** of the restrictive selection strategies.
+
+Everything an engine stores beyond that — which node/state a partial
+match is buffered at, which hash bucket an event occupies — is a
+function of the *plan*, not of the stream.  :class:`EngineSnapshot`
+therefore captures exactly the plan-independent part: any engine built
+for an equivalent pattern (any plan shape, tree or order) can rebuild
+its intermediate stores from it by replaying the window buffer
+(:meth:`repro.engines.base.BaseEngine.seed_from`), because every live
+partial match binds only events with ``timestamp >= now - window``:
+
+* window expiry drops partial matches whose earliest constituent left
+  the window (``min_ts >= now - W`` for everything live), and
+* pending matches are released when their negation deadline
+  (``<= min_ts + W``) passes, so open pendings satisfy the same bound.
+
+The descriptors in :attr:`EngineSnapshot.partial_matches` and
+:attr:`EngineSnapshot.pending` are diagnostic views (variable ->
+bound-event sequence numbers); migration correctness rests on the event
+replay, and the migration counters (``pm_migrated``) rest on these
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from ..events import Event
+from .matches import PartialMatch
+
+#: ``variable -> (seq, ...)`` with Kleene tuples expanded, plus the
+#: trigger sequence number — the plan-independent identity of one
+#: partial match.
+PMDescriptor = Tuple[Tuple[Tuple[str, Tuple[int, ...]], ...], int]
+
+
+def describe_partial_match(pm: PartialMatch) -> PMDescriptor:
+    """Plan-independent descriptor of one partial match."""
+    bound = []
+    for variable, value in sorted(pm.bindings.items()):
+        if isinstance(value, tuple):
+            bound.append((variable, tuple(e.seq for e in value)))
+        else:
+            bound.append((variable, (value.seq,)))
+    return tuple(bound), pm.trigger_seq
+
+
+class EngineSnapshot:
+    """Plan-independent state of one engine at a point in stream time."""
+
+    __slots__ = (
+        "events",
+        "now",
+        "window",
+        "consumed",
+        "partial_matches",
+        "pending",
+    )
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        now: float,
+        window: float,
+        consumed: frozenset = frozenset(),
+        partial_matches: Sequence[PMDescriptor] = (),
+        pending: Sequence[Tuple[PMDescriptor, float]] = (),
+    ) -> None:
+        self.events = tuple(events)
+        self.now = float(now)
+        self.window = float(window)
+        self.consumed = frozenset(consumed)
+        self.partial_matches = tuple(partial_matches)
+        self.pending = tuple(pending)
+
+    @property
+    def partial_match_count(self) -> int:
+        """Live partial matches captured (pending matches excluded)."""
+        return len(self.partial_matches)
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineSnapshot({len(self.events)} events, "
+            f"{len(self.partial_matches)} partial matches, "
+            f"{len(self.pending)} pending, now={self.now:g})"
+        )
+
+
+#: What :meth:`DisjunctionEngine.export_state` returns: one snapshot per
+#: sub-engine (each disjunct tracks its own state over the same stream).
+SnapshotLike = Union[EngineSnapshot, Sequence[EngineSnapshot]]
+
+
+def snapshot_pm_count(snapshot: Optional[SnapshotLike]) -> int:
+    """Partial matches (live + pending) across a snapshot or a list of
+    per-disjunct snapshots — the ``pm_migrated`` accounting unit."""
+    if snapshot is None:
+        return 0
+    if isinstance(snapshot, EngineSnapshot):
+        return snapshot.partial_match_count + len(snapshot.pending)
+    return sum(snapshot_pm_count(item) for item in snapshot)

@@ -234,7 +234,15 @@ class TreeEngine(BaseEngine):
             filters = self._conditions.filters_for(variable)
             if filters:
                 self.metrics.predicate_evaluations += len(filters)
-                if not all(p.evaluate({variable: event}) for p in filters):
+                ok = True
+                for p in filters:
+                    passed = p.evaluate({variable: event})
+                    if self._sel_tracker is not None:
+                        self._observe_predicate(p, passed)
+                    if not passed:
+                        ok = False
+                        break
+                if not ok:
                     continue
             admitted.append(variable)
         return admitted
@@ -330,7 +338,10 @@ class TreeEngine(BaseEngine):
             predicates = parent.cross_predicates
         for predicate in predicates:
             self.metrics.predicate_evaluations += 1
-            if not predicate.evaluate(merged.bindings):
+            passed = predicate.evaluate(merged.bindings)
+            if self._sel_tracker is not None:
+                self._observe_predicate(predicate, passed)
+            if not passed:
                 return None
         return merged
 
@@ -358,6 +369,12 @@ class TreeEngine(BaseEngine):
     # -- introspection ----------------------------------------------------------------
     def live_partial_matches(self) -> int:
         return sum(len(node.store) for node in self._nodes)
+
+    def iter_partial_matches(self):
+        """Live instances at every plan node (leaves included — leaf
+        stores are the cost-model buffers, see the module docstring)."""
+        for node in self._nodes:
+            yield from node.store
 
     def __repr__(self) -> str:
         return f"TreeEngine(plan={self.plan!r}, selection={self.selection!r})"

@@ -136,6 +136,45 @@ def plan_pattern(
     return planned
 
 
+def replan(
+    planned: list[PlannedPattern],
+    catalog: StatisticsCatalog,
+    optimizer: Optional[PlanGenerator] = None,
+    **optimizer_kwargs,
+) -> list[PlannedPattern]:
+    """Regenerate plans for already-planned patterns under fresh statistics.
+
+    The adaptive re-optimization entry point (Section 6.3): each
+    disjunct keeps its decomposition, cost model and selection strategy
+    — only the planning statistics are re-resolved from ``catalog``
+    (rates *and* selectivities, both of which the online estimators may
+    have refreshed) and the plan re-generated.  ``optimizer`` overrides
+    the per-pattern algorithm recorded at first planning; the default
+    re-runs whatever produced the original plan.
+    """
+    refreshed: list[PlannedPattern] = []
+    for item in planned:
+        generator = optimizer or make_optimizer(
+            item.algorithm, **optimizer_kwargs
+        )
+        stats = PatternStatistics.for_planning(item.decomposed, catalog)
+        plan = generator.generate(item.decomposed, stats, item.cost_model)
+        cost = generator.plan_cost(plan, stats, item.cost_model)
+        refreshed.append(
+            PlannedPattern(
+                pattern=item.pattern,
+                decomposed=item.decomposed,
+                plan=plan,
+                cost=cost,
+                stats=stats,
+                algorithm=generator.name,
+                cost_model=item.cost_model,
+                selection=item.selection,
+            )
+        )
+    return refreshed
+
+
 def total_cost(planned: list[PlannedPattern]) -> float:
     """Combined plan cost of a disjunction: the sum over disjuncts.
 

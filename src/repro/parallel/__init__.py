@@ -38,6 +38,7 @@ from .ordering import (
     canonical_order,
     completion_seq,
     content_key,
+    match_min_seq,
     match_min_ts,
     match_records,
     match_sort_key,
@@ -56,6 +57,7 @@ __all__ = [
     "canonical_order",
     "completion_seq",
     "content_key",
+    "match_min_seq",
     "match_min_ts",
     "match_records",
     "match_sort_key",

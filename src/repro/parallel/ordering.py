@@ -71,6 +71,24 @@ def completion_seq(match: Match) -> int:
     return latest
 
 
+def match_min_seq(match: Match) -> int:
+    """Earliest constituent sequence number.
+
+    The adaptive controller's migration accounting uses this: a match
+    emitted after a plan switch whose earliest constituent predates the
+    switch is exactly a match a restart-based swap would have lost.
+    """
+    earliest = None
+    for value in match.bindings.values():
+        if isinstance(value, tuple):
+            for event in value:
+                if earliest is None or event.seq < earliest:
+                    earliest = event.seq
+        elif earliest is None or value.seq < earliest:
+            earliest = value.seq
+    return -1 if earliest is None else earliest
+
+
 def match_min_ts(match: Match) -> float:
     """Earliest constituent timestamp (window-slice ownership test)."""
     earliest = float("inf")

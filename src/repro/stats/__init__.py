@@ -6,7 +6,11 @@ from .estimators import (
     estimate_rates,
     estimate_selectivity,
 )
-from .online import EwmaSelectivityEstimator, SlidingRateEstimator
+from .online import (
+    EwmaSelectivityEstimator,
+    SelectivityTracker,
+    SlidingRateEstimator,
+)
 
 __all__ = [
     "PatternStatistics",
@@ -15,5 +19,6 @@ __all__ = [
     "estimate_rates",
     "estimate_selectivity",
     "EwmaSelectivityEstimator",
+    "SelectivityTracker",
     "SlidingRateEstimator",
 ]

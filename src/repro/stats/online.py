@@ -10,6 +10,12 @@ was built with.
   time window of the stream.
 * :class:`EwmaSelectivityEstimator` — exponentially weighted moving
   average of predicate pass/fail observations reported by the engines.
+* :class:`SelectivityTracker` — one EWMA estimator per predicate key
+  (catalog convention: ``frozenset({a, b})`` for a cross-predicate,
+  ``frozenset({a})`` for a unary filter), fed by the engines'
+  predicate-evaluation hooks
+  (:meth:`repro.engines.BaseEngine.set_selectivity_tracker`) and read
+  back by the adaptive controller as a catalog update.
 """
 
 from __future__ import annotations
@@ -93,4 +99,72 @@ class EwmaSelectivityEstimator:
         return (
             f"EwmaSelectivityEstimator(value={self.value:.4f}, "
             f"n={self.observations})"
+        )
+
+
+class SelectivityTracker:
+    """Per-predicate EWMA selectivities from engine evaluation outcomes.
+
+    Keys follow the :class:`~repro.stats.catalog.StatisticsCatalog`
+    selectivity convention — ``frozenset({a, b})`` for a pairwise
+    predicate, ``frozenset({a})`` for a unary filter — so a
+    :meth:`snapshot` plugs directly into
+    :meth:`StatisticsCatalog.updated`.  Estimators are created lazily on
+    first observation; :meth:`snapshot` only reports keys that have
+    accumulated ``min_observations`` outcomes, keeping noisy cold
+    estimates out of replanning decisions.
+    """
+
+    def __init__(
+        self, alpha: float = 0.05, min_observations: int = 50
+    ) -> None:
+        if min_observations < 1:
+            raise StatisticsError("min_observations must be >= 1")
+        self.alpha = alpha
+        self.min_observations = int(min_observations)
+        self._estimators: dict[frozenset, EwmaSelectivityEstimator] = {}
+        # Validate alpha eagerly (fail at construction, not first use).
+        EwmaSelectivityEstimator(alpha=alpha)
+
+    def observe(self, key: frozenset, passed: bool) -> None:
+        """Record one pass/fail outcome for the predicate ``key``."""
+        estimator = self._estimators.get(key)
+        if estimator is None:
+            estimator = self._estimators[key] = EwmaSelectivityEstimator(
+                alpha=self.alpha
+            )
+        estimator.observe(passed)
+
+    def estimator(
+        self, key: frozenset
+    ) -> Optional[EwmaSelectivityEstimator]:
+        return self._estimators.get(key)
+
+    @property
+    def observations(self) -> int:
+        """Total outcomes recorded across all keys."""
+        return sum(e.observations for e in self._estimators.values())
+
+    def snapshot(
+        self, min_observations: Optional[int] = None
+    ) -> dict[frozenset, float]:
+        """Current estimates for every sufficiently observed key."""
+        floor = (
+            self.min_observations
+            if min_observations is None
+            else min_observations
+        )
+        return {
+            key: estimator.value
+            for key, estimator in self._estimators.items()
+            if estimator.observations >= floor
+        }
+
+    def __len__(self) -> int:
+        return len(self._estimators)
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectivityTracker({len(self._estimators)} keys, "
+            f"{self.observations} observations)"
         )

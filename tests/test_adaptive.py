@@ -139,6 +139,101 @@ class TestControllerTriggers:
         matches = controller.run(stream)
         assert controller.reoptimizations >= 1
         assert matches, "the SEQ(A,B) pattern must match this stream"
-        # Restart-based swap: every reported match is a valid binding.
+        # Every reported match is a valid binding, whatever the policy.
         for match in matches:
             assert match["a"].timestamp < match["b"].timestamp
+
+
+class TestSelectivityThreshold:
+    """Separate rate / selectivity thresholds and mixed-key drift."""
+
+    RATE = "A"
+    SEL = frozenset(("a", "b"))
+
+    def test_defaults_to_rate_threshold(self):
+        detector = DriftDetector(threshold=0.4)
+        assert detector.selectivity_threshold == 0.4
+
+    def test_selectivity_keys_use_their_own_threshold(self):
+        detector = DriftDetector(threshold=10.0, selectivity_threshold=0.2)
+        # +50% rate change is under the (huge) rate threshold...
+        assert not detector.drifted({self.RATE: 2.0}, {self.RATE: 3.0})
+        # ...while a 25% selectivity change exceeds its own threshold.
+        assert detector.drifted({self.SEL: 0.8}, {self.SEL: 0.6})
+
+    def test_mixed_rate_and_selectivity_drift_keys(self):
+        detector = DriftDetector(threshold=0.5, selectivity_threshold=0.1)
+        baseline = {self.RATE: 2.0, "B": 2.0, self.SEL: 0.5,
+                    frozenset(("b",)): 0.9}
+        current = {self.RATE: 4.0, "B": 2.2, self.SEL: 0.54,
+                   frozenset(("b",)): 0.2}
+        drifted = detector.drifted_keys(baseline, current)
+        # A doubled (rate drift); b's filter collapsed (selectivity
+        # drift); B and the a-b pair stay inside their thresholds.
+        assert set(drifted) == {self.RATE, frozenset(("b",))}
+
+    def test_invalid_selectivity_threshold_rejected(self):
+        with pytest.raises(StatisticsError):
+            DriftDetector(threshold=0.5, selectivity_threshold=0.0)
+
+
+class TestSelectivityDrivenReplanning:
+    """The controller replans on observed-selectivity drift alone."""
+
+    PATTERN = "PATTERN SEQ(A a, B b) WHERE a.x < b.x WITHIN 4"
+
+    def skewed_stream(self, count=400, seed=3):
+        # a.x < b.x never holds: true selectivity 0 against a catalog
+        # claiming 0.9.  Rates stay dead flat.
+        rng = random.Random(seed)
+        events, t = [], 0.0
+        for i in range(count):
+            t += 0.1
+            name = "A" if i % 2 == 0 else "B"
+            x = 1.0 + rng.random() if name == "A" else rng.random()
+            events.append(Event(name, t, {"x": x}))
+        return Stream(events)
+
+    def controller(self, detector):
+        return AdaptiveController(
+            parse_pattern(self.PATTERN),
+            StatisticsCatalog({"A": 5.0, "B": 5.0}, {("a", "b"): 0.9}),
+            check_interval=50,
+            detector=detector,
+            min_selectivity_observations=30,
+        )
+
+    def test_replans_on_selectivity_drift_only(self):
+        controller = self.controller(
+            DriftDetector(threshold=1e9, selectivity_threshold=0.5)
+        )
+        controller.run(self.skewed_stream())
+        assert controller.reoptimizations >= 1
+        # The refreshed catalog carries the observed (collapsed) value.
+        assert controller._catalog.selectivity("a", "b") < 0.3
+        assert controller.metrics.selectivity_observations > 0
+
+    def test_selectivity_tracking_can_be_disabled(self):
+        controller = AdaptiveController(
+            parse_pattern(self.PATTERN),
+            StatisticsCatalog({"A": 5.0, "B": 5.0}, {("a", "b"): 0.9}),
+            check_interval=50,
+            detector=DriftDetector(threshold=1e9, selectivity_threshold=0.5),
+            track_selectivities=False,
+        )
+        controller.run(self.skewed_stream())
+        assert controller.reoptimizations == 0
+        assert controller.metrics.selectivity_observations == 0
+
+    def test_implied_ordering_predicates_are_not_observed(self):
+        # A pattern whose only conditions are the SEQ orderings: no
+        # observable predicate exists, so no selectivity drift can fire.
+        controller = AdaptiveController(
+            parse_pattern("PATTERN SEQ(A a, B b) WITHIN 4"),
+            StatisticsCatalog({"A": 5.0, "B": 5.0}),
+            check_interval=50,
+            detector=DriftDetector(threshold=1e9, selectivity_threshold=1e-6),
+        )
+        controller.run(self.skewed_stream())
+        assert controller.reoptimizations == 0
+        assert controller.metrics.selectivity_observations == 0

@@ -134,3 +134,40 @@ class TestEngineMetrics:
     def test_summary_keys(self):
         summary = EngineMetrics().summary()
         assert {"events", "matches", "peak_pm", "peak_memory"} <= set(summary)
+        assert {
+            "selectivity_observations",
+            "migrations",
+            "pm_migrated",
+            "matches_saved_by_migration",
+        } <= set(summary)
+
+    def test_merge_aggregates_migration_and_selectivity_counters(self):
+        first = EngineMetrics(
+            selectivity_observations=7,
+            migrations=1,
+            pm_migrated=5,
+            matches_saved_by_migration=2,
+        )
+        second = EngineMetrics(
+            selectivity_observations=3,
+            migrations=2,
+            pm_migrated=4,
+            matches_saved_by_migration=1,
+        )
+        merged = first.merge(second)
+        assert merged.selectivity_observations == 10
+        assert merged.migrations == 3
+        assert merged.pm_migrated == 9
+        assert merged.matches_saved_by_migration == 3
+
+    def test_sequential_merge_takes_peak_max(self):
+        first = EngineMetrics(events_processed=10)
+        first.note_state(4, 6)
+        second = EngineMetrics(events_processed=5)
+        second.note_state(2, 9)
+        merged = first.merge(second, disjoint_streams=True, concurrent=False)
+        # Sequential engine generations never coexist: peaks take the
+        # max, segment event counts add.
+        assert merged.peak_partial_matches == 4
+        assert merged.peak_buffered_events == 9
+        assert merged.events_processed == 15

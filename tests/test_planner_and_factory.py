@@ -13,7 +13,9 @@ from repro.engines import (
 )
 from repro.errors import OptimizerError
 from repro.optimizers import plan_pattern, resolve_cost_model, total_cost
+from repro.optimizers.planner import replan
 from repro.patterns import decompose, nested_to_dnf, parse_pattern
+from repro.stats import StatisticsCatalog
 
 from .conftest import make_stream
 
@@ -111,6 +113,74 @@ class TestEngineFactory:
 
         with pytest.raises(EngineError):
             build_engines([])
+
+    def test_disjunction_snapshot_round_trip(self, catalog):
+        """export_state / build_engines(seed=...) across a disjunction."""
+        pattern = parse_pattern(
+            "PATTERN OR(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 5"
+        )
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        stream = list(make_stream(seed=4, count=60, types="ABCD"))
+        donor = build_engines(planned)
+        for event in stream[:30]:
+            donor.process(event)
+        snapshots = donor.export_state()
+        assert len(snapshots) == 2
+        seeded = build_engines(planned, seed=snapshots)
+        donor_tail, seeded_tail = [], []
+        for event in stream[30:]:
+            donor_tail.extend(donor.process(event))
+            seeded_tail.extend(seeded.process(event))
+        assert {m.key() for m in seeded_tail} == {
+            m.key() for m in donor_tail
+        }
+
+
+class TestReplan:
+    """Adaptive re-planning keeps the pattern setup, swaps statistics."""
+
+    def test_replan_reflects_new_rates(self, catalog):
+        pattern = parse_pattern("PATTERN SEQ(A a, B b, C c) WITHIN 5")
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        flipped = StatisticsCatalog(
+            {"A": 100.0, "B": 0.01, "C": 50.0}, catalog.selectivities
+        )
+        refreshed = replan(planned, flipped)
+        assert len(refreshed) == len(planned)
+        item, new = planned[0], refreshed[0]
+        assert new.pattern is item.pattern
+        assert new.decomposed is item.decomposed
+        assert new.cost_model is item.cost_model
+        assert new.selection == item.selection
+        assert new.stats.rate("b") == pytest.approx(0.01)
+        # GREEDY starts from the cheapest variable: the rate flip must
+        # reorder the plan.
+        assert new.plan.variables != item.plan.variables
+        assert new.plan.variables[0] == "b"
+
+    def test_replan_reflects_new_selectivities(self, catalog):
+        pattern = parse_pattern(
+            "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 5"
+        )
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        sharpened = catalog.updated(
+            selectivities={frozenset(("a", "b")): 0.001}
+        )
+        refreshed = replan(planned, sharpened)
+        assert refreshed[0].stats.selectivity("a", "b") == pytest.approx(
+            0.001
+        )
+
+    def test_replan_algorithm_override(self, catalog):
+        from repro.optimizers import make_optimizer
+
+        pattern = parse_pattern("PATTERN SEQ(A a, B b) WITHIN 5")
+        planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+        refreshed = replan(
+            planned, catalog, optimizer=make_optimizer("ZSTREAM")
+        )
+        assert refreshed[0].algorithm == "ZSTREAM"
+        assert refreshed[0].is_tree
 
 
 class TestDisjunctionExecution:

@@ -8,6 +8,7 @@ from repro.patterns import decompose, parse_pattern
 from repro.stats import (
     EwmaSelectivityEstimator,
     PatternStatistics,
+    SelectivityTracker,
     SlidingRateEstimator,
     StatisticsCatalog,
     estimate_pattern_catalog,
@@ -177,3 +178,111 @@ class TestEwmaSelectivity:
     def test_invalid_alpha(self):
         with pytest.raises(StatisticsError):
             EwmaSelectivityEstimator(alpha=0.0)
+
+
+class TestSlidingRateBoundaries:
+    """Horizon eviction at exact boundary timestamps."""
+
+    def test_event_exactly_at_cutoff_is_retained(self):
+        est = SlidingRateEstimator(horizon=10.0)
+        est.observe(Event("A", 0.0))
+        est.observe(Event("A", 10.0))  # cutoff = 10 - 10 = 0: 0.0 stays
+        assert est.rate("A") == pytest.approx(2 / 10.0)
+
+    def test_event_just_past_cutoff_is_evicted(self):
+        est = SlidingRateEstimator(horizon=10.0)
+        est.observe(Event("A", 0.0))
+        est.observe(Event("A", 10.0))
+        est.observe(Event("A", 10.5))  # cutoff = 0.5: the 0.0 arrival dies
+        assert est.rate("A") == pytest.approx(2 / 0.5)
+
+    def test_eviction_applies_across_types(self):
+        est = SlidingRateEstimator(horizon=5.0)
+        est.observe(Event("A", 0.0))
+        est.observe(Event("B", 1.0))
+        est.observe(Event("B", 4.0))
+        est.observe(Event("B", 7.0))  # cutoff = 2: evicts both t<2 arrivals
+        assert est.rate("A") == 0.0
+        assert est.rate("B") == pytest.approx(2 / 3.0)  # events at 4 and 7
+        assert est.rates() == {
+            "A": 0.0,
+            "B": pytest.approx(2 / 3.0),
+        }
+
+    def test_single_event_uses_epsilon_span(self):
+        est = SlidingRateEstimator(horizon=5.0)
+        est.observe(Event("A", 3.0))
+        # Span floor of 1e-9 keeps the rate finite and positive.
+        assert est.rate("A") > 0.0
+
+
+class TestEwmaConvergence:
+    """Prior handling and alpha-controlled adaptation speed."""
+
+    def test_first_observation_replaces_prior_exactly(self):
+        est = EwmaSelectivityEstimator(alpha=0.05, prior=1.0)
+        est.observe(False)
+        assert est.value == 0.0
+        assert est.observations == 1
+
+    def test_alpha_one_tracks_last_sample(self):
+        est = EwmaSelectivityEstimator(alpha=1.0)
+        for sample in (True, False, True):
+            est.observe(sample)
+            assert est.value == (1.0 if sample else 0.0)
+
+    def test_higher_alpha_adapts_faster(self):
+        slow = EwmaSelectivityEstimator(alpha=0.01)
+        fast = EwmaSelectivityEstimator(alpha=0.5)
+        for est in (slow, fast):
+            est.observe(True)  # both start at 1.0
+            for _ in range(20):
+                est.observe(False)
+        assert fast.value < slow.value
+
+    def test_geometric_decay_is_exact(self):
+        est = EwmaSelectivityEstimator(alpha=0.25)
+        est.observe(True)
+        for _ in range(4):
+            est.observe(False)
+        assert est.value == pytest.approx(0.75**4)
+
+    def test_invalid_prior(self):
+        with pytest.raises(StatisticsError):
+            EwmaSelectivityEstimator(prior=1.5)
+
+
+class TestSelectivityTracker:
+    def test_snapshot_respects_observation_floor(self):
+        tracker = SelectivityTracker(alpha=1.0, min_observations=3)
+        key = frozenset(("a", "b"))
+        tracker.observe(key, True)
+        tracker.observe(key, True)
+        assert tracker.snapshot() == {}
+        tracker.observe(key, False)
+        assert tracker.snapshot() == {key: 0.0}
+        assert tracker.observations == 3
+
+    def test_tracks_keys_independently(self):
+        tracker = SelectivityTracker(alpha=1.0, min_observations=1)
+        tracker.observe(frozenset(("a", "b")), True)
+        tracker.observe(frozenset(("a",)), False)
+        assert tracker.snapshot() == {
+            frozenset(("a", "b")): 1.0,
+            frozenset(("a",)): 0.0,
+        }
+        assert len(tracker) == 2
+        assert tracker.estimator(frozenset(("a",))).observations == 1
+
+    def test_snapshot_plugs_into_catalog_update(self):
+        tracker = SelectivityTracker(alpha=1.0, min_observations=1)
+        tracker.observe(frozenset(("a", "b")), False)
+        catalog = StatisticsCatalog({"A": 1.0}, {("a", "b"): 0.9})
+        updated = catalog.updated(selectivities=tracker.snapshot())
+        assert updated.selectivity("a", "b") == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StatisticsError):
+            SelectivityTracker(alpha=0.0)
+        with pytest.raises(StatisticsError):
+            SelectivityTracker(min_observations=0)
