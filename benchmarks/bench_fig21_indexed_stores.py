@@ -11,8 +11,15 @@ Two workload families over the same synthetic stream:
   the index replaces each O(store) sibling scan with one hash bucket,
   so throughput should grow roughly with the key cardinality;
 * **pure theta** — ``a.v < b.v < c.v`` has no equality cross-predicates,
-  so no index is built; this guards the "no regression" criterion (the
-  bisect expiry and trigger bounds must not cost anything noticeable).
+  so no hash index is built; this guards the "no regression" criterion
+  (the bisect expiry and trigger bounds must not cost anything
+  noticeable).  Since PR 5 the indexed mode additionally builds a
+  sorted-run range index here, so the row may show a genuine speedup.
+
+Both modes run with ``compiled=False``: this figure isolates the store
+access-path win at the interpreted evaluation layer it was calibrated
+against; the combined compiled+indexed measurement is fig24
+(``bench_fig24_compiled_hot_path.py``).
 
 Match sequences of the two modes are asserted identical for every run —
 the store is an access path, never a semantics change.  At default
@@ -87,8 +94,10 @@ def _engine(text: str, runtime: str, indexed: bool):
     d = decompose(parse_pattern(text))
     order = OrderPlan(d.positive_variables)
     if runtime == "tree":
-        return TreeEngine(d, TreePlan.left_deep(order), indexed=indexed)
-    return NFAEngine(d, order, indexed=indexed)
+        return TreeEngine(
+            d, TreePlan.left_deep(order), indexed=indexed, compiled=False
+        )
+    return NFAEngine(d, order, indexed=indexed, compiled=False)
 
 
 def _run_pair(text: str, stream: Stream, runtime: str):

@@ -152,7 +152,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdaptiveController",

@@ -57,7 +57,12 @@ from ..engines.metrics import EngineMetrics
 from ..engines.snapshot import snapshot_pm_count
 from ..errors import EngineError
 from ..events import Event, Stream
-from ..optimizers.planner import PlannedPattern, plan_pattern, replan
+from ..optimizers.planner import (
+    PlannedPattern,
+    plan_pattern,
+    replan,
+    total_cost,
+)
 from ..optimizers.registry import make_optimizer
 from ..parallel.ordering import content_key, match_min_seq
 from ..patterns.pattern import Pattern
@@ -84,9 +89,11 @@ class AdaptiveController:
         max_kleene_size: Optional[int] = None,
         migration: Optional[str] = None,
         indexed: bool = True,
+        compiled: bool = True,
         track_selectivities: bool = True,
         selectivity_alpha: float = 0.05,
         min_selectivity_observations: int = 50,
+        replan_cost_gate: float = 0.0,
     ) -> None:
         if migration is None:
             # Lossless migration where it is sound; the restrictive
@@ -103,6 +110,8 @@ class AdaptiveController:
                 "(restrictive strategies consume events globally; only "
                 "'restart' switching is available for them)"
             )
+        if replan_cost_gate < 0:
+            raise EngineError("replan_cost_gate must be >= 0")
         self.pattern = pattern
         self.algorithm = algorithm
         self.selection = selection
@@ -111,6 +120,18 @@ class AdaptiveController:
         self.max_kleene_size = max_kleene_size
         self.migration = migration
         self.indexed = indexed
+        self.compiled = compiled
+        # Replan hysteresis: after drift fires, the candidate plan must
+        # beat the *current* plan (re-costed under the refreshed
+        # statistics) by at least this relative margin, or the switch —
+        # and the catalog refresh — is suppressed.  Mid-transition EWMA
+        # drift then stops triggering replan cascades: while the
+        # estimates are still moving, the regenerated plan is usually
+        # the same shape (zero improvement) and every drift check
+        # re-derives the decision from live costs.  0.0 keeps the
+        # historical switch-on-every-drift behaviour.
+        self.replan_cost_gate = replan_cost_gate
+        self.replans_suppressed = 0
         self._catalog = initial_catalog
         self._rates = SlidingRateEstimator(horizon or pattern.window * 10)
         self._tracker = (
@@ -160,6 +181,7 @@ class AdaptiveController:
             planned,
             max_kleene_size=self.max_kleene_size,
             indexed=self.indexed,
+            compiled=self.compiled,
             seed=seed,
         )
         # Attached after seeding: replayed outcomes were observed by the
@@ -286,11 +308,37 @@ class AdaptiveController:
             return []
         if not self.detector.drifted(baseline, current):
             return []
-        self._catalog = self._catalog.updated(
+        updated = self._catalog.updated(
             rates=observed_rates, selectivities=observed_sels
         )
+        candidate = replan(self.planned, updated)
+        if self.replan_cost_gate > 0:
+            current_cost = self._current_plan_cost(candidate)
+            if total_cost(candidate) > (
+                (1.0 - self.replan_cost_gate) * current_cost
+            ):
+                # Not enough improvement to pay for a switch.  The
+                # catalog keeps its baseline, so the decision is
+                # re-derived from scratch at the next drift check.
+                self.replans_suppressed += 1
+                return []
+        self._catalog = updated
         self.reoptimizations += 1
-        return self._switch_plan()
+        return self._switch_plan(planned=candidate)
+
+    def _current_plan_cost(self, candidate: list[PlannedPattern]) -> float:
+        """Cost of the *active* plans under the refreshed statistics.
+
+        ``candidate`` is the replan of the same disjuncts against the
+        refreshed catalog, so ``candidate[i].stats`` already holds the
+        re-resolved planning statistics for ``self.planned[i]`` — no
+        second resolution pass.
+        """
+        cost = 0.0
+        for item, fresh in zip(self.planned, candidate):
+            generator = make_optimizer(item.algorithm)
+            cost += generator.plan_cost(item.plan, fresh.stats, item.cost_model)
+        return cost
 
     def force_reoptimize(
         self,
@@ -321,13 +369,18 @@ class AdaptiveController:
         matches.extend(self._switch_plan(algorithm=algorithm))
         return matches
 
-    def _switch_plan(self, algorithm: Optional[str] = None) -> list[Match]:
+    def _switch_plan(
+        self,
+        algorithm: Optional[str] = None,
+        planned: Optional[list[PlannedPattern]] = None,
+    ) -> list[Match]:
         old_engine = self.engine
-        planned = replan(
-            self.planned,
-            self._catalog,
-            optimizer=make_optimizer(algorithm) if algorithm else None,
-        )
+        if planned is None:
+            planned = replan(
+                self.planned,
+                self._catalog,
+                optimizer=make_optimizer(algorithm) if algorithm else None,
+            )
         released: list[Match] = []
         pm_migrated = 0
         if self.migration == "restart":

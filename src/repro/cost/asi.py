@@ -68,16 +68,25 @@ def verify_asi_exchange(
     holds for the given weight sequences — the exact statement of
     Definition 1, used by the hypothesis tests of Appendix A.
     """
-    order_uv = list(prefix) + list(seq_u) + list(seq_v) + list(suffix)
-    order_vu = list(prefix) + list(seq_v) + list(seq_u) + list(suffix)
-    cost_uv = chain_cost(order_uv)
-    cost_vu = chain_cost(order_vu)
+    # C(a·u·v·b) − C(a·v·u·b) = T(a)·[C(u)(1 − T(v)) − C(v)(1 − T(u))]
+    # by the composition law — the prefix enters only as the positive
+    # factor T(a) and the suffix cancels entirely.  Computing the
+    # difference in this factored form avoids the catastrophic
+    # cancellation of subtracting two full chain costs (a genuine 0.5
+    # difference drowns in the roundoff of ~1e9-magnitude totals),
+    # which used to misclassify near-equal costs as equal.
+    cost_u, mult_u = chain_cost(seq_u), chain_multiplier(seq_u)
+    cost_v, mult_v = chain_cost(seq_v), chain_multiplier(seq_v)
+    delta = chain_multiplier(prefix) * (
+        cost_u * (1.0 - mult_v) - cost_v * (1.0 - mult_u)
+    )
     rank_u = rank(seq_u)
     rank_v = rank(seq_v)
-    tolerance = 1e-9 * max(1.0, abs(cost_uv), abs(cost_vu))
-    if abs(cost_uv - cost_vu) <= tolerance or abs(rank_u - rank_v) <= 1e-12:
+    scale = chain_multiplier(prefix) * cost_u * cost_v
+    tolerance = 1e-12 * max(1.0, abs(scale))
+    if abs(delta) <= tolerance or abs(rank_u - rank_v) <= 1e-12:
         # Equal ranks must give equal costs and vice versa.
-        return (abs(cost_uv - cost_vu) <= tolerance) == (
+        return (abs(delta) <= tolerance) == (
             abs(rank_u - rank_v) <= 1e-9 * max(1.0, abs(rank_u))
         )
-    return (cost_uv < cost_vu) == (rank_u < rank_v)
+    return (delta < 0) == (rank_u < rank_v)

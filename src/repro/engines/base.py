@@ -33,6 +33,7 @@ from typing import Deque, Iterable, Iterator, Optional
 
 from ..errors import EngineError
 from ..events import Event, Stream
+from ..patterns.compile import compile_event_kernel
 from ..patterns.predicates import Adjacent, Predicate, TimestampOrder
 from ..patterns.transformations import DecomposedPattern
 from .buffers import VariableBuffer
@@ -51,6 +52,12 @@ _SELECTIONS = (
     SELECTION_STRICT,
     SELECTION_PARTITION,
 )
+
+#: Sentinel for :meth:`BaseEngine._check_extension`'s ``kernel``
+#: parameter: "no kernel supplied, run the interpreted path".  A kernel
+#: value of None means "compiled, but the predicate list is empty" —
+#: vacuously true with no bindings copy at all.
+INTERPRET = object()
 
 
 class _PendingMatch:
@@ -76,6 +83,7 @@ class BaseEngine:
         max_kleene_size: Optional[int] = None,
         pattern_name: Optional[str] = None,
         indexed: bool = True,
+        compiled: bool = True,
     ) -> None:
         if selection not in _SELECTIONS:
             raise EngineError(
@@ -87,10 +95,15 @@ class BaseEngine:
         self.selection = selection
         self.max_kleene_size = max_kleene_size
         # When True (default), stores hash-partition on equality
-        # cross-predicates (see repro.engines.stores); False keeps the
-        # seed's linear scans — the baseline of the equivalence tests
-        # and the fig21 benchmark.
+        # cross-predicates and keep sorted theta runs (see
+        # repro.engines.stores); False keeps the seed's linear scans —
+        # the baseline of the equivalence tests and the fig21/fig24
+        # benchmarks.
         self.indexed = indexed
+        # When True (default), per-node predicate lists are fused into
+        # compiled kernels (repro.patterns.compile); False keeps the
+        # interpreted per-candidate evaluation byte-identical.
+        self.compiled = compiled
         self.pattern_name = pattern_name or (
             decomposed.source.name if decomposed.source else None
         )
@@ -269,10 +282,40 @@ class BaseEngine:
         adjacency — are excluded: the statistics catalog never carries
         selectivities for them.  With ``indexed=True``, equalities
         extracted into hash keys are observed only on scan fallbacks
-        (bucket-guaranteed candidates skip them), so feedback is most
-        informative for theta/residual predicates and unary filters.
+        (bucket-guaranteed candidates skip them).  Theta range bounds
+        are *bypassed* while a tracker is attached: a bisect yields only
+        passing candidates, which would bias the observed selectivity
+        to 1.0 and mislead replanning — the probe degrades to the hash
+        bucket (or full scan) so theta outcomes stay unbiased.  With
+        ``compiled=True``, attaching a tracker recompiles every kernel
+        into its observing variant; detaching (``None``) restores the
+        observation-free kernels.
         """
         self._sel_tracker = tracker
+        if self.compiled:
+            self._recompile_kernels()
+
+    def _recompile_kernels(self) -> None:
+        """(Re)build compiled kernels against the current tracker.
+
+        The base layer owns the per-variable buffer admission filters;
+        engine subclasses extend this with their node/transition
+        kernels.  Called at engine build and on tracker (de)attachment.
+        """
+        for variable, buffer in self._buffers.items():
+            unary = tuple(self._conditions.filters_for(variable))
+            if not unary:
+                continue
+            buffer.set_filter(
+                compile_event_kernel(
+                    unary,
+                    variable,
+                    self.metrics,
+                    tracker=self._sel_tracker,
+                    sel_key_by_pred=self._sel_key_by_pred,
+                    count="none",
+                )
+            )
 
     def _observe_predicate(self, predicate: Predicate, passed: bool) -> None:
         key = self._sel_key_by_pred.get(id(predicate))
@@ -337,12 +380,16 @@ class BaseEngine:
         variable: str,
         event: Event,
         predicates: Optional[list] = None,
+        kernel=INTERPRET,
     ) -> bool:
         """Window + reuse + predicate check for binding ``event``.
 
         ``predicates`` overrides the per-variable predicate list — used
         by indexed probes to skip equalities the hash bucket already
-        guarantees (see :mod:`repro.engines.stores`).
+        guarantees (see :mod:`repro.engines.stores`).  ``kernel``
+        replaces the interpreted evaluation with a compiled conjunction
+        (``None`` = empty predicate list, vacuously true); the
+        :data:`INTERPRET` sentinel keeps the interpreted path.
         """
         if event.seq in self._consumed:
             return False
@@ -350,6 +397,8 @@ class BaseEngine:
             return False
         if not pm.span_with(event, self.window):
             return False
+        if kernel is not INTERPRET:
+            return True if kernel is None else kernel(pm.bindings, event)
         if predicates is None:
             predicates = self._preds_by_var[variable]
         bindings = dict(pm.bindings)

@@ -23,11 +23,13 @@ treatment of :mod:`repro.engines.stores` cheaply:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Callable, Deque, Iterator, Optional
 
 from ..events import Event
 from .metrics import EngineMetrics
+from .stores import NO_BOUND, RANGE_OPS, nan_like, range_slice
 
 
 def _seq_boundary(events: list, trigger_seq: int) -> int:
@@ -42,6 +44,19 @@ def _seq_boundary(events: list, trigger_seq: int) -> int:
     return lo
 
 
+class _EventBucket:
+    """One buffer bucket: arrival-ordered events plus an optional
+    value-sorted run for the buffer's theta predicate."""
+
+    __slots__ = ("events", "rvals", "revents", "runordered")
+
+    def __init__(self, ranged: bool) -> None:
+        self.events: list = []
+        self.rvals: Optional[list] = [] if ranged else None
+        self.revents: Optional[list] = [] if ranged else None
+        self.runordered: Optional[list] = [] if ranged else None
+
+
 class VariableBuffer:
     """Arrival-ordered, window-pruned events for one pattern variable."""
 
@@ -53,9 +68,12 @@ class VariableBuffer:
         "_live",
         "_size",
         "_key_of",
+        "_value_of",
+        "_range_op",
         "_buckets",
         "_overflow",
         "_indexed_total",
+        "_run_total",
         "_cutoff",
         "metrics",
     )
@@ -77,21 +95,50 @@ class VariableBuffer:
         self._live: dict = {}
         self._size = 0
         self._key_of: Optional[Callable[[Event], tuple]] = None
+        self._value_of: Optional[Callable[[Event], object]] = None
+        self._range_op: Optional[str] = None
         self._buckets: dict = {}
         self._overflow: list = []  # events with unhashable keys
         self._indexed_total = 0  # bucket + overflow entries, incl. stale
+        # Entries across all value-sorted runs (rvals/runordered), incl.
+        # stale.  Tracked separately from _indexed_total because the
+        # probe-time bucket prefix-trim shrinks the latter without
+        # touching the runs — the runs' staleness must still be able to
+        # trigger a rebuild.
+        self._run_total = 0
         self._cutoff = float("-inf")
         self.metrics = metrics
 
-    def set_index(self, key_of: Callable[[Event], tuple]) -> None:
-        """Install a hash access path (before any event is offered)."""
+    def set_index(
+        self,
+        key_of: Optional[Callable[[Event], tuple]],
+        value_of: Optional[Callable[[Event], object]] = None,
+        op: Optional[str] = None,
+    ) -> None:
+        """Install an access path (before any event is offered).
+
+        ``key_of`` hash-partitions on the equality key; ``value_of``/
+        ``op`` add a per-bucket value-sorted run for one theta
+        predicate (``stored_value op probe_value``).  ``key_of=None``
+        with a range keeps one implicit bucket (pure range index).
+        """
         if self._events:
             raise ValueError("index must be installed on an empty buffer")
+        if key_of is None and value_of is None:
+            raise ValueError("an index needs a key function, a range, or both")
+        if value_of is not None and op not in RANGE_OPS:
+            raise ValueError(f"range index needs an op in {RANGE_OPS}")
         self._key_of = key_of
+        self._value_of = value_of
+        self._range_op = op
+
+    def set_filter(self, unary_filter: Optional[Callable[[Event], bool]]) -> None:
+        """Replace the admission filter (compiled-kernel installation)."""
+        self._filter = unary_filter
 
     @property
     def indexed(self) -> bool:
-        return self._key_of is not None
+        return self._key_of is not None or self._value_of is not None
 
     @property
     def index_exact(self) -> bool:
@@ -110,27 +157,51 @@ class VariableBuffer:
         self._events.append(event)
         self._live[event.seq] = self._live.get(event.seq, 0) + 1
         self._size += 1
-        if self._key_of is not None:
+        if self._key_of is not None or self._value_of is not None:
             self._index_event(event)
         return True
 
     def _index_event(self, event: Event) -> None:
         try:
-            key = self._key_of(event)
+            key = () if self._key_of is None else self._key_of(event)
             bucket = self._buckets.get(key)
             if bucket is None:
-                self._buckets[key] = [event]
-            else:
-                bucket.append(event)
+                bucket = self._buckets[key] = _EventBucket(
+                    self._value_of is not None
+                )
+            bucket.events.append(event)
             self._indexed_total += 1
         except KeyError:
             # Missing attribute: the equality predicate can never hold
             # for this event, so it is unreachable via the index (and
             # via the predicates on any scan).
-            pass
+            return
         except TypeError:
             self._overflow.append(event)
             self._indexed_total += 1
+            return
+        if self._value_of is not None:
+            self._add_to_run(bucket, event)
+
+    def _add_to_run(self, bucket: _EventBucket, event: Event) -> None:
+        try:
+            value = self._value_of(event)
+        except KeyError:
+            # Missing theta attribute: the predicate is False for every
+            # probe — exact to omit from range candidates (the event
+            # stays in the bucket for non-range iteration).
+            return
+        if nan_like(value):  # NaN: same always-False argument
+            return
+        try:
+            position = bisect_left(bucket.rvals, value)
+        except TypeError:
+            bucket.runordered.append(event)
+            self._run_total += 1
+            return
+        bucket.rvals.insert(position, value)
+        bucket.revents.insert(position, event)
+        self._run_total += 1
 
     def prune(self, cutoff_ts: float) -> None:
         """Drop expired events and drain tombstones that reached the head."""
@@ -151,14 +222,25 @@ class VariableBuffer:
         # Buckets drop their expired prefixes lazily, on probe; rebuild
         # the whole index once stale entries dominate so buckets of
         # never-reprobed keys (high-cardinality streams) cannot leak.
+        # The value-sorted runs have their own staleness trigger: the
+        # probe-time prefix-trim shrinks _indexed_total (masking run
+        # staleness behind it) and expired run entries are never a
+        # trimmable prefix of a value-sorted list, so without the
+        # second condition the runs would grow with the whole stream.
+        if self._key_of is None and self._value_of is None:
+            return
         stale = self._indexed_total - self._size
-        if self._key_of is not None and stale > 64 and stale > self._size:
+        run_stale = self._run_total - self._size
+        if (stale > 64 and stale > self._size) or (
+            run_stale > 64 and run_stale > self._size
+        ):
             self._rebuild_index()
 
     def _rebuild_index(self) -> None:
         self._buckets = {}
         self._overflow = []
         self._indexed_total = 0
+        self._run_total = 0
         live = self._live
         for event in self._events:
             if event.seq in live:
@@ -178,42 +260,63 @@ class VariableBuffer:
             if event.seq in live:
                 yield event
 
-    def probe(self, key: tuple, trigger_seq: int) -> Iterator[Event]:
+    def probe(
+        self, key: tuple, trigger_seq: int, bound=NO_BOUND
+    ) -> Iterator[Event]:
         """Indexed ``events_before``: one bucket instead of the buffer.
 
         The bucket is a superset filter — the caller still evaluates the
         full predicate set on every candidate — so hash corner cases
-        cost a scan, never a match.
+        cost a scan, never a match.  ``bound`` (range index installed)
+        bisects the bucket's value-sorted run instead of walking it; the
+        selected events are re-sorted into arrival order, so emission
+        order and earliest-eligible semantics are identical to a scan.
         """
         metrics = self.metrics
         try:
             bucket = self._buckets.get(key)
         except TypeError:  # unhashable probe key: degrade to a scan
-            if metrics is not None:
+            if metrics is not None and self._key_of is not None:
                 metrics.index_probes += 1
                 metrics.index_misses += 1
             yield from self.events_before(trigger_seq)
             return
-        if metrics is not None:
+        if metrics is not None and self._key_of is not None:
             metrics.index_probes += 1
-            if bucket:
+            if bucket is not None and bucket.events:
                 metrics.index_hits += 1
             else:
                 metrics.index_misses += 1
+        if (
+            bucket is not None
+            and self._value_of is not None
+            and bound is not NO_BOUND
+        ):
+            try:
+                lo, hi = range_slice(bucket.rvals, self._range_op, bound)
+            except TypeError:
+                # Bound unorderable against this run: fall through to
+                # the shared bucket scan below (predicates keep it
+                # exact).
+                pass
+            else:
+                yield from self._range_candidates(bucket, trigger_seq, lo, hi)
+                return
         live = self._live
         candidates = ()
         if bucket is not None:
+            events = bucket.events
             bucket_prefix = 0
             cutoff = self._cutoff
             while (
-                bucket_prefix < len(bucket)
-                and bucket[bucket_prefix].timestamp < cutoff
+                bucket_prefix < len(events)
+                and events[bucket_prefix].timestamp < cutoff
             ):
                 bucket_prefix += 1
             if bucket_prefix:
-                del bucket[:bucket_prefix]
+                del events[:bucket_prefix]
                 self._indexed_total -= bucket_prefix
-            candidates = bucket[: _seq_boundary(bucket, trigger_seq)]
+            candidates = events[: _seq_boundary(events, trigger_seq)]
         if self._overflow:
             # Rare path: merge with the unhashable-key overflow in seq
             # order so "earliest eligible" semantics (restrictive
@@ -231,6 +334,39 @@ class VariableBuffer:
         for event in candidates:
             if event.seq in live:
                 yield event
+
+    def _range_candidates(
+        self, bucket: _EventBucket, trigger_seq: int, lo: int, hi: int
+    ) -> Iterator[Event]:
+        """Theta-bisected bucket candidates, re-sorted to arrival order."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.range_probes += 1
+        live = self._live
+        cutoff = self._cutoff
+        candidates = [
+            event
+            for event in bucket.revents[lo:hi]
+            if (
+                event.seq < trigger_seq
+                and event.seq in live
+                and event.timestamp >= cutoff
+            )
+        ]
+        for extra in (bucket.runordered, self._overflow):
+            # Unorderable stored values, then unhashable-key overflow:
+            # conservative supersets that must stay probe-visible.
+            for event in extra:
+                if (
+                    event.seq < trigger_seq
+                    and event.seq in live
+                    and event.timestamp >= cutoff
+                ):
+                    candidates.append(event)
+        candidates.sort(key=lambda e: e.seq)
+        if metrics is not None and candidates:
+            metrics.range_hits += 1
+        yield from candidates
 
     def remove_seq(self, seq: int) -> None:
         """Tombstone a consumed event (skip-till-next-match).

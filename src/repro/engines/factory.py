@@ -54,6 +54,7 @@ def build_engine(
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
     seed: Optional[EngineSnapshot] = None,
+    compiled: bool = True,
 ) -> BaseEngine:
     """Instantiate the runtime engine for one planned simple pattern.
 
@@ -71,6 +72,7 @@ def build_engine(
         max_kleene_size=max_kleene_size,
         pattern_name=planned.pattern.name,
         indexed=indexed,
+        compiled=compiled,
     )
     if isinstance(planned.plan, OrderPlan):
         engine = NFAEngine(planned.decomposed, planned.plan, **common)
@@ -92,6 +94,7 @@ def build_engine_from_parts(
     pattern_name: Optional[str] = None,
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
+    compiled: bool = True,
 ) -> BaseEngine:
     """Rebuild a runtime engine from shipped parts (worker side).
 
@@ -107,6 +110,7 @@ def build_engine_from_parts(
         max_kleene_size=max_kleene_size,
         pattern_name=pattern_name,
         indexed=indexed,
+        compiled=compiled,
     )
     if isinstance(plan, OrderPlan):
         return NFAEngine(decomposed, plan, **common)
@@ -121,6 +125,7 @@ def build_engines(
     indexed: bool = True,
     parallel: Optional[Union["ParallelConfig", int]] = None,
     seed: Optional[object] = None,
+    compiled: bool = True,
 ) -> Union[Engine, "MultiQueryEngine", "ParallelExecutor"]:
     """Engine for planner output: single engine, disjunction wrapper, or
     — for a :class:`~repro.multiquery.sharing.SharedPlan` — the shared
@@ -158,6 +163,7 @@ def build_engines(
             config,
             max_kleene_size=max_kleene_size,
             indexed=indexed,
+            compiled=compiled,
         )
     if isinstance(planned, _SharedPlan):
         if seed is not None:
@@ -165,15 +171,23 @@ def build_engines(
         from ..multiquery.executor import MultiQueryEngine as _MultiQueryEngine
 
         return _MultiQueryEngine(
-            planned, max_kleene_size=max_kleene_size, indexed=indexed
+            planned,
+            max_kleene_size=max_kleene_size,
+            indexed=indexed,
+            compiled=compiled,
         )
     if not planned:
         raise EngineError("no planned patterns supplied")
     if len(planned) == 1:
         if seed is not None and not isinstance(seed, EngineSnapshot):
             (seed,) = seed  # a one-element export_state list is fine
-        return build_engine(planned[0], max_kleene_size, indexed, seed=seed)
-    engines = [build_engine(item, max_kleene_size, indexed) for item in planned]
+        return build_engine(
+            planned[0], max_kleene_size, indexed, seed=seed, compiled=compiled
+        )
+    engines = [
+        build_engine(item, max_kleene_size, indexed, compiled=compiled)
+        for item in planned
+    ]
     wrapper = DisjunctionEngine(engines)
     if seed is not None:
         wrapper.seed_from(seed)

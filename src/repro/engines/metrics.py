@@ -30,6 +30,15 @@ index_probes             hash probes against indexed stores
                          a full sibling scan of the seed engines
 index_hits               probes that found a non-empty bucket
 index_misses             probes whose key paired with nothing at all
+range_probes             probes that applied a sorted-run bisect for an
+                         ``Attr < / <= / > / >= Attr`` cross-predicate
+                         (:mod:`repro.engines.stores`); each replaces a
+                         full bucket (or store) scan with a value range
+range_hits               range probes that yielded at least one candidate
+predicate_kernel_calls   invocations of compiled predicate kernels
+                         (:mod:`repro.patterns.compile`); each replaces a
+                         per-candidate bindings merge plus an interpreted
+                         AST walk (0 with ``compiled=False``)
 pm_expired               partial matches dropped by watermark-gated window
                          expiry
 events_routed            parallel runtime only (:mod:`repro.parallel`):
@@ -89,6 +98,9 @@ class EngineMetrics:
     index_probes: int = 0
     index_hits: int = 0
     index_misses: int = 0
+    range_probes: int = 0
+    range_hits: int = 0
+    predicate_kernel_calls: int = 0
     pm_expired: int = 0
     events_routed: int = 0
     boundary_duplicates_dropped: int = 0
@@ -188,6 +200,11 @@ class EngineMetrics:
             index_probes=self.index_probes + other.index_probes,
             index_hits=self.index_hits + other.index_hits,
             index_misses=self.index_misses + other.index_misses,
+            range_probes=self.range_probes + other.range_probes,
+            range_hits=self.range_hits + other.range_hits,
+            predicate_kernel_calls=(
+                self.predicate_kernel_calls + other.predicate_kernel_calls
+            ),
             pm_expired=self.pm_expired + other.pm_expired,
             events_routed=self.events_routed + other.events_routed,
             boundary_duplicates_dropped=(
@@ -225,6 +242,9 @@ class EngineMetrics:
             "index_probes": self.index_probes,
             "index_hits": self.index_hits,
             "index_misses": self.index_misses,
+            "range_probes": self.range_probes,
+            "range_hits": self.range_hits,
+            "predicate_kernel_calls": self.predicate_kernel_calls,
             "pm_expired": self.pm_expired,
             "events_routed": self.events_routed,
             "boundary_duplicates_dropped": self.boundary_duplicates_dropped,

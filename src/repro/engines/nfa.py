@@ -31,16 +31,23 @@ from __future__ import annotations
 from typing import Optional
 
 from ..events import Event
+from ..patterns.compile import compile_extension_kernel
 from ..patterns.transformations import DecomposedPattern
 from ..plans.order_plan import OrderPlan
-from .base import SELECTION_ANY, BaseEngine
+from .base import INTERPRET, SELECTION_ANY, BaseEngine
 from .matches import Match, PartialMatch
 from .stores import (
+    EMPTY_RANGE,
+    NO_BOUND,
     PartialMatchStore,
     equality_key_pairs,
     make_event_key_fn,
+    make_event_value_fn,
     make_key_fn,
+    make_value_fn,
     probe_key,
+    range_key_pairs,
+    range_probe_value,
 )
 
 
@@ -55,6 +62,7 @@ class NFAEngine(BaseEngine):
         max_kleene_size: Optional[int] = None,
         pattern_name: Optional[str] = None,
         indexed: bool = True,
+        compiled: bool = True,
     ) -> None:
         super().__init__(
             decomposed,
@@ -62,6 +70,7 @@ class NFAEngine(BaseEngine):
             max_kleene_size=max_kleene_size,
             pattern_name=pattern_name,
             indexed=indexed,
+            compiled=compiled,
         )
         plan.validate_for(decomposed)
         self.plan = plan
@@ -80,13 +89,15 @@ class NFAEngine(BaseEngine):
         self._absorbing_accept = (
             self._order[-1] in self._kleene
         )
-        # Equality access paths (see repro.engines.stores): the chain
-        # transition into position p is a two-sided join between state p
-        # (instances binding order[0..p-1]) and the buffer of order[p].
-        # Each side gets a hash index keyed on its half of the Attr ==
-        # Attr predicates; the other side's bindings supply the probe key.
-        self._state_probe: dict[int, tuple] = {}  # s -> (index_id, ev_key)
-        self._buffer_probe: dict[str, object] = {}  # var -> pm-side key fn
+        # Access paths (see repro.engines.stores): the chain transition
+        # into position p is a two-sided join between state p (instances
+        # binding order[0..p-1]) and the buffer of order[p].  Each side
+        # gets a hash index keyed on its half of the Attr == Attr
+        # predicates, composed with a value-sorted run for the first
+        # Attr </<=/>/>= Attr cross-predicate; the other side supplies
+        # the probe key and the theta bound.
+        self._state_probe: dict[int, tuple] = {}  # s -> (id, ev_key, ev_val)
+        self._buffer_probe: dict[str, tuple] = {}  # var -> (pm_key, pm_val)
         # Per variable: predicates minus the equalities its transition's
         # hash bucket already guarantees (used on indexed candidates).
         self._residual_preds: dict[str, list] = {}
@@ -99,20 +110,92 @@ class NFAEngine(BaseEngine):
                     (variable,),
                     self._kleene,
                 )
-                if not prior_spec:
+                range_spec = range_key_pairs(
+                    self._conditions,
+                    self._order[:position],
+                    (variable,),
+                    self._kleene,
+                )
+                if not prior_spec and range_spec is None:
                     continue
-                pm_key = make_key_fn(prior_spec)
+                pm_key = make_key_fn(prior_spec)  # None without equalities
                 ev_key = make_event_key_fn(event_spec)
-                index_id = self._states[position].add_index(pm_key)
-                self._state_probe[position] = (index_id, ev_key)
-                self._buffers[variable].set_index(ev_key)
-                self._buffer_probe[variable] = pm_key
+                pm_val = ev_val = None
+                state_op = buffer_op = None
+                if range_spec is not None:
+                    prior_item, state_op, event_item, buffer_op, _ = (
+                        range_spec
+                    )
+                    pm_val = make_value_fn(prior_item)
+                    ev_val = make_event_value_fn(event_item)
+                index_id = self._states[position].add_index(
+                    pm_key, value_of=pm_val, op=state_op
+                )
+                self._state_probe[position] = (index_id, ev_key, ev_val)
+                self._buffers[variable].set_index(
+                    ev_key,
+                    value_of=ev_val,
+                    op=buffer_op,
+                )
+                self._buffer_probe[variable] = (pm_key, pm_val)
                 skip = set(map(id, extracted))
                 self._residual_preds[variable] = [
                     p
                     for p in self._preds_by_var[variable]
                     if id(p) not in skip
                 ]
+        # Compiled per-position extension kernels (repro.patterns.compile):
+        # _ext_full[p] checks binding order[p] onto an instance holding
+        # order[:p] (also the absorption kernel of that position);
+        # _ext_resid[p] is the same minus bucket-guaranteed equalities.
+        self._ext_full: dict[int, object] = {}
+        self._ext_resid: dict[int, object] = {}
+        if compiled:
+            self._recompile_kernels()
+
+    def _recompile_kernels(self) -> None:
+        """Fuse each chain transition's predicate list into one kernel.
+
+        Kernel ``p`` covers binding ``order[p]`` onto an instance whose
+        bound set is ``order[:p]`` — the static per-state equivalent of
+        the interpreted ``vars ⊆ bound`` filter — and doubles as the
+        absorption kernel for a Kleene variable at that position (the
+        new element is checked as a scalar either way).
+        """
+        super()._recompile_kernels()
+        for position in range(self._n):
+            variable = self._order[position]
+            bound = set(self._order[: position + 1])
+            applicable = [
+                p
+                for p in self._preds_by_var[variable]
+                if set(p.variables) <= bound
+            ]
+            self._ext_full[position] = compile_extension_kernel(
+                applicable,
+                variable,
+                self._kleene,
+                self.metrics,
+                tracker=self._sel_tracker,
+                sel_key_by_pred=self._sel_key_by_pred,
+            )
+            residual = self._residual_preds.get(variable)
+            if residual is not None:
+                self._ext_resid[position] = compile_extension_kernel(
+                    [p for p in residual if set(p.variables) <= bound],
+                    variable,
+                    self._kleene,
+                    self.metrics,
+                    tracker=self._sel_tracker,
+                    sel_key_by_pred=self._sel_key_by_pred,
+                )
+
+    def _kernel_for(self, position: int, residual: bool):
+        """Kernel for a transition, or the INTERPRET sentinel."""
+        if not self.compiled:
+            return INTERPRET
+        table = self._ext_resid if residual else self._ext_full
+        return table.get(position)
 
     # -- event loop -----------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
@@ -154,12 +237,16 @@ class NFAEngine(BaseEngine):
                     self._buffers[variable].remove_seq(event.seq)
         else:
             state = self._states[position]
-            candidates, preds = self._state_candidates(state, position, event)
+            candidates, preds, kernel = self._state_candidates(
+                state, position, event
+            )
             if self._consuming:
                 # Restrictive strategies: the event binds to at most one
                 # instance, and that instance advances (no fork).
                 for pm in candidates:
-                    if self._check_extension(pm, variable, event, preds):
+                    if self._check_extension(
+                        pm, variable, event, preds, kernel
+                    ):
                         created.append(
                             (self._bind(pm, variable, event), position + 1)
                         )
@@ -168,7 +255,9 @@ class NFAEngine(BaseEngine):
                         break
             else:
                 for pm in candidates:
-                    if self._check_extension(pm, variable, event, preds):
+                    if self._check_extension(
+                        pm, variable, event, preds, kernel
+                    ):
                         created.append(
                             (self._bind(pm, variable, event), position + 1)
                         )
@@ -179,10 +268,13 @@ class NFAEngine(BaseEngine):
         # variable sits last in the plan.
         if is_kleene and not self._consuming:
             state_index = position + 1
+            kernel = self._kernel_for(position, residual=False)
             for pm in list(self._states[state_index]):
                 if not self._kleene_room(pm, variable, self.max_kleene_size):
                     continue
-                if self._check_extension(pm, variable, event):
+                if self._check_extension(
+                    pm, variable, event, kernel=kernel
+                ):
                     created.append(
                         (pm.kleene_extended(variable, event), state_index)
                     )
@@ -192,23 +284,40 @@ class NFAEngine(BaseEngine):
         self, state: PartialMatchStore, position: int, event: Event
     ):
         """Instances eligible to take the arriving event, with the
-        predicate list to check them against — one hash bucket (checked
-        against the residual predicates only) when the transition has
-        equality predicates, the whole state (full predicates) otherwise.
-        Every stored trigger predates the arriving event, so
-        ``event.seq`` is an inclusive-of-everything bound."""
+        predicate list (and compiled kernel) to check them against — one
+        hash bucket, theta-bisected when the transition has an extracted
+        range predicate (checked against the residual predicates only
+        when the bucket guarantees the equalities), the whole state
+        (full predicates) otherwise.  Every stored trigger predates the
+        arriving event, so ``event.seq`` is an inclusive-of-everything
+        bound."""
         probe = self._state_probe.get(position)
         if probe is not None:
-            index_id, ev_key = probe
-            key = probe_key(ev_key, event)
+            index_id, ev_key, ev_val = probe
+            key = () if ev_key is None else probe_key(ev_key, event)
             if key is not None:
+                bound = NO_BOUND
+                # Tracker attached: skip the bisect so theta outcomes
+                # stay observed unbiased (see TreeEngine._pairings).
+                if ev_val is not None and self._sel_tracker is None:
+                    bound = range_probe_value(ev_val, event)
+                    if bound is EMPTY_RANGE:
+                        # The theta predicate rejects every instance.
+                        return iter(()), None, self._kernel_for(
+                            position, residual=False
+                        )
+                exact = ev_key is not None and state.index_exact(index_id)
                 preds = (
                     self._residual_preds[self._order[position]]
-                    if state.index_exact(index_id)
-                    else None  # overflow present: full predicates
+                    if exact
+                    else None  # overflow present / no equality: full
                 )
-                return state.probe(index_id, key, event.seq), preds
-        return iter(state), None
+                return (
+                    state.probe(index_id, key, event.seq, bound=bound),
+                    preds,
+                    self._kernel_for(position, residual=exact),
+                )
+        return iter(state), None, self._kernel_for(position, residual=False)
 
     def _bind(
         self, pm: PartialMatch, variable: str, event: Event
@@ -267,24 +376,38 @@ class NFAEngine(BaseEngine):
         self, pm: PartialMatch, state: int
     ) -> list[tuple[PartialMatch, int]]:
         """Scan the next variable's buffer for earlier-arrived events —
-        one hash bucket when the transition has equality predicates."""
+        one hash bucket, theta-bisected when the transition carries an
+        extracted range predicate."""
         variable = self._order[state]
         buffer = self._buffers[variable]
         candidates = None
         preds = None
-        pm_key_of = self._buffer_probe.get(variable)
-        if pm_key_of is not None:
-            key = probe_key(pm_key_of, pm.bindings)
+        kernel = self._kernel_for(state, residual=False)
+        probe = self._buffer_probe.get(variable)
+        if probe is not None:
+            pm_key_of, pm_val_of = probe
+            key = (
+                () if pm_key_of is None else probe_key(pm_key_of, pm.bindings)
+            )
             if key is not None:
-                candidates = buffer.probe(key, pm.trigger_seq)
-                if buffer.index_exact:
+                bound = NO_BOUND
+                # Tracker attached: skip the bisect so theta outcomes
+                # stay observed unbiased (see TreeEngine._pairings).
+                if pm_val_of is not None and self._sel_tracker is None:
+                    bound = range_probe_value(pm_val_of, pm.bindings)
+                    if bound is EMPTY_RANGE:
+                        # The theta predicate rejects every buffered event.
+                        return []
+                candidates = buffer.probe(key, pm.trigger_seq, bound=bound)
+                if pm_key_of is not None and buffer.index_exact:
                     # Bucket-guaranteed: skip the extracted equalities.
                     preds = self._residual_preds[variable]
+                    kernel = self._kernel_for(state, residual=True)
         if candidates is None:
             candidates = buffer.events_before(pm.trigger_seq)
         created: list[tuple[PartialMatch, int]] = []
         for event in candidates:
-            if self._check_extension(pm, variable, event, preds):
+            if self._check_extension(pm, variable, event, preds, kernel):
                 extended = self._bind_from_buffer(pm, variable, event)
                 created.append((extended, state + 1))
                 if self._consuming:
@@ -303,10 +426,11 @@ class NFAEngine(BaseEngine):
         newest = tuple_events[-1].seq
         if not self._kleene_room(pm, variable, self.max_kleene_size):
             return created
+        kernel = self._kernel_for(state - 1, residual=False)
         for event in self._buffers[variable].events_before(pm.trigger_seq):
             if event.seq <= newest:
                 continue
-            if self._check_extension(pm, variable, event):
+            if self._check_extension(pm, variable, event, kernel=kernel):
                 absorbed = pm.kleene_extended(
                     variable, event, trigger_seq=pm.trigger_seq
                 )

@@ -48,10 +48,10 @@ never which instances are live.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
-from ..patterns.predicates import Attr, Comparison, Predicate
+from ..patterns.predicates import Attr, Comparison, Predicate, TimestampOrder
 from .matches import PartialMatch
 from .metrics import EngineMetrics
 
@@ -64,6 +64,18 @@ KeySpec = Tuple[Tuple[str, str], ...]
 KeyFn = Callable[[dict], tuple]
 
 _EQUALITY_OPS = ("=", "==")
+#: Operators a sorted-run range index supports (shared with buffers).
+RANGE_OPS = ("<", "<=", ">", ">=")
+#: Direction flip when the stored side moves to the other end of the
+#: comparison: ``stored < probe``  ⇔  ``probe > stored``.
+_RANGE_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+#: No range constraint for this probe (distinct from a legitimate None
+#: attribute value).
+NO_BOUND = object()
+#: The probe-side theta value can never satisfy the predicate (missing
+#: attribute or NaN): the probe has zero candidates, exactly.
+EMPTY_RANGE = object()
 
 #: Compaction triggers once this many tombstones accumulate *and* they
 #: outnumber the live entries — O(n) reclaim, amortized O(1) per removal.
@@ -173,27 +185,199 @@ def make_event_key_fn(spec: KeySpec) -> Optional[Callable[[object], tuple]]:
     return key_of
 
 
+#: One extracted theta access path: ``(left_item, left_op, right_item,
+#: right_op, predicate)``.  ``left_item``/``right_item`` are the
+#: ``(variable, attribute)`` operands on each join side; ``left_op`` is
+#: the comparison a *stored left-side value* must satisfy against a
+#: right-side probe value (``stored left_op probe``), ``right_op`` the
+#: mirror for the right store.
+RangeSpec = Tuple[Tuple[str, str], str, Tuple[str, str], str, Predicate]
+
+
+def range_key_pairs(
+    predicates: Iterable[Predicate],
+    left_vars: Iterable[str],
+    right_vars: Iterable[str],
+    kleene: Iterable[str] = (),
+) -> Optional[RangeSpec]:
+    """Pick the first order-based (``< <= > >=``) cross-predicate.
+
+    Mirrors :func:`equality_key_pairs` for theta joins, following the
+    order-based delta access paths of Idris et al. ("Conjunctive
+    Queries with Theta Joins Under Updates"): the returned spec lets
+    each side keep a value-sorted run so the other side's probes become
+    bisect ranges.  The range is a *candidate filter only* — the
+    predicate stays in the residual list, so every corner case (NaN,
+    missing attributes, unorderable values) degrades to a scan or an
+    empty-but-exact candidate set, never to a different match set.
+    Only one predicate is extracted (a sorted run supports one
+    dimension); additional thetas stay residual.  Kleene variables are
+    excluded exactly as for equality keys.  Explicit payload
+    comparisons are preferred over the implied SEQ timestamp orderings
+    (typically far more selective; the orderings remain a usable
+    fallback — the stream being timestamp-ordered makes them cheap
+    prefix bisects).
+    """
+    explicit = [
+        p for p in predicates if not isinstance(p, TimestampOrder)
+    ]
+    implied = [p for p in predicates if isinstance(p, TimestampOrder)]
+    left_set = set(left_vars)
+    right_set = set(right_vars)
+    kleene_set = set(kleene)
+    for predicate in explicit + implied:
+        if not isinstance(predicate, Comparison):
+            continue
+        if predicate.op not in RANGE_OPS:
+            continue
+        lhs, rhs = predicate.left, predicate.right
+        if not (isinstance(lhs, Attr) and isinstance(rhs, Attr)):
+            continue
+        if lhs.variable in kleene_set or rhs.variable in kleene_set:
+            continue
+        if lhs.variable == rhs.variable:
+            continue
+        if lhs.variable in left_set and rhs.variable in right_set:
+            # lhs OP rhs with lhs stored left: stored OP probe on the
+            # left store; probe OP stored — i.e. stored FLIP(OP) probe —
+            # on the right store.
+            return (
+                (lhs.variable, lhs.attribute),
+                predicate.op,
+                (rhs.variable, rhs.attribute),
+                _RANGE_FLIP[predicate.op],
+                predicate,
+            )
+        if lhs.variable in right_set and rhs.variable in left_set:
+            return (
+                (rhs.variable, rhs.attribute),
+                _RANGE_FLIP[predicate.op],
+                (lhs.variable, lhs.attribute),
+                predicate.op,
+                predicate,
+            )
+    return None
+
+
+def make_value_fn(item: Tuple[str, str]) -> Callable[[dict], object]:
+    """Single-attribute accessor over bindings (theta run / probe value)."""
+    variable, attribute = item
+
+    def value_of(bindings: dict, _v=variable, _a=attribute):
+        return bindings[_v][_a]
+
+    return value_of
+
+
+def make_event_value_fn(item: Tuple[str, str]) -> Callable[[object], object]:
+    """Single-attribute accessor over a bare event."""
+    attribute = item[1]
+
+    def value_of(event, _a=attribute):
+        return event[_a]
+
+    return value_of
+
+
+def nan_like(value) -> bool:
+    """True for values unequal to themselves (NaN): every order
+    comparison against them is False, so sorted runs and range probes
+    may exclude them exactly."""
+    try:
+        return bool(value != value)
+    except TypeError:
+        return False
+
+
+def range_probe_value(value_of, subject):
+    """Probe-side theta value, :data:`EMPTY_RANGE` when it cannot match.
+
+    A missing attribute (KeyError) or NaN probe value makes the
+    extracted comparison False against *every* stored entry — and the
+    predicate is always still in the caller's residual list — so an
+    empty candidate set is exact, not an approximation.
+    """
+    try:
+        value = value_of(subject)
+    except KeyError:
+        return EMPTY_RANGE
+    if nan_like(value):  # NaN never satisfies an order comparison
+        return EMPTY_RANGE
+    return value
+
+
+def range_slice(values: list, op: str, bound) -> Tuple[int, int]:
+    """Index range of stored values satisfying ``stored op bound``.
+
+    Raises TypeError when ``bound`` is unorderable against the run —
+    callers degrade to the full bucket scan.
+    """
+    if op == "<":
+        return 0, bisect_left(values, bound)
+    if op == "<=":
+        return 0, bisect_right(values, bound)
+    if op == ">":
+        return bisect_right(values, bound), len(values)
+    return bisect_left(values, bound), len(values)
+
+
+class _Bucket:
+    """One hash bucket: trigger-ordered entries plus an optional
+    value-sorted run for the index's theta predicate."""
+
+    __slots__ = ("pms", "trigs", "rvals", "rentries", "runordered")
+
+    def __init__(self, ranged: bool) -> None:
+        self.pms: List[PartialMatch] = []
+        self.trigs: List[int] = []
+        # Parallel sorted run: rvals[i] is the theta value of rentries[i]
+        # = (insertion_serial, pm).  Entries whose value cannot be
+        # ordered into the run sit in runordered and join every range
+        # probe's candidate set (conservative, never lossy).
+        self.rvals: Optional[list] = [] if ranged else None
+        self.rentries: Optional[list] = [] if ranged else None
+        self.runordered: Optional[list] = [] if ranged else None
+
+
 class _Index:
-    """One hash access path over a store: key -> trigger-ordered bucket."""
+    """One access path over a store: hash buckets (``key_of``), an
+    optional per-bucket sorted theta run (``value_of``/``op``), or both
+    composed (bucket first, bisect within).  ``key_of=None`` keeps one
+    implicit bucket — a pure range index."""
 
-    __slots__ = ("key_of", "buckets", "overflow", "overflow_trigs")
+    __slots__ = ("key_of", "value_of", "op", "buckets",
+                 "overflow", "overflow_trigs", "overflow_ins")
 
-    def __init__(self, key_of: KeyFn) -> None:
+    def __init__(
+        self,
+        key_of: Optional[KeyFn],
+        value_of: Optional[Callable[[dict], object]] = None,
+        op: Optional[str] = None,
+    ) -> None:
+        if key_of is None and value_of is None:
+            raise ValueError("an index needs a key function, a range, or both")
+        if value_of is not None and op not in RANGE_OPS:
+            raise ValueError(f"range index needs an op in {RANGE_OPS}")
         self.key_of = key_of
-        # key -> (pms, triggers), both insertion- (= trigger-) ordered.
+        self.value_of = value_of
+        self.op = op
         self.buckets: dict = {}
         # Entries whose key could not be hashed; scanned on every probe.
         self.overflow: List[PartialMatch] = []
         self.overflow_trigs: List[int] = []
+        self.overflow_ins: List[int] = []
 
-    def add(self, pm: PartialMatch) -> None:
-        try:
-            key = self.key_of(pm.bindings)
-        except KeyError:
-            # Missing attribute: the equality predicate evaluates False
-            # against every probe, so the entry is unreachable through
-            # this index and needs no bucket.
-            return
+    def add(self, pm: PartialMatch, ins: int) -> None:
+        if self.key_of is None:
+            key = ()
+        else:
+            try:
+                key = self.key_of(pm.bindings)
+            except KeyError:
+                # Missing attribute: the equality predicate evaluates
+                # False against every probe, so the entry is unreachable
+                # through this index and needs no bucket.
+                return
         try:
             bucket = self.buckets.get(key)
         except TypeError:
@@ -201,12 +385,32 @@ class _Index:
             # entry probe-visible in the overflow.
             self.overflow.append(pm)
             self.overflow_trigs.append(pm.trigger_seq)
+            self.overflow_ins.append(ins)
             return
         if bucket is None:
-            self.buckets[key] = ([pm], [pm.trigger_seq])
-        else:
-            bucket[0].append(pm)
-            bucket[1].append(pm.trigger_seq)
+            bucket = self.buckets[key] = _Bucket(self.value_of is not None)
+        bucket.pms.append(pm)
+        bucket.trigs.append(pm.trigger_seq)
+        if self.value_of is not None:
+            self._add_to_run(bucket, pm, ins)
+
+    def _add_to_run(self, bucket: _Bucket, pm: PartialMatch, ins: int) -> None:
+        try:
+            value = self.value_of(pm.bindings)
+        except KeyError:
+            # Missing theta attribute: the predicate is False against
+            # every probe — exact to omit from range candidates (the
+            # entry stays in the bucket for non-range iteration).
+            return
+        if nan_like(value):  # NaN: same always-False argument
+            return
+        try:
+            position = bisect_left(bucket.rvals, value)
+        except TypeError:
+            bucket.runordered.append((ins, pm))
+            return
+        bucket.rvals.insert(position, value)
+        bucket.rentries.insert(position, (ins, pm))
 
 
 class PartialMatchStore:
@@ -225,6 +429,7 @@ class PartialMatchStore:
         "_trigs",
         "_ids",
         "_dead",
+        "_ins",
         "_indexes",
         "_exp_ts",
         "_exp_pms",
@@ -236,17 +441,30 @@ class PartialMatchStore:
         self._trigs: List[int] = []
         self._ids: set = set()  # id() of live entries
         self._dead = 0  # tombstones awaiting compaction
+        self._ins = 0  # insertion serial (orders range candidates)
         self._indexes: List[_Index] = []
         self._exp_ts: List[float] = []  # min_ts, sorted
         self._exp_pms: List[PartialMatch] = []
         self.metrics = metrics
 
     # -- setup --------------------------------------------------------------
-    def add_index(self, key_of: KeyFn) -> int:
-        """Register a hash access path; returns its probe handle."""
+    def add_index(
+        self,
+        key_of: Optional[KeyFn],
+        value_of: Optional[Callable[[dict], object]] = None,
+        op: Optional[str] = None,
+    ) -> int:
+        """Register an access path; returns its probe handle.
+
+        ``key_of`` hash-partitions on equality keys; ``value_of``/``op``
+        add a per-bucket sorted run for one theta cross-predicate
+        (``stored_value op probe_value`` selects the candidates).  With
+        ``key_of=None`` the whole store forms one implicit bucket and
+        the index is a pure range access path (probe with ``key=()``).
+        """
         if self._pms:
             raise ValueError("indexes must be registered before inserts")
-        self._indexes.append(_Index(key_of))
+        self._indexes.append(_Index(key_of, value_of, op))
         return len(self._indexes) - 1
 
     @property
@@ -268,8 +486,10 @@ class PartialMatchStore:
         self._pms.append(pm)
         self._trigs.append(pm.trigger_seq)
         self._ids.add(id(pm))
+        ins = self._ins
+        self._ins = ins + 1
         for index in self._indexes:
-            index.add(pm)
+            index.add(pm, ins)
         position = bisect_left(self._exp_ts, pm.min_ts)
         self._exp_ts.insert(position, pm.min_ts)
         self._exp_pms.insert(position, pm)
@@ -336,34 +556,52 @@ class PartialMatchStore:
                 yield pm
 
     def probe(
-        self, index_id: int, key: tuple, trigger_seq: int
+        self,
+        index_id: int,
+        key: tuple,
+        trigger_seq: int,
+        bound=NO_BOUND,
     ) -> Iterator[PartialMatch]:
         """Bucket candidates with ``trigger_seq`` strictly below the bound.
 
         The bucket holds exactly the entries whose equality key matches
         (plus, rarely, unhashable overflow entries); residual predicates
         are evaluated by the caller, so a spurious bucket hit can never
-        produce a spurious match.
+        produce a spurious match.  ``bound`` (for a range index) further
+        narrows the bucket to its value-bisected theta range; the
+        candidates are re-sorted into insertion (= trigger) order so
+        emission order and first-candidate semantics are identical to a
+        scan.
         """
         index = self._indexes[index_id]
         metrics = self.metrics
+        counted = index.key_of is not None
         try:
             bucket = index.buckets.get(key)
         except TypeError:  # unhashable probe key
-            if metrics is not None:
+            if metrics is not None and counted:
                 metrics.index_probes += 1
                 metrics.index_misses += 1
             yield from self.iter_before(trigger_seq)
             return
         ids = self._ids
-        if metrics is not None:
+        if metrics is not None and counted:
             metrics.index_probes += 1
             if bucket is None:
                 metrics.index_misses += 1
             else:
                 metrics.index_hits += 1
+        if (
+            bucket is not None
+            and index.value_of is not None
+            and bound is not NO_BOUND
+        ):
+            yield from self._range_candidates(
+                index, bucket, trigger_seq, bound
+            )
+            return
         if bucket is not None:
-            pms, trigs = bucket
+            pms, trigs = bucket.pms, bucket.trigs
             boundary = bisect_left(trigs, trigger_seq)
             if index.overflow:
                 # Rare path: merge the bucket with the unhashable-key
@@ -388,6 +626,63 @@ class PartialMatchStore:
                 if id(pm) in ids:
                     yield pm
 
+    def _range_candidates(
+        self, index: _Index, bucket: _Bucket, trigger_seq: int, bound
+    ) -> Iterator[PartialMatch]:
+        """Theta-bisected candidates of one bucket, insertion-ordered."""
+        metrics = self.metrics
+        try:
+            lo, hi = range_slice(bucket.rvals, index.op, bound)
+        except TypeError:
+            # Bound unorderable against this run: degrade to the full
+            # bucket (the residual predicates keep the result exact).
+            yield from self._bucket_scan(index, bucket, trigger_seq)
+            return
+        if metrics is not None:
+            metrics.range_probes += 1
+        ids = self._ids
+        candidates = [
+            entry
+            for entry in bucket.rentries[lo:hi]
+            if entry[1].trigger_seq < trigger_seq and id(entry[1]) in ids
+        ]
+        for extra in (bucket.runordered, None):
+            # Unorderable stored values, then unhashable-key overflow:
+            # both conservative supersets that must stay probe-visible.
+            entries = (
+                extra
+                if extra is not None
+                else zip(index.overflow_ins, index.overflow)
+            )
+            for ins, pm in entries:
+                if pm.trigger_seq < trigger_seq and id(pm) in ids:
+                    candidates.append((ins, pm))
+        candidates.sort(key=lambda entry: entry[0])
+        if metrics is not None and candidates:
+            metrics.range_hits += 1
+        for _, pm in candidates:
+            yield pm
+
+    def _bucket_scan(
+        self, index: _Index, bucket: _Bucket, trigger_seq: int
+    ) -> Iterator[PartialMatch]:
+        ids = self._ids
+        boundary = bisect_left(bucket.trigs, trigger_seq)
+        if index.overflow:
+            over = index.overflow[
+                : bisect_left(index.overflow_trigs, trigger_seq)
+            ]
+            merged = sorted(
+                bucket.pms[:boundary] + over, key=lambda p: p.trigger_seq
+            )
+            for pm in merged:
+                if id(pm) in ids:
+                    yield pm
+            return
+        for pm in bucket.pms[:boundary]:
+            if id(pm) in ids:
+                yield pm
+
     # -- housekeeping --------------------------------------------------------
     def _maybe_compact(self) -> None:
         if self._dead < _COMPACT_MIN_DEAD or self._dead <= len(self._ids):
@@ -402,24 +697,16 @@ class PartialMatchStore:
         ]
         self._exp_ts = [ts for ts, _ in keep]
         self._exp_pms = [pm for _, pm in keep]
+        # Rebuild every access path from the compacted primary run; the
+        # fresh insertion serials (0..n-1) preserve relative order.
         for index in self._indexes:
-            for key in list(index.buckets):
-                pms, _ = index.buckets[key]
-                alive = [pm for pm in pms if id(pm) in ids]
-                if alive:
-                    index.buckets[key] = (
-                        alive,
-                        [pm.trigger_seq for pm in alive],
-                    )
-                else:
-                    del index.buckets[key]
-            if index.overflow:
-                index.overflow = [
-                    pm for pm in index.overflow if id(pm) in ids
-                ]
-                index.overflow_trigs = [
-                    pm.trigger_seq for pm in index.overflow
-                ]
+            index.buckets = {}
+            index.overflow = []
+            index.overflow_trigs = []
+            index.overflow_ins = []
+            for position, pm in enumerate(self._pms):
+                index.add(pm, position)
+        self._ins = len(self._pms)
         self._dead = 0
 
     def __repr__(self) -> str:

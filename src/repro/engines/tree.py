@@ -33,17 +33,27 @@ from typing import Optional
 
 from ..errors import EngineError
 from ..events import Event
+from ..patterns.compile import (
+    compile_event_kernel,
+    compile_extension_kernel,
+    compile_merge_kernel,
+)
 from ..patterns.predicates import Predicate
 from ..patterns.transformations import DecomposedPattern
 from ..plans.tree_plan import TreeNode, TreePlan
-from .base import SELECTION_ANY, BaseEngine
+from .base import INTERPRET, SELECTION_ANY, BaseEngine
 from .matches import Match, PartialMatch
 from .negation import PreparedSpec
 from .stores import (
+    EMPTY_RANGE,
+    NO_BOUND,
     PartialMatchStore,
     equality_key_pairs,
     make_key_fn,
+    make_value_fn,
     probe_key,
+    range_key_pairs,
+    range_probe_value,
 )
 
 
@@ -63,6 +73,10 @@ class _RuntimeNode:
         "variable",
         "probe_index",
         "probe_key_of",
+        "probe_bound_of",
+        "merge_full",
+        "merge_resid",
+        "absorb_kernel",
     )
 
     def __init__(self, plan_node: TreeNode) -> None:
@@ -79,11 +93,20 @@ class _RuntimeNode:
         self.negation_specs: list[PreparedSpec] = []
         self.is_leaf = plan_node.is_leaf
         self.variable = plan_node.variable
-        # Hash access path into sibling.store (see repro.engines.stores):
-        # probe_key_of maps this node's bindings to the probe key;
-        # probe_index is the handle registered on the sibling's store.
+        # Access path into sibling.store (see repro.engines.stores):
+        # probe_key_of maps this node's bindings to the probe key,
+        # probe_bound_of to the theta bound; probe_index is the handle
+        # registered on the sibling's store.
         self.probe_index: Optional[int] = None
         self.probe_key_of = None
+        self.probe_bound_of = None
+        # Compiled kernels (repro.patterns.compile), oriented with this
+        # node's instance on the left and the sibling's on the right.
+        self.merge_full = INTERPRET
+        self.merge_resid = INTERPRET
+        # Leaf Kleene absorption kernel (unary predicates re-checked on
+        # the new element, matching the interpreted path).
+        self.absorb_kernel = INTERPRET
 
 
 class TreeEngine(BaseEngine):
@@ -97,6 +120,7 @@ class TreeEngine(BaseEngine):
         max_kleene_size: Optional[int] = None,
         pattern_name: Optional[str] = None,
         indexed: bool = True,
+        compiled: bool = True,
     ) -> None:
         super().__init__(
             decomposed,
@@ -104,13 +128,17 @@ class TreeEngine(BaseEngine):
             max_kleene_size=max_kleene_size,
             pattern_name=pattern_name,
             indexed=indexed,
+            compiled=compiled,
         )
         plan.validate_for(decomposed)
         self.plan = plan
         self._nodes: list[_RuntimeNode] = []
         self._leaf_for: dict[str, _RuntimeNode] = {}
+        self._admit_kernels: dict[str, object] = {}
         self._root = self._build(plan.root, None)
         self._attach_negation_specs()
+        if compiled:
+            self._recompile_kernels()
 
     # -- construction ------------------------------------------------------
     def _build(
@@ -145,13 +173,17 @@ class TreeEngine(BaseEngine):
     def _index_children(
         self, runtime: _RuntimeNode, left: _RuntimeNode, right: _RuntimeNode
     ) -> None:
-        """Hash-partition both child stores on the join's equality keys.
+        """Index both child stores on the join's equality + theta keys.
 
         Each child probes its sibling, so the index on the left store is
         keyed by the left-side attributes and probed with keys computed
-        from right-side bindings — and vice versa.  The extracted
-        predicates remain in ``cross_predicates``: the bucket is only an
-        access path, residual evaluation stays exact.
+        from right-side bindings — and vice versa.  A ``< <= > >=``
+        cross-predicate additionally sorts each bucket by its side of
+        the comparison, so the probe bisects a value range inside the
+        bucket (or inside the whole store when the join has no
+        equality).  The extracted predicates remain in
+        ``cross_predicates``: the index is only an access path, residual
+        evaluation stays exact.
         """
         left_spec, right_spec, extracted = equality_key_pairs(
             runtime.cross_predicates,
@@ -159,18 +191,93 @@ class TreeEngine(BaseEngine):
             right.variables,
             self._kleene,
         )
-        if not left_spec:
+        range_spec = range_key_pairs(
+            runtime.cross_predicates,
+            left.variables,
+            right.variables,
+            self._kleene,
+        )
+        if not left_spec and range_spec is None:
             return
         skip = set(map(id, extracted))
         runtime.residual_predicates = [
             p for p in runtime.cross_predicates if id(p) not in skip
         ]
-        left_key = make_key_fn(left_spec)
+        left_key = make_key_fn(left_spec)  # None without equalities
         right_key = make_key_fn(right_spec)
-        left.probe_index = right.store.add_index(right_key)
+        left_val = right_val = None
+        left_op = right_op = None
+        if range_spec is not None:
+            left_item, left_op, right_item, right_op, _ = range_spec
+            left_val = make_value_fn(left_item)
+            right_val = make_value_fn(right_item)
+        left.probe_index = right.store.add_index(
+            right_key, value_of=right_val, op=right_op
+        )
         left.probe_key_of = left_key
-        right.probe_index = left.store.add_index(left_key)
+        left.probe_bound_of = left_val
+        right.probe_index = left.store.add_index(
+            left_key, value_of=left_val, op=left_op
+        )
         right.probe_key_of = right_key
+        right.probe_bound_of = right_val
+
+    def _recompile_kernels(self) -> None:
+        """Fuse per-node predicate lists into compiled kernels: admission
+        filters per variable, the join residuals per child orientation,
+        and leaf Kleene absorption checks."""
+        super()._recompile_kernels()
+        tracker = self._sel_tracker
+        common = dict(
+            tracker=tracker, sel_key_by_pred=self._sel_key_by_pred
+        )
+        self._admit_kernels = {}
+        for variable, _type in self.decomposed.positives:
+            filters = self._conditions.filters_for(variable)
+            if filters:
+                self._admit_kernels[variable] = compile_event_kernel(
+                    filters, variable, self.metrics, count="all", **common
+                )
+        for node in self._nodes:
+            if node.is_leaf:
+                if node.variable in self._kleene:
+                    unary = [
+                        p
+                        for p in self._preds_by_var[node.variable]
+                        if set(p.variables) <= {node.variable}
+                    ]
+                    node.absorb_kernel = compile_extension_kernel(
+                        unary,
+                        node.variable,
+                        self._kleene,
+                        self.metrics,
+                        **common,
+                    )
+                continue
+            left, right = None, None
+            for child in self._nodes:
+                if child.parent is node:
+                    if left is None:
+                        left = child
+                    else:
+                        right = child
+            for mine, sibling in ((left, right), (right, left)):
+                mine.merge_full = compile_merge_kernel(
+                    node.cross_predicates,
+                    mine.variables,
+                    sibling.variables,
+                    self._kleene,
+                    self.metrics,
+                    **common,
+                )
+                mine.merge_resid = compile_merge_kernel(
+                    node.residual_predicates,
+                    mine.variables,
+                    sibling.variables,
+                    self._kleene,
+                    self.metrics,
+                    **common,
+                )
 
     def _attach_negation_specs(self) -> None:
         """Place each bounded spec at the lowest node covering its deps —
@@ -228,8 +335,15 @@ class TreeEngine(BaseEngine):
     def _admissible_variables(self, event: Event) -> list[str]:
         """Type + unary-filter admission (leaf stores are the buffers)."""
         admitted: list[str] = []
+        compiled = self.compiled
         for variable, type_name in self.decomposed.positives:
             if event.type != type_name:
+                continue
+            if compiled:
+                kernel = self._admit_kernels.get(variable)
+                if kernel is not None and not kernel(event):
+                    continue
+                admitted.append(variable)
                 continue
             filters = self._conditions.filters_for(variable)
             if filters:
@@ -252,10 +366,11 @@ class TreeEngine(BaseEngine):
     ) -> list[tuple[PartialMatch, _RuntimeNode]]:
         """Grow Kleene tuples at a leaf with the arriving event."""
         created: list[tuple[PartialMatch, _RuntimeNode]] = []
+        kernel = node.absorb_kernel if self.compiled else INTERPRET
         for pm in node.store:
             if not self._kleene_room(pm, variable, self.max_kleene_size):
                 continue
-            if self._check_extension(pm, variable, event):
+            if self._check_extension(pm, variable, event, kernel=kernel):
                 created.append((pm.kleene_extended(variable, event), node))
         return created
 
@@ -294,20 +409,43 @@ class TreeEngine(BaseEngine):
             return []
         candidates = None
         predicates = parent.cross_predicates
-        if node.probe_key_of is not None:
-            key = probe_key(node.probe_key_of, pm.bindings)
+        kernel = node.merge_full if self.compiled else INTERPRET
+        if node.probe_index is not None:
+            key = (
+                ()
+                if node.probe_key_of is None
+                else probe_key(node.probe_key_of, pm.bindings)
+            )
             if key is not None:
+                bound = NO_BOUND
+                # With a selectivity tracker attached the range bound is
+                # bypassed: a bisect yields only passing candidates, so
+                # the observed theta outcomes would be biased to True
+                # and mislead replanning.  Bucket scans keep feedback
+                # unbiased (the theta predicate stays residual).
+                if node.probe_bound_of is not None and (
+                    self._sel_tracker is None
+                ):
+                    bound = range_probe_value(node.probe_bound_of, pm.bindings)
+                    if bound is EMPTY_RANGE:
+                        # The theta predicate rejects every sibling
+                        # instance: zero candidates, exactly.
+                        return []
                 candidates = sibling.store.probe(
-                    node.probe_index, key, pm.trigger_seq
+                    node.probe_index, key, pm.trigger_seq, bound=bound
                 )
-                if sibling.store.index_exact(node.probe_index):
+                if node.probe_key_of is not None and sibling.store.index_exact(
+                    node.probe_index
+                ):
                     # Bucket-guaranteed: skip the extracted equalities.
                     predicates = parent.residual_predicates
+                    if self.compiled:
+                        kernel = node.merge_resid
         if candidates is None:
             candidates = sibling.store.iter_before(pm.trigger_seq)
         created: list[tuple[PartialMatch, _RuntimeNode]] = []
         for other in candidates:
-            merged = self._try_merge(pm, other, parent, predicates)
+            merged = self._try_merge(pm, other, parent, predicates, kernel)
             if merged is not None:
                 created.append((merged, parent))
                 if self._consuming:
@@ -320,6 +458,7 @@ class TreeEngine(BaseEngine):
         other: PartialMatch,
         parent: _RuntimeNode,
         predicates: Optional[list] = None,
+        kernel=INTERPRET,
     ) -> Optional[PartialMatch]:
         if pm.event_seqs() & other.event_seqs():
             return None
@@ -333,6 +472,12 @@ class TreeEngine(BaseEngine):
             or other.event_seqs() & self._consumed
         ):
             return None
+        if kernel is not INTERPRET:
+            # Compiled: evaluate against the two existing bindings dicts
+            # and merge only on success — no per-candidate dict merge.
+            if kernel is not None and not kernel(pm.bindings, other.bindings):
+                return None
+            return pm.merged(other, max(pm.trigger_seq, other.trigger_seq))
         merged = pm.merged(other, max(pm.trigger_seq, other.trigger_seq))
         if predicates is None:
             predicates = parent.cross_predicates

@@ -116,6 +116,7 @@ def run_workload(
     share_filter: Optional[ShareFilter] = None,
     max_kleene_size: Optional[int] = None,
     indexed: bool = True,
+    compiled: bool = True,
     parallel=None,
     **optimizer_kwargs,
 ) -> WorkloadResult:
@@ -159,6 +160,7 @@ def run_workload(
             plan,
             max_kleene_size=max_kleene_size,
             indexed=indexed,
+            compiled=compiled,
             parallel=parallel,
         )
         matches = executor.run(stream)
@@ -171,7 +173,10 @@ def run_workload(
             events=executor.events_in,
         )
     engine = MultiQueryEngine(
-        plan, max_kleene_size=max_kleene_size, indexed=indexed
+        plan,
+        max_kleene_size=max_kleene_size,
+        indexed=indexed,
+        compiled=compiled,
     )
     started = time.perf_counter()
     matches = engine.run(stream)

@@ -42,16 +42,22 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..engines.base import _PendingMatch
+from ..engines.base import INTERPRET, _PendingMatch
 from ..engines.matches import Match, PartialMatch
 from ..engines.metrics import EngineMetrics
 from ..engines.negation import NegationChecker, PreparedSpec
 from ..engines.stores import (
+    EMPTY_RANGE,
+    NO_BOUND,
     PartialMatchStore,
     equality_key_pairs,
     make_key_fn,
+    make_value_fn,
     probe_key,
+    range_key_pairs,
+    range_probe_value,
 )
+from ..patterns.compile import compile_event_kernel, compile_merge_kernel
 from ..events import Event, Stream
 from .sharing import QueryRoot, SharedJoin, SharedLeaf, SharedPlan
 
@@ -194,7 +200,10 @@ class _Edge:
         "sibling",
         "probe_index",
         "probe_key_of",
+        "probe_bound_of",
         "residual_predicates",
+        "merge_full",
+        "merge_resid",
     )
 
     def __init__(self, parent, my_map, other_map, sibling) -> None:
@@ -204,15 +213,22 @@ class _Edge:
         self.sibling = sibling
         self.probe_index: Optional[int] = None
         self.probe_key_of = None
+        self.probe_bound_of = None
         # cross_predicates minus the equalities the hash bucket already
         # guarantees; evaluated on bucket candidates only.
         self.residual_predicates: Tuple = ()
+        # Compiled kernels (repro.patterns.compile) over the two child
+        # bindings dicts, renamings resolved at compile time.
+        self.merge_full = INTERPRET
+        self.merge_resid = INTERPRET
 
 
 class _RuntimeNode:
     """Mutable store attached to one shared plan node."""
 
-    __slots__ = ("spec", "store", "parents", "states", "kleene")
+    __slots__ = (
+        "spec", "store", "parents", "states", "kleene", "admit_kernel"
+    )
 
     def __init__(self, spec, metrics: EngineMetrics) -> None:
         self.spec = spec
@@ -222,6 +238,8 @@ class _RuntimeNode:
         # Variables (in this node's representative namespace) bound to
         # Kleene tuples — excluded from equality keys.
         self.kleene: frozenset = frozenset()
+        # Compiled leaf admission kernel (None = no filters).
+        self.admit_kernel = None
 
 
 class MultiQueryEngine:
@@ -240,10 +258,12 @@ class MultiQueryEngine:
         plan: SharedPlan,
         max_kleene_size: Optional[int] = None,
         indexed: bool = True,
+        compiled: bool = True,
     ) -> None:
         self.plan = plan
         self.max_kleene_size = max_kleene_size
         self.indexed = indexed
+        self.compiled = compiled
         self.metrics = EngineMetrics()
         self._now = float("-inf")
         self._event_wall_started = 0.0
@@ -286,6 +306,51 @@ class MultiQueryEngine:
             state = _QueryState(root)
             runtime[root.node.index].states.append(state)
             self._states.append(state)
+        if compiled:
+            self._compile_kernels()
+
+    def _compile_kernels(self) -> None:
+        """Fuse leaf filters and per-edge cross-predicate lists into
+        compiled kernels, DAG renamings resolved at compile time."""
+        for leaf in self._leaves:
+            spec = leaf.spec
+            if spec.filters:
+                leaf.admit_kernel = compile_event_kernel(
+                    spec.filters, spec.variable, self.metrics, count="all"
+                )
+        for node in self.plan.nodes:
+            if not isinstance(node, SharedJoin):
+                continue
+            parent = self._runtime[node.index]
+            kleene = parent.kleene
+            for edge in (
+                self._runtime[node.left.index].parents
+                + self._runtime[node.right.index].parents
+            ):
+                if edge.parent is not parent or edge.merge_full is not INTERPRET:
+                    continue
+                inv_my = {pv: cv for cv, pv in edge.my_map.items()}
+                inv_other = {pv: cv for cv, pv in edge.other_map.items()}
+                common = dict(
+                    left_rename=inv_my,
+                    right_rename=inv_other,
+                )
+                edge.merge_full = compile_merge_kernel(
+                    node.cross_predicates,
+                    set(edge.my_map.values()),
+                    set(edge.other_map.values()),
+                    kleene,
+                    self.metrics,
+                    **common,
+                )
+                edge.merge_resid = compile_merge_kernel(
+                    edge.residual_predicates,
+                    set(edge.my_map.values()),
+                    set(edge.other_map.values()),
+                    kleene,
+                    self.metrics,
+                    **common,
+                )
 
     def _index_join(
         self,
@@ -309,7 +374,13 @@ class MultiQueryEngine:
             set(node.right_map.values()),
             self._runtime[node.index].kleene,
         )
-        if not left_spec:
+        range_spec = range_key_pairs(
+            node.cross_predicates,
+            set(node.left_map.values()),
+            set(node.right_map.values()),
+            self._runtime[node.index].kleene,
+        )
+        if not left_spec and range_spec is None:
             return
         skip = set(map(id, extracted))
         residual = tuple(
@@ -319,16 +390,32 @@ class MultiQueryEngine:
         right_edge.residual_predicates = residual
         inv_left = {pv: cv for cv, pv in node.left_map.items()}
         inv_right = {pv: cv for cv, pv in node.right_map.items()}
-        left_key = make_key_fn(
-            tuple((inv_left[v], attr) for v, attr in left_spec)
+        left_key = right_key = None
+        if left_spec:
+            left_key = make_key_fn(
+                tuple((inv_left[v], attr) for v, attr in left_spec)
+            )
+            right_key = make_key_fn(
+                tuple((inv_right[v], attr) for v, attr in right_spec)
+            )
+        left_val = right_val = None
+        left_op = right_op = None
+        if range_spec is not None:
+            left_item, left_op, right_item, right_op, _ = range_spec
+            left_val = make_value_fn((inv_left[left_item[0]], left_item[1]))
+            right_val = make_value_fn(
+                (inv_right[right_item[0]], right_item[1])
+            )
+        left_edge.probe_index = right.store.add_index(
+            right_key, value_of=right_val, op=right_op
         )
-        right_key = make_key_fn(
-            tuple((inv_right[v], attr) for v, attr in right_spec)
-        )
-        left_edge.probe_index = right.store.add_index(right_key)
         left_edge.probe_key_of = left_key
-        right_edge.probe_index = left.store.add_index(left_key)
+        left_edge.probe_bound_of = left_val
+        right_edge.probe_index = left.store.add_index(
+            left_key, value_of=left_val, op=left_op
+        )
         right_edge.probe_key_of = right_key
+        right_edge.probe_bound_of = right_val
 
     # -- public API ---------------------------------------------------------
     def process(self, event: Event) -> List[Match]:
@@ -352,7 +439,10 @@ class MultiQueryEngine:
             spec = leaf.spec
             if event.type != spec.event_type:
                 continue
-            if spec.filters:
+            if leaf.admit_kernel is not None:
+                if not leaf.admit_kernel(event):
+                    continue
+            elif spec.filters:
                 self.metrics.predicate_evaluations += len(spec.filters)
                 if not all(
                     p.evaluate({spec.variable: event}) for p in spec.filters
@@ -418,22 +508,44 @@ class MultiQueryEngine:
         sibling = edge.sibling
         candidates = None
         predicates = edge.parent.spec.cross_predicates
-        if edge.probe_key_of is not None:
-            key = probe_key(edge.probe_key_of, pm.bindings)
+        kernel = edge.merge_full if self.compiled else INTERPRET
+        if edge.probe_index is not None:
+            key = (
+                ()
+                if edge.probe_key_of is None
+                else probe_key(edge.probe_key_of, pm.bindings)
+            )
             if key is not None:
+                bound = NO_BOUND
+                if edge.probe_bound_of is not None:
+                    bound = range_probe_value(edge.probe_bound_of, pm.bindings)
+                    if bound is EMPTY_RANGE:
+                        # The theta predicate rejects every sibling
+                        # instance: zero candidates, exactly.
+                        return []
                 candidates = sibling.store.probe(
-                    edge.probe_index, key, pm.trigger_seq
+                    edge.probe_index, key, pm.trigger_seq, bound=bound
                 )
-                if sibling.store.index_exact(edge.probe_index):
+                if edge.probe_key_of is not None and sibling.store.index_exact(
+                    edge.probe_index
+                ):
                     # Bucket-guaranteed: skip the extracted equalities.
                     predicates = edge.residual_predicates
+                    if self.compiled:
+                        kernel = edge.merge_resid
         if candidates is None:
             candidates = sibling.store.iter_before(pm.trigger_seq)
         created: List[Tuple[PartialMatch, _RuntimeNode]] = []
         parent = edge.parent
         for other in candidates:
             merged = self._try_merge(
-                pm, edge.my_map, other, edge.other_map, parent, predicates
+                pm,
+                edge.my_map,
+                other,
+                edge.other_map,
+                parent,
+                predicates,
+                kernel,
             )
             if merged is not None:
                 created.append((merged, parent))
@@ -447,6 +559,7 @@ class MultiQueryEngine:
         other_map: dict,
         parent: _RuntimeNode,
         predicates=None,
+        kernel=INTERPRET,
     ) -> Optional[PartialMatch]:
         if pm.event_seqs() & other.event_seqs():
             return None
@@ -454,6 +567,12 @@ class MultiQueryEngine:
         max_ts = max(pm.max_ts, other.max_ts)
         if max_ts - min_ts > parent.spec.window:
             return None
+        if kernel is not INTERPRET:
+            # Compiled: evaluate over the two child bindings (renamings
+            # resolved at compile time) and build the parent-namespace
+            # dict only for survivors.
+            if kernel is not None and not kernel(pm.bindings, other.bindings):
+                return None
         bindings = {my_map[k]: v for k, v in pm.bindings.items()}
         for k, v in other.bindings.items():
             bindings[other_map[k]] = v
@@ -463,6 +582,8 @@ class MultiQueryEngine:
             min_ts,
             max_ts,
         )
+        if kernel is not INTERPRET:
+            return merged
         if predicates is None:
             predicates = parent.spec.cross_predicates
         for predicate in predicates:

@@ -322,6 +322,7 @@ class ParallelExecutor:
         config: Optional[ParallelConfig] = None,
         max_kleene_size: Optional[int] = None,
         indexed: bool = True,
+        compiled: bool = True,
     ) -> None:
         self.config = config or ParallelConfig()
         self.workers = self.config.workers or os.cpu_count() or 1
@@ -334,7 +335,10 @@ class ParallelExecutor:
             self._plan: Optional[SharedPlan] = planned
             decomposeds = [root.decomposed for root in planned.roots]
             self._spec: object = SharedSpec(
-                planned, max_kleene_size=max_kleene_size, indexed=indexed
+                planned,
+                max_kleene_size=max_kleene_size,
+                indexed=indexed,
+                compiled=compiled,
             )
         else:
             items = list(planned)
@@ -351,7 +355,10 @@ class ParallelExecutor:
             self._plan = None
             decomposeds = [item.decomposed for item in items]
             self._spec = EngineSpec.from_planned(
-                items, max_kleene_size=max_kleene_size, indexed=indexed
+                items,
+                max_kleene_size=max_kleene_size,
+                indexed=indexed,
+                compiled=compiled,
             )
         self._window = max(d.window for d in decomposeds)
         # Types any pattern can react to (positive or forbidden): the
@@ -513,6 +520,7 @@ class ParallelExecutor:
                     sub,
                     max_kleene_size=self._spec.max_kleene_size,
                     indexed=self._spec.indexed,
+                    compiled=self._spec.compiled,
                 ),
                 "single",
             )

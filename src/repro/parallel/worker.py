@@ -49,6 +49,7 @@ class EngineSpec:
     parts: List[dict]
     max_kleene_size: Optional[int] = None
     indexed: bool = True
+    compiled: bool = True
 
     @classmethod
     def from_planned(
@@ -56,6 +57,7 @@ class EngineSpec:
         planned: Sequence[PlannedPattern],
         max_kleene_size: Optional[int] = None,
         indexed: bool = True,
+        compiled: bool = True,
     ) -> "EngineSpec":
         return cls(
             parts=[
@@ -64,6 +66,7 @@ class EngineSpec:
             ],
             max_kleene_size=max_kleene_size,
             indexed=indexed,
+            compiled=compiled,
         )
 
     def build(self):
@@ -82,6 +85,7 @@ class EngineSpec:
                 pattern_name=part["planned"]["pattern_name"],
                 max_kleene_size=self.max_kleene_size,
                 indexed=self.indexed,
+                compiled=self.compiled,
             )
             for part in self.parts
         ]
@@ -101,6 +105,7 @@ class SharedSpec:
     plan: object  # SharedPlan; untyped to keep the import graph one-way
     max_kleene_size: Optional[int] = None
     indexed: bool = True
+    compiled: bool = True
 
     def build(self):
         from ..multiquery.executor import MultiQueryEngine
@@ -109,6 +114,7 @@ class SharedSpec:
             self.plan,
             max_kleene_size=self.max_kleene_size,
             indexed=self.indexed,
+            compiled=self.compiled,
         )
 
 

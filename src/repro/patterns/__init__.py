@@ -1,5 +1,11 @@
-"""CEP pattern language: operators, predicates, parser, transformations."""
+"""CEP pattern language: operators, predicates, parser, transformations,
+and the compiled predicate kernels of the engine hot path."""
 
+from .compile import (
+    compile_event_kernel,
+    compile_extension_kernel,
+    compile_merge_kernel,
+)
 from .formatter import format_pattern
 from .operators import And, Kleene, Not, Or, PatternNode, Primitive, Seq
 from .parser import parse_pattern
@@ -26,6 +32,9 @@ from .transformations import (
 )
 
 __all__ = [
+    "compile_event_kernel",
+    "compile_extension_kernel",
+    "compile_merge_kernel",
     "format_pattern",
     "And",
     "Kleene",

@@ -1,0 +1,445 @@
+"""Compiled predicate kernels: plan-time specialization of the hot path.
+
+Every candidate pairing the engines consider used to interpret the
+predicate AST: build a merged bindings dict, walk :meth:`Attr.resolve`
+dict lookups per operand, expand Kleene tuples through a generator.  On
+the hardware that per-candidate work — not the number of partial matches
+— caps throughput (the same observation that motivates the indexed
+stores of :mod:`repro.engines.stores`).
+
+This module compiles a runtime node's predicate list **once, at engine
+build time**, into a single conjunction closure (*kernel*):
+
+* operand accessors are resolved up front — variable side (existing
+  partial match vs. arriving material), storage name (DAG edge
+  renamings applied at compile time), attribute getter;
+* the kernel evaluates directly against the two *existing* bindings
+  structures — ``kernel(left_bindings, right_bindings)`` for a join,
+  ``kernel(bindings, event)`` for an NFA-style extension — with **no
+  per-candidate dict merge**;
+* Kleene-tuple universal semantics are expanded into explicit loops;
+* NaN / missing-attribute / unordered-type behaviour is preserved
+  exactly: a :class:`~repro.patterns.predicates.Comparison` still turns
+  ``KeyError``/``TypeError`` into ``False``, and an empty Kleene tuple
+  is still vacuously true without resolving the other operand;
+* predicate types the compiler does not specialize
+  (:class:`FunctionPredicate`, :class:`Adjacent`, user subclasses) fall
+  back to the predicate's own ``evaluate`` over a minimal two-entry
+  view — same outcome, same exceptions, no full-bindings merge.
+
+Instrumentation is compiled in rather than branched on per candidate:
+without a :class:`~repro.stats.online.SelectivityTracker` the
+observation-free kernel runs; attaching one
+(:meth:`repro.engines.BaseEngine.set_selectivity_tracker`) recompiles
+the observing variant, which reports each per-predicate outcome under
+the same key convention as the interpreted path.  Evaluation counting
+follows the call site it replaces (``count="each"`` for join residuals
+and extensions, ``"all"`` for admission filters that pre-charge
+``len(filters)``, ``"none"`` for buffer filters, which never counted).
+
+Engines expose ``compiled=False`` to keep the interpreted path
+byte-identical — the baseline of the kernel-equivalence tests and the
+fig24 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from ..errors import PatternError
+from .predicates import Attr, Comparison, Const, Predicate
+
+#: Compiled conjunction: ``(left, right) -> bool``.  ``left`` is always a
+#: bindings mapping; ``right`` is a bindings mapping (merge kernels) or a
+#: bare event (extension kernels).
+Kernel = Callable[[Mapping, object], bool]
+
+#: How the kernel charges ``EngineMetrics.predicate_evaluations``:
+#: ``"each"`` per predicate actually evaluated (short-circuit aware),
+#: ``"all"`` the full list up front (tree/multi-query admission),
+#: ``"none"`` not at all (NFA buffer filters never counted).
+COUNT_MODES = ("each", "all", "none")
+
+_LEFT = 0
+_RIGHT = 1
+_EVENT = 2
+
+
+class _Resolver:
+    """Maps a predicate-namespace variable to its runtime location."""
+
+    __slots__ = ("sides", "renames", "kleene")
+
+    def __init__(self, sides, renames, kleene):
+        self.sides = sides  # var -> _LEFT | _RIGHT | _EVENT
+        self.renames = renames  # var -> storage name
+        self.kleene = kleene
+
+    def locate(self, variable: str):
+        """``(side, storage_name, is_kleene)`` for one variable."""
+        try:
+            side = self.sides[variable]
+        except KeyError:
+            raise PatternError(
+                f"predicate variable {variable!r} is bound on neither side "
+                "of the compiled kernel"
+            )
+        name = self.renames.get(variable, variable)
+        is_kleene = variable in self.kleene and side != _EVENT
+        return side, name, is_kleene
+
+    def raw_accessor(self, variable: str):
+        """Accessor for the variable's bound value (event or tuple)."""
+        side, name, _ = self.locate(variable)
+        if side == _EVENT:
+            return lambda left, right: right
+        if side == _LEFT:
+            return lambda left, right, _n=name: left[_n]
+        return lambda left, right, _n=name: right[_n]
+
+
+def _scalar_accessor(operand, resolver: _Resolver):
+    """Accessor for a non-Kleene operand value, or None when Kleene.
+
+    Returns ``(accessor, kleene_info)`` where exactly one is set;
+    ``kleene_info`` is ``(tuple_accessor, attribute, variable)``.
+    """
+    if isinstance(operand, Const):
+        value = operand.value
+        return (lambda left, right, _v=value: _v), None
+    if not isinstance(operand, Attr):
+        raise PatternError(f"cannot compile operand {operand!r}")
+    side, name, is_kleene = resolver.locate(operand.variable)
+    attr = operand.attribute
+    if is_kleene:
+        if side == _LEFT:
+            tup = lambda left, right, _n=name: left[_n]  # noqa: E731
+        else:
+            tup = lambda left, right, _n=name: right[_n]  # noqa: E731
+        return None, (tup, attr, operand.variable)
+    if side == _EVENT:
+        return (lambda left, right, _a=attr: right[_a]), None
+    if side == _LEFT:
+        return (lambda left, right, _n=name, _a=attr: left[_n][_a]), None
+    return (lambda left, right, _n=name, _a=attr: right[_n][_a]), None
+
+
+def _compile_comparison(predicate: Comparison, resolver: _Resolver):
+    op = predicate._fn
+    left_acc, left_kl = _scalar_accessor(predicate.left, resolver)
+    right_acc, right_kl = _scalar_accessor(predicate.right, resolver)
+
+    if left_kl is None and right_kl is None:
+
+        def fn(left, right, _op=op, _l=left_acc, _r=right_acc):
+            try:
+                return _op(_l(left, right), _r(left, right))
+            except (KeyError, TypeError):
+                return False
+
+        return fn
+
+    if left_kl is not None and right_kl is not None:
+        l_tup, l_attr, l_var = left_kl
+        r_tup, r_attr, r_var = right_kl
+        if l_var == r_var:
+            # One Kleene variable on both sides (e.g. ``b.x < b.y``):
+            # universal over single elements, both operands per element.
+            def fn(left, right, _op=op, _t=l_tup, _la=l_attr, _ra=r_attr):
+                try:
+                    for element in _t(left, right):
+                        if not _op(element[_la], element[_ra]):
+                            return False
+                except (KeyError, TypeError):
+                    return False
+                return True
+
+            return fn
+
+        def fn(
+            left,
+            right,
+            _op=op,
+            _t1=l_tup,
+            _a1=l_attr,
+            _t2=r_tup,
+            _a2=r_attr,
+        ):
+            tup1 = _t1(left, right)
+            tup2 = _t2(left, right)
+            if not tup1 or not tup2:
+                return True  # vacuous: no scalar expansion exists
+            try:
+                for e1 in tup1:
+                    value1 = e1[_a1]
+                    for e2 in tup2:
+                        if not _op(value1, e2[_a2]):
+                            return False
+            except (KeyError, TypeError):
+                return False
+            return True
+
+        return fn
+
+    # Exactly one Kleene operand: universal over its elements, the other
+    # operand resolved lazily (an empty tuple must stay vacuously true
+    # even when the scalar operand's attribute is missing).
+    if left_kl is not None:
+        tup_acc, attr, _ = left_kl
+
+        def fn(left, right, _op=op, _t=tup_acc, _a=attr, _o=right_acc):
+            tup = _t(left, right)
+            if not tup:
+                return True
+            try:
+                other = _o(left, right)
+                for element in tup:
+                    if not _op(element[_a], other):
+                        return False
+            except (KeyError, TypeError):
+                return False
+            return True
+
+        return fn
+
+    tup_acc, attr, _ = right_kl
+
+    def fn(left, right, _op=op, _t=tup_acc, _a=attr, _o=left_acc):
+        tup = _t(left, right)
+        if not tup:
+            return True
+        try:
+            other = _o(left, right)
+            for element in tup:
+                if not _op(other, element[_a]):
+                    return False
+        except (KeyError, TypeError):
+            return False
+        return True
+
+    return fn
+
+
+def _compile_fallback(predicate: Predicate, resolver: _Resolver):
+    """Uncompilable predicate types: delegate to ``evaluate`` over a
+    minimal bindings view (at most two entries, built per call — still
+    far cheaper than merging full binding dicts)."""
+    variables = tuple(predicate.variables)
+    accessors = [resolver.raw_accessor(v) for v in variables]
+    if len(variables) == 1:
+        var0, acc0 = variables[0], accessors[0]
+
+        def fn(left, right, _p=predicate, _v=var0, _a=acc0):
+            return _p.evaluate({_v: _a(left, right)})
+
+        return fn
+    (var0, var1), (acc0, acc1) = variables, accessors
+
+    def fn(left, right, _p=predicate, _v0=var0, _v1=var1, _a0=acc0, _a1=acc1):
+        return _p.evaluate({_v0: _a0(left, right), _v1: _a1(left, right)})
+
+    return fn
+
+
+def _compile_predicate(predicate: Predicate, resolver: _Resolver):
+    if type(predicate) is Comparison or (
+        isinstance(predicate, Comparison)
+        and type(predicate).evaluate is Comparison.evaluate
+    ):
+        # TimestampOrder and other Comparison subclasses that keep the
+        # stock evaluate are safe to specialize; subclasses overriding
+        # evaluate get the exact fallback.
+        return _compile_comparison(predicate, resolver)
+    return _compile_fallback(predicate, resolver)
+
+
+def _conjunction(
+    fns: list,
+    predicates: list,
+    metrics,
+    count: str,
+    tracker,
+    sel_key_by_pred,
+) -> Kernel:
+    total = len(fns)
+    if tracker is not None:
+        keys = [
+            (sel_key_by_pred or {}).get(id(p)) for p in predicates
+        ]
+        pairs = list(zip(fns, keys))
+        if count == "all":
+
+            def kernel(left, right):
+                metrics.predicate_kernel_calls += 1
+                metrics.predicate_evaluations += total
+                for fn, key in pairs:
+                    passed = fn(left, right)
+                    if key is not None:
+                        tracker.observe(key, passed)
+                        metrics.selectivity_observations += 1
+                    if not passed:
+                        return False
+                return True
+
+        elif count == "none":
+
+            def kernel(left, right):
+                metrics.predicate_kernel_calls += 1
+                for fn, key in pairs:
+                    passed = fn(left, right)
+                    if key is not None:
+                        tracker.observe(key, passed)
+                        metrics.selectivity_observations += 1
+                    if not passed:
+                        return False
+                return True
+
+        else:  # "each"
+
+            def kernel(left, right):
+                metrics.predicate_kernel_calls += 1
+                evaluated = 0
+                for fn, key in pairs:
+                    evaluated += 1
+                    passed = fn(left, right)
+                    if key is not None:
+                        tracker.observe(key, passed)
+                        metrics.selectivity_observations += 1
+                    if not passed:
+                        metrics.predicate_evaluations += evaluated
+                        return False
+                metrics.predicate_evaluations += total
+                return True
+
+        return kernel
+
+    if total == 1:
+        fn0 = fns[0]
+        charge = 1 if count != "none" else 0
+
+        def kernel(left, right, _f=fn0, _c=charge):
+            metrics.predicate_kernel_calls += 1
+            metrics.predicate_evaluations += _c
+            return _f(left, right)
+
+        return kernel
+
+    if count == "all":
+
+        def kernel(left, right):
+            metrics.predicate_kernel_calls += 1
+            metrics.predicate_evaluations += total
+            for fn in fns:
+                if not fn(left, right):
+                    return False
+            return True
+
+    elif count == "none":
+
+        def kernel(left, right):
+            metrics.predicate_kernel_calls += 1
+            for fn in fns:
+                if not fn(left, right):
+                    return False
+            return True
+
+    else:  # "each"
+
+        def kernel(left, right):
+            metrics.predicate_kernel_calls += 1
+            evaluated = 0
+            for fn in fns:
+                evaluated += 1
+                if not fn(left, right):
+                    metrics.predicate_evaluations += evaluated
+                    return False
+            metrics.predicate_evaluations += total
+            return True
+
+    return kernel
+
+
+def _build(predicates, resolver, metrics, count, tracker, sel_key_by_pred):
+    if count not in COUNT_MODES:
+        raise PatternError(f"unknown count mode {count!r}")
+    preds = list(predicates)
+    if not preds:
+        return None
+    fns = [_compile_predicate(p, resolver) for p in preds]
+    return _conjunction(fns, preds, metrics, count, tracker, sel_key_by_pred)
+
+
+# -- public compilers --------------------------------------------------------
+def compile_merge_kernel(
+    predicates: Iterable[Predicate],
+    left_variables: Iterable[str],
+    right_variables: Iterable[str],
+    kleene: Iterable[str],
+    metrics,
+    tracker=None,
+    sel_key_by_pred: Optional[dict] = None,
+    left_rename: Optional[Mapping[str, str]] = None,
+    right_rename: Optional[Mapping[str, str]] = None,
+    count: str = "each",
+) -> Optional[Kernel]:
+    """Kernel over two partial matches: ``kernel(left_b, right_b)``.
+
+    Variables in ``left_variables`` resolve from the first bindings
+    mapping, the rest from the second; ``*_rename`` translate predicate-
+    namespace names to storage names (multi-query DAG edges).  ``kleene``
+    names (predicate namespace) are bound to event tuples and expand
+    with universal semantics.  Returns None for an empty predicate list.
+    """
+    sides = {v: _LEFT for v in left_variables}
+    for v in right_variables:
+        sides.setdefault(v, _RIGHT)
+    renames = dict(left_rename or {})
+    renames.update(right_rename or {})
+    resolver = _Resolver(sides, renames, frozenset(kleene))
+    return _build(predicates, resolver, metrics, count, tracker, sel_key_by_pred)
+
+
+def compile_extension_kernel(
+    predicates: Iterable[Predicate],
+    variable: str,
+    kleene: Iterable[str],
+    metrics,
+    tracker=None,
+    sel_key_by_pred: Optional[dict] = None,
+) -> Optional[Kernel]:
+    """Kernel for binding one arriving event: ``kernel(bindings, event)``.
+
+    ``variable`` resolves to the bare event (scalar even when the
+    variable is a Kleene closure — the check covers the new element
+    only, exactly like the interpreted extension/absorption path); every
+    other variable resolves from ``bindings`` with tuple expansion for
+    Kleene names.
+    """
+    sides = {variable: _EVENT}
+    kleene = frozenset(kleene)
+    for predicate in predicates:
+        for name in predicate.variables:
+            sides.setdefault(name, _LEFT)
+    resolver = _Resolver(sides, {}, kleene)
+    return _build(predicates, resolver, metrics, "each", tracker, sel_key_by_pred)
+
+
+def compile_event_kernel(
+    predicates: Iterable[Predicate],
+    variable: str,
+    metrics,
+    tracker=None,
+    sel_key_by_pred: Optional[dict] = None,
+    count: str = "each",
+) -> Optional[Callable[[object], bool]]:
+    """Unary admission kernel: ``kernel(event)`` for one variable's
+    filters (tree/multi-query leaf admission, NFA buffer filters)."""
+    resolver = _Resolver({variable: _EVENT}, {}, frozenset())
+    kernel = _build(predicates, resolver, metrics, count, tracker, sel_key_by_pred)
+    if kernel is None:
+        return None
+
+    def event_kernel(event, _k=kernel):
+        return _k(None, event)
+
+    return event_kernel

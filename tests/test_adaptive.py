@@ -237,3 +237,77 @@ class TestSelectivityDrivenReplanning:
         controller.run(self.skewed_stream())
         assert controller.reoptimizations == 0
         assert controller.metrics.selectivity_observations == 0
+
+
+class TestReplanHysteresis:
+    """The cost-improvement gate stops mid-transition replan cascades."""
+
+    PATTERN = "PATTERN SEQ(A a, B b, C c) WITHIN 4"
+
+    def cascade_stream(self, count=2000, flip_at=700, seed=11):
+        """One genuine phase flip; the EWMA/sliding estimates crawl
+        toward the new regime over many check intervals, so a gateless
+        controller re-plans on nearly every drift check."""
+        rng = random.Random(seed)
+        events, t = [], 0.0
+        for i in range(count):
+            t += 0.05
+            if i < flip_at:
+                weights = (0.8, 0.1, 0.1)
+            else:
+                weights = (0.1, 0.1, 0.8)
+            name = rng.choices("ABC", weights=weights)[0]
+            events.append(Event(name, t, {"x": rng.random()}))
+        return Stream(events)
+
+    def controller(self, gate):
+        return AdaptiveController(
+            parse_pattern(self.PATTERN),
+            StatisticsCatalog({"A": 16.0, "B": 2.0, "C": 2.0}, {}),
+            check_interval=100,
+            horizon=30.0,
+            detector=DriftDetector(threshold=0.3),
+            replan_cost_gate=gate,
+        )
+
+    def test_gate_cuts_replans_for_one_phase_flip(self):
+        stream = self.cascade_stream()
+        ungated = self.controller(gate=0.0)
+        ungated_matches = ungated.run(stream)
+        gated = self.controller(gate=0.1)
+        gated_matches = gated.run(stream)
+        # The flip is real: both adapt at least once ...
+        assert gated.reoptimizations >= 1
+        assert ungated.reoptimizations >= 3
+        # ... but the gate collapses the cascade.
+        assert gated.reoptimizations < ungated.reoptimizations
+        assert gated.replans_suppressed >= 1
+        # Migration stays exact regardless of how often plans switch
+        # (canonical order: different replan cadences may interleave
+        # same-event emissions differently).
+        from repro.parallel.ordering import content_key
+
+        assert sorted(content_key(m) for m in gated_matches) == sorted(
+            content_key(m) for m in ungated_matches
+        )
+
+    def test_zero_gate_keeps_historical_behaviour(self):
+        controller = self.controller(gate=0.0)
+        controller.run(self.cascade_stream(count=800))
+        assert controller.replans_suppressed == 0
+
+    def test_suppressed_replan_keeps_catalog_baseline(self):
+        # An infinite gate suppresses every switch: the plan and the
+        # catalog must stay untouched while drift keeps firing.
+        controller = self.controller(gate=1.0)
+        controller.run(self.cascade_stream())
+        assert controller.reoptimizations == 0
+        assert controller.replans_suppressed >= 1
+        assert len(controller.plan_history) == 1
+        assert controller._catalog.rate("A") == 16.0
+
+    def test_negative_gate_rejected(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            self.controller(gate=-0.1)

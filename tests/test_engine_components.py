@@ -140,6 +140,29 @@ class TestEngineMetrics:
             "pm_migrated",
             "matches_saved_by_migration",
         } <= set(summary)
+        assert {
+            "range_probes",
+            "range_hits",
+            "predicate_kernel_calls",
+        } <= set(summary)
+
+    def test_merge_adds_range_and_kernel_counters(self):
+        first = EngineMetrics(
+            range_probes=10, range_hits=7, predicate_kernel_calls=100
+        )
+        second = EngineMetrics(
+            range_probes=5, range_hits=1, predicate_kernel_calls=40
+        )
+        merged = first.merge(second)
+        assert merged.range_probes == 15
+        assert merged.range_hits == 8
+        assert merged.predicate_kernel_calls == 140
+        sequential = first.merge(
+            second, disjoint_streams=True, concurrent=False
+        )
+        # Counters add under the sequential (peak-max) rule too.
+        assert sequential.range_probes == 15
+        assert sequential.predicate_kernel_calls == 140
 
     def test_merge_aggregates_migration_and_selectivity_counters(self):
         first = EngineMetrics(

@@ -1,13 +1,17 @@
-"""Indexed stores change access paths, never match sets.
+"""Indexed stores and compiled kernels change access paths, never match
+sets.
 
 Randomized-stream property tests (seeded, deterministic) asserting that
-every runtime with the new indexed stores — TreeEngine, NFAEngine, and
-MultiQueryEngine — reports a match sequence identical to the seed
-linear-store evaluation (``indexed=False``), across equality-heavy,
-pure-theta, Kleene, and negation patterns, under both skip-till-any and
-the consuming skip-till-next strategy.  Identity is asserted on the
+every runtime — TreeEngine, NFAEngine, and MultiQueryEngine — reports a
+match sequence identical to the seed interpreted linear-store evaluation
+(``indexed=False, compiled=False``) under every acceleration mode
+combination: hash equi-join probes, sorted-run theta range probes, and
+compiled predicate kernels, across equality-heavy, pure-theta, mixed,
+Kleene, and negation patterns, under both skip-till-any and the
+consuming skip-till-next strategy.  Identity is asserted on the
 *ordered* list of match keys, which is stronger than set equality: the
-bucketed probes must reproduce the linear scan's emission order exactly.
+bucketed/bisected probes must reproduce the linear scan's emission order
+exactly.
 """
 
 from __future__ import annotations
@@ -28,10 +32,17 @@ from repro.stats import estimate_pattern_catalog
 PATTERNS = [
     ("equality", "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x AND b.x = c.x WITHIN 4"),
     ("theta", "PATTERN AND(A a, B b, C c) WHERE a.x < b.x WITHIN 3"),
+    ("theta-le", "PATTERN SEQ(A a, B b, C c) WHERE a.x <= b.x AND c.x > b.x WITHIN 3"),
     ("mixed", "PATTERN SEQ(A a, B b, C c, D d) WHERE a.x = d.x AND b.x < c.x WITHIN 3"),
+    ("hash+range", "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x AND a.y < b.y WITHIN 4"),
     ("kleene", "PATTERN SEQ(A a, KL(B b), C c) WHERE a.x = c.x WITHIN 4"),
+    ("kleene-theta", "PATTERN SEQ(A a, KL(B b), C c) WHERE a.y < c.y AND b.x = a.x WITHIN 3"),
     ("negation", "PATTERN SEQ(A a, NOT(B b), C c) WHERE a.x = c.x AND b.x = a.x WITHIN 4"),
+    ("negation-theta", "PATTERN SEQ(A a, NOT(B b), C c) WHERE a.y < c.y AND b.x = a.x WITHIN 4"),
 ]
+
+#: (indexed, compiled) — every acceleration combination vs the seed.
+MODES = ((True, True), (True, False), (False, True))
 
 SEEDS = (3, 17, 51)
 
@@ -41,7 +52,39 @@ def rand_stream(seed: int, count: int = 60, types: str = "ABCD") -> Stream:
     events, t = [], 0.0
     for _ in range(count):
         t += rng.uniform(0.05, 0.5)
-        events.append(Event(rng.choice(types), t, {"x": rng.randrange(3)}))
+        events.append(
+            Event(
+                rng.choice(types),
+                t,
+                {"x": rng.randrange(3), "y": round(rng.uniform(0, 1), 3)},
+            )
+        )
+    return Stream(events)
+
+
+def noisy_stream(seed: int, count: int = 60, types: str = "ABCD") -> Stream:
+    """NaN values, missing attributes and mixed types in the hot attrs —
+    every index corner case at once."""
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(count):
+        t += rng.uniform(0.05, 0.5)
+        attrs = {}
+        if rng.random() < 0.9:
+            roll = rng.random()
+            attrs["x"] = (
+                float("nan") if roll < 0.15
+                else "s" if roll < 0.3
+                else rng.randrange(3)
+            )
+        if rng.random() < 0.9:
+            roll = rng.random()
+            attrs["y"] = (
+                float("nan") if roll < 0.15
+                else [1] if roll < 0.25  # unhashable and unorderable
+                else round(rng.uniform(0, 1), 3)
+            )
+        events.append(Event(rng.choice(types), t, attrs))
     return Stream(events)
 
 
@@ -51,40 +94,111 @@ def keys_of(matches) -> list:
 
 @pytest.mark.parametrize("name,text", PATTERNS, ids=[n for n, _ in PATTERNS])
 @pytest.mark.parametrize("seed", SEEDS)
-def test_tree_and_nfa_indexed_match_linear(name, text, seed):
+def test_tree_and_nfa_accelerated_match_interpreted_linear(name, text, seed):
     stream = rand_stream(seed)
     d = decompose(parse_pattern(text))
-    kwargs = {"max_kleene_size": 3} if name == "kleene" else {}
+    kwargs = {"max_kleene_size": 3} if name.startswith("kleene") else {}
     reference = reference_match_keys(stream=stream, decomposed=d, **kwargs)
     for tree in list(enumerate_bushy_trees(d.positive_variables))[:4]:
-        linear = TreeEngine(d, tree, indexed=False, **kwargs).run(stream)
-        indexed = TreeEngine(d, tree, indexed=True, **kwargs).run(stream)
-        assert keys_of(indexed) == keys_of(linear)
-        assert set(keys_of(indexed)) == reference
+        baseline = TreeEngine(
+            d, tree, indexed=False, compiled=False, **kwargs
+        ).run(stream)
+        assert set(keys_of(baseline)) == reference
+        for indexed, compiled in MODES:
+            accelerated = TreeEngine(
+                d, tree, indexed=indexed, compiled=compiled, **kwargs
+            ).run(stream)
+            assert keys_of(accelerated) == keys_of(baseline), (
+                f"tree/{name} diverges (indexed={indexed}, "
+                f"compiled={compiled})"
+            )
     for order in list(enumerate_orders(d.positive_variables))[:4]:
-        linear = NFAEngine(d, order, indexed=False, **kwargs).run(stream)
-        indexed = NFAEngine(d, order, indexed=True, **kwargs).run(stream)
-        assert keys_of(indexed) == keys_of(linear)
-        assert set(keys_of(indexed)) == reference
+        baseline = NFAEngine(
+            d, order, indexed=False, compiled=False, **kwargs
+        ).run(stream)
+        assert set(keys_of(baseline)) == reference
+        for indexed, compiled in MODES:
+            accelerated = NFAEngine(
+                d, order, indexed=indexed, compiled=compiled, **kwargs
+            ).run(stream)
+            assert keys_of(accelerated) == keys_of(baseline), (
+                f"nfa/{name} diverges (indexed={indexed}, "
+                f"compiled={compiled})"
+            )
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "text",
+    [
+        "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 5",
+        "PATTERN SEQ(A a, B b, C c) WHERE a.y < b.y WITHIN 5",
+        "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x AND a.y < b.y WITHIN 5",
+    ],
+    ids=["equality", "theta", "hash+range"],
+)
 @pytest.mark.parametrize("selection", ["next", "strict"])
-def test_consuming_strategies_indexed_match_linear(seed, selection):
+def test_consuming_strategies_accelerated_match_interpreted(
+    seed, text, selection
+):
     """Restrictive strategies exercise tombstone purges + first-pairing
-    semantics through the bucketed probes."""
+    semantics through the bucketed and bisected probes."""
     stream = rand_stream(seed, count=80, types="ABC")
-    d = decompose(
-        parse_pattern("PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 5")
-    )
+    d = decompose(parse_pattern(text))
     for tree in list(enumerate_bushy_trees(d.positive_variables))[:3]:
-        linear = TreeEngine(d, tree, selection=selection, indexed=False)
-        indexed = TreeEngine(d, tree, selection=selection, indexed=True)
-        assert keys_of(indexed.run(stream)) == keys_of(linear.run(stream))
+        baseline = TreeEngine(
+            d, tree, selection=selection, indexed=False, compiled=False
+        ).run(stream)
+        for indexed, compiled in MODES:
+            accelerated = TreeEngine(
+                d, tree, selection=selection,
+                indexed=indexed, compiled=compiled,
+            ).run(stream)
+            assert keys_of(accelerated) == keys_of(baseline)
     for order in list(enumerate_orders(d.positive_variables))[:3]:
-        linear = NFAEngine(d, order, selection=selection, indexed=False)
-        indexed = NFAEngine(d, order, selection=selection, indexed=True)
-        assert keys_of(indexed.run(stream)) == keys_of(linear.run(stream))
+        baseline = NFAEngine(
+            d, order, selection=selection, indexed=False, compiled=False
+        ).run(stream)
+        for indexed, compiled in MODES:
+            accelerated = NFAEngine(
+                d, order, selection=selection,
+                indexed=indexed, compiled=compiled,
+            ).run(stream)
+            assert keys_of(accelerated) == keys_of(baseline)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "text",
+    [
+        "PATTERN SEQ(A a, B b) WHERE a.y < b.y WITHIN 4",
+        "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x AND b.y <= c.y WITHIN 3",
+    ],
+    ids=["theta", "mixed"],
+)
+def test_noisy_values_accelerated_match_interpreted(seed, text):
+    """NaN, missing attributes, unorderable and unhashable values route
+    through every overflow/EMPTY_RANGE corner at once."""
+    stream = noisy_stream(seed, count=70)
+    d = decompose(parse_pattern(text))
+    for tree in list(enumerate_bushy_trees(d.positive_variables))[:3]:
+        baseline = TreeEngine(
+            d, tree, indexed=False, compiled=False
+        ).run(stream)
+        for indexed, compiled in MODES:
+            accelerated = TreeEngine(
+                d, tree, indexed=indexed, compiled=compiled
+            ).run(stream)
+            assert keys_of(accelerated) == keys_of(baseline)
+    for order in list(enumerate_orders(d.positive_variables))[:3]:
+        baseline = NFAEngine(
+            d, order, indexed=False, compiled=False
+        ).run(stream)
+        for indexed, compiled in MODES:
+            accelerated = NFAEngine(
+                d, order, indexed=indexed, compiled=compiled
+            ).run(stream)
+            assert keys_of(accelerated) == keys_of(baseline)
 
 
 def test_unhashable_key_values_indexed_match_linear():
@@ -112,13 +226,14 @@ def test_unhashable_key_values_indexed_match_linear():
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_multiquery_indexed_matches_linear(seed):
+def test_multiquery_accelerated_matches_interpreted_linear(seed):
     stream = rand_stream(seed, count=70)
     workload = Workload(
         [
             "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 4",
             "PATTERN SEQ(A a, B b, D d) WHERE a.x = b.x AND b.x = d.x WITHIN 4",
             "PATTERN AND(A a, D d) WHERE a.x < d.x WITHIN 3",
+            "PATTERN SEQ(A a, C c) WHERE a.x = c.x AND a.y < c.y WITHIN 3",
         ]
     )
     catalogs = {
@@ -127,8 +242,15 @@ def test_multiquery_indexed_matches_linear(seed):
     }
     plan = plan_workload(workload, catalogs, algorithm="GREEDY")
     assert plan.report.shared_nodes > 0  # the sharing path is exercised
-    linear = MultiQueryEngine(plan, indexed=False).run(stream)
-    indexed = MultiQueryEngine(plan, indexed=True).run(stream)
-    assert set(linear) == set(indexed)
-    for query in linear:
-        assert keys_of(indexed[query]) == keys_of(linear[query])
+    baseline = MultiQueryEngine(plan, indexed=False, compiled=False).run(
+        stream
+    )
+    for indexed, compiled in MODES:
+        accelerated = MultiQueryEngine(
+            plan, indexed=indexed, compiled=compiled
+        ).run(stream)
+        assert set(baseline) == set(accelerated)
+        for query in baseline:
+            assert keys_of(accelerated[query]) == keys_of(baseline[query]), (
+                f"{query} diverges (indexed={indexed}, compiled={compiled})"
+            )

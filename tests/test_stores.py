@@ -247,3 +247,227 @@ class TestVariableBuffer:
         buffer.offer(ev("B", 8.0, -1))
         buffer.prune(5.0)
         assert len(buffer) == 1
+
+
+class TestRangeKeyPairs:
+    def test_extracts_spanning_theta(self):
+        from repro.engines.stores import range_key_pairs
+
+        preds = [
+            Comparison(Attr("a", "x"), "=", Attr("b", "x")),
+            Comparison(Attr("a", "y"), "<", Attr("b", "y")),
+        ]
+        spec = range_key_pairs(preds, ["a"], ["b"])
+        left_item, left_op, right_item, right_op, predicate = spec
+        assert left_item == ("a", "y") and left_op == "<"
+        assert right_item == ("b", "y") and right_op == ">"
+        assert predicate is preds[1]
+
+    def test_orientation_flips_operator(self):
+        from repro.engines.stores import range_key_pairs
+
+        # b.y >= a.y with a on the left side: a stored left value L
+        # matches a probe value P iff P >= L, i.e. L <= P.
+        preds = [Comparison(Attr("b", "y"), ">=", Attr("a", "y"))]
+        left_item, left_op, right_item, right_op, _ = range_key_pairs(
+            preds, ["a"], ["b"]
+        )
+        assert left_item == ("a", "y") and left_op == "<="
+        assert right_item == ("b", "y") and right_op == ">="
+
+    def test_excludes_kleene_const_equality_and_unary(self):
+        from repro.engines.stores import range_key_pairs
+
+        preds = [
+            Comparison(Attr("a", "x"), "=", Attr("b", "x")),  # equality
+            Comparison(Attr("a", "x"), "<", Const(3)),  # const operand
+            Comparison(Attr("k", "x"), "<", Attr("b", "x")),  # kleene
+            Comparison(Attr("a", "x"), "<", Attr("a", "y")),  # same side
+        ]
+        assert range_key_pairs(preds, ["a", "k"], ["b"], kleene=["k"]) is None
+
+    def test_first_usable_theta_wins(self):
+        from repro.engines.stores import range_key_pairs
+
+        preds = [
+            Comparison(Attr("a", "y"), "<", Attr("b", "y")),
+            Comparison(Attr("a", "z"), ">", Attr("b", "z")),
+        ]
+        spec = range_key_pairs(preds, ["a"], ["b"])
+        assert spec[0] == ("a", "y")
+
+
+class TestRangeProbes:
+    def store_with_range(self, op="<", key=False):
+        from repro.engines.stores import make_key_fn, make_value_fn
+
+        metrics = EngineMetrics()
+        store = PartialMatchStore(metrics)
+        key_of = make_key_fn((("a", "k"),)) if key else None
+        index = store.add_index(
+            key_of, value_of=make_value_fn(("a", "v")), op=op
+        )
+        return store, index, metrics
+
+    def insert(self, store, seq, v, ts=None, **extra):
+        event = ev("A", ts if ts is not None else seq * 0.1, seq, v=v, **extra)
+        pm = pm_of("a", event)
+        store.insert(pm)
+        return pm
+
+    def test_bisect_selects_range_in_insertion_order(self):
+        store, index, metrics = self.store_with_range(op="<")
+        pms = [self.insert(store, seq, v)
+               for seq, v in ((0, 5.0), (1, 1.0), (2, 3.0), (3, 2.0))]
+        got = list(store.probe(index, (), trigger_seq=10, bound=3.0))
+        # stored < 3.0 keeps v=1.0 (seq 1) and v=2.0 (seq 3), in
+        # insertion order — never value order.
+        assert got == [pms[1], pms[3]]
+        assert metrics.range_probes == 1
+        assert metrics.range_hits == 1
+
+    def test_trigger_bound_applies_inside_range(self):
+        store, index, _ = self.store_with_range(op="<")
+        pms = [self.insert(store, seq, v) for seq, v in ((0, 1.0), (5, 2.0))]
+        got = list(store.probe(index, (), trigger_seq=5, bound=9.9))
+        assert got == [pms[0]]
+
+    def test_operator_variants(self):
+        from repro.engines.stores import make_value_fn
+
+        values = (1.0, 2.0, 2.0, 3.0)
+        expect = {
+            "<": {1.0}, "<=": {1.0, 2.0}, ">": {3.0}, ">=": {2.0, 3.0},
+        }
+        for op, expected in expect.items():
+            store, index, _ = self.store_with_range(op=op)
+            for seq, v in enumerate(values):
+                self.insert(store, seq, v)
+            got = {
+                pm.bindings["a"]["v"]
+                for pm in store.probe(index, (), 99, bound=2.0)
+            }
+            assert got == expected, op
+
+    def test_nan_and_missing_values_are_exactly_excluded(self):
+        store, index, _ = self.store_with_range(op="<")
+        good = self.insert(store, 0, 1.0)
+        nan_pm = pm_of("a", ev("A", 0.1, 1, v=float("nan")))
+        store.insert(nan_pm)
+        missing = pm_of("a", ev("A", 0.2, 2))  # no "v" at all
+        store.insert(missing)
+        # NaN / missing can never satisfy the theta predicate — the
+        # range path may drop them; the plain bucket path must not.
+        assert list(store.probe(index, (), 99, bound=5.0)) == [good]
+        assert len(list(store.probe(index, (), 99))) == 3
+
+    def test_unorderable_stored_values_stay_probe_visible(self):
+        store, index, metrics = self.store_with_range(op="<")
+        a = self.insert(store, 0, 1.0)
+        weird = pm_of("a", ev("A", 0.1, 1, v="str"))  # insort TypeError
+        store.insert(weird)
+        got = list(store.probe(index, (), 99, bound=0.5))
+        # 1.0 < 0.5 fails the bisect; the unorderable entry must still
+        # be yielded (the residual predicate rejects it exactly).
+        assert got == [weird]
+
+    def test_unorderable_bound_degrades_to_bucket_scan(self):
+        store, index, metrics = self.store_with_range(op="<")
+        pms = [self.insert(store, seq, float(seq)) for seq in range(3)]
+        got = list(store.probe(index, (), 99, bound="zzz"))
+        assert got == pms
+        assert metrics.range_probes == 0  # no bisect was applied
+
+    def test_hash_and_range_compose(self):
+        store, index, metrics = self.store_with_range(op="<", key=True)
+        in_bucket = pm_of("a", ev("A", 0.0, 0, k=1, v=1.0))
+        other_bucket = pm_of("a", ev("A", 0.1, 1, k=2, v=1.0))
+        too_big = pm_of("a", ev("A", 0.2, 2, k=1, v=9.0))
+        for pm in (in_bucket, other_bucket, too_big):
+            store.insert(pm)
+        got = list(store.probe(index, (1,), 99, bound=5.0))
+        assert got == [in_bucket]
+        assert metrics.index_probes == 1 and metrics.index_hits == 1
+        assert metrics.range_probes == 1
+
+    def test_expiry_and_compaction_preserve_range_runs(self):
+        store, index, _ = self.store_with_range(op="<")
+        for seq in range(200):
+            self.insert(store, seq, float(seq % 7), ts=seq * 0.1)
+        store.expire(cutoff=10.0)  # first 100 entries die
+        got = list(store.probe(index, (), 10_000, bound=1.0))
+        assert {pm.bindings["a"]["v"] for pm in got} == {0.0}
+        assert all(pm.min_ts >= 10.0 for pm in got)
+        assert [pm.trigger_seq for pm in got] == sorted(
+            pm.trigger_seq for pm in got
+        )
+
+    def test_range_hits_counts_probes_with_candidates(self):
+        store, index, metrics = self.store_with_range(op="<")
+        self.insert(store, 0, 5.0)
+        list(store.probe(index, (), 99, bound=1.0))  # empty
+        list(store.probe(index, (), 99, bound=9.0))  # one candidate
+        assert metrics.range_probes == 2
+        assert metrics.range_hits == 1
+
+
+class TestBufferRangeProbes:
+    def buffer_with_range(self, op="<", key=False):
+        metrics = EngineMetrics()
+        buffer = VariableBuffer("b", "B", metrics=metrics)
+        key_of = (lambda e: (e["k"],)) if key else None
+        buffer.set_index(key_of, value_of=lambda e: e["v"], op=op)
+        return buffer, metrics
+
+    def test_bisect_selects_range_in_seq_order(self):
+        buffer, metrics = self.buffer_with_range(op=">")
+        events = [
+            ev("B", 0.1, 0, v=5.0),
+            ev("B", 0.2, 1, v=1.0),
+            ev("B", 0.3, 2, v=7.0),
+        ]
+        for event in events:
+            buffer.offer(event)
+        got = list(buffer.probe((), trigger_seq=10, bound=4.0))
+        assert got == [events[0], events[2]]  # seq order, not value order
+        assert metrics.range_probes == 1 and metrics.range_hits == 1
+
+    def test_pruned_and_consumed_events_filtered(self):
+        buffer, _ = self.buffer_with_range(op="<")
+        events = [ev("B", 0.1 * i, i, v=float(i)) for i in range(6)]
+        for event in events:
+            buffer.offer(event)
+        buffer.remove_seq(2)
+        buffer.prune(0.15)  # seqs 0 and 1 (ts 0.0, 0.1) expire
+        got = list(buffer.probe((), trigger_seq=10, bound=99.0))
+        assert [e.seq for e in got] == [3, 4, 5]
+
+    def test_hash_and_range_compose_on_buffers(self):
+        buffer, _ = self.buffer_with_range(op="<", key=True)
+        inside = ev("B", 0.1, 0, k=1, v=1.0)
+        wrong_key = ev("B", 0.2, 1, k=2, v=1.0)
+        too_big = ev("B", 0.3, 2, k=1, v=9.0)
+        for event in (inside, wrong_key, too_big):
+            buffer.offer(event)
+        assert list(buffer.probe((1,), 99, bound=5.0)) == [inside]
+
+    def test_range_runs_do_not_leak_when_bisect_is_bypassed(self):
+        """Regression: with every probe taking the non-range path (the
+        tracker-attached bypass), the probe-time prefix-trim shrinks
+        ``_indexed_total`` and used to mask the sorted runs' staleness
+        forever — the runs grew with the whole stream."""
+        from repro.engines.stores import NO_BOUND
+
+        buffer, _ = self.buffer_with_range(op="<")
+        for i in range(5000):
+            buffer.offer(ev("B", 0.001 * i, i, v=float(i % 10)))
+            buffer.prune(0.001 * i - 0.05)  # ~50-event window
+            # Non-range probe: trims the bucket prefix, not the runs.
+            list(buffer.probe((), trigger_seq=i, bound=NO_BOUND))
+        run_entries = sum(
+            len(bucket.rvals) + len(bucket.runordered)
+            for bucket in buffer._buckets.values()
+        )
+        assert run_entries < 4 * len(buffer) + 256, (
+            f"{run_entries} run entries against {len(buffer)} live events"
+        )
