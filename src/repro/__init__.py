@@ -65,6 +65,27 @@ identical in content to single-threaded execution::
 ``run_workload(..., parallel=...)`` does the same for multi-query
 plans; the scaling sweep is ``benchmarks/bench_fig22_parallel_scaling.py``.
 
+Always-on service runtime
+-------------------------
+
+:mod:`repro.service` keeps the worker pool alive between runs
+(persistent sessions), streams matches incrementally behind a
+canonical-order safety frontier, ingests events from asyncio with
+bounded-queue backpressure, and distributes shards over TCP::
+
+    from repro import Ingestor, serve_in_thread
+
+    with ParallelExecutor(planned, config) as executor:
+        executor.run(stream)                 # starts the pool
+        executor.run(stream)                 # reuses it
+        run = executor.session().stream()    # incremental emission
+        async with Ingestor(executor) as ingestor:   # asyncio front door
+            ...
+
+Worker crashes surface as :class:`~repro.errors.WorkerCrashError` or
+are transparently recovered with ``ParallelConfig(recovery="reseed")``;
+the latency sweep is ``benchmarks/bench_fig25_service_latency.py``.
+
 Adaptive runtime
 ----------------
 
@@ -118,6 +139,7 @@ from .errors import (
     ReductionError,
     ReproError,
     StatisticsError,
+    WorkerCrashError,
 )
 from .events import ChunkedStream, Event, EventType, Stream
 from .multiquery import (
@@ -145,6 +167,7 @@ from .patterns import (
     sequence_to_conjunction,
 )
 from .plans import OrderPlan, TreePlan
+from .service import Ingestor, Session, ShardServer, serve_in_thread
 from .stats import (
     PatternStatistics,
     SelectivityTracker,
@@ -152,7 +175,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AdaptiveController",
@@ -182,6 +205,7 @@ __all__ = [
     "ReductionError",
     "ReproError",
     "StatisticsError",
+    "WorkerCrashError",
     "Event",
     "EventType",
     "Stream",
@@ -189,6 +213,10 @@ __all__ = [
     "ParallelConfig",
     "ParallelExecutor",
     "canonical_order",
+    "Ingestor",
+    "Session",
+    "ShardServer",
+    "serve_in_thread",
     "MultiQueryEngine",
     "SharedPlan",
     "SharedPlanOptimizer",

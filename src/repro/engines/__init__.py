@@ -15,7 +15,7 @@ from .factory import (
     build_engines,
 )
 from .matches import Match, PartialMatch
-from .metrics import EngineMetrics
+from .metrics import EngineMetrics, LatencyHistogram
 from .negation import NegationChecker
 from .nfa import NFAEngine
 from .profiler import OutputProfiler
@@ -38,6 +38,7 @@ __all__ = [
     "Match",
     "PartialMatch",
     "EngineMetrics",
+    "LatencyHistogram",
     "EngineSnapshot",
     "describe_partial_match",
     "snapshot_pm_count",

@@ -74,12 +74,160 @@ matches_saved_by_migration
                          one pre-swap event
 latencies                per-match stream-time detection latencies
 wall_latencies           per-match wall-clock detection latencies (seconds)
+detection_latency        service runtime (:mod:`repro.service`): mergeable
+                         :class:`LatencyHistogram` of end-to-end wall-clock
+                         detection latency — event *arrival at the front
+                         door* (ingest/feed) to match *emission to the
+                         consumer* — with p50/p95/p99 summaries.  Empty
+                         outside the service layer; single-engine runs
+                         report ``wall_latencies`` instead (which excludes
+                         queueing and shipping)
 ======================== =====================================================
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class LatencyHistogram:
+    """A mergeable log-bucketed latency histogram.
+
+    Values (seconds) land in geometrically spaced buckets —
+    ``_GROWTH``-factor steps starting at ``_FLOOR`` — so the full
+    microsecond-to-minute range is covered by ~120 integer counters,
+    percentiles are exact to one bucket width (< 10% relative error),
+    and two histograms merge by adding counts.  That mergeability is
+    the point: per-worker histograms combine into a session-wide one
+    exactly like the scalar counters in :class:`EngineMetrics`, under
+    both the concurrent and the sequential merge rules (counts are
+    counters; there is no peak semantics to distinguish).
+
+    ``record`` is O(1); ``percentile`` walks the bucket table (bounded,
+    small).  ``min``/``max``/``sum`` are tracked exactly, so ``mean``
+    does not suffer bucket quantization.
+    """
+
+    #: Smallest resolvable latency (seconds); everything below lands in
+    #: bucket 0.
+    _FLOOR = 1e-6
+    #: Geometric bucket growth: <10% relative quantization error.
+    _GROWTH = 1.2
+    _LOG_GROWTH = math.log(_GROWTH)
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    # -- updates ------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            seconds = 0.0
+        bucket = self._bucket_of(seconds)
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @classmethod
+    def _bucket_of(cls, seconds: float) -> int:
+        if seconds <= cls._FLOOR:
+            return 0
+        return 1 + int(math.log(seconds / cls._FLOOR) / cls._LOG_GROWTH)
+
+    @classmethod
+    def _bucket_upper(cls, bucket: int) -> float:
+        if bucket == 0:
+            return cls._FLOOR
+        return cls._FLOOR * cls._GROWTH ** bucket
+
+    # -- summaries ------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (bucket upper bound,
+        clamped to the exactly-tracked min/max)."""
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= rank:
+                value = self._bucket_upper(bucket)
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """New histogram holding both sides' samples (counts add)."""
+        merged = LatencyHistogram()
+        merged.counts = dict(self.counts)
+        for bucket, count in other.counts.items():
+            merged.counts[bucket] = merged.counts.get(bucket, 0) + count
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "LatencyHistogram":
+        histogram = cls()
+        for value in values:
+            histogram.record(value)
+        return histogram
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready summary + bucket table (benchmark artifacts)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "LatencyHistogram(empty)"
+        return (
+            f"LatencyHistogram({self.count} samples, "
+            f"p50={self.p50:.6f}s, p95={self.p95:.6f}s, "
+            f"p99={self.p99:.6f}s)"
+        )
 
 
 @dataclass
@@ -111,6 +259,7 @@ class EngineMetrics:
     matches_saved_by_migration: int = 0
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
+    detection_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     # -- updates ------------------------------------------------------------
     def note_state(self, live_partial_matches: int, buffered_events: int) -> None:
@@ -224,6 +373,12 @@ class EngineMetrics:
         )
         merged.latencies = self.latencies + other.latencies
         merged.wall_latencies = self.wall_latencies + other.wall_latencies
+        # Histogram counts are counters, not peaks: adding them is right
+        # under both merge modes (concurrent workers and sequential
+        # generations each contribute their own disjoint match samples).
+        merged.detection_latency = self.detection_latency.merge(
+            other.detection_latency
+        )
         return merged
 
     def summary(self) -> dict:
@@ -253,4 +408,5 @@ class EngineMetrics:
             "migrations": self.migrations,
             "pm_migrated": self.pm_migrated,
             "matches_saved_by_migration": self.matches_saved_by_migration,
+            "detection_latency": self.detection_latency.to_dict(),
         }

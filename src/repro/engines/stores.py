@@ -38,7 +38,14 @@ becomes a ``bisect`` range bound rather than a per-element ``if``.
 Removal (window expiry from the sorted run, consumed-event purges,
 restrictive-strategy instance drops) is tombstone-based: dead entries
 are skipped on iteration via a live-id set and physically reclaimed by
-occasional compaction, so no removal rebuilds the store.
+occasional compaction, so no removal rebuilds the store.  Reclaim runs
+at two granularities: a global rebuild once tombstones outnumber live
+entries store-wide, and a **per-bucket sweep** — each removal is also
+charged to the hash bucket holding it, and a probe that finds its
+bucket at least half dead filters that one bucket in place.  The sweep
+is what keeps long-lived service sessions flat: a hot key whose
+entries continually expire pays its probe cost on the live entries,
+not on the accumulated history.
 
 Leaf stores remain the cost-model buffers: a tree leaf contributes
 ``PM(l) = W * r_i`` (Section 4.2), and that accounting is unchanged —
@@ -321,11 +328,18 @@ def range_slice(values: list, op: str, bound) -> Tuple[int, int]:
     return bisect_left(values, bound), len(values)
 
 
+#: Per-bucket sweep trigger: at least this many tombstones *and* at
+#: least half the bucket dead.  Small because the point is probe cost —
+#: a hot bucket is rescanned on every probe, so its dead fraction is
+#: paid over and over, unlike the primary run's.
+_BUCKET_MIN_DEAD = 8
+
+
 class _Bucket:
     """One hash bucket: trigger-ordered entries plus an optional
     value-sorted run for the index's theta predicate."""
 
-    __slots__ = ("pms", "trigs", "rvals", "rentries", "runordered")
+    __slots__ = ("pms", "trigs", "rvals", "rentries", "runordered", "dead")
 
     def __init__(self, ranged: bool) -> None:
         self.pms: List[PartialMatch] = []
@@ -337,6 +351,10 @@ class _Bucket:
         self.rvals: Optional[list] = [] if ranged else None
         self.rentries: Optional[list] = [] if ranged else None
         self.runordered: Optional[list] = [] if ranged else None
+        # Tombstones known to sit in this bucket (window expiry,
+        # discards, purges); once enough accumulate the next probe
+        # sweeps them out physically instead of skipping them forever.
+        self.dead = 0
 
 
 class _Index:
@@ -393,6 +411,27 @@ class _Index:
         bucket.trigs.append(pm.trigger_seq)
         if self.value_of is not None:
             self._add_to_run(bucket, pm, ins)
+
+    def bucket_of(self, pm: PartialMatch) -> Optional[_Bucket]:
+        """The bucket holding ``pm``, or None (overflow entries and
+        missing-attribute entries have no bucket to clean)."""
+        if self.key_of is None:
+            key = ()
+        else:
+            try:
+                key = self.key_of(pm.bindings)
+            except KeyError:
+                return None
+        try:
+            return self.buckets.get(key)
+        except TypeError:
+            return None
+
+    def note_dead(self, pm: PartialMatch) -> None:
+        """Record that a tombstoned entry sits in one of our buckets."""
+        bucket = self.bucket_of(pm)
+        if bucket is not None:
+            bucket.dead += 1
 
     def _add_to_run(self, bucket: _Bucket, pm: PartialMatch, ins: int) -> None:
         try:
@@ -511,6 +550,7 @@ class PartialMatchStore:
             if key in ids:
                 ids.remove(key)
                 expired += 1
+                self._note_dead(pm)
         del exp_ts[:boundary]
         del self._exp_pms[:boundary]
         self._dead += expired
@@ -525,6 +565,7 @@ class PartialMatchStore:
         if key in self._ids:
             self._ids.remove(key)
             self._dead += 1
+            self._note_dead(pm)
             self._maybe_compact()
 
     def purge_seqs(self, seqs: frozenset) -> int:
@@ -532,6 +573,7 @@ class PartialMatchStore:
         dead = [pm for pm in self if pm.event_seqs() & seqs]
         for pm in dead:
             self._ids.remove(id(pm))
+            self._note_dead(pm)
         self._dead += len(dead)
         self._maybe_compact()
         return len(dead)
@@ -591,6 +633,12 @@ class PartialMatchStore:
                 metrics.index_misses += 1
             else:
                 metrics.index_hits += 1
+        if (
+            bucket is not None
+            and bucket.dead >= _BUCKET_MIN_DEAD
+            and bucket.dead * 2 >= len(bucket.pms)
+        ):
+            self._sweep_bucket(bucket)
         if (
             bucket is not None
             and index.value_of is not None
@@ -684,6 +732,38 @@ class PartialMatchStore:
                 yield pm
 
     # -- housekeeping --------------------------------------------------------
+    def _note_dead(self, pm: PartialMatch) -> None:
+        for index in self._indexes:
+            index.note_dead(pm)
+
+    def _sweep_bucket(self, bucket: _Bucket) -> None:
+        """Physically drop a bucket's tombstones (probe-time, amortized).
+
+        Purely physical: live entries, their relative order, and every
+        probe's candidate set are unchanged — only the skipped-over dead
+        entries disappear.  Runs when a probe finds the bucket at least
+        half dead, so a hot key whose entries churn (expire, get
+        consumed) stops paying for its whole history on every probe even
+        while the store as a whole stays below the global compaction
+        threshold.
+        """
+        ids = self._ids
+        keep = [pm for pm in bucket.pms if id(pm) in ids]
+        bucket.pms = keep
+        bucket.trigs = [pm.trigger_seq for pm in keep]
+        if bucket.rvals is not None:
+            kept = [
+                (value, entry)
+                for value, entry in zip(bucket.rvals, bucket.rentries)
+                if id(entry[1]) in ids
+            ]
+            bucket.rvals = [value for value, _ in kept]
+            bucket.rentries = [entry for _, entry in kept]
+            bucket.runordered = [
+                entry for entry in bucket.runordered if id(entry[1]) in ids
+            ]
+        bucket.dead = 0
+
     def _maybe_compact(self) -> None:
         if self._dead < _COMPACT_MIN_DEAD or self._dead <= len(self._ids):
             return

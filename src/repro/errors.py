@@ -47,3 +47,10 @@ class ParallelError(ReproError):
     """The parallel runtime cannot partition or execute the given plan
     (inapplicable partitioner, unsupported selection strategy, worker
     failure, unusable routing key, ...)."""
+
+
+class WorkerCrashError(ParallelError):
+    """A session worker died mid-stream (process killed, shard
+    connection lost) and the run could not be recovered — either
+    recovery is disabled (``ParallelConfig.recovery="fail"``) or the
+    run's mode does not support snapshot reseeding."""

@@ -10,19 +10,25 @@ event source — a :class:`~repro.events.Stream`, a
 events into per-worker batches and merging the returned match lists
 into the canonical order (:mod:`repro.parallel.ordering`).
 
-Three backends run the identical worker code path
-(:class:`~repro.parallel.worker.TaskRunner`):
+Execution is served by the always-on service runtime
+(:mod:`repro.service`): the first ``run()`` starts a persistent worker
+pool — via :meth:`ParallelExecutor.session` — and every later run
+reuses it, so repeated runs skip worker startup and plan shipping
+entirely.  Four backends speak the identical worker protocol:
 
-* ``"processes"`` — a ``multiprocessing`` pool (``fork`` where
-  available, else ``spawn``); plans ship serialized, events ship in
-  batches, per-worker metrics come back for aggregation.  This is the
+* ``"processes"`` — persistent ``multiprocessing`` workers (``fork``
+  where available, else ``spawn``), optionally pinned to CPUs.  The
   multi-core path.
-* ``"threads"`` — the same queue protocol on ``threading``; no
+* ``"threads"`` — the same protocol on daemon threads; no
   bytecode-level parallelism under the GIL, but the full concurrent
   machinery runs in-process, which is what tests and Windows CI
   exercise.
-* ``"serial"`` — workers execute inline during the feed.  Useful as
-  the overhead-free baseline and for debugging partition semantics.
+* ``"serial"`` — the worker state machine runs inline during the feed.
+  Useful as the overhead-free baseline and for debugging partition
+  semantics.
+* ``"socket"`` — workers live behind TCP connections to
+  :mod:`repro.service.shard_server` processes (``shards`` lists their
+  addresses).  The multi-host path.
 
 Whatever the backend and worker count, the merged output is
 **identical** (canonically ordered, boundary-deduplicated) — the
@@ -32,53 +38,49 @@ execution across all partitioners and runtimes.
 
 from __future__ import annotations
 
-import itertools
 import os
-import queue
-import threading
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..engines.metrics import EngineMetrics
 from ..errors import ParallelError
-from ..multiquery.executor import group_by_query
 from ..multiquery.sharing import SharedPlan
 from ..optimizers.planner import PlannedPattern
-from .ordering import canonical_order
-from .partitioners import (
-    KeyPartitioner,
-    WindowPartitioner,
-    key_routing_map,
-    split_shared_plan,
-)
-from .worker import (
-    MSG_BATCH,
-    MSG_DONE,
-    EngineSpec,
-    SharedSpec,
-    TaskRunner,
-    WorkerResult,
-    WorkerTask,
-    process_worker_main,
-)
+from .partitioners import key_routing_map
+from .worker import EngineSpec, SharedSpec
 
 _PARTITIONERS = ("auto", "key", "window", "query")
-_BACKENDS = ("processes", "threads", "serial")
+_BACKENDS = ("processes", "threads", "serial", "socket")
+_RECOVERY = ("fail", "reseed")
 
 
 @dataclass
 class ParallelConfig:
     """Tuning knobs of the parallel runtime.
 
-    ``workers=0`` means one per CPU.  ``partitioner="auto"`` picks key
-    routing when every variable sits in one key-equivalence class and
-    falls back to window slices.  ``span`` overrides the window-slice
-    ownership stride (mandatory for unsized event sources; the sized
-    default is ``max(duration/workers, W)``, clamped so overlap
-    replication stays bounded).
-    ``start_method`` pins the ``multiprocessing`` context (``fork`` is
-    preferred when the platform offers it).
+    ``workers=0`` means one per CPU (for the ``"socket"`` backend, one
+    per shard).  ``partitioner="auto"`` picks key routing when every
+    variable sits in one key-equivalence class and falls back to window
+    slices.  ``span`` overrides the window-slice ownership stride
+    (mandatory for unsized event sources; the sized default is
+    ``max(duration/workers, W)``, clamped so overlap replication stays
+    bounded).  ``start_method`` pins the ``multiprocessing`` context
+    (``fork`` is preferred when the platform offers it).
+
+    Service-runtime knobs:
+
+    * ``shards`` — ``(host, port)`` addresses of running
+      :mod:`repro.service.shard_server` processes; required by (and
+      only meaningful for) the ``"socket"`` backend.
+    * ``max_inflight`` — per-worker cap on unacknowledged batches; the
+      driver blocks (draining acks) at the cap, which is what bounds
+      worker-queue memory on unbounded feeds.
+    * ``recovery`` — ``"fail"`` surfaces a worker death as a typed
+      :class:`~repro.errors.WorkerCrashError`; ``"reseed"`` transparently
+      restarts the worker and replays its acked window log through the
+      snapshot machinery (process backend, key/query partitioning).
+    * ``pin_cpus`` — pin process-backend worker *i* to CPU ``i % ncpu``
+      via ``os.sched_setaffinity`` where the platform offers it.
     """
 
     workers: int = 0
@@ -87,6 +89,10 @@ class ParallelConfig:
     batch_size: int = 512
     span: Optional[float] = None
     start_method: Optional[str] = None
+    shards: Sequence[Tuple[str, int]] = field(default_factory=tuple)
+    max_inflight: int = 8
+    recovery: str = "fail"
+    pin_cpus: bool = False
 
     def __post_init__(self) -> None:
         if self.partitioner not in _PARTITIONERS:
@@ -106,195 +112,20 @@ class ParallelConfig:
             raise ParallelError(
                 f"span must be positive when given (got {self.span})"
             )
-
-
-# ---------------------------------------------------------------------------
-# Worker handles (one per backend, same protocol)
-# ---------------------------------------------------------------------------
-
-class _SerialWorker:
-    """Runs the task inline; submit() does the work immediately."""
-
-    def __init__(self, task: WorkerTask) -> None:
-        self._runner = TaskRunner(task)
-
-    def submit(self, batch) -> None:
-        self._runner.feed(batch)
-
-    def finish(self) -> WorkerResult:
-        return self._runner.finish()
-
-    def abort(self) -> None:
-        pass
-
-
-class _ThreadWorker:
-    """The queue protocol on a daemon thread (in-process backend)."""
-
-    def __init__(self, task: WorkerTask) -> None:
-        self._queue: "queue.Queue" = queue.Queue(maxsize=8)
-        self._result: Optional[WorkerResult] = None
-        self._error: Optional[str] = None
-        self._thread = threading.Thread(
-            target=self._main, args=(task,), daemon=True
-        )
-        self._thread.start()
-
-    def _main(self, task: WorkerTask) -> None:
-        runner = TaskRunner(task)
-        failed = False
-        while True:
-            message = self._queue.get()
-            if message[0] == MSG_DONE:
-                break
-            if failed:
-                continue  # keep draining so the feeder never blocks
-            try:
-                runner.feed(message[1])
-            except BaseException:  # noqa: BLE001 — reported at finish()
-                import traceback
-
-                self._error = traceback.format_exc()
-                failed = True
-        if not failed:
-            try:
-                self._result = runner.finish()
-            except BaseException:  # noqa: BLE001
-                import traceback
-
-                self._error = traceback.format_exc()
-
-    def submit(self, batch) -> None:
-        if self._error is not None:
-            # Fail fast instead of feeding (and letting the healthy
-            # workers process) the rest of the stream for nothing.
-            raise ParallelError(f"thread worker failed:\n{self._error}")
-        self._queue.put((MSG_BATCH, batch))
-
-    def finish(self) -> WorkerResult:
-        self._queue.put((MSG_DONE,))
-        self._thread.join()
-        if self._error is not None:
-            raise ParallelError(f"thread worker failed:\n{self._error}")
-        assert self._result is not None
-        return self._result
-
-    def abort(self) -> None:
-        # The feeder is gone when abort runs, so draining the queue
-        # frees a slot for the DONE marker — otherwise a full queue
-        # would leave the worker thread (and its engine state) blocked
-        # on get() forever.
-        while True:
-            try:
-                self._queue.get_nowait()
-            except queue.Empty:
-                break
-        try:
-            self._queue.put_nowait((MSG_DONE,))
-        except queue.Full:
-            pass
-        self._thread.join(timeout=30.0)
-
-
-class _ProcessWorker:
-    """The queue protocol across a process boundary (multi-core)."""
-
-    def __init__(self, ctx, task: WorkerTask, worker_id: int) -> None:
-        self._inq = ctx.Queue(8)
-        self._outq = ctx.Queue(2)
-        self._worker_id = worker_id
-        self._process = ctx.Process(
-            target=process_worker_main,
-            args=(task, self._inq, self._outq, worker_id),
-            daemon=True,
-        )
-        self._process.start()
-
-    def submit(self, batch) -> None:
-        while True:
-            try:
-                self._inq.put((MSG_BATCH, batch), timeout=5.0)
-                return
-            except queue.Full:
-                if not self._process.is_alive():
-                    raise self._death_report()
-
-    def finish(self) -> WorkerResult:
-        while True:
-            try:
-                self._inq.put((MSG_DONE,), timeout=5.0)
-                break
-            except queue.Full:
-                if not self._process.is_alive():
-                    raise self._death_report()
-        while True:
-            try:
-                _, status, payload = self._outq.get(timeout=5.0)
-                break
-            except queue.Empty:
-                if not self._process.is_alive():
-                    # The worker may have exited right after putting its
-                    # result; give the queue's pipe one last chance to
-                    # deliver it before declaring the worker dead.
-                    try:
-                        _, status, payload = self._outq.get(timeout=1.0)
-                        break
-                    except queue.Empty:
-                        raise ParallelError(
-                            f"process worker {self._worker_id} died "
-                            f"(exit code {self._process.exitcode})"
-                        ) from None
-        self._process.join(timeout=30.0)
-        if status != "ok":
+        if self.max_inflight <= 0:
+            raise ParallelError("max_inflight must be >= 1")
+        if self.recovery not in _RECOVERY:
             raise ParallelError(
-                f"process worker {self._worker_id} failed:\n{payload}"
+                f"unknown recovery policy {self.recovery!r}; "
+                f"choose one of {_RECOVERY}"
             )
-        return payload
+        self.shards = tuple(tuple(address) for address in self.shards)
+        if self.backend == "socket" and not self.shards:
+            raise ParallelError(
+                "the socket backend needs at least one shard address "
+                "in ParallelConfig.shards"
+            )
 
-    def abort(self) -> None:
-        try:
-            self._process.terminate()
-        except Exception:  # noqa: BLE001 — best-effort teardown
-            pass
-
-    def _death_report(self) -> ParallelError:
-        detail = ""
-        try:
-            _, status, payload = self._outq.get_nowait()
-            if status != "ok":
-                detail = f":\n{payload}"
-        except queue.Empty:
-            detail = f" (exit code {self._process.exitcode})"
-        return ParallelError(
-            f"process worker {self._worker_id} died{detail}"
-        )
-
-
-class _Feeder:
-    """Routes entries into per-worker batches, shipping them when full."""
-
-    def __init__(self, workers: Sequence, batch_size: int) -> None:
-        self._workers = workers
-        self._batch_size = batch_size
-        self._buffers: List[list] = [[] for _ in workers]
-
-    def emit(self, worker_id: int, entry) -> None:
-        buffer = self._buffers[worker_id]
-        buffer.append(entry)
-        if len(buffer) >= self._batch_size:
-            self._workers[worker_id].submit(buffer)
-            self._buffers[worker_id] = []
-
-    def flush(self) -> None:
-        for worker_id, buffer in enumerate(self._buffers):
-            if buffer:
-                self._workers[worker_id].submit(buffer)
-                self._buffers[worker_id] = []
-
-
-# ---------------------------------------------------------------------------
-# The executor
-# ---------------------------------------------------------------------------
 
 class ParallelExecutor:
     """Data-parallel execution of planned patterns or a shared plan.
@@ -311,6 +142,12 @@ class ParallelExecutor:
     sharding itself), ``events_in`` the number of input events, and
     ``wall_seconds`` the elapsed feed-to-merge wall time.
 
+    The executor owns a lazily created :class:`repro.service.Session`
+    whose worker pool persists across runs; :meth:`close` (or use as a
+    context manager) tears it down.  For incremental consumption —
+    feed batches, collect matches as they become safe to emit — use
+    ``session().stream()`` or the :class:`repro.service.Ingestor`.
+
     Only ``selection="any"`` plans are supported: the restrictive
     strategies consume events globally, which contradicts sharding
     (the same reason multi-query sharing requires them).
@@ -325,10 +162,14 @@ class ParallelExecutor:
         compiled: bool = True,
     ) -> None:
         self.config = config or ParallelConfig()
-        self.workers = self.config.workers or os.cpu_count() or 1
+        if self.config.backend == "socket":
+            self.workers = self.config.workers or len(self.config.shards)
+        else:
+            self.workers = self.config.workers or os.cpu_count() or 1
         self.metrics: Optional[EngineMetrics] = None
         self.events_in = 0
         self.wall_seconds = 0.0
+        self._session = None
 
         self._shared = isinstance(planned, SharedPlan)
         if self._shared:
@@ -361,6 +202,10 @@ class ParallelExecutor:
                 compiled=compiled,
             )
         self._window = max(d.window for d in decomposeds)
+        # Whether any pattern defers matches past their completion event
+        # (trailing negation): the streaming frontier must then hold
+        # matches against in-flight pending releases.
+        self._has_negation = any(d.negations for d in decomposeds)
         # Types any pattern can react to (positive or forbidden): the
         # window/query feeders drop everything else at the driver, like
         # the key router does — unreferenced events would only be
@@ -393,6 +238,16 @@ class ParallelExecutor:
             self.partitioner_name = requested
 
     # -- public API ----------------------------------------------------------
+    def session(self):
+        """The persistent :class:`repro.service.Session` serving this
+        executor's runs (created on first use, workers started on first
+        run)."""
+        if self._session is None:
+            from ..service.session import Session
+
+            self._session = Session(self)
+        return self._session
+
     def run(self, stream):
         """One pass over ``stream``; canonical merged matches.
 
@@ -400,32 +255,28 @@ class ParallelExecutor:
         :class:`~repro.events.ChunkedStream`, or any iterable of
         sequence-stamped events.  Returns a list of
         :class:`~repro.engines.Match` (single query) or a per-query
-        dict (shared plan).
+        dict (shared plan).  Served by the persistent session pool:
+        the first run starts the workers, later runs reuse them.
         """
-        started = time.perf_counter()
-        if self.partitioner_name == "key":
-            outcome = self._run_key(stream)
-        elif self.partitioner_name == "window":
-            outcome = self._run_window(stream)
-        else:
-            outcome = self._run_query(stream)
-        results, routed, seen, disjoint, worker_count = outcome
+        session = self.session()
+        out = session.run(stream)
+        self.metrics = session.metrics
+        self.events_in = session.events_in
+        self.wall_seconds = session.wall_seconds
+        return out
 
-        metrics = EngineMetrics()
-        flat: List = []
-        for result in results:
-            metrics = metrics.merge(result.metrics, disjoint_streams=disjoint)
-            flat.extend(result.matches)
-        metrics.worker_count = worker_count
-        metrics.events_routed = routed
-        matches = canonical_order(flat)
+    def close(self) -> None:
+        """Stop the persistent workers (idempotent; a closed executor
+        restarts them on the next run)."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
 
-        self.metrics = metrics
-        self.events_in = seen
-        self.wall_seconds = time.perf_counter() - started
-        if self._shared:
-            return group_by_query(self._plan.query_names, matches)
-        return matches
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def throughput(self) -> float:
@@ -433,131 +284,6 @@ class ParallelExecutor:
         if self.wall_seconds <= 0:
             return 0.0
         return self.events_in / self.wall_seconds
-
-    # -- partition drivers ----------------------------------------------------
-    def _run_key(self, stream):
-        partitioner = KeyPartitioner(self._routing, self.workers)
-        tasks = [WorkerTask(self._spec, "single") for _ in range(self.workers)]
-        handles = self._start_workers(tasks)
-        seen = routed = 0
-        try:
-            feeder = _Feeder(handles, self.config.batch_size)
-            for event in stream:
-                seen += 1
-                target = partitioner.route(event)
-                if target is None:
-                    continue
-                routed += 1
-                feeder.emit(target, (0, event))
-            feeder.flush()
-            results = [handle.finish() for handle in handles]
-        except BaseException:
-            self._abort(handles)
-            raise
-        return results, routed, seen, True, len(tasks)
-
-    def _run_window(self, stream):
-        # Resolve the span before touching the iterator: a single-pass
-        # source must not be partially consumed just to raise the
-        # missing-span error.
-        span = (
-            self.config.span
-            if self.config.span is not None
-            else self._auto_span(stream)
-        )
-        relevant = self._relevant_types
-        iterator = iter(stream)
-        seen = 0
-        first = None
-        for event in iterator:
-            seen += 1
-            if event.type in relevant:
-                first = event
-                break
-        if first is None:
-            return [], 0, seen, True, 0  # nothing to route, no workers
-        partitioner = WindowPartitioner(self._window, span, self.workers)
-        partitioner.start(first.timestamp)
-        tasks = [
-            WorkerTask(
-                self._spec,
-                "window",
-                t0=first.timestamp,
-                span=partitioner.span,
-                window=partitioner.window,
-            )
-            for _ in range(self.workers)
-        ]
-        handles = self._start_workers(tasks)
-        routed = 0
-        consumed_first = False
-        try:
-            feeder = _Feeder(handles, self.config.batch_size)
-            for event in itertools.chain((first,), iterator):
-                if consumed_first:
-                    seen += 1
-                else:
-                    consumed_first = True
-                if event.type not in relevant:
-                    continue
-                for slice_id in partitioner.slices_for(event.timestamp):
-                    routed += 1
-                    feeder.emit(
-                        partitioner.worker_of(slice_id), (slice_id, event)
-                    )
-            feeder.flush()
-            results = [handle.finish() for handle in handles]
-        except BaseException:
-            self._abort(handles)
-            raise
-        return results, routed, seen, True, len(tasks)
-
-    def _run_query(self, stream):
-        sub_plans = split_shared_plan(self._plan, self.workers)
-        tasks = [
-            WorkerTask(
-                SharedSpec(
-                    sub,
-                    max_kleene_size=self._spec.max_kleene_size,
-                    indexed=self._spec.indexed,
-                    compiled=self._spec.compiled,
-                ),
-                "single",
-            )
-            for sub in sub_plans
-        ]
-        handles = self._start_workers(tasks)
-        # Per-worker relevance: a worker whose query group never
-        # references an event's type should not receive (or, under the
-        # process backend, pickle) it.
-        relevant_sets = []
-        for sub in sub_plans:
-            types = set()
-            for root in sub.roots:
-                types.update(t for _, t in root.decomposed.positives)
-                types.update(
-                    spec.event_type for spec in root.decomposed.negations
-                )
-            relevant_sets.append(types)
-        seen = routed = 0
-        try:
-            feeder = _Feeder(handles, self.config.batch_size)
-            for event in stream:
-                seen += 1
-                for worker_id, types in enumerate(relevant_sets):
-                    if event.type in types:
-                        routed += 1
-                        feeder.emit(worker_id, (0, event))
-            feeder.flush()
-            results = [handle.finish() for handle in handles]
-        except BaseException:
-            self._abort(handles)
-            raise
-        # The per-worker relevance filter gives every worker its own
-        # event subset, so worker counts add — events_processed equals
-        # the routed copies, exactly as in the key/window modes
-        # (events_in carries the input count).
-        return results, routed, seen, True, len(tasks)
 
     # -- helpers --------------------------------------------------------------
     def _auto_span(self, stream) -> float:
@@ -583,44 +309,6 @@ class ParallelExecutor:
         if self._window > 0:
             stride = max(stride, self._window)
         return stride
-
-    def _start_workers(self, tasks: List[WorkerTask]) -> List:
-        backend = self.config.backend
-        if backend == "serial":
-            return [_SerialWorker(task) for task in tasks]
-        if backend == "threads":
-            return [_ThreadWorker(task) for task in tasks]
-        import multiprocessing
-        import pickle
-
-        method = self.config.start_method
-        if method is None:
-            available = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in available else "spawn"
-        ctx = multiprocessing.get_context(method)
-        handles: List = []
-        try:
-            for worker_id, task in enumerate(tasks):
-                handles.append(_ProcessWorker(ctx, task, worker_id))
-        except BaseException as error:
-            # A partial start (e.g. the spawn method pickling the task
-            # and hitting an unpicklable predicate) must not leave the
-            # already-started workers blocked on their queues.
-            self._abort(handles)
-            if isinstance(error, (pickle.PicklingError, AttributeError)):
-                raise ParallelError(
-                    "worker task could not be pickled for the process "
-                    f"backend ({error}); lambdas and other unpicklable "
-                    "predicates need backend='threads' or module-level "
-                    "named functions"
-                ) from error
-            raise
-        return handles
-
-    @staticmethod
-    def _abort(handles: Sequence) -> None:
-        for handle in handles:
-            handle.abort()
 
     def __repr__(self) -> str:
         kind = "shared" if self._shared else "single"

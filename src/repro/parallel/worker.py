@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..engines.factory import DisjunctionEngine, build_engine_from_parts
 from ..engines.matches import Match
 from ..engines.metrics import EngineMetrics
+from ..engines.snapshot import EngineSnapshot
 from ..errors import ParallelError
 from ..events import Event
 from ..optimizers.planner import PlannedPattern
@@ -143,9 +144,10 @@ class WorkerResult:
 class TaskRunner:
     """Drives one worker's engines over its entry stream.
 
-    Used directly by the serial backend, inside a thread by the threads
-    backend, and inside :func:`process_worker_main` by the process
-    backend — the partition semantics live here exactly once.
+    Driven by the service runtime's worker state machine
+    (:class:`repro.service.protocol.WorkerState`) on every backend —
+    inline, thread, process, or socket shard — so the partition
+    semantics live here exactly once.
 
     Window-mode slice engines are **evicted as stream time passes**:
     entries arrive in global timestamp order, so once an event's
@@ -170,6 +172,14 @@ class TaskRunner:
         self._evict_watermark = float("inf")
         self._matches: List[Match] = []
         self._dropped = 0
+        # Accounting accumulates as matches are kept (not at finish):
+        # the service runtime drains matches incrementally via
+        # take_matches(), so finish() can no longer derive counts from
+        # the (by then partially drained) match list.
+        self._kept = 0
+        self._kept_latencies: List[float] = []
+        self._kept_wall: List[float] = []
+        self._fed = False
         self._retired = EngineMetrics()
         # Window mode: running peak over the *active* slice set — slices
         # retired at different stream times never coexist, so summing
@@ -178,8 +188,49 @@ class TaskRunner:
         self._peak_pm = 0
         self._peak_buffered = 0
 
+    def seed(self, events: Sequence[Event], now: float) -> None:
+        """Rebuild the (single-mode) engine from a window event log.
+
+        The session layer's crash recovery: the driver keeps the acked
+        entries still inside the window and, after restarting a dead
+        worker, replays them through a fresh engine via the PR-4
+        :meth:`~repro.engines.base.BaseEngine.seed_from` machinery —
+        matches re-derived during the replay were already delivered in
+        earlier acks and are suppressed.  Must run before the first
+        batch of the new incarnation.
+        """
+        if self.task.mode != "single":
+            raise ParallelError(
+                "snapshot reseed supports single-engine tasks only; "
+                "window-partitioned runs surface worker crashes instead"
+            )
+        if self._engines or self._fed:
+            raise ParallelError("seed must precede the first batch")
+        engine = self.task.spec.build()
+        if isinstance(engine, DisjunctionEngine):
+            engine.seed_from(
+                [
+                    EngineSnapshot(events, now, sub.window)
+                    for sub in engine.engines
+                ]
+            )
+        elif hasattr(engine, "seed_from"):
+            engine.seed_from(EngineSnapshot(events, now, engine.window))
+        else:
+            raise ParallelError(
+                "this worker's engine cannot be reseeded from a snapshot"
+            )
+        self._engines[0] = engine
+
+    def take_matches(self) -> List[Match]:
+        """Drain the matches kept since the last drain (service acks)."""
+        out = self._matches
+        self._matches = []
+        return out
+
     def feed(self, entries: Sequence[Tuple[int, Event]]) -> None:
         engines = self._engines
+        self._fed = True
         window_mode = self.task.mode == "window"
         for key, event in entries:
             engine = engines.get(key)
@@ -211,10 +262,11 @@ class TaskRunner:
         # reports: boundary copies a slice produced but does not own are
         # excluded from emission counts and latency summaries (their
         # partial-match / predicate work remains counted — that is the
-        # real cost of the overlap).
-        metrics.matches_emitted = len(self._matches)
-        metrics.latencies = [m.latency for m in self._matches]
-        metrics.wall_latencies = [m.wall_latency for m in self._matches]
+        # real cost of the overlap).  The counts cover every kept match,
+        # including those already drained by take_matches().
+        metrics.matches_emitted = self._kept
+        metrics.latencies = list(self._kept_latencies)
+        metrics.wall_latencies = list(self._kept_wall)
         metrics.boundary_duplicates_dropped = self._dropped
         return WorkerResult(matches=self._matches, metrics=metrics)
 
@@ -265,9 +317,12 @@ class TaskRunner:
             lo, hi = self.task.owner_bounds(key)
             kept = [m for m in out if lo <= match_min_ts(m) < hi]
             self._dropped += len(out) - len(kept)
-            self._matches.extend(kept)
         else:
-            self._matches.extend(out)
+            kept = out
+        self._matches.extend(kept)
+        self._kept += len(kept)
+        self._kept_latencies.extend(m.latency for m in kept)
+        self._kept_wall.extend(m.wall_latency for m in kept)
 
 
 def execute_task(task: WorkerTask, entries) -> WorkerResult:
@@ -275,30 +330,3 @@ def execute_task(task: WorkerTask, entries) -> WorkerResult:
     runner = TaskRunner(task)
     runner.feed(entries)
     return runner.finish()
-
-
-#: Message tags of the worker protocol (shared by threads/processes).
-MSG_BATCH = "batch"
-MSG_DONE = "done"
-
-
-def process_worker_main(task: WorkerTask, inq, outq, worker_id: int) -> None:
-    """Entry point of a pool process: drain batches, return the result.
-
-    Top-level (picklable by reference) so both ``fork`` and ``spawn``
-    start methods work.  Failures travel back as formatted tracebacks —
-    the driver re-raises them as
-    :class:`~repro.errors.ParallelError`.
-    """
-    try:
-        runner = TaskRunner(task)
-        while True:
-            message = inq.get()
-            if message[0] == MSG_DONE:
-                break
-            runner.feed(message[1])
-        outq.put((worker_id, "ok", runner.finish()))
-    except BaseException:  # noqa: BLE001 — must cross the process boundary
-        import traceback
-
-        outq.put((worker_id, "error", traceback.format_exc()))

@@ -1,0 +1,40 @@
+"""The always-on service runtime (persistent sessions, async ingestion,
+socket shards).
+
+Layers, bottom up:
+
+* :mod:`repro.service.protocol` — the epoch-stamped persistent worker
+  protocol (INIT/RESET/SEED/BATCH/FINISH/STOP) and its transport-
+  independent :class:`~repro.service.protocol.WorkerState` machine,
+  plus the length-prefixed socket framing.
+* :mod:`repro.service.transport` — one channel class per backend
+  (inline, thread, process, TCP socket), all driving the same state
+  machine.
+* :mod:`repro.service.session` — :class:`Session` (a pinned worker
+  pool persisting across runs), :class:`SessionStream` (incremental
+  feeding with the canonical-order safety frontier), and the crash
+  recovery that reseeds a respawned worker from its acked window log.
+* :mod:`repro.service.ingest` — :class:`Ingestor`, the asyncio front
+  door with bounded-queue backpressure and detection-latency stamping.
+* :mod:`repro.service.shard_server` — the TCP server behind the
+  ``"socket"`` backend (``python -m repro.service.shard_server``).
+
+Every path — serial, threads, processes, socket shards; one-shot or
+streaming — produces the byte-identical canonical match order the
+equivalence tests pin against single-threaded interpreted execution.
+"""
+
+from .ingest import Ingestor
+from .session import Session, SessionStream, WorkerPool
+from .shard_server import ShardServer, serve_in_thread
+from .transport import TransportDead
+
+__all__ = [
+    "Ingestor",
+    "Session",
+    "SessionStream",
+    "WorkerPool",
+    "ShardServer",
+    "serve_in_thread",
+    "TransportDead",
+]

@@ -1,0 +1,267 @@
+"""Async ingestion: the service runtime's front door.
+
+An :class:`Ingestor` bridges an :mod:`asyncio` application and a
+persistent :class:`~repro.service.session.Session`: producers ``await
+put(event)`` as events arrive, a pump coroutine frames them into
+batches — flushed by size (``flush_events``) or age
+(``flush_seconds``) — and feeds each frame to the session's streaming
+run on a worker thread, and consumers read matches from the
+:meth:`matches` async iterator *in the canonical partition-independent
+merge order*, long before the stream ends.
+
+Backpressure is explicit and bounded: the input queue holds at most
+``max_pending`` events.  Under ``backpressure="block"`` a full queue
+suspends the producer (end-to-end flow control); under ``"shed"`` the
+event is dropped and counted in :attr:`Ingestor.shed` — the knob for
+sources that must never stall, where the count is the honest record of
+what load shedding cost.
+
+Each accepted event is stamped with its arrival wall-clock time; when
+the match it completes is emitted, the arrival-to-emission gap is
+recorded into the run's
+:class:`~repro.engines.metrics.LatencyHistogram`
+(``metrics.detection_latency`` after :meth:`close`), which is where the
+fig. 25 benchmark's p50/p95/p99 numbers come from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator, Iterable, Optional
+
+from ..errors import ParallelError
+from ..events import Event
+from ..events.stream import StreamOrderError
+
+_EOS = object()
+
+
+class _Failure:
+    """Carries a pump exception to the consumer side of the out queue."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class Ingestor:
+    """Async, bounded-queue ingestion into a persistent session.
+
+    ``target`` is a :class:`~repro.parallel.ParallelExecutor` or its
+    :class:`~repro.service.session.Session`.  Use as an async context
+    manager::
+
+        async with Ingestor(executor, flush_seconds=0.01) as ingestor:
+            consumer = asyncio.create_task(consume(ingestor.matches()))
+            for event in source:
+                await ingestor.put(event)
+            await ingestor.close()
+            await consumer
+
+    Events are sequence-stamped on acceptance (in arrival order, from
+    0) and must arrive in non-decreasing timestamp order — the same
+    invariant :class:`~repro.events.Stream` enforces at construction.
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        max_pending: int = 1024,
+        backpressure: str = "block",
+        flush_events: int = 256,
+        flush_seconds: float = 0.05,
+        span: Optional[float] = None,
+    ) -> None:
+        if backpressure not in ("block", "shed"):
+            raise ParallelError(
+                f"unknown backpressure policy {backpressure!r}; "
+                "choose 'block' or 'shed'"
+            )
+        if max_pending <= 0:
+            raise ParallelError("max_pending must be >= 1")
+        if flush_events <= 0:
+            raise ParallelError("flush_events must be >= 1")
+        if flush_seconds <= 0:
+            raise ParallelError("flush_seconds must be positive")
+        session = target.session() if hasattr(target, "session") else target
+        self._stream = session.stream(span=span)
+        self._max_pending = max_pending
+        self._policy = backpressure
+        self._flush_events = flush_events
+        self._flush_seconds = flush_seconds
+        self._inq: Optional[asyncio.Queue] = None
+        self._outq: Optional[asyncio.Queue] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._failure: Optional[BaseException] = None
+        self._closing = False
+        self._next_seq = 0
+        self._last_ts = float("-inf")
+        #: Events dropped by the ``"shed"`` backpressure policy.
+        self.shed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "Ingestor":
+        if self._pump_task is not None:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._inq = asyncio.Queue(maxsize=self._max_pending)
+        self._outq = asyncio.Queue()
+        self._pump_task = self._loop.create_task(self._pump())
+        return self
+
+    async def close(self) -> None:
+        """Flush everything, finish the run, and wait for the pump.
+
+        After it returns, :attr:`metrics` carries the merged
+        :class:`~repro.engines.EngineMetrics` of the whole run and
+        :meth:`matches` terminates once drained.
+        """
+        if self._pump_task is None:
+            raise ParallelError("ingestor was never started")
+        if not self._closing:
+            self._closing = True
+            await self._inq.put(_EOS)
+        await self._pump_task
+
+    async def __aenter__(self) -> "Ingestor":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closing:
+            await self.close()
+        elif self._pump_task is not None and not self._pump_task.done():
+            self._closing = True
+            self._pump_task.cancel()
+
+    # -- producing -----------------------------------------------------------
+    async def put(self, event: Event) -> bool:
+        """Admit one event; returns False when the shed policy drops it."""
+        if self._pump_task is None:
+            raise ParallelError("ingestor was never started")
+        if self._closing:
+            raise ParallelError("ingestor is closed")
+        if self._failure is not None:
+            raise self._failure
+        if event.timestamp < self._last_ts:
+            raise StreamOrderError(
+                f"event {event!r} arrives before timestamp {self._last_ts}; "
+                "the ingestor requires non-decreasing timestamps"
+            )
+        stamped = event.with_seq(self._next_seq)
+        item = (stamped, time.perf_counter())
+        if self._policy == "shed":
+            try:
+                self._inq.put_nowait(item)
+            except asyncio.QueueFull:
+                self.shed += 1
+                return False
+        else:
+            await self._inq.put(item)
+        # Stamp only after admission: a shed event must not burn a
+        # sequence number, or the frontier math would wait on it.
+        self._next_seq += 1
+        self._last_ts = event.timestamp
+        return True
+
+    async def put_many(self, events: Iterable[Event]) -> int:
+        """Admit events in order; returns how many were accepted."""
+        accepted = 0
+        for event in events:
+            accepted += await self.put(event)
+        return accepted
+
+    # -- consuming -----------------------------------------------------------
+    async def matches(self) -> AsyncIterator:
+        """Matches in canonical order, as they become safe to emit;
+        terminates after :meth:`close` once everything is drained."""
+        if self._outq is None:
+            raise ParallelError("ingestor was never started")
+        while True:
+            item = await self._outq.get()
+            if item is _EOS:
+                return
+            if isinstance(item, _Failure):
+                raise item.error
+            yield item
+
+    # -- observability -------------------------------------------------------
+    @property
+    def events_in(self) -> int:
+        """Events accepted so far (shed events excluded)."""
+        return self._next_seq
+
+    @property
+    def metrics(self):
+        """Merged run metrics (populated by :meth:`close`)."""
+        return self._stream.metrics
+
+    @property
+    def detection_latency(self):
+        """Arrival-to-emission latency histogram recorded so far."""
+        return self._stream.detection_latency
+
+    @property
+    def throughput(self) -> float:
+        """Accepted events per second of wall time so far."""
+        return self._stream.throughput
+
+    # -- the pump ------------------------------------------------------------
+    async def _pump(self) -> None:
+        try:
+            await self._pump_loop()
+        except BaseException as error:  # noqa: BLE001 — relayed to consumers
+            self._failure = error
+            self._outq.put_nowait(_Failure(error))
+            raise
+
+    async def _pump_loop(self) -> None:
+        events: list = []
+        arrivals: list = []
+        deadline: Optional[float] = None
+        while True:
+            if deadline is None:
+                item = await self._inq.get()
+            else:
+                timeout = deadline - self._loop.time()
+                if timeout <= 0:
+                    await self._flush(events, arrivals)
+                    events, arrivals, deadline = [], [], None
+                    continue
+                try:
+                    item = await asyncio.wait_for(
+                        self._inq.get(), timeout
+                    )
+                except asyncio.TimeoutError:
+                    await self._flush(events, arrivals)
+                    events, arrivals, deadline = [], [], None
+                    continue
+            if item is _EOS:
+                await self._flush(events, arrivals)
+                final = await self._loop.run_in_executor(
+                    None, self._stream.finish
+                )
+                for match in final:
+                    self._outq.put_nowait(match)
+                self._outq.put_nowait(_EOS)
+                return
+            event, arrived = item
+            if not events:
+                deadline = self._loop.time() + self._flush_seconds
+            events.append(event)
+            arrivals.append(arrived)
+            if len(events) >= self._flush_events:
+                await self._flush(events, arrivals)
+                events, arrivals, deadline = [], [], None
+
+    async def _flush(self, events: list, arrivals: list) -> None:
+        if not events:
+            return
+        released = await self._loop.run_in_executor(
+            None, self._stream.feed, events, arrivals
+        )
+        for match in released:
+            self._outq.put_nowait(match)

@@ -1,0 +1,180 @@
+"""The persistent worker protocol: message tags, state machine, framing.
+
+The always-on service runtime keeps workers alive across many runs, so
+the one-shot batch/done exchange of the original pool grows into a
+small state machine, spoken identically over every transport (inline
+call, thread queue, process queue, TCP socket):
+
+===========  ==========================  ================================
+driver sends payload                     worker replies
+===========  ==========================  ================================
+INIT         spec (or pre-pickled        READY — plans ship **once** per
+             bytes of it)                worker lifetime, not per run
+RESET        epoch, task params          —   (new run: fresh TaskRunner)
+SEED         epoch, events, now          —   (crash recovery: replay the
+                                         acked window log through
+                                         ``seed_from``)
+BATCH        epoch, batch id, entries    ACK with the batch id and the
+                                         matches kept since the last ack
+FINISH       epoch                       DONE with the WorkerResult
+STOP         —                           —   (worker exits)
+===========  ==========================  ================================
+
+Failures travel back as ERROR replies carrying the epoch and a
+formatted traceback.  The **epoch** (one per run) makes staleness
+harmless: after an aborted run, batches still queued for a worker are
+dropped on arrival (wrong epoch) and their late acks are ignored by the
+driver, so a dirty pool heals itself on the next RESET instead of
+needing a restart.
+
+:class:`WorkerState` is the transport-independent worker half; the
+channels in :mod:`repro.service.transport` and the TCP server in
+:mod:`repro.service.shard_server` all drive the same instance, which is
+what keeps socket shards byte-identical to in-process workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import List, Optional, Tuple
+
+from ..parallel.worker import TaskRunner, WorkerTask
+
+# -- driver -> worker tags ---------------------------------------------------
+MSG_INIT = "init"
+MSG_RESET = "reset"
+MSG_SEED = "seed"
+MSG_BATCH = "batch"
+MSG_FINISH = "finish"
+MSG_STOP = "stop"
+
+# -- worker -> driver tags ---------------------------------------------------
+REPLY_READY = "ready"
+REPLY_ACK = "ack"
+REPLY_DONE = "done"
+REPLY_ERROR = "error"
+
+
+class WorkerState:
+    """One persistent worker's state machine (transport-independent).
+
+    ``handle(message)`` consumes one protocol message and returns the
+    replies to ship back (zero or one today; a list keeps the framing
+    uniform).  Internal failures raise — the transport wrapper converts
+    them into ERROR replies so the driver sees one shape everywhere.
+    A STOP message returns ``None`` replies and flips :attr:`stopped`.
+    """
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.stopped = False
+        self._spec: Optional[object] = None
+        self._runner: Optional[TaskRunner] = None
+        self._epoch = -1
+
+    def handle(self, message: Tuple) -> List[Tuple]:
+        tag = message[0]
+        if tag == MSG_STOP:
+            self.stopped = True
+            return []
+        if tag == MSG_INIT:
+            payload = message[1]
+            # Process/socket drivers pre-pickle the spec once (so a
+            # pickling failure surfaces in the driver, typed, instead of
+            # dying inside a queue feeder thread) and ship bytes.
+            self._spec = (
+                pickle.loads(payload)
+                if isinstance(payload, bytes)
+                else payload
+            )
+            self._runner = None
+            return [(self.worker_id, REPLY_READY, None)]
+        if tag == MSG_RESET:
+            epoch, params = message[1], message[2]
+            if self._spec is None:
+                raise RuntimeError("RESET before INIT")
+            self._epoch = epoch
+            self._runner = TaskRunner(WorkerTask(self._spec, **params))
+            return []
+        if tag == MSG_SEED:
+            epoch, events, now = message[1], message[2], message[3]
+            if epoch == self._epoch and self._runner is not None:
+                self._runner.seed(events, now)
+            return []
+        if tag == MSG_BATCH:
+            epoch, batch_id, entries = message[1], message[2], message[3]
+            if epoch != self._epoch or self._runner is None:
+                return []  # stale batch from an aborted run: drop, no ack
+            self._runner.feed(entries)
+            return [
+                (
+                    self.worker_id,
+                    REPLY_ACK,
+                    (epoch, batch_id, self._runner.take_matches()),
+                )
+            ]
+        if tag == MSG_FINISH:
+            epoch = message[1]
+            if epoch != self._epoch or self._runner is None:
+                raise RuntimeError(
+                    f"FINISH for epoch {epoch} but worker is at "
+                    f"epoch {self._epoch}"
+                )
+            result = self._runner.finish()
+            self._runner = None
+            return [(self.worker_id, REPLY_DONE, (epoch, result))]
+        raise RuntimeError(f"unknown service message tag {tag!r}")
+
+    def fail(self, epoch_hint: Optional[int], traceback_text: str) -> Tuple:
+        """Build the ERROR reply for an exception ``handle`` raised,
+        and drop the active run (the driver aborts it anyway)."""
+        epoch = self._epoch if epoch_hint is None else epoch_hint
+        self._runner = None
+        return (self.worker_id, REPLY_ERROR, (epoch, traceback_text))
+
+
+def message_epoch(message: Tuple) -> Optional[int]:
+    """The epoch a driver->worker message belongs to (None for
+    INIT/STOP, which are epoch-free)."""
+    if message[0] in (MSG_RESET, MSG_SEED, MSG_BATCH, MSG_FINISH):
+        return message[1]
+    return None
+
+
+# -- socket framing ----------------------------------------------------------
+
+_LENGTH = struct.Struct(">I")
+
+#: Frames above this are refused at send time: a corrupt length prefix
+#: must not make the receiver attempt a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def send_frame(sock, payload: object) -> None:
+    """Ship one length-prefixed pickled frame over a socket."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(blob)} bytes exceeds the 1 GiB cap")
+    sock.sendall(_LENGTH.pack(len(blob)) + blob)
+
+
+def recv_frame(sock) -> object:
+    """Read one frame; raises EOFError on a closed connection."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise EOFError(f"frame length {length} exceeds the 1 GiB cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

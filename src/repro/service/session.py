@@ -1,0 +1,858 @@
+"""Persistent sessions: a pinned worker pool serving many runs/streams.
+
+The one-shot :class:`~repro.parallel.ParallelExecutor` paid worker
+startup (fork + plan shipping) on every ``run()``.  A :class:`Session`
+starts the pool once — per-worker CPU affinity when the platform
+offers ``os.sched_setaffinity`` — ships each plan spec once, and then
+serves any number of runs over the persistent workers, each run being
+one RESET/BATCH*/FINISH exchange of the
+:mod:`repro.service.protocol`.  ``ParallelExecutor.run()`` itself
+routes through the session pool, so the fork-per-run waste is gone for
+existing callers with no API change.
+
+Two consumption shapes:
+
+* :meth:`Session.run` — one pass over a whole stream, canonical merged
+  output, exactly the executor contract.
+* :class:`SessionStream` — incremental: ``feed(events)`` returns the
+  matches that are *safe to emit now*, in the canonical
+  partition-independent merge order, long before the stream ends.  The
+  safety frontier is the heart of it (see :meth:`SessionStream._frontier`):
+  a held match is released only when no in-flight or future worker ack
+  can produce a match that sorts before it.
+
+Crash handling: a worker death raises a typed
+:class:`~repro.errors.WorkerCrashError`, unless
+``ParallelConfig(recovery="reseed")`` and the run is single-engine-
+per-worker (key/query partitioning of plain specs) — then the driver
+respawns the worker, replays the acked window log through the PR-4
+``seed_from`` machinery (replayed matches are suppressed — they were
+already delivered in acks) and re-sends the unacked batches.  The
+combined effect is exactly-once match delivery across the crash.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import pickle
+import time
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engines.metrics import EngineMetrics, LatencyHistogram
+from ..errors import ParallelError, WorkerCrashError
+from ..parallel.ordering import canonical_order, match_sort_key
+from ..parallel.partitioners import KeyPartitioner, WindowPartitioner
+from ..parallel.worker import EngineSpec, WorkerResult
+from .protocol import (
+    MSG_BATCH,
+    MSG_FINISH,
+    MSG_INIT,
+    MSG_RESET,
+    MSG_SEED,
+    REPLY_ACK,
+    REPLY_DONE,
+    REPLY_ERROR,
+    REPLY_READY,
+)
+from .transport import (
+    ProcessChannel,
+    SerialChannel,
+    SocketChannel,
+    ThreadChannel,
+    TransportDead,
+)
+
+_NEG_INF = float("-inf")
+_INF = float("inf")
+
+
+class WorkerPool:
+    """A pool of persistent protocol channels for one plan's specs.
+
+    Owns everything per-worker and per-run: channel lifecycle, epoch
+    bookkeeping, in-flight batch tracking (bounded by
+    ``ParallelConfig.max_inflight``), the acked window log that backs
+    crash reseeding, and the ack/done collection loops.
+    """
+
+    def __init__(self, specs: Sequence, config, window: float) -> None:
+        self._specs = list(specs)
+        self.config = config
+        self.window = window
+        self.workers = len(self._specs)
+        self._channels: Optional[List] = None
+        self._init_payloads: Optional[List] = None
+        self._epoch = 0
+        self._seedable = all(
+            isinstance(spec, EngineSpec) for spec in self._specs
+        )
+        self._recovery_active = False
+        self._mode = "single"
+        self._params: List[dict] = []
+        self._unacked: List[Dict[int, list]] = []
+        self._next_batch: List[int] = []
+        self._log: List[list] = []
+        self._acked_ts: List[float] = []
+        self._matches: List[list] = []
+        self._results: List[Optional[WorkerResult]] = []
+        self._finishing: List[bool] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._channels is not None
+
+    def start(self) -> None:
+        if self._channels is not None:
+            return
+        backend = self.config.backend
+        if backend in ("processes", "socket"):
+            try:
+                cache: Dict[int, bytes] = {}
+                payloads = []
+                for spec in self._specs:
+                    if id(spec) not in cache:
+                        cache[id(spec)] = pickle.dumps(
+                            spec, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    payloads.append(cache[id(spec)])
+            except (pickle.PicklingError, AttributeError, TypeError) as error:
+                raise ParallelError(
+                    "worker spec could not be pickled for the "
+                    f"{backend} backend ({error}); lambdas and other "
+                    "unpicklable predicates need backend='threads' or "
+                    "module-level named functions"
+                ) from error
+            self._init_payloads = payloads
+        else:
+            self._init_payloads = list(self._specs)
+        channels: List = []
+        try:
+            for worker_id in range(self.workers):
+                channels.append(self._make_channel(worker_id))
+            for worker_id, channel in enumerate(channels):
+                channel.send((MSG_INIT, self._init_payloads[worker_id]))
+            for channel in channels:
+                self._await_ready(channel)
+        except TransportDead as error:
+            for channel in channels:
+                channel.kill()
+            raise WorkerCrashError(str(error)) from None
+        except BaseException:
+            for channel in channels:
+                channel.kill()
+            raise
+        self._channels = channels
+
+    def close(self) -> None:
+        channels, self._channels = self._channels, None
+        if not channels:
+            return
+        for channel in channels:
+            try:
+                channel.stop()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                channel.kill()
+
+    def _teardown(self) -> None:
+        """Hard teardown after an unrecovered crash: the pool restarts
+        fresh on the next run instead of reusing a broken channel set."""
+        channels, self._channels = self._channels, None
+        for channel in channels or ():
+            channel.kill()
+
+    def _make_channel(self, worker_id: int):
+        backend = self.config.backend
+        if backend == "serial":
+            return SerialChannel(worker_id)
+        if backend == "threads":
+            return ThreadChannel(worker_id)
+        if backend == "socket":
+            shards = list(self.config.shards)
+            address = tuple(shards[worker_id % len(shards)])
+            return SocketChannel(address, worker_id)
+        import multiprocessing
+        import os
+
+        method = self.config.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        ctx = multiprocessing.get_context(method)
+        affinity = None
+        if self.config.pin_cpus:
+            affinity = {worker_id % (os.cpu_count() or 1)}
+        return ProcessChannel(ctx, worker_id, affinity)
+
+    def _await_ready(self, channel) -> None:
+        deadline = time.monotonic() + 120.0
+        while True:
+            reply = channel.recv(timeout=0.5)  # TransportDead -> caller
+            if reply is None:
+                if time.monotonic() > deadline:
+                    raise ParallelError(
+                        f"worker {channel.worker_id} did not initialize"
+                    )
+                continue
+            _, tag, payload = reply
+            if tag == REPLY_READY:
+                return
+            if tag == REPLY_ERROR:
+                raise ParallelError(
+                    f"worker {channel.worker_id} failed to "
+                    f"initialize:\n{payload[1]}"
+                )
+            # Anything else is a stale reply from a previous run.
+
+    # -- runs ----------------------------------------------------------------
+    def begin_run(self, mode: str, params: Sequence[dict]) -> None:
+        self.start()
+        self._epoch += 1
+        for worker_id, channel in enumerate(self._channels):
+            # Drop replies a previous (aborted) run left behind.
+            while True:
+                try:
+                    if channel.recv(timeout=0.0) is None:
+                        break
+                except TransportDead:
+                    break  # surfaces via _send below
+        self._mode = mode
+        self._params = list(params)
+        self._recovery_active = (
+            self.config.recovery == "reseed"
+            and mode == "single"
+            and self._seedable
+            and all(channel.restartable for channel in self._channels)
+        )
+        n = self.workers
+        self._unacked = [dict() for _ in range(n)]
+        self._next_batch = [0] * n
+        self._log = [[] for _ in range(n)]
+        self._acked_ts = [_NEG_INF] * n
+        self._matches = [[] for _ in range(n)]
+        self._results = [None] * n
+        self._finishing = [False] * n
+        for worker_id in range(n):
+            self._send(worker_id, (MSG_RESET, self._epoch, self._params[worker_id]))
+
+    def submit(self, worker_id: int, entries: list) -> None:
+        """Ship one batch; blocks (drains acks) at the in-flight cap."""
+        batch_id = self._next_batch[worker_id]
+        self._next_batch[worker_id] = batch_id + 1
+        self._unacked[worker_id][batch_id] = entries
+        self._send(
+            worker_id, (MSG_BATCH, self._epoch, batch_id, entries)
+        )
+        cap = self.config.max_inflight
+        unacked = self._unacked[worker_id]
+        while len(unacked) > cap:
+            self._pump(worker_id, lambda: len(unacked) <= cap)
+
+    def finish_run(self) -> List[WorkerResult]:
+        """FINISH every worker; returns results with the *undrained*
+        matches folded back in (callers that never drained get all)."""
+        for worker_id in range(self.workers):
+            self._finishing[worker_id] = True
+            self._send(worker_id, (MSG_FINISH, self._epoch))
+        results: List[WorkerResult] = []
+        for worker_id in range(self.workers):
+            self._pump(
+                worker_id,
+                lambda worker_id=worker_id: self._results[worker_id]
+                is not None,
+            )
+            result = self._results[worker_id]
+            result.matches = self._matches[worker_id] + result.matches
+            self._matches[worker_id] = []
+            results.append(result)
+        return results
+
+    def drain_available(self) -> None:
+        """Consume every reply that is already waiting (non-blocking)."""
+        for worker_id, channel in enumerate(self._channels):
+            while True:
+                try:
+                    reply = channel.recv(timeout=0.0)
+                except TransportDead as error:
+                    self._handle_crash(worker_id, error)
+                    break
+                if reply is None:
+                    break
+                self._dispatch(worker_id, reply)
+
+    def take_acked_matches(self) -> list:
+        """Drain matches delivered by acks since the last call."""
+        out: list = []
+        for worker_id in range(self.workers):
+            if self._matches[worker_id]:
+                out.extend(self._matches[worker_id])
+                self._matches[worker_id] = []
+        return out
+
+    # -- frontier accessors (SessionStream) ----------------------------------
+    def first_unacked_seq(self, worker_id: int) -> Optional[int]:
+        unacked = self._unacked[worker_id]
+        if not unacked:
+            return None
+        first = next(iter(unacked.values()))
+        return first[0][1].seq if first else None
+
+    def last_acked_ts(self, worker_id: int) -> float:
+        return self._acked_ts[worker_id]
+
+    # -- plumbing ------------------------------------------------------------
+    def _send(self, worker_id: int, message: Tuple) -> None:
+        try:
+            self._channels[worker_id].send(message)
+        except TransportDead as error:
+            # Driver-side run state was updated before the send, so the
+            # recovery replay below re-ships the lost message too.
+            self._handle_crash(worker_id, error)
+
+    def _pump(self, worker_id: int, until) -> None:
+        while not until():
+            channel = self._channels[worker_id]
+            try:
+                reply = channel.recv(timeout=0.25)
+            except TransportDead as error:
+                self._handle_crash(worker_id, error)
+                continue
+            if reply is None:
+                if not channel.alive():
+                    self._handle_crash(
+                        worker_id,
+                        TransportDead(f"worker {worker_id} stopped"),
+                    )
+                continue
+            self._dispatch(worker_id, reply)
+
+    def _dispatch(self, worker_id: int, reply: Tuple) -> None:
+        _, tag, payload = reply
+        if tag == REPLY_ERROR:
+            epoch, trace = payload
+            if epoch != self._epoch:
+                return
+            raise ParallelError(f"worker {worker_id} failed:\n{trace}")
+        if tag == REPLY_ACK:
+            epoch, batch_id, matches = payload
+            if epoch != self._epoch:
+                return
+            entries = self._unacked[worker_id].pop(batch_id, None)
+            if entries is None:
+                return
+            if entries:
+                last_ts = entries[-1][1].timestamp
+                if last_ts > self._acked_ts[worker_id]:
+                    self._acked_ts[worker_id] = last_ts
+            if self._recovery_active:
+                log = self._log[worker_id]
+                log.extend(entries)
+                cutoff = self._acked_ts[worker_id] - self.window
+                drop = 0
+                while (
+                    drop < len(log) and log[drop][1].timestamp < cutoff
+                ):
+                    drop += 1
+                if drop:
+                    del log[:drop]
+            if matches:
+                self._matches[worker_id].extend(matches)
+            return
+        if tag == REPLY_DONE:
+            epoch, result = payload
+            if epoch == self._epoch:
+                self._results[worker_id] = result
+
+    def _handle_crash(self, worker_id: int, error: Exception) -> None:
+        if not self._recovery_active or not self._channels[
+            worker_id
+        ].restartable:
+            self._teardown()
+            raise WorkerCrashError(
+                f"worker {worker_id} died mid-stream ({error}); "
+                "matches are intact up to the last merged frontier — "
+                "enable ParallelConfig(recovery='reseed') on a "
+                "restartable backend for transparent failover"
+            ) from None
+        old = self._channels[worker_id]
+        old.kill()
+        channel = self._make_channel(worker_id)
+        self._channels[worker_id] = channel
+        try:
+            channel.send((MSG_INIT, self._init_payloads[worker_id]))
+            self._await_ready(channel)
+            channel.send(
+                (MSG_RESET, self._epoch, self._params[worker_id])
+            )
+            log = self._log[worker_id]
+            if log or self._acked_ts[worker_id] != _NEG_INF:
+                events = [event for _, event in log]
+                channel.send(
+                    (
+                        MSG_SEED,
+                        self._epoch,
+                        events,
+                        self._acked_ts[worker_id],
+                    )
+                )
+            for batch_id, entries in self._unacked[worker_id].items():
+                channel.send(
+                    (MSG_BATCH, self._epoch, batch_id, entries)
+                )
+            if self._finishing[worker_id]:
+                channel.send((MSG_FINISH, self._epoch))
+        except TransportDead as again:
+            self._teardown()
+            raise WorkerCrashError(
+                f"worker {worker_id} died and its replacement did "
+                f"too: {again}"
+            ) from None
+
+
+class _PoolFeeder:
+    """Per-worker batching in front of :meth:`WorkerPool.submit`."""
+
+    def __init__(self, pool: WorkerPool, batch_size: int) -> None:
+        self._pool = pool
+        self._batch_size = batch_size
+        self._buffers: List[list] = [[] for _ in range(pool.workers)]
+
+    def emit(self, worker_id: int, entry) -> None:
+        buffer = self._buffers[worker_id]
+        buffer.append(entry)
+        if len(buffer) >= self._batch_size:
+            self._pool.submit(worker_id, buffer)
+            self._buffers[worker_id] = []
+
+    def flush(self) -> None:
+        for worker_id, buffer in enumerate(self._buffers):
+            if buffer:
+                self._pool.submit(worker_id, buffer)
+                self._buffers[worker_id] = []
+
+    def first_buffered_seq(self, worker_id: int) -> Optional[int]:
+        buffer = self._buffers[worker_id]
+        return buffer[0][1].seq if buffer else None
+
+
+def _close_pool(pool: WorkerPool) -> None:
+    pool.close()
+
+
+class Session:
+    """A persistent execution session bound to one executor's plan.
+
+    Obtained via :meth:`ParallelExecutor.session`.  Workers start on
+    the first run and persist until :meth:`close` (or garbage
+    collection of the session — a ``weakref.finalize`` guards the
+    pool), so repeated runs skip fork and plan shipping entirely.
+    """
+
+    def __init__(self, executor) -> None:
+        self._executor = executor
+        config = executor.config
+        if executor.partitioner_name == "query":
+            from ..parallel.partitioners import split_shared_plan
+            from ..parallel.worker import SharedSpec
+
+            sub_plans = split_shared_plan(executor._plan, executor.workers)
+            specs = [
+                SharedSpec(
+                    sub,
+                    max_kleene_size=executor._spec.max_kleene_size,
+                    indexed=executor._spec.indexed,
+                    compiled=executor._spec.compiled,
+                )
+                for sub in sub_plans
+            ]
+            relevant_sets = []
+            for sub in sub_plans:
+                types = set()
+                for root in sub.roots:
+                    types.update(t for _, t in root.decomposed.positives)
+                    types.update(
+                        spec.event_type for spec in root.decomposed.negations
+                    )
+                relevant_sets.append(types)
+            self._relevant_sets: Optional[List[set]] = relevant_sets
+        else:
+            specs = [executor._spec] * executor.workers
+            self._relevant_sets = None
+        self.pool = WorkerPool(specs, config, executor._window)
+        self.metrics: Optional[EngineMetrics] = None
+        self.events_in = 0
+        self.wall_seconds = 0.0
+        self._finalizer = weakref.finalize(self, _close_pool, self.pool)
+
+    # -- whole-stream runs ---------------------------------------------------
+    def run(self, stream):
+        """One pass over ``stream``: the executor contract, served by
+        the persistent pool (one streaming run fed in a single gulp)."""
+        executor = self._executor
+        started = time.perf_counter()
+        span = None
+        if executor.partitioner_name == "window":
+            span = (
+                executor.config.span
+                if executor.config.span is not None
+                else executor._auto_span(stream)
+            )
+        run = SessionStream(self, span=span)
+        matches = list(run.feed(stream))
+        matches.extend(run.finish())
+        self.metrics = run.metrics
+        self.events_in = run.events_in
+        self.wall_seconds = time.perf_counter() - started
+        if executor._shared:
+            from ..multiquery.executor import group_by_query
+
+            return group_by_query(executor._plan.query_names, matches)
+        return matches
+
+    def stream(self, span: Optional[float] = None) -> "SessionStream":
+        """Open an incremental streaming run (see :class:`SessionStream`)."""
+        executor = self._executor
+        if executor.partitioner_name == "window" and span is None:
+            span = executor.config.span
+            if span is None:
+                raise ParallelError(
+                    "streaming window partitioning needs an explicit "
+                    "ParallelConfig.span (an open-ended feed has no "
+                    "duration to derive the stride from)"
+                )
+        return SessionStream(self, span=span)
+
+    def close(self) -> None:
+        self._finalizer.detach()
+        self.pool.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self.pool.started else "cold"
+        return (
+            f"Session({self._executor.partitioner_name} partitioning, "
+            f"{self.pool.workers}x{self.pool.config.backend}, {state})"
+        )
+
+
+class SessionStream:
+    """One incremental run over a session's pool.
+
+    ``feed(events)`` routes a chunk and returns every match that is now
+    *safe* to emit; ``finish()`` closes the run and returns the
+    remainder.  The concatenation of all returned lists is byte-
+    identical to the canonical batch output
+    (:func:`~repro.parallel.ordering.canonical_order` of a one-shot
+    run) — the frontier logic only ever *delays* emission, never
+    reorders it.
+
+    **The safety frontier.**  Canonical order sorts by
+    ``(completion_seq, ...)`` where ``completion_seq`` is the sequence
+    number of a match's latest constituent.  A held match may be
+    emitted once ``completion_seq < F`` with ``F`` the minimum over
+    workers of:
+
+    * the first *outstanding* entry sequence (buffered unsent, or sent
+      and unacked) — any future fresh match completes on an entry the
+      worker has yet to process, whose seq is at least that; and
+    * when patterns can defer matches (trailing negation's pending
+      matches; window slices), the first routed seq with
+      ``ts >= last_acked_ts - guard``: a pending match released in the
+      future has a deadline beyond the worker's acked time, and its
+      completion constituent lies within ``guard`` of that deadline
+      (``guard = W`` for single mode via the pending-deadline bound
+      ``deadline <= min_ts + W``; ``span + W`` for window slices whose
+      owned matches satisfy ``min_ts >= slice_lo``).
+    """
+
+    def __init__(self, session: Session, span: Optional[float] = None) -> None:
+        self._session = session
+        self._pool = session.pool
+        executor = session._executor
+        self._executor = executor
+        self._mode = executor.partitioner_name
+        self._window = executor._window
+        self._span = span
+        self._relevant = executor._relevant_types
+        self._batch_size = executor.config.batch_size
+        self._feeder: Optional[_PoolFeeder] = None
+        self._partitioner = None
+        self._started = False
+        self._finished = False
+        self.events_in = 0
+        self.events_routed = 0
+        self.metrics: Optional[EngineMetrics] = None
+        self.wall_seconds = 0.0
+        self._wall_started: Optional[float] = None
+        self._held: list = []  # heap of (sort_key, tiebreak, match)
+        self._tie = itertools.count()
+        # Deferred-match guard (see class docstring); None disables the
+        # timestamp term of the frontier.
+        if self._mode == "window":
+            self._guard: Optional[float] = None  # set once span is known
+        elif executor._has_negation:
+            self._guard = self._window
+        else:
+            self._guard = None
+        self._route_seqs: List[int] = []
+        self._route_ts: List[float] = []
+        self._arrivals: Dict[int, float] = {}
+        self._arrival_seqs: List[int] = []
+        self._detection = LatencyHistogram()
+
+    # -- feeding -------------------------------------------------------------
+    def feed(self, events, arrivals: Optional[Sequence[float]] = None) -> list:
+        """Route a chunk of events; return the newly releasable matches.
+
+        ``events`` is any iterable of sequence-stamped events in stream
+        order.  ``arrivals`` (parallel to ``events``, wall-clock
+        seconds) enables per-match detection-latency recording — the
+        ingestion front door stamps them at enqueue time.
+        """
+        if self._finished:
+            raise ParallelError("this streaming run is finished")
+        if self._wall_started is None:
+            self._wall_started = time.perf_counter()
+        mode = self._mode
+        relevant = self._relevant
+        track = self._guard is not None or self._mode == "window"
+        for position, event in enumerate(events):
+            self.events_in += 1
+            if arrivals is not None:
+                self._arrivals[event.seq] = arrivals[position]
+                self._arrival_seqs.append(event.seq)
+            if mode == "key":
+                if not self._started:
+                    self._begin()
+                target = self._partitioner.route(event)
+                if target is None:
+                    continue
+                self.events_routed += 1
+                if track:
+                    self._note_routed(event)
+                self._feeder.emit(target, (0, event))
+            elif mode == "window":
+                if event.type not in relevant:
+                    continue
+                if not self._started:
+                    self._begin(first_ts=event.timestamp)
+                self._note_routed(event)
+                for slice_id in self._partitioner.slices_for(
+                    event.timestamp
+                ):
+                    self.events_routed += 1
+                    self._feeder.emit(
+                        self._partitioner.worker_of(slice_id),
+                        (slice_id, event),
+                    )
+            else:  # query
+                if not self._started:
+                    self._begin()
+                routed = False
+                for worker_id, types in enumerate(
+                    self._session._relevant_sets
+                ):
+                    if event.type in types:
+                        self.events_routed += 1
+                        routed = True
+                        self._feeder.emit(worker_id, (0, event))
+                if routed and track:
+                    self._note_routed(event)
+        if not self._started:
+            return []
+        self._feeder.flush()
+        self._pool.drain_available()
+        return self._release()
+
+    def finish(self) -> list:
+        """Close the run; returns the held remainder in canonical order
+        and freezes :attr:`metrics` / :attr:`throughput`."""
+        if self._finished:
+            raise ParallelError("this streaming run is already finished")
+        self._finished = True
+        if self._wall_started is None:
+            self._wall_started = time.perf_counter()
+        if not self._started:
+            metrics = EngineMetrics()
+            metrics.worker_count = 0
+            self.metrics = metrics
+            self.wall_seconds = time.perf_counter() - self._wall_started
+            return []
+        self._feeder.flush()
+        results = self._pool.finish_run()
+        metrics = EngineMetrics()
+        flat: list = []
+        for result in results:
+            metrics = metrics.merge(result.metrics, disjoint_streams=True)
+            flat.extend(result.matches)
+        metrics.worker_count = self._pool.workers
+        metrics.events_routed = self.events_routed
+        emit_wall = time.perf_counter()
+        # Held matches (acked but below no frontier yet) and FINISH-time
+        # matches interleave in canonical order — a deferred match can
+        # arrive in DONE with a smaller completion_seq than one already
+        # held — so the remainder must be sorted as one set.
+        remainder = [item[2] for item in self._held]
+        remainder.extend(flat)
+        for match in remainder:
+            self._note_latency(match, emit_wall)
+        out = canonical_order(remainder)
+        self._held = []
+        metrics.detection_latency = metrics.detection_latency.merge(
+            self._detection
+        )
+        self.metrics = metrics
+        self.wall_seconds = time.perf_counter() - self._wall_started
+        return out
+
+    @property
+    def throughput(self) -> float:
+        """Sustained input events per second of wall time so far."""
+        if self._wall_started is None:
+            return 0.0
+        elapsed = (
+            self.wall_seconds
+            if self._finished
+            else time.perf_counter() - self._wall_started
+        )
+        return self.events_in / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def detection_latency(self) -> LatencyHistogram:
+        """Arrival-to-emission latency histogram recorded so far."""
+        return self._detection
+
+    # -- internals -----------------------------------------------------------
+    def _begin(self, first_ts: Optional[float] = None) -> None:
+        executor = self._executor
+        if self._mode == "key":
+            self._partitioner = KeyPartitioner(
+                executor._routing, executor.workers
+            )
+            params = [{"mode": "single"} for _ in range(executor.workers)]
+            run_mode = "single"
+        elif self._mode == "window":
+            if self._span is None:
+                raise ParallelError(
+                    "streaming window partitioning needs an explicit "
+                    "span"
+                )
+            partitioner = WindowPartitioner(
+                self._window, self._span, executor.workers
+            )
+            partitioner.start(first_ts)
+            self._partitioner = partitioner
+            self._guard = partitioner.span + self._window
+            params = [
+                {
+                    "mode": "window",
+                    "t0": first_ts,
+                    "span": partitioner.span,
+                    "window": partitioner.window,
+                }
+                for _ in range(executor.workers)
+            ]
+            run_mode = "window"
+        else:
+            params = [{"mode": "single"} for _ in range(executor.workers)]
+            run_mode = "single"
+        self._pool.begin_run(run_mode, params)
+        self._feeder = _PoolFeeder(self._pool, self._batch_size)
+        self._started = True
+
+    def _note_routed(self, event) -> None:
+        if self._guard is None and self._mode != "window":
+            return
+        seqs = self._route_seqs
+        if seqs and seqs[-1] == event.seq:
+            return
+        seqs.append(event.seq)
+        self._route_ts.append(event.timestamp)
+
+    def _frontier(self) -> float:
+        pool = self._pool
+        feeder = self._feeder
+        frontier = _INF
+        min_threshold = _INF
+        for worker_id in range(pool.workers):
+            for outstanding in (
+                feeder.first_buffered_seq(worker_id),
+                pool.first_unacked_seq(worker_id),
+            ):
+                if outstanding is not None and outstanding < frontier:
+                    frontier = outstanding
+            if self._guard is not None:
+                acked_ts = pool.last_acked_ts(worker_id)
+                if acked_ts == _NEG_INF:
+                    continue  # nothing processed: no deferred matches
+                threshold = acked_ts - self._guard
+                if threshold < min_threshold:
+                    min_threshold = threshold
+                position = self._bisect_ts(threshold)
+                if position < len(self._route_seqs):
+                    bound = self._route_seqs[position]
+                    if bound < frontier:
+                        frontier = bound
+        if self._guard is not None and min_threshold is not _INF:
+            self._prune_routed(min_threshold)
+        return frontier
+
+    def _bisect_ts(self, threshold: float) -> int:
+        """First index of the routed run with ``ts >= threshold``."""
+        lo, hi = 0, len(self._route_ts)
+        ts = self._route_ts
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ts[mid] < threshold:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _prune_routed(self, min_threshold: float) -> None:
+        drop = self._bisect_ts(min_threshold)
+        if drop > 1024:
+            del self._route_seqs[:drop]
+            del self._route_ts[:drop]
+
+    def _release(self) -> list:
+        held = self._held
+        for match in self._pool.take_acked_matches():
+            heapq.heappush(
+                held, (match_sort_key(match), next(self._tie), match)
+            )
+        if not held:
+            return []
+        frontier = self._frontier()
+        out: list = []
+        emit_wall = time.perf_counter()
+        while held and held[0][0][0] < frontier:
+            match = heapq.heappop(held)[2]
+            self._note_latency(match, emit_wall)
+            out.append(match)
+        if self._arrivals:
+            self._prune_arrivals(frontier)
+        return out
+
+    def _note_latency(self, match, emit_wall: float) -> None:
+        if not self._arrivals:
+            return
+        arrived = self._arrivals.get(match_sort_key(match)[0])
+        if arrived is not None:
+            self._detection.record(emit_wall - arrived)
+
+    def _prune_arrivals(self, frontier: float) -> None:
+        seqs = self._arrival_seqs
+        drop = 0
+        while drop < len(seqs) and seqs[drop] < frontier:
+            self._arrivals.pop(seqs[drop], None)
+            drop += 1
+        if drop:
+            del seqs[:drop]

@@ -1,0 +1,131 @@
+"""TCP shard server: host service workers on another process or machine.
+
+Runs the same :class:`~repro.service.protocol.WorkerState` machine the
+in-process backends use, one per accepted connection, speaking
+length-prefixed pickled frames (:func:`~repro.service.protocol.
+send_frame`).  A driver configured with ``ParallelConfig(
+backend="socket", shards=[(host, port), ...])`` connects one
+:class:`~repro.service.transport.SocketChannel` per worker; several
+workers may share one server (each connection gets its own state
+machine and serving thread), and several servers spread a run across
+hosts.
+
+Start a shard from the command line::
+
+    python -m repro.service.shard_server --host 0.0.0.0 --port 7201
+
+or embed one (tests, single-machine loopback benchmarks) with
+:func:`serve_in_thread`, which binds an ephemeral port and serves from
+a daemon thread::
+
+    server = serve_in_thread()           # 127.0.0.1, ephemeral port
+    config = ParallelConfig(backend="socket", shards=[server.address])
+
+The protocol carries pickled application objects, so a shard server
+must only ever be exposed to trusted drivers on a trusted network —
+the same trust model as ``multiprocessing``'s own connection layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import threading
+import traceback
+from typing import Optional, Tuple
+
+from .protocol import MSG_STOP, WorkerState, message_epoch, recv_frame, send_frame
+
+
+class ShardServer:
+    """Accepts driver connections and serves one worker each."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen()
+        #: The bound ``(host, port)`` — with ``port=0`` the OS picks an
+        #: ephemeral port and this is where to find it.
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self._closing = False
+        self._threads: list = []
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`close`."""
+        while not self._closing:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                break  # the listening socket was closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            hello = recv_frame(conn)
+            worker_id = hello[1] if hello and hello[0] == "hello" else 0
+            state = WorkerState(worker_id)
+            while not state.stopped:
+                message = recv_frame(conn)
+                try:
+                    replies = state.handle(message)
+                except Exception:
+                    replies = [
+                        state.fail(
+                            message_epoch(message), traceback.format_exc()
+                        )
+                    ]
+                for reply in replies:
+                    send_frame(conn, reply)
+        except (EOFError, OSError):
+            pass  # driver went away: this worker's life is over
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def serve_in_thread(
+    host: str = "127.0.0.1", port: int = 0
+) -> ShardServer:
+    """Start a shard server on a daemon thread; returns it with
+    :attr:`ShardServer.address` already bound (ephemeral by default)."""
+    server = ShardServer(host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Serve repro service workers over TCP."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7201)
+    args = parser.parse_args(argv)
+    server = ShardServer(args.host, args.port)
+    print(
+        f"repro shard server listening on "
+        f"{server.address[0]}:{server.address[1]}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

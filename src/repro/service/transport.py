@@ -1,0 +1,288 @@
+"""Worker channels: one persistent protocol, four transports.
+
+A channel is the driver's handle on one live worker.  All four speak
+the :mod:`repro.service.protocol` state machine:
+
+* :class:`SerialChannel` — the worker state machine runs inline in
+  ``send``; replies queue up for ``recv``.  Zero concurrency, zero
+  overhead: the baseline and the debugging surface.
+* :class:`ThreadChannel` — the state machine on a daemon thread behind
+  a pair of queues (the in-process concurrent path).
+* :class:`ProcessChannel` — the state machine in a pool process
+  (:func:`process_service_main`), optionally pinned to a CPU via
+  ``os.sched_setaffinity``.  The multi-core path.
+* :class:`SocketChannel` — the state machine on the far end of a TCP
+  connection (:mod:`repro.service.shard_server`), frames per
+  :func:`repro.service.protocol.send_frame`.  The multi-host path.
+
+``recv(timeout)`` returns a reply tuple, or ``None`` on timeout while
+the worker is healthy, and raises :class:`TransportDead` when the
+worker is gone (process exited, connection dropped) — the session layer
+turns that into crash recovery or a typed
+:class:`~repro.errors.WorkerCrashError`.  Serial and thread channels
+cannot die this way: their failures travel inside ERROR replies.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket as socket_module
+import threading
+import traceback
+from typing import Optional, Tuple
+
+from .protocol import (
+    MSG_STOP,
+    WorkerState,
+    message_epoch,
+    recv_frame,
+    send_frame,
+)
+
+
+class TransportDead(Exception):
+    """The worker behind a channel is gone (not a user-facing error —
+    the session layer maps it to recovery or WorkerCrashError)."""
+
+
+class SerialChannel:
+    """Inline execution: ``send`` runs the state machine immediately."""
+
+    restartable = False  # it cannot die, so it never needs restarting
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self._state = WorkerState(worker_id)
+        self._replies: list = []
+
+    def send(self, message: Tuple) -> None:
+        try:
+            self._replies.extend(self._state.handle(message))
+        except Exception:
+            self._replies.append(
+                self._state.fail(
+                    message_epoch(message), traceback.format_exc()
+                )
+            )
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple]:
+        if self._replies:
+            return self._replies.pop(0)
+        return None
+
+    def alive(self) -> bool:
+        return not self._state.stopped
+
+    def stop(self) -> None:
+        self.send((MSG_STOP,))
+
+    def kill(self) -> None:
+        self._state.stopped = True
+
+
+class ThreadChannel:
+    """The protocol behind queues on a daemon thread."""
+
+    restartable = False  # errors arrive as replies; the thread persists
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self._inq: "queue.Queue" = queue.Queue()
+        self._outq: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+
+    def _main(self) -> None:
+        state = WorkerState(self.worker_id)
+        while not state.stopped:
+            message = self._inq.get()
+            try:
+                replies = state.handle(message)
+            except Exception:
+                replies = [
+                    state.fail(message_epoch(message), traceback.format_exc())
+                ]
+            for reply in replies:
+                self._outq.put(reply)
+
+    def send(self, message: Tuple) -> None:
+        self._inq.put(message)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple]:
+        try:
+            if timeout is None or timeout <= 0:
+                return self._outq.get_nowait()
+            return self._outq.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def stop(self) -> None:
+        self._inq.put((MSG_STOP,))
+        self._thread.join(timeout=30.0)
+
+    def kill(self) -> None:
+        # Threads cannot be killed; a STOP is processed after the
+        # (epoch-dropped, hence fast) backlog drains.
+        self._inq.put((MSG_STOP,))
+        self._thread.join(timeout=30.0)
+
+
+def process_service_main(inq, outq, worker_id: int, affinity=None) -> None:
+    """Entry point of a persistent pool process.
+
+    Top-level so both ``fork`` and ``spawn`` start methods can import
+    it by reference.  ``affinity`` is an optional CPU set for
+    ``os.sched_setaffinity`` — best-effort: platforms without the call
+    (or with a restricted mask) run unpinned.
+    """
+    if affinity and hasattr(os, "sched_setaffinity"):
+        try:
+            os.sched_setaffinity(0, affinity)
+        except OSError:
+            pass
+    state = WorkerState(worker_id)
+    while not state.stopped:
+        message = inq.get()
+        try:
+            replies = state.handle(message)
+        except Exception:
+            replies = [
+                state.fail(message_epoch(message), traceback.format_exc())
+            ]
+        for reply in replies:
+            outq.put(reply)
+
+
+class ProcessChannel:
+    """The protocol across a process boundary (the multi-core path)."""
+
+    restartable = True
+
+    def __init__(self, ctx, worker_id: int, affinity=None) -> None:
+        self.worker_id = worker_id
+        self._inq = ctx.Queue()
+        self._outq = ctx.Queue()
+        self._process = ctx.Process(
+            target=process_service_main,
+            args=(self._inq, self._outq, worker_id, affinity),
+            daemon=True,
+        )
+        self._process.start()
+
+    def send(self, message: Tuple) -> None:
+        if not self._process.is_alive():
+            raise TransportDead(
+                f"process worker {self.worker_id} is dead "
+                f"(exit code {self._process.exitcode})"
+            )
+        self._inq.put(message)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple]:
+        try:
+            if timeout is None or timeout <= 0:
+                return self._outq.get_nowait()
+            return self._outq.get(timeout=timeout)
+        except queue.Empty:
+            if self._process.is_alive():
+                return None
+            # The worker may have exited right after replying; give the
+            # queue's pipe one last chance to deliver before declaring
+            # the worker dead.
+            try:
+                return self._outq.get(timeout=0.5)
+            except queue.Empty:
+                raise TransportDead(
+                    f"process worker {self.worker_id} died "
+                    f"(exit code {self._process.exitcode})"
+                ) from None
+
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def stop(self) -> None:
+        try:
+            self._inq.put((MSG_STOP,))
+        except Exception:  # noqa: BLE001 — best-effort teardown
+            pass
+        self._process.join(timeout=10.0)
+        if self._process.is_alive():
+            self.kill()
+
+    def kill(self) -> None:
+        try:
+            self._process.terminate()
+            self._process.join(timeout=10.0)
+        except Exception:  # noqa: BLE001 — best-effort teardown
+            pass
+
+
+class SocketChannel:
+    """The protocol over TCP to a :mod:`repro.service.shard_server`.
+
+    The first frame is a ``("hello", worker_id)`` handshake so the
+    server can label its state machine; everything after is the
+    standard message/reply exchange, one frame each.
+    """
+
+    restartable = False  # the remote host's lifecycle is not ours to manage
+
+    def __init__(self, address: Tuple[str, int], worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.address = address
+        try:
+            self._sock = socket_module.create_connection(address, timeout=30.0)
+            self._sock.settimeout(None)
+            send_frame(self._sock, ("hello", worker_id))
+        except OSError as error:
+            raise TransportDead(
+                f"cannot reach shard {address[0]}:{address[1]}: {error}"
+            ) from error
+        self._closed = False
+
+    def send(self, message: Tuple) -> None:
+        try:
+            send_frame(self._sock, message)
+        except OSError as error:
+            self._closed = True
+            raise TransportDead(
+                f"shard {self.address[0]}:{self.address[1]} "
+                f"(worker {self.worker_id}) dropped the connection: {error}"
+            ) from error
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple]:
+        try:
+            self._sock.settimeout(timeout if timeout else 0.000001)
+            try:
+                return recv_frame(self._sock)
+            finally:
+                self._sock.settimeout(None)
+        except socket_module.timeout:
+            return None
+        except (EOFError, OSError) as error:
+            self._closed = True
+            raise TransportDead(
+                f"shard {self.address[0]}:{self.address[1]} "
+                f"(worker {self.worker_id}) dropped the connection: {error}"
+            ) from error
+
+    def alive(self) -> bool:
+        return not self._closed
+
+    def stop(self) -> None:
+        if not self._closed:
+            try:
+                send_frame(self._sock, (MSG_STOP,))
+            except OSError:
+                pass
+        self.kill()
+
+    def kill(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.engines import EngineMetrics, Match, PartialMatch, VariableBuffer
+from repro.engines import (
+    EngineMetrics,
+    LatencyHistogram,
+    Match,
+    PartialMatch,
+    VariableBuffer,
+)
 from repro.events import Event
 
 
@@ -194,3 +200,95 @@ class TestEngineMetrics:
         assert merged.peak_partial_matches == 4
         assert merged.peak_buffered_events == 9
         assert merged.events_processed == 15
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert len(histogram) == 0
+        assert histogram.p50 == 0.0
+        assert histogram.p99 == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.to_dict()["count"] == 0
+
+    def test_percentiles_within_bucket_error(self):
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s
+        histogram = LatencyHistogram.of(values)
+        assert len(histogram) == 1000
+        # Buckets grow by 1.2x, so any quantile is within ~20% of exact.
+        for q, exact in ((0.50, 0.500), (0.95, 0.950), (0.99, 0.990)):
+            got = histogram.percentile(q)
+            assert exact / 1.25 <= got <= exact * 1.25
+        assert histogram.min == pytest.approx(0.001)
+        assert histogram.max == pytest.approx(1.0)
+        assert histogram.mean == pytest.approx(sum(values) / 1000.0)
+
+    def test_extremes_clamped_and_floored(self):
+        histogram = LatencyHistogram.of([-1.0, 0.0, 1e-9])
+        # Negative and sub-floor samples all land in bucket 0.
+        assert histogram.counts == {0: 3}
+        assert histogram.min == 0.0
+        assert histogram.p99 <= 1e-9  # clamped to the exactly-tracked max
+
+    def test_single_sample_percentiles_are_exact(self):
+        histogram = LatencyHistogram.of([0.25])
+        assert histogram.p50 == pytest.approx(0.25)
+        assert histogram.p99 == pytest.approx(0.25)
+
+    def test_merge_equals_union(self):
+        left = LatencyHistogram.of([0.001 * i for i in range(1, 50)])
+        right = LatencyHistogram.of([0.01 * i for i in range(1, 100)])
+        union = LatencyHistogram.of(
+            [0.001 * i for i in range(1, 50)]
+            + [0.01 * i for i in range(1, 100)]
+        )
+        merged = left.merge(right)
+        assert merged.counts == union.counts
+        assert merged.count == union.count
+        assert merged.total == pytest.approx(union.total)
+        assert merged.min == union.min and merged.max == union.max
+        for q in (0.5, 0.95, 0.99):
+            assert merged.percentile(q) == union.percentile(q)
+        # Merge does not mutate its inputs.
+        assert left.count == 49 and right.count == 99
+
+    def test_merge_with_empty_is_identity(self):
+        histogram = LatencyHistogram.of([0.1, 0.2])
+        merged = histogram.merge(LatencyHistogram())
+        assert merged.counts == histogram.counts
+        assert merged.min == histogram.min
+        assert merged.max == histogram.max
+
+    def test_metrics_merge_combines_histograms_both_modes(self):
+        first = EngineMetrics()
+        first.detection_latency.record(0.010)
+        first.detection_latency.record(0.020)
+        second = EngineMetrics()
+        second.detection_latency.record(0.500)
+        for kwargs in (
+            {},  # concurrent (parallel workers)
+            {"disjoint_streams": True, "concurrent": False},  # sequential
+        ):
+            merged = first.merge(second, **kwargs)
+            assert merged.detection_latency.count == 3
+            assert merged.detection_latency.min == pytest.approx(0.010)
+            assert merged.detection_latency.max == pytest.approx(0.500)
+        # Inputs untouched.
+        assert first.detection_latency.count == 2
+        assert second.detection_latency.count == 1
+
+    def test_metrics_summary_carries_histogram(self):
+        metrics = EngineMetrics()
+        metrics.detection_latency.record(0.004)
+        summary = metrics.summary()["detection_latency"]
+        assert summary["count"] == 1
+        assert summary["p50"] == pytest.approx(0.004)
+
+    def test_histogram_pickles(self):
+        import pickle
+
+        histogram = LatencyHistogram.of([0.001, 0.1, 2.0])
+        clone = pickle.loads(pickle.dumps(histogram))
+        assert clone.counts == histogram.counts
+        assert clone.count == 3
+        assert clone.p95 == histogram.p95

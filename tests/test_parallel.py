@@ -331,21 +331,25 @@ class TestBackends:
                 canonical_order(base.matches[query])
             )
 
-    def test_thread_worker_abort_terminates_the_thread(self):
-        # abort() must free the worker thread even with queued batches
-        # (regression: a full queue made the DONE marker a no-op and
-        # the daemon thread blocked on get() forever).
-        from repro.parallel.executor import _ThreadWorker
-        from repro.parallel.worker import WorkerTask
+    def test_thread_channel_stop_terminates_the_thread(self):
+        # stop() must free the worker thread even with queued batches
+        # (the epoch check drops stale work, so the STOP behind a
+        # backlog is reached quickly instead of never).
+        from repro.parallel import EngineSpec
+        from repro.service.protocol import MSG_BATCH, MSG_INIT, MSG_RESET
+        from repro.service.transport import ThreadChannel
 
         stream = keyed_stream(89, count=40)
         planned = plans_for(KEYED, stream, "GREEDY")
-        from repro.parallel import EngineSpec
 
-        worker = _ThreadWorker(WorkerTask(EngineSpec.from_planned(planned)))
-        worker.submit([(0, event) for event in stream])
-        worker.abort()
-        assert not worker._thread.is_alive()
+        channel = ThreadChannel(worker_id=0)
+        channel.send((MSG_INIT, EngineSpec.from_planned(planned)))
+        channel.send((MSG_RESET, 1, {"mode": "single"}))
+        channel.send((MSG_BATCH, 1, 0, [(0, event) for event in stream]))
+        # A stale-epoch batch must be dropped, not processed.
+        channel.send((MSG_BATCH, 0, 1, [(0, event) for event in stream]))
+        channel.stop()
+        assert not channel._thread.is_alive()
 
     def test_feeder_failure_aborts_without_deadlock(self):
         stream = keyed_stream(31, count=40)

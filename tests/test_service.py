@@ -1,0 +1,557 @@
+"""The always-on service runtime (:mod:`repro.service`).
+
+The load-bearing assertions are byte-identity ones: persistent
+sessions, incremental streaming (with its canonical-order safety
+frontier), socket-distributed shards, crash recovery, and the asyncio
+ingestor must all reproduce exactly the match records of the
+single-threaded interpreted engine.  Around those sit the mechanics:
+the epoch-stamped worker protocol, backpressure policies, and the
+cross-process snapshot round trip backing crash reseeding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import (
+    ParallelConfig,
+    ParallelError,
+    ParallelExecutor,
+    Stream,
+    build_engines,
+    canonical_order,
+    estimate_pattern_catalog,
+    parse_pattern,
+    plan_pattern,
+)
+from repro.errors import WorkerCrashError
+from repro.events import Event
+from repro.parallel import EngineSpec, match_records
+from repro.service import Ingestor, serve_in_thread
+from repro.service.protocol import (
+    MSG_BATCH,
+    MSG_FINISH,
+    MSG_INIT,
+    MSG_RESET,
+    REPLY_ACK,
+    REPLY_DONE,
+    WorkerState,
+)
+
+KEYED = "PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 1.5"
+THETA = "PATTERN SEQ(A a, B b, C c) WHERE a.v < b.v AND b.v < c.v WITHIN 0.9"
+NEG_TRAIL = "PATTERN SEQ(A a, B b, NOT(D d)) WHERE a.v < b.v WITHIN 1.2"
+
+
+def mixed_stream(seed: int, count: int = 300, keys: int = 5) -> Stream:
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(count):
+        t += rng.uniform(0.01, 0.09)
+        events.append(
+            Event(
+                rng.choice("ABCD"),
+                t,
+                {"k": rng.randrange(keys), "v": rng.random()},
+            )
+        )
+    return Stream(events)
+
+
+def plans_for(text: str, stream: Stream, algorithm: str = "GREEDY"):
+    pattern = parse_pattern(text)
+    catalog = estimate_pattern_catalog(pattern, stream)
+    return plan_pattern(pattern, catalog, algorithm=algorithm)
+
+
+def serial_records(planned, stream):
+    return match_records(canonical_order(build_engines(planned).run(stream)))
+
+
+class TestWorkerProtocol:
+    def runner_state(self, stream):
+        planned = plans_for(KEYED, stream)
+        state = WorkerState(worker_id=0)
+        assert state.handle((MSG_INIT, EngineSpec.from_planned(planned)))[0][
+            1
+        ] == "ready"
+        return state
+
+    def test_stale_epoch_batches_are_dropped_without_ack(self):
+        stream = mixed_stream(3, count=60)
+        state = self.runner_state(stream)
+        state.handle((MSG_RESET, 2, {"mode": "single"}))
+        entries = [(0, event) for event in stream]
+        assert state.handle((MSG_BATCH, 1, 0, entries)) == []  # stale
+        (reply,) = state.handle((MSG_BATCH, 2, 0, entries))
+        assert reply[1] == REPLY_ACK and reply[2][0] == 2
+        (done,) = state.handle((MSG_FINISH, 2))
+        assert done[1] == REPLY_DONE
+
+    def test_finish_at_wrong_epoch_is_an_error(self):
+        stream = mixed_stream(3, count=20)
+        state = self.runner_state(stream)
+        state.handle((MSG_RESET, 5, {"mode": "single"}))
+        with pytest.raises(RuntimeError, match="epoch"):
+            state.handle((MSG_FINISH, 4))
+
+    def test_acks_carry_incremental_matches_only(self):
+        stream = mixed_stream(11, count=200)
+        planned = plans_for(KEYED, stream)
+        state = self.runner_state(stream)
+        state.handle((MSG_RESET, 1, {"mode": "single"}))
+        events = list(stream)
+        collected = []
+        for start in (0, 100):
+            (ack,) = state.handle(
+                (
+                    MSG_BATCH,
+                    1,
+                    start,
+                    [(0, e) for e in events[start : start + 100]],
+                )
+            )
+            collected.extend(ack[2][2])
+        (done,) = state.handle((MSG_FINISH, 1))
+        collected.extend(done[2][1].matches)
+        assert match_records(canonical_order(collected)) == serial_records(
+            planned, stream
+        )
+        # The final result's metrics still count every kept match.
+        assert done[2][1].metrics.matches_emitted == len(collected)
+
+
+class TestPersistentSessions:
+    @pytest.mark.parametrize("backend", ("serial", "threads", "processes"))
+    def test_repeated_runs_reuse_the_worker_pool(self, backend):
+        stream = mixed_stream(7, count=250)
+        planned = plans_for(KEYED, stream)
+        expected = serial_records(planned, stream)
+        with ParallelExecutor(
+            planned,
+            ParallelConfig(
+                workers=2, partitioner="key", backend=backend, batch_size=64
+            ),
+        ) as executor:
+            first = executor.run(stream)
+            channels = list(executor.session().pool._channels)
+            second = executor.run(stream)
+            assert match_records(first) == expected
+            assert match_records(second) == expected
+            # Same channel objects: nothing was respawned between runs.
+            assert executor.session().pool._channels == channels
+            assert executor.metrics.worker_count == 2
+
+    def test_close_then_run_restarts_cleanly(self):
+        stream = mixed_stream(19, count=120)
+        planned = plans_for(KEYED, stream)
+        executor = ParallelExecutor(
+            planned,
+            ParallelConfig(workers=2, partitioner="key", backend="threads"),
+        )
+        assert match_records(executor.run(stream)) == serial_records(
+            planned, stream
+        )
+        executor.close()
+        assert match_records(executor.run(stream)) == serial_records(
+            planned, stream
+        )
+        executor.close()
+
+    def test_unpicklable_spec_reports_parallel_error(self):
+        stream = mixed_stream(23, count=40)
+        planned = plans_for(KEYED, stream)
+        executor = ParallelExecutor(
+            planned,
+            ParallelConfig(workers=2, partitioner="key", backend="processes"),
+        )
+        executor._spec.parts[0]["unpicklable"] = lambda: None
+        with pytest.raises(ParallelError, match="pickle"):
+            executor.run(stream)
+
+
+class TestSocketShards:
+    def test_loopback_shard_is_byte_identical(self):
+        stream = mixed_stream(31, count=250)
+        planned = plans_for(KEYED, stream)
+        server = serve_in_thread()  # 127.0.0.1, ephemeral port
+        try:
+            with ParallelExecutor(
+                planned,
+                ParallelConfig(
+                    workers=2,
+                    partitioner="key",
+                    backend="socket",
+                    shards=[server.address],
+                    batch_size=64,
+                ),
+            ) as executor:
+                matches = executor.run(stream)
+                assert match_records(matches) == serial_records(
+                    planned, stream
+                )
+                # Both workers multiplex onto the one loopback shard.
+                assert executor.metrics.worker_count == 2
+                again = executor.run(stream)
+                assert match_records(again) == match_records(matches)
+        finally:
+            server.close()
+
+    def test_workers_default_to_shard_count(self):
+        stream = mixed_stream(37, count=60)
+        planned = plans_for(KEYED, stream)
+        server = serve_in_thread()
+        try:
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(
+                    partitioner="key",
+                    backend="socket",
+                    shards=[server.address, server.address],
+                ),
+            )
+            assert executor.workers == 2
+            executor.close()
+        finally:
+            server.close()
+
+    def test_socket_backend_requires_shards(self):
+        with pytest.raises(ParallelError, match="shard"):
+            ParallelConfig(backend="socket")
+
+    def test_unreachable_shard_is_a_typed_crash(self):
+        stream = mixed_stream(41, count=30)
+        planned = plans_for(KEYED, stream)
+        executor = ParallelExecutor(
+            planned,
+            ParallelConfig(
+                workers=1,
+                partitioner="key",
+                backend="socket",
+                shards=[("127.0.0.1", 1)],  # nothing listens there
+            ),
+        )
+        with pytest.raises(WorkerCrashError):
+            executor.run(stream)
+
+
+class TestStreamingFrontier:
+    @pytest.mark.parametrize(
+        "text,partitioner,span",
+        (
+            (KEYED, "key", None),
+            (THETA, "window", 0.5),
+            (NEG_TRAIL, "window", 0.7),
+        ),
+        ids=("key", "window-theta", "window-negation"),
+    )
+    def test_incremental_feed_is_byte_identical_and_ordered(
+        self, text, partitioner, span
+    ):
+        stream = mixed_stream(43, count=400)
+        planned = plans_for(text, stream)
+        expected = serial_records(planned, stream)
+        with ParallelExecutor(
+            planned,
+            ParallelConfig(
+                workers=3,
+                partitioner=partitioner,
+                backend="threads",
+                batch_size=16,
+                span=span,
+            ),
+        ) as executor:
+            run = executor.session().stream()
+            events = list(stream)
+            out = []
+            for start in range(0, len(events), 29):
+                out.extend(run.feed(events[start : start + 29]))
+            early = len(out)
+            out.extend(run.finish())
+            assert match_records(out) == expected
+            # The frontier releases matches before the stream ends, and
+            # emission order IS canonical order (no trailing re-sort).
+            if len(out) > 10:
+                assert early > 0
+            assert run.metrics.worker_count == 3
+
+    def test_streaming_without_span_needs_explicit_config(self):
+        stream = mixed_stream(47, count=50)
+        planned = plans_for(THETA, stream)
+        with ParallelExecutor(
+            planned,
+            ParallelConfig(workers=2, partitioner="window", backend="serial"),
+        ) as executor:
+            with pytest.raises(ParallelError, match="span"):
+                executor.session().stream()
+
+    def test_empty_streaming_run_finishes_clean(self):
+        stream = mixed_stream(53, count=50)
+        planned = plans_for(THETA, stream)
+        with ParallelExecutor(
+            planned,
+            ParallelConfig(
+                workers=2, partitioner="window", backend="serial", span=0.5
+            ),
+        ) as executor:
+            run = executor.session().stream()
+            assert run.finish() == []
+            assert run.metrics.worker_count == 0
+
+
+class TestCrashRecovery:
+    def executor(self, planned, recovery):
+        return ParallelExecutor(
+            planned,
+            ParallelConfig(
+                workers=2,
+                partitioner="key",
+                backend="processes",
+                batch_size=32,
+                recovery=recovery,
+            ),
+        )
+
+    def kill_one_worker(self, session):
+        channel = session.pool._channels[0]
+        channel._process.kill()
+        channel._process.join()
+
+    def test_reseed_recovers_exactly_once(self):
+        stream = mixed_stream(59, count=400)
+        planned = plans_for(KEYED, stream)
+        expected = serial_records(planned, stream)
+        with self.executor(planned, "reseed") as executor:
+            run = executor.session().stream()
+            events = list(stream)
+            out = list(run.feed(events[:200]))
+            self.kill_one_worker(executor.session())
+            out.extend(run.feed(events[200:]))
+            out.extend(run.finish())
+            assert match_records(out) == expected
+
+    def test_fail_policy_surfaces_typed_error(self):
+        stream = mixed_stream(61, count=400)
+        planned = plans_for(KEYED, stream)
+        with self.executor(planned, "fail") as executor:
+            run = executor.session().stream()
+            events = list(stream)
+            run.feed(events[:200])
+            self.kill_one_worker(executor.session())
+            with pytest.raises(WorkerCrashError):
+                run.feed(events[200:])
+                run.finish()
+
+    def test_window_mode_crash_is_typed_even_with_reseed(self):
+        # Window slices cannot reseed (snapshots are single-engine);
+        # the crash must surface as the typed error, not hang or lose
+        # matches silently.
+        stream = mixed_stream(67, count=400)
+        planned = plans_for(THETA, stream)
+        with ParallelExecutor(
+            planned,
+            ParallelConfig(
+                workers=2,
+                partitioner="window",
+                backend="processes",
+                batch_size=32,
+                recovery="reseed",
+                span=0.5,
+            ),
+        ) as executor:
+            run = executor.session().stream()
+            events = list(stream)
+            run.feed(events[:200])
+            self.kill_one_worker(executor.session())
+            with pytest.raises(WorkerCrashError):
+                run.feed(events[200:])
+                run.finish()
+
+    def test_crash_after_all_acks_recovers_via_window_log(self):
+        # Kill after the whole stream is acked but before FINISH: the
+        # respawned worker is rebuilt purely from the seed log.
+        stream = mixed_stream(71, count=300)
+        planned = plans_for(KEYED, stream)
+        expected = serial_records(planned, stream)
+        with self.executor(planned, "reseed") as executor:
+            run = executor.session().stream()
+            out = list(run.feed(list(stream)))
+            pool = executor.session().pool
+            # Drain until nothing is in flight, then kill.
+            for worker_id in range(pool.workers):
+                pool._pump(
+                    worker_id,
+                    lambda worker_id=worker_id: not pool._unacked[worker_id],
+                )
+            self.kill_one_worker(executor.session())
+            out.extend(run.finish())
+            assert match_records(out) == expected
+
+
+class TestIngestor:
+    def test_async_ingestion_is_byte_identical(self):
+        stream = mixed_stream(73, count=300)
+        planned = plans_for(KEYED, stream)
+        expected = serial_records(planned, stream)
+
+        async def main():
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(
+                    workers=2,
+                    partitioner="key",
+                    backend="threads",
+                    batch_size=32,
+                ),
+            )
+            got = []
+            async with Ingestor(
+                executor, flush_events=64, flush_seconds=0.01
+            ) as ingestor:
+                async def consume():
+                    async for match in ingestor.matches():
+                        got.append(match)
+
+                consumer = asyncio.create_task(consume())
+                for event in stream:
+                    assert await ingestor.put(event)
+                await ingestor.close()
+                await consumer
+            assert match_records(got) == expected
+            assert ingestor.shed == 0
+            assert ingestor.events_in == len(stream)
+            # Every emitted match carries an arrival-stamped latency.
+            assert len(ingestor.metrics.detection_latency) == len(got)
+            assert ingestor.metrics.detection_latency.p95 >= 0.0
+            executor.close()
+
+        asyncio.run(main())
+
+    def test_shed_policy_drops_and_counts_instead_of_blocking(self):
+        stream = mixed_stream(79, count=200)
+        planned = plans_for(KEYED, stream)
+
+        async def main():
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(
+                    workers=1, partitioner="key", backend="serial"
+                ),
+            )
+            async with Ingestor(
+                executor,
+                max_pending=4,
+                backpressure="shed",
+                flush_events=256,
+                flush_seconds=5.0,
+            ) as ingestor:
+                # Flood without yielding: the pump cannot drain between
+                # puts, so the bounded queue must shed the overflow.
+                accepted = 0
+                for event in stream:
+                    accepted += await ingestor.put(event)
+                await ingestor.close()
+                assert ingestor.shed > 0
+                assert accepted + ingestor.shed == len(stream)
+                assert ingestor.events_in == accepted
+            executor.close()
+
+        asyncio.run(main())
+
+    def test_out_of_order_timestamps_are_rejected(self):
+        stream = mixed_stream(83, count=20)
+        planned = plans_for(KEYED, stream)
+
+        async def main():
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(workers=1, partitioner="key", backend="serial"),
+            )
+            async with Ingestor(executor) as ingestor:
+                await ingestor.put(Event("A", 5.0, {"k": 1, "v": 0.5}))
+                with pytest.raises(Exception, match="arrives before"):
+                    await ingestor.put(Event("B", 1.0, {"k": 1, "v": 0.5}))
+                await ingestor.close()
+            executor.close()
+
+        asyncio.run(main())
+
+
+class TestSnapshotCrossProcess:
+    """EngineSnapshot pickled into a fresh OS process and reseeded
+    there must continue exactly where the donor stopped — including
+    negation buffers and pending (deferred) matches."""
+
+    @pytest.mark.parametrize("algorithm", ("GREEDY", "ZSTREAM"))
+    def test_pickle_seed_roundtrip_in_new_process(self, tmp_path, algorithm):
+        stream = mixed_stream(89, count=400)
+        planned = plans_for(NEG_TRAIL, stream, algorithm)
+        events = list(stream)
+
+        # Pick a cut where matches are actually pending (a completed
+        # SEQ(A, B) still waiting out its negation window), so the round
+        # trip exercises the deferred-state machinery, not just buffers.
+        donor = build_engines(planned)
+        cut = None
+        for index, event in enumerate(events[:300]):
+            donor.process(event)
+            if index >= 150 and donor.export_state().pending:
+                cut = index + 1
+                break
+        assert cut is not None, "no cut point had pending matches"
+        snapshot = donor.export_state()
+        tail = events[cut:]
+        assert snapshot.pending
+        assert any(e.type == "D" for e in snapshot.events)
+
+        expected = []
+        for event in tail:
+            expected.extend(donor.process(event))
+        expected.extend(donor.finalize())
+
+        payload = tmp_path / "snapshot.pkl"
+        outcome = tmp_path / "records.pkl"
+        with open(payload, "wb") as fh:
+            pickle.dump(
+                {
+                    "spec": EngineSpec.from_planned(planned),
+                    "snapshot": snapshot,
+                    "tail": tail,
+                },
+                fh,
+            )
+        script = (
+            "import pickle, sys\n"
+            "from repro.parallel.ordering import match_records\n"
+            "with open(sys.argv[1], 'rb') as fh:\n"
+            "    data = pickle.load(fh)\n"
+            "engine = data['spec'].build()\n"
+            "engine.seed_from(data['snapshot'])\n"
+            "matches = []\n"
+            "for event in data['tail']:\n"
+            "    matches.extend(engine.process(event))\n"
+            "matches.extend(engine.finalize())\n"
+            "with open(sys.argv[2], 'wb') as fh:\n"
+            "    pickle.dump(match_records(matches), fh)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(payload), str(outcome)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        with open(outcome, "rb") as fh:
+            records = pickle.load(fh)
+        assert records == match_records(expected)

@@ -471,3 +471,96 @@ class TestBufferRangeProbes:
         assert run_entries < 4 * len(buffer) + 256, (
             f"{run_entries} run entries against {len(buffer)} live events"
         )
+
+
+class TestBucketSweep:
+    """Per-bucket tombstone sweeps (probe-time, physical-only)."""
+
+    def make(self):
+        store = PartialMatchStore()
+        index = store.add_index(make_key_fn((("a", "x"),)))
+        return store, index
+
+    def bucket(self, store, index, key):
+        return store._indexes[index].buckets[key]
+
+    def fill(self, store, count, key=0):
+        pms = [
+            pm_of("a", ev("A", float(i), i, x=key)) for i in range(count)
+        ]
+        for pm in pms:
+            store.insert(pm)
+        return pms
+
+    def test_expiry_counts_dead_per_bucket_and_probe_sweeps(self):
+        store, index = self.make()
+        pms = self.fill(store, 20)
+        # Expire 12 (>= _BUCKET_MIN_DEAD and at least half the bucket)
+        # but stay far below the global compaction threshold of 64.
+        store.expire(12.0)
+        bucket = self.bucket(store, index, (0,))
+        assert bucket.dead == 12
+        assert len(bucket.pms) == 20  # tombstoned, not yet removed
+        got = list(store.probe(index, (0,), 99))
+        assert got == pms[12:]  # answers unchanged by the sweep...
+        assert len(bucket.pms) == 8  # ...but the tombstones are gone
+        assert bucket.dead == 0
+
+    def test_small_dead_counts_do_not_trigger_a_sweep(self):
+        store, index = self.make()
+        pms = self.fill(store, 20)
+        for pm in pms[:5]:  # below _BUCKET_MIN_DEAD
+            store.discard(pm)
+        list(store.probe(index, (0,), 99))
+        bucket = self.bucket(store, index, (0,))
+        assert len(bucket.pms) == 20 and bucket.dead == 5
+
+    def test_unprobed_buckets_keep_their_tombstones(self):
+        store, index = self.make()
+        hot = self.fill(store, 20, key=0)
+        cold = [
+            pm_of("a", ev("A", float(i), 100 + i, x=1)) for i in range(20)
+        ]
+        for pm in cold:
+            store.insert(pm)
+        for pm in hot[:12] + cold[:12]:
+            store.discard(pm)
+        list(store.probe(index, (0,), 999))
+        assert len(self.bucket(store, index, (0,)).pms) == 8
+        # The cold bucket was never probed: sweep cost is only ever
+        # paid by the keys that are actually hot.
+        assert len(self.bucket(store, index, (1,)).pms) == 20
+        assert self.bucket(store, index, (1,)).dead == 12
+
+    def test_sweep_preserves_range_runs(self):
+        from repro.engines.stores import make_value_fn
+
+        store = PartialMatchStore()
+        index = store.add_index(
+            make_key_fn((("a", "x"),)),
+            value_of=make_value_fn(("a", "v")),
+            op="<",
+        )
+        pms = [
+            pm_of("a", ev("A", float(i), i, x=0, v=float(i % 7)))
+            for i in range(20)
+        ]
+        for pm in pms:
+            store.insert(pm)
+        for pm in pms[:12]:
+            store.discard(pm)
+        expected = [
+            pm for pm in pms[12:] if pm.bindings["a"]["v"] < 4.0
+        ]
+        got = list(store.probe(index, (0,), 999, bound=4.0))
+        assert got == expected
+        bucket = store._indexes[index].buckets[(0,)]
+        assert len(bucket.pms) == 8 and len(bucket.rvals) == 8
+        # A second probe after the sweep answers identically.
+        assert list(store.probe(index, (0,), 999, bound=4.0)) == expected
+
+    def test_purge_seqs_feeds_the_bucket_counters(self):
+        store, index = self.make()
+        self.fill(store, 20)
+        store.purge_seqs(frozenset(range(10)))
+        assert self.bucket(store, index, (0,)).dead == 10
