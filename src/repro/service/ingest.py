@@ -96,6 +96,8 @@ class Ingestor:
         self._outq: Optional[asyncio.Queue] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._put_lock: Optional[asyncio.Lock] = None
+        self._busy: Optional[asyncio.Future] = None
         self._failure: Optional[BaseException] = None
         self._closing = False
         self._next_seq = 0
@@ -110,6 +112,7 @@ class Ingestor:
         self._loop = asyncio.get_running_loop()
         self._inq = asyncio.Queue(maxsize=self._max_pending)
         self._outq = asyncio.Queue()
+        self._put_lock = asyncio.Lock()
         self._pump_task = self._loop.create_task(self._pump())
         return self
 
@@ -133,39 +136,61 @@ class Ingestor:
     async def __aexit__(self, exc_type, exc, tb) -> None:
         if exc_type is None and not self._closing:
             await self.close()
-        elif self._pump_task is not None and not self._pump_task.done():
+            return
+        task = self._pump_task
+        if task is not None and not task.done():
             self._closing = True
-            self._pump_task.cancel()
+            task.cancel()
+            # Await the cancellation so the pump's abort path runs to
+            # completion (in-flight executor feed waited out, stream
+            # run closed) and the CancelledError is retrieved instead
+            # of surfacing as a destroyed-task warning.
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass  # the body's exception is already propagating
 
     # -- producing -----------------------------------------------------------
     async def put(self, event: Event) -> bool:
-        """Admit one event; returns False when the shed policy drops it."""
+        """Admit one event; returns False when the shed policy drops it.
+
+        Safe to call from several producer coroutines: admission is
+        serialized by a lock, so each accepted event gets a unique
+        sequence number and the timestamp-order check sees a
+        consistent frontier.
+        """
         if self._pump_task is None:
             raise ParallelError("ingestor was never started")
         if self._closing:
             raise ParallelError("ingestor is closed")
         if self._failure is not None:
             raise self._failure
-        if event.timestamp < self._last_ts:
-            raise StreamOrderError(
-                f"event {event!r} arrives before timestamp {self._last_ts}; "
-                "the ingestor requires non-decreasing timestamps"
-            )
-        stamped = event.with_seq(self._next_seq)
-        item = (stamped, time.perf_counter())
-        if self._policy == "shed":
-            try:
-                self._inq.put_nowait(item)
-            except asyncio.QueueFull:
-                self.shed += 1
-                return False
-        else:
-            await self._inq.put(item)
-        # Stamp only after admission: a shed event must not burn a
-        # sequence number, or the frontier math would wait on it.
-        self._next_seq += 1
-        self._last_ts = event.timestamp
-        return True
+        async with self._put_lock:
+            if self._closing:
+                raise ParallelError("ingestor is closed")
+            if event.timestamp < self._last_ts:
+                raise StreamOrderError(
+                    f"event {event!r} arrives before timestamp "
+                    f"{self._last_ts}; the ingestor requires "
+                    "non-decreasing timestamps"
+                )
+            stamped = event.with_seq(self._next_seq)
+            item = (stamped, time.perf_counter())
+            if self._policy == "shed":
+                try:
+                    self._inq.put_nowait(item)
+                except asyncio.QueueFull:
+                    self.shed += 1
+                    return False
+            else:
+                await self._inq.put(item)
+            # Stamp only after admission: a shed (or cancelled) event
+            # must not burn a sequence number, or the frontier math
+            # would wait on it.  The lock makes stamp-after-await
+            # sound — no other producer can slip in between.
+            self._next_seq += 1
+            self._last_ts = event.timestamp
+            return True
 
     async def put_many(self, events: Iterable[Event]) -> int:
         """Admit events in order; returns how many were accepted."""
@@ -213,10 +238,41 @@ class Ingestor:
     async def _pump(self) -> None:
         try:
             await self._pump_loop()
+        except asyncio.CancelledError:
+            await self._abort()
+            raise
         except BaseException as error:  # noqa: BLE001 — relayed to consumers
             self._failure = error
             self._outq.put_nowait(_Failure(error))
             raise
+
+    async def _abort(self) -> None:
+        """Quiesce after cancellation: wait out the feed still running
+        on its executor thread, then close the stream run so the pool
+        is left cleanly between runs (released matches are dropped —
+        the consumer abandoned the run)."""
+        future, self._busy = self._busy, None
+        if future is not None:
+            try:
+                await asyncio.shield(future)
+            except Exception:  # noqa: BLE001 — aborting anyway
+                pass
+        if not self._stream.finished:
+            try:
+                await self._loop.run_in_executor(None, self._stream.finish)
+            except Exception:  # noqa: BLE001 — aborting anyway
+                pass
+        self._outq.put_nowait(_EOS)
+
+    async def _offload(self, func, *args):
+        """Run session work on the executor, shielded: cancelling the
+        pump must never abandon a half-done feed — :meth:`_abort`
+        waits it out via :attr:`_busy` instead."""
+        future = self._loop.run_in_executor(None, func, *args)
+        self._busy = future
+        result = await asyncio.shield(future)
+        self._busy = None
+        return result
 
     async def _pump_loop(self) -> None:
         events: list = []
@@ -241,9 +297,7 @@ class Ingestor:
                     continue
             if item is _EOS:
                 await self._flush(events, arrivals)
-                final = await self._loop.run_in_executor(
-                    None, self._stream.finish
-                )
+                final = await self._offload(self._stream.finish)
                 for match in final:
                     self._outq.put_nowait(match)
                 self._outq.put_nowait(_EOS)
@@ -260,8 +314,6 @@ class Ingestor:
     async def _flush(self, events: list, arrivals: list) -> None:
         if not events:
             return
-        released = await self._loop.run_in_executor(
-            None, self._stream.feed, events, arrivals
-        )
+        released = await self._offload(self._stream.feed, events, arrivals)
         for match in released:
             self._outq.put_nowait(match)

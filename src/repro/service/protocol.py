@@ -178,3 +178,43 @@ def _recv_exact(sock, n: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for timeout-bounded socket reads.
+
+    :func:`recv_frame` is only safe on a blocking socket: a timeout
+    firing after it has consumed part of a frame would lose those bytes
+    and desynchronize the stream.  A decoder instead accumulates
+    whatever bytes have arrived (:meth:`feed`) and hands back a frame
+    only once it is whole (:meth:`next_frame`), so a partially-received
+    frame simply waits in the buffer for the next read.  Protocol
+    frames are tuples, never ``None``, so ``None`` unambiguously means
+    "incomplete".
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when buffered bytes form only part of a frame — an EOF
+        now means the peer died mid-send, not a clean close."""
+        return len(self._buffer) > 0
+
+    def next_frame(self) -> Optional[Tuple]:
+        buffer = self._buffer
+        if len(buffer) < _LENGTH.size:
+            return None
+        (length,) = _LENGTH.unpack(bytes(buffer[: _LENGTH.size]))
+        if length > MAX_FRAME_BYTES:
+            raise EOFError(f"frame length {length} exceeds the 1 GiB cap")
+        end = _LENGTH.size + length
+        if len(buffer) < end:
+            return None
+        blob = bytes(buffer[_LENGTH.size:end])
+        del buffer[:end]
+        return pickle.loads(blob)

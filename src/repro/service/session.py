@@ -713,6 +713,11 @@ class SessionStream:
         return out
 
     @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has closed the run."""
+        return self._finished
+
+    @property
     def throughput(self) -> float:
         """Sustained input events per second of wall time so far."""
         if self._wall_started is None:

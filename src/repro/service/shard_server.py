@@ -34,7 +34,14 @@ import threading
 import traceback
 from typing import Optional, Tuple
 
-from .protocol import MSG_STOP, WorkerState, message_epoch, recv_frame, send_frame
+from .protocol import (
+    MSG_STOP,
+    REPLY_ERROR,
+    WorkerState,
+    message_epoch,
+    recv_frame,
+    send_frame,
+)
 
 
 class ShardServer:
@@ -74,7 +81,28 @@ class ShardServer:
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
             hello = recv_frame(conn)
-            worker_id = hello[1] if hello and hello[0] == "hello" else 0
+            if (
+                not isinstance(hello, tuple)
+                or len(hello) != 2
+                or hello[0] != "hello"
+            ):
+                # A protocol-mismatched driver must get a loud, typed
+                # rejection — silently consuming its first message
+                # would leave it hanging for a READY that never comes.
+                send_frame(
+                    conn,
+                    (
+                        0,
+                        REPLY_ERROR,
+                        (
+                            None,
+                            "protocol mismatch: expected a "
+                            f"('hello', worker_id) handshake, got {hello!r}",
+                        ),
+                    ),
+                )
+                return
+            worker_id = hello[1]
             state = WorkerState(worker_id)
             while not state.stopped:
                 message = recv_frame(conn)

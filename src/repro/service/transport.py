@@ -27,16 +27,18 @@ from __future__ import annotations
 
 import os
 import queue
+import select
 import socket as socket_module
 import threading
+import time
 import traceback
 from typing import Optional, Tuple
 
 from .protocol import (
     MSG_STOP,
+    FrameDecoder,
     WorkerState,
     message_epoch,
-    recv_frame,
     send_frame,
 )
 
@@ -241,6 +243,12 @@ class SocketChannel:
             raise TransportDead(
                 f"cannot reach shard {address[0]}:{address[1]}: {error}"
             ) from error
+        # Partial-frame bytes survive here across recv() timeouts: a
+        # frame whose header arrived but whose payload is still in
+        # flight must never be abandoned, or the next read would treat
+        # mid-payload bytes as a fresh length prefix and desynchronize
+        # the whole stream.
+        self._decoder = FrameDecoder()
         self._closed = False
 
     def send(self, message: Tuple) -> None:
@@ -255,13 +263,32 @@ class SocketChannel:
 
     def recv(self, timeout: Optional[float] = None) -> Optional[Tuple]:
         try:
-            self._sock.settimeout(timeout if timeout else 0.000001)
-            try:
-                return recv_frame(self._sock)
-            finally:
-                self._sock.settimeout(None)
-        except socket_module.timeout:
-            return None
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                return frame
+            deadline = (
+                time.monotonic() + timeout
+                if timeout is not None and timeout > 0
+                else None
+            )
+            while True:
+                wait = 0.0
+                if deadline is not None:
+                    wait = max(0.0, deadline - time.monotonic())
+                readable, _, _ = select.select([self._sock], [], [], wait)
+                if not readable:
+                    return None  # timed out; buffered bytes are kept
+                chunk = self._sock.recv(65536)
+                if not chunk:
+                    raise EOFError(
+                        "connection closed mid-frame"
+                        if self._decoder.mid_frame
+                        else "connection closed"
+                    )
+                self._decoder.feed(chunk)
+                frame = self._decoder.next_frame()
+                if frame is not None:
+                    return frame
         except (EOFError, OSError) as error:
             self._closed = True
             raise TransportDead(

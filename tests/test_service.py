@@ -15,6 +15,8 @@ import asyncio
 import os
 import pickle
 import random
+import socket
+import struct
 import subprocess
 import sys
 
@@ -42,8 +44,13 @@ from repro.service.protocol import (
     MSG_RESET,
     REPLY_ACK,
     REPLY_DONE,
+    REPLY_ERROR,
+    FrameDecoder,
     WorkerState,
+    recv_frame,
+    send_frame,
 )
+from repro.service.transport import SocketChannel
 
 KEYED = "PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 1.5"
 THETA = "PATTERN SEQ(A a, B b, C c) WHERE a.v < b.v AND b.v < c.v WITHIN 0.9"
@@ -240,6 +247,93 @@ class TestSocketShards:
         )
         with pytest.raises(WorkerCrashError):
             executor.run(stream)
+
+    def test_non_hello_first_frame_is_rejected_loudly(self):
+        # A protocol-mismatched driver must get a typed ERROR reply and
+        # a closed connection, not lose its first message and hang
+        # waiting for a READY that never comes.
+        server = serve_in_thread()
+        try:
+            conn = socket.create_connection(server.address, timeout=5.0)
+            try:
+                send_frame(conn, (MSG_INIT, b"not a hello"))
+                reply = recv_frame(conn)
+                assert reply[1] == REPLY_ERROR
+                assert "hello" in reply[2][1]
+                with pytest.raises(EOFError):
+                    recv_frame(conn)  # server closed the connection
+            finally:
+                conn.close()
+        finally:
+            server.close()
+
+
+class TestSocketFraming:
+    """A recv() timeout must never desynchronize the frame stream:
+    bytes of a partially-received frame stay buffered on the channel
+    until the rest arrives (frames cross TCP segment boundaries on
+    real networks even though loopback usually delivers them whole)."""
+
+    @staticmethod
+    def raw_frame(payload: object) -> bytes:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return struct.pack(">I", len(blob)) + blob
+
+    def test_frame_decoder_reassembles_byte_by_byte(self):
+        frames = [("hello", 3), (0, REPLY_ACK, (1, 2, ["m"] * 10))]
+        blob = b"".join(self.raw_frame(frame) for frame in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(blob)):
+            decoder.feed(blob[i : i + 1])
+            while True:
+                frame = decoder.next_frame()
+                if frame is None:
+                    break
+                out.append(frame)
+        assert out == frames
+        assert not decoder.mid_frame
+
+    def test_frame_decoder_refuses_oversized_lengths(self):
+        decoder = FrameDecoder()
+        decoder.feed(struct.pack(">I", (1 << 30) + 1))
+        with pytest.raises(EOFError, match="exceeds"):
+            decoder.next_frame()
+
+    def test_partial_frames_survive_recv_timeouts(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        channel = None
+        conn = None
+        try:
+            channel = SocketChannel(listener.getsockname()[:2], worker_id=0)
+            conn, _ = listener.accept()
+            assert recv_frame(conn) == ("hello", 0)
+            first = self.raw_frame((0, "ready", None))
+            ack = (0, REPLY_ACK, (1, 0, list(range(200))))
+            second = self.raw_frame(ack)
+            # Header plus two payload bytes: the timeout fires mid-frame
+            # and those bytes must be kept, not discarded.
+            conn.sendall(first[:6])
+            assert channel.recv(timeout=0.05) is None
+            # Finish frame 1 and start frame 2 in the same segment.
+            conn.sendall(first[6:] + second[:9])
+            assert channel.recv(timeout=2.0) == (0, "ready", None)
+            assert channel.recv(timeout=0.05) is None  # frame 2 partial
+            conn.sendall(second[9:])
+            assert channel.recv(timeout=2.0) == ack
+            # The stream is still in sync for whole frames after all
+            # that fragmentation.
+            send_frame(conn, (0, "done", "x"))
+            assert channel.recv(timeout=2.0) == (0, "done", "x")
+            assert channel.recv(timeout=0.0) is None  # clean poll
+        finally:
+            if channel is not None:
+                channel.kill()
+            if conn is not None:
+                conn.close()
+            listener.close()
 
 
 class TestStreamingFrontier:
@@ -479,6 +573,86 @@ class TestIngestor:
                 with pytest.raises(Exception, match="arrives before"):
                     await ingestor.put(Event("B", 1.0, {"k": 1, "v": 0.5}))
                 await ingestor.close()
+            executor.close()
+
+        asyncio.run(main())
+
+    def test_concurrent_producers_get_unique_sequence_numbers(self):
+        # put() is documented as multi-producer safe: admission is
+        # serialized, so no two accepted events may share a sequence
+        # number (duplicates would corrupt the frontier math).
+        stream = mixed_stream(97, count=30)
+        planned = plans_for(KEYED, stream)
+        per_producer, producers = 60, 4
+
+        async def main():
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(workers=2, partitioner="key", backend="serial"),
+            )
+            async with Ingestor(
+                executor, max_pending=8, flush_events=16, flush_seconds=0.005
+            ) as ingestor:
+                fed_seqs = []
+                real_feed = ingestor._stream.feed
+
+                def spying_feed(events, arrivals=None):
+                    fed_seqs.extend(event.seq for event in events)
+                    return real_feed(events, arrivals)
+
+                ingestor._stream.feed = spying_feed
+
+                async def produce(worker):
+                    for i in range(per_producer):
+                        # Equal timestamps keep every interleaving
+                        # non-decreasing; the bounded queue forces the
+                        # blocking awaits the old race needed.
+                        await ingestor.put(
+                            Event("A", 1.0, {"k": worker, "v": 0.5})
+                        )
+
+                await asyncio.gather(
+                    *(produce(worker) for worker in range(producers))
+                )
+                await ingestor.close()
+                total = per_producer * producers
+                assert ingestor.events_in == total
+                assert sorted(fed_seqs) == list(range(total))
+            executor.close()
+
+        asyncio.run(main())
+
+    def test_exception_in_body_tears_down_pump_and_run(self):
+        # __aexit__ on an exception must await the cancelled pump (no
+        # destroyed-task warnings, no feed left running on an executor
+        # thread) and close the stream run so the pool is reusable.
+        stream = mixed_stream(101, count=120)
+        planned = plans_for(KEYED, stream)
+
+        async def main():
+            executor = ParallelExecutor(
+                planned,
+                ParallelConfig(
+                    workers=2, partitioner="key", backend="threads"
+                ),
+            )
+            holder = {}
+            with pytest.raises(RuntimeError, match="boom"):
+                async with Ingestor(
+                    executor, flush_events=8, flush_seconds=0.005
+                ) as ingestor:
+                    holder["ingestor"] = ingestor
+                    for event in list(stream)[:60]:
+                        await ingestor.put(event)
+                    await asyncio.sleep(0.02)
+                    raise RuntimeError("boom")
+            ingestor = holder["ingestor"]
+            assert ingestor._pump_task.done()
+            assert ingestor._stream.finished
+            # The abandoned run was closed cleanly: the same session
+            # pool serves a fresh full run with correct output.
+            matches = executor.run(stream)
+            assert match_records(matches) == serial_records(planned, stream)
             executor.close()
 
         asyncio.run(main())
