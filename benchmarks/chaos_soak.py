@@ -1,0 +1,203 @@
+"""Seeded chaos soak: randomized fault plans, byte-identity every round.
+
+Each round draws a fault schedule from a seeded RNG — worker kills,
+torn socket writes, freezes, reply delays, shard-server crashes at
+random batch positions — runs the keyed workload through the process
+and socket backends under that schedule, and asserts the recovered
+output is byte-identical to the interpreted single-threaded run.  The
+machine-readable fault log of every firing is written to
+``benchmarks/results/chaos_soak.json`` (the artifact CI uploads), so a
+failing seed is replayable verbatim: the same seed composes the same
+plans and fires the same faults at the same protocol steps.
+
+Run:  python benchmarks/chaos_soak.py --rounds 5 --seed 0
+      REPRO_BENCH_SMOKE=1 python benchmarks/chaos_soak.py   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    FaultPlan,
+    ParallelConfig,
+    ParallelExecutor,
+    Stream,
+    build_engines,
+    canonical_order,
+    estimate_pattern_catalog,
+    parse_pattern,
+    plan_pattern,
+    serve_in_thread,
+)
+from repro.events import Event
+from repro.parallel import match_records
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+KEYED = "PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN 1.5"
+
+
+def make_stream(count: int, seed: int) -> Stream:
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(count):
+        t += rng.uniform(0.01, 0.09)
+        events.append(
+            Event(
+                rng.choice("ABCD"),
+                t,
+                {"k": rng.randrange(5), "v": rng.random()},
+            )
+        )
+    return Stream(events)
+
+
+def compose_plan(seed: int, max_batch: int, server_faults: bool) -> FaultPlan:
+    """Draw a randomized fault schedule from the plan's seeded RNG."""
+    plan = FaultPlan(seed=seed)
+    rng = plan.rng
+    kinds = ["kill", "tear", "freeze", "delay"]
+    if server_faults:
+        kinds.append("server_crash")
+    for kind in rng.sample(kinds, k=rng.randint(1, 2)):
+        worker = rng.randrange(2)
+        batch = rng.randint(1, max_batch)
+        if kind == "kill":
+            plan.kill_worker(worker, at_batch=batch)
+        elif kind == "tear":
+            plan.tear_send(worker, at_batch=batch, tear_bytes=rng.randint(0, 40))
+        elif kind == "freeze":
+            plan.freeze_worker(worker, at_batch=batch)
+        elif kind == "delay":
+            plan.delay_replies(worker, seconds=rng.uniform(0.05, 0.3), at_batch=batch)
+        else:
+            plan.crash_server(after_batches=batch)
+    return plan
+
+
+def chaos_run(planned, stream, config) -> list:
+    with ParallelExecutor(planned, config) as executor:
+        run = executor.session().stream()
+        events = list(stream)
+        out = list(run.feed(events[: len(events) // 2]))
+        out.extend(run.feed(events[len(events) // 2:]))
+        out.extend(run.finish())
+        return match_records(out), run.metrics
+
+
+def soak(rounds: int, events: int, seed: int) -> dict:
+    stream = make_stream(events, seed)
+    pattern = parse_pattern(KEYED)
+    catalog = estimate_pattern_catalog(pattern, stream)
+    planned = plan_pattern(pattern, catalog, algorithm="GREEDY")
+    expected = match_records(
+        canonical_order(build_engines(planned).run(stream))
+    )
+    base = dict(
+        workers=2,
+        partitioner="key",
+        batch_size=16,
+        recovery="reseed",
+        heartbeat_seconds=0.1,
+        liveness_seconds=0.6,
+        connect_attempts=3,
+        reconnect_attempts=4,
+        backoff_base=0.02,
+        backoff_max=0.2,
+        degradation="local",
+    )
+    report = {"seed": seed, "rounds": [], "failures": 0}
+    for round_id in range(rounds):
+        round_seed = seed * 1_000 + round_id
+        entry = {"round": round_id, "seed": round_seed, "backends": {}}
+
+        # Process backend: no server faults (no server to crash).
+        plan = compose_plan(round_seed, max_batch=5, server_faults=False)
+        started = time.perf_counter()
+        records, metrics = chaos_run(
+            planned, stream, ParallelConfig(backend="processes", fault_plan=plan, **base)
+        )
+        entry["backends"]["processes"] = {
+            "identical": records == expected,
+            "seconds": round(time.perf_counter() - started, 3),
+            "fault_log": plan.log,
+            "counters": {
+                "worker_crashes": metrics.worker_crashes,
+                "worker_reseeds": metrics.worker_reseeds,
+                "heartbeats_missed": metrics.heartbeats_missed,
+                "send_retries": metrics.send_retries,
+            },
+        }
+
+        # Socket backend: the full menu, including shard-server death
+        # (the degradation circuit breaker absorbs an unrestarted one).
+        plan = compose_plan(round_seed + 500, max_batch=5, server_faults=True)
+        server = serve_in_thread(fault_plan=plan)
+        started = time.perf_counter()
+        try:
+            records, metrics = chaos_run(
+                planned,
+                stream,
+                ParallelConfig(
+                    backend="socket",
+                    shards=[server.address],
+                    fault_plan=plan,
+                    **base,
+                ),
+            )
+        finally:
+            server.kill()
+        entry["backends"]["socket"] = {
+            "identical": records == expected,
+            "seconds": round(time.perf_counter() - started, 3),
+            "fault_log": plan.log,
+            "counters": {
+                "worker_crashes": metrics.worker_crashes,
+                "socket_reconnects": metrics.socket_reconnects,
+                "shards_degraded": metrics.shards_degraded,
+                "heartbeats_missed": metrics.heartbeats_missed,
+            },
+        }
+        for backend, result in entry["backends"].items():
+            status = "ok" if result["identical"] else "DIVERGED"
+            fired = [f["action"] for f in result["fault_log"]]
+            print(
+                f"round {round_id} {backend:>9}: {status}  "
+                f"faults={fired or ['none fired']}  "
+                f"{result['seconds']}s",
+                flush=True,
+            )
+            if not result["identical"]:
+                report["failures"] += 1
+        report["rounds"].append(entry)
+    return report
+
+
+def main(argv=None) -> int:
+    smoke = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=1 if smoke else 5)
+    parser.add_argument("--events", type=int, default=300 if smoke else 600)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = soak(args.rounds, args.events, args.seed)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = RESULTS_DIR / "chaos_soak.json"
+    artifact.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nfault log artifact: {artifact}")
+    if report["failures"]:
+        print(f"{report['failures']} round(s) DIVERGED", file=sys.stderr)
+        return 1
+    print(f"all {args.rounds} round(s) byte-identical after recovery")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

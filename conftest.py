@@ -1,0 +1,80 @@
+"""Root pytest configuration: per-test timeout enforcement.
+
+CI installs `pytest-timeout` and drives the per-test cap through the
+``timeout`` ini option in ``pyproject.toml`` — a hung test (exactly
+what the fault-tolerance suite exists to prevent) fails loudly instead
+of stalling the whole job.
+
+Environments without the plugin (the dependency-frozen dev container)
+get the fallback shim below: a SIGALRM-based cap honoring the same
+``timeout`` ini option and ``@pytest.mark.timeout(N)`` marks.  The shim
+registers the ini option itself only when the plugin is absent, so the
+two never fight over the registration.  SIGALRM only interrupts the
+main thread, so the shim cannot cancel a test stuck in C code or on a
+worker thread — `pytest-timeout`'s thread-based canceller remains the
+real enforcement in CI; the shim is best-effort parity for local runs.
+
+This file must sit at the repository root: ``pytest_addoption`` /
+``addini`` hooks only run from initial conftests, and the benchmarks
+directory is a pytest rootdir of its own for perf runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import pytest
+
+_HAVE_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if _HAVE_PLUGIN:
+        return  # pytest-timeout owns the option
+    parser.addini(
+        "timeout",
+        "per-test timeout in seconds (fallback shim; 0 disables)",
+        default="0",
+    )
+
+
+def _limit_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+if not _HAVE_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        limit = _limit_for(item)
+        if limit <= 0:
+            yield
+            return
+
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {limit:g}s timeout (fallback shim)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout cap (pytest-timeout, or the "
+        "root-conftest SIGALRM shim when the plugin is absent)",
+    )

@@ -83,8 +83,15 @@ bounded-queue backpressure, and distributes shards over TCP::
             ...
 
 Worker crashes surface as :class:`~repro.errors.WorkerCrashError` or
-are transparently recovered with ``ParallelConfig(recovery="reseed")``;
-the latency sweep is ``benchmarks/bench_fig25_service_latency.py``.
+are transparently recovered with ``ParallelConfig(recovery="reseed")``:
+heartbeat liveness unmasks frozen workers, socket shards re-dial with
+exponential backoff and re-handshake, and exhausted reconnection can
+degrade a shard to a local worker (``degradation="local"``) — every
+path preserving byte-identical output.  Failures are injectable on
+demand with :class:`~repro.service.FaultPlan` (see README "Fault
+tolerance"); the latency sweep is
+``benchmarks/bench_fig25_service_latency.py`` and the chaos soak is
+``benchmarks/chaos_soak.py``.
 
 Adaptive runtime
 ----------------
@@ -167,7 +174,13 @@ from .patterns import (
     sequence_to_conjunction,
 )
 from .plans import OrderPlan, TreePlan
-from .service import Ingestor, Session, ShardServer, serve_in_thread
+from .service import (
+    FaultPlan,
+    Ingestor,
+    Session,
+    ShardServer,
+    serve_in_thread,
+)
 from .stats import (
     PatternStatistics,
     SelectivityTracker,
@@ -175,7 +188,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AdaptiveController",
@@ -213,6 +226,7 @@ __all__ = [
     "ParallelConfig",
     "ParallelExecutor",
     "canonical_order",
+    "FaultPlan",
     "Ingestor",
     "Session",
     "ShardServer",

@@ -82,7 +82,32 @@ detection_latency        service runtime (:mod:`repro.service`): mergeable
                          outside the service layer; single-engine runs
                          report ``wall_latencies`` instead (which excludes
                          queueing and shipping)
+worker_crashes           service runtime only: worker deaths the run saw
+                         (transport drops, killed processes, liveness
+                         deadline expiries) — including ones recovery
+                         then healed
+worker_reseeds           service runtime only: replacement workers
+                         replayed from the acked window log (each is one
+                         healed crash on a seedable run)
+socket_reconnects        service runtime only: dead shard connections
+                         re-dialed and re-handshaken successfully
+heartbeats_missed        service runtime only: liveness probes that went
+                         unanswered past the heartbeat interval, plus
+                         liveness-deadline expiries
+shards_degraded          service runtime only: workers demoted to a local
+                         backend after reconnection was exhausted (the
+                         circuit breaker opening)
+send_retries             service runtime only: messages re-sent on a
+                         replacement channel (unacked batch replays) plus
+                         connection attempts retried by socket dials
 ======================== =====================================================
+
+The six fault-tolerance counters are plain counters: they **add** under
+both the concurrent and the sequential merge modes (each side's crashes
+and retries happened regardless of whether the engines coexisted).
+They are recorded by the :class:`~repro.service.session.WorkerPool` at
+the driver, not inside workers, so worker-side metrics carry zeros and
+the fold happens once, at finish.
 """
 
 from __future__ import annotations
@@ -257,6 +282,12 @@ class EngineMetrics:
     migrations: int = 0
     pm_migrated: int = 0
     matches_saved_by_migration: int = 0
+    worker_crashes: int = 0
+    worker_reseeds: int = 0
+    socket_reconnects: int = 0
+    heartbeats_missed: int = 0
+    shards_degraded: int = 0
+    send_retries: int = 0
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
     detection_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
@@ -370,6 +401,18 @@ class EngineMetrics:
                 self.matches_saved_by_migration
                 + other.matches_saved_by_migration
             ),
+            # Fault-tolerance counters add in both merge modes: a crash
+            # survived is a crash survived, concurrent or sequential.
+            worker_crashes=self.worker_crashes + other.worker_crashes,
+            worker_reseeds=self.worker_reseeds + other.worker_reseeds,
+            socket_reconnects=(
+                self.socket_reconnects + other.socket_reconnects
+            ),
+            heartbeats_missed=(
+                self.heartbeats_missed + other.heartbeats_missed
+            ),
+            shards_degraded=self.shards_degraded + other.shards_degraded,
+            send_retries=self.send_retries + other.send_retries,
         )
         merged.latencies = self.latencies + other.latencies
         merged.wall_latencies = self.wall_latencies + other.wall_latencies
@@ -408,5 +451,11 @@ class EngineMetrics:
             "migrations": self.migrations,
             "pm_migrated": self.pm_migrated,
             "matches_saved_by_migration": self.matches_saved_by_migration,
+            "worker_crashes": self.worker_crashes,
+            "worker_reseeds": self.worker_reseeds,
+            "socket_reconnects": self.socket_reconnects,
+            "heartbeats_missed": self.heartbeats_missed,
+            "shards_degraded": self.shards_degraded,
+            "send_retries": self.send_retries,
             "detection_latency": self.detection_latency.to_dict(),
         }

@@ -50,7 +50,14 @@ class ParallelError(ReproError):
 
 
 class WorkerCrashError(ParallelError):
-    """A session worker died mid-stream (process killed, shard
-    connection lost) and the run could not be recovered — either
-    recovery is disabled (``ParallelConfig.recovery="fail"``) or the
-    run's mode does not support snapshot reseeding."""
+    """A session worker died mid-stream and the run could not be
+    recovered.  "Died" covers a killed process, a dropped shard
+    connection, and a worker that stayed silent past the configured
+    liveness deadline (``ParallelConfig.liveness_seconds``) — frozen
+    workers surface here instead of hanging the run.  Raised when
+    recovery is disabled (``ParallelConfig.recovery="fail"``), when the
+    run's mode does not support snapshot reseeding (window slices,
+    non-restartable backends), or when every reconnect attempt
+    (``reconnect_attempts``, exponential backoff) failed and
+    ``degradation="fail"`` — set ``degradation="local"`` to demote the
+    dead shard's partitions to a local worker instead."""

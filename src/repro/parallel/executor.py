@@ -52,6 +52,7 @@ from .worker import EngineSpec, SharedSpec
 _PARTITIONERS = ("auto", "key", "window", "query")
 _BACKENDS = ("processes", "threads", "serial", "socket")
 _RECOVERY = ("fail", "reseed")
+_DEGRADATION = ("fail", "local")
 
 
 @dataclass
@@ -77,10 +78,38 @@ class ParallelConfig:
       worker-queue memory on unbounded feeds.
     * ``recovery`` — ``"fail"`` surfaces a worker death as a typed
       :class:`~repro.errors.WorkerCrashError`; ``"reseed"`` transparently
-      restarts the worker and replays its acked window log through the
-      snapshot machinery (process backend, key/query partitioning).
+      restarts the worker (process respawn, socket re-dial +
+      re-handshake) and replays its acked window log through the
+      snapshot machinery (key/query partitioning).
     * ``pin_cpus`` — pin process-backend worker *i* to CPU ``i % ncpu``
       via ``os.sched_setaffinity`` where the platform offers it.
+
+    Fault-tolerance knobs (see README "Fault tolerance"):
+
+    * ``heartbeat_seconds`` — while the driver is blocked waiting on a
+      silent worker, it sends a PING liveness probe at this cadence.
+    * ``liveness_seconds`` — a worker that stays silent this long while
+      replies are owed (no ack, no PONG, no error) is declared dead —
+      frozen workers surface instead of hanging ``finish_run`` forever.
+      Must comfortably exceed the worst-case processing time of one
+      batch (the worker answers probes between messages, not during
+      one).  ``None`` disables liveness (pipe death only).
+    * ``connect_attempts`` / ``backoff_base`` / ``backoff_max`` —
+      socket connect retry policy: exponential backoff with jitter,
+      used both for the initial dial and for crash-recovery re-dials.
+    * ``reconnect_attempts`` — respawn/reconnect attempts per crash
+      before the worker is given up (the circuit-breaker threshold).
+    * ``degradation`` — what to do when reconnection is exhausted on a
+      reseed-recoverable run: ``"fail"`` raises the typed crash error;
+      ``"local"`` demotes the shard's partitions to a local
+      ``degrade_backend`` worker (``"serial"``, ``"threads"`` or
+      ``"processes"``), reseeds it from the acked window log, and
+      records the demotion in metrics (``shards_degraded``) and the
+      pool's typed event list.
+    * ``fault_plan`` — a :class:`~repro.service.faults.FaultPlan`;
+      every channel the pool creates is wrapped in a
+      :class:`~repro.service.faults.FaultingChannel` executing it
+      (deterministic fault injection for tests and chaos runs).
     """
 
     workers: int = 0
@@ -93,6 +122,15 @@ class ParallelConfig:
     max_inflight: int = 8
     recovery: str = "fail"
     pin_cpus: bool = False
+    heartbeat_seconds: float = 2.0
+    liveness_seconds: Optional[float] = 30.0
+    connect_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    reconnect_attempts: int = 3
+    degradation: str = "fail"
+    degrade_backend: str = "serial"
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.partitioner not in _PARTITIONERS:
@@ -118,6 +156,33 @@ class ParallelConfig:
             raise ParallelError(
                 f"unknown recovery policy {self.recovery!r}; "
                 f"choose one of {_RECOVERY}"
+            )
+        if self.heartbeat_seconds <= 0:
+            raise ParallelError("heartbeat_seconds must be positive")
+        if self.liveness_seconds is not None and (
+            self.liveness_seconds <= self.heartbeat_seconds
+        ):
+            raise ParallelError(
+                "liveness_seconds must exceed heartbeat_seconds "
+                "(or be None to disable liveness)"
+            )
+        if self.connect_attempts < 1:
+            raise ParallelError("connect_attempts must be >= 1")
+        if self.reconnect_attempts < 1:
+            raise ParallelError("reconnect_attempts must be >= 1")
+        if self.backoff_base <= 0 or self.backoff_max < self.backoff_base:
+            raise ParallelError(
+                "backoff_base must be positive and <= backoff_max"
+            )
+        if self.degradation not in _DEGRADATION:
+            raise ParallelError(
+                f"unknown degradation policy {self.degradation!r}; "
+                f"choose one of {_DEGRADATION}"
+            )
+        if self.degrade_backend not in ("serial", "threads", "processes"):
+            raise ParallelError(
+                f"unknown degrade_backend {self.degrade_backend!r}; "
+                "choose 'serial', 'threads' or 'processes'"
             )
         self.shards = tuple(tuple(address) for address in self.shards)
         if self.backend == "socket" and not self.shards:

@@ -19,21 +19,45 @@ Layers, bottom up:
 * :mod:`repro.service.shard_server` — the TCP server behind the
   ``"socket"`` backend (``python -m repro.service.shard_server``).
 
+* :mod:`repro.service.faults` — deterministic fault injection
+  (:class:`FaultPlan` / :class:`FaultingChannel`): every failure mode
+  the runtime survives, injectable on demand from tests and the chaos
+  soak script.
+
 Every path — serial, threads, processes, socket shards; one-shot or
 streaming — produces the byte-identical canonical match order the
-equivalence tests pin against single-threaded interpreted execution.
+equivalence tests pin against single-threaded interpreted execution,
+including every crash-recovery and degradation path.
 """
 
+from .faults import Fault, FaultingChannel, FaultPlan
 from .ingest import Ingestor
-from .session import Session, SessionStream, WorkerPool
+from .session import (
+    RuntimeEvent,
+    Session,
+    SessionStream,
+    ShardDegraded,
+    SocketReconnected,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerReseeded,
+)
 from .shard_server import ShardServer, serve_in_thread
 from .transport import TransportDead
 
 __all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultingChannel",
     "Ingestor",
+    "RuntimeEvent",
     "Session",
     "SessionStream",
+    "ShardDegraded",
+    "SocketReconnected",
+    "WorkerCrashed",
     "WorkerPool",
+    "WorkerReseeded",
     "ShardServer",
     "serve_in_thread",
     "TransportDead",

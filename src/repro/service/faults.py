@@ -1,0 +1,340 @@
+"""Deterministic fault injection for the service runtime.
+
+Fault tolerance that is only exercised by real outages is decorative.
+This module makes every failure mode the runtime claims to survive
+injectable on demand, deterministically, from tests and the chaos soak
+script (``benchmarks/chaos_soak.py``):
+
+* :class:`FaultPlan` — a seeded, declarative schedule of faults.  Each
+  fault names its trigger (worker, message tag, batch id, nth
+  occurrence) and its action; every firing is appended to
+  :attr:`FaultPlan.log`, the machine-readable fault log the chaos CI
+  step uploads as an artifact.
+* :class:`FaultingChannel` — a transport decorator installed by
+  ``ParallelConfig(fault_plan=...)`` around every channel the
+  :class:`~repro.service.session.WorkerPool` creates.  It can kill the
+  worker at a chosen batch, tear a socket write at a byte offset,
+  freeze the worker's replies (hung-but-alive: ``alive()`` stays
+  true), or delay them.
+* Shard-server hooks — ``ShardServer(fault_plan=...)`` consults
+  :meth:`FaultPlan.take_server_fault` after each handled message and
+  hard-closes the server when a ``server_crash`` fault fires,
+  simulating a shard host dying mid-run.
+
+Determinism: triggers are counted occurrences of protocol messages,
+never wall-clock, so a given (plan, stream, batch size) always fires
+at the same protocol step.  The plan's seeded :attr:`FaultPlan.rng` is
+for *composing* randomized plans (the soak script draws fault kinds
+and positions from it); replaying the same seed replays the same
+faults.
+
+Replacement channels spawned by crash recovery are wrapped again with
+the same plan, but a fired fault never re-fires — the respawned worker
+behaves healthily unless the plan schedules another fault for it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .protocol import MSG_BATCH
+from .transport import TransportDead
+
+_LENGTH = struct.Struct(">I")
+
+#: Fault actions a :class:`FaultingChannel` executes on the driver side.
+CHANNEL_ACTIONS = ("kill", "tear", "freeze", "delay")
+#: Fault actions a :class:`~repro.service.shard_server.ShardServer`
+#: executes on the server side.
+SERVER_ACTIONS = ("server_crash",)
+
+
+@dataclass
+class Fault:
+    """One scheduled fault: a trigger plus an action.
+
+    The trigger matches driver->worker messages (or, for server
+    actions, messages a shard server handles): ``worker_id`` (None =
+    any worker), ``tag`` (None = any message), ``batch_id`` (only
+    meaningful with ``tag == MSG_BATCH``), and ``nth`` — fire on the
+    nth matching occurrence.  Every fault fires exactly once.
+    """
+
+    action: str
+    worker_id: Optional[int] = None
+    tag: Optional[str] = None
+    batch_id: Optional[int] = None
+    nth: int = 1
+    #: ``"tear"``: bytes of the frame actually written before the
+    #: connection is destroyed.  0 resets the socket with nothing of
+    #: the frame on the wire; a value inside the 4-byte length prefix
+    #: tears mid-header; anything larger tears mid-payload.
+    tear_bytes: int = 0
+    #: ``"delay"``: seconds replies are held back (once).
+    seconds: float = 0.0
+    fired: bool = False
+    _seen: int = 0
+
+    def matches(self, worker_id: Optional[int], message: Tuple) -> bool:
+        if self.fired:
+            return False
+        if self.worker_id is not None and worker_id != self.worker_id:
+            return False
+        if self.tag is not None and message[0] != self.tag:
+            return False
+        if self.batch_id is not None:
+            if message[0] != MSG_BATCH or message[2] != self.batch_id:
+                return False
+        return True
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults plus the log of firings.
+
+    Build one declaratively::
+
+        plan = FaultPlan(seed=7)
+        plan.kill_worker(0, at_batch=3)
+        plan.tear_send(1, at_batch=5, tear_bytes=7)
+        config = ParallelConfig(..., fault_plan=plan)
+
+    All mutation is lock-guarded: channels fire faults from whatever
+    thread drives them (the driver thread, server connection threads).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        #: Seeded generator for *composing* randomized plans (the soak
+        #: script); the plan itself never draws from it at fire time.
+        self.rng = random.Random(seed)
+        self.faults: List[Fault] = []
+        #: Machine-readable record of every fault that fired, in firing
+        #: order: ``{"action", "worker", "message", "batch", "detail"}``.
+        self.log: List[dict] = []
+        self._lock = threading.Lock()
+
+    # -- scheduling ----------------------------------------------------------
+    def add(self, fault: Fault) -> "FaultPlan":
+        if fault.action not in CHANNEL_ACTIONS + SERVER_ACTIONS:
+            raise ValueError(f"unknown fault action {fault.action!r}")
+        self.faults.append(fault)
+        return self
+
+    def kill_worker(
+        self, worker_id: Optional[int] = None, *, at_batch: Optional[int] = None
+    ) -> "FaultPlan":
+        """Kill the worker (terminate the process / drop the
+        connection) just as the given batch is sent to it."""
+        return self.add(
+            Fault("kill", worker_id, MSG_BATCH, at_batch)
+        )
+
+    def tear_send(
+        self,
+        worker_id: Optional[int] = None,
+        *,
+        at_batch: Optional[int] = None,
+        tear_bytes: int = 0,
+    ) -> "FaultPlan":
+        """Write only the first ``tear_bytes`` bytes of the batch frame
+        to the socket, then destroy the connection — the shard sees a
+        mid-frame EOF, the driver a dead transport."""
+        return self.add(
+            Fault(
+                "tear", worker_id, MSG_BATCH, at_batch, tear_bytes=tear_bytes
+            )
+        )
+
+    def freeze_worker(
+        self, worker_id: Optional[int] = None, *, at_batch: Optional[int] = None
+    ) -> "FaultPlan":
+        """Deliver the batch, then stop delivering replies while
+        keeping the transport nominally alive — the hung-worker case
+        only heartbeat liveness can detect."""
+        return self.add(
+            Fault("freeze", worker_id, MSG_BATCH, at_batch)
+        )
+
+    def delay_replies(
+        self,
+        worker_id: Optional[int] = None,
+        *,
+        seconds: float,
+        at_batch: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Hold the worker's replies back ``seconds`` once (a
+        straggler, not a failure — nothing should crash)."""
+        return self.add(
+            Fault(
+                "delay", worker_id, MSG_BATCH, at_batch, seconds=seconds
+            )
+        )
+
+    def crash_server(self, *, after_batches: int) -> "FaultPlan":
+        """Hard-close the shard server (listener and every live
+        connection) after it has handled ``after_batches`` BATCH
+        messages, across all its connections."""
+        return self.add(
+            Fault("server_crash", None, MSG_BATCH, None, nth=after_batches)
+        )
+
+    # -- firing --------------------------------------------------------------
+    def _take(
+        self, actions: Tuple[str, ...], worker_id: Optional[int], message: Tuple
+    ) -> Optional[Fault]:
+        with self._lock:
+            for fault in self.faults:
+                if fault.action not in actions:
+                    continue
+                if not fault.matches(worker_id, message):
+                    continue
+                fault._seen += 1
+                if fault._seen < fault.nth:
+                    continue
+                fault.fired = True
+                self.log.append(
+                    {
+                        "action": fault.action,
+                        "worker": worker_id,
+                        "message": message[0],
+                        "batch": (
+                            message[2] if message[0] == MSG_BATCH else None
+                        ),
+                        "detail": {
+                            "tear_bytes": fault.tear_bytes,
+                            "seconds": fault.seconds,
+                            "nth": fault.nth,
+                        },
+                    }
+                )
+                return fault
+        return None
+
+    def take_send_fault(
+        self, worker_id: int, message: Tuple
+    ) -> Optional[Fault]:
+        """Match-and-fire a channel fault for one outgoing message."""
+        return self._take(CHANNEL_ACTIONS, worker_id, message)
+
+    def take_server_fault(self, message: Tuple) -> Optional[Fault]:
+        """Match-and-fire a server fault for one handled message."""
+        return self._take(SERVER_ACTIONS, None, message)
+
+    @property
+    def pending(self) -> List[Fault]:
+        """Faults scheduled but not yet fired."""
+        return [fault for fault in self.faults if not fault.fired]
+
+
+class FaultingChannel:
+    """Transport decorator that executes a :class:`FaultPlan`.
+
+    Wraps any channel (serial, thread, process, socket) and delegates
+    everything; faults fire on :meth:`send` because protocol messages
+    are the deterministic clock of a run.  A frozen channel keeps
+    reporting ``alive() == True`` while returning nothing from
+    :meth:`recv` — exactly the hung-but-alive worker the heartbeat
+    liveness deadline exists for.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._frozen = False
+        self._delay = 0.0
+
+    # -- delegated surface ---------------------------------------------------
+    @property
+    def worker_id(self) -> int:
+        return self._inner.worker_id
+
+    @property
+    def restartable(self) -> bool:
+        return self._inner.restartable
+
+    @property
+    def connect_retries(self) -> int:
+        return getattr(self._inner, "connect_retries", 0)
+
+    def alive(self) -> bool:
+        return self._inner.alive()
+
+    def stop(self) -> None:
+        self._inner.stop()
+
+    def kill(self) -> None:
+        self._inner.kill()
+
+    # -- faulted paths -------------------------------------------------------
+    def send(self, message: Tuple) -> None:
+        fault = self._plan.take_send_fault(self._inner.worker_id, message)
+        if fault is None:
+            self._inner.send(message)
+            return
+        if fault.action == "kill":
+            self._inner.kill()
+            raise TransportDead(
+                f"fault injection: worker {self._inner.worker_id} killed "
+                f"at {message[0]}"
+            )
+        if fault.action == "tear":
+            self._tear(message, fault.tear_bytes)
+            return  # _tear always raises
+        if fault.action == "freeze":
+            self._inner.send(message)
+            self._frozen = True
+            return
+        if fault.action == "delay":
+            self._inner.send(message)
+            self._delay = fault.seconds
+            return
+        raise AssertionError(f"unhandled fault action {fault.action!r}")
+
+    def _tear(self, message: Tuple, tear_bytes: int) -> None:
+        sock = getattr(self._inner, "_sock", None)
+        if sock is None:
+            # Queue transports have no wire to tear; the nearest
+            # equivalent is losing the message with the worker.
+            self._inner.kill()
+            raise TransportDead(
+                f"fault injection: worker {self._inner.worker_id} killed "
+                "(tear unsupported on this transport)"
+            )
+        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _LENGTH.pack(len(blob)) + blob
+        try:
+            sock.sendall(frame[:tear_bytes])
+        except OSError:
+            pass  # the tear is the point; delivery failure is fine too
+        self._inner.kill()
+        raise TransportDead(
+            f"fault injection: write to worker {self._inner.worker_id} "
+            f"torn after {tear_bytes} of {len(frame)} bytes"
+        )
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple]:
+        if self._frozen:
+            # Simulate dead silence from a live worker: consume the
+            # caller's wait without ever producing a reply.
+            if timeout is not None and timeout > 0:
+                time.sleep(min(timeout, 0.25))
+            return None
+        if self._delay > 0.0:
+            delay, self._delay = self._delay, 0.0
+            time.sleep(delay)
+        return self._inner.recv(timeout)
+
+
+__all__ = [
+    "CHANNEL_ACTIONS",
+    "SERVER_ACTIONS",
+    "Fault",
+    "FaultPlan",
+    "FaultingChannel",
+]

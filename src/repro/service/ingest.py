@@ -234,6 +234,12 @@ class Ingestor:
         """Accepted events per second of wall time so far."""
         return self._stream.throughput
 
+    @property
+    def runtime_events(self):
+        """Typed fault-tolerance events (crashes healed, reconnects,
+        degradations) the underlying run has recorded so far."""
+        return self._stream.runtime_events
+
     # -- the pump ------------------------------------------------------------
     async def _pump(self) -> None:
         try:

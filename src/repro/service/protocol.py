@@ -18,6 +18,9 @@ BATCH        epoch, batch id, entries    ACK with the batch id and the
                                          matches kept since the last ack
 FINISH       epoch                       DONE with the WorkerResult
 STOP         —                           —   (worker exits)
+PING         token                       PONG echoing the token
+                                         (liveness probe: epoch-free,
+                                         valid in any state)
 ===========  ==========================  ================================
 
 Failures travel back as ERROR replies carrying the epoch and a
@@ -48,12 +51,14 @@ MSG_SEED = "seed"
 MSG_BATCH = "batch"
 MSG_FINISH = "finish"
 MSG_STOP = "stop"
+MSG_PING = "ping"
 
 # -- worker -> driver tags ---------------------------------------------------
 REPLY_READY = "ready"
 REPLY_ACK = "ack"
 REPLY_DONE = "done"
 REPLY_ERROR = "error"
+REPLY_PONG = "pong"
 
 
 class WorkerState:
@@ -78,6 +83,11 @@ class WorkerState:
         if tag == MSG_STOP:
             self.stopped = True
             return []
+        if tag == MSG_PING:
+            # Liveness probe: epoch-free, valid in any state (even
+            # before INIT).  The token travels back verbatim so the
+            # driver can match a PONG to the PING that asked for it.
+            return [(self.worker_id, REPLY_PONG, message[1])]
         if tag == MSG_INIT:
             payload = message[1]
             # Process/socket drivers pre-pickle the spec once (so a
@@ -151,6 +161,23 @@ _LENGTH = struct.Struct(">I")
 MAX_FRAME_BYTES = 1 << 30
 
 
+class FrameTooLarge(EOFError):
+    """A frame's length prefix exceeds the receiver's cap.
+
+    The payload is unread, so the byte stream is unusable past this
+    point — a receiver must reply (if it can) and close.  Subclasses
+    :class:`EOFError` so transport-level catch-alls treat it as a dead
+    peer, which is what it effectively is.
+    """
+
+
+class FrameCorrupt(EOFError):
+    """A frame's payload failed to unpickle (truncated, poisoned, or
+    not pickle at all).  Framing itself stayed in sync — the payload
+    was fully consumed — but the peer cannot be trusted to speak the
+    protocol, so receivers reply with a typed ERROR and close."""
+
+
 def send_frame(sock, payload: object) -> None:
     """Ship one length-prefixed pickled frame over a socket."""
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -159,13 +186,23 @@ def send_frame(sock, payload: object) -> None:
     sock.sendall(_LENGTH.pack(len(blob)) + blob)
 
 
-def recv_frame(sock) -> object:
-    """Read one frame; raises EOFError on a closed connection."""
+def recv_frame(sock, max_frame_bytes: int = MAX_FRAME_BYTES) -> object:
+    """Read one frame; raises EOFError on a closed connection,
+    :class:`FrameTooLarge` past the length cap, and
+    :class:`FrameCorrupt` when the payload does not unpickle."""
     header = _recv_exact(sock, _LENGTH.size)
     (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise EOFError(f"frame length {length} exceeds the 1 GiB cap")
-    return pickle.loads(_recv_exact(sock, length))
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame length {length} exceeds the {max_frame_bytes} byte cap"
+        )
+    blob = _recv_exact(sock, length)
+    try:
+        return pickle.loads(blob)
+    except Exception as error:  # noqa: BLE001 — loads can raise anything
+        raise FrameCorrupt(
+            f"frame payload of {length} bytes failed to unpickle: {error}"
+        ) from error
 
 
 def _recv_exact(sock, n: int) -> bytes:
@@ -193,8 +230,9 @@ class FrameDecoder:
     "incomplete".
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
 
     def feed(self, data: bytes) -> None:
         self._buffer.extend(data)
@@ -210,11 +248,20 @@ class FrameDecoder:
         if len(buffer) < _LENGTH.size:
             return None
         (length,) = _LENGTH.unpack(bytes(buffer[: _LENGTH.size]))
-        if length > MAX_FRAME_BYTES:
-            raise EOFError(f"frame length {length} exceeds the 1 GiB cap")
+        if length > self._max_frame_bytes:
+            raise FrameTooLarge(
+                f"frame length {length} exceeds the "
+                f"{self._max_frame_bytes} byte cap"
+            )
         end = _LENGTH.size + length
         if len(buffer) < end:
             return None
         blob = bytes(buffer[_LENGTH.size:end])
         del buffer[:end]
-        return pickle.loads(blob)
+        try:
+            return pickle.loads(blob)
+        except Exception as error:  # noqa: BLE001 — loads can raise anything
+            raise FrameCorrupt(
+                f"frame payload of {length} bytes failed to unpickle: "
+                f"{error}"
+            ) from error

@@ -38,6 +38,7 @@ import itertools
 import pickle
 import time
 import weakref
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engines.metrics import EngineMetrics, LatencyHistogram
@@ -45,15 +46,18 @@ from ..errors import ParallelError, WorkerCrashError
 from ..parallel.ordering import canonical_order, match_sort_key
 from ..parallel.partitioners import KeyPartitioner, WindowPartitioner
 from ..parallel.worker import EngineSpec, WorkerResult
+from .faults import FaultingChannel
 from .protocol import (
     MSG_BATCH,
     MSG_FINISH,
     MSG_INIT,
+    MSG_PING,
     MSG_RESET,
     MSG_SEED,
     REPLY_ACK,
     REPLY_DONE,
     REPLY_ERROR,
+    REPLY_PONG,
     REPLY_READY,
 )
 from .transport import (
@@ -62,10 +66,60 @@ from .transport import (
     SocketChannel,
     ThreadChannel,
     TransportDead,
+    backoff_delay,
 )
 
 _NEG_INF = float("-inf")
 _INF = float("inf")
+
+#: Per-run fault-tolerance counter names, in the order they appear in
+#: :class:`~repro.engines.metrics.EngineMetrics`.
+FAULT_COUNTERS = (
+    "worker_crashes",
+    "worker_reseeds",
+    "socket_reconnects",
+    "heartbeats_missed",
+    "shards_degraded",
+    "send_retries",
+)
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """Base of the typed events a pool records while recovering —
+    machine-readable observability for what the run survived."""
+
+    worker_id: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class WorkerCrashed(RuntimeEvent):
+    """A worker's transport died (or its liveness deadline expired)."""
+
+
+@dataclass(frozen=True)
+class WorkerReseeded(RuntimeEvent):
+    """A replacement worker was replayed from the acked window log."""
+
+    events_replayed: int = 0
+    batches_resent: int = 0
+
+
+@dataclass(frozen=True)
+class SocketReconnected(RuntimeEvent):
+    """A dead shard connection was re-dialed and re-handshaken."""
+
+    address: Tuple[str, int] = ("", 0)
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class ShardDegraded(RuntimeEvent):
+    """Reconnection was exhausted and the worker's partitions were
+    demoted to a local backend (the circuit breaker opened)."""
+
+    to_backend: str = "serial"
 
 
 class WorkerPool:
@@ -98,6 +152,19 @@ class WorkerPool:
         self._matches: List[list] = []
         self._results: List[Optional[WorkerResult]] = []
         self._finishing: List[bool] = []
+        # Liveness bookkeeping (per worker, reset per run and on
+        # channel replacement): wall time of the last reply or last
+        # non-PING send, last PING send time, and whether a PING is
+        # outstanding.
+        self._last_activity: List[float] = []
+        self._ping_sent: List[float] = []
+        self._ping_outstanding: List[bool] = []
+        self._crash_counts: List[int] = []
+        #: Per-run fault-tolerance counters (see :data:`FAULT_COUNTERS`);
+        #: folded into the merged :class:`EngineMetrics` at finish.
+        self.counters: Dict[str, int] = {name: 0 for name in FAULT_COUNTERS}
+        #: Per-run typed :class:`RuntimeEvent` records, in order.
+        self.events: List[RuntimeEvent] = []
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -163,26 +230,40 @@ class WorkerPool:
         for channel in channels or ():
             channel.kill()
 
-    def _make_channel(self, worker_id: int):
-        backend = self.config.backend
+    def _make_channel(self, worker_id: int, backend: Optional[str] = None):
+        channel = self._make_raw_channel(worker_id, backend)
+        plan = getattr(self.config, "fault_plan", None)
+        if plan is not None:
+            channel = FaultingChannel(channel, plan)
+        return channel
+
+    def _make_raw_channel(self, worker_id: int, backend: Optional[str] = None):
+        config = self.config
+        backend = config.backend if backend is None else backend
         if backend == "serial":
             return SerialChannel(worker_id)
         if backend == "threads":
             return ThreadChannel(worker_id)
         if backend == "socket":
-            shards = list(self.config.shards)
+            shards = list(config.shards)
             address = tuple(shards[worker_id % len(shards)])
-            return SocketChannel(address, worker_id)
+            return SocketChannel(
+                address,
+                worker_id,
+                connect_attempts=config.connect_attempts,
+                backoff_base=config.backoff_base,
+                backoff_max=config.backoff_max,
+            )
         import multiprocessing
         import os
 
-        method = self.config.start_method
+        method = config.start_method
         if method is None:
             available = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in available else "spawn"
         ctx = multiprocessing.get_context(method)
         affinity = None
-        if self.config.pin_cpus:
+        if config.pin_cpus and backend == config.backend:
             affinity = {worker_id % (os.cpu_count() or 1)}
         return ProcessChannel(ctx, worker_id, affinity)
 
@@ -220,13 +301,17 @@ class WorkerPool:
                     break  # surfaces via _send below
         self._mode = mode
         self._params = list(params)
+        # "any" (not "all"): a pool that degraded a shard to a local
+        # serial worker mid-stream keeps reseed recovery for the
+        # restartable workers that remain.
         self._recovery_active = (
             self.config.recovery == "reseed"
             and mode == "single"
             and self._seedable
-            and all(channel.restartable for channel in self._channels)
+            and any(channel.restartable for channel in self._channels)
         )
         n = self.workers
+        now = time.monotonic()
         self._unacked = [dict() for _ in range(n)]
         self._next_batch = [0] * n
         self._log = [[] for _ in range(n)]
@@ -234,6 +319,12 @@ class WorkerPool:
         self._matches = [[] for _ in range(n)]
         self._results = [None] * n
         self._finishing = [False] * n
+        self._last_activity = [now] * n
+        self._ping_sent = [_NEG_INF] * n
+        self._ping_outstanding = [False] * n
+        self._crash_counts = [0] * n
+        self.counters = {name: 0 for name in FAULT_COUNTERS}
+        self.events = []
         for worker_id in range(n):
             self._send(worker_id, (MSG_RESET, self._epoch, self._params[worker_id]))
 
@@ -280,6 +371,7 @@ class WorkerPool:
                     break
                 if reply is None:
                     break
+                self._note_reply(worker_id)
                 self._dispatch(worker_id, reply)
 
     def take_acked_matches(self) -> list:
@@ -304,6 +396,13 @@ class WorkerPool:
 
     # -- plumbing ------------------------------------------------------------
     def _send(self, worker_id: int, message: Tuple) -> None:
+        if message[0] != MSG_PING:
+            # The liveness clock runs from the last reply *or* the last
+            # real send: an idle worker owes nothing, so silence before
+            # the next batch must not count against its deadline.
+            # PINGs are excluded or each probe would push the deadline
+            # it polices.
+            self._last_activity[worker_id] = time.monotonic()
         try:
             self._channels[worker_id].send(message)
         except TransportDead as error:
@@ -325,11 +424,46 @@ class WorkerPool:
                         worker_id,
                         TransportDead(f"worker {worker_id} stopped"),
                     )
+                    continue
+                self._check_liveness(worker_id)
                 continue
+            self._note_reply(worker_id)
             self._dispatch(worker_id, reply)
+
+    def _note_reply(self, worker_id: int) -> None:
+        self._last_activity[worker_id] = time.monotonic()
+        self._ping_outstanding[worker_id] = False
+
+    def _check_liveness(self, worker_id: int) -> None:
+        """While blocked on a silent worker: probe at the heartbeat
+        cadence, declare death at the liveness deadline."""
+        config = self.config
+        liveness = getattr(config, "liveness_seconds", None)
+        heartbeat = getattr(config, "heartbeat_seconds", 2.0)
+        now = time.monotonic()
+        silent = now - self._last_activity[worker_id]
+        if liveness is not None and silent > liveness:
+            self.counters["heartbeats_missed"] += 1
+            self._handle_crash(
+                worker_id,
+                TransportDead(
+                    f"worker {worker_id} missed its liveness deadline "
+                    f"({liveness}s without a reply; the worker is "
+                    "hung or unreachable)"
+                ),
+            )
+            return
+        if silent >= heartbeat and now - self._ping_sent[worker_id] >= heartbeat:
+            if self._ping_outstanding[worker_id]:
+                self.counters["heartbeats_missed"] += 1
+            self._ping_sent[worker_id] = now
+            self._ping_outstanding[worker_id] = True
+            self._send(worker_id, (MSG_PING, now))
 
     def _dispatch(self, worker_id: int, reply: Tuple) -> None:
         _, tag, payload = reply
+        if tag == REPLY_PONG:
+            return  # liveness already noted by _note_reply
         if tag == REPLY_ERROR:
             epoch, trace = payload
             if epoch != self._epoch:
@@ -366,6 +500,10 @@ class WorkerPool:
                 self._results[worker_id] = result
 
     def _handle_crash(self, worker_id: int, error: Exception) -> None:
+        config = self.config
+        self.counters["worker_crashes"] += 1
+        self.events.append(WorkerCrashed(worker_id, str(error)))
+        self._crash_counts[worker_id] += 1
         if not self._recovery_active or not self._channels[
             worker_id
         ].restartable:
@@ -376,39 +514,132 @@ class WorkerPool:
                 "enable ParallelConfig(recovery='reseed') on a "
                 "restartable backend for transparent failover"
             ) from None
-        old = self._channels[worker_id]
-        old.kill()
-        channel = self._make_channel(worker_id)
-        self._channels[worker_id] = channel
-        try:
-            channel.send((MSG_INIT, self._init_payloads[worker_id]))
-            self._await_ready(channel)
-            channel.send(
-                (MSG_RESET, self._epoch, self._params[worker_id])
-            )
-            log = self._log[worker_id]
-            if log or self._acked_ts[worker_id] != _NEG_INF:
-                events = [event for _, event in log]
-                channel.send(
-                    (
-                        MSG_SEED,
-                        self._epoch,
-                        events,
-                        self._acked_ts[worker_id],
+        self._channels[worker_id].kill()
+        attempts = max(1, getattr(config, "reconnect_attempts", 1))
+        degradation = getattr(config, "degradation", "fail")
+        # Circuit breaker: a worker that keeps crashing (each crash
+        # already paid a full reconnect cycle) stops being re-dialed
+        # and is demoted directly.
+        if degradation == "local" and self._crash_counts[worker_id] > attempts:
+            self._degrade(worker_id, error)
+            return
+        last_error: Exception = error
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(
+                    backoff_delay(
+                        attempt - 1,
+                        getattr(config, "backoff_base", 0.05),
+                        getattr(config, "backoff_max", 2.0),
                     )
                 )
-            for batch_id, entries in self._unacked[worker_id].items():
-                channel.send(
-                    (MSG_BATCH, self._epoch, batch_id, entries)
+            try:
+                channel = self._make_channel(worker_id)
+            except TransportDead as connect_error:
+                last_error = connect_error
+                continue
+            try:
+                self._replay(worker_id, channel)
+            except TransportDead as replay_error:
+                last_error = replay_error
+                channel.kill()
+                continue
+            if config.backend == "socket":
+                self.counters["socket_reconnects"] += 1
+                self.counters["send_retries"] += getattr(
+                    channel, "connect_retries", 0
                 )
-            if self._finishing[worker_id]:
-                channel.send((MSG_FINISH, self._epoch))
-        except TransportDead as again:
+                shards = list(config.shards)
+                self.events.append(
+                    SocketReconnected(
+                        worker_id,
+                        str(error),
+                        address=tuple(shards[worker_id % len(shards)]),
+                        attempt=attempt + 1,
+                    )
+                )
+            return
+        if degradation == "local":
+            self._degrade(worker_id, last_error)
+            return
+        self._teardown()
+        raise WorkerCrashError(
+            f"worker {worker_id} died and could not be replaced after "
+            f"{attempts} attempt(s): {last_error}; set "
+            "ParallelConfig(degradation='local') to fall back to a "
+            "local worker instead of failing the run"
+        ) from None
+
+    def _degrade(self, worker_id: int, error: Exception) -> None:
+        """Open the circuit breaker: demote the worker's partitions to
+        a local backend channel fed from the same INIT payload.  The
+        replay below re-establishes exactly the same engine state, so
+        byte-identity of the merged output is preserved — the run just
+        stops being distributed for this worker."""
+        to_backend = getattr(self.config, "degrade_backend", "serial")
+        try:
+            channel = self._make_channel(worker_id, backend=to_backend)
+            self._replay(worker_id, channel)
+        except TransportDead as still:
             self._teardown()
             raise WorkerCrashError(
-                f"worker {worker_id} died and its replacement did "
-                f"too: {again}"
+                f"worker {worker_id} could not be degraded to the "
+                f"{to_backend} backend after {error}: {still}"
             ) from None
+        self.counters["shards_degraded"] += 1
+        self.events.append(
+            ShardDegraded(worker_id, str(error), to_backend=to_backend)
+        )
+        # A demoted serial/thread channel is not restartable; recovery
+        # stays active while any restartable channel remains.
+        self._recovery_active = (
+            self.config.recovery == "reseed"
+            and self._mode == "single"
+            and self._seedable
+            and any(channel.restartable for channel in self._channels)
+        )
+
+    def _replay(self, worker_id: int, channel) -> None:
+        """Bring a replacement channel to the crashed worker's exact
+        run state: INIT -> READY -> RESET -> SEED (acked window log,
+        matches suppressed) -> unacked batches -> FINISH if pending.
+        Raises :class:`TransportDead` on any failure (the caller owns
+        retry/degradation policy); on success the channel is installed.
+
+        Uses ``channel.send`` directly, never ``self._send`` — a replay
+        failure must surface to the retry loop, not recurse into crash
+        handling."""
+        channel.send((MSG_INIT, self._init_payloads[worker_id]))
+        self._await_ready(channel)
+        channel.send((MSG_RESET, self._epoch, self._params[worker_id]))
+        log = self._log[worker_id]
+        if log or self._acked_ts[worker_id] != _NEG_INF:
+            events = [event for _, event in log]
+            channel.send(
+                (MSG_SEED, self._epoch, events, self._acked_ts[worker_id])
+            )
+            self.counters["worker_reseeds"] += 1
+            self.events.append(
+                WorkerReseeded(
+                    worker_id,
+                    f"replayed {len(events)} events, resent "
+                    f"{len(self._unacked[worker_id])} batches",
+                    events_replayed=len(events),
+                    batches_resent=len(self._unacked[worker_id]),
+                )
+            )
+        resent = 0
+        for batch_id, entries in self._unacked[worker_id].items():
+            channel.send((MSG_BATCH, self._epoch, batch_id, entries))
+            resent += 1
+        self.counters["send_retries"] += resent
+        if self._finishing[worker_id]:
+            channel.send((MSG_FINISH, self._epoch))
+        self._channels[worker_id] = channel
+        now = time.monotonic()
+        self._last_activity[worker_id] = now
+        self._ping_sent[worker_id] = _NEG_INF
+        self._ping_outstanding[worker_id] = False
 
 
 class _PoolFeeder:
@@ -523,6 +754,11 @@ class Session:
                     "duration to derive the stride from)"
                 )
         return SessionStream(self, span=span)
+
+    @property
+    def runtime_events(self) -> List[RuntimeEvent]:
+        """Typed record of what the most recent run survived."""
+        return list(self.pool.events)
 
     def close(self) -> None:
         self._finalizer.detach()
@@ -694,6 +930,10 @@ class SessionStream:
             flat.extend(result.matches)
         metrics.worker_count = self._pool.workers
         metrics.events_routed = self.events_routed
+        # Fault-tolerance counters live at the driver (workers carry
+        # zeros), so the fold happens exactly once, here.
+        for name in FAULT_COUNTERS:
+            setattr(metrics, name, self._pool.counters[name])
         emit_wall = time.perf_counter()
         # Held matches (acked but below no frontier yet) and FINISH-time
         # matches interleave in canonical order — a deferred match can
@@ -716,6 +956,12 @@ class SessionStream:
     def finished(self) -> bool:
         """True once :meth:`finish` has closed the run."""
         return self._finished
+
+    @property
+    def runtime_events(self) -> List[RuntimeEvent]:
+        """Typed record of what this run survived (crashes, reseeds,
+        reconnects, degradations), in occurrence order."""
+        return list(self._pool.events)
 
     @property
     def throughput(self) -> float:

@@ -21,6 +21,16 @@ a daemon thread::
     server = serve_in_thread()           # 127.0.0.1, ephemeral port
     config = ParallelConfig(backend="socket", shards=[server.address])
 
+Robustness: a connection that sends an oversized, truncated, or
+unpicklable frame gets a typed ERROR reply and has *its* connection
+closed — the accept loop and every other connection keep serving (one
+poisoned driver must not take down a shard other drivers share).
+``max_frame_bytes`` bounds the allocation a corrupt length prefix can
+demand.  For fault-injection testing, ``fault_plan`` (a
+:class:`~repro.service.faults.FaultPlan`) lets a scheduled
+``server_crash`` fault hard-close the whole server mid-run —
+:meth:`ShardServer.kill` — exactly as if the shard host died.
+
 The protocol carries pickled application objects, so a shard server
 must only ever be exposed to trusted drivers on a trusted network —
 the same trust model as ``multiprocessing``'s own connection layer.
@@ -30,13 +40,16 @@ from __future__ import annotations
 
 import argparse
 import socket
+import struct
 import threading
 import traceback
 from typing import Optional, Tuple
 
 from .protocol import (
-    MSG_STOP,
+    MAX_FRAME_BYTES,
     REPLY_ERROR,
+    FrameCorrupt,
+    FrameTooLarge,
     WorkerState,
     message_epoch,
     recv_frame,
@@ -45,9 +58,22 @@ from .protocol import (
 
 
 class ShardServer:
-    """Accepts driver connections and serves one worker each."""
+    """Accepts driver connections and serves one worker each.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    ``max_frame_bytes`` caps the frame size this server will read (a
+    hostile or corrupt length prefix is refused before allocation);
+    ``fault_plan`` wires deterministic fault injection into the serve
+    loop (see :mod:`repro.service.faults`).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        fault_plan=None,
+    ) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -55,7 +81,11 @@ class ShardServer:
         #: The bound ``(host, port)`` — with ``port=0`` the OS picks an
         #: ephemeral port and this is where to find it.
         self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self.max_frame_bytes = max_frame_bytes
+        self.fault_plan = fault_plan
         self._closing = False
+        self._lock = threading.Lock()
+        self._connections: list = []
         self._threads: list = []
 
     def serve_forever(self) -> None:
@@ -65,6 +95,14 @@ class ShardServer:
                 conn, _ = self._sock.accept()
             except OSError:
                 break  # the listening socket was closed
+            with self._lock:
+                if self._closing:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    break
+                self._connections.append(conn)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
@@ -72,15 +110,53 @@ class ShardServer:
             self._threads.append(thread)
 
     def close(self) -> None:
+        """Stop accepting; live connections drain on their own."""
         self._closing = True
         try:
             self._sock.close()
         except OSError:
             pass
 
+    def kill(self) -> None:
+        """Hard-close the listener **and** every live connection — the
+        shard host dying, as seen by its drivers (mid-frame reset)."""
+        self._closing = True
+        with self._lock:
+            connections, self._connections = self._connections, []
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for conn in connections:
+            try:
+                # RST rather than FIN where the platform allows it:
+                # drivers should see an abrupt death, not a clean close.
+                conn.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    _LINGER_RST,
+                )
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _forget(self, conn) -> None:
+        with self._lock:
+            try:
+                self._connections.remove(conn)
+            except ValueError:
+                pass
+
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
-            hello = recv_frame(conn)
+            try:
+                hello = recv_frame(conn, self.max_frame_bytes)
+            except (FrameTooLarge, FrameCorrupt) as error:
+                self._reject(conn, f"bad handshake frame: {error}")
+                return
             if (
                 not isinstance(hello, tuple)
                 or len(hello) != 2
@@ -89,23 +165,29 @@ class ShardServer:
                 # A protocol-mismatched driver must get a loud, typed
                 # rejection — silently consuming its first message
                 # would leave it hanging for a READY that never comes.
-                send_frame(
+                self._reject(
                     conn,
-                    (
-                        0,
-                        REPLY_ERROR,
-                        (
-                            None,
-                            "protocol mismatch: expected a "
-                            f"('hello', worker_id) handshake, got {hello!r}",
-                        ),
-                    ),
+                    "protocol mismatch: expected a "
+                    f"('hello', worker_id) handshake, got {hello!r}",
                 )
                 return
             worker_id = hello[1]
             state = WorkerState(worker_id)
             while not state.stopped:
-                message = recv_frame(conn)
+                try:
+                    message = recv_frame(conn, self.max_frame_bytes)
+                except FrameTooLarge as error:
+                    # The payload is unread: the byte stream is beyond
+                    # recovery for this connection, but only for this
+                    # connection.
+                    self._reject(conn, str(error), worker_id)
+                    return
+                except FrameCorrupt as error:
+                    # Framing stayed in sync but the peer shipped
+                    # garbage; a driver that poisons its own frames
+                    # cannot be trusted with protocol state.
+                    self._reject(conn, str(error), worker_id)
+                    return
                 try:
                     replies = state.handle(message)
                 except Exception:
@@ -116,21 +198,46 @@ class ShardServer:
                     ]
                 for reply in replies:
                     send_frame(conn, reply)
+                if self.fault_plan is not None and isinstance(message, tuple):
+                    fault = self.fault_plan.take_server_fault(message)
+                    if fault is not None:
+                        self.kill()
+                        return
         except (EOFError, OSError):
             pass  # driver went away: this worker's life is over
         finally:
+            self._forget(conn)
             try:
                 conn.close()
             except OSError:
                 pass
 
+    def _reject(
+        self, conn, reason: str, worker_id: int = 0
+    ) -> None:
+        """Best-effort typed ERROR, then close just this connection."""
+        try:
+            send_frame(conn, (worker_id, REPLY_ERROR, (None, reason)))
+        except OSError:
+            pass
+
+
+#: ``SO_LINGER {on, timeout 0}``: close() sends RST instead of FIN.
+_LINGER_RST = struct.pack("ii", 1, 0)
+
 
 def serve_in_thread(
-    host: str = "127.0.0.1", port: int = 0
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    fault_plan=None,
 ) -> ShardServer:
     """Start a shard server on a daemon thread; returns it with
     :attr:`ShardServer.address` already bound (ephemeral by default)."""
-    server = ShardServer(host, port)
+    server = ShardServer(
+        host, port, max_frame_bytes=max_frame_bytes, fault_plan=fault_plan
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server
@@ -142,8 +249,16 @@ def main(argv: Optional[list] = None) -> None:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7201)
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=MAX_FRAME_BYTES,
+        help="refuse frames larger than this (default 1 GiB)",
+    )
     args = parser.parse_args(argv)
-    server = ShardServer(args.host, args.port)
+    server = ShardServer(
+        args.host, args.port, max_frame_bytes=args.max_frame_bytes
+    )
     print(
         f"repro shard server listening on "
         f"{server.address[0]}:{server.address[1]}",

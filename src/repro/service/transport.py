@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import queue
+import random
 import select
 import socket as socket_module
 import threading
@@ -46,6 +47,21 @@ from .protocol import (
 class TransportDead(Exception):
     """The worker behind a channel is gone (not a user-facing error —
     the session layer maps it to recovery or WorkerCrashError)."""
+
+
+def backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Exponential backoff with jitter: ``base * 2**attempt`` clamped
+    to ``cap``, scaled by a uniform factor in [0.5, 1.0] so a fleet of
+    reconnecting drivers does not stampede a restarted shard in
+    lockstep.  ``rng`` pins the jitter for deterministic tests."""
+    delay = min(cap, base * (2.0 ** attempt))
+    jitter = (rng or random).uniform(0.5, 1.0)
+    return delay * jitter
 
 
 class SerialChannel:
@@ -83,22 +99,48 @@ class SerialChannel:
         self._state.stopped = True
 
 
+#: Queue sentinel :meth:`ThreadChannel.kill` injects to wake a worker
+#: thread blocked on an empty input queue.
+_POISON = object()
+
+
 class ThreadChannel:
-    """The protocol behind queues on a daemon thread."""
+    """The protocol behind queues on a daemon thread.
+
+    Python offers no way to kill a live thread, so this channel's
+    teardown contract is weaker than the process/socket channels':
+
+    * :meth:`kill` sets a **poison flag** the worker loop checks before
+      and after every message (plus a queue sentinel to wake a blocked
+      ``get``), so the thread exits after at most the message currently
+      being handled.  A handler frozen *inside* one message cannot be
+      interrupted — the daemon thread is abandoned to die with the
+      process.
+    * :meth:`stop` requests a clean STOP and **reports** a join timeout
+      by raising :class:`TransportDead` instead of silently leaking the
+      thread, so pool teardown can escalate to :meth:`kill`.
+    """
 
     restartable = False  # errors arrive as replies; the thread persists
+
+    #: Seconds :meth:`stop` waits for the worker thread to drain its
+    #: backlog and exit before reporting it stuck.
+    stop_timeout = 30.0
 
     def __init__(self, worker_id: int) -> None:
         self.worker_id = worker_id
         self._inq: "queue.Queue" = queue.Queue()
         self._outq: "queue.Queue" = queue.Queue()
+        self._poisoned = threading.Event()
         self._thread = threading.Thread(target=self._main, daemon=True)
         self._thread.start()
 
     def _main(self) -> None:
         state = WorkerState(self.worker_id)
-        while not state.stopped:
+        while not state.stopped and not self._poisoned.is_set():
             message = self._inq.get()
+            if message is _POISON or self._poisoned.is_set():
+                break
             try:
                 replies = state.handle(message)
             except Exception:
@@ -124,13 +166,22 @@ class ThreadChannel:
 
     def stop(self) -> None:
         self._inq.put((MSG_STOP,))
-        self._thread.join(timeout=30.0)
+        self._thread.join(timeout=self.stop_timeout)
+        if self._thread.is_alive():
+            raise TransportDead(
+                f"worker thread {self.worker_id} did not stop within "
+                f"{self.stop_timeout}s (a handler is stuck mid-message); "
+                "the daemon thread is being abandoned"
+            )
 
     def kill(self) -> None:
-        # Threads cannot be killed; a STOP is processed after the
-        # (epoch-dropped, hence fast) backlog drains.
-        self._inq.put((MSG_STOP,))
-        self._thread.join(timeout=30.0)
+        # Threads cannot be killed: poison the loop (checked around
+        # every message) and wake a blocked get with the sentinel, then
+        # wait briefly — a handler frozen mid-message stays frozen and
+        # the daemon thread is abandoned.
+        self._poisoned.set()
+        self._inq.put(_POISON)
+        self._thread.join(timeout=5.0)
 
 
 def process_service_main(inq, outq, worker_id: int, affinity=None) -> None:
@@ -228,21 +279,63 @@ class SocketChannel:
     The first frame is a ``("hello", worker_id)`` handshake so the
     server can label its state machine; everything after is the
     standard message/reply exchange, one frame each.
+
+    Connecting retries ``connect_attempts`` times with exponential
+    backoff plus jitter (:func:`backoff_delay`) — a shard restarting
+    under supervision comes back in seconds, and the retry window is
+    what lets the session layer's crash recovery re-dial it.  A fresh
+    connection to a restarted shard is a fresh worker: the session
+    layer replays INIT/RESET/SEED over it (``restartable = True`` is
+    the contract that it may do so).
     """
 
-    restartable = False  # the remote host's lifecycle is not ours to manage
+    restartable = True  # a dead connection can be re-dialed and re-INITed
 
-    def __init__(self, address: Tuple[str, int], worker_id: int) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        worker_id: int,
+        *,
+        connect_attempts: int = 3,
+        connect_timeout: float = 10.0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.worker_id = worker_id
         self.address = address
-        try:
-            self._sock = socket_module.create_connection(address, timeout=30.0)
-            self._sock.settimeout(None)
-            send_frame(self._sock, ("hello", worker_id))
-        except OSError as error:
+        #: Failed connection attempts the successful connect survived
+        #: (feeds the session layer's ``send_retries`` accounting).
+        self.connect_retries = 0
+        attempts = max(1, connect_attempts)
+        last_error: Optional[OSError] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(
+                    backoff_delay(attempt - 1, backoff_base, backoff_max, rng)
+                )
+                self.connect_retries += 1
+            sock = None
+            try:
+                sock = socket_module.create_connection(
+                    address, timeout=connect_timeout
+                )
+                sock.settimeout(None)
+                send_frame(sock, ("hello", worker_id))
+                self._sock = sock
+                break
+            except OSError as error:
+                last_error = error
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+        else:
             raise TransportDead(
-                f"cannot reach shard {address[0]}:{address[1]}: {error}"
-            ) from error
+                f"cannot reach shard {address[0]}:{address[1]} after "
+                f"{attempts} attempt(s): {last_error}"
+            ) from last_error
         # Partial-frame bytes survive here across recv() timeouts: a
         # frame whose header arrived but whose payload is still in
         # flight must never be abandoned, or the next read would treat

@@ -19,6 +19,7 @@ FAST_EXAMPLES = (
     "join_ordering.py",
     "multi_query_sharing.py",
     "parallel_scaling.py",
+    "chaos_recovery.py",
 )
 
 
