@@ -48,7 +48,7 @@ from repro.events import Event, Stream
 from repro.parallel import match_records
 from repro.service import serve_in_thread
 
-from _common import BenchEnv
+from _common import RESULTS_DIR, BenchEnv
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 GAP = 0.02
@@ -102,6 +102,90 @@ def _config(mode: str, shards=()) -> ParallelConfig:
         shards=shards,
         batch_size=CHUNK,
     )
+
+
+def _observability_artifacts(planned, events: list, expected, server) -> None:
+    """Traced socket replay of the workload, for the CI artifact.
+
+    One more socket-loopback run with ``ParallelConfig(trace=True)``
+    and a driver-side tracer attached, polled mid-stream over the
+    STATS frame.  Writes three files to ``benchmarks/results/``:
+
+    * ``fig25_trace.json`` — report-ready snapshot
+      (``python -m repro.observe.report results/fig25_trace.json``);
+    * ``fig25_trace.perfetto.json`` — Chrome ``trace_event`` form,
+      loadable at https://ui.perfetto.dev;
+    * ``fig25_metrics.prom`` — Prometheus text-exposition snapshot.
+
+    The traced match list is asserted byte-identical to the untraced
+    baseline — the artifact run doubles as the observation-neutrality
+    check at service scale.
+    """
+    from repro.observe import (
+        MetricsRegistry,
+        Tracer,
+        write_chrome_trace,
+        write_json,
+    )
+
+    config = ParallelConfig(
+        workers=2,
+        partitioner="key",
+        backend="socket",
+        shards=[server.address],
+        batch_size=CHUNK,
+        trace=True,
+    )
+    tracer = Tracer()
+    polled = None
+    with ParallelExecutor(planned, config) as executor:
+        session = executor.session()
+        session.set_tracer(tracer)
+        run = session.stream()
+        matches = []
+        for start in range(0, len(events), CHUNK):
+            chunk = events[start : start + CHUNK]
+            now = time.perf_counter()
+            with tracer.span("feed", chunk=start // CHUNK):
+                matches.extend(run.feed(chunk, arrivals=[now] * len(chunk)))
+        polled = run.stats()  # mid-run STATS poll: full node counters
+        matches.extend(run.finish())
+        assert match_records(matches) == expected, (
+            "traced socket run diverges from the untraced baseline"
+        )
+        snap = tracer.snapshot()
+        nodes = polled["nodes"] or []
+        payload = {
+            "run_id": snap["run_id"],
+            "spans": snap["spans"],
+            "nodes": nodes,
+            "metrics": run.metrics.summary() if run.metrics else None,
+            "workers": [
+                {"worker_id": w.get("worker_id"), "epoch": w.get("epoch")}
+                for w in polled["workers"]
+            ],
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        write_json(payload, str(RESULTS_DIR / "fig25_trace.json"))
+        write_chrome_trace(
+            {"run_id": snap["run_id"], "spans": snap["spans"], "nodes": nodes},
+            str(RESULTS_DIR / "fig25_trace.perfetto.json"),
+        )
+        registry = MetricsRegistry()
+        if run.metrics is not None:
+            registry.bind_metrics(run.metrics, source="socket-pool")
+        hist = run.detection_latency
+        registry.gauge(
+            "fig25_detection_latency_p95_seconds",
+            hist.p95,
+            help="p95 arrival-to-emission latency of the traced run",
+        )
+        registry.gauge(
+            "fig25_throughput_events_per_second",
+            run.throughput,
+            help="sustained input events/s of the traced run",
+        )
+        (RESULTS_DIR / "fig25_metrics.prom").write_text(registry.prometheus())
 
 
 def _streamed_run(executor: ParallelExecutor, events: list):
@@ -169,6 +253,10 @@ def test_fig25_service_latency(benchmark, env: BenchEnv):
                         "latency_samples": len(hist),
                     }
                 )
+
+        # Observability artifacts (trace + Prometheus snapshot) from a
+        # traced replay of the same workload; asserts byte-identity.
+        _observability_artifacts(planned, events, expected, server)
 
         # Session reuse vs fork-per-run: a cold executor pays pool
         # spin-up (fork + INIT + plan shipping) inside the measured

@@ -94,6 +94,7 @@ class AdaptiveController:
         selectivity_alpha: float = 0.05,
         min_selectivity_observations: int = 50,
         replan_cost_gate: float = 0.0,
+        tracer=None,
     ) -> None:
         if migration is None:
             # Lossless migration where it is sound; the restrictive
@@ -162,6 +163,10 @@ class AdaptiveController:
         self._saved_boundary: Optional[tuple] = None
         self._last_seq = -1
         self._now = float("-inf")
+        # Optional repro.observe Tracer: attached to every engine
+        # generation (per-node counters span plan switches) and fed
+        # run-level instant spans for replans and migrations.
+        self._tracer = tracer
         self._replan_initial()
 
     # -- planning -----------------------------------------------------------
@@ -188,6 +193,10 @@ class AdaptiveController:
         # donor engine already, re-reporting them would skew the EWMAs.
         if self._tracker is not None:
             engine.set_selectivity_tracker(self._tracker)
+        # Same reasoning for tracing: replayed work is migration cost,
+        # not plan-node cost, so the tracer sees only live processing.
+        if self._tracer is not None:
+            engine.set_tracer(self._tracer)
         return engine
 
     @property
@@ -321,9 +330,20 @@ class AdaptiveController:
                 # catalog keeps its baseline, so the decision is
                 # re-derived from scratch at the next drift check.
                 self.replans_suppressed += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "replan_suppressed",
+                        suppressed=self.replans_suppressed,
+                    )
                 return []
         self._catalog = updated
         self.reoptimizations += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "replan",
+                reoptimizations=self.reoptimizations,
+                drifted=len(current),
+            )
         return self._switch_plan(planned=candidate)
 
     def _current_plan_cost(self, candidate: list[PlannedPattern]) -> float:
@@ -408,6 +428,13 @@ class AdaptiveController:
             self._drain_boundary_seq = self._last_seq
         self._migration_metrics.migrations += 1
         self._migration_metrics.pm_migrated += pm_migrated
+        if self._tracer is not None:
+            self._tracer.instant(
+                "plan_migration",
+                policy=self.migration,
+                pm_migrated=pm_migrated,
+                generation=len(self.plan_history),
+            )
         if self.migration != "restart":
             self._saved_boundary = (
                 self._last_seq,

@@ -78,17 +78,27 @@ def _node_pm(variables: VariableSet, stats: PatternStatistics) -> float:
 def latency_model_for(
     decomposed: DecomposedPattern,
     last_variable: Optional[str] = None,
+    tracer=None,
 ) -> LatencyCostModel:
     """Build a latency model for a pattern.
 
     For sequence patterns the last variable is implied; for conjunctions
-    it must be supplied (typically by the output profiler).
+    it must be supplied (typically by the output profiler).  ``tracer``
+    (a :class:`~repro.observe.trace.Tracer`) records each
+    (re)instantiation as an instant span, so profiler-driven changes of
+    ``T_n`` are visible on the run timeline.
     """
     variable = last_variable or decomposed.temporal_last_variable()
     if variable is None:
         raise StatisticsError(
             "cannot infer the last variable of a non-sequence pattern; "
             "pass last_variable (e.g. from OutputProfiler.most_frequent_last())"
+        )
+    if tracer is not None:
+        tracer.instant(
+            "latency_model",
+            last_variable=variable,
+            profiled=last_variable is not None,
         )
     return LatencyCostModel(variable)
 

@@ -164,6 +164,10 @@ class BaseEngine:
             variables = predicate.variables
             if 1 <= len(variables) <= 2:
                 self._sel_key_by_pred[id(predicate)] = frozenset(variables)
+        # Plan-DAG tracing (repro.observe): None keeps the hot path
+        # observation-free — engines never read a clock or touch a
+        # NodeStat without a tracer attached.
+        self._tracer = None
 
     # -- public API --------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
@@ -271,6 +275,28 @@ class BaseEngine:
                 f"{self.metrics.events_processed} events)"
             )
 
+    # -- plan-DAG tracing ----------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a
+        :class:`~repro.observe.trace.Tracer`.
+
+        Each plan node registers one
+        :class:`~repro.observe.trace.NodeStat` and the evaluation loops
+        update it inline — events admitted, partial matches probed /
+        created / expired, matches completed, attributed wall time, and
+        the index bucket-hit / bisect-hit counters.  Tracing only ever
+        counts and times: the match output is byte-identical with and
+        without a tracer, and with ``None`` the engine never reads the
+        clock nor touches a stat (both asserted by the observation-
+        neutrality tests).
+        """
+        self._tracer = tracer
+        self._register_trace_nodes()
+
+    def _register_trace_nodes(self) -> None:
+        """Engine-specific: (re)register per-plan-node stats."""
+        raise NotImplementedError
+
     # -- online selectivity feedback ----------------------------------------
     def set_selectivity_tracker(self, tracker) -> None:
         """Attach a :class:`~repro.stats.online.SelectivityTracker`.
@@ -283,13 +309,14 @@ class BaseEngine:
         selectivities for them.  With ``indexed=True``, equalities
         extracted into hash keys are observed only on scan fallbacks
         (bucket-guaranteed candidates skip them).  Theta range bounds
-        are *bypassed* while a tracker is attached: a bisect yields only
-        passing candidates, which would bias the observed selectivity
-        to 1.0 and mislead replanning — the probe degrades to the hash
-        bucket (or full scan) so theta outcomes stay unbiased.  With
-        ``compiled=True``, attaching a tracker recompiles every kernel
-        into its observing variant; detaching (``None``) restores the
-        observation-free kernels.
+        keep their bisected access path: candidates a sorted-run bisect
+        excludes are reported as *failed* evaluations of the extracted
+        range predicate (exactly — an orderable stored value outside
+        the bisected range is precisely one the predicate rejects), so
+        the observed theta selectivity stays unbiased without degrading
+        the probe to a scan.  With ``compiled=True``, attaching a
+        tracker recompiles every kernel into its observing variant;
+        detaching (``None``) restores the observation-free kernels.
         """
         self._sel_tracker = tracker
         if self.compiled:
@@ -323,6 +350,27 @@ class BaseEngine:
             return
         self._sel_tracker.observe(key, passed)
         self.metrics.selectivity_observations += 1
+
+    def _observe_excluded(self, predicate: Predicate, count: int) -> None:
+        """Report ``count`` candidates a theta bisect excluded as failed
+        evaluations of the extracted range predicate (index-probe
+        selectivity feedback — each excluded orderable stored value is
+        exactly one the predicate rejects)."""
+        if count <= 0:
+            return
+        key = self._sel_key_by_pred.get(id(predicate))
+        if key is None:
+            return
+        observe = self._sel_tracker.observe
+        for _ in range(count):
+            observe(key, False)
+        self.metrics.selectivity_observations += count
+
+    def _excluded_observer(self, predicate: Predicate):
+        """Callback for the stores' ``on_excluded`` probe hook."""
+        def on_excluded(count: int) -> None:
+            self._observe_excluded(predicate, count)
+        return on_excluded
 
     # -- shared plumbing ----------------------------------------------------
     def _advance_time(self, event: Event) -> list[Match]:

@@ -261,7 +261,7 @@ class VariableBuffer:
                 yield event
 
     def probe(
-        self, key: tuple, trigger_seq: int, bound=NO_BOUND
+        self, key: tuple, trigger_seq: int, bound=NO_BOUND, on_excluded=None
     ) -> Iterator[Event]:
         """Indexed ``events_before``: one bucket instead of the buffer.
 
@@ -271,6 +271,11 @@ class VariableBuffer:
         bisects the bucket's value-sorted run instead of walking it; the
         selected events are re-sorted into arrival order, so emission
         order and earliest-eligible semantics are identical to a scan.
+
+        ``on_excluded`` (selectivity feedback) is called with the number
+        of live, eligible sorted-run events the bisect excluded — each
+        is exactly one candidate the extracted theta predicate rejects.
+        Scan fallbacks never call it.
         """
         metrics = self.metrics
         try:
@@ -300,7 +305,9 @@ class VariableBuffer:
                 # exact).
                 pass
             else:
-                yield from self._range_candidates(bucket, trigger_seq, lo, hi)
+                yield from self._range_candidates(
+                    bucket, trigger_seq, lo, hi, on_excluded
+                )
                 return
         live = self._live
         candidates = ()
@@ -336,7 +343,8 @@ class VariableBuffer:
                 yield event
 
     def _range_candidates(
-        self, bucket: _EventBucket, trigger_seq: int, lo: int, hi: int
+        self, bucket: _EventBucket, trigger_seq: int, lo: int, hi: int,
+        on_excluded=None,
     ) -> Iterator[Event]:
         """Theta-bisected bucket candidates, re-sorted to arrival order."""
         metrics = self.metrics
@@ -353,6 +361,18 @@ class VariableBuffer:
                 and event.timestamp >= cutoff
             )
         ]
+        if on_excluded is not None:
+            eligible = sum(
+                1
+                for event in bucket.revents
+                if (
+                    event.seq < trigger_seq
+                    and event.seq in live
+                    and event.timestamp >= cutoff
+                )
+            )
+            if eligible > len(candidates):
+                on_excluded(eligible - len(candidates))
         for extra in (bucket.runordered, self._overflow):
             # Unorderable stored values, then unhashable-key overflow:
             # conservative supersets that must stay probe-visible.

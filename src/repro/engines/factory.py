@@ -55,6 +55,7 @@ def build_engine(
     indexed: bool = True,
     seed: Optional[EngineSnapshot] = None,
     compiled: bool = True,
+    tracer=None,
 ) -> BaseEngine:
     """Instantiate the runtime engine for one planned simple pattern.
 
@@ -66,6 +67,10 @@ def build_engine(
     the new engine's intermediate stores by replaying the snapshot's
     window buffer before any live event arrives (recompute-from-buffer
     migration, see :meth:`BaseEngine.seed_from`).
+
+    ``tracer`` — a :class:`~repro.observe.trace.Tracer` — registers one
+    stat per plan node and turns on per-node attribution; without it the
+    hot path stays observation-free (see :mod:`repro.observe`).
     """
     common = dict(
         selection=planned.selection,
@@ -84,6 +89,8 @@ def build_engine(
         )
     if seed is not None:
         engine.seed_from(seed)
+    if tracer is not None:
+        engine.set_tracer(tracer)
     return engine
 
 
@@ -126,6 +133,7 @@ def build_engines(
     parallel: Optional[Union["ParallelConfig", int]] = None,
     seed: Optional[object] = None,
     compiled: bool = True,
+    tracer=None,
 ) -> Union[Engine, "MultiQueryEngine", "ParallelExecutor"]:
     """Engine for planner output: single engine, disjunction wrapper, or
     — for a :class:`~repro.multiquery.sharing.SharedPlan` — the shared
@@ -144,12 +152,23 @@ def build_engines(
     pass what :meth:`DisjunctionEngine.export_state` returned (one
     snapshot per disjunct).  Seeding parallel executors and shared
     multi-query plans is not supported.
+
+    ``tracer`` attaches plan-DAG tracing (:mod:`repro.observe`) to the
+    built engine — every plan node registers a stat, and the same match
+    lists come out byte-identical.  Parallel executors trace worker-side
+    instead: set ``ParallelConfig(trace=True)`` and merge the per-worker
+    node snapshots.
     """
     from ..multiquery.sharing import SharedPlan as _SharedPlan
 
     if parallel is not None:
         if seed is not None:
             raise EngineError("parallel executors cannot be seeded")
+        if tracer is not None:
+            raise EngineError(
+                "attach tracing to parallel runs via "
+                "ParallelConfig(trace=True)"
+            )
         from ..parallel.executor import ParallelConfig as _Config
         from ..parallel.executor import ParallelExecutor as _Executor
 
@@ -170,19 +189,27 @@ def build_engines(
             raise EngineError("shared multi-query plans cannot be seeded")
         from ..multiquery.executor import MultiQueryEngine as _MultiQueryEngine
 
-        return _MultiQueryEngine(
+        engine = _MultiQueryEngine(
             planned,
             max_kleene_size=max_kleene_size,
             indexed=indexed,
             compiled=compiled,
         )
+        if tracer is not None:
+            engine.set_tracer(tracer)
+        return engine
     if not planned:
         raise EngineError("no planned patterns supplied")
     if len(planned) == 1:
         if seed is not None and not isinstance(seed, EngineSnapshot):
             (seed,) = seed  # a one-element export_state list is fine
         return build_engine(
-            planned[0], max_kleene_size, indexed, seed=seed, compiled=compiled
+            planned[0],
+            max_kleene_size,
+            indexed,
+            seed=seed,
+            compiled=compiled,
+            tracer=tracer,
         )
     engines = [
         build_engine(item, max_kleene_size, indexed, compiled=compiled)
@@ -191,6 +218,8 @@ def build_engines(
     wrapper = DisjunctionEngine(engines)
     if seed is not None:
         wrapper.seed_from(seed)
+    if tracer is not None:
+        wrapper.set_tracer(tracer)
     return wrapper
 
 
@@ -259,6 +288,12 @@ class DisjunctionEngine:
     def set_selectivity_tracker(self, tracker) -> None:
         for engine in self.engines:
             engine.set_selectivity_tracker(tracker)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach one shared tracer to every disjunct sub-engine (their
+        nodes stay apart via per-node labels)."""
+        for engine in self.engines:
+            engine.set_tracer(tracer)
 
     @property
     def metrics(self) -> EngineMetrics:

@@ -13,94 +13,13 @@ The paper's performance metrics (Section 7.2):
 Field reference
 ---------------
 
-======================== =====================================================
-field                    meaning
-======================== =====================================================
-events_processed         primitive events fed to ``process`` by this engine
-matches_emitted          complete matches reported (all queries)
-partial_matches_created  partial-match instances materialized (the paper's
-                         central cost quantity, Section 4)
-peak_partial_matches     max live partial matches + pending matches seen at
-                         any ``note_state`` call (once per event)
-peak_buffered_events     max buffered primitive events (variable buffers
-                         plus negation candidate buffers)
-predicate_evaluations    individual predicate evaluations performed
-index_probes             hash probes against indexed stores
-                         (:mod:`repro.engines.stores`); each probe replaces
-                         a full sibling scan of the seed engines
-index_hits               probes that found a non-empty bucket
-index_misses             probes whose key paired with nothing at all
-range_probes             probes that applied a sorted-run bisect for an
-                         ``Attr < / <= / > / >= Attr`` cross-predicate
-                         (:mod:`repro.engines.stores`); each replaces a
-                         full bucket (or store) scan with a value range
-range_hits               range probes that yielded at least one candidate
-predicate_kernel_calls   invocations of compiled predicate kernels
-                         (:mod:`repro.patterns.compile`); each replaces a
-                         per-candidate bindings merge plus an interpreted
-                         AST walk (0 with ``compiled=False``)
-pm_expired               partial matches dropped by watermark-gated window
-                         expiry
-events_routed            parallel runtime only (:mod:`repro.parallel`):
-                         event *copies* dispatched to workers.  Events of
-                         types no pattern references are dropped at the
-                         driver under every partitioner; overlapping
-                         window slices and query replication make the
-                         count exceed the relevant-event total
-boundary_duplicates_dropped
-                         parallel runtime only: matches produced by a
-                         window slice that did not own them (the overlap
-                         region) and were filtered before the merge
-worker_count             parallel runtime only: workers the merged metrics
-                         aggregate over (0 for a single-engine run)
-selectivity_observations predicate outcomes reported to an attached
-                         :class:`~repro.stats.online.SelectivityTracker`
-                         (0 when no tracker is attached; implied
-                         SEQ-ordering and contiguity predicates are
-                         never observed)
-migrations               adaptive runtime only (:mod:`repro.adaptive`):
-                         plan switches performed by the controller,
-                         under any migration policy
-pm_migrated              adaptive runtime only: in-flight partial
-                         matches (live + pending) preserved across plan
-                         switches by a stateful migration policy
-                         (``recompute`` replay or ``parallel-drain``
-                         overlap); 0 under ``restart``
-matches_saved_by_migration
-                         adaptive runtime only: matches that a
-                         restart-based swap would have lost — deferred
-                         matches drained from the outgoing engine at
-                         swap, plus post-swap matches binding at least
-                         one pre-swap event
-latencies                per-match stream-time detection latencies
-wall_latencies           per-match wall-clock detection latencies (seconds)
-detection_latency        service runtime (:mod:`repro.service`): mergeable
-                         :class:`LatencyHistogram` of end-to-end wall-clock
-                         detection latency — event *arrival at the front
-                         door* (ingest/feed) to match *emission to the
-                         consumer* — with p50/p95/p99 summaries.  Empty
-                         outside the service layer; single-engine runs
-                         report ``wall_latencies`` instead (which excludes
-                         queueing and shipping)
-worker_crashes           service runtime only: worker deaths the run saw
-                         (transport drops, killed processes, liveness
-                         deadline expiries) — including ones recovery
-                         then healed
-worker_reseeds           service runtime only: replacement workers
-                         replayed from the acked window log (each is one
-                         healed crash on a seedable run)
-socket_reconnects        service runtime only: dead shard connections
-                         re-dialed and re-handshaken successfully
-heartbeats_missed        service runtime only: liveness probes that went
-                         unanswered past the heartbeat interval, plus
-                         liveness-deadline expiries
-shards_degraded          service runtime only: workers demoted to a local
-                         backend after reconnection was exhausted (the
-                         circuit breaker opening)
-send_retries             service runtime only: messages re-sent on a
-                         replacement channel (unacked batch replays) plus
-                         connection attempts retried by socket dials
-======================== =====================================================
+The field table below is generated from
+:data:`repro.engines.instruments.INSTRUMENTS` — the same data the
+:class:`~repro.observe.registry.MetricsRegistry` exporters and the
+README failure-mode matrix render — so the docs and the instruments
+cannot drift apart.
+
+{FIELD_TABLE}
 
 The six fault-tolerance counters are plain counters: they **add** under
 both the concurrent and the sequential merge modes (each side's crashes
@@ -115,6 +34,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from .instruments import DERIVED_SUMMARY, INSTRUMENTS, field_table_rst
+
+if __doc__ is not None:  # stripped under ``python -OO``
+    __doc__ = __doc__.replace("{FIELD_TABLE}", field_table_rst())
 
 
 class LatencyHistogram:
@@ -425,37 +349,22 @@ class EngineMetrics:
         return merged
 
     def summary(self) -> dict:
-        """Plain-dict summary for reports."""
-        return {
-            "events": self.events_processed,
-            "matches": self.matches_emitted,
-            "pm_created": self.partial_matches_created,
-            "peak_pm": self.peak_partial_matches,
-            "peak_buffered": self.peak_buffered_events,
-            "peak_memory": self.peak_memory_units,
-            "mean_latency": self.mean_latency,
-            "max_latency": self.max_latency,
-            "mean_wall_latency": self.mean_wall_latency,
-            "predicate_evals": self.predicate_evaluations,
-            "index_probes": self.index_probes,
-            "index_hits": self.index_hits,
-            "index_misses": self.index_misses,
-            "range_probes": self.range_probes,
-            "range_hits": self.range_hits,
-            "predicate_kernel_calls": self.predicate_kernel_calls,
-            "pm_expired": self.pm_expired,
-            "events_routed": self.events_routed,
-            "boundary_duplicates_dropped": self.boundary_duplicates_dropped,
-            "worker_count": self.worker_count,
-            "selectivity_observations": self.selectivity_observations,
-            "migrations": self.migrations,
-            "pm_migrated": self.pm_migrated,
-            "matches_saved_by_migration": self.matches_saved_by_migration,
-            "worker_crashes": self.worker_crashes,
-            "worker_reseeds": self.worker_reseeds,
-            "socket_reconnects": self.socket_reconnects,
-            "heartbeats_missed": self.heartbeats_missed,
-            "shards_degraded": self.shards_degraded,
-            "send_retries": self.send_retries,
-            "detection_latency": self.detection_latency.to_dict(),
-        }
+        """Plain-dict summary for reports.
+
+        Generated from :data:`repro.engines.instruments.INSTRUMENTS`
+        (plus the derived convenience entries), so a new counter shows
+        up here — and in every registry exporter — by describing it
+        once.
+        """
+        out: dict = {}
+        for entry in INSTRUMENTS:
+            if not entry.summary_key:
+                continue
+            value = getattr(self, entry.name)
+            if entry.kind == "histogram":
+                continue  # appended last, like the hand-rolled dict
+            out[entry.summary_key] = value
+        for key, prop in DERIVED_SUMMARY:
+            out[key] = getattr(self, prop)
+        out["detection_latency"] = self.detection_latency.to_dict()
+        return out

@@ -96,8 +96,12 @@ class NFAEngine(BaseEngine):
         # predicates, composed with a value-sorted run for the first
         # Attr </<=/>/>= Attr cross-predicate; the other side supplies
         # the probe key and the theta bound.
-        self._state_probe: dict[int, tuple] = {}  # s -> (id, ev_key, ev_val)
-        self._buffer_probe: dict[str, tuple] = {}  # var -> (pm_key, pm_val)
+        # -> (id, ev_key, ev_val, range_pred)
+        self._state_probe: dict[int, tuple] = {}
+        # -> (pm_key, pm_val, range_pred)
+        self._buffer_probe: dict[str, tuple] = {}
+        # Per-position trace counters (repro.observe); None = no tracer.
+        self._tstats = None
         # Per variable: predicates minus the equalities its transition's
         # hash bucket already guarantees (used on indexed candidates).
         self._residual_preds: dict[str, list] = {}
@@ -122,8 +126,9 @@ class NFAEngine(BaseEngine):
                 ev_key = make_event_key_fn(event_spec)
                 pm_val = ev_val = None
                 state_op = buffer_op = None
+                range_pred = None
                 if range_spec is not None:
-                    prior_item, state_op, event_item, buffer_op, _ = (
+                    prior_item, state_op, event_item, buffer_op, range_pred = (
                         range_spec
                     )
                     pm_val = make_value_fn(prior_item)
@@ -131,13 +136,15 @@ class NFAEngine(BaseEngine):
                 index_id = self._states[position].add_index(
                     pm_key, value_of=pm_val, op=state_op
                 )
-                self._state_probe[position] = (index_id, ev_key, ev_val)
+                self._state_probe[position] = (
+                    index_id, ev_key, ev_val, range_pred
+                )
                 self._buffers[variable].set_index(
                     ev_key,
                     value_of=ev_val,
                     op=buffer_op,
                 )
-                self._buffer_probe[variable] = (pm_key, pm_val)
+                self._buffer_probe[variable] = (pm_key, pm_val, range_pred)
                 skip = set(map(id, extracted))
                 self._residual_preds[variable] = [
                     p
@@ -197,6 +204,19 @@ class NFAEngine(BaseEngine):
         table = self._ext_resid if residual else self._ext_full
         return table.get(position)
 
+    def _register_trace_nodes(self) -> None:
+        """One :class:`~repro.observe.trace.NodeStat` per chain position."""
+        tracer = self._tracer
+        if tracer is None:
+            self._tstats = None
+            return
+        self._tstats = [
+            tracer.register_node(
+                f"{position}:{variable}", "state", engine="nfa"
+            )
+            for position, variable in enumerate(self._order)
+        ]
+
     # -- event loop -----------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
         matches = self._advance_time(event)
@@ -208,17 +228,46 @@ class NFAEngine(BaseEngine):
             return matches
 
         created: list[tuple[PartialMatch, int]] = []
+        tstats = self._tstats
         for variable in admitted:
             position = self._position[variable]
-            created.extend(self._arrival_extensions(variable, position, event))
+            if tstats is None:
+                created.extend(
+                    self._arrival_extensions(variable, position, event)
+                )
+            else:
+                stat = tstats[position]
+                stat.events += 1
+                created.extend(
+                    self._traced_arrival(variable, position, event, stat)
+                )
 
         matches.extend(self._cascade(created))
         self._note_state()
         return matches
 
+    def _traced_arrival(
+        self, variable: str, position: int, event: Event, stat
+    ) -> list[tuple[PartialMatch, int]]:
+        """Tracer-attached arrival: wall time and index counter deltas
+        attributed to the arriving variable's chain position."""
+        metrics = self.metrics
+        ip0, ih0 = metrics.index_probes, metrics.index_hits
+        rp0, rh0 = metrics.range_probes, metrics.range_hits
+        started = self._tracer.clock()
+        created = self._arrival_extensions(
+            variable, position, event, stat=stat
+        )
+        stat.wall += self._tracer.clock() - started
+        stat.index_probes += metrics.index_probes - ip0
+        stat.index_hits += metrics.index_hits - ih0
+        stat.range_probes += metrics.range_probes - rp0
+        stat.range_hits += metrics.range_hits - rh0
+        return created
+
     # -- arrival-driven extensions -------------------------------------------------
     def _arrival_extensions(
-        self, variable: str, position: int, event: Event
+        self, variable: str, position: int, event: Event, stat=None
     ) -> list[tuple[PartialMatch, int]]:
         """Pair the arriving event with all existing eligible instances."""
         created: list[tuple[PartialMatch, int]] = []
@@ -240,6 +289,9 @@ class NFAEngine(BaseEngine):
             candidates, preds, kernel = self._state_candidates(
                 state, position, event
             )
+            if stat is not None:
+                candidates = list(candidates)
+                stat.probed += len(candidates)
             if self._consuming:
                 # Restrictive strategies: the event binds to at most one
                 # instance, and that instance advances (no fork).
@@ -293,19 +345,36 @@ class NFAEngine(BaseEngine):
         bound."""
         probe = self._state_probe.get(position)
         if probe is not None:
-            index_id, ev_key, ev_val = probe
+            index_id, ev_key, ev_val, range_pred = probe
             key = () if ev_key is None else probe_key(ev_key, event)
             if key is not None:
                 bound = NO_BOUND
-                # Tracker attached: skip the bisect so theta outcomes
-                # stay observed unbiased (see TreeEngine._pairings).
-                if ev_val is not None and self._sel_tracker is None:
+                on_excluded = None
+                tracked = (
+                    self._sel_tracker is not None and range_pred is not None
+                )
+                if ev_val is not None:
                     bound = range_probe_value(ev_val, event)
                     if bound is EMPTY_RANGE:
-                        # The theta predicate rejects every instance.
+                        # The theta predicate rejects every instance; with
+                        # a tracker attached each eligible one is reported
+                        # as a failed evaluation so the observed theta
+                        # selectivity stays unbiased.
+                        if tracked:
+                            self._observe_excluded(
+                                range_pred,
+                                sum(
+                                    1
+                                    for _ in state.probe(
+                                        index_id, key, event.seq
+                                    )
+                                ),
+                            )
                         return iter(()), None, self._kernel_for(
                             position, residual=False
                         )
+                    if tracked:
+                        on_excluded = self._excluded_observer(range_pred)
                 exact = ev_key is not None and state.index_exact(index_id)
                 preds = (
                     self._residual_preds[self._order[position]]
@@ -313,7 +382,13 @@ class NFAEngine(BaseEngine):
                     else None  # overflow present / no equality: full
                 )
                 return (
-                    state.probe(index_id, key, event.seq, bound=bound),
+                    state.probe(
+                        index_id,
+                        key,
+                        event.seq,
+                        bound=bound,
+                        on_excluded=on_excluded,
+                    ),
                     preds,
                     self._kernel_for(position, residual=exact),
                 )
@@ -344,9 +419,12 @@ class NFAEngine(BaseEngine):
     ) -> list[Match]:
         matches: list[Match] = []
         queue = list(seed)
+        tstats = self._tstats
         while queue:
             pm, state = queue.pop()
             self.metrics.partial_matches_created += 1
+            if tstats is not None:
+                tstats[state - 1].created += 1
             bound_var = self._order[state - 1]
             if not self._bounded_negation_ok(pm, bound_var):
                 continue
@@ -354,6 +432,8 @@ class NFAEngine(BaseEngine):
                 match = self._complete(pm)
                 if match is not None:
                     matches.append(match)
+                    if tstats is not None:
+                        tstats[state - 1].matches += 1
                 if self._absorbing_accept and not self._consuming:
                     # Keep the instance absorbable and grow it with any
                     # already-buffered Kleene events.
@@ -369,11 +449,32 @@ class NFAEngine(BaseEngine):
             if bound_var in self._kleene and not self._consuming:
                 queue.extend(self._buffer_absorptions(pm, bound_var, state))
 
-            queue.extend(self._buffer_extensions(pm, state))
+            if tstats is None:
+                queue.extend(self._buffer_extensions(pm, state))
+            else:
+                queue.extend(self._traced_buffer_extensions(pm, state))
         return matches
 
-    def _buffer_extensions(
+    def _traced_buffer_extensions(
         self, pm: PartialMatch, state: int
+    ) -> list[tuple[PartialMatch, int]]:
+        """Tracer-attached buffer scan: wall time and index counter
+        deltas attributed to the position the scan binds."""
+        stat = self._tstats[state]
+        metrics = self.metrics
+        ip0, ih0 = metrics.index_probes, metrics.index_hits
+        rp0, rh0 = metrics.range_probes, metrics.range_hits
+        started = self._tracer.clock()
+        created = self._buffer_extensions(pm, state, stat=stat)
+        stat.wall += self._tracer.clock() - started
+        stat.index_probes += metrics.index_probes - ip0
+        stat.index_hits += metrics.index_hits - ih0
+        stat.range_probes += metrics.range_probes - rp0
+        stat.range_hits += metrics.range_hits - rh0
+        return created
+
+    def _buffer_extensions(
+        self, pm: PartialMatch, state: int, stat=None
     ) -> list[tuple[PartialMatch, int]]:
         """Scan the next variable's buffer for earlier-arrived events —
         one hash bucket, theta-bisected when the transition carries an
@@ -385,26 +486,49 @@ class NFAEngine(BaseEngine):
         kernel = self._kernel_for(state, residual=False)
         probe = self._buffer_probe.get(variable)
         if probe is not None:
-            pm_key_of, pm_val_of = probe
+            pm_key_of, pm_val_of, range_pred = probe
             key = (
                 () if pm_key_of is None else probe_key(pm_key_of, pm.bindings)
             )
             if key is not None:
                 bound = NO_BOUND
-                # Tracker attached: skip the bisect so theta outcomes
-                # stay observed unbiased (see TreeEngine._pairings).
-                if pm_val_of is not None and self._sel_tracker is None:
+                on_excluded = None
+                tracked = (
+                    self._sel_tracker is not None and range_pred is not None
+                )
+                if pm_val_of is not None:
                     bound = range_probe_value(pm_val_of, pm.bindings)
                     if bound is EMPTY_RANGE:
-                        # The theta predicate rejects every buffered event.
+                        # The theta predicate rejects every buffered event;
+                        # with a tracker attached each eligible one is
+                        # reported as a failed evaluation so the observed
+                        # theta selectivity stays unbiased.
+                        if tracked:
+                            self._observe_excluded(
+                                range_pred,
+                                sum(
+                                    1
+                                    for _ in buffer.probe(key, pm.trigger_seq)
+                                ),
+                            )
                         return []
-                candidates = buffer.probe(key, pm.trigger_seq, bound=bound)
+                    if tracked:
+                        on_excluded = self._excluded_observer(range_pred)
+                candidates = buffer.probe(
+                    key,
+                    pm.trigger_seq,
+                    bound=bound,
+                    on_excluded=on_excluded,
+                )
                 if pm_key_of is not None and buffer.index_exact:
                     # Bucket-guaranteed: skip the extracted equalities.
                     preds = self._residual_preds[variable]
                     kernel = self._kernel_for(state, residual=True)
         if candidates is None:
             candidates = buffer.events_before(pm.trigger_seq)
+        if stat is not None:
+            candidates = list(candidates)
+            stat.probed += len(candidates)
         created: list[tuple[PartialMatch, int]] = []
         for event in candidates:
             if self._check_extension(pm, variable, event, preds, kernel):
@@ -460,8 +584,13 @@ class NFAEngine(BaseEngine):
     def _expire_instances(self) -> None:
         """Watermark-gated: O(1) per state until something can expire."""
         cutoff = self._now - self.window
-        for store in self._states.values():
-            store.expire(cutoff)
+        tstats = self._tstats
+        if tstats is None:
+            for store in self._states.values():
+                store.expire(cutoff)
+        else:
+            for state, store in self._states.items():
+                tstats[state - 1].expired += store.expire(cutoff)
 
     def _purge_consumed(self, seqs: frozenset) -> None:
         for store in self._states.values():

@@ -603,6 +603,7 @@ class PartialMatchStore:
         key: tuple,
         trigger_seq: int,
         bound=NO_BOUND,
+        on_excluded=None,
     ) -> Iterator[PartialMatch]:
         """Bucket candidates with ``trigger_seq`` strictly below the bound.
 
@@ -614,6 +615,13 @@ class PartialMatchStore:
         candidates are re-sorted into insertion (= trigger) order so
         emission order and first-candidate semantics are identical to a
         scan.
+
+        ``on_excluded`` (selectivity feedback, see
+        :meth:`~repro.engines.base.BaseEngine.set_selectivity_tracker`)
+        is called with the number of live, trigger-eligible sorted-run
+        entries the bisect excluded — each is exactly one candidate the
+        extracted theta predicate rejects.  Scan fallbacks never call
+        it: their candidates get the predicate evaluated for real.
         """
         index = self._indexes[index_id]
         metrics = self.metrics
@@ -645,7 +653,7 @@ class PartialMatchStore:
             and bound is not NO_BOUND
         ):
             yield from self._range_candidates(
-                index, bucket, trigger_seq, bound
+                index, bucket, trigger_seq, bound, on_excluded
             )
             return
         if bucket is not None:
@@ -675,7 +683,8 @@ class PartialMatchStore:
                     yield pm
 
     def _range_candidates(
-        self, index: _Index, bucket: _Bucket, trigger_seq: int, bound
+        self, index: _Index, bucket: _Bucket, trigger_seq: int, bound,
+        on_excluded=None,
     ) -> Iterator[PartialMatch]:
         """Theta-bisected candidates of one bucket, insertion-ordered."""
         metrics = self.metrics
@@ -694,6 +703,15 @@ class PartialMatchStore:
             for entry in bucket.rentries[lo:hi]
             if entry[1].trigger_seq < trigger_seq and id(entry[1]) in ids
         ]
+        if on_excluded is not None:
+            eligible = sum(
+                1
+                for entry in bucket.rentries
+                if entry[1].trigger_seq < trigger_seq
+                and id(entry[1]) in ids
+            )
+            if eligible > len(candidates):
+                on_excluded(eligible - len(candidates))
         for extra in (bucket.runordered, None):
             # Unorderable stored values, then unhashable-key overflow:
             # both conservative supersets that must stay probe-visible.

@@ -74,9 +74,11 @@ class _RuntimeNode:
         "probe_index",
         "probe_key_of",
         "probe_bound_of",
+        "range_predicate",
         "merge_full",
         "merge_resid",
         "absorb_kernel",
+        "tstat",
     )
 
     def __init__(self, plan_node: TreeNode) -> None:
@@ -100,6 +102,12 @@ class _RuntimeNode:
         self.probe_index: Optional[int] = None
         self.probe_key_of = None
         self.probe_bound_of = None
+        # The extracted theta predicate behind probe_bound_of, kept so
+        # bisect-excluded candidates can be reported to a selectivity
+        # tracker as failed evaluations of exactly this predicate.
+        self.range_predicate: Optional[Predicate] = None
+        # Per-node trace counters (repro.observe); None without a tracer.
+        self.tstat = None
         # Compiled kernels (repro.patterns.compile), oriented with this
         # node's instance on the left and the sibling's on the right.
         self.merge_full = INTERPRET
@@ -208,9 +216,11 @@ class TreeEngine(BaseEngine):
         left_val = right_val = None
         left_op = right_op = None
         if range_spec is not None:
-            left_item, left_op, right_item, right_op, _ = range_spec
+            left_item, left_op, right_item, right_op, range_pred = range_spec
             left_val = make_value_fn(left_item)
             right_val = make_value_fn(right_item)
+            left.range_predicate = range_pred
+            right.range_predicate = range_pred
         left.probe_index = right.store.add_index(
             right_key, value_of=right_val, op=right_op
         )
@@ -304,6 +314,21 @@ class TreeEngine(BaseEngine):
                 )
             target.negation_specs.append(prepared)
 
+    def _register_trace_nodes(self) -> None:
+        """One :class:`~repro.observe.trace.NodeStat` per plan node."""
+        tracer = self._tracer
+        if tracer is None:
+            for node in self._nodes:
+                node.tstat = None
+            return
+        for node in self._nodes:
+            if node.is_leaf:
+                label, kind = node.variable, "leaf"
+            else:
+                label = "join(" + ",".join(sorted(node.variables)) + ")"
+                kind = "join"
+            node.tstat = tracer.register_node(label, kind, engine="tree")
+
     # -- event loop ------------------------------------------------------------
     def process(self, event: Event) -> list[Match]:
         matches = self._advance_time(event)
@@ -313,6 +338,9 @@ class TreeEngine(BaseEngine):
         if not admitted:
             self._note_state()
             return matches
+        if self._tracer is not None:
+            for variable in admitted:
+                self._leaf_for[variable].tstat.events += 1
 
         queue: list[tuple[PartialMatch, _RuntimeNode]] = []
         for variable in admitted:
@@ -380,22 +408,52 @@ class TreeEngine(BaseEngine):
     ) -> list[Match]:
         matches: list[Match] = []
         queue = list(seed)
+        tracing = self._tracer is not None
         while queue:
             pm, node = queue.pop()
             self.metrics.partial_matches_created += 1
+            if tracing:
+                node.tstat.created += 1
             if node.negation_specs and not self._node_negation_ok(pm, node):
                 continue
             if node is self._root:
                 match = self._complete(pm)
                 if match is not None:
                     matches.append(match)
+                    if tracing:
+                        node.tstat.matches += 1
                 continue
             node.store.insert(pm)
-            queue.extend(self._pairings(pm, node))
+            if tracing:
+                queue.extend(self._traced_pairings(pm, node))
+            else:
+                queue.extend(self._pairings(pm, node))
         return matches
 
-    def _pairings(
+    def _traced_pairings(
         self, pm: PartialMatch, node: _RuntimeNode
+    ) -> list[tuple[PartialMatch, _RuntimeNode]]:
+        """Tracer-attached :meth:`_pairings`: wall time and the index
+        counter deltas of this pairing are attributed to the parent join
+        node (the node whose combination work it is)."""
+        parent = node.parent
+        if parent is None:
+            return self._pairings(pm, node)
+        stat = parent.tstat
+        metrics = self.metrics
+        ip0, ih0 = metrics.index_probes, metrics.index_hits
+        rp0, rh0 = metrics.range_probes, metrics.range_hits
+        started = self._tracer.clock()
+        created = self._pairings(pm, node, stat=stat)
+        stat.wall += self._tracer.clock() - started
+        stat.index_probes += metrics.index_probes - ip0
+        stat.index_hits += metrics.index_hits - ih0
+        stat.range_probes += metrics.range_probes - rp0
+        stat.range_hits += metrics.range_hits - rh0
+        return created
+
+    def _pairings(
+        self, pm: PartialMatch, node: _RuntimeNode, stat=None
     ) -> list[tuple[PartialMatch, _RuntimeNode]]:
         """Combine a new instance with earlier sibling instances.
 
@@ -418,21 +476,42 @@ class TreeEngine(BaseEngine):
             )
             if key is not None:
                 bound = NO_BOUND
-                # With a selectivity tracker attached the range bound is
-                # bypassed: a bisect yields only passing candidates, so
-                # the observed theta outcomes would be biased to True
-                # and mislead replanning.  Bucket scans keep feedback
-                # unbiased (the theta predicate stays residual).
-                if node.probe_bound_of is not None and (
-                    self._sel_tracker is None
-                ):
+                on_excluded = None
+                if node.probe_bound_of is not None:
                     bound = range_probe_value(node.probe_bound_of, pm.bindings)
+                    tracked = (
+                        self._sel_tracker is not None
+                        and node.range_predicate is not None
+                    )
                     if bound is EMPTY_RANGE:
                         # The theta predicate rejects every sibling
-                        # instance: zero candidates, exactly.
+                        # instance: zero candidates, exactly.  With a
+                        # tracker attached those rejections still count
+                        # as failed theta evaluations, keeping the
+                        # observed selectivity unbiased.
+                        if tracked:
+                            self._observe_excluded(
+                                node.range_predicate,
+                                sum(
+                                    1
+                                    for _ in sibling.store.probe(
+                                        node.probe_index,
+                                        key,
+                                        pm.trigger_seq,
+                                    )
+                                ),
+                            )
                         return []
+                    if tracked:
+                        on_excluded = self._excluded_observer(
+                            node.range_predicate
+                        )
                 candidates = sibling.store.probe(
-                    node.probe_index, key, pm.trigger_seq, bound=bound
+                    node.probe_index,
+                    key,
+                    pm.trigger_seq,
+                    bound=bound,
+                    on_excluded=on_excluded,
                 )
                 if node.probe_key_of is not None and sibling.store.index_exact(
                     node.probe_index
@@ -443,6 +522,9 @@ class TreeEngine(BaseEngine):
                         kernel = node.merge_resid
         if candidates is None:
             candidates = sibling.store.iter_before(pm.trigger_seq)
+        if stat is not None:
+            candidates = list(candidates)
+            stat.probed += len(candidates)
         created: list[tuple[PartialMatch, _RuntimeNode]] = []
         for other in candidates:
             merged = self._try_merge(pm, other, parent, predicates, kernel)
@@ -500,8 +582,12 @@ class TreeEngine(BaseEngine):
     def _expire_instances(self) -> None:
         """Watermark-gated: O(1) per node until something can expire."""
         cutoff = self._now - self.window
-        for node in self._nodes:
-            node.store.expire(cutoff)
+        if self._tracer is None:
+            for node in self._nodes:
+                node.store.expire(cutoff)
+        else:
+            for node in self._nodes:
+                node.tstat.expired += node.store.expire(cutoff)
 
     def _purge_consumed(self, seqs: frozenset) -> None:
         for node in self._nodes:

@@ -227,7 +227,8 @@ class _RuntimeNode:
     """Mutable store attached to one shared plan node."""
 
     __slots__ = (
-        "spec", "store", "parents", "states", "kleene", "admit_kernel"
+        "spec", "store", "parents", "states", "kleene", "admit_kernel",
+        "tstat",
     )
 
     def __init__(self, spec, metrics: EngineMetrics) -> None:
@@ -240,6 +241,8 @@ class _RuntimeNode:
         self.kleene: frozenset = frozenset()
         # Compiled leaf admission kernel (None = no filters).
         self.admit_kernel = None
+        # Per-node trace counters (repro.observe); None = no tracer.
+        self.tstat = None
 
 
 class MultiQueryEngine:
@@ -267,6 +270,9 @@ class MultiQueryEngine:
         self.metrics = EngineMetrics()
         self._now = float("-inf")
         self._event_wall_started = 0.0
+        # Plan-DAG tracing (repro.observe): None keeps the hot path
+        # observation-free — no counter bumps, no clock reads.
+        self._tracer = None
 
         runtime: Dict[int, _RuntimeNode] = {}
         for node in plan.nodes:  # topological: children precede parents
@@ -417,6 +423,34 @@ class MultiQueryEngine:
         right_edge.probe_key_of = right_key
         right_edge.probe_bound_of = right_val
 
+    # -- plan-DAG tracing ----------------------------------------------------
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with ``None``) a
+        :class:`~repro.observe.trace.Tracer`.  Tracing only counts and
+        times — the per-query match lists are byte-identical either way
+        (asserted by the equivalence tests)."""
+        self._tracer = tracer
+        self._register_trace_nodes()
+
+    def _register_trace_nodes(self) -> None:
+        """One :class:`~repro.observe.trace.NodeStat` per shared node."""
+        tracer = self._tracer
+        if tracer is None:
+            for node in self._nodes:
+                node.tstat = None
+            return
+        for node in self._nodes:
+            spec = node.spec
+            if isinstance(spec, SharedLeaf):
+                label, kind = spec.variable, "leaf"
+            else:
+                variables = sorted(
+                    set(spec.left_map.values()) | set(spec.right_map.values())
+                )
+                label = "join(" + ",".join(variables) + ")"
+                kind = "join"
+            node.tstat = tracer.register_node(label, kind, engine="multiquery")
+
     # -- public API ---------------------------------------------------------
     def process(self, event: Event) -> List[Match]:
         """Feed one event; return the matches it completed, all queries."""
@@ -424,11 +458,18 @@ class MultiQueryEngine:
         self._event_wall_started = time.perf_counter()
         self._now = event.timestamp
 
+        tracing = self._tracer is not None
         matches: List[Match] = []
-        for node in self._nodes:
-            # Watermark-gated: an O(1) no-op until an instance at this
-            # node can actually expire (no per-node list per event).
-            node.store.expire(event.timestamp - node.spec.window)
+        if not tracing:
+            for node in self._nodes:
+                # Watermark-gated: an O(1) no-op until an instance at this
+                # node can actually expire (no per-node list per event).
+                node.store.expire(event.timestamp - node.spec.window)
+        else:
+            for node in self._nodes:
+                node.tstat.expired += node.store.expire(
+                    event.timestamp - node.spec.window
+                )
         for state in self._states:
             matches.extend(state.advance(self._now, self))
         for state in self._states:
@@ -448,6 +489,8 @@ class MultiQueryEngine:
                     p.evaluate({spec.variable: event}) for p in spec.filters
                 ):
                     continue
+            if tracing:
+                leaf.tstat.events += 1
             if spec.kleene:
                 queue.append(
                     (PartialMatch.kleene_singleton(spec.variable, event), leaf)
@@ -483,21 +526,48 @@ class MultiQueryEngine:
     ) -> List[Match]:
         matches: List[Match] = []
         queue = list(seed)
+        tracing = self._tracer is not None
         while queue:
             pm, node = queue.pop()
             self.metrics.partial_matches_created += 1
+            if tracing:
+                node.tstat.created += 1
             for state in node.states:
                 match = state.complete(pm, self._now, self)
                 if match is not None:
                     matches.append(match)
+                    if tracing:
+                        node.tstat.matches += 1
             if node.parents:
                 node.store.insert(pm)
-                for edge in node.parents:
-                    queue.extend(self._pairings(pm, edge))
+                if tracing:
+                    for edge in node.parents:
+                        queue.extend(self._traced_pairings(pm, edge))
+                else:
+                    for edge in node.parents:
+                        queue.extend(self._pairings(pm, edge))
         return matches
 
-    def _pairings(
+    def _traced_pairings(
         self, pm: PartialMatch, edge: _Edge
+    ) -> List[Tuple[PartialMatch, _RuntimeNode]]:
+        """Tracer-attached pairing: wall time and index counter deltas
+        attributed to the parent join node."""
+        stat = edge.parent.tstat
+        metrics = self.metrics
+        ip0, ih0 = metrics.index_probes, metrics.index_hits
+        rp0, rh0 = metrics.range_probes, metrics.range_hits
+        started = self._tracer.clock()
+        created = self._pairings(pm, edge, stat=stat)
+        stat.wall += self._tracer.clock() - started
+        stat.index_probes += metrics.index_probes - ip0
+        stat.index_hits += metrics.index_hits - ih0
+        stat.range_probes += metrics.range_probes - rp0
+        stat.range_hits += metrics.range_hits - rh0
+        return created
+
+    def _pairings(
+        self, pm: PartialMatch, edge: _Edge, stat=None
     ) -> List[Tuple[PartialMatch, _RuntimeNode]]:
         """Combine a new instance with earlier instances of the sibling.
 
@@ -535,6 +605,9 @@ class MultiQueryEngine:
                         kernel = edge.merge_resid
         if candidates is None:
             candidates = sibling.store.iter_before(pm.trigger_seq)
+        if stat is not None:
+            candidates = list(candidates)
+            stat.probed += len(candidates)
         created: List[Tuple[PartialMatch, _RuntimeNode]] = []
         parent = edge.parent
         for other in candidates:

@@ -1,0 +1,37 @@
+"""Unified observability: plan-DAG tracing, metrics registry, reports.
+
+Three pillars over the runtimes in :mod:`repro.engines` and the
+service layer in :mod:`repro.service`:
+
+* :class:`Tracer` (:mod:`repro.observe.trace`) — opt-in per-plan-node
+  attribution (events, partial matches, wall time, index hit
+  fractions) plus run-level spans; zero hot-path cost when detached.
+* :class:`MetricsRegistry` (:mod:`repro.observe.registry`) — named
+  counter/gauge/histogram instruments over ``EngineMetrics`` with
+  Prometheus and JSON exporters and ring-buffer time series.
+* ``python -m repro.observe.report`` — text reports from a trace file
+  or a live socket shard polled mid-stream via the ``STATS`` frame.
+"""
+
+from .export import (
+    to_chrome_trace,
+    to_json,
+    write_chrome_trace,
+    write_json,
+)
+from .registry import DEFAULT_SERIES_CAPACITY, MetricsRegistry, TimeSeries
+from .trace import NODE_COUNTERS, NodeStat, Tracer, merge_node_stats
+
+__all__ = [
+    "DEFAULT_SERIES_CAPACITY",
+    "MetricsRegistry",
+    "NODE_COUNTERS",
+    "NodeStat",
+    "TimeSeries",
+    "Tracer",
+    "merge_node_stats",
+    "to_chrome_trace",
+    "to_json",
+    "write_chrome_trace",
+    "write_json",
+]

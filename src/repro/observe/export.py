@@ -1,0 +1,131 @@
+"""Trace export: JSON and Chrome ``trace_event`` (Perfetto) formats.
+
+:func:`to_json` round-trips a :class:`~repro.observe.trace.Tracer`
+snapshot; :func:`to_chrome_trace` converts the same snapshot to the
+Chrome ``trace_event`` JSON-array format that ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* run-level spans become complete (``"X"``) events on a per-span-name
+  thread row, timestamps in microseconds relative to the tracer origin;
+* plan nodes become one row each (named counter tracks via metadata
+  events), carrying the node's counters as event ``args`` so the
+  Perfetto details pane shows selectivity and hit fractions inline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .trace import NODE_COUNTERS, NodeStat
+
+#: trace_event pid used for all rows; the repo is one logical process.
+_PID = 1
+
+
+def to_json(snapshot: dict, indent: Optional[int] = 2) -> str:
+    """Serialize a tracer/registry snapshot as JSON text."""
+    return json.dumps(snapshot, indent=indent, sort_keys=False)
+
+
+def write_json(snapshot: dict, path: str, indent: Optional[int] = 2) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(snapshot, indent=indent))
+        handle.write("\n")
+    return path
+
+
+def _node_args(node: NodeStat) -> dict:
+    args = {name: getattr(node, name) for name in NODE_COUNTERS}
+    args["wall_seconds"] = node.wall
+    args["bucket_hit_fraction"] = round(node.bucket_hit_fraction, 6)
+    args["bisect_hit_fraction"] = round(node.bisect_hit_fraction, 6)
+    args["survivor_fraction"] = round(node.survivor_fraction, 6)
+    return args
+
+
+def to_chrome_trace(snapshot: dict) -> List[dict]:
+    """Convert a tracer snapshot to Chrome ``trace_event`` records.
+
+    Returns the JSON-array form (a list of event dicts); dump it with
+    ``json.dump`` or :func:`write_chrome_trace` and load the file in
+    Perfetto.  Span rows share tid 0; each plan node gets its own tid
+    (named via ``thread_name`` metadata) with one ``"X"`` event whose
+    duration is the node's attributed wall time, so "top nodes by
+    time" is literally the widest slices on screen.
+    """
+    run_id = snapshot.get("run_id", "run")
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": f"repro:{run_id}"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "run spans"},
+        },
+    ]
+    for span in snapshot.get("spans", ()):
+        record = {
+            "name": span["name"],
+            "ph": "X",
+            "pid": _PID,
+            "tid": 0,
+            "ts": span["ts"] * 1e6,
+            "dur": span["dur"] * 1e6,
+            "cat": "run",
+            "args": dict(span.get("attrs") or {}),
+        }
+        if record["dur"] == 0.0:
+            record["ph"] = "i"
+            record["s"] = "g"  # global-scope instant marker
+            del record["dur"]
+        events.append(record)
+    cursor = 0.0
+    for index, data in enumerate(snapshot.get("nodes", ())):
+        node = NodeStat.from_dict(data)
+        tid = index + 1
+        title = f"{node.kind}:{node.label}"
+        if node.engine:
+            title = f"{node.engine} {title}"
+        if node.worker is not None:
+            title += f" w{node.worker}"
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": title},
+            }
+        )
+        events.append(
+            {
+                "name": node.label,
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                # Nodes are laid end to end: attributed wall time is a
+                # total, not an interval, so only widths are meaningful.
+                "ts": cursor * 1e6,
+                "dur": node.wall * 1e6,
+                "cat": f"node:{node.kind}",
+                "args": _node_args(node),
+            }
+        )
+        cursor += node.wall
+    return events
+
+
+def write_chrome_trace(snapshot: dict, path: str) -> str:
+    """Write the Chrome/Perfetto trace file for a tracer snapshot."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(snapshot), handle)
+        handle.write("\n")
+    return path

@@ -110,6 +110,15 @@ class ParallelConfig:
       every channel the pool creates is wrapped in a
       :class:`~repro.service.faults.FaultingChannel` executing it
       (deterministic fault injection for tests and chaos runs).
+
+    Observability knob:
+
+    * ``trace`` — each worker grows a plan-DAG
+      :class:`~repro.observe.trace.Tracer` and attaches it to every
+      engine it builds; per-node counters come back through mid-stream
+      STATS polls (:meth:`~repro.service.session.Session.stats`).
+      Off by default: an untraced worker never imports
+      :mod:`repro.observe` and keeps the observation-free hot path.
     """
 
     workers: int = 0
@@ -131,6 +140,7 @@ class ParallelConfig:
     degradation: str = "fail"
     degrade_backend: str = "serial"
     fault_plan: Optional[object] = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.partitioner not in _PARTITIONERS:

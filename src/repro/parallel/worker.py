@@ -128,6 +128,10 @@ class WorkerTask:
     t0: float = 0.0
     span: float = 0.0
     window: float = 0.0
+    # Plan-DAG tracing (repro.observe): the runner creates one
+    # worker-local Tracer and attaches it to every engine it builds;
+    # the driver merges the per-worker node snapshots afterwards.
+    trace: bool = False
 
     def owner_bounds(self, slice_id: int) -> Tuple[float, float]:
         return slice_owner_bounds(self.t0, self.span, slice_id)
@@ -187,6 +191,13 @@ class TaskRunner:
         # overstate worker memory by the total slice count.
         self._peak_pm = 0
         self._peak_buffered = 0
+        self._tracer = None
+        if task.trace:
+            # Imported lazily: the hot path of an untraced worker never
+            # touches repro.observe.
+            from ..observe.trace import Tracer
+
+            self._tracer = Tracer()
 
     def seed(self, events: Sequence[Event], now: float) -> None:
         """Rebuild the (single-mode) engine from a window event log.
@@ -220,7 +231,25 @@ class TaskRunner:
             raise ParallelError(
                 "this worker's engine cannot be reseeded from a snapshot"
             )
+        if self._tracer is not None:
+            engine.set_tracer(self._tracer)
         self._engines[0] = engine
+
+    def stats(self) -> dict:
+        """Mid-run snapshot: merged metrics of the live engines plus the
+        retired accumulator, and (when tracing) per-node counters.
+
+        Read-only and epoch-independent — polling never disturbs the
+        engines, so a live service worker can answer a STATS frame
+        mid-stream (:mod:`repro.service.protocol`).
+        """
+        metrics = self._retired
+        for engine in self._engines.values():
+            metrics = metrics.merge(engine.metrics, disjoint_streams=True)
+        nodes = (
+            self._tracer.node_dicts() if self._tracer is not None else None
+        )
+        return {"metrics": metrics, "nodes": nodes}
 
     def take_matches(self) -> List[Match]:
         """Drain the matches kept since the last drain (service acks)."""
@@ -236,6 +265,8 @@ class TaskRunner:
             engine = engines.get(key)
             if engine is None:
                 engine = self.task.spec.build()
+                if self._tracer is not None:
+                    engine.set_tracer(self._tracer)
                 engines[key] = engine
                 if window_mode:
                     hi = slice_delivery_bounds(

@@ -37,6 +37,14 @@ follows the call site it replaces (``count="each"`` for join residuals
 and extensions, ``"all"`` for admission filters that pre-charge
 ``len(filters)``, ``"none"`` for buffer filters, which never counted).
 
+Plan-DAG tracing (:mod:`repro.observe`) never reaches inside a kernel:
+kernels stay observation-free either way, and the traced call sites
+attribute kernel work per plan node by snapshotting
+:class:`~repro.engines.metrics.EngineMetrics` counters and the tracer's
+monotonic clock around the whole candidate loop — so attaching a
+:class:`~repro.observe.trace.Tracer` changes neither the compiled code
+nor any per-candidate branch.
+
 Engines expose ``compiled=False`` to keep the interpreted path
 byte-identical — the baseline of the kernel-equivalence tests and the
 fig24 benchmark.

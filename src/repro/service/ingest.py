@@ -74,6 +74,7 @@ class Ingestor:
         flush_events: int = 256,
         flush_seconds: float = 0.05,
         span: Optional[float] = None,
+        registry=None,
     ) -> None:
         if backpressure not in ("block", "shed"):
             raise ParallelError(
@@ -104,6 +105,15 @@ class Ingestor:
         self._last_ts = float("-inf")
         #: Events dropped by the ``"shed"`` backpressure policy.
         self.shed = 0
+        #: Producer suspensions under the ``"block"`` policy (the queue
+        #: was full when ``put`` arrived).
+        self.blocked = 0
+        # Optional MetricsRegistry (repro.observe): each flush samples
+        # queue depth, backpressure blocks/sheds, streaming frontier
+        # lag, and per-worker liveness age into its ring-buffer time
+        # series.  Untyped and unimported when absent — observability
+        # stays strictly opt-in.
+        self._registry = registry
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "Ingestor":
@@ -183,6 +193,8 @@ class Ingestor:
                     self.shed += 1
                     return False
             else:
+                if self._inq.full():
+                    self.blocked += 1
                 await self._inq.put(item)
             # Stamp only after admission: a shed (or cancelled) event
             # must not burn a sequence number, or the frontier math
@@ -190,7 +202,14 @@ class Ingestor:
             # sound — no other producer can slip in between.
             self._next_seq += 1
             self._last_ts = event.timestamp
-            return True
+        if self._inq.qsize() >= self._flush_events:
+            # A full batch is queued: yield once so the pump can cut a
+            # frame.  Without this a tight producer loop over a
+            # never-full queue has no suspension point and starves the
+            # event loop — the pump (and hence the whole run) would not
+            # start until the producer first blocks.
+            await asyncio.sleep(0)
+        return True
 
     async def put_many(self, events: Iterable[Event]) -> int:
         """Admit events in order; returns how many were accepted."""
@@ -240,6 +259,28 @@ class Ingestor:
         degradations) the underlying run has recorded so far."""
         return self._stream.runtime_events
 
+    async def stats(self) -> dict:
+        """Poll every live worker mid-stream via the epoch-free STATS
+        frame (see :meth:`~repro.service.session.Session.stats`).  The
+        poll runs on a worker thread; the pool's I/O lock keeps its
+        frames from interleaving with an in-flight feed."""
+        if self._loop is None:
+            raise ParallelError("ingestor was never started")
+        return await self._loop.run_in_executor(None, self._stream.stats)
+
+    def _sample_registry(self) -> None:
+        registry = self._registry
+        registry.series("ingest_queue_depth").sample(self._inq.qsize())
+        registry.series("ingest_shed_events").sample(self.shed)
+        registry.series("ingest_blocked_puts").sample(self.blocked)
+        registry.series("frontier_lag_events").sample(
+            self._stream.frontier_lag
+        )
+        for worker_id, age in enumerate(self._stream.liveness_ages()):
+            registry.series(
+                f"worker{worker_id}_liveness_age_seconds"
+            ).sample(age)
+
     # -- the pump ------------------------------------------------------------
     async def _pump(self) -> None:
         try:
@@ -281,41 +322,53 @@ class Ingestor:
         return result
 
     async def _pump_loop(self) -> None:
+        # The queue is read through a persistent getter task plus
+        # asyncio.wait, never wait_for(get(), timeout): wait_for
+        # cancels the get on timeout, and when the timeout races an
+        # external cancellation it raises TimeoutError instead —
+        # swallowing the cancel and leaving close()/__aexit__ awaiting
+        # a pump that went back to sleep.  asyncio.wait leaves the
+        # getter running across flushes, so no item is ever dropped
+        # and cancellation always propagates.
         events: list = []
         arrivals: list = []
         deadline: Optional[float] = None
-        while True:
-            if deadline is None:
-                item = await self._inq.get()
-            else:
-                timeout = deadline - self._loop.time()
-                if timeout <= 0:
+        getter: Optional[asyncio.Task] = None
+        try:
+            while True:
+                if getter is None:
+                    getter = self._loop.create_task(self._inq.get())
+                if deadline is None:
+                    item = await getter
+                    getter = None
+                else:
+                    timeout = deadline - self._loop.time()
+                    if timeout > 0 and not getter.done():
+                        await asyncio.wait((getter,), timeout=timeout)
+                    if not getter.done():
+                        await self._flush(events, arrivals)
+                        events, arrivals, deadline = [], [], None
+                        continue
+                    item = getter.result()
+                    getter = None
+                if item is _EOS:
+                    await self._flush(events, arrivals)
+                    final = await self._offload(self._stream.finish)
+                    for match in final:
+                        self._outq.put_nowait(match)
+                    self._outq.put_nowait(_EOS)
+                    return
+                event, arrived = item
+                if not events:
+                    deadline = self._loop.time() + self._flush_seconds
+                events.append(event)
+                arrivals.append(arrived)
+                if len(events) >= self._flush_events:
                     await self._flush(events, arrivals)
                     events, arrivals, deadline = [], [], None
-                    continue
-                try:
-                    item = await asyncio.wait_for(
-                        self._inq.get(), timeout
-                    )
-                except asyncio.TimeoutError:
-                    await self._flush(events, arrivals)
-                    events, arrivals, deadline = [], [], None
-                    continue
-            if item is _EOS:
-                await self._flush(events, arrivals)
-                final = await self._offload(self._stream.finish)
-                for match in final:
-                    self._outq.put_nowait(match)
-                self._outq.put_nowait(_EOS)
-                return
-            event, arrived = item
-            if not events:
-                deadline = self._loop.time() + self._flush_seconds
-            events.append(event)
-            arrivals.append(arrived)
-            if len(events) >= self._flush_events:
-                await self._flush(events, arrivals)
-                events, arrivals, deadline = [], [], None
+        finally:
+            if getter is not None:
+                getter.cancel()
 
     async def _flush(self, events: list, arrivals: list) -> None:
         if not events:
@@ -323,3 +376,5 @@ class Ingestor:
         released = await self._offload(self._stream.feed, events, arrivals)
         for match in released:
             self._outq.put_nowait(match)
+        if self._registry is not None:
+            self._sample_registry()

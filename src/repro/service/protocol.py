@@ -21,6 +21,10 @@ STOP         —                           —   (worker exits)
 PING         token                       PONG echoing the token
                                          (liveness probe: epoch-free,
                                          valid in any state)
+STATS        token, scope                STATS with the token and a list
+                                         of worker snapshots (metrics +
+                                         trace nodes; epoch-free,
+                                         read-only, valid mid-stream)
 ===========  ==========================  ================================
 
 Failures travel back as ERROR replies carrying the epoch and a
@@ -52,6 +56,7 @@ MSG_BATCH = "batch"
 MSG_FINISH = "finish"
 MSG_STOP = "stop"
 MSG_PING = "ping"
+MSG_STATS = "stats"
 
 # -- worker -> driver tags ---------------------------------------------------
 REPLY_READY = "ready"
@@ -59,6 +64,14 @@ REPLY_ACK = "ack"
 REPLY_DONE = "done"
 REPLY_ERROR = "error"
 REPLY_PONG = "pong"
+REPLY_STATS = "stats"
+
+#: STATS scopes: ``"self"`` snapshots the worker that received the
+#: frame; ``"server"`` additionally folds in every sibling worker the
+#: same shard server hosts (ignored — treated as ``"self"`` — on
+#: transports without a server-side registry).
+STATS_SELF = "self"
+STATS_SERVER = "server"
 
 
 class WorkerState:
@@ -71,12 +84,36 @@ class WorkerState:
     A STOP message returns ``None`` replies and flips :attr:`stopped`.
     """
 
-    def __init__(self, worker_id: int) -> None:
+    def __init__(self, worker_id: int, stats_scope=None) -> None:
         self.worker_id = worker_id
         self.stopped = False
         self._spec: Optional[object] = None
         self._runner: Optional[TaskRunner] = None
         self._epoch = -1
+        # Optional zero-arg callable returning snapshots of *every*
+        # worker sharing this one's host (a shard server injects it);
+        # answers STATS frames with scope "server".
+        self._stats_scope = stats_scope
+
+    def snapshot(self) -> dict:
+        """Read-only introspection: current epoch, merged metrics of the
+        active runner (``None`` between runs), per-node trace counters
+        (``None`` unless the task traces).  Safe to call mid-stream —
+        nothing in the epoch machinery moves."""
+        if self._runner is None:
+            return {
+                "worker_id": self.worker_id,
+                "epoch": self._epoch,
+                "metrics": None,
+                "nodes": None,
+            }
+        stats = self._runner.stats()
+        return {
+            "worker_id": self.worker_id,
+            "epoch": self._epoch,
+            "metrics": stats["metrics"],
+            "nodes": stats["nodes"],
+        }
 
     def handle(self, message: Tuple) -> List[Tuple]:
         tag = message[0]
@@ -88,6 +125,15 @@ class WorkerState:
             # before INIT).  The token travels back verbatim so the
             # driver can match a PONG to the PING that asked for it.
             return [(self.worker_id, REPLY_PONG, message[1])]
+        if tag == MSG_STATS:
+            # Introspection poll: epoch-free and read-only, valid in any
+            # state — polling a live worker mid-stream disturbs nothing.
+            token, scope = message[1], message[2]
+            if scope == STATS_SERVER and self._stats_scope is not None:
+                snapshots = self._stats_scope()
+            else:
+                snapshots = [self.snapshot()]
+            return [(self.worker_id, REPLY_STATS, (token, snapshots))]
         if tag == MSG_INIT:
             payload = message[1]
             # Process/socket drivers pre-pickle the spec once (so a

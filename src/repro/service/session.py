@@ -36,6 +36,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import pickle
+import threading
 import time
 import weakref
 from dataclasses import dataclass
@@ -54,11 +55,14 @@ from .protocol import (
     MSG_PING,
     MSG_RESET,
     MSG_SEED,
+    MSG_STATS,
     REPLY_ACK,
     REPLY_DONE,
     REPLY_ERROR,
     REPLY_PONG,
     REPLY_READY,
+    REPLY_STATS,
+    STATS_SELF,
 )
 from .transport import (
     ProcessChannel,
@@ -122,6 +126,29 @@ class ShardDegraded(RuntimeEvent):
     to_backend: str = "serial"
 
 
+def merge_worker_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Fold per-worker STATS snapshots into one driver-side view:
+    metrics merged as disjoint streams, per-node trace counters merged
+    by plan node (workers run copies of the same plan, so same-node
+    counters add).  ``metrics``/``nodes`` are ``None`` when no polled
+    worker had an active run / an attached tracer."""
+    metrics: Optional[EngineMetrics] = None
+    node_dicts: list = []
+    for snapshot in snapshots:
+        worker_metrics = snapshot.get("metrics")
+        if worker_metrics is not None:
+            base = EngineMetrics() if metrics is None else metrics
+            metrics = base.merge(worker_metrics, disjoint_streams=True)
+        if snapshot.get("nodes"):
+            node_dicts.extend(snapshot["nodes"])
+    nodes = None
+    if node_dicts:
+        from ..observe.trace import merge_node_stats
+
+        nodes = merge_node_stats(node_dicts)
+    return {"workers": list(snapshots), "metrics": metrics, "nodes": nodes}
+
+
 class WorkerPool:
     """A pool of persistent protocol channels for one plan's specs.
 
@@ -165,6 +192,20 @@ class WorkerPool:
         self.counters: Dict[str, int] = {name: 0 for name in FAULT_COUNTERS}
         #: Per-run typed :class:`RuntimeEvent` records, in order.
         self.events: List[RuntimeEvent] = []
+        #: Optional driver-side :class:`~repro.observe.trace.Tracer`:
+        #: when set, runtime events (crashes, reseeds, reconnects,
+        #: degradations) are also recorded as instant spans correlated
+        #: by worker id and epoch.
+        self.tracer = None
+        # Serializes all channel I/O: a mid-stream STATS poll from an
+        # observer thread (Ingestor.stats, the report CLI) must not
+        # interleave its frames with the feeding thread's batches.
+        # Public methods never nest, so a plain Lock would do; RLock
+        # keeps recovery paths reached from several entry points safe
+        # against future nesting.
+        self._io_lock = threading.RLock()
+        self._stats_tokens = itertools.count(1)
+        self._stats_replies: Dict[int, tuple] = {}
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -289,99 +330,146 @@ class WorkerPool:
 
     # -- runs ----------------------------------------------------------------
     def begin_run(self, mode: str, params: Sequence[dict]) -> None:
-        self.start()
-        self._epoch += 1
-        for worker_id, channel in enumerate(self._channels):
-            # Drop replies a previous (aborted) run left behind.
-            while True:
-                try:
-                    if channel.recv(timeout=0.0) is None:
-                        break
-                except TransportDead:
-                    break  # surfaces via _send below
-        self._mode = mode
-        self._params = list(params)
-        # "any" (not "all"): a pool that degraded a shard to a local
-        # serial worker mid-stream keeps reseed recovery for the
-        # restartable workers that remain.
-        self._recovery_active = (
-            self.config.recovery == "reseed"
-            and mode == "single"
-            and self._seedable
-            and any(channel.restartable for channel in self._channels)
-        )
-        n = self.workers
-        now = time.monotonic()
-        self._unacked = [dict() for _ in range(n)]
-        self._next_batch = [0] * n
-        self._log = [[] for _ in range(n)]
-        self._acked_ts = [_NEG_INF] * n
-        self._matches = [[] for _ in range(n)]
-        self._results = [None] * n
-        self._finishing = [False] * n
-        self._last_activity = [now] * n
-        self._ping_sent = [_NEG_INF] * n
-        self._ping_outstanding = [False] * n
-        self._crash_counts = [0] * n
-        self.counters = {name: 0 for name in FAULT_COUNTERS}
-        self.events = []
-        for worker_id in range(n):
-            self._send(worker_id, (MSG_RESET, self._epoch, self._params[worker_id]))
+        with self._io_lock:
+            self.start()
+            self._epoch += 1
+            for worker_id, channel in enumerate(self._channels):
+                # Drop replies a previous (aborted) run left behind.
+                while True:
+                    try:
+                        if channel.recv(timeout=0.0) is None:
+                            break
+                    except TransportDead:
+                        break  # surfaces via _send below
+            self._mode = mode
+            self._params = list(params)
+            # "any" (not "all"): a pool that degraded a shard to a local
+            # serial worker mid-stream keeps reseed recovery for the
+            # restartable workers that remain.
+            self._recovery_active = (
+                self.config.recovery == "reseed"
+                and mode == "single"
+                and self._seedable
+                and any(channel.restartable for channel in self._channels)
+            )
+            n = self.workers
+            now = time.monotonic()
+            self._unacked = [dict() for _ in range(n)]
+            self._next_batch = [0] * n
+            self._log = [[] for _ in range(n)]
+            self._acked_ts = [_NEG_INF] * n
+            self._matches = [[] for _ in range(n)]
+            self._results = [None] * n
+            self._finishing = [False] * n
+            self._last_activity = [now] * n
+            self._ping_sent = [_NEG_INF] * n
+            self._ping_outstanding = [False] * n
+            self._crash_counts = [0] * n
+            self._stats_replies = {}
+            self.counters = {name: 0 for name in FAULT_COUNTERS}
+            self.events = []
+            for worker_id in range(n):
+                self._send(
+                    worker_id,
+                    (MSG_RESET, self._epoch, self._params[worker_id]),
+                )
 
     def submit(self, worker_id: int, entries: list) -> None:
         """Ship one batch; blocks (drains acks) at the in-flight cap."""
-        batch_id = self._next_batch[worker_id]
-        self._next_batch[worker_id] = batch_id + 1
-        self._unacked[worker_id][batch_id] = entries
-        self._send(
-            worker_id, (MSG_BATCH, self._epoch, batch_id, entries)
-        )
-        cap = self.config.max_inflight
-        unacked = self._unacked[worker_id]
-        while len(unacked) > cap:
-            self._pump(worker_id, lambda: len(unacked) <= cap)
+        with self._io_lock:
+            batch_id = self._next_batch[worker_id]
+            self._next_batch[worker_id] = batch_id + 1
+            self._unacked[worker_id][batch_id] = entries
+            self._send(
+                worker_id, (MSG_BATCH, self._epoch, batch_id, entries)
+            )
+            cap = self.config.max_inflight
+            unacked = self._unacked[worker_id]
+            while len(unacked) > cap:
+                self._pump(worker_id, lambda: len(unacked) <= cap)
 
     def finish_run(self) -> List[WorkerResult]:
         """FINISH every worker; returns results with the *undrained*
         matches folded back in (callers that never drained get all)."""
-        for worker_id in range(self.workers):
-            self._finishing[worker_id] = True
-            self._send(worker_id, (MSG_FINISH, self._epoch))
-        results: List[WorkerResult] = []
-        for worker_id in range(self.workers):
-            self._pump(
-                worker_id,
-                lambda worker_id=worker_id: self._results[worker_id]
-                is not None,
-            )
-            result = self._results[worker_id]
-            result.matches = self._matches[worker_id] + result.matches
-            self._matches[worker_id] = []
-            results.append(result)
-        return results
+        with self._io_lock:
+            for worker_id in range(self.workers):
+                self._finishing[worker_id] = True
+                self._send(worker_id, (MSG_FINISH, self._epoch))
+            results: List[WorkerResult] = []
+            for worker_id in range(self.workers):
+                self._pump(
+                    worker_id,
+                    lambda worker_id=worker_id: self._results[worker_id]
+                    is not None,
+                )
+                result = self._results[worker_id]
+                result.matches = self._matches[worker_id] + result.matches
+                self._matches[worker_id] = []
+                results.append(result)
+            return results
 
     def drain_available(self) -> None:
         """Consume every reply that is already waiting (non-blocking)."""
-        for worker_id, channel in enumerate(self._channels):
-            while True:
-                try:
-                    reply = channel.recv(timeout=0.0)
-                except TransportDead as error:
-                    self._handle_crash(worker_id, error)
-                    break
-                if reply is None:
-                    break
-                self._note_reply(worker_id)
-                self._dispatch(worker_id, reply)
+        with self._io_lock:
+            for worker_id, channel in enumerate(self._channels):
+                while True:
+                    try:
+                        reply = channel.recv(timeout=0.0)
+                    except TransportDead as error:
+                        self._handle_crash(worker_id, error)
+                        break
+                    if reply is None:
+                        break
+                    self._note_reply(worker_id)
+                    self._dispatch(worker_id, reply)
 
     def take_acked_matches(self) -> list:
         """Drain matches delivered by acks since the last call."""
-        out: list = []
-        for worker_id in range(self.workers):
-            if self._matches[worker_id]:
-                out.extend(self._matches[worker_id])
-                self._matches[worker_id] = []
-        return out
+        with self._io_lock:
+            out: list = []
+            for worker_id in range(self.workers):
+                if self._matches[worker_id]:
+                    out.extend(self._matches[worker_id])
+                    self._matches[worker_id] = []
+            return out
+
+    # -- introspection (STATS) -----------------------------------------------
+    def stats(self, timeout: float = 10.0) -> List[dict]:
+        """Poll every worker for a read-only snapshot (merged metrics
+        plus per-node trace counters when the run traces) without
+        touching the epoch machinery — safe mid-stream, including from
+        another thread (the I/O lock serializes frames with the feeding
+        thread).  A worker that does not answer within ``timeout`` is
+        skipped rather than failing the poll; a transport found dead
+        during the poll goes through normal crash handling, exactly as
+        the next ``feed`` would have discovered it."""
+        with self._io_lock:
+            if self._channels is None:
+                return []
+            token = next(self._stats_tokens)
+            deadline = time.monotonic() + timeout
+            for worker_id in range(self.workers):
+                self._send(worker_id, (MSG_STATS, token, STATS_SELF))
+            snapshots: List[dict] = []
+            for worker_id in range(self.workers):
+                self._pump(
+                    worker_id,
+                    lambda worker_id=worker_id: (
+                        self._stats_replies.get(worker_id, (None,))[0]
+                        == token
+                        or time.monotonic() > deadline
+                    ),
+                )
+                reply = self._stats_replies.get(worker_id)
+                if reply is not None and reply[0] == token:
+                    snapshots.extend(reply[1])
+            return snapshots
+
+    def liveness_ages(self) -> List[float]:
+        """Seconds since each worker's last sign of life (reply or real
+        send) — the quantity the liveness deadline polices."""
+        now = time.monotonic()
+        return [now - last for last in self._last_activity]
 
     # -- frontier accessors (SessionStream) ----------------------------------
     def first_unacked_seq(self, worker_id: int) -> Optional[int]:
@@ -396,12 +484,12 @@ class WorkerPool:
 
     # -- plumbing ------------------------------------------------------------
     def _send(self, worker_id: int, message: Tuple) -> None:
-        if message[0] != MSG_PING:
+        if message[0] not in (MSG_PING, MSG_STATS):
             # The liveness clock runs from the last reply *or* the last
             # real send: an idle worker owes nothing, so silence before
             # the next batch must not count against its deadline.
-            # PINGs are excluded or each probe would push the deadline
-            # it polices.
+            # PINGs and STATS polls are excluded or each probe would
+            # push the deadline it polices.
             self._last_activity[worker_id] = time.monotonic()
         try:
             self._channels[worker_id].send(message)
@@ -464,6 +552,10 @@ class WorkerPool:
         _, tag, payload = reply
         if tag == REPLY_PONG:
             return  # liveness already noted by _note_reply
+        if tag == REPLY_STATS:
+            token, snapshots = payload
+            self._stats_replies[worker_id] = (token, snapshots)
+            return
         if tag == REPLY_ERROR:
             epoch, trace = payload
             if epoch != self._epoch:
@@ -499,10 +591,19 @@ class WorkerPool:
             if epoch == self._epoch:
                 self._results[worker_id] = result
 
+    def _trace_event(self, name: str, worker_id: int, detail: str) -> None:
+        """Mirror a runtime event into the driver-side tracer (when one
+        is attached) as an instant span keyed by worker id and epoch."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                name, worker=worker_id, epoch=self._epoch, detail=detail
+            )
+
     def _handle_crash(self, worker_id: int, error: Exception) -> None:
         config = self.config
         self.counters["worker_crashes"] += 1
         self.events.append(WorkerCrashed(worker_id, str(error)))
+        self._trace_event("worker_crash", worker_id, str(error))
         self._crash_counts[worker_id] += 1
         if not self._recovery_active or not self._channels[
             worker_id
@@ -558,6 +659,7 @@ class WorkerPool:
                         attempt=attempt + 1,
                     )
                 )
+                self._trace_event("socket_reconnect", worker_id, str(error))
             return
         if degradation == "local":
             self._degrade(worker_id, last_error)
@@ -590,6 +692,7 @@ class WorkerPool:
         self.events.append(
             ShardDegraded(worker_id, str(error), to_backend=to_backend)
         )
+        self._trace_event("shard_degraded", worker_id, to_backend)
         # A demoted serial/thread channel is not restartable; recovery
         # stays active while any restartable channel remains.
         self._recovery_active = (
@@ -619,15 +722,19 @@ class WorkerPool:
                 (MSG_SEED, self._epoch, events, self._acked_ts[worker_id])
             )
             self.counters["worker_reseeds"] += 1
+            detail = (
+                f"replayed {len(events)} events, resent "
+                f"{len(self._unacked[worker_id])} batches"
+            )
             self.events.append(
                 WorkerReseeded(
                     worker_id,
-                    f"replayed {len(events)} events, resent "
-                    f"{len(self._unacked[worker_id])} batches",
+                    detail,
                     events_replayed=len(events),
                     batches_resent=len(self._unacked[worker_id]),
                 )
             )
+            self._trace_event("worker_reseed", worker_id, detail)
         resent = 0
         for batch_id, entries in self._unacked[worker_id].items():
             channel.send((MSG_BATCH, self._epoch, batch_id, entries))
@@ -760,6 +867,24 @@ class Session:
         """Typed record of what the most recent run survived."""
         return list(self.pool.events)
 
+    def set_tracer(self, tracer) -> None:
+        """Attach a driver-side tracer: pool runtime events (crashes,
+        reseeds, reconnects, degradations) become instant spans
+        correlated by worker id and epoch.  Worker-side plan-node
+        tracing is switched on separately with
+        ``ParallelConfig(trace=True)`` and harvested via
+        :meth:`stats`."""
+        self.pool.tracer = tracer
+
+    def stats(self) -> dict:
+        """Live introspection: poll every worker mid-run via the
+        epoch-free STATS frame and fold the snapshots into one view —
+        ``{"workers": [...], "metrics": EngineMetrics | None,
+        "nodes": [...] | None}`` (``nodes`` needs
+        ``ParallelConfig(trace=True)``).  Read-only and safe while a
+        run or stream is in flight, including from another thread."""
+        return merge_worker_snapshots(self.pool.stats())
+
     def close(self) -> None:
         self._finalizer.detach()
         self.pool.close()
@@ -829,6 +954,10 @@ class SessionStream:
         self._wall_started: Optional[float] = None
         self._held: list = []  # heap of (sort_key, tiebreak, match)
         self._tie = itertools.count()
+        #: Events admitted but not yet past the safety frontier, as of
+        #: the last ``feed`` (a gauge the ingestion front door samples
+        #: into registry time series).
+        self.frontier_lag = 0
         # Deferred-match guard (see class docstring); None disables the
         # timestamp term of the frontier.
         if self._mode == "window":
@@ -856,6 +985,17 @@ class SessionStream:
             raise ParallelError("this streaming run is finished")
         if self._wall_started is None:
             self._wall_started = time.perf_counter()
+        # One feed call is atomic under the pool's I/O lock: a
+        # concurrent STATS poll observes the run at feed-call
+        # boundaries, never inside the half-begun window between
+        # begin_run and the first submitted batch (where workers would
+        # answer with an empty plan DAG).
+        with self._pool._io_lock:
+            return self._feed_locked(events, arrivals)
+
+    def _feed_locked(
+        self, events, arrivals: Optional[Sequence[float]]
+    ) -> list:
         mode = self._mode
         relevant = self._relevant
         track = self._guard is not None or self._mode == "window"
@@ -963,6 +1103,16 @@ class SessionStream:
         reconnects, degradations), in occurrence order."""
         return list(self._pool.events)
 
+    def stats(self) -> dict:
+        """Poll the pool mid-stream (see :meth:`Session.stats`); an
+        unstarted stream reports no workers."""
+        return merge_worker_snapshots(self._pool.stats())
+
+    def liveness_ages(self) -> List[float]:
+        """Seconds since each worker last showed life (see
+        :meth:`WorkerPool.liveness_ages`)."""
+        return self._pool.liveness_ages()
+
     @property
     def throughput(self) -> float:
         """Sustained input events per second of wall time so far."""
@@ -1014,6 +1164,11 @@ class SessionStream:
         else:
             params = [{"mode": "single"} for _ in range(executor.workers)]
             run_mode = "single"
+        if getattr(executor.config, "trace", False):
+            # Each worker grows its own Tracer; per-node counters come
+            # back through epoch-free STATS polls.
+            for worker_params in params:
+                worker_params["trace"] = True
         self._pool.begin_run(run_mode, params)
         self._feeder = _PoolFeeder(self._pool, self._batch_size)
         self._started = True
@@ -1032,25 +1187,29 @@ class SessionStream:
         feeder = self._feeder
         frontier = _INF
         min_threshold = _INF
-        for worker_id in range(pool.workers):
-            for outstanding in (
-                feeder.first_buffered_seq(worker_id),
-                pool.first_unacked_seq(worker_id),
-            ):
-                if outstanding is not None and outstanding < frontier:
-                    frontier = outstanding
-            if self._guard is not None:
-                acked_ts = pool.last_acked_ts(worker_id)
-                if acked_ts == _NEG_INF:
-                    continue  # nothing processed: no deferred matches
-                threshold = acked_ts - self._guard
-                if threshold < min_threshold:
-                    min_threshold = threshold
-                position = self._bisect_ts(threshold)
-                if position < len(self._route_seqs):
-                    bound = self._route_seqs[position]
-                    if bound < frontier:
-                        frontier = bound
+        # Under the pool's I/O lock: a concurrent STATS poll pumping
+        # the channels may dispatch acks, and the unacked/acked state
+        # read here must be a consistent cut.
+        with pool._io_lock:
+            for worker_id in range(pool.workers):
+                for outstanding in (
+                    feeder.first_buffered_seq(worker_id),
+                    pool.first_unacked_seq(worker_id),
+                ):
+                    if outstanding is not None and outstanding < frontier:
+                        frontier = outstanding
+                if self._guard is not None:
+                    acked_ts = pool.last_acked_ts(worker_id)
+                    if acked_ts == _NEG_INF:
+                        continue  # nothing processed: no deferred matches
+                    threshold = acked_ts - self._guard
+                    if threshold < min_threshold:
+                        min_threshold = threshold
+                    position = self._bisect_ts(threshold)
+                    if position < len(self._route_seqs):
+                        bound = self._route_seqs[position]
+                        if bound < frontier:
+                            frontier = bound
         if self._guard is not None and min_threshold is not _INF:
             self._prune_routed(min_threshold)
         return frontier
@@ -1079,9 +1238,12 @@ class SessionStream:
             heapq.heappush(
                 held, (match_sort_key(match), next(self._tie), match)
             )
+        frontier = self._frontier()
+        self.frontier_lag = (
+            0 if frontier == _INF else max(0, self.events_in - frontier)
+        )
         if not held:
             return []
-        frontier = self._frontier()
         out: list = []
         emit_wall = time.perf_counter()
         while held and held[0][0][0] < frontier:

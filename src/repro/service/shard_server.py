@@ -87,6 +87,10 @@ class ShardServer:
         self._lock = threading.Lock()
         self._connections: list = []
         self._threads: list = []
+        # conn -> WorkerState of every live connection: the registry a
+        # STATS frame with scope "server" aggregates over, so one
+        # observer connection can see all workers this server hosts.
+        self._states: dict = {}
 
     def serve_forever(self) -> None:
         """Accept and serve connections until :meth:`close`."""
@@ -145,10 +149,20 @@ class ShardServer:
 
     def _forget(self, conn) -> None:
         with self._lock:
+            self._states.pop(conn, None)
             try:
                 self._connections.remove(conn)
             except ValueError:
                 pass
+
+    def _stats_scope(self) -> list:
+        """Snapshots of every live worker on this server (injected into
+        each :class:`WorkerState` for scope-``"server"`` STATS frames).
+        Snapshots are read-only, so taking them outside the lock only
+        risks including a worker that disconnects mid-poll."""
+        with self._lock:
+            states = list(self._states.values())
+        return [state.snapshot() for state in states]
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -172,7 +186,9 @@ class ShardServer:
                 )
                 return
             worker_id = hello[1]
-            state = WorkerState(worker_id)
+            state = WorkerState(worker_id, stats_scope=self._stats_scope)
+            with self._lock:
+                self._states[conn] = state
             while not state.stopped:
                 try:
                     message = recv_frame(conn, self.max_frame_bytes)

@@ -254,3 +254,76 @@ def test_multiquery_accelerated_matches_interpreted_linear(seed):
             assert keys_of(accelerated[query]) == keys_of(baseline[query]), (
                 f"{query} diverges (indexed={indexed}, compiled={compiled})"
             )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "name,text",
+    [PATTERNS[0], PATTERNS[4], PATTERNS[5]],
+    ids=["equality", "hash+range", "kleene"],
+)
+def test_traced_runs_match_untraced(name, text, seed):
+    """The tracer axis: attaching plan-DAG tracing must not change any
+    runtime's match sequence under any acceleration mode — observation
+    counts work, it never participates in it."""
+    from repro.observe import Tracer
+
+    stream = rand_stream(seed)
+    d = decompose(parse_pattern(text))
+    kwargs = {"max_kleene_size": 3} if name.startswith("kleene") else {}
+    tree = next(iter(enumerate_bushy_trees(d.positive_variables)))
+    order = next(iter(enumerate_orders(d.positive_variables)))
+    for indexed, compiled in ((False, False),) + MODES:
+        for build in (
+            lambda: TreeEngine(
+                d, tree, indexed=indexed, compiled=compiled, **kwargs
+            ),
+            lambda: NFAEngine(
+                d, order, indexed=indexed, compiled=compiled, **kwargs
+            ),
+        ):
+            baseline = build().run(stream)
+            traced_engine = build()
+            tracer = Tracer()
+            traced_engine.set_tracer(tracer)
+            traced = traced_engine.run(stream)
+            assert keys_of(traced) == keys_of(baseline), (
+                f"{name} diverges under tracing "
+                f"(indexed={indexed}, compiled={compiled})"
+            )
+            assert tracer.nodes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_traced_multiquery_matches_untraced(seed):
+    from repro.observe import Tracer
+
+    stream = rand_stream(seed, count=70)
+    workload = Workload(
+        [
+            "PATTERN SEQ(A a, B b, C c) WHERE a.x = b.x WITHIN 4",
+            "PATTERN SEQ(A a, C c) WHERE a.x = c.x AND a.y < c.y WITHIN 3",
+        ]
+    )
+    catalogs = {
+        name: estimate_pattern_catalog(pattern, stream)
+        for name, pattern in workload.items()
+    }
+    plan = plan_workload(workload, catalogs, algorithm="GREEDY")
+    for indexed, compiled in ((False, False),) + MODES:
+        baseline = MultiQueryEngine(
+            plan, indexed=indexed, compiled=compiled
+        ).run(stream)
+        traced_engine = MultiQueryEngine(
+            plan, indexed=indexed, compiled=compiled
+        )
+        tracer = Tracer()
+        traced_engine.set_tracer(tracer)
+        traced = traced_engine.run(stream)
+        assert set(baseline) == set(traced)
+        for query in baseline:
+            assert keys_of(traced[query]) == keys_of(baseline[query]), (
+                f"{query} diverges under tracing "
+                f"(indexed={indexed}, compiled={compiled})"
+            )
+        assert tracer.nodes

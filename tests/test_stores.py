@@ -451,11 +451,12 @@ class TestBufferRangeProbes:
             buffer.offer(event)
         assert list(buffer.probe((1,), 99, bound=5.0)) == [inside]
 
-    def test_range_runs_do_not_leak_when_bisect_is_bypassed(self):
-        """Regression: with every probe taking the non-range path (the
-        tracker-attached bypass), the probe-time prefix-trim shrinks
-        ``_indexed_total`` and used to mask the sorted runs' staleness
-        forever — the runs grew with the whole stream."""
+    def test_range_runs_do_not_leak_under_unbounded_probes(self):
+        """Regression: with every probe taking the non-range path
+        (``bound=NO_BOUND``, e.g. a predicate with no usable range
+        bound), the probe-time prefix-trim shrinks ``_indexed_total``
+        and used to mask the sorted runs' staleness forever — the runs
+        grew with the whole stream."""
         from repro.engines.stores import NO_BOUND
 
         buffer, _ = self.buffer_with_range(op="<")
