@@ -1,0 +1,212 @@
+"""Figure 26 (extension): large-scale batch-vectorized throughput sweep.
+
+Not a figure of the source paper — this sweep drives the PR-9 tentpole
+(exec-codegen predicate kernels + batch-vectorized event execution) at
+the scale where constant-factor wins dominate: 10^6+ events per run at
+full scale.  Three execution paths per configuration:
+
+* ``interp`` — interpreted serial baseline (``indexed=False,
+  compiled=False``, per-event ``run``): the seed semantics;
+* ``serial`` — the default engine (indexed + compiled + codegen) driven
+  per-event;
+* ``batch`` — the same engine driven through ``run_batched``: chunked
+  admission (one generated batch-kernel call per type group) and one
+  grouped store-probe pass per same-variable event run.
+
+Byte-identity is asserted in-bench: every path must report the exact
+ordered match signature of the interpreted serial baseline.  The
+interpreted baseline is only timed at smoke scale and on the smallest
+full-scale configuration — at 10^6 events the interpreted walls are
+minutes-long and the figure's subject is the serial-vs-batch gap.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a seconds-scale smoke run (CI).
+Writes ``fig26_large_scale.txt`` and the machine-readable
+``BENCH_fig26.json`` for the CI perf-trajectory artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.engines import NFAEngine, TreeEngine
+from repro.events import Event, Stream
+from repro.patterns import decompose, parse_pattern
+from repro.plans import OrderPlan, TreePlan
+
+from _common import BenchEnv  # noqa: F401  (session fixture wiring)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+GAP = 0.02
+BATCH_SIZE = 1024
+
+EQUALITY = "PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN {w}"
+MIXED = (
+    "PATTERN SEQ(A a, B b, C c) "
+    "WHERE a.k = b.k AND a.v < b.v AND b.k = c.k WITHIN {w}"
+)
+TEMPLATES = {"equality": EQUALITY, "mixed": MIXED}
+
+#: (family, events, key cardinality, window, time interpreted baseline).
+if SMOKE:
+    CONFIGS = (
+        ("equality", 2_000, 40, 1.0, True),
+        ("mixed", 2_000, 40, 1.0, True),
+    )
+else:
+    CONFIGS = (
+        ("equality", 1_000_000, 2_000, 0.6, True),
+        ("equality", 2_000_000, 5_000, 0.6, False),
+        ("mixed", 1_000_000, 2_000, 0.6, False),
+    )
+
+
+def _stream(events_count: int, keys: int, seed: int = 29) -> Stream:
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(events_count):
+        t += rng.expovariate(1.0 / GAP)
+        name = rng.choice("ABC")
+        v = rng.random() if name == "B" else 0.95 + 0.05 * rng.random()
+        events.append(Event(name, t, {"k": rng.randrange(keys), "v": v}))
+    return Stream(events)
+
+
+def _engine(text: str, runtime: str, accelerated: bool):
+    d = decompose(parse_pattern(text))
+    order = OrderPlan(d.positive_variables)
+    flags = dict(
+        indexed=accelerated, compiled=accelerated, codegen=accelerated
+    )
+    if runtime == "tree":
+        return TreeEngine(d, TreePlan.left_deep(order), **flags)
+    return NFAEngine(d, order, **flags)
+
+
+def _signature(matches) -> list:
+    return [(m.key(), m.detection_ts) for m in matches]
+
+
+# 10^6+ events per full-scale configuration: the sweep runs minutes,
+# not the repo-wide 120s cap; smoke runs finish in seconds.
+@pytest.mark.timeout(1800)
+def test_fig26_large_scale(env: BenchEnv):
+    rows, records = [], []
+    for family, events_count, keys_card, window, time_interp in CONFIGS:
+        stream = _stream(events_count, keys_card)
+        text = TEMPLATES[family].format(w=window)
+        for runtime in ("tree", "nfa"):
+            # Interpreted serial: the byte-identity reference.  Always
+            # run at smoke scale; at full scale only where flagged (its
+            # wall is the denominator of the headline speedup).
+            interp_wall = None
+            if time_interp or SMOKE:
+                engine = _engine(text, runtime, accelerated=False)
+                started = time.perf_counter()
+                reference = _signature(engine.run(stream))
+                interp_wall = time.perf_counter() - started
+            else:
+                reference = None
+
+            serial_engine = _engine(text, runtime, accelerated=True)
+            started = time.perf_counter()
+            serial = _signature(serial_engine.run(stream))
+            serial_wall = time.perf_counter() - started
+
+            batch_engine = _engine(text, runtime, accelerated=True)
+            started = time.perf_counter()
+            batched = _signature(
+                batch_engine.run_batched(stream, batch_size=BATCH_SIZE)
+            )
+            batch_wall = time.perf_counter() - started
+
+            # Acceptance: byte-identity across all executed paths.
+            if reference is not None:
+                assert serial == reference, f"{family}/{runtime} serial"
+            assert batched == serial, f"{family}/{runtime} batch"
+
+            vs_interp = (
+                interp_wall / batch_wall if interp_wall is not None else None
+            )
+            vs_serial = serial_wall / batch_wall
+            metrics = batch_engine.metrics
+            rows.append(
+                [
+                    family,
+                    runtime,
+                    f"{events_count:,}",
+                    keys_card,
+                    len(batched),
+                    f"{events_count / serial_wall:,.0f}",
+                    f"{events_count / batch_wall:,.0f}",
+                    f"{vs_serial:.2f}x",
+                    f"{vs_interp:.1f}x" if vs_interp is not None else "-",
+                    metrics.batches_processed,
+                    metrics.batch_probe_fanout,
+                ]
+            )
+            records.append(
+                {
+                    "family": family,
+                    "runtime": runtime,
+                    "events": events_count,
+                    "key_cardinality": keys_card,
+                    "window": window,
+                    "matches": len(batched),
+                    "interp_wall_s": interp_wall,
+                    "serial_wall_s": serial_wall,
+                    "batch_wall_s": batch_wall,
+                    "speedup_batch_vs_serial": vs_serial,
+                    "speedup_batch_vs_interp": vs_interp,
+                    "batches_processed": metrics.batches_processed,
+                    "batch_probe_fanout": metrics.batch_probe_fanout,
+                    "kernels_generated": metrics.kernels_generated,
+                }
+            )
+
+    env.write("fig26_large_scale.txt", _format(rows))
+    env.write_json("BENCH_fig26.json", {"smoke": SMOKE, "runs": records})
+
+    if not SMOKE:
+        for record in records:
+            # Acceptance: batching stays within noise of the serial
+            # default (the random interleave keeps same-variable runs
+            # short — parity, not a win, is the honest expectation
+            # here), and the accelerated batch path clearly beats the
+            # interpreted baseline where it is timed.  The floor is
+            # 1.5x, not fig24's 2x: at K=2000 the stream is so
+            # selective that the interpreted engines barely hold any
+            # partial matches, which is exactly the regime where
+            # indexes and kernels have the least left to win.
+            assert record["speedup_batch_vs_serial"] >= 0.8, record
+            if record["speedup_batch_vs_interp"] is not None:
+                assert record["speedup_batch_vs_interp"] >= 1.5, record
+
+
+def _format(rows) -> str:
+    from repro.bench import format_table
+
+    return format_table(
+        (
+            "workload",
+            "runtime",
+            "events",
+            "K",
+            "matches",
+            "ev/s serial",
+            "ev/s batch",
+            "vs serial",
+            "vs interp",
+            "batches",
+            "probe fanout",
+        ),
+        rows,
+        title=(
+            "Figure 26 — batch-vectorized execution at 10^6+ events "
+            "(byte-identity vs the interpreted serial baseline asserted "
+            "in-bench)"
+        ),
+    )

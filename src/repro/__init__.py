@@ -188,7 +188,7 @@ from .stats import (
     estimate_pattern_catalog,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AdaptiveController",

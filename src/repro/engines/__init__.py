@@ -21,7 +21,12 @@ from .nfa import NFAEngine
 from .profiler import OutputProfiler
 from .reference import reference_match_keys
 from .snapshot import EngineSnapshot, describe_partial_match, snapshot_pm_count
-from .stores import PartialMatchStore, equality_key_pairs, make_key_fn
+from .stores import (
+    PartialMatchStore,
+    equality_key_pairs,
+    kleene_key_value,
+    make_key_fn,
+)
 from .tree import TreeEngine
 
 __all__ = [
@@ -47,6 +52,7 @@ __all__ = [
     "OutputProfiler",
     "PartialMatchStore",
     "equality_key_pairs",
+    "kleene_key_value",
     "make_key_fn",
     "reference_match_keys",
     "TreeEngine",

@@ -198,6 +198,10 @@ class EngineMetrics:
     range_probes: int = 0
     range_hits: int = 0
     predicate_kernel_calls: int = 0
+    kernels_generated: int = 0
+    codegen_cache_hits: int = 0
+    batches_processed: int = 0
+    batch_probe_fanout: int = 0
     pm_expired: int = 0
     events_routed: int = 0
     boundary_duplicates_dropped: int = 0
@@ -215,6 +219,7 @@ class EngineMetrics:
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
     detection_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    batch_sizes: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     # -- updates ------------------------------------------------------------
     def note_state(self, live_partial_matches: int, buffered_events: int) -> None:
@@ -309,6 +314,18 @@ class EngineMetrics:
             predicate_kernel_calls=(
                 self.predicate_kernel_calls + other.predicate_kernel_calls
             ),
+            kernels_generated=(
+                self.kernels_generated + other.kernels_generated
+            ),
+            codegen_cache_hits=(
+                self.codegen_cache_hits + other.codegen_cache_hits
+            ),
+            batches_processed=(
+                self.batches_processed + other.batches_processed
+            ),
+            batch_probe_fanout=(
+                self.batch_probe_fanout + other.batch_probe_fanout
+            ),
             pm_expired=self.pm_expired + other.pm_expired,
             events_routed=self.events_routed + other.events_routed,
             boundary_duplicates_dropped=(
@@ -346,6 +363,7 @@ class EngineMetrics:
         merged.detection_latency = self.detection_latency.merge(
             other.detection_latency
         )
+        merged.batch_sizes = self.batch_sizes.merge(other.batch_sizes)
         return merged
 
     def summary(self) -> dict:
@@ -367,4 +385,5 @@ class EngineMetrics:
         for key, prop in DERIVED_SUMMARY:
             out[key] = getattr(self, prop)
         out["detection_latency"] = self.detection_latency.to_dict()
+        out["batch_sizes"] = self.batch_sizes.to_dict()
         return out

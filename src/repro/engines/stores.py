@@ -103,15 +103,18 @@ def equality_key_pairs(
     objects the specs encode (callers may skip re-evaluating them on
     bucket candidates — exact provided the probe key passed
     :func:`key_is_reflexive`).  Only plain ``Attr == Attr`` comparisons
-    spanning the two sides qualify; predicates touching a Kleene
-    variable are excluded (a Kleene binding is a tuple of events with
-    universal predicate semantics — it has no single key value).  Empty
-    specs mean the join has no usable equality and probes fall back to a
-    linear scan.
+    spanning the two sides qualify.  Kleene variables participate too:
+    a Kleene binding keys on the *common* element value
+    (:func:`kleene_key_value` — universal equality holds against a probe
+    value iff every element equals it), with empty tuples kept
+    probe-visible in the overflow and disagreeing/NaN tuples unreachable
+    — both dispositions exact, see :func:`kleene_key_value`.  Pass the
+    spec's Kleene names to :func:`make_key_fn` to get that handling.
+    Empty specs mean the join has no usable equality and probes fall
+    back to a linear scan.
     """
     left_set = set(left_vars)
     right_set = set(right_vars)
-    kleene_set = set(kleene)
     left_spec: List[Tuple[str, str]] = []
     right_spec: List[Tuple[str, str]] = []
     extracted: List[Predicate] = []
@@ -122,8 +125,6 @@ def equality_key_pairs(
             continue
         lhs, rhs = predicate.left, predicate.right
         if not (isinstance(lhs, Attr) and isinstance(rhs, Attr)):
-            continue
-        if lhs.variable in kleene_set or rhs.variable in kleene_set:
             continue
         if lhs.variable in left_set and rhs.variable in right_set:
             left_spec.append((lhs.variable, lhs.attribute))
@@ -169,13 +170,62 @@ def probe_key(key_of, subject) -> Optional[tuple]:
     return key if key_is_reflexive(key) else None
 
 
-def make_key_fn(spec: KeySpec) -> Optional[KeyFn]:
-    """Compile a key spec into ``bindings -> tuple`` (None when empty)."""
+def kleene_key_value(binding: tuple, attribute: str):
+    """Common attribute value of a Kleene tuple binding.
+
+    Universal equality (``k.attr == probe`` for every element of ``k``)
+    holds iff all elements share one value and that value equals the
+    probe — so the common value *is* the entry's equi-key.  The failure
+    modes raise exactly the exceptions the index layer already maps to
+    the correct disposition:
+
+    * empty tuple → ``TypeError``: vacuously true against every probe,
+      so the entry must stay probe-visible (``_Index.add`` overflow;
+      :func:`probe_key` scan fallback);
+    * element disagreement or NaN → ``KeyError``: universal equality is
+      False against every probe, so the entry is unreachable through
+      the index (``_Index.add`` skips it) and a probe falls back to an
+      exact scan.
+    """
+    if not binding:
+        raise TypeError("empty Kleene binding matches vacuously")
+    value = binding[0][attribute]
+    if value != value:  # NaN: equality is False against everything
+        raise KeyError(attribute)
+    for event in binding[1:]:
+        if event[attribute] != value:
+            raise KeyError(attribute)
+    return value
+
+
+def make_key_fn(spec: KeySpec, kleene: Iterable[str] = ()) -> Optional[KeyFn]:
+    """Compile a key spec into ``bindings -> tuple`` (None when empty).
+
+    Variables named in ``kleene`` bind tuples of events; their key
+    element is the tuple's common value (:func:`kleene_key_value`).
+    """
     if not spec:
         return None
+    kleene_set = frozenset(kleene)
+    if not any(variable in kleene_set for variable, _ in spec):
 
-    def key_of(bindings: dict, _spec: KeySpec = spec) -> tuple:
-        return tuple(bindings[v][attr] for v, attr in _spec)
+        def key_of(bindings: dict, _spec: KeySpec = spec) -> tuple:
+            return tuple(bindings[v][attr] for v, attr in _spec)
+
+        return key_of
+    items = tuple(
+        (variable, attr, variable in kleene_set) for variable, attr in spec
+    )
+
+    def key_of(bindings: dict, _items=items) -> tuple:
+        out = []
+        for variable, attr, is_kleene in _items:
+            binding = bindings[variable]
+            if is_kleene:
+                out.append(kleene_key_value(binding, attr))
+            else:
+                out.append(binding[attr])
+        return tuple(out)
 
     return key_of
 
@@ -634,7 +684,6 @@ class PartialMatchStore:
                 metrics.index_misses += 1
             yield from self.iter_before(trigger_seq)
             return
-        ids = self._ids
         if metrics is not None and counted:
             metrics.index_probes += 1
             if bucket is None:
@@ -647,6 +696,82 @@ class PartialMatchStore:
             and bucket.dead * 2 >= len(bucket.pms)
         ):
             self._sweep_bucket(bucket)
+        yield from self._resolved_candidates(
+            index, bucket, trigger_seq, bound, on_excluded
+        )
+
+    def probe_batch(
+        self,
+        index_id: int,
+        probes: List[tuple],
+        on_excluded=None,
+    ) -> List[List[PartialMatch]]:
+        """One grouped probe pass: per-probe candidate lists for a batch.
+
+        ``probes`` is a list of ``(key, trigger_seq, bound)`` tuples;
+        the result aligns positionally and each entry is exactly
+        ``list(probe(index_id, key, trigger_seq, bound))`` — metrics
+        charges included.  Probes sharing an equality key resolve their
+        bucket (and run its tombstone sweep check) once; the per-probe
+        ``trigger_seq`` bisect then works bucket-by-bucket instead of
+        hopping between buckets, which is what makes large same-key
+        event runs cheap.  Only safe against a store that receives no
+        inserts between the batched probes — the callers' same-trigger
+        discipline (see :meth:`~repro.engines.tree.TreeEngine`) provides
+        that.
+        """
+        index = self._indexes[index_id]
+        metrics = self.metrics
+        counted = index.key_of is not None
+        results: List[Optional[List[PartialMatch]]] = [None] * len(probes)
+        groups: dict = {}
+        for position, (key, trigger_seq, bound) in enumerate(probes):
+            try:
+                group = groups.get(key)
+            except TypeError:
+                # Unhashable probe key: the scan fallback, individually.
+                results[position] = list(
+                    self.probe(
+                        index_id, key, trigger_seq, bound, on_excluded
+                    )
+                )
+                continue
+            if group is None:
+                groups[key] = [position]
+            else:
+                group.append(position)
+        for key, positions in groups.items():
+            bucket = index.buckets.get(key)
+            if metrics is not None and counted:
+                metrics.index_probes += len(positions)
+                if bucket is None:
+                    metrics.index_misses += len(positions)
+                else:
+                    metrics.index_hits += len(positions)
+            if (
+                bucket is not None
+                and bucket.dead >= _BUCKET_MIN_DEAD
+                and bucket.dead * 2 >= len(bucket.pms)
+            ):
+                self._sweep_bucket(bucket)
+            for position in positions:
+                _, trigger_seq, bound = probes[position]
+                results[position] = list(
+                    self._resolved_candidates(
+                        index, bucket, trigger_seq, bound, on_excluded
+                    )
+                )
+        if metrics is not None:
+            metrics.batch_probe_fanout += len(probes)
+        return results
+
+    def _resolved_candidates(
+        self, index: _Index, bucket: Optional[_Bucket], trigger_seq: int,
+        bound, on_excluded=None,
+    ) -> Iterator[PartialMatch]:
+        """Candidates of one probe once its bucket is resolved (shared by
+        :meth:`probe` and :meth:`probe_batch`)."""
+        ids = self._ids
         if (
             bucket is not None
             and index.value_of is not None

@@ -57,7 +57,11 @@ from ..engines.stores import (
     range_key_pairs,
     range_probe_value,
 )
-from ..patterns.compile import compile_event_kernel, compile_merge_kernel
+from ..patterns.compile import (
+    compile_event_batch_kernel,
+    compile_event_kernel,
+    compile_merge_kernel,
+)
 from ..events import Event, Stream
 from .sharing import QueryRoot, SharedJoin, SharedLeaf, SharedPlan
 
@@ -228,7 +232,7 @@ class _RuntimeNode:
 
     __slots__ = (
         "spec", "store", "parents", "states", "kleene", "admit_kernel",
-        "tstat",
+        "admit_batch_kernel", "tstat",
     )
 
     def __init__(self, spec, metrics: EngineMetrics) -> None:
@@ -237,10 +241,13 @@ class _RuntimeNode:
         self.parents: List[_Edge] = []
         self.states: List[_QueryState] = []
         # Variables (in this node's representative namespace) bound to
-        # Kleene tuples — excluded from equality keys.
+        # Kleene tuples — equality keys over them require the common
+        # per-element value (see repro.engines.stores.kleene_key_value).
         self.kleene: frozenset = frozenset()
         # Compiled leaf admission kernel (None = no filters).
         self.admit_kernel = None
+        # Batched admission variant (one call per event chunk).
+        self.admit_batch_kernel = None
         # Per-node trace counters (repro.observe); None = no tracer.
         self.tstat = None
 
@@ -262,11 +269,13 @@ class MultiQueryEngine:
         max_kleene_size: Optional[int] = None,
         indexed: bool = True,
         compiled: bool = True,
+        codegen: bool = True,
     ) -> None:
         self.plan = plan
         self.max_kleene_size = max_kleene_size
         self.indexed = indexed
         self.compiled = compiled
+        self.codegen = codegen
         self.metrics = EngineMetrics()
         self._now = float("-inf")
         self._event_wall_started = 0.0
@@ -322,7 +331,18 @@ class MultiQueryEngine:
             spec = leaf.spec
             if spec.filters:
                 leaf.admit_kernel = compile_event_kernel(
-                    spec.filters, spec.variable, self.metrics, count="all"
+                    spec.filters,
+                    spec.variable,
+                    self.metrics,
+                    count="all",
+                    codegen=self.codegen,
+                )
+                leaf.admit_batch_kernel = compile_event_batch_kernel(
+                    spec.filters,
+                    spec.variable,
+                    self.metrics,
+                    count="all",
+                    codegen=self.codegen,
                 )
         for node in self.plan.nodes:
             if not isinstance(node, SharedJoin):
@@ -340,6 +360,7 @@ class MultiQueryEngine:
                 common = dict(
                     left_rename=inv_my,
                     right_rename=inv_other,
+                    codegen=self.codegen,
                 )
                 edge.merge_full = compile_merge_kernel(
                     node.cross_predicates,
@@ -396,13 +417,16 @@ class MultiQueryEngine:
         right_edge.residual_predicates = residual
         inv_left = {pv: cv for cv, pv in node.left_map.items()}
         inv_right = {pv: cv for cv, pv in node.right_map.items()}
+        kleene = self._runtime[node.index].kleene
         left_key = right_key = None
         if left_spec:
             left_key = make_key_fn(
-                tuple((inv_left[v], attr) for v, attr in left_spec)
+                tuple((inv_left[v], attr) for v, attr in left_spec),
+                frozenset(inv_left[v] for v in kleene if v in inv_left),
             )
             right_key = make_key_fn(
-                tuple((inv_right[v], attr) for v, attr in right_spec)
+                tuple((inv_right[v], attr) for v, attr in right_spec),
+                frozenset(inv_right[v] for v in kleene if v in inv_right),
             )
         left_val = right_val = None
         left_op = right_op = None
@@ -512,6 +536,105 @@ class MultiQueryEngine:
             matches.extend(self.process(event))
         matches.extend(self.finalize())
         return group_by_query(self.plan.query_names, matches)
+
+    def process_batch(self, events) -> List[Match]:
+        """Feed a chunk of events; identical match stream to per-event
+        :meth:`process` calls.  Shared-leaf admission runs once per
+        (leaf, event type) chunk through the batch kernels; everything
+        else — expiry, pending release, cascades — stays per event in
+        arrival order.  A tracer needs per-event attribution, so one
+        being attached falls back to the per-event loop.
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        if not events:
+            return []
+        self.metrics.batches_processed += 1
+        self.metrics.batch_sizes.record(len(events))
+        if (
+            len(events) == 1
+            or not self.compiled
+            or self._tracer is not None
+        ):
+            matches: List[Match] = []
+            for event in events:
+                matches.extend(self.process(event))
+            return matches
+        admitted = self._batch_admissible(events)
+        matches = []
+        for event, leaves in zip(events, admitted):
+            matches.extend(self._process_preadmitted(event, leaves))
+        return matches
+
+    def run_batched(
+        self, stream: Stream, batch_size: int = 256
+    ) -> Dict[str, List[Match]]:
+        """Chunked :meth:`run` (same per-query lists, same order)."""
+        matches: List[Match] = []
+        chunk: List[Event] = []
+        for event in stream:
+            chunk.append(event)
+            if len(chunk) >= batch_size:
+                matches.extend(self.process_batch(chunk))
+                chunk = []
+        if chunk:
+            matches.extend(self.process_batch(chunk))
+        matches.extend(self.finalize())
+        return group_by_query(self.plan.query_names, matches)
+
+    def _batch_admissible(self, events: List[Event]) -> List[list]:
+        """Admission for a whole chunk — one batch-kernel call per
+        (shared leaf, event type) instead of one call per event."""
+        by_type: Dict[str, List[int]] = {}
+        for pos, event in enumerate(events):
+            by_type.setdefault(event.type, []).append(pos)
+        admitted: List[list] = [[] for _ in events]
+        for leaf in self._leaves:
+            spec = leaf.spec
+            positions = by_type.get(spec.event_type)
+            if not positions:
+                continue
+            kernel = leaf.admit_batch_kernel
+            if kernel is None:
+                for pos in positions:
+                    admitted[pos].append(leaf)
+            else:
+                chunk = [events[pos] for pos in positions]
+                for pos, passed in zip(positions, kernel(chunk)):
+                    if passed:
+                        admitted[pos].append(leaf)
+        return admitted
+
+    def _process_preadmitted(
+        self, event: Event, admitted_leaves: list
+    ) -> List[Match]:
+        """Per-event loop body with leaf admission precomputed
+        (tracer-free by construction)."""
+        self.metrics.events_processed += 1
+        self._event_wall_started = time.perf_counter()
+        self._now = event.timestamp
+        matches: List[Match] = []
+        for node in self._nodes:
+            node.store.expire(event.timestamp - node.spec.window)
+        for state in self._states:
+            matches.extend(state.advance(self._now, self))
+        for state in self._states:
+            state.offer(event)
+        queue: List[Tuple[PartialMatch, _RuntimeNode]] = []
+        for leaf in admitted_leaves:
+            spec = leaf.spec
+            if spec.kleene:
+                queue.append(
+                    (PartialMatch.kleene_singleton(spec.variable, event), leaf)
+                )
+                queue.extend(self._absorptions(leaf, event))
+            else:
+                queue.append(
+                    (PartialMatch.singleton(spec.variable, event), leaf)
+                )
+        matches.extend(self._cascade(queue))
+        self._note_state()
+        return matches
 
     def finalize(self) -> List[Match]:
         """Flush pending (trailing-negation) matches of every query."""

@@ -235,6 +235,7 @@ class ParallelExecutor:
         max_kleene_size: Optional[int] = None,
         indexed: bool = True,
         compiled: bool = True,
+        codegen: bool = True,
     ) -> None:
         self.config = config or ParallelConfig()
         if self.config.backend == "socket":
@@ -255,6 +256,7 @@ class ParallelExecutor:
                 max_kleene_size=max_kleene_size,
                 indexed=indexed,
                 compiled=compiled,
+                codegen=codegen,
             )
         else:
             items = list(planned)
@@ -275,6 +277,7 @@ class ParallelExecutor:
                 max_kleene_size=max_kleene_size,
                 indexed=indexed,
                 compiled=compiled,
+                codegen=codegen,
             )
         self._window = max(d.window for d in decomposeds)
         # Whether any pattern defers matches past their completion event

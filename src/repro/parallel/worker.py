@@ -51,6 +51,7 @@ class EngineSpec:
     max_kleene_size: Optional[int] = None
     indexed: bool = True
     compiled: bool = True
+    codegen: bool = True
 
     @classmethod
     def from_planned(
@@ -59,6 +60,7 @@ class EngineSpec:
         max_kleene_size: Optional[int] = None,
         indexed: bool = True,
         compiled: bool = True,
+        codegen: bool = True,
     ) -> "EngineSpec":
         return cls(
             parts=[
@@ -68,6 +70,7 @@ class EngineSpec:
             max_kleene_size=max_kleene_size,
             indexed=indexed,
             compiled=compiled,
+            codegen=codegen,
         )
 
     def build(self):
@@ -87,6 +90,7 @@ class EngineSpec:
                 max_kleene_size=self.max_kleene_size,
                 indexed=self.indexed,
                 compiled=self.compiled,
+                codegen=self.codegen,
             )
             for part in self.parts
         ]
@@ -107,6 +111,7 @@ class SharedSpec:
     max_kleene_size: Optional[int] = None
     indexed: bool = True
     compiled: bool = True
+    codegen: bool = True
 
     def build(self):
         from ..multiquery.executor import MultiQueryEngine
@@ -116,6 +121,7 @@ class SharedSpec:
             max_kleene_size=self.max_kleene_size,
             indexed=self.indexed,
             compiled=self.compiled,
+            codegen=self.codegen,
         )
 
 
@@ -260,24 +266,49 @@ class TaskRunner:
     def feed(self, entries: Sequence[Tuple[int, Event]]) -> None:
         engines = self._engines
         self._fed = True
-        window_mode = self.task.mode == "window"
-        for key, event in entries:
+        if self.task.mode == "window":
+            # Window slices evict per event (time-ordered hand-off), so
+            # they stay on the per-event path.
+            for key, event in entries:
+                engine = engines.get(key)
+                if engine is None:
+                    engine = self._build_engine(key)
+                self._collect(key, engine.process(event))
+                self._evict_passed(event.timestamp)
+            return
+        # Key/single shards: maximal same-key runs go through the batch
+        # path in one call (same matches, same order — see
+        # BaseEngine.process_batch), amortizing admission and probes.
+        entries = list(entries)
+        i, n = 0, len(entries)
+        while i < n:
+            key = entries[i][0]
+            j = i + 1
+            while j < n and entries[j][0] == key:
+                j += 1
             engine = engines.get(key)
             if engine is None:
-                engine = self.task.spec.build()
-                if self._tracer is not None:
-                    engine.set_tracer(self._tracer)
-                engines[key] = engine
-                if window_mode:
-                    hi = slice_delivery_bounds(
-                        self.task.t0, self.task.span, self.task.window, key
-                    )[1]
-                    self._delivery_hi[key] = hi
-                    if hi < self._evict_watermark:
-                        self._evict_watermark = hi
-            self._collect(key, engine.process(event))
-            if window_mode:
-                self._evict_passed(event.timestamp)
+                engine = self._build_engine(key)
+            if j - i == 1:
+                self._collect(key, engine.process(entries[i][1]))
+            else:
+                chunk = [event for _, event in entries[i:j]]
+                self._collect(key, engine.process_batch(chunk))
+            i = j
+
+    def _build_engine(self, key: int):
+        engine = self.task.spec.build()
+        if self._tracer is not None:
+            engine.set_tracer(self._tracer)
+        self._engines[key] = engine
+        if self.task.mode == "window":
+            hi = slice_delivery_bounds(
+                self.task.t0, self.task.span, self.task.window, key
+            )[1]
+            self._delivery_hi[key] = hi
+            if hi < self._evict_watermark:
+                self._evict_watermark = hi
+        return engine
 
     def finish(self) -> WorkerResult:
         for key in sorted(self._engines):

@@ -2,6 +2,9 @@
 and the compiled predicate kernels of the engine hot path."""
 
 from .compile import (
+    clear_codegen_cache,
+    codegen_cache_size,
+    compile_event_batch_kernel,
     compile_event_kernel,
     compile_extension_kernel,
     compile_merge_kernel,
@@ -32,6 +35,9 @@ from .transformations import (
 )
 
 __all__ = [
+    "clear_codegen_cache",
+    "codegen_cache_size",
+    "compile_event_batch_kernel",
     "compile_event_kernel",
     "compile_extension_kernel",
     "compile_merge_kernel",

@@ -48,10 +48,36 @@ nor any per-candidate branch.
 Engines expose ``compiled=False`` to keep the interpreted path
 byte-identical — the baseline of the kernel-equivalence tests and the
 fig24 benchmark.
+
+Codegen backend
+---------------
+
+On top of the closure kernels this module carries an ``exec``-codegen
+backend (``codegen=True``, the default): when every predicate in the
+list is specializable, the whole conjunction renders to **one
+straight-line Python function** — operand accessors inlined as direct
+subscripts, comparison operators as native syntax (no
+``operator.lt`` call), Kleene universal loops and empty-tuple vacuity
+emitted inline, ``KeyError``/``TypeError``→False via a single
+enclosing ``try`` (observing variants carry a per-predicate ``try`` so
+the tracker sees each outcome), and the short-circuit
+``predicate_evaluations`` charges baked in per count mode.  The source
+is value-free: constants, the metrics object, the tracker and the
+observation keys bind as default arguments at ``exec`` time, so the
+rendered source doubles as the cache key — one ``compile()`` per
+kernel *shape* per process (``EngineMetrics.kernels_generated`` /
+``codegen_cache_hits`` count both sides).  Any non-specializable
+predicate, or ``codegen=False``, falls back to the closure kernels
+byte-identically.
+
+Set ``REPRO_DUMP_KERNELS=<dir>`` to dump each newly generated source
+file for inspection (one ``kernel_<hash>.py`` per shape).
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from typing import Callable, Iterable, Mapping, Optional
 
 from ..errors import PatternError
@@ -367,12 +393,389 @@ def _conjunction(
     return kernel
 
 
-def _build(predicates, resolver, metrics, count, tracker, sel_key_by_pred):
+# -- exec-codegen backend ----------------------------------------------------
+#: Rendered source -> compiled code object, process-wide.  Sources are
+#: value-free (constants, metrics, tracker and observation keys bind as
+#: default arguments when the code object is exec'd), so the source
+#: string is a complete structural signature of the kernel.
+_CODE_CACHE: dict = {}
+
+_EXCEPTS = "(KeyError, TypeError)"
+_OP_SYMBOL = {
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "=": "==",
+    "==": "==",
+    "!=": "!=",
+}
+
+
+def clear_codegen_cache() -> None:
+    """Drop the process-wide code-object cache (tests, introspection)."""
+    _CODE_CACHE.clear()
+
+
+def codegen_cache_size() -> int:
+    return len(_CODE_CACHE)
+
+
+def _specializable(predicate: Predicate) -> bool:
+    """True when ``predicate`` can render to generated source — the same
+    class test :func:`_compile_predicate` uses to pick the comparison
+    specialization over the evaluate-delegating fallback."""
+    if not (
+        type(predicate) is Comparison
+        or (
+            isinstance(predicate, Comparison)
+            and type(predicate).evaluate is Comparison.evaluate
+        )
+    ):
+        return False
+    return all(
+        isinstance(operand, (Const, Attr))
+        for operand in (predicate.left, predicate.right)
+    ) and predicate.op in _OP_SYMBOL
+
+
+def _operand_source(operand, resolver: _Resolver, event_name: str, consts: dict):
+    """Render one operand: ``(scalar_expr, kleene_info)`` with exactly
+    one set; ``kleene_info`` is ``(tuple_expr, attribute, variable)``.
+
+    Constants are not embedded — they bind as ``_c<n>`` default
+    arguments so the source stays value-free for caching.
+    """
+    if isinstance(operand, Const):
+        name = f"_c{len(consts)}"
+        consts[name] = operand.value
+        return name, None
+    side, name, is_kleene = resolver.locate(operand.variable)
+    attr = operand.attribute
+    if is_kleene:
+        base = "left" if side == _LEFT else "right"
+        return None, (f"{base}[{name!r}]", attr, operand.variable)
+    if side == _EVENT:
+        return f"{event_name}[{attr!r}]", None
+    base = "left" if side == _LEFT else "right"
+    return f"{base}[{name!r}][{attr!r}]", None
+
+
+def _predicate_shape(predicate: Comparison, resolver, event_name, consts):
+    """Classify one comparison into the closure-kernel shape taxonomy
+    and pre-render its operand expressions."""
+    op = _OP_SYMBOL[predicate.op]
+    lexpr, lkl = _operand_source(predicate.left, resolver, event_name, consts)
+    rexpr, rkl = _operand_source(predicate.right, resolver, event_name, consts)
+    if lkl is None and rkl is None:
+        return ("scalar", op, lexpr, rexpr)
+    if lkl is not None and rkl is not None:
+        ltup, lattr, lvar = lkl
+        rtup, rattr, rvar = rkl
+        if lvar == rvar:
+            return ("kl_same", op, ltup, lattr, rattr)
+        return ("kl_pair", op, ltup, lattr, rtup, rattr)
+    if lkl is not None:
+        tup, attr, _ = lkl
+        return ("kl_one", op, tup, attr, rexpr, True)  # kleene on the left
+    tup, attr, _ = rkl
+    return ("kl_one", op, tup, attr, lexpr, False)
+
+
+def _fail_lines(indent: str, count: str, rank: int, action: str) -> list:
+    """Failure epilogue of predicate ``rank`` (1-based): charge the
+    short-circuit count in ``"each"`` mode, then fail via ``action``."""
+    lines = []
+    if count == "each":
+        lines.append(f"{indent}_M.predicate_evaluations += {rank}")
+    lines.append(f"{indent}{action}")
+    return lines
+
+
+def _shape_lines(shape, i, indent, count, action) -> list:
+    """Straight-line body of one predicate for the untracked kernel.
+
+    Mirrors the closure shapes of :func:`_compile_comparison` exactly:
+    empty Kleene tuples stay vacuously true without resolving the other
+    operand, and all value errors reach the enclosing ``try``.
+    """
+    kind = shape[0]
+    sub = indent + "    "
+    if kind == "scalar":
+        _, op, lexpr, rexpr = shape
+        return [
+            f"{indent}if not ({lexpr} {op} {rexpr}):",
+            *_fail_lines(sub, count, i + 1, action),
+        ]
+    if kind == "kl_same":
+        _, op, tup, lattr, rattr = shape
+        return [
+            f"{indent}for _e in {tup}:",
+            f"{sub}if not (_e[{lattr!r}] {op} _e[{rattr!r}]):",
+            *_fail_lines(sub + "    ", count, i + 1, action),
+        ]
+    if kind == "kl_one":
+        _, op, tup, attr, other, kleene_left = shape
+        test = (
+            f"_e[{attr!r}] {op} _o{i}"
+            if kleene_left
+            else f"_o{i} {op} _e[{attr!r}]"
+        )
+        return [
+            f"{indent}_t{i} = {tup}",
+            f"{indent}if _t{i}:",
+            f"{sub}_o{i} = {other}",
+            f"{sub}for _e in _t{i}:",
+            f"{sub}    if not ({test}):",
+            *_fail_lines(sub + "        ", count, i + 1, action),
+        ]
+    _, op, ltup, lattr, rtup, rattr = shape
+    return [
+        f"{indent}_t{i} = {ltup}",
+        f"{indent}_u{i} = {rtup}",
+        f"{indent}if _t{i} and _u{i}:",
+        f"{sub}for _e in _t{i}:",
+        f"{sub}    _v{i} = _e[{lattr!r}]",
+        f"{sub}    for _f in _u{i}:",
+        f"{sub}        if not (_v{i} {op} _f[{rattr!r}]):",
+        *_fail_lines(sub + "            ", count, i + 1, action),
+    ]
+
+
+def _shape_p_lines(shape, i, indent) -> list:
+    """Body of one predicate for the observing kernel: compute ``_p``
+    under a per-predicate ``try`` so every outcome reaches the tracker
+    (the closure equivalent evaluates each predicate through its own
+    exception-absorbing closure before observing)."""
+    kind = shape[0]
+    sub = indent + "    "
+    if kind == "scalar":
+        _, op, lexpr, rexpr = shape
+        return [
+            f"{indent}try:",
+            f"{sub}_p = ({lexpr} {op} {rexpr})",
+            f"{indent}except {_EXCEPTS}:",
+            f"{sub}_p = False",
+        ]
+    if kind == "kl_same":
+        _, op, tup, lattr, rattr = shape
+        return [
+            f"{indent}_p = True",
+            f"{indent}try:",
+            f"{sub}for _e in {tup}:",
+            f"{sub}    if not (_e[{lattr!r}] {op} _e[{rattr!r}]):",
+            f"{sub}        _p = False",
+            f"{sub}        break",
+            f"{indent}except {_EXCEPTS}:",
+            f"{sub}_p = False",
+        ]
+    if kind == "kl_one":
+        _, op, tup, attr, other, kleene_left = shape
+        test = (
+            f"_e[{attr!r}] {op} _o{i}"
+            if kleene_left
+            else f"_o{i} {op} _e[{attr!r}]"
+        )
+        return [
+            f"{indent}_t{i} = {tup}",
+            f"{indent}if not _t{i}:",
+            f"{sub}_p = True",
+            f"{indent}else:",
+            f"{sub}_p = True",
+            f"{sub}try:",
+            f"{sub}    _o{i} = {other}",
+            f"{sub}    for _e in _t{i}:",
+            f"{sub}        if not ({test}):",
+            f"{sub}            _p = False",
+            f"{sub}            break",
+            f"{sub}except {_EXCEPTS}:",
+            f"{sub}    _p = False",
+        ]
+    _, op, ltup, lattr, rtup, rattr = shape
+    return [
+        f"{indent}_t{i} = {ltup}",
+        f"{indent}_u{i} = {rtup}",
+        f"{indent}if not _t{i} or not _u{i}:",
+        f"{sub}_p = True",
+        f"{indent}else:",
+        f"{sub}_p = True",
+        f"{sub}try:",
+        f"{sub}    for _e in _t{i}:",
+        f"{sub}        _v{i} = _e[{lattr!r}]",
+        f"{sub}        for _f in _u{i}:",
+        f"{sub}            if not (_v{i} {op} _f[{rattr!r}]):",
+        f"{sub}                _p = False",
+        f"{sub}                break",
+        f"{sub}        if not _p:",
+        f"{sub}            break",
+        f"{sub}except {_EXCEPTS}:",
+        f"{sub}    _p = False",
+    ]
+
+
+def _gen_untracked(shapes, count, args, const_names, total) -> str:
+    params = ", ".join(
+        [*args, "_M=_M", *(f"{n}={n}" for n in const_names)]
+    )
+    lines = [f"def kernel({params}):", "    _M.predicate_kernel_calls += 1"]
+    if count == "all":
+        lines.append(f"    _M.predicate_evaluations += {total}")
+    if count == "each":
+        lines.append("    _n = 1")
+    lines.append("    try:")
+    for i, shape in enumerate(shapes):
+        if count == "each" and i:
+            lines.append(f"        _n = {i + 1}")
+        lines.extend(_shape_lines(shape, i, "        ", count, "return False"))
+    lines.append(f"    except {_EXCEPTS}:")
+    if count == "each":
+        lines.append("        _M.predicate_evaluations += _n")
+    lines.append("        return False")
+    if count == "each":
+        lines.append(f"    _M.predicate_evaluations += {total}")
+    lines.append("    return True")
+    return "\n".join(lines) + "\n"
+
+
+def _gen_tracked(shapes, count, args, const_names, key_flags, total) -> str:
+    key_params = [f"_K{i}=_K{i}" for i, flag in enumerate(key_flags) if flag]
+    params = ", ".join(
+        [*args, "_M=_M", "_T=_T", *key_params, *(f"{n}={n}" for n in const_names)]
+    )
+    lines = [f"def kernel({params}):", "    _M.predicate_kernel_calls += 1"]
+    if count == "all":
+        lines.append(f"    _M.predicate_evaluations += {total}")
+    for i, shape in enumerate(shapes):
+        lines.extend(_shape_p_lines(shape, i, "    "))
+        if key_flags[i]:
+            lines.append(f"    _T.observe(_K{i}, _p)")
+            lines.append("    _M.selectivity_observations += 1")
+        lines.append("    if not _p:")
+        if count == "each":
+            lines.append(f"        _M.predicate_evaluations += {i + 1}")
+        lines.append("        return False")
+    if count == "each":
+        lines.append(f"    _M.predicate_evaluations += {total}")
+    lines.append("    return True")
+    return "\n".join(lines) + "\n"
+
+
+def _gen_event_batch(shapes, count, const_names, total) -> str:
+    """Vectorized unary admission: the per-event loop lives inside the
+    generated function, so a whole chunk runs with zero Python call
+    overhead per event.  Event kernels never see Kleene bindings, so
+    every shape is scalar and the fail action is a plain ``break`` out
+    of the per-event ``while``."""
+    params = ", ".join(
+        ["events", "_M=_M", *(f"{n}={n}" for n in const_names)]
+    )
+    lines = [
+        f"def kernel({params}):",
+        "    _out = []",
+        "    _ap = _out.append",
+        "    for event in events:",
+        "        _M.predicate_kernel_calls += 1",
+    ]
+    if count == "all":
+        lines.append(f"        _M.predicate_evaluations += {total}")
+    lines.append("        _ok = False")
+    if count == "each":
+        lines.append("        _n = 1")
+    lines.append("        try:")
+    lines.append("            while True:")
+    for i, shape in enumerate(shapes):
+        if count == "each" and i:
+            lines.append(f"                _n = {i + 1}")
+        lines.extend(
+            _shape_lines(shape, i, "                ", count, "break")
+        )
+    if count == "each":
+        lines.append(f"                _M.predicate_evaluations += {total}")
+    lines.append("                _ok = True")
+    lines.append("                break")
+    lines.append(f"        except {_EXCEPTS}:")
+    if count == "each":
+        lines.append("            _M.predicate_evaluations += _n")
+    else:
+        lines.append("            pass")
+    lines.append("        _ap(_ok)")
+    lines.append("    return _out")
+    return "\n".join(lines) + "\n"
+
+
+def _maybe_dump(source: str) -> None:
+    directory = os.environ.get("REPRO_DUMP_KERNELS")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    digest = hashlib.sha1(source.encode("utf-8")).hexdigest()[:12]
+    path = os.path.join(directory, f"kernel_{digest}.py")
+    if not os.path.exists(path):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+
+
+def _generate(
+    preds, resolver, metrics, count, tracker, sel_key_by_pred, form
+) -> Kernel:
+    """Render, compile (or fetch from cache) and instantiate one kernel.
+
+    ``form`` is ``"pair"`` (``kernel(left, right)``), ``"event"``
+    (``kernel(event)``) or ``"event_batch"``
+    (``kernel(events) -> list[bool]``).
+    """
+    consts: dict = {}
+    event_name = "right" if form == "pair" else "event"
+    shapes = [
+        _predicate_shape(p, resolver, event_name, consts) for p in preds
+    ]
+    total = len(preds)
+    args = ["left", "right"] if form == "pair" else ["event"]
+    keys = [(sel_key_by_pred or {}).get(id(p)) for p in preds]
+    if form == "event_batch":
+        source = _gen_event_batch(shapes, count, list(consts), total)
+    elif tracker is not None:
+        key_flags = [key is not None for key in keys]
+        source = _gen_tracked(
+            shapes, count, args, list(consts), key_flags, total
+        )
+    else:
+        source = _gen_untracked(shapes, count, args, list(consts), total)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<repro-kernel>", "exec")
+        _CODE_CACHE[source] = code
+        metrics.kernels_generated += 1
+        _maybe_dump(source)
+    else:
+        metrics.codegen_cache_hits += 1
+    namespace = {"_M": metrics, "_T": tracker, **consts}
+    for i, key in enumerate(keys):
+        if key is not None:
+            namespace[f"_K{i}"] = key
+    exec(code, namespace)
+    return namespace["kernel"]
+
+
+def _build(
+    predicates,
+    resolver,
+    metrics,
+    count,
+    tracker,
+    sel_key_by_pred,
+    codegen=False,
+    form="pair",
+):
     if count not in COUNT_MODES:
         raise PatternError(f"unknown count mode {count!r}")
     preds = list(predicates)
     if not preds:
         return None
+    if codegen and all(_specializable(p) for p in preds):
+        return _generate(
+            preds, resolver, metrics, count, tracker, sel_key_by_pred, form
+        )
     fns = [_compile_predicate(p, resolver) for p in preds]
     return _conjunction(fns, preds, metrics, count, tracker, sel_key_by_pred)
 
@@ -389,6 +792,7 @@ def compile_merge_kernel(
     left_rename: Optional[Mapping[str, str]] = None,
     right_rename: Optional[Mapping[str, str]] = None,
     count: str = "each",
+    codegen: bool = True,
 ) -> Optional[Kernel]:
     """Kernel over two partial matches: ``kernel(left_b, right_b)``.
 
@@ -397,6 +801,10 @@ def compile_merge_kernel(
     namespace names to storage names (multi-query DAG edges).  ``kleene``
     names (predicate namespace) are bound to event tuples and expand
     with universal semantics.  Returns None for an empty predicate list.
+
+    ``codegen=True`` renders fully specializable predicate lists to one
+    generated function (see the module docstring); ``codegen=False`` and
+    non-specializable lists take the closure path.
     """
     sides = {v: _LEFT for v in left_variables}
     for v in right_variables:
@@ -404,7 +812,15 @@ def compile_merge_kernel(
     renames = dict(left_rename or {})
     renames.update(right_rename or {})
     resolver = _Resolver(sides, renames, frozenset(kleene))
-    return _build(predicates, resolver, metrics, count, tracker, sel_key_by_pred)
+    return _build(
+        predicates,
+        resolver,
+        metrics,
+        count,
+        tracker,
+        sel_key_by_pred,
+        codegen=codegen,
+    )
 
 
 def compile_extension_kernel(
@@ -414,6 +830,7 @@ def compile_extension_kernel(
     metrics,
     tracker=None,
     sel_key_by_pred: Optional[dict] = None,
+    codegen: bool = True,
 ) -> Optional[Kernel]:
     """Kernel for binding one arriving event: ``kernel(bindings, event)``.
 
@@ -429,7 +846,15 @@ def compile_extension_kernel(
         for name in predicate.variables:
             sides.setdefault(name, _LEFT)
     resolver = _Resolver(sides, {}, kleene)
-    return _build(predicates, resolver, metrics, "each", tracker, sel_key_by_pred)
+    return _build(
+        predicates,
+        resolver,
+        metrics,
+        "each",
+        tracker,
+        sel_key_by_pred,
+        codegen=codegen,
+    )
 
 
 def compile_event_kernel(
@@ -439,15 +864,69 @@ def compile_event_kernel(
     tracker=None,
     sel_key_by_pred: Optional[dict] = None,
     count: str = "each",
+    codegen: bool = True,
 ) -> Optional[Callable[[object], bool]]:
     """Unary admission kernel: ``kernel(event)`` for one variable's
-    filters (tree/multi-query leaf admission, NFA buffer filters)."""
-    resolver = _Resolver({variable: _EVENT}, {}, frozenset())
-    kernel = _build(predicates, resolver, metrics, count, tracker, sel_key_by_pred)
-    if kernel is None:
+    filters (tree/multi-query leaf admission, NFA buffer filters).
+
+    The codegen backend emits the unary form directly (no closure
+    wrapper hop); the closure fallback keeps the historical wrapper.
+    """
+    if count not in COUNT_MODES:
+        raise PatternError(f"unknown count mode {count!r}")
+    preds = list(predicates)
+    if not preds:
         return None
+    resolver = _Resolver({variable: _EVENT}, {}, frozenset())
+    if codegen and all(_specializable(p) for p in preds):
+        return _generate(
+            preds, resolver, metrics, count, tracker, sel_key_by_pred, "event"
+        )
+    kernel = _build(preds, resolver, metrics, count, tracker, sel_key_by_pred)
 
     def event_kernel(event, _k=kernel):
         return _k(None, event)
 
     return event_kernel
+
+
+def compile_event_batch_kernel(
+    predicates: Iterable[Predicate],
+    variable: str,
+    metrics,
+    sel_key_by_pred: Optional[dict] = None,
+    count: str = "each",
+    codegen: bool = True,
+) -> Optional[Callable[[Iterable[object]], list]]:
+    """Vectorized admission kernel: ``kernel(events) -> list[bool]``.
+
+    Charges metrics per event exactly like calling the unary kernel in
+    a loop; with codegen the loop itself is generated, so a chunk runs
+    with no per-event Python call overhead.  Observing runs stay on the
+    per-event path (engines disable batch admission under a tracker),
+    so there is no tracked variant.
+    """
+    if count not in COUNT_MODES:
+        raise PatternError(f"unknown count mode {count!r}")
+    preds = list(predicates)
+    if not preds:
+        return None
+    if codegen and all(_specializable(p) for p in preds):
+        resolver = _Resolver({variable: _EVENT}, {}, frozenset())
+        return _generate(
+            preds, resolver, metrics, count, None, sel_key_by_pred, "event_batch"
+        )
+    unary = compile_event_kernel(
+        preds,
+        variable,
+        metrics,
+        tracker=None,
+        sel_key_by_pred=sel_key_by_pred,
+        count=count,
+        codegen=codegen,
+    )
+
+    def batch_kernel(events, _k=unary):
+        return [_k(event) for event in events]
+
+    return batch_kernel

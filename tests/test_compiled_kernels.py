@@ -129,8 +129,9 @@ def interpret(predicates, bindings, sel_keys):
     return outcome, evaluated, observed
 
 
+@pytest.mark.parametrize("codegen", (False, True), ids=["closure", "codegen"])
 @pytest.mark.parametrize("seed", SEEDS)
-def test_merge_kernel_matches_interpreted(seed):
+def test_merge_kernel_matches_interpreted(seed, codegen):
     rng = random.Random(seed)
     variables = LEFT_VARS + RIGHT_VARS
     predicates = rand_predicates(rng, variables, rng.randrange(1, 5))
@@ -146,6 +147,7 @@ def test_merge_kernel_matches_interpreted(seed):
             metrics,
             tracker=tracker,
             sel_key_by_pred=sel_keys,
+            codegen=codegen,
         )
         for _ in range(25):
             left, next_seq = rand_bindings(rng, LEFT_VARS)
@@ -164,8 +166,9 @@ def test_merge_kernel_matches_interpreted(seed):
                 assert tracker.observed[len(obs_before):] == observed
 
 
+@pytest.mark.parametrize("codegen", (False, True), ids=["closure", "codegen"])
 @pytest.mark.parametrize("seed", SEEDS)
-def test_extension_kernel_matches_interpreted(seed):
+def test_extension_kernel_matches_interpreted(seed, codegen):
     """The NFA/tree extension path: new variable read from the event."""
     rng = random.Random(seed)
     new_variable = rng.choice(("b", "k"))  # scalar and Kleene extension
@@ -182,6 +185,7 @@ def test_extension_kernel_matches_interpreted(seed):
         metrics,
         tracker=tracker,
         sel_key_by_pred=sel_keys,
+        codegen=codegen,
     )
     for _ in range(25):
         bindings, next_seq = rand_bindings(rng, prior)
@@ -196,15 +200,17 @@ def test_extension_kernel_matches_interpreted(seed):
         assert tracker.observed[obs_before:] == observed
 
 
+@pytest.mark.parametrize("codegen", (False, True), ids=["closure", "codegen"])
 @pytest.mark.parametrize("seed", SEEDS[:10])
-def test_event_kernel_count_all_matches_admission(seed):
+def test_event_kernel_count_all_matches_admission(seed, codegen):
     """Tree/multi-query admission pre-charges len(filters)."""
     rng = random.Random(seed)
     predicates = rand_predicates(rng, ("a",), rng.randrange(1, 4))
     sel_keys = sel_keys_for(predicates)
     metrics = EngineMetrics()
     kernel = compile_event_kernel(
-        predicates, "a", metrics, sel_key_by_pred=sel_keys, count="all"
+        predicates, "a", metrics, sel_key_by_pred=sel_keys, count="all",
+        codegen=codegen,
     )
     for _ in range(20):
         event = rand_event(rng, 0)
@@ -303,3 +309,105 @@ def test_nan_and_missing_attribute_comparisons_stay_false():
         assert predicate.evaluate({**left, **right}) is expected
         assert kernel(left, right) is expected
         assert math.isnan(nan)  # guard the test fixture itself
+
+
+# -- codegen backend --------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS[:20])
+def test_generated_kernels_match_closure_kernels(seed):
+    """Closure vs exec-generated source, head to head on the same
+    inputs: outcome, predicate_evaluations charge, and observation
+    sequence must be identical — across all six operators, Kleene
+    tuples (including empty), NaN, missing attributes, mixed types."""
+    rng = random.Random(seed)
+    variables = LEFT_VARS + RIGHT_VARS
+    predicates = rand_predicates(rng, variables, rng.randrange(1, 5))
+    sel_keys = sel_keys_for(predicates)
+    builds = []
+    for codegen in (False, True):
+        metrics = EngineMetrics()
+        tracker = RecordingTracker()
+        builds.append(
+            (
+                compile_merge_kernel(
+                    predicates, LEFT_VARS, RIGHT_VARS, KLEENE, metrics,
+                    tracker=tracker, sel_key_by_pred=sel_keys,
+                    codegen=codegen,
+                ),
+                metrics,
+                tracker,
+            )
+        )
+    (closure, c_metrics, c_tracker), (generated, g_metrics, g_tracker) = builds
+    for _ in range(30):
+        left, next_seq = rand_bindings(rng, LEFT_VARS)
+        right, _ = rand_bindings(rng, RIGHT_VARS, next_seq)
+        assert closure(left, right) is generated(left, right)
+    assert c_metrics.predicate_evaluations == g_metrics.predicate_evaluations
+    assert c_metrics.predicate_kernel_calls == g_metrics.predicate_kernel_calls
+    assert c_tracker.observed == g_tracker.observed
+
+
+def test_codegen_cache_hits_and_generation_counter():
+    """Structurally identical kernels compile once; the second build is
+    a cache hit (per-engine constants bind as defaults, so the source
+    text is the cache key)."""
+    from repro.patterns import clear_codegen_cache, codegen_cache_size
+
+    clear_codegen_cache()
+    assert codegen_cache_size() == 0
+    predicates = [Comparison(Attr("a", "x"), "<", Attr("b", "x"))]
+    metrics = EngineMetrics()
+    compile_merge_kernel(predicates, ("a",), ("b",), (), metrics)
+    assert metrics.kernels_generated == 1
+    assert metrics.codegen_cache_hits == 0
+    assert codegen_cache_size() == 1
+    # Different constants, same structure: still one cache entry.
+    again = [Comparison(Attr("a", "x"), "<", Attr("b", "x"))]
+    compile_merge_kernel(again, ("a",), ("b",), (), metrics)
+    assert metrics.kernels_generated == 1
+    assert metrics.codegen_cache_hits == 1
+    assert codegen_cache_size() == 1
+    # codegen=False never touches the cache.
+    compile_merge_kernel(again, ("a",), ("b",), (), metrics, codegen=False)
+    assert metrics.kernels_generated == 1
+    assert metrics.codegen_cache_hits == 1
+
+
+def test_dump_kernels_hook_writes_sources(tmp_path, monkeypatch):
+    """REPRO_DUMP_KERNELS=<dir> writes every generated source file."""
+    from repro.patterns import clear_codegen_cache
+
+    monkeypatch.setenv("REPRO_DUMP_KERNELS", str(tmp_path))
+    clear_codegen_cache()
+    predicates = [Comparison(Attr("a", "x"), "=", Attr("b", "x"))]
+    compile_merge_kernel(predicates, ("a",), ("b",), (), EngineMetrics())
+    dumped = list(tmp_path.glob("*.py"))
+    assert len(dumped) == 1
+    source = dumped[0].read_text()
+    assert "def kernel" in source
+
+
+@pytest.mark.parametrize("codegen", (False, True), ids=["closure", "codegen"])
+@pytest.mark.parametrize("count", ("each", "all", "none"))
+def test_event_batch_kernel_matches_per_event(count, codegen):
+    """The admission batch kernel must agree with the per-event kernel
+    on every event of a chunk, and charge the same per-event totals."""
+    from repro.patterns import compile_event_batch_kernel
+
+    rng = random.Random(11)
+    predicates = rand_predicates(rng, ("a",), 3)
+    single_metrics = EngineMetrics()
+    single = compile_event_kernel(
+        predicates, "a", single_metrics, count=count, codegen=codegen
+    )
+    batch_metrics = EngineMetrics()
+    batch = compile_event_batch_kernel(
+        predicates, "a", batch_metrics, count=count, codegen=codegen
+    )
+    events = [rand_event(rng, seq) for seq in range(40)]
+    assert batch(events) == [bool(single(e)) for e in events]
+    assert (
+        batch_metrics.predicate_evaluations
+        == single_metrics.predicate_evaluations
+    )

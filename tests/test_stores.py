@@ -57,9 +57,9 @@ class TestEqualityKeyPairs:
         assert left == (("a", "x"), ("b", "y"))
         assert right == (("c", "x"), ("c", "y"))
 
-    def test_excludes_kleene_const_theta_and_same_side(self):
+    def test_excludes_const_theta_and_same_side_keeps_kleene(self):
         preds = [
-            Comparison(Attr("a", "x"), "=", Attr("k", "x")),  # kleene
+            Comparison(Attr("a", "x"), "=", Attr("k", "x")),  # kleene: kept
             Comparison(Attr("a", "x"), "=", Const(3)),  # unary
             TimestampOrder("a", "b"),  # theta (op <)
             Comparison(Attr("a", "x"), "=", Attr("a2", "x")),  # same side
@@ -67,7 +67,11 @@ class TestEqualityKeyPairs:
         left, right, extracted = equality_key_pairs(
             preds, ["a", "a2"], ["k", "b"], kleene=["k"]
         )
-        assert left == () and right == ()
+        # Kleene variables key on the common element value now; the
+        # other three predicate shapes stay excluded.
+        assert left == (("a", "x"),)
+        assert right == (("k", "x"),)
+        assert len(extracted) == 1
 
     def test_key_fns_resolve_bindings_and_events(self):
         key_of = make_key_fn((("a", "x"), ("b", "y")))
