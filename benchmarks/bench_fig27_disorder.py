@@ -1,0 +1,234 @@
+"""Figure 27 (extension): out-of-order ingestion and retraction churn.
+
+Not a figure of the source paper — this sweep evaluates
+:mod:`repro.streams.disorder`: the watermarked reorder buffer and the
+retraction/update delta machinery wrapped around the compiled NFA
+runtime.
+
+Two modes:
+
+* **disorder-sweep** — one keyed workload, shuffled with a seeded
+  bounded-displacement jitter, fed through a :class:`DeltaEngine` at
+  increasing ``max_delay`` bounds.  Reports sustained events/sec, the
+  watermark-lag histogram (p50/p95/max of how far behind the frontier
+  arrivals land), the reorder counter, and the throughput ratio
+  against the plain ordered engine run (``speedup_vs_plain`` — the
+  price of the buffer, machine-independent).
+* **retraction-churn** — the ordered workload plus a seeded sprinkle
+  of ``Retraction``/``Update`` corrections; reports corrected-stream
+  throughput and the retraction counters.
+
+Every configuration ends in the identity assertion: the net match
+fingerprints of the disordered / corrected run must equal a clean
+ordered run over the corrected stream — disorder tolerance is an
+ingestion strategy, never a semantics change.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a seconds-scale smoke run (CI).
+Writes ``fig27_disorder.txt`` and the machine-readable
+``BENCH_fig27.json`` for the CI perf-trajectory artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro import (
+    DeltaEngine,
+    Retraction,
+    Update,
+    build_engines,
+    estimate_pattern_catalog,
+    net_fingerprints,
+    parse_pattern,
+    plan_pattern,
+)
+from repro.events import Event, Stream
+
+from _common import BenchEnv  # noqa: F401 — the env fixture's type
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+PATTERN = "PATTERN SEQ(A a, B b, C c) WHERE a.k = b.k AND b.k = c.k WITHIN {w}"
+
+if SMOKE:
+    EVENTS, KEYS, WINDOW = 800, 8, 1.0
+    RETRACTIONS, UPDATES = 4, 2
+else:
+    EVENTS, KEYS, WINDOW = 6000, 50, 2.0
+    RETRACTIONS, UPDATES = 25, 10
+
+#: Disorder bounds swept, in stream-time units (mean event gap 0.05).
+DELAYS = (0.0, 0.05, 0.15, 0.3)
+
+
+def _events(seed: int = 27) -> list:
+    rng = random.Random(seed)
+    events, t = [], 0.0
+    for _ in range(EVENTS):
+        t += rng.uniform(0.01, 0.09)
+        events.append(
+            Event(
+                rng.choice("ABC"),
+                t,
+                {"k": rng.randrange(KEYS), "v": rng.random()},
+            )
+        )
+    return events
+
+
+def _plan(events: list):
+    pattern = parse_pattern(PATTERN.format(w=WINDOW))
+    catalog = estimate_pattern_catalog(pattern, Stream(list(events)))
+    return plan_pattern(pattern, catalog, algorithm="GREEDY")
+
+
+def _shuffle_within(events: list, rng: random.Random, max_delay: float) -> list:
+    jittered = [
+        (event.timestamp + rng.uniform(0.0, max_delay * 0.95), i)
+        for i, event in enumerate(events)
+    ]
+    return [events[i] for _, i in sorted(jittered)]
+
+
+def _clean_fingerprints(build, events: list) -> list:
+    engine = build()
+    out = []
+    for i, event in enumerate(events):
+        out.extend(engine.process(event.with_seq(i)))
+    out.extend(engine.finalize())
+    return net_fingerprints(out)
+
+
+def test_fig27_disorder(env):
+    events = _events()
+    planned = _plan(events)
+    build = lambda: build_engines(planned)  # noqa: E731
+
+    # The semantics + throughput baseline: plain ordered engine run.
+    started = time.perf_counter()
+    clean = _clean_fingerprints(build, events)
+    plain_wall = time.perf_counter() - started
+    plain_eps = len(events) / plain_wall if plain_wall > 0 else 0.0
+
+    rows, runs = [], []
+    for max_delay in DELAYS:
+        shuffled = _shuffle_within(events, random.Random(271), max_delay)
+        delta = DeltaEngine(build, max_delay=max_delay, late_policy="strict")
+        started = time.perf_counter()
+        delta.run(shuffled)
+        wall = time.perf_counter() - started
+        assert delta.net_fingerprints() == clean, (
+            f"max_delay={max_delay}: disordered net matches diverge "
+            "from the ordered run"
+        )
+        metrics = delta.metrics
+        eps = len(events) / wall if wall > 0 else 0.0
+        lag = metrics.watermark_lag
+        rows.append(
+            [
+                f"{max_delay:g}",
+                len(clean),
+                f"{eps:,.0f}",
+                f"{eps / plain_eps:.2f}" if plain_eps else "-",
+                metrics.events_reordered,
+                f"{lag.p95:.3f}",
+                f"{lag.max:.3f}",
+            ]
+        )
+        runs.append(
+            {
+                "mode": "disorder-sweep",
+                "label": f"max_delay={max_delay:g}",
+                "events": len(events),
+                "window": WINDOW,
+                "key_cardinality": KEYS,
+                "matches": len(clean),
+                "events_per_s": eps,
+                "wall_s": wall,
+                "speedup_vs_plain": eps / plain_eps if plain_eps else 1.0,
+                "events_reordered": metrics.events_reordered,
+                "watermark_lag_p50_s": lag.p50,
+                "watermark_lag_p95_s": lag.p95,
+                "watermark_lag_max_s": lag.max,
+            }
+        )
+
+    # Retraction/update churn on the ordered stream: corrections drawn
+    # from a seeded RNG, identity asserted against a clean run over the
+    # corrected stream.
+    rng = random.Random(272)
+    retracted = set()
+    while len(retracted) < RETRACTIONS:
+        retracted.add(rng.randrange(len(events)))
+    updated = {}
+    while len(updated) < UPDATES:
+        uid = rng.randrange(len(events))
+        if uid in retracted or uid in updated:
+            continue
+        updated[uid] = {
+            "k": rng.randrange(KEYS),
+            "v": rng.random(),
+        }
+    corrected = [
+        Event(e.type, e.timestamp, updated[i]) if i in updated else e
+        for i, e in enumerate(events)
+        if i not in retracted
+    ]
+    corrected_clean = _clean_fingerprints(build, corrected)
+
+    delta = DeltaEngine(build)
+    started = time.perf_counter()
+    out = delta.process_batch(events)
+    for uid in sorted(retracted):
+        out.extend(delta.process(Retraction(uid)))
+    for uid, payload in sorted(updated.items()):
+        out.extend(delta.process(Update(uid, payload)))
+    out.extend(delta.finalize())
+    wall = time.perf_counter() - started
+    assert net_fingerprints(out) == corrected_clean, (
+        "retraction churn: incremental net matches diverge from the "
+        "corrected-stream rerun"
+    )
+    metrics = delta.metrics
+    churn_eps = len(events) / wall if wall > 0 else 0.0
+    runs.append(
+        {
+            "mode": "retraction-churn",
+            "label": f"{RETRACTIONS} retractions + {UPDATES} updates",
+            "events": len(events),
+            "window": WINDOW,
+            "key_cardinality": KEYS,
+            "matches": len(corrected_clean),
+            "events_per_s": churn_eps,
+            "wall_s": wall,
+            "retractions_processed": metrics.retractions_processed,
+            "matches_retracted": metrics.matches_retracted,
+        }
+    )
+
+    header = (
+        f"fig27 (extension): disorder tolerance "
+        f"({EVENTS} events, {KEYS} keys, window {WINDOW:g}, "
+        f"{'smoke' if SMOKE else 'full'})\n"
+        f"plain ordered run: {plain_eps:,.0f} events/s\n\n"
+        f"{'max_delay':>9} | {'matches':>7} | {'events/s':>10} | "
+        f"{'vs plain':>8} | {'reordered':>9} | {'lag p95':>8} | "
+        f"{'lag max':>8}\n" + "-" * 72
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row[0]:>9} | {row[1]:>7} | {row[2]:>10} | {row[3]:>8} | "
+            f"{row[4]:>9} | {row[5]:>8} | {row[6]:>8}"
+        )
+    lines.append(
+        f"\nretraction churn: {RETRACTIONS} retractions + {UPDATES} "
+        f"updates over {EVENTS} events -> {churn_eps:,.0f} events/s, "
+        f"{metrics.matches_retracted} match retractions emitted"
+    )
+    env.write("fig27_disorder.txt", "\n".join(lines))
+    env.write_json(
+        "BENCH_fig27.json",
+        {"smoke": SMOKE, "cpus": os.cpu_count(), "runs": runs},
+    )

@@ -82,6 +82,67 @@ def compose_plan(seed: int, max_batch: int, server_faults: bool) -> FaultPlan:
     return plan
 
 
+def disorder_round(planned, stream, seed: int) -> dict:
+    """One disorder + retraction round: a seeded bounded shuffle plus a
+    random sprinkle of retractions and updates through a
+    :class:`DeltaEngine`, net-identity asserted against a clean ordered
+    run over the corrected stream."""
+    from repro import (
+        DeltaEngine,
+        Retraction,
+        Update,
+        net_fingerprints,
+    )
+
+    rng = random.Random(seed)
+    events = list(stream)
+    max_delay = rng.uniform(0.05, 0.3)
+    jittered = [
+        (event.timestamp + rng.uniform(0.0, max_delay * 0.95), i)
+        for i, event in enumerate(events)
+    ]
+    order = [i for _, i in sorted(jittered)]  # shuffled[uid] = events[order[uid]]
+    shuffled = [events[i] for i in order]
+    # Delta uids number the *arrival* order; map them back to original
+    # stream positions to build the corrected reference stream.
+    retracted = set(rng.sample(range(len(events)), k=3))
+    updated = {}
+    while len(updated) < 2:
+        uid = rng.randrange(len(events))
+        if uid not in retracted:
+            updated[uid] = {"k": rng.randrange(5), "v": rng.random()}
+    retracted_orig = {order[uid] for uid in retracted}
+    updated_orig = {order[uid]: payload for uid, payload in updated.items()}
+    corrected = [
+        Event(e.type, e.timestamp, updated_orig[i]) if i in updated_orig else e
+        for i, e in enumerate(events)
+        if i not in retracted_orig
+    ]
+    clean_engine = build_engines(planned)
+    clean = net_fingerprints(clean_engine.run(Stream(corrected)))
+
+    build = lambda: build_engines(planned)  # noqa: E731
+    delta = DeltaEngine(build, max_delay=max_delay, late_policy="strict")
+    started = time.perf_counter()
+    out = delta.process_batch(shuffled)
+    for uid in sorted(retracted):
+        out.extend(delta.process(Retraction(uid)))
+    for uid, payload in sorted(updated.items()):
+        out.extend(delta.process(Update(uid, payload)))
+    out.extend(delta.finalize())
+    metrics = delta.metrics
+    return {
+        "identical": net_fingerprints(out) == clean,
+        "seconds": round(time.perf_counter() - started, 3),
+        "max_delay": round(max_delay, 3),
+        "counters": {
+            "events_reordered": metrics.events_reordered,
+            "retractions_processed": metrics.retractions_processed,
+            "matches_retracted": metrics.matches_retracted,
+        },
+    }
+
+
 def chaos_run(planned, stream, config) -> list:
     with ParallelExecutor(planned, config) as executor:
         run = executor.session().stream()
@@ -165,6 +226,10 @@ def soak(rounds: int, events: int, seed: int) -> dict:
                 "heartbeats_missed": metrics.heartbeats_missed,
             },
         }
+        # Disorder + retraction churn: same byte-identity bar, applied
+        # to the watermarked delta path instead of a crashing backend.
+        entry["disorder"] = disorder_round(planned, stream, round_seed + 900)
+
         for backend, result in entry["backends"].items():
             status = "ok" if result["identical"] else "DIVERGED"
             fired = [f["action"] for f in result["fault_log"]]
@@ -176,6 +241,18 @@ def soak(rounds: int, events: int, seed: int) -> dict:
             )
             if not result["identical"]:
                 report["failures"] += 1
+        disorder = entry["disorder"]
+        status = "ok" if disorder["identical"] else "DIVERGED"
+        print(
+            f"round {round_id}  disorder: {status}  "
+            f"max_delay={disorder['max_delay']}  "
+            f"reordered={disorder['counters']['events_reordered']}  "
+            f"retracted={disorder['counters']['matches_retracted']}  "
+            f"{disorder['seconds']}s",
+            flush=True,
+        )
+        if not disorder["identical"]:
+            report["failures"] += 1
         report["rounds"].append(entry)
     return report
 

@@ -187,8 +187,20 @@ from .stats import (
     StatisticsCatalog,
     estimate_pattern_catalog,
 )
+from .streams import (
+    DeltaEngine,
+    DisorderBuffer,
+    DisorderError,
+    MatchRetraction,
+    MatchRevision,
+    Retraction,
+    Update,
+    match_fingerprint,
+    net_fingerprints,
+    net_matches,
+)
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AdaptiveController",
@@ -223,6 +235,16 @@ __all__ = [
     "EventType",
     "Stream",
     "ChunkedStream",
+    "DeltaEngine",
+    "DisorderBuffer",
+    "DisorderError",
+    "MatchRetraction",
+    "MatchRevision",
+    "Retraction",
+    "Update",
+    "match_fingerprint",
+    "net_fingerprints",
+    "net_matches",
     "ParallelConfig",
     "ParallelExecutor",
     "canonical_order",

@@ -317,6 +317,48 @@ class BaseEngine:
         for event in snapshot.events:
             self._negation.offer(event)
 
+    # -- retraction deltas (repro.streams.disorder) --------------------------
+    def negation_event_types(self) -> frozenset:
+        """Event types any negation spec forbids.
+
+        Delta routing uses this: retracting one of these events may
+        *resurrect* matches it suppressed, which the incremental purge
+        below cannot re-derive — the disorder layer replays instead.
+        """
+        return frozenset(
+            spec.event_type for spec in self.decomposed.negations
+        )
+
+    def retract_seq(self, seq: int) -> None:
+        """Remove every trace of the event with sequence number ``seq``.
+
+        Transitively drops partial matches that bound the event (store
+        tombstones via the consumed-purge hook), evicts it from the
+        variable, window, and negation candidate buffers, and kills
+        pending matches built on it.  Exact for skip-till-any-match
+        runs whose retracted event is not negation-relevant; the
+        disorder layer (:mod:`repro.streams.disorder`) routes every
+        other delta through its replay-swap path.  Already-reported
+        matches are the caller's to retract — the engine keeps no
+        emitted-match log.
+        """
+        if any(e.seq == seq for e in self._window_events):
+            self._window_events = deque(
+                e for e in self._window_events if e.seq != seq
+            )
+        for buffer in self._buffers.values():
+            buffer.remove_seq(seq)
+        self._negation.retract(seq)
+        self._purge_consumed(frozenset((seq,)))
+        if self._pending:
+            self._pending = [
+                entry
+                for entry in self._pending
+                if not entry.pm.contains_seq(seq)
+            ]
+        self._consumed.discard(seq)
+        self.metrics.retractions_processed += 1
+
     def _require_fresh(self, operation: str) -> None:
         if self.metrics.events_processed or self._now != float("-inf"):
             raise EngineError(

@@ -327,6 +327,22 @@ class DisjunctionEngine:
         for engine in self.engines:
             engine.set_selectivity_tracker(tracker)
 
+    # -- retraction deltas (repro.streams.disorder) --------------------------
+    @property
+    def selection(self) -> str:
+        return self.engines[0].selection
+
+    def negation_event_types(self) -> frozenset:
+        types: frozenset = frozenset()
+        for engine in self.engines:
+            types |= engine.negation_event_types()
+        return types
+
+    def retract_seq(self, seq: int) -> None:
+        """Apply one retraction to every disjunct sub-engine."""
+        for engine in self.engines:
+            engine.retract_seq(seq)
+
     def set_tracer(self, tracer) -> None:
         """Attach one shared tracer to every disjunct sub-engine (their
         nodes stay apart via per-node labels)."""

@@ -33,7 +33,7 @@ class Instrument(NamedTuple):
     :class:`~repro.engines.metrics.LatencyHistogram`); ``summary_key``
     is the key :meth:`EngineMetrics.summary` reports it under;
     ``scope`` groups the field table (engine / parallel / adaptive /
-    service); ``help`` is the one-line Prometheus HELP string;
+    disorder / service); ``help`` is the one-line Prometheus HELP string;
     ``detail`` is the full field-table prose.
     """
 
@@ -157,6 +157,39 @@ INSTRUMENTS: Tuple[Instrument, ...] = (
         "partial matches dropped by watermark-gated window\nexpiry",
     ),
     Instrument(
+        "events_reordered", "counter", "events_reordered", "disorder",
+        "out-of-order arrivals reordered within the disorder bound",
+        "disorder layer (:mod:`repro.streams.disorder`):\n"
+        "events that arrived behind the stream-time\n"
+        "frontier but within ``max_delay`` and were\n"
+        "buffered and released in timestamp order by the\n"
+        "watermark",
+    ),
+    Instrument(
+        "events_late_dropped", "counter", "events_late_dropped", "disorder",
+        "events later than the watermark, dropped by policy",
+        "disorder layer: events that arrived *later* than\n"
+        "the watermark allows (``ts < max_seen - max_delay``)\n"
+        "and were counted and skipped under the ``\"drop\"``\n"
+        "late policy",
+    ),
+    Instrument(
+        "retractions_processed", "counter", "retractions_processed",
+        "disorder",
+        "retraction/update deltas applied to engine state",
+        "disorder layer: ``Retraction``/``Update`` deltas\n"
+        "applied to live engine state — incrementally\n"
+        "(transitive partial-match purge) or via the\n"
+        "replay-swap path",
+    ),
+    Instrument(
+        "matches_retracted", "counter", "matches_retracted", "disorder",
+        "already-reported matches invalidated by a delta",
+        "disorder layer: already-reported matches a\n"
+        "retraction, update, or late insert invalidated —\n"
+        "each emitted a typed ``MatchRetraction`` record",
+    ),
+    Instrument(
         "events_routed", "counter", "events_routed", "parallel",
         "event copies dispatched to parallel workers",
         "parallel runtime only (:mod:`repro.parallel`):\n"
@@ -255,6 +288,14 @@ INSTRUMENTS: Tuple[Instrument, ...] = (
         "circuit breaker opening)",
     ),
     Instrument(
+        "shards_repromoted", "counter", "shards_repromoted", "service",
+        "degraded shards promoted back to their socket endpoint",
+        "service runtime only: degraded shards whose dead\n"
+        "endpoint answered a half-open re-probe and whose\n"
+        "partitions were promoted back to the socket\n"
+        "channel (the circuit breaker closing again)",
+    ),
+    Instrument(
         "send_retries", "counter", "send_retries", "service",
         "messages re-sent on replacement channels + retried dials",
         "service runtime only: messages re-sent on a\n"
@@ -291,15 +332,26 @@ INSTRUMENTS: Tuple[Instrument, ...] = (
         "structure as ``detection_latency``); empty on the\n"
         "per-event path",
     ),
+    Instrument(
+        "watermark_lag", "histogram", "watermark_lag", "disorder",
+        "per-event stream-time lag behind the frontier at arrival",
+        "disorder layer: mergeable histogram of each\n"
+        "arriving event's stream-time lag behind the\n"
+        "frontier (``max_seen_ts - event.ts``, clamped at\n"
+        "0) — in-order arrivals record 0, the tail shows\n"
+        "how much of ``max_delay`` the stream actually\n"
+        "used; empty without a disorder buffer",
+    ),
 )
 
-#: The six driver-side fault-tolerance counters, in field order.
+#: The seven driver-side fault-tolerance counters, in field order.
 FAULT_INSTRUMENT_NAMES: Tuple[str, ...] = (
     "worker_crashes",
     "worker_reseeds",
     "socket_reconnects",
     "heartbeats_missed",
     "shards_degraded",
+    "shards_repromoted",
     "send_retries",
 )
 
@@ -393,6 +445,17 @@ FAILURE_MODES: Tuple[FailureMode, ...] = (
         "typed error",
         ("shards_degraded",),
         ("ShardDegraded",),
+        None,
+    ),
+    FailureMode(
+        "degraded shard comes back",
+        "half-open re-probe: periodic PING against the dead endpoint "
+        "(`repromote_seconds`, exponential backoff)",
+        "**circuit breaker closes**: the shard's partitions are promoted "
+        "back to a fresh socket channel, reseeded from the same acked "
+        "window log; probe failures leave the local worker serving",
+        ("shards_repromoted",),
+        ("ShardRepromoted",),
         None,
     ),
     FailureMode(

@@ -21,7 +21,7 @@ cannot drift apart.
 
 {FIELD_TABLE}
 
-The six fault-tolerance counters are plain counters: they **add** under
+The seven fault-tolerance counters are plain counters: they **add** under
 both the concurrent and the sequential merge modes (each side's crashes
 and retries happened regardless of whether the engines coexisted).
 They are recorded by the :class:`~repro.service.session.WorkerPool` at
@@ -203,6 +203,10 @@ class EngineMetrics:
     batches_processed: int = 0
     batch_probe_fanout: int = 0
     pm_expired: int = 0
+    events_reordered: int = 0
+    events_late_dropped: int = 0
+    retractions_processed: int = 0
+    matches_retracted: int = 0
     events_routed: int = 0
     boundary_duplicates_dropped: int = 0
     worker_count: int = 0
@@ -215,11 +219,13 @@ class EngineMetrics:
     socket_reconnects: int = 0
     heartbeats_missed: int = 0
     shards_degraded: int = 0
+    shards_repromoted: int = 0
     send_retries: int = 0
     latencies: list = field(default_factory=list)
     wall_latencies: list = field(default_factory=list)
     detection_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     batch_sizes: LatencyHistogram = field(default_factory=LatencyHistogram)
+    watermark_lag: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     # -- updates ------------------------------------------------------------
     def note_state(self, live_partial_matches: int, buffered_events: int) -> None:
@@ -327,6 +333,16 @@ class EngineMetrics:
                 self.batch_probe_fanout + other.batch_probe_fanout
             ),
             pm_expired=self.pm_expired + other.pm_expired,
+            events_reordered=self.events_reordered + other.events_reordered,
+            events_late_dropped=(
+                self.events_late_dropped + other.events_late_dropped
+            ),
+            retractions_processed=(
+                self.retractions_processed + other.retractions_processed
+            ),
+            matches_retracted=(
+                self.matches_retracted + other.matches_retracted
+            ),
             events_routed=self.events_routed + other.events_routed,
             boundary_duplicates_dropped=(
                 self.boundary_duplicates_dropped
@@ -353,6 +369,9 @@ class EngineMetrics:
                 self.heartbeats_missed + other.heartbeats_missed
             ),
             shards_degraded=self.shards_degraded + other.shards_degraded,
+            shards_repromoted=(
+                self.shards_repromoted + other.shards_repromoted
+            ),
             send_retries=self.send_retries + other.send_retries,
         )
         merged.latencies = self.latencies + other.latencies
@@ -364,6 +383,7 @@ class EngineMetrics:
             other.detection_latency
         )
         merged.batch_sizes = self.batch_sizes.merge(other.batch_sizes)
+        merged.watermark_lag = self.watermark_lag.merge(other.watermark_lag)
         return merged
 
     def summary(self) -> dict:
@@ -386,4 +406,5 @@ class EngineMetrics:
             out[key] = getattr(self, prop)
         out["detection_latency"] = self.detection_latency.to_dict()
         out["batch_sizes"] = self.batch_sizes.to_dict()
+        out["watermark_lag"] = self.watermark_lag.to_dict()
         return out

@@ -124,6 +124,18 @@ class NegationChecker:
         for buffer in self._buffers.values():
             buffer.prune(cutoff_ts)
 
+    def retract(self, seq: int) -> None:
+        """Drop a retracted forbidden-event candidate everywhere.
+
+        Removal alone cannot resurrect matches the candidate already
+        suppressed — the engines rejected those at completion time — so
+        the disorder layer (:mod:`repro.streams.disorder`) routes
+        retractions of negation-relevant events through its replay-swap
+        path and uses this only to keep the buffers consistent.
+        """
+        for buffer in self._buffers.values():
+            buffer.remove_seq(seq)
+
     # -- checks -------------------------------------------------------------------
     def specs_checkable_with(self, bound: frozenset) -> list[PreparedSpec]:
         """Bounded specs exact on a partial match binding ``bound``.

@@ -833,6 +833,43 @@ class MultiQueryEngine:
     def live_partial_matches(self) -> int:
         return sum(len(node.store) for node in self._nodes)
 
+    # -- retraction deltas (repro.streams.disorder) --------------------------
+    @property
+    def selection(self) -> str:
+        """Skip-till-any-match, always — the only supported strategy."""
+        return "any"
+
+    def negation_event_types(self) -> frozenset:
+        """Event types any query's negation specs forbid (delta routing)."""
+        return frozenset(
+            prepared.spec.event_type
+            for state in self._states
+            for prepared in state.checker.prepared
+        )
+
+    def retract_seq(self, seq: int) -> None:
+        """Remove every trace of the event with sequence number ``seq``.
+
+        Tombstones instances binding it at every shared node, evicts it
+        from every query's negation candidate buffers, and kills pending
+        matches built on it — the multi-query counterpart of
+        :meth:`~repro.engines.base.BaseEngine.retract_seq`, with the
+        same exactness contract (any-selection, non-negation-relevant
+        events; everything else replays).
+        """
+        seqs = frozenset((seq,))
+        for node in self._nodes:
+            node.store.purge_seqs(seqs)
+        for state in self._states:
+            state.checker.retract(seq)
+            if state.pending:
+                state.pending = [
+                    entry
+                    for entry in state.pending
+                    if not entry.pm.contains_seq(seq)
+                ]
+        self.metrics.retractions_processed += 1
+
     def per_query_matches(self) -> Dict[str, int]:
         """Matches emitted so far, by query name."""
         counts: Dict[str, int] = {}

@@ -106,6 +106,14 @@ class ParallelConfig:
       ``"processes"``), reseeds it from the acked window log, and
       records the demotion in metrics (``shards_degraded``) and the
       pool's typed event list.
+    * ``repromote_seconds`` — half-open circuit breaker: after a
+      ``"local"`` demotion the pool re-probes the dead socket endpoint
+      at this cadence (PING handshake, exponential backoff on failed
+      probes) and, when the endpoint answers, promotes the worker's
+      partitions back onto a fresh socket channel reseeded from the
+      same acked window log (``shards_repromoted`` counter,
+      :class:`~repro.service.session.ShardRepromoted` event).  ``None``
+      (default) leaves demotions permanent.
     * ``fault_plan`` — a :class:`~repro.service.faults.FaultPlan`;
       every channel the pool creates is wrapped in a
       :class:`~repro.service.faults.FaultingChannel` executing it
@@ -139,6 +147,7 @@ class ParallelConfig:
     reconnect_attempts: int = 3
     degradation: str = "fail"
     degrade_backend: str = "serial"
+    repromote_seconds: Optional[float] = None
     fault_plan: Optional[object] = None
     trace: bool = False
 
@@ -193,6 +202,11 @@ class ParallelConfig:
             raise ParallelError(
                 f"unknown degrade_backend {self.degrade_backend!r}; "
                 "choose 'serial', 'threads' or 'processes'"
+            )
+        if self.repromote_seconds is not None and self.repromote_seconds <= 0:
+            raise ParallelError(
+                "repromote_seconds must be positive when given "
+                "(None disables half-open re-probing)"
             )
         self.shards = tuple(tuple(address) for address in self.shards)
         if self.backend == "socket" and not self.shards:

@@ -37,6 +37,7 @@ from .session import (
     Session,
     SessionStream,
     ShardDegraded,
+    ShardRepromoted,
     SocketReconnected,
     WorkerCrashed,
     WorkerPool,
@@ -54,6 +55,7 @@ __all__ = [
     "Session",
     "SessionStream",
     "ShardDegraded",
+    "ShardRepromoted",
     "SocketReconnected",
     "WorkerCrashed",
     "WorkerPool",

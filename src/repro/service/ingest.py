@@ -30,9 +30,10 @@ import asyncio
 import time
 from typing import AsyncIterator, Iterable, Optional
 
+from ..engines.metrics import EngineMetrics
 from ..errors import ParallelError
 from ..events import Event
-from ..events.stream import StreamOrderError
+from ..streams.disorder import DisorderBuffer
 
 _EOS = object()
 
@@ -60,9 +61,18 @@ class Ingestor:
             await ingestor.close()
             await consumer
 
-    Events are sequence-stamped on acceptance (in arrival order, from
-    0) and must arrive in non-decreasing timestamp order — the same
-    invariant :class:`~repro.events.Stream` enforces at construction.
+    Arrival timestamps may be out of order up to ``max_delay`` seconds
+    of stream time: arrivals pass through a watermarked
+    :class:`~repro.streams.disorder.DisorderBuffer` and are
+    sequence-stamped **at release**, so the session always sees a
+    timestamp-ordered, consecutively numbered stream and the canonical
+    safe-emission frontier stays watermark-aware for free.  An event
+    older than the watermark (``max_seen_ts − max_delay``) follows
+    ``late_policy``: ``"strict"`` (default) raises
+    :class:`~repro.events.StreamOrderError` — with ``max_delay=0``
+    exactly the old any-disorder rejection — and ``"drop"`` counts it
+    in ``events_late_dropped`` and sheds it.  ``close`` flushes the
+    reorder buffer before finishing the run.
     """
 
     def __init__(
@@ -75,11 +85,19 @@ class Ingestor:
         flush_seconds: float = 0.05,
         span: Optional[float] = None,
         registry=None,
+        max_delay: float = 0.0,
+        late_policy: str = "strict",
     ) -> None:
         if backpressure not in ("block", "shed"):
             raise ParallelError(
                 f"unknown backpressure policy {backpressure!r}; "
                 "choose 'block' or 'shed'"
+            )
+        if late_policy not in ("strict", "drop"):
+            raise ParallelError(
+                f"unknown late policy {late_policy!r}; the ingestor "
+                "supports 'strict' or 'drop' ('revise' needs a "
+                "DeltaEngine, not a partitioned session)"
             )
         if max_pending <= 0:
             raise ParallelError("max_pending must be >= 1")
@@ -103,6 +121,13 @@ class Ingestor:
         self._closing = False
         self._next_seq = 0
         self._last_ts = float("-inf")
+        #: Disorder-layer counters (events_reordered,
+        #: events_late_dropped, watermark_lag) merged into
+        #: :attr:`metrics`; sampled into the registry per flush.
+        self.disorder = EngineMetrics()
+        self._buffer = DisorderBuffer(
+            max_delay, late_policy=late_policy, metrics=self.disorder
+        )
         #: Events dropped by the ``"shed"`` backpressure policy.
         self.shed = 0
         #: Producer suspensions under the ``"block"`` policy (the queue
@@ -136,7 +161,13 @@ class Ingestor:
         if self._pump_task is None:
             raise ParallelError("ingestor was never started")
         if not self._closing:
-            self._closing = True
+            async with self._put_lock:
+                self._closing = True
+                # End of stream closes the disorder bound: everything
+                # still held for reordering is released in timestamp
+                # order and stamped before the final frame is cut.
+                for released, arrived in self._buffer.flush():
+                    await self._admit(released, arrived)
             await self._inq.put(_EOS)
         await self._pump_task
 
@@ -178,30 +209,21 @@ class Ingestor:
         async with self._put_lock:
             if self._closing:
                 raise ParallelError("ingestor is closed")
-            if event.timestamp < self._last_ts:
-                raise StreamOrderError(
-                    f"event {event!r} arrives before timestamp "
-                    f"{self._last_ts}; the ingestor requires "
-                    "non-decreasing timestamps"
-                )
-            stamped = event.with_seq(self._next_seq)
-            item = (stamped, time.perf_counter())
-            if self._policy == "shed":
-                try:
-                    self._inq.put_nowait(item)
-                except asyncio.QueueFull:
-                    self.shed += 1
-                    return False
-            else:
-                if self._inq.full():
-                    self.blocked += 1
-                await self._inq.put(item)
-            # Stamp only after admission: a shed (or cancelled) event
-            # must not burn a sequence number, or the frontier math
-            # would wait on it.  The lock makes stamp-after-await
-            # sound — no other producer can slip in between.
-            self._next_seq += 1
-            self._last_ts = event.timestamp
+            # Disorder policy instead of a hard order check: within
+            # max_delay the buffer reorders; beyond it, "strict" raises
+            # StreamOrderError and "drop" sheds the late event (counted
+            # in disorder.events_late_dropped, not in backpressure
+            # shed).  max_delay=0 + "strict" is the old behavior.
+            result = self._buffer.offer(
+                event.timestamp, (event, time.perf_counter())
+            )
+            if result.late is not None:
+                return False
+            accepted = True
+            for released, arrived in result.released:
+                admitted = await self._admit(released, arrived)
+                if released is event:
+                    accepted = admitted
         if self._inq.qsize() >= self._flush_events:
             # A full batch is queued: yield once so the pump can cut a
             # frame.  Without this a tight producer loop over a
@@ -209,6 +231,31 @@ class Ingestor:
             # event loop — the pump (and hence the whole run) would not
             # start until the producer first blocks.
             await asyncio.sleep(0)
+        return accepted
+
+    async def _admit(self, event: Event, arrived: float) -> bool:
+        """Stamp and enqueue one watermark-released event (lock held).
+
+        Stamp only after admission: a shed (or cancelled) event must
+        not burn a sequence number, or the frontier math would wait on
+        it.  The lock makes stamp-after-await sound — no other producer
+        can slip in between.  Because release order is timestamp order,
+        the fed stream stays ordered and consecutively numbered.
+        """
+        stamped = event.with_seq(self._next_seq)
+        item = (stamped, arrived)
+        if self._policy == "shed":
+            try:
+                self._inq.put_nowait(item)
+            except asyncio.QueueFull:
+                self.shed += 1
+                return False
+        else:
+            if self._inq.full():
+                self.blocked += 1
+            await self._inq.put(item)
+        self._next_seq += 1
+        self._last_ts = event.timestamp
         return True
 
     async def put_many(self, events: Iterable[Event]) -> int:
@@ -240,8 +287,12 @@ class Ingestor:
 
     @property
     def metrics(self):
-        """Merged run metrics (populated by :meth:`close`)."""
-        return self._stream.metrics
+        """Merged run metrics (populated by :meth:`close`), including
+        the ingestor's disorder counters and watermark-lag histogram."""
+        base = self._stream.metrics
+        if base is None:
+            return None
+        return base.merge(self.disorder, concurrent=False)
 
     @property
     def detection_latency(self):
@@ -275,6 +326,12 @@ class Ingestor:
         registry.series("ingest_blocked_puts").sample(self.blocked)
         registry.series("frontier_lag_events").sample(
             self._stream.frontier_lag
+        )
+        registry.series("ingest_disorder_buffered").sample(
+            len(self._buffer)
+        )
+        registry.series("ingest_late_dropped").sample(
+            self.disorder.events_late_dropped
         )
         for worker_id, age in enumerate(self._stream.liveness_ages()):
             registry.series(

@@ -84,6 +84,7 @@ FAULT_COUNTERS = (
     "socket_reconnects",
     "heartbeats_missed",
     "shards_degraded",
+    "shards_repromoted",
     "send_retries",
 )
 
@@ -124,6 +125,16 @@ class ShardDegraded(RuntimeEvent):
     demoted to a local backend (the circuit breaker opened)."""
 
     to_backend: str = "serial"
+
+
+@dataclass(frozen=True)
+class ShardRepromoted(RuntimeEvent):
+    """A degraded shard's endpoint answered a half-open probe and the
+    worker's partitions were promoted back onto a fresh socket channel
+    (the circuit breaker closed)."""
+
+    address: Tuple[str, int] = ("", 0)
+    probes: int = 1
 
 
 def merge_worker_snapshots(snapshots: Sequence[dict]) -> dict:
@@ -206,6 +217,11 @@ class WorkerPool:
         self._io_lock = threading.RLock()
         self._stats_tokens = itertools.count(1)
         self._stats_replies: Dict[int, tuple] = {}
+        # Half-open circuit breaker state: worker_id -> {"next_probe",
+        # "probes"} for shards demoted by _degrade while
+        # config.repromote_seconds is set.  Persists across runs until a
+        # probe succeeds (the endpoint outage does not end with the run).
+        self._degraded: Dict[int, dict] = {}
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -377,6 +393,8 @@ class WorkerPool:
     def submit(self, worker_id: int, entries: list) -> None:
         """Ship one batch; blocks (drains acks) at the in-flight cap."""
         with self._io_lock:
+            if self._degraded:
+                self._maybe_repromote(worker_id)
             batch_id = self._next_batch[worker_id]
             self._next_batch[worker_id] = batch_id + 1
             self._unacked[worker_id][batch_id] = entries
@@ -525,6 +543,8 @@ class WorkerPool:
     def _check_liveness(self, worker_id: int) -> None:
         """While blocked on a silent worker: probe at the heartbeat
         cadence, declare death at the liveness deadline."""
+        if self._degraded:
+            self._maybe_repromote(worker_id)
         config = self.config
         liveness = getattr(config, "liveness_seconds", None)
         heartbeat = getattr(config, "heartbeat_seconds", 2.0)
@@ -572,7 +592,12 @@ class WorkerPool:
                 last_ts = entries[-1][1].timestamp
                 if last_ts > self._acked_ts[worker_id]:
                     self._acked_ts[worker_id] = last_ts
-            if self._recovery_active:
+            # A worker armed for re-promotion keeps its window log warm
+            # even when every restartable channel is gone (and pool-wide
+            # reseed recovery is therefore off): the half-open probe
+            # seeds the returning shard from this log, so a stale log
+            # would silently lose the degraded period's engine state.
+            if self._recovery_active or worker_id in self._degraded:
                 log = self._log[worker_id]
                 log.extend(entries)
                 cutoff = self._acked_ts[worker_id] - self.window
@@ -693,6 +718,15 @@ class WorkerPool:
             ShardDegraded(worker_id, str(error), to_backend=to_backend)
         )
         self._trace_event("shard_degraded", worker_id, to_backend)
+        repromote = getattr(self.config, "repromote_seconds", None)
+        if repromote is not None and self.config.backend == "socket":
+            # Half-open: remember the demotion and start probing the
+            # dead endpoint; a successful probe promotes the partitions
+            # back (see _maybe_repromote).
+            self._degraded[worker_id] = {
+                "next_probe": time.monotonic() + repromote,
+                "probes": 0,
+            }
         # A demoted serial/thread channel is not restartable; recovery
         # stays active while any restartable channel remains.
         self._recovery_active = (
@@ -701,6 +735,73 @@ class WorkerPool:
             and self._seedable
             and any(channel.restartable for channel in self._channels)
         )
+
+    def _maybe_repromote(self, worker_id: int) -> None:
+        """Half-open circuit breaker: when a demoted shard's probe
+        interval has elapsed, dial the original endpoint, PING it, and
+        — if it answers — promote the worker's partitions back onto the
+        fresh socket channel via the same INIT/RESET/SEED replay that
+        degradation used, so byte-identity of the merged output is
+        preserved.  A failed probe backs off exponentially
+        (``repromote_seconds * 2**probes``, capped at 16×) and leaves
+        the local worker serving."""
+        state = self._degraded.get(worker_id)
+        if state is None or time.monotonic() < state["next_probe"]:
+            return
+        repromote = self.config.repromote_seconds
+        probes = state["probes"] + 1
+        state["probes"] = probes
+        channel = None
+        try:
+            channel = self._make_channel(worker_id)
+            channel.send((MSG_PING, time.monotonic()))
+            self._await_pong(channel)
+            old = self._channels[worker_id]
+            self._replay(worker_id, channel)
+        except TransportDead:
+            if channel is not None:
+                channel.kill()
+            state["next_probe"] = time.monotonic() + backoff_delay(
+                min(probes, 4), repromote, repromote * 16.0
+            )
+            return
+        try:
+            old.stop()
+        except Exception:  # noqa: BLE001 — the demoted worker is gone
+            old.kill()
+        del self._degraded[worker_id]
+        shards = list(self.config.shards)
+        address = tuple(shards[worker_id % len(shards)])
+        self.counters["shards_repromoted"] += 1
+        detail = f"endpoint {address} answered after {probes} probe(s)"
+        self.events.append(
+            ShardRepromoted(worker_id, detail, address=address, probes=probes)
+        )
+        self._trace_event("shard_repromoted", worker_id, detail)
+        # The restored socket channel is restartable again, so reseed
+        # recovery resumes for it.
+        self._recovery_active = (
+            self.config.recovery == "reseed"
+            and self._mode == "single"
+            and self._seedable
+            and any(channel.restartable for channel in self._channels)
+        )
+
+    def _await_pong(self, channel) -> None:
+        """Wait for the probe PONG (TransportDead on death/timeout)."""
+        deadline = time.monotonic() + 5.0
+        while True:
+            reply = channel.recv(timeout=0.25)
+            if reply is None:
+                if time.monotonic() > deadline:
+                    raise TransportDead(
+                        f"probe PING to worker {channel.worker_id} "
+                        "timed out"
+                    )
+                continue
+            if reply[1] == REPLY_PONG:
+                return
+            # Anything else is a stale reply from before the crash.
 
     def _replay(self, worker_id: int, channel) -> None:
         """Bring a replacement channel to the crashed worker's exact

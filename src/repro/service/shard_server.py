@@ -113,13 +113,25 @@ class ShardServer:
             thread.start()
             self._threads.append(thread)
 
-    def close(self) -> None:
-        """Stop accepting; live connections drain on their own."""
-        self._closing = True
+    def _close_listener(self) -> None:
+        # shutdown() before close(): close() alone does not wake a
+        # thread blocked in accept(), and the kernel keeps the socket
+        # in LISTEN (port still bound) until that syscall returns — a
+        # restarted shard on the same address would then race
+        # EADDRINUSE against the next inbound connection attempt.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
             pass
+
+    def close(self) -> None:
+        """Stop accepting; live connections drain on their own."""
+        self._closing = True
+        self._close_listener()
 
     def kill(self) -> None:
         """Hard-close the listener **and** every live connection — the
@@ -127,10 +139,7 @@ class ShardServer:
         self._closing = True
         with self._lock:
             connections, self._connections = self._connections, []
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._close_listener()
         for conn in connections:
             try:
                 # RST rather than FIN where the platform allows it:
@@ -140,6 +149,14 @@ class ShardServer:
                     socket.SO_LINGER,
                     _LINGER_RST,
                 )
+            except OSError:
+                pass
+            try:
+                # SHUT_RD wakes the handler thread blocked in recv
+                # (releasing its hold on the port) without putting
+                # anything on the wire, so the linger-RST close below
+                # still reads as an abrupt death to the driver.
+                conn.shutdown(socket.SHUT_RD)
             except OSError:
                 pass
             try:

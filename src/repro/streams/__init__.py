@@ -1,0 +1,36 @@
+"""Out-of-order and updatable stream support.
+
+:mod:`repro.streams.disorder` adds the robustness layer on top of the
+timestamp-ordered engines: a watermarked reordering buffer
+(:class:`DisorderBuffer`), retraction/update deltas
+(:class:`Retraction` / :class:`Update`), and the :class:`DeltaEngine`
+wrapper that keeps an engine's reported match set consistent with the
+*corrected* stream, emitting typed :class:`MatchRetraction` /
+:class:`MatchRevision` records as deltas arrive.
+"""
+
+from .disorder import (
+    DeltaEngine,
+    DisorderBuffer,
+    DisorderError,
+    MatchRetraction,
+    MatchRevision,
+    Retraction,
+    Update,
+    match_fingerprint,
+    net_fingerprints,
+    net_matches,
+)
+
+__all__ = [
+    "DeltaEngine",
+    "DisorderBuffer",
+    "DisorderError",
+    "MatchRetraction",
+    "MatchRevision",
+    "Retraction",
+    "Update",
+    "match_fingerprint",
+    "net_fingerprints",
+    "net_matches",
+]

@@ -1,0 +1,563 @@
+"""Watermarked disorder tolerance and retraction/update deltas.
+
+The engines (:mod:`repro.engines`) assume a timestamp-ordered stream:
+their stores and buffers bisect on arrival numbers, and negation checks
+become exact precisely because "the past" is closed.  Real feeds break
+the assumption in two ways — events arrive *out of order*, and sources
+issue *corrections* (retract or update an event already delivered).
+This module restores the ordered-stream contract on top of both:
+
+``DisorderBuffer``
+    A reordering buffer bounded by ``max_delay``.  Arrivals are held in
+    a min-heap keyed ``(timestamp, arrival)`` and released, in
+    timestamp order, once the **watermark** (``max_seen_ts −
+    max_delay``) passes them.  An event older than the watermark is
+    *late*; the ``late_policy`` decides its fate: ``"strict"`` raises
+    :class:`~repro.events.StreamOrderError`, ``"drop"`` counts it in
+    ``events_late_dropped`` and skips it, ``"revise"`` hands it back to
+    the caller for re-derivation (only :class:`DeltaEngine` implements
+    that).  With ``max_delay=0`` the buffer degenerates to a
+    pass-through and the whole layer costs one heap push/pop per event.
+
+``DeltaEngine``
+    Wraps an engine built by a zero-argument factory and keeps its
+    *net* match set consistent with the **corrected stream**: the
+    timestamp-ordered log of every admitted event after all deltas.
+    Plain events flow through the buffer into the engine.  Deltas —
+    :class:`Retraction`, :class:`Update`, and late events under
+    ``"revise"`` — produce typed outputs: a :class:`MatchRetraction`
+    for every previously-reported match the correction invalidates, a
+    :class:`MatchRevision` for every match it creates.
+
+    Two correction paths, chosen per delta:
+
+    * **incremental** — retracting an event whose type no negation spec
+      forbids can only *remove* matches under skip-till-any-match, so
+      the engine state is surgically purged in place
+      (:meth:`~repro.engines.base.BaseEngine.retract_seq`) and the
+      emitted-match log is filtered by membership;
+    * **replay-swap** — retractions of negation-relevant events (which
+      may *resurrect* suppressed matches), payload updates, and late
+      insertions re-derive: a fresh engine is fed the corrected log
+      (arrival numbers restamped to the log order) and the old and new
+      emitted sets are diffed.  Retired engines' metrics are folded in,
+      so replay work stays visible as honest correction cost.
+
+    Because arrival numbers are restamped on every replay, deltas
+    address events by a stable **uid** — the order in which the caller
+    handed them to :meth:`DeltaEngine.process` — and the emitted-match
+    log is keyed by uid sets, never by engine sequence numbers.
+
+Identity across runs is checked with seq-free canonical fingerprints
+(:func:`match_fingerprint`): the net match multiset of a disordered,
+corrected run must be byte-identical to a clean run over the corrected
+stream (see ``tests/test_disorder.py``).
+
+Only skip-till-any-match workloads are supported: under the consuming
+strategies (next/contiguity) an event's *absence* changes which later
+events other matches consume, so no incremental path is sound and the
+wrapper refuses rather than silently replaying everything.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Tuple, Union
+
+from ..engines.metrics import EngineMetrics
+from ..errors import ReproError
+from ..events import Event, StreamOrderError
+
+LATE_POLICIES = ("strict", "drop", "revise")
+
+
+class DisorderError(ReproError):
+    """Invalid disorder configuration or delta (unknown uid, finalized)."""
+
+
+# ---------------------------------------------------------------------------
+# Delta and output records
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Retraction:
+    """Delete the event with arrival number ``seq`` from the stream."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class Update:
+    """Replace the payload of the event with arrival number ``seq``.
+
+    The event keeps its type and timestamp; only the attribute mapping
+    changes.  Updates always re-derive (replay-swap): a changed payload
+    can flip predicates in both directions.
+    """
+
+    seq: int
+    payload: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class MatchRetraction:
+    """A previously-reported match invalidated by a correction.
+
+    ``fingerprint`` is the seq-free canonical form of the retracted
+    match (:func:`match_fingerprint`); consumers that keyed reported
+    matches by fingerprint can cancel the exact instance.  ``cause`` is
+    the delta kind that killed it: ``"retraction"``, ``"update"`` or
+    ``"late-event"``.
+    """
+
+    fingerprint: str
+    pattern_name: Optional[str]
+    cause: str
+    uid_key: Tuple
+
+
+@dataclass(frozen=True)
+class MatchRevision:
+    """A match newly derived by a correction (same ``cause`` values)."""
+
+    match: Any
+    cause: str
+    uid_key: Tuple
+
+
+# ---------------------------------------------------------------------------
+# Canonical, seq-free match identity
+# ---------------------------------------------------------------------------
+
+def _event_fingerprint(event: Event) -> Tuple:
+    attrs = tuple(sorted((k, repr(v)) for k, v in event.attributes.items()))
+    return (event.type, repr(event.timestamp), attrs)
+
+
+def match_fingerprint(match) -> str:
+    """Canonical identity of a match, independent of arrival numbers.
+
+    Replays restamp sequence numbers, so ``Match.key()`` (seq-based) is
+    unstable across corrections.  This fingerprint — pattern name plus,
+    per variable, the bound events' ``(type, timestamp, sorted attrs)``
+    with Kleene tuples expanded — survives restamping and is what the
+    equivalence suites compare across ordered and disordered runs.
+    ``repr`` keeps NaN and other non-self-equal values stable.
+    """
+    parts = []
+    for var in sorted(match.bindings):
+        value = match.bindings[var]
+        events = value if isinstance(value, tuple) else (value,)
+        parts.append((var, tuple(_event_fingerprint(e) for e in events)))
+    return repr((match.pattern_name, tuple(parts)))
+
+
+def net_matches(outputs) -> List:
+    """Fold a delta output stream into the surviving matches.
+
+    ``outputs`` is what :class:`DeltaEngine` produced over a run: plain
+    matches, :class:`MatchRevision` additions and
+    :class:`MatchRetraction` cancellations.  Each retraction removes
+    one prior instance with the same fingerprint (multiset semantics).
+    """
+    live: List[Tuple[str, Any]] = []
+    for item in outputs:
+        if isinstance(item, MatchRetraction):
+            for i in range(len(live) - 1, -1, -1):
+                if live[i][0] == item.fingerprint:
+                    del live[i]
+                    break
+        elif isinstance(item, MatchRevision):
+            live.append((match_fingerprint(item.match), item.match))
+        else:
+            live.append((match_fingerprint(item), item))
+    return [match for _, match in live]
+
+
+def net_fingerprints(outputs) -> List[str]:
+    """Sorted fingerprint multiset of the net matches of ``outputs``.
+
+    Accepts either a delta output stream or a plain list of matches, so
+    a corrected disordered run compares byte-identical against a clean
+    rerun: ``net_fingerprints(delta_out) == net_fingerprints(matches)``.
+    """
+    return sorted(match_fingerprint(m) for m in net_matches(outputs))
+
+
+# ---------------------------------------------------------------------------
+# DisorderBuffer
+# ---------------------------------------------------------------------------
+
+class OfferResult(NamedTuple):
+    """Outcome of one :meth:`DisorderBuffer.offer`.
+
+    ``released`` are the items the advancing watermark freed, in
+    timestamp order (ties by arrival).  ``late`` is the offered item
+    when it fell behind the watermark (``None`` otherwise); ``dropped``
+    tells whether the ``"drop"`` policy discarded it, as opposed to
+    ``"revise"`` returning it for the caller to re-derive.
+    """
+
+    released: List
+    late: Optional[Any]
+    dropped: bool
+
+
+class DisorderBuffer:
+    """Bounded reordering buffer with a watermark.
+
+    Items are opaque (the ingestor buffers events, the delta engine
+    buffers uids); only the offered timestamp matters.  Counters land
+    in the supplied :class:`~repro.engines.metrics.EngineMetrics`:
+    ``events_reordered`` for in-bound arrivals behind the frontier,
+    ``events_late_dropped`` under the ``"drop"`` policy, and every
+    arrival records ``max(0, max_seen_ts − ts)`` into the
+    ``watermark_lag`` histogram.
+    """
+
+    def __init__(
+        self,
+        max_delay: float,
+        *,
+        late_policy: str = "strict",
+        metrics: Optional[EngineMetrics] = None,
+    ) -> None:
+        if max_delay < 0:
+            raise DisorderError(f"max_delay must be >= 0, got {max_delay!r}")
+        if late_policy not in LATE_POLICIES:
+            raise DisorderError(
+                f"late_policy must be one of {LATE_POLICIES}, got {late_policy!r}"
+            )
+        self.max_delay = float(max_delay)
+        self.late_policy = late_policy
+        self.metrics = metrics if metrics is not None else EngineMetrics()
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._counter = 0
+        self._max_ts: Optional[float] = None
+
+    @property
+    def watermark(self) -> float:
+        """``max_seen_ts − max_delay``; ``-inf`` before the first event."""
+        if self._max_ts is None:
+            return float("-inf")
+        return self._max_ts - self.max_delay
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, ts: float, item: Any) -> OfferResult:
+        """Admit one arrival; return what the new watermark releases."""
+        ts = float(ts)
+        lag = 0.0 if self._max_ts is None else max(0.0, self._max_ts - ts)
+        self.metrics.watermark_lag.record(lag)
+        if self._max_ts is not None and ts < self.watermark:
+            if self.late_policy == "strict":
+                raise StreamOrderError(
+                    f"event at t={ts:g} arrives before the watermark "
+                    f"{self.watermark:g} — beyond the disorder bound "
+                    f"(max_delay={self.max_delay:g})"
+                )
+            if self.late_policy == "drop":
+                self.metrics.events_late_dropped += 1
+                return OfferResult([], item, True)
+            return OfferResult([], item, False)
+        if self._max_ts is not None and ts < self._max_ts:
+            self.metrics.events_reordered += 1
+        if self._max_ts is None or ts > self._max_ts:
+            self._max_ts = ts
+        heapq.heappush(self._heap, (ts, self._counter, item))
+        self._counter += 1
+        return OfferResult(self._drain(), None, False)
+
+    def _drain(self) -> List:
+        released: List = []
+        watermark = self.watermark
+        while self._heap and self._heap[0][0] <= watermark:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def flush(self) -> List:
+        """Release everything still held, in timestamp order (stream end)."""
+        released: List = []
+        while self._heap:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def discard(self, item: Any) -> bool:
+        """Remove a still-buffered item (retraction before release)."""
+        for i, (_, _, held) in enumerate(self._heap):
+            if held == item:
+                self._heap[i] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# DeltaEngine
+# ---------------------------------------------------------------------------
+
+class DeltaEngine:
+    """Engine wrapper that keeps matches consistent with a corrected stream.
+
+    Parameters
+    ----------
+    build_fn:
+        Zero-argument factory returning a fresh engine (anything with
+        the :class:`~repro.engines.base.BaseEngine` surface:
+        ``process`` / ``finalize`` / ``retract_seq`` /
+        ``negation_event_types`` / ``selection`` / ``metrics``) — a
+        tree, NFA, disjunction or multi-query runtime.  Must be
+        skip-till-any-match.
+    max_delay:
+        Disorder bound forwarded to the internal :class:`DisorderBuffer`.
+    late_policy:
+        ``"strict"``, ``"drop"`` or ``"revise"`` (see module docstring).
+
+    ``process`` accepts :class:`~repro.events.Event`,
+    :class:`Retraction` and :class:`Update` items and returns a list of
+    outputs: plain matches plus :class:`MatchRetraction` /
+    :class:`MatchRevision` deltas.  Deltas address events by **uid** —
+    the zero-based order in which events were handed to ``process``.
+    """
+
+    def __init__(
+        self,
+        build_fn: Callable[[], Any],
+        *,
+        max_delay: float = 0.0,
+        late_policy: str = "drop",
+    ) -> None:
+        self._build_fn = build_fn
+        self._engine = self._fresh_engine()
+        self._extra = EngineMetrics()
+        self._buffer = DisorderBuffer(
+            max_delay, late_policy=late_policy, metrics=self._extra
+        )
+        self._log: List[int] = []  # uids, corrected (timestamp) order
+        self._event_by_uid: Dict[int, Event] = {}
+        self._uid_by_seq: Dict[int, int] = {}
+        self._seq_by_uid: Dict[int, int] = {}
+        self._emitted: Dict[Tuple, Tuple[str, Any]] = {}
+        self._retired: List[EngineMetrics] = []
+        self._buffered: set = set()
+        self._next_uid = 0
+        self._next_seq = 0
+        self._finalized = False
+
+    def _fresh_engine(self):
+        engine = self._build_fn()
+        selection = getattr(engine, "selection", None)
+        if selection != "any":
+            raise DisorderError(
+                "DeltaEngine requires a skip-till-any-match engine: "
+                "under consuming selection strategies a correction "
+                f"changes what later matches consume (got {selection!r})"
+            )
+        return engine
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        return self._buffer.watermark
+
+    @property
+    def matches(self) -> List:
+        """The net (currently valid) reported matches."""
+        return [match for _, match in self._emitted.values()]
+
+    def net_fingerprints(self) -> List[str]:
+        """Sorted canonical fingerprints of the net match set."""
+        return sorted(fp for fp, _ in self._emitted.values())
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        """Live ⊕ retired-generation ⊕ disorder-layer metrics.
+
+        Sequential-generation rule (peaks max, event counts add): replay
+        work shows up in ``events_processed`` as honest correction cost.
+        """
+        merged = EngineMetrics()
+        for retired in self._retired:
+            merged = merged.merge(retired, disjoint_streams=True, concurrent=False)
+        merged = merged.merge(
+            self._engine.metrics, disjoint_streams=True, concurrent=False
+        )
+        return merged.merge(self._extra, disjoint_streams=True, concurrent=False)
+
+    # -- ingestion -----------------------------------------------------------
+    def process(self, item: Union[Event, Retraction, Update]) -> List:
+        """Apply one stream item — event or delta — and return outputs."""
+        self._require_live()
+        if isinstance(item, Retraction):
+            return self._retract(item.seq)
+        if isinstance(item, Update):
+            return self._update(item.seq, item.payload)
+        return self._ingest(item)
+
+    def process_batch(self, items) -> List:
+        out: List = []
+        for item in items:
+            out.extend(self.process(item))
+        return out
+
+    def run(self, items) -> List:
+        """Process every item, finalize, and return the full output list."""
+        out = self.process_batch(items)
+        out.extend(self.finalize())
+        return out
+
+    def finalize(self) -> List:
+        """Flush the reorder buffer, finalize the engine, seal the wrapper."""
+        self._require_live()
+        out: List = []
+        for uid in self._buffer.flush():
+            self._buffered.discard(uid)
+            out.extend(self._admit(uid))
+        out.extend(self._emit(self._engine.finalize()))
+        self._finalized = True
+        return out
+
+    def _require_live(self) -> None:
+        if self._finalized:
+            raise DisorderError("DeltaEngine is finalized")
+
+    def _ingest(self, event: Event) -> List:
+        uid = self._next_uid
+        self._next_uid += 1
+        self._event_by_uid[uid] = event
+        result = self._buffer.offer(event.timestamp, uid)
+        out: List = []
+        if result.late is not None:
+            if result.dropped:
+                del self._event_by_uid[uid]
+            else:
+                out.extend(self._insert_late(uid))
+        else:
+            self._buffered.add(uid)
+        for released in result.released:
+            self._buffered.discard(released)
+            out.extend(self._admit(released))
+        return out
+
+    def _admit(self, uid: int) -> List:
+        seq = self._next_seq
+        self._next_seq += 1
+        stamped = self._event_by_uid[uid].with_seq(seq)
+        self._event_by_uid[uid] = stamped
+        self._uid_by_seq[seq] = uid
+        self._seq_by_uid[uid] = seq
+        self._log.append(uid)
+        return self._emit(self._engine.process(stamped))
+
+    def _emit(self, matches, cause: Optional[str] = None) -> List:
+        out: List = []
+        for match in matches:
+            key = self._uid_key(match)
+            if key in self._emitted:
+                continue
+            self._emitted[key] = (match_fingerprint(match), match)
+            out.append(match if cause is None else MatchRevision(match, cause, key))
+        return out
+
+    def _uid_key(self, match) -> Tuple:
+        parts = []
+        for var in sorted(match.bindings):
+            value = match.bindings[var]
+            events = value if isinstance(value, tuple) else (value,)
+            parts.append(
+                (var, tuple(self._uid_by_seq[e.seq] for e in events))
+            )
+        return (match.pattern_name, tuple(parts))
+
+    @staticmethod
+    def _key_contains(key: Tuple, uid: int) -> bool:
+        return any(uid in uids for _, uids in key[1])
+
+    # -- deltas --------------------------------------------------------------
+    def _retract(self, uid: int) -> List:
+        if uid not in self._event_by_uid:
+            raise DisorderError(f"unknown or already-retracted event uid {uid}")
+        if uid in self._buffered:
+            self._buffer.discard(uid)
+            self._buffered.discard(uid)
+            del self._event_by_uid[uid]
+            self._extra.retractions_processed += 1
+            return []
+        event = self._event_by_uid[uid]
+        self._log.remove(uid)
+        if event.type in self._engine.negation_event_types():
+            # Removal may *resurrect* matches this event suppressed —
+            # only a replay over the corrected log re-derives those.
+            del self._event_by_uid[uid]
+            self._extra.retractions_processed += 1
+            return self._replay_swap("retraction")
+        seq = self._seq_by_uid.pop(uid)
+        del self._uid_by_seq[seq]
+        del self._event_by_uid[uid]
+        self._engine.retract_seq(seq)  # counts retractions_processed
+        out: List = []
+        for key in [k for k in self._emitted if self._key_contains(k, uid)]:
+            fingerprint, match = self._emitted.pop(key)
+            out.append(
+                MatchRetraction(fingerprint, match.pattern_name, "retraction", key)
+            )
+        self._extra.matches_retracted += len(out)
+        return out
+
+    def _update(self, uid: int, payload: Mapping[str, Any]) -> List:
+        if uid not in self._event_by_uid:
+            raise DisorderError(f"unknown or already-retracted event uid {uid}")
+        self._extra.retractions_processed += 1
+        old = self._event_by_uid[uid]
+        self._event_by_uid[uid] = Event(
+            old.type, old.timestamp, payload, seq=old.seq, partition=old.partition
+        )
+        if uid in self._buffered:
+            return []  # not yet fed anywhere; the new payload is admitted later
+        return self._replay_swap("update")
+
+    def _insert_late(self, uid: int) -> List:
+        event = self._event_by_uid[uid]
+        index = bisect.bisect_right(
+            self._log,
+            event.timestamp,
+            key=lambda held: self._event_by_uid[held].timestamp,
+        )
+        self._log.insert(index, uid)
+        return self._replay_swap("late-event")
+
+    def _replay_swap(self, cause: str) -> List:
+        """Re-derive from the corrected log on a fresh engine and diff."""
+        self._retired.append(self._engine.metrics)
+        engine = self._fresh_engine()
+        self._uid_by_seq = {}
+        self._seq_by_uid = {}
+        new_emitted: Dict[Tuple, Tuple[str, Any]] = {}
+        for seq, uid in enumerate(self._log):
+            stamped = self._event_by_uid[uid].with_seq(seq)
+            self._event_by_uid[uid] = stamped
+            self._uid_by_seq[seq] = uid
+            self._seq_by_uid[uid] = seq
+            for match in engine.process(stamped):
+                key = self._uid_key(match)
+                new_emitted.setdefault(key, (match_fingerprint(match), match))
+        self._next_seq = len(self._log)
+        out: List = []
+        for key, (fingerprint, match) in self._emitted.items():
+            if new_emitted.get(key, (None,))[0] != fingerprint:
+                # Gone, or kept by uid but revised in content (Update
+                # changes the payload without changing the uid set).
+                out.append(
+                    MatchRetraction(fingerprint, match.pattern_name, cause, key)
+                )
+        self._extra.matches_retracted += len(out)
+        for key, (fingerprint, match) in new_emitted.items():
+            if self._emitted.get(key, (None,))[0] != fingerprint:
+                out.append(MatchRevision(match, cause, key))
+        self._emitted = new_emitted
+        self._engine = engine
+        return out

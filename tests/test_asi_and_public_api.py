@@ -110,7 +110,7 @@ class TestPublicApi:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_quickstart_snippet_from_docstring(self):
         # The module docstring's quickstart must actually run.

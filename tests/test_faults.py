@@ -40,6 +40,7 @@ from repro.service import (
     Fault,
     FaultPlan,
     ShardDegraded,
+    ShardRepromoted,
     ShardServer,
     SocketReconnected,
     WorkerCrashed,
@@ -255,6 +256,53 @@ class TestChaosMatrixProcesses:
         assert metrics.worker_crashes == 0
         assert events == []
 
+    def test_window_partition_crash_is_a_typed_error(self):
+        # Window partitioning runs outside the reseed protocol (window
+        # slices are not a replayable single-engine log), so a mid-run
+        # crash must surface as the typed error — never a hang, never
+        # silent data loss.
+        stream = mixed_stream(223, count=300)
+        planned = plans_for(KEYED, stream)
+        plan = FaultPlan(seed=8).kill_worker(0, at_batch=2)
+        config = chaos_config(
+            "processes", plan, partitioner="window", span=3.0
+        )
+        with ParallelExecutor(planned, config) as executor:
+            run = executor.session().stream()
+            with pytest.raises(WorkerCrashError, match="died mid-stream"):
+                run.feed(list(stream))
+                run.finish()
+
+    def test_query_partition_crash_is_a_typed_error(self):
+        # Query partitioning ships SharedSpec sub-plans, which the
+        # reseed path does not cover — same contract: typed error.
+        from repro import plan_workload
+        from repro.multiquery import Workload
+        from repro.stats import StatisticsCatalog
+
+        stream = mixed_stream(227, count=300)
+        workload = Workload.of(
+            "PATTERN SEQ(A a, B b) WHERE a.k = b.k WITHIN 1.5",
+            "PATTERN SEQ(B p, C q) WHERE p.k = q.k WITHIN 1.5",
+            "PATTERN SEQ(A x, C y) WHERE x.k = y.k WITHIN 1.5",
+        )
+        catalogs = {
+            name: StatisticsCatalog(
+                {t: 1.0 for t in pattern.variable_types().values()}
+            )
+            for name, pattern in workload.items()
+        }
+        shared = plan_workload(workload, catalogs)
+        plan = FaultPlan(seed=9).kill_worker(0, at_batch=2)
+        config = chaos_config(
+            "processes", plan, partitioner="query", batch_size=8
+        )
+        with ParallelExecutor(shared, config) as executor:
+            run = executor.session().stream()
+            with pytest.raises(WorkerCrashError, match="died mid-stream"):
+                run.feed(list(stream))
+                run.finish()
+
 
 class TestChaosMatrixSocket:
     """The seeded chaos matrix on the socket backend."""
@@ -388,6 +436,80 @@ class TestChaosMatrixSocket:
                 isinstance(event, ShardDegraded)
                 for event in run.runtime_events
             )
+
+    def test_degraded_shard_is_repromoted_when_it_comes_back(self):
+        # Half-open circuit breaker: after degradation to a local
+        # serial worker, restart the shard on the same address, let the
+        # probe interval elapse, and the pool must dial it, replay the
+        # window log, and promote the partition back — byte-identically.
+        stream = mixed_stream(219, count=400)
+        planned = plans_for(KEYED, stream)
+        plan = FaultPlan(seed=10).kill_worker(0, at_batch=3)
+        server = serve_in_thread(fault_plan=plan)
+        host, port = server.address
+        config = chaos_config(
+            "socket",
+            plan,
+            shards=[server.address],
+            connect_attempts=1,
+            reconnect_attempts=2,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            degradation="local",
+            degrade_backend="serial",
+            repromote_seconds=0.05,
+        )
+        replacement = None
+        try:
+            with ParallelExecutor(planned, config) as executor:
+                run = executor.session().stream()
+                events = list(stream)
+                out = list(run.feed(events[:150]))
+                server.kill()  # exhaust reconnects -> degrade
+                out.extend(run.feed(events[150:250]))
+                # Crash detection is synchronous inside feed's submit
+                # and drain paths, and the dead-socket send may only
+                # surface a few batches later — keep feeding single
+                # events until the breaker opens.  The shard must not
+                # come back before that, or the worker just reconnects
+                # and nothing degrades.
+                remaining = list(events[250:])
+                deadline = time.monotonic() + 10.0
+                while not any(
+                    isinstance(event, ShardDegraded)
+                    for event in run.runtime_events
+                ):
+                    assert time.monotonic() < deadline, "never degraded"
+                    if remaining:
+                        out.extend(run.feed([remaining.pop(0)]))
+                    else:
+                        time.sleep(0.02)
+                # Bring the shard back on the same address (the old
+                # listener may linger briefly; retry the bind).
+                rebind_error = None
+                for _ in range(200):
+                    try:
+                        replacement = serve_in_thread(host, port)
+                        break
+                    except OSError as error:
+                        rebind_error = error
+                        time.sleep(0.02)
+                assert replacement is not None, repr(rebind_error)
+                time.sleep(0.1)  # let the probe interval elapse
+                out.extend(run.feed(remaining))
+                out.extend(run.finish())
+                assert match_records(out) == serial_records(planned, stream)
+                assert run.metrics.shards_degraded >= 1
+                assert run.metrics.shards_repromoted >= 1
+                promoted = [
+                    event
+                    for event in run.runtime_events
+                    if isinstance(event, ShardRepromoted)
+                ]
+                assert promoted and promoted[0].address == (host, port)
+        finally:
+            if replacement is not None:
+                replacement.kill()
 
     def test_reconnect_exhaustion_with_fail_policy_is_typed(self):
         stream = mixed_stream(221, count=300)
@@ -637,3 +759,8 @@ class TestConfigValidation:
     def test_reconnect_attempts_must_be_positive(self):
         with pytest.raises(ParallelError, match="reconnect_attempts"):
             ParallelConfig(reconnect_attempts=0)
+
+    def test_repromote_seconds_must_be_positive_when_given(self):
+        with pytest.raises(ParallelError, match="repromote_seconds"):
+            ParallelConfig(repromote_seconds=0.0)
+        assert ParallelConfig(repromote_seconds=0.5).repromote_seconds == 0.5
