@@ -130,6 +130,13 @@ class Ingestor:
         )
         #: Events dropped by the ``"shed"`` backpressure policy.
         self.shed = 0
+        #: Of :attr:`shed`, events that :meth:`put` had already accepted
+        #: into the reorder buffer (it returned True) before the full
+        #: queue dropped them at watermark release — under nonzero
+        #: ``max_delay`` with ``backpressure="shed"``, ``put``'s return
+        #: value is *provisional* for buffered events; exactly-once
+        #: accounting must reconcile against this counter.
+        self.shed_at_release = 0
         #: Producer suspensions under the ``"block"`` policy (the queue
         #: was full when ``put`` arrived).
         self.blocked = 0
@@ -167,7 +174,8 @@ class Ingestor:
                 # still held for reordering is released in timestamp
                 # order and stamped before the final frame is cut.
                 for released, arrived in self._buffer.flush():
-                    await self._admit(released, arrived)
+                    if not await self._admit(released, arrived):
+                        self.shed_at_release += 1
             await self._inq.put(_EOS)
         await self._pump_task
 
@@ -199,6 +207,13 @@ class Ingestor:
         serialized by a lock, so each accepted event gets a unique
         sequence number and the timestamp-order check sees a
         consistent frontier.
+
+        With ``max_delay > 0`` and ``backpressure="shed"``, True is
+        *provisional* for an event the disorder buffer holds back: when
+        the watermark later releases it (during another ``put`` or
+        :meth:`close`) into a full queue it is still shed — counted in
+        :attr:`shed` and, separately, :attr:`shed_at_release` so callers
+        can reconcile earlier acceptances.
         """
         if self._pump_task is None:
             raise ParallelError("ingestor was never started")
@@ -224,6 +239,10 @@ class Ingestor:
                 admitted = await self._admit(released, arrived)
                 if released is event:
                     accepted = admitted
+                elif not admitted:
+                    # A previously-accepted buffered event was shed at
+                    # release: its put() already returned True.
+                    self.shed_at_release += 1
         if self._inq.qsize() >= self._flush_events:
             # A full batch is queued: yield once so the pump can cut a
             # frame.  Without this a tight producer loop over a
@@ -323,6 +342,9 @@ class Ingestor:
         registry = self._registry
         registry.series("ingest_queue_depth").sample(self._inq.qsize())
         registry.series("ingest_shed_events").sample(self.shed)
+        registry.series("ingest_shed_at_release").sample(
+            self.shed_at_release
+        )
         registry.series("ingest_blocked_puts").sample(self.blocked)
         registry.series("frontier_lag_events").sample(
             self._stream.frontier_lag

@@ -218,9 +218,12 @@ class WorkerPool:
         self._stats_tokens = itertools.count(1)
         self._stats_replies: Dict[int, tuple] = {}
         # Half-open circuit breaker state: worker_id -> {"next_probe",
-        # "probes"} for shards demoted by _degrade while
-        # config.repromote_seconds is set.  Persists across runs until a
-        # probe succeeds (the endpoint outage does not end with the run).
+        # "probes", "thread"?, "channel"?} for shards demoted by _degrade
+        # while config.repromote_seconds is set.  Persists across runs
+        # until a probe succeeds (the endpoint outage does not end with
+        # the run).  "thread" is the in-flight background probe; a
+        # successful probe parks its live channel under "channel" for
+        # the next _maybe_repromote call (under _io_lock) to swap in.
         self._degraded: Dict[int, dict] = {}
 
     # -- lifecycle -----------------------------------------------------------
@@ -272,6 +275,7 @@ class WorkerPool:
 
     def close(self) -> None:
         channels, self._channels = self._channels, None
+        self._drop_parked_probes()
         if not channels:
             return
         for channel in channels:
@@ -284,8 +288,17 @@ class WorkerPool:
         """Hard teardown after an unrecovered crash: the pool restarts
         fresh on the next run instead of reusing a broken channel set."""
         channels, self._channels = self._channels, None
+        self._drop_parked_probes()
         for channel in channels or ():
             channel.kill()
+
+    def _drop_parked_probes(self) -> None:
+        """Kill probe-verified channels a background probe parked but no
+        run consumed (the breaker state itself persists across runs)."""
+        for state in self._degraded.values():
+            channel = state.pop("channel", None)
+            if channel is not None:
+                channel.kill()
 
     def _make_channel(self, worker_id: int, backend: Optional[str] = None):
         channel = self._make_raw_channel(worker_id, backend)
@@ -410,6 +423,8 @@ class WorkerPool:
         """FINISH every worker; returns results with the *undrained*
         matches folded back in (callers that never drained get all)."""
         with self._io_lock:
+            if self._degraded:
+                self._settle_probes()
             for worker_id in range(self.workers):
                 self._finishing[worker_id] = True
                 self._send(worker_id, (MSG_FINISH, self._epoch))
@@ -744,23 +759,78 @@ class WorkerPool:
         degradation used, so byte-identity of the merged output is
         preserved.  A failed probe backs off exponentially
         (``repromote_seconds * 2**probes``, capped at 16×) and leaves
-        the local worker serving."""
+        the local worker serving.
+
+        The dial + PONG wait run on a background thread (see
+        :meth:`_probe_endpoint`): callers hold ``_io_lock``, and a dead
+        endpoint's connect retries plus pong deadline must never stall
+        the live ingest path.  Only the final swap/replay — fast, the
+        endpoint just answered — happens here under the lock."""
         state = self._degraded.get(worker_id)
-        if state is None or time.monotonic() < state["next_probe"]:
+        if state is None:
             return
+        channel = state.pop("channel", None)
+        if channel is not None:
+            self._promote(worker_id, state, channel)
+            return
+        probe = state.get("thread")
+        if probe is not None and probe.is_alive():
+            return  # probe in flight; its outcome lands in state
+        if time.monotonic() < state["next_probe"]:
+            return
+        state["probes"] += 1
+        thread = threading.Thread(
+            target=self._probe_endpoint,
+            args=(worker_id, state),
+            name=f"repro-probe-{worker_id}",
+            daemon=True,
+        )
+        state["thread"] = thread
+        thread.start()
+
+    def _probe_endpoint(self, worker_id: int, state: dict) -> None:
+        """Background half-open probe (no locks held): dial the original
+        endpoint and wait for a PONG.  Success parks the live channel in
+        ``state["channel"]`` for the next ``_maybe_repromote`` call to
+        swap in; failure schedules the next probe with backoff."""
         repromote = self.config.repromote_seconds
-        probes = state["probes"] + 1
-        state["probes"] = probes
         channel = None
         try:
             channel = self._make_channel(worker_id)
             channel.send((MSG_PING, time.monotonic()))
             self._await_pong(channel)
-            old = self._channels[worker_id]
-            self._replay(worker_id, channel)
         except TransportDead:
             if channel is not None:
                 channel.kill()
+            state["next_probe"] = time.monotonic() + backoff_delay(
+                min(state["probes"], 4), repromote, repromote * 16.0
+            )
+            return
+        state["channel"] = channel
+
+    def _settle_probes(self, timeout: float = 2.0) -> None:
+        """End-of-run barrier (lock held): give in-flight probes a
+        bounded window to finish and promote any that succeeded, so the
+        FINISH and results of this run go through the restored socket
+        channel and the run's counters reflect the repromotion.  The
+        probe threads never take ``_io_lock``, so joining here cannot
+        deadlock."""
+        for worker_id in list(self._degraded):
+            state = self._degraded[worker_id]
+            probe = state.get("thread")
+            if probe is not None and probe.is_alive():
+                probe.join(timeout=timeout)
+            self._maybe_repromote(worker_id)
+
+    def _promote(self, worker_id: int, state: dict, channel) -> None:
+        """Swap a probe-verified socket channel back in (lock held)."""
+        repromote = self.config.repromote_seconds
+        probes = state["probes"]
+        old = self._channels[worker_id]
+        try:
+            self._replay(worker_id, channel)
+        except TransportDead:
+            channel.kill()
             state["next_probe"] = time.monotonic() + backoff_delay(
                 min(probes, 4), repromote, repromote * 16.0
             )

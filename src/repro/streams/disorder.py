@@ -61,7 +61,6 @@ wrapper refuses rather than silently replaying everything.
 
 from __future__ import annotations
 
-import bisect
 import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Tuple, Union
@@ -426,10 +425,14 @@ class DeltaEngine:
             raise DisorderError("DeltaEngine is finalized")
 
     def _ingest(self, event: Event) -> List:
+        # Offer before allocating: under late_policy="strict" the buffer
+        # raises, and a uid stored first would leak into _event_by_uid —
+        # addressable by a later Retraction yet in neither the log nor
+        # the buffer.  A rejected event never consumes a uid.
         uid = self._next_uid
+        result = self._buffer.offer(event.timestamp, uid)
         self._next_uid += 1
         self._event_by_uid[uid] = event
-        result = self._buffer.offer(event.timestamp, uid)
         out: List = []
         if result.late is not None:
             if result.dropped:
@@ -487,6 +490,13 @@ class DeltaEngine:
             del self._event_by_uid[uid]
             self._extra.retractions_processed += 1
             return []
+        if uid not in self._seq_by_uid:
+            # Defensive: every tracked uid is either buffered (handled
+            # above) or admitted to the log with a seq; surface anything
+            # else as a typed error, never a bare list.remove ValueError.
+            raise DisorderError(
+                f"unknown or never-admitted event uid {uid}"
+            )
         event = self._event_by_uid[uid]
         self._log.remove(uid)
         if event.type in self._engine.negation_event_types():
@@ -522,12 +532,17 @@ class DeltaEngine:
 
     def _insert_late(self, uid: int) -> List:
         event = self._event_by_uid[uid]
-        index = bisect.bisect_right(
-            self._log,
-            event.timestamp,
-            key=lambda held: self._event_by_uid[held].timestamp,
-        )
-        self._log.insert(index, uid)
+        # Manual bisect_right over the uid log: the sort key (the held
+        # event's timestamp) lives in _event_by_uid, and bisect's key=
+        # parameter requires Python 3.10+ while we support 3.9.
+        lo, hi = 0, len(self._log)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if event.timestamp < self._event_by_uid[self._log[mid]].timestamp:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._log.insert(lo, uid)
         return self._replay_swap("late-event")
 
     def _replay_swap(self, cause: str) -> List:

@@ -530,6 +530,41 @@ class TestIngestorDisorder:
         serial = build_engines(planned).run(Stream(list(events)))
         assert net_fingerprints(collected) == net_fingerprints(serial)
 
+    def test_shed_at_release_reconciles_provisional_accepts(self):
+        # Under backpressure="shed" with a nonzero bound, put() returning
+        # True is provisional for buffered events: a watermark release
+        # into a full queue still sheds them, and shed_at_release is the
+        # counter that lets exactly-once accounting reconcile.
+        events = keyed_events(83, count=60)
+        _, executor = self._executor(events)
+
+        async def main():
+            async with Ingestor(
+                executor,
+                max_pending=4,
+                backpressure="shed",
+                max_delay=1e9,  # everything buffered until close()
+                late_policy="drop",
+            ) as ingestor:
+                accepted = 0
+                for event in events:
+                    accepted += await ingestor.put(event)
+                assert accepted == len(events)  # all provisionally taken
+                assert ingestor.shed == 0  # nothing released yet
+                await ingestor.close()
+                # The close-time flush releases the whole buffer into the
+                # bounded queue without yielding to the pump, so only
+                # max_pending fit; the rest shed after their True put().
+                assert ingestor.shed > 0
+                assert ingestor.shed_at_release == ingestor.shed
+                assert (
+                    ingestor.events_in + ingestor.shed_at_release
+                    == accepted
+                )
+
+        asyncio.run(main())
+        executor.close()
+
     def test_revise_policy_is_rejected_at_the_front_door(self):
         events = keyed_events(79, count=10)
         _, executor = self._executor(events)
